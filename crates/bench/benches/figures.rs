@@ -1,0 +1,206 @@
+//! Criterion benches: one group per paper figure, at sizes that keep each
+//! iteration in the tens of milliseconds. The `experiments` binary runs
+//! the full parameter sweeps; these benches track regressions in the same
+//! code paths.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use scaleclass::{AuxMode, FileStagingPolicy, MiddlewareConfig};
+use scaleclass_bench::workloads::{census_workload, fig4_workload, fig7_workload, fig8a_workload};
+use scaleclass_bench::{run_tree_growth, run_tree_growth_via_sql};
+use scaleclass_dtree::GrowConfig;
+
+const KB: u64 = 1024;
+
+fn grow() -> GrowConfig {
+    GrowConfig::default()
+}
+
+/// Figure 4: memory sweep with and without caching.
+fn bench_fig4(c: &mut Criterion) {
+    let w = fig4_workload(20, 30.0);
+    let data = w.data_bytes();
+    let mut g = c.benchmark_group("fig4_memory");
+    for (label, budget, caching) in [
+        ("low_mem_no_cache", data / 4, false),
+        ("low_mem_cache", data / 4, true),
+        ("ample_mem_cache", 2 * data, true),
+    ] {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let cfg = MiddlewareConfig::builder()
+                    .memory_budget_bytes(budget)
+                    .memory_caching(caching)
+                    .build();
+                run_tree_growth(w.clone().into_db("d"), "d", "class", cfg, &grow())
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Figure 5: row scaling.
+fn bench_fig5(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_rows");
+    for cases in [10.0f64, 20.0, 40.0] {
+        let w = fig4_workload(20, cases);
+        g.bench_with_input(BenchmarkId::from_parameter(w.nrows()), &w, |b, w| {
+            b.iter(|| {
+                run_tree_growth(
+                    w.clone().into_db("d"),
+                    "d",
+                    "class",
+                    MiddlewareConfig::default(),
+                    &grow(),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Figure 6: file-staging configurations.
+fn bench_fig6(c: &mut Criterion) {
+    let w = census_workload(3_000);
+    let gcfg = GrowConfig {
+        min_rows: 15,
+        ..GrowConfig::default()
+    };
+    let mut g = c.benchmark_group("fig6_staging");
+    for (label, policy, mem) in [
+        ("per_node", FileStagingPolicy::PerNode, false),
+        ("singleton", FileStagingPolicy::Singleton, false),
+        (
+            "hybrid50",
+            FileStagingPolicy::Hybrid {
+                split_threshold: 0.5,
+            },
+            false,
+        ),
+        (
+            "hybrid50_mem",
+            FileStagingPolicy::Hybrid {
+                split_threshold: 0.5,
+            },
+            true,
+        ),
+    ] {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let cfg = MiddlewareConfig::builder()
+                    .memory_budget_bytes(48 * KB)
+                    .file_policy(policy)
+                    .memory_caching(mem)
+                    .build();
+                run_tree_growth(w.clone().into_db("d"), "d", "income", cfg, &gcfg)
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Figure 7: middleware cursor counting vs SQL-based counting.
+fn bench_fig7_sql_crossover(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7_sql_crossover");
+    for attrs in [8usize, 16] {
+        let w = fig7_workload(attrs, 10, 20.0);
+        g.bench_with_input(BenchmarkId::new("cursor", attrs), &w, |b, w| {
+            b.iter(|| {
+                let cfg = MiddlewareConfig::builder().memory_caching(false).build();
+                run_tree_growth(w.clone().into_db("d"), "d", "class", cfg, &grow())
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("sql", attrs), &w, |b, w| {
+            b.iter(|| run_tree_growth_via_sql(w.clone().into_db("d"), "d", "class", &grow()))
+        });
+    }
+    g.finish();
+}
+
+/// Figure 8a: lop-sided trees, cursor vs static file store.
+fn bench_fig8a(c: &mut Criterion) {
+    let w = fig8a_workload(4.0, 15, 40.0);
+    let mut g = c.benchmark_group("fig8a_lopsided");
+    g.bench_function("cursor", |b| {
+        b.iter(|| {
+            let cfg = MiddlewareConfig::builder().memory_caching(false).build();
+            run_tree_growth(w.clone().into_db("d"), "d", "class", cfg, &grow())
+        })
+    });
+    g.bench_function("file_store", |b| {
+        b.iter(|| {
+            let cfg = MiddlewareConfig::builder()
+                .memory_caching(false)
+                .file_policy(FileStagingPolicy::Singleton)
+                .build();
+            run_tree_growth(w.clone().into_db("d"), "d", "class", cfg, &grow())
+        })
+    });
+    g.finish();
+}
+
+/// §5.2.5: auxiliary access structures.
+fn bench_idx(c: &mut Criterion) {
+    let w = census_workload(3_000);
+    let gcfg = GrowConfig {
+        min_rows: 15,
+        ..GrowConfig::default()
+    };
+    let mut g = c.benchmark_group("idx_structures");
+    for (label, mode) in [
+        ("off", AuxMode::Off),
+        ("temp_table", AuxMode::TempTable),
+        ("tid_join", AuxMode::TidJoin),
+        ("keyset", AuxMode::Keyset),
+    ] {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let cfg = MiddlewareConfig::builder()
+                    .memory_budget_bytes(48 * KB)
+                    .memory_caching(false)
+                    .aux_mode(mode)
+                    .build();
+                run_tree_growth(w.clone().into_db("d"), "d", "income", cfg, &gcfg)
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Ablations called out in DESIGN.md §7.
+fn bench_ablations(c: &mut Criterion) {
+    let w = fig4_workload(20, 30.0);
+    let mut g = c.benchmark_group("ablations");
+    g.bench_function("batched", |b| {
+        b.iter(|| {
+            let cfg = MiddlewareConfig::builder().memory_caching(false).build();
+            run_tree_growth(w.clone().into_db("d"), "d", "class", cfg, &grow())
+        })
+    });
+    g.bench_function("one_per_scan", |b| {
+        b.iter(|| {
+            let cfg = MiddlewareConfig::builder()
+                .memory_caching(false)
+                .max_batch_nodes(Some(1))
+                .build();
+            run_tree_growth(w.clone().into_db("d"), "d", "class", cfg, &grow())
+        })
+    });
+    g.bench_function("no_filter_pushdown", |b| {
+        b.iter(|| {
+            let cfg = MiddlewareConfig::builder()
+                .memory_caching(false)
+                .push_filters(false)
+                .build();
+            run_tree_growth(w.clone().into_db("d"), "d", "class", cfg, &grow())
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = figures;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig4, bench_fig5, bench_fig6, bench_fig7_sql_crossover,
+              bench_fig8a, bench_idx, bench_ablations
+}
+criterion_main!(figures);

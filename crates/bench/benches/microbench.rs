@@ -1,0 +1,135 @@
+//! Microbenches for the middleware's hot paths: scan-based counting,
+//! predicate evaluation, wire marshalling, and staged-file I/O.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use scaleclass::{CountsTable, Middleware, MiddlewareConfig, NodeId};
+use scaleclass_bench::workloads::fig4_workload;
+use scaleclass_sqldb::{wire::WireBatch, DbStats, Pred};
+
+fn bench_cc_counting(c: &mut Criterion) {
+    let w = fig4_workload(20, 60.0);
+    let arity = w.schema.arity();
+    let attrs: Vec<u16> = (0..(arity - 1) as u16).collect();
+    let class_col = (arity - 1) as u16;
+    let mut g = c.benchmark_group("cc_counting");
+    g.throughput(Throughput::Elements(w.nrows() as u64));
+    g.bench_function("add_row_all_attrs", |b| {
+        b.iter(|| {
+            let mut cc = CountsTable::new();
+            for row in w.rows.chunks_exact(arity) {
+                cc.add_row(row, &attrs, class_col);
+            }
+            cc.entries()
+        })
+    });
+    g.finish();
+}
+
+fn bench_pred_eval(c: &mut Criterion) {
+    let w = fig4_workload(20, 60.0);
+    let arity = w.schema.arity();
+    let pred = Pred::or(vec![
+        Pred::and(vec![
+            Pred::Eq { col: 0, value: 1 },
+            Pred::NotEq { col: 3, value: 0 },
+        ]),
+        Pred::Eq { col: 5, value: 2 },
+    ]);
+    let mut g = c.benchmark_group("predicates");
+    g.throughput(Throughput::Elements(w.nrows() as u64));
+    g.bench_function("union_filter_eval", |b| {
+        b.iter(|| w.rows.chunks_exact(arity).filter(|r| pred.eval(r)).count())
+    });
+    g.finish();
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let w = fig4_workload(20, 60.0);
+    let arity = w.schema.arity();
+    let mut g = c.benchmark_group("wire");
+    g.throughput(Throughput::Elements(w.nrows() as u64));
+    g.bench_function("marshal_unmarshal", |b| {
+        b.iter(|| {
+            let stats = DbStats::new();
+            let mut batch = WireBatch::new();
+            let mut out = Vec::new();
+            for row in w.rows.chunks_exact(arity) {
+                batch.push(row);
+                if batch.rows() == 1024 {
+                    batch.transmit(arity, &stats, &mut out);
+                    out.clear();
+                }
+            }
+            batch.transmit(arity, &stats, &mut out);
+            out.len()
+        })
+    });
+    g.finish();
+}
+
+/// Batched multi-node counting (the dispatch-prefilter hot path): one
+/// scan building counts tables for a 32-node sibling frontier.
+fn bench_batched_counting(c: &mut Criterion) {
+    use scaleclass::{CcRequest, Lineage};
+    use scaleclass_sqldb::Pred;
+
+    let w = fig4_workload(40, 60.0);
+    let arity = w.schema.arity();
+    let class_col = (arity - 1) as u16;
+    let mut g = c.benchmark_group("batched_counting");
+    g.throughput(Throughput::Elements(w.nrows() as u64));
+    g.bench_function("frontier_of_32", |b| {
+        b.iter(|| {
+            let db = w.clone().into_db("d");
+            let mut mw = Middleware::new(db, "d", "class", MiddlewareConfig::default()).unwrap();
+            let root = Lineage::root(NodeId(0));
+            // 32 sibling nodes over two attributes' values
+            let mut id = 1u64;
+            for col in 0..8usize {
+                for value in 0..4u16 {
+                    let lineage = root.child(NodeId(id), Pred::Eq { col, value });
+                    id += 1;
+                    mw.enqueue(CcRequest {
+                        lineage,
+                        attrs: (0..(arity - 1) as u16)
+                            .filter(|&a| a as usize != col)
+                            .collect(),
+                        class_col,
+                        rows: (w.nrows() / 4) as u64,
+                        parent_rows: w.nrows() as u64,
+                        parent_cards: vec![4; arity - 2],
+                    })
+                    .unwrap();
+                }
+            }
+            let mut served = 0;
+            while mw.has_pending() {
+                served += mw.process_next_batch().unwrap().len();
+            }
+            served
+        })
+    });
+    g.finish();
+}
+
+fn bench_root_request(c: &mut Criterion) {
+    let w = fig4_workload(20, 60.0);
+    let mut g = c.benchmark_group("middleware");
+    g.throughput(Throughput::Elements(w.nrows() as u64));
+    g.bench_function("root_cc_via_scan", |b| {
+        b.iter(|| {
+            let db = w.clone().into_db("d");
+            let mut mw = Middleware::new(db, "d", "class", MiddlewareConfig::default()).unwrap();
+            mw.enqueue(mw.root_request(NodeId(0))).unwrap();
+            mw.process_next_batch().unwrap().len()
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = micro;
+    config = Criterion::default().sample_size(20);
+    targets = bench_cc_counting, bench_pred_eval, bench_wire, bench_batched_counting, bench_root_request
+}
+criterion_main!(micro);

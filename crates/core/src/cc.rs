@@ -1,0 +1,280 @@
+//! CC tables — the sufficient statistics of §2.2.
+//!
+//! A CC (counts) table is the 4-column relation
+//! `(attr_name, value, class, count)`: for every attribute present at a
+//! tree node, the number of co-occurrences of each of its values with each
+//! class value. Observation 1 of the paper: building this table is the
+//! *only* operation that touches the data; all split scoring is computed
+//! from it.
+//!
+//! As in the paper's implementation (§5), counts are kept in an ordered
+//! tree keyed by `(attr, value, class)`, so retrieving the vector of counts
+//! for one attribute is a contiguous range read.
+
+use crate::request::DataLocation;
+use scaleclass_sqldb::Code;
+use std::collections::BTreeMap;
+
+/// Modelled in-memory footprint of one counts-table entry: a 6-byte key,
+/// an 8-byte count, and balanced-tree node overhead, rounded to the figure
+/// the scheduler budgets with.
+///
+/// Deterministic by design — the experiments sweep the memory budget and
+/// must not depend on allocator details.
+pub const CC_ENTRY_BYTES: u64 = 48;
+
+/// Key of one counts-table entry.
+pub type CcKey = (u16, Code, Code); // (attr column, value, class)
+
+/// A counts table for one tree node.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CountsTable {
+    counts: BTreeMap<CcKey, u64>,
+    /// Total rows counted (each row increments this once).
+    total: u64,
+    /// Rows per class value at this node.
+    class_totals: BTreeMap<Code, u64>,
+}
+
+impl CountsTable {
+    /// An empty counts table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Count one data row: for every attribute column in `attrs`, record the
+    /// co-occurrence of its value with the row's class value.
+    #[inline]
+    pub fn add_row(&mut self, row: &[Code], attrs: &[u16], class_col: u16) {
+        let class = row[class_col as usize];
+        for &attr in attrs {
+            *self
+                .counts
+                .entry((attr, row[attr as usize], class))
+                .or_insert(0) += 1;
+        }
+        *self.class_totals.entry(class).or_insert(0) += 1;
+        self.total += 1;
+    }
+
+    /// Record a pre-aggregated count (used when assembling a CC table from
+    /// SQL GROUP BY results). Does **not** touch row totals; call
+    /// [`CountsTable::set_totals_from_attr`] once after loading one full
+    /// attribute.
+    pub fn add_aggregate(&mut self, attr: u16, value: Code, class: Code, count: u64) {
+        *self.counts.entry((attr, value, class)).or_insert(0) += count;
+    }
+
+    /// Record a pre-aggregated per-class row count (used when a node has no
+    /// attributes left and only its class distribution is needed).
+    pub fn add_class_aggregate(&mut self, class: Code, count: u64) {
+        *self.class_totals.entry(class).or_insert(0) += count;
+        self.total += count;
+    }
+
+    /// Recompute `total` and per-class totals from the entries of one
+    /// attribute (every row has exactly one value per attribute, so one
+    /// attribute's counts partition the node's rows).
+    pub fn set_totals_from_attr(&mut self, attr: u16) {
+        self.class_totals.clear();
+        self.total = 0;
+        for (&(a, _v, class), &count) in self
+            .counts
+            .range((attr, 0, 0)..=(attr, Code::MAX, Code::MAX))
+        {
+            debug_assert_eq!(a, attr);
+            *self.class_totals.entry(class).or_insert(0) += count;
+            self.total += count;
+        }
+    }
+
+    /// Count for one `(attr, value, class)` combination.
+    pub fn count(&self, attr: u16, value: Code, class: Code) -> u64 {
+        self.counts.get(&(attr, value, class)).copied().unwrap_or(0)
+    }
+
+    /// Total rows at the node.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// `(class, rows)` pairs at this node, ascending by class code.
+    pub fn class_distribution(&self) -> impl Iterator<Item = (Code, u64)> + '_ {
+        self.class_totals.iter().map(|(&c, &n)| (c, n))
+    }
+
+    /// Number of distinct class values present.
+    pub fn distinct_classes(&self) -> usize {
+        self.class_totals.len()
+    }
+
+    /// The majority class and its count (`None` for an empty node).
+    pub fn majority_class(&self) -> Option<(Code, u64)> {
+        self.class_totals
+            .iter()
+            .max_by_key(|&(_, &n)| n)
+            .map(|(&c, &n)| (c, n))
+    }
+
+    /// The counts vector for one attribute: `(value, class, count)` in
+    /// `(value, class)` order — the paper's "vector of counts for the
+    /// states of a class correlated with a particular attribute".
+    pub fn attr_vector(&self, attr: u16) -> impl Iterator<Item = (Code, Code, u64)> + '_ {
+        self.counts
+            .range((attr, 0, 0)..=(attr, Code::MAX, Code::MAX))
+            .map(|(&(_, v, c), &n)| (v, c, n))
+    }
+
+    /// Distinct values of `attr` present at this node — `card(n, A)` of
+    /// §4.2.1, known exactly once the node's CC table exists.
+    pub fn distinct_values(&self, attr: u16) -> u64 {
+        let mut card = 0;
+        let mut last: Option<Code> = None;
+        for (v, _, _) in self.attr_vector(attr) {
+            if last != Some(v) {
+                card += 1;
+                last = Some(v);
+            }
+        }
+        card
+    }
+
+    /// Rows that would flow to the child reached via `attr = value` — exact
+    /// (§4.2.1: "the data size of an active node can be calculated precisely
+    /// from the count table of its parent").
+    pub fn rows_with_value(&self, attr: u16, value: Code) -> u64 {
+        self.counts
+            .range((attr, value, 0)..=(attr, value, Code::MAX))
+            .map(|(_, &n)| n)
+            .sum()
+    }
+
+    /// Rows that would flow to the complement child `attr <> value`.
+    pub fn rows_without_value(&self, attr: u16, value: Code) -> u64 {
+        self.total - self.rows_with_value(attr, value)
+    }
+
+    /// Number of stored entries.
+    pub fn entries(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Has nothing been counted yet?
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty() && self.total == 0
+    }
+
+    /// Modelled memory footprint in bytes (deterministic; drives the
+    /// scheduler's memory accounting).
+    pub fn memory_bytes(&self) -> u64 {
+        self.counts.len() as u64 * CC_ENTRY_BYTES
+    }
+
+    /// Iterate all entries in `(attr, value, class)` order.
+    pub fn iter(&self) -> impl Iterator<Item = (CcKey, u64)> + '_ {
+        self.counts.iter().map(|(&k, &n)| (k, n))
+    }
+}
+
+/// A fulfilled counts request handed back to the client.
+#[derive(Debug, Clone)]
+pub struct FulfilledCc {
+    /// The client's node this answers.
+    pub node: crate::request::NodeId,
+    /// The counts table.
+    pub cc: CountsTable,
+    /// Where the data was read from (the S/I/L tag of Figure 1).
+    pub source: DataLocation,
+    /// True when memory pressure forced the §4.1.1 dynamic switch to
+    /// SQL-based (lazy, per-attribute) counting for this node.
+    pub via_sql_fallback: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// rows: (a0, a1, class) with attrs = [0, 1], class col 2.
+    fn table_from(rows: &[[Code; 3]]) -> CountsTable {
+        let mut cc = CountsTable::new();
+        for row in rows {
+            cc.add_row(row, &[0, 1], 2);
+        }
+        cc
+    }
+
+    #[test]
+    fn counts_cooccurrences() {
+        let cc = table_from(&[[0, 0, 0], [0, 1, 0], [1, 1, 1], [0, 0, 1]]);
+        assert_eq!(cc.total(), 4);
+        assert_eq!(cc.count(0, 0, 0), 2);
+        assert_eq!(cc.count(0, 0, 1), 1);
+        assert_eq!(cc.count(0, 1, 1), 1);
+        assert_eq!(cc.count(0, 1, 0), 0);
+        assert_eq!(cc.count(1, 1, 0), 1);
+        assert_eq!(cc.count(9, 0, 0), 0, "unknown attr counts zero");
+    }
+
+    #[test]
+    fn class_distribution_and_majority() {
+        let cc = table_from(&[[0, 0, 0], [0, 1, 0], [1, 1, 1]]);
+        let dist: Vec<_> = cc.class_distribution().collect();
+        assert_eq!(dist, vec![(0, 2), (1, 1)]);
+        assert_eq!(cc.majority_class(), Some((0, 2)));
+        assert_eq!(cc.distinct_classes(), 2);
+        assert_eq!(CountsTable::new().majority_class(), None);
+    }
+
+    #[test]
+    fn attr_vector_is_range_ordered() {
+        let cc = table_from(&[[1, 0, 0], [0, 0, 1], [1, 0, 1], [2, 0, 0]]);
+        let v: Vec<_> = cc.attr_vector(0).collect();
+        assert_eq!(v, vec![(0, 1, 1), (1, 0, 1), (1, 1, 1), (2, 0, 1)]);
+        // attr 1 only ever sees value 0
+        assert_eq!(cc.distinct_values(1), 1);
+        assert_eq!(cc.distinct_values(0), 3);
+    }
+
+    #[test]
+    fn child_sizes_are_exact() {
+        let cc = table_from(&[[0, 0, 0], [0, 1, 1], [1, 0, 0], [2, 0, 0], [0, 0, 1]]);
+        assert_eq!(cc.rows_with_value(0, 0), 3);
+        assert_eq!(cc.rows_without_value(0, 0), 2);
+        assert_eq!(cc.rows_with_value(0, 2), 1);
+        assert_eq!(cc.rows_with_value(0, 3), 0);
+    }
+
+    #[test]
+    fn memory_model_is_entry_proportional() {
+        let cc = table_from(&[[0, 0, 0], [1, 1, 1]]);
+        // entries: (0,0,0),(0,1,1),(1,0,0),(1,1,1) = 4
+        assert_eq!(cc.entries(), 4);
+        assert_eq!(cc.memory_bytes(), 4 * CC_ENTRY_BYTES);
+    }
+
+    #[test]
+    fn aggregate_loading_matches_row_loading() {
+        let rows: Vec<[Code; 3]> = vec![[0, 0, 0], [0, 1, 0], [1, 1, 1], [0, 0, 1]];
+        let direct = table_from(&rows);
+        let mut agg = CountsTable::new();
+        for (key, n) in direct.iter() {
+            agg.add_aggregate(key.0, key.1, key.2, n);
+        }
+        agg.set_totals_from_attr(0);
+        assert_eq!(agg.total(), direct.total());
+        assert_eq!(
+            agg.class_distribution().collect::<Vec<_>>(),
+            direct.class_distribution().collect::<Vec<_>>()
+        );
+        assert_eq!(agg, direct);
+    }
+
+    #[test]
+    fn empty_table() {
+        let cc = CountsTable::new();
+        assert!(cc.is_empty());
+        assert_eq!(cc.total(), 0);
+        assert_eq!(cc.entries(), 0);
+        assert_eq!(cc.attr_vector(0).count(), 0);
+    }
+}

@@ -1,0 +1,212 @@
+//! Threaded client ↔ middleware protocol (Figure 3).
+//!
+//! The paper's architecture is explicitly asynchronous: the client *queues*
+//! batches of requests, *waits* for the middleware to notify it that some
+//! have been fulfilled, and consumes the counts tables in whatever order it
+//! likes, while the middleware independently decides scheduling. This
+//! module runs the [`Middleware`] on its own thread, connected to the
+//! client by a pair of channels.
+//!
+//! The synchronous [`Middleware::process_next_batch`] loop remains the
+//! deterministic path used by the experiments; this front-end exists to
+//! demonstrate (and test) that the protocol itself imposes no ordering
+//! beyond "requests in, counts out".
+
+use crate::cc::FulfilledCc;
+use crate::error::MwResult;
+use crate::metrics::MiddlewareStats;
+use crate::middleware::Middleware;
+use crate::request::CcRequest;
+use crossbeam_channel::{unbounded, Receiver, Sender, TryRecvError};
+use std::thread::JoinHandle;
+
+/// Client-side handle to a middleware running on its own thread.
+pub struct MiddlewareHandle {
+    requests: Option<Sender<CcRequest>>,
+    results: Receiver<MwResult<Vec<FulfilledCc>>>,
+    thread: Option<JoinHandle<(Middleware, MiddlewareStats)>>,
+}
+
+/// Run `mw` on a dedicated thread. The thread services requests until the
+/// request sender is dropped *and* the queue is drained, then exits.
+pub fn spawn(mw: Middleware) -> MiddlewareHandle {
+    let (req_tx, req_rx) = unbounded::<CcRequest>();
+    let (res_tx, res_rx) = unbounded::<MwResult<Vec<FulfilledCc>>>();
+    let thread = std::thread::spawn(move || middleware_loop(mw, req_rx, res_tx));
+    MiddlewareHandle {
+        requests: Some(req_tx),
+        results: res_rx,
+        thread: Some(thread),
+    }
+}
+
+fn middleware_loop(
+    mut mw: Middleware,
+    requests: Receiver<CcRequest>,
+    results: Sender<MwResult<Vec<FulfilledCc>>>,
+) -> (Middleware, MiddlewareStats) {
+    'outer: loop {
+        // Block for at least one request unless work is already queued.
+        if !mw.has_pending() {
+            match requests.recv() {
+                Ok(req) => {
+                    if let Err(e) = mw.enqueue(req) {
+                        let _ = results.send(Err(e));
+                        continue;
+                    }
+                }
+                Err(_) => break 'outer, // client hung up, queue empty
+            }
+        }
+        // Drain whatever else has arrived, so one scan batches the full
+        // frontier the client has queued so far.
+        loop {
+            match requests.try_recv() {
+                Ok(req) => {
+                    if let Err(e) = mw.enqueue(req) {
+                        let _ = results.send(Err(e));
+                    }
+                }
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => break,
+            }
+        }
+        let outcome = mw.process_next_batch();
+        let failed = outcome.is_err();
+        if results.send(outcome).is_err() || failed {
+            break 'outer;
+        }
+    }
+    let stats = *mw.stats();
+    (mw, stats)
+}
+
+impl MiddlewareHandle {
+    /// Queue a request (client step 1 of Figure 3). Fails only if the
+    /// middleware thread is gone.
+    pub fn enqueue(&self, req: CcRequest) -> Result<(), &'static str> {
+        self.requests
+            .as_ref()
+            .ok_or("middleware shutting down")?
+            .send(req)
+            .map_err(|_| "middleware thread terminated")
+    }
+
+    /// Wait for the next fulfilled batch (client step 2).
+    pub fn wait_results(&self) -> Option<MwResult<Vec<FulfilledCc>>> {
+        self.results.recv().ok()
+    }
+
+    /// Non-blocking poll for fulfilled batches.
+    pub fn try_results(&self) -> Option<MwResult<Vec<FulfilledCc>>> {
+        self.results.try_recv().ok()
+    }
+
+    /// Signal no more requests will come and wait for the middleware to
+    /// finish, recovering it (and its statistics).
+    pub fn shutdown(mut self) -> (Middleware, MiddlewareStats) {
+        self.requests = None;
+        // Drain any residual results so the thread is not blocked on send.
+        while self.results.try_recv().is_ok() {}
+        self.thread
+            .take()
+            .expect("shutdown called once")
+            .join()
+            .expect("middleware thread panicked")
+    }
+}
+
+impl Drop for MiddlewareHandle {
+    fn drop(&mut self) {
+        self.requests = None;
+        if let Some(t) = self.thread.take() {
+            // Best effort: unblock and reap the thread.
+            while self.results.try_recv().is_ok() {}
+            let _ = t.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MiddlewareConfig;
+    use crate::request::{CcRequest, NodeId};
+    use scaleclass_sqldb::{Database, Pred, Schema};
+
+    fn middleware(rows: u16) -> Middleware {
+        let mut db = Database::new();
+        db.create_table("d", Schema::from_pairs(&[("a", 4), ("class", 2)]))
+            .unwrap();
+        for i in 0..rows {
+            db.insert("d", &[i % 4, u16::from(i % 4 >= 2)]).unwrap();
+        }
+        Middleware::new(db, "d", "class", MiddlewareConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn threaded_root_request_round_trip() {
+        let mw = middleware(40);
+        let root = mw.root_request(NodeId(0));
+        let handle = spawn(mw);
+        handle.enqueue(root).unwrap();
+        let batch = handle.wait_results().unwrap().unwrap();
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch[0].cc.total(), 40);
+        let (_mw, stats) = handle.shutdown();
+        assert_eq!(stats.requests_served, 1);
+    }
+
+    #[test]
+    fn threaded_frontier_is_batched() {
+        let mw = middleware(80);
+        let root = mw.root_request(NodeId(0));
+        let lineage = root.lineage.clone();
+        let handle = spawn(mw);
+        // Queue a whole frontier before the middleware wakes up on it.
+        for v in 0..4u16 {
+            handle
+                .enqueue(CcRequest {
+                    lineage: lineage.child(NodeId(1 + u64::from(v)), Pred::Eq { col: 0, value: v }),
+                    attrs: vec![0],
+                    class_col: 1,
+                    rows: 20,
+                    parent_rows: 80,
+                    parent_cards: vec![4],
+                })
+                .unwrap();
+        }
+        let mut served = 0;
+        while served < 4 {
+            let batch = handle.wait_results().unwrap().unwrap();
+            served += batch.len();
+        }
+        let (_mw, stats) = handle.shutdown();
+        assert_eq!(stats.requests_served, 4);
+        // All four children were answered; batching may take 1..=4 rounds
+        // depending on thread interleaving, but never more rounds than
+        // requests.
+        assert!(stats.rounds <= 4);
+    }
+
+    #[test]
+    fn bad_request_surfaces_as_error_result() {
+        let mw = middleware(8);
+        let mut bad = mw.root_request(NodeId(0));
+        bad.class_col = 0;
+        let handle = spawn(mw);
+        handle.enqueue(bad).unwrap();
+        let result = handle.wait_results().unwrap();
+        assert!(result.is_err());
+        handle.shutdown();
+    }
+
+    #[test]
+    fn shutdown_without_requests_is_clean() {
+        let mw = middleware(8);
+        let handle = spawn(mw);
+        let (mw, stats) = handle.shutdown();
+        assert_eq!(stats.rounds, 0);
+        assert!(!mw.has_pending());
+    }
+}

@@ -1,0 +1,266 @@
+//! Middleware configuration.
+
+use std::path::PathBuf;
+
+/// How middleware *file* staging behaves — the four configurations of the
+/// Figure 6 experiment (§5.2.2), plus off.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FileStagingPolicy {
+    /// No file staging.
+    Disabled,
+    /// Configuration (1): a new middleware file (cache) is created for each
+    /// active node of the tree.
+    PerNode,
+    /// Configuration (2): one staging file for the entire tree, repeatedly
+    /// scanned, never split.
+    Singleton,
+    /// Configuration (3): one staging file, split when the fraction of the
+    /// file's rows relevant to the nodes being processed drops below
+    /// `split_threshold` (the paper uses 0.5).
+    Hybrid {
+        /// Split when the relevant fraction of the source file drops
+        /// below this (the paper uses 0.5).
+        split_threshold: f64,
+    },
+}
+
+impl FileStagingPolicy {
+    /// Is any form of file staging active?
+    pub fn enabled(&self) -> bool {
+        !matches!(self, FileStagingPolicy::Disabled)
+    }
+}
+
+/// Which auxiliary server-side structure (§4.3.3) the middleware uses when
+/// the relevant data set shrinks. `Off` is the paper's recommended setting;
+/// the others exist to reproduce the §5.2.5 negative result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AuxMode {
+    /// Plain filtered sequential scans only.
+    Off,
+    /// (a) Copy the relevant subset into a server temp table.
+    TempTable,
+    /// (b) Copy TIDs and fetch through the TID set (index-join access).
+    TidJoin,
+    /// (c) Keyset cursor + stored-procedure residual filter.
+    Keyset,
+}
+
+/// Which counts-table size estimator the scheduler uses (§4.2.1). The
+/// paper adopts the independence estimate and mentions two pessimistic
+/// upper bounds; `Pessimistic` is kept for the estimator ablation bench.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EstimatorKind {
+    /// `Est_cc(n) = (|n| / |p|) · Σ_j card(p, A_j)` — the paper's choice.
+    #[default]
+    Independence,
+    /// The unscaled upper bound `Σ_j card(p, A_j)` (assume the child's
+    /// counts table is as large as the parent's).
+    Pessimistic,
+}
+
+/// Tuning knobs for the middleware. Build with [`MiddlewareConfig::builder`].
+#[derive(Debug, Clone)]
+pub struct MiddlewareConfig {
+    /// Total middleware memory in bytes, shared by counts tables and
+    /// memory-staged data (the x-axis of Figures 4–6).
+    pub memory_budget_bytes: u64,
+    /// File staging policy (Figure 6 configurations).
+    pub file_policy: FileStagingPolicy,
+    /// Stage data into middleware memory when budget allows ("Data
+    /// Caching" in Figures 4, 5, 8).
+    pub memory_caching: bool,
+    /// Rows per simulated wire round trip on server cursors.
+    pub wire_batch_rows: usize,
+    /// Directory for staged files. `None` → a fresh directory under the
+    /// system temp dir, removed when the middleware is dropped.
+    pub staging_dir: Option<PathBuf>,
+    /// Auxiliary server-side access structures (§4.3.3 experiment).
+    pub aux_mode: AuxMode,
+    /// Build an auxiliary structure only when the scheduled nodes' relevant
+    /// fraction of the table is below this (the paper observes the technique
+    /// only applies "when the relevant data set has shrunk to a small
+    /// percentage of the given file (around 10%)").
+    pub aux_threshold: f64,
+    /// Ablation: cap the number of nodes per scheduled batch (`None` =
+    /// budget-limited only, the paper's behaviour). `Some(1)` disables the
+    /// single-scan batching entirely.
+    pub max_batch_nodes: Option<usize>,
+    /// Ablation: push the §4.3.1 union filter to the server (`true`, the
+    /// paper's behaviour) or ship everything and filter in the middleware.
+    pub push_filters: bool,
+    /// Ablation: order eligible nodes by smallest estimated counts table
+    /// (Rule 3, `true`) or FIFO.
+    pub rule3_smallest_first: bool,
+    /// Counts-table size estimator (§4.2.1).
+    pub estimator: EstimatorKind,
+    /// Ablation: admit batches by the raw estimator instead of the
+    /// guaranteed upper bound. This is the paper's literal behaviour; at
+    /// scaled-down budgets it triggers §4.1.1 fallback storms (see
+    /// DESIGN.md §8) — measurable via `experiments ablate-admission`.
+    pub admit_by_estimate: bool,
+}
+
+impl Default for MiddlewareConfig {
+    fn default() -> Self {
+        MiddlewareConfig {
+            memory_budget_bytes: 64 * 1024 * 1024,
+            file_policy: FileStagingPolicy::Disabled,
+            memory_caching: true,
+            wire_batch_rows: scaleclass_sqldb::wire::DEFAULT_BATCH_ROWS,
+            staging_dir: None,
+            aux_mode: AuxMode::Off,
+            aux_threshold: 0.10,
+            max_batch_nodes: None,
+            push_filters: true,
+            rule3_smallest_first: true,
+            estimator: EstimatorKind::default(),
+            admit_by_estimate: false,
+        }
+    }
+}
+
+impl MiddlewareConfig {
+    /// Start building a configuration from the defaults.
+    pub fn builder() -> MiddlewareConfigBuilder {
+        MiddlewareConfigBuilder {
+            config: MiddlewareConfig::default(),
+        }
+    }
+}
+
+/// Builder for [`MiddlewareConfig`].
+#[derive(Debug, Clone)]
+pub struct MiddlewareConfigBuilder {
+    config: MiddlewareConfig,
+}
+
+impl MiddlewareConfigBuilder {
+    /// Middleware memory budget in bytes.
+    pub fn memory_budget_bytes(mut self, bytes: u64) -> Self {
+        self.config.memory_budget_bytes = bytes;
+        self
+    }
+
+    /// Middleware memory budget in megabytes (the unit the figures use).
+    pub fn memory_budget_mb(self, mb: f64) -> Self {
+        self.memory_budget_bytes((mb * 1024.0 * 1024.0) as u64)
+    }
+
+    /// File staging policy (Figure 6 configurations).
+    pub fn file_policy(mut self, policy: FileStagingPolicy) -> Self {
+        self.config.file_policy = policy;
+        self
+    }
+
+    /// Enable/disable staging data into middleware memory.
+    pub fn memory_caching(mut self, on: bool) -> Self {
+        self.config.memory_caching = on;
+        self
+    }
+
+    /// Rows per simulated wire round trip (min 1).
+    pub fn wire_batch_rows(mut self, rows: usize) -> Self {
+        self.config.wire_batch_rows = rows.max(1);
+        self
+    }
+
+    /// Directory for staged files (kept on disk; our files are still
+    /// removed on drop).
+    pub fn staging_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.config.staging_dir = Some(dir.into());
+        self
+    }
+
+    /// Auxiliary server-structure mode (§4.3.3 experiment).
+    pub fn aux_mode(mut self, mode: AuxMode) -> Self {
+        self.config.aux_mode = mode;
+        self
+    }
+
+    /// Relevant-fraction threshold below which aux structures are
+    /// built (clamped to `[0, 1]`).
+    pub fn aux_threshold(mut self, threshold: f64) -> Self {
+        self.config.aux_threshold = threshold.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Ablation: cap nodes per scheduled batch.
+    pub fn max_batch_nodes(mut self, cap: Option<usize>) -> Self {
+        self.config.max_batch_nodes = cap.map(|c| c.max(1));
+        self
+    }
+
+    /// Ablation: push the §4.3.1 union filter to the server.
+    pub fn push_filters(mut self, on: bool) -> Self {
+        self.config.push_filters = on;
+        self
+    }
+
+    /// Ablation: Rule 3 smallest-CC-first ordering vs FIFO.
+    pub fn rule3_smallest_first(mut self, on: bool) -> Self {
+        self.config.rule3_smallest_first = on;
+        self
+    }
+
+    /// Counts-table estimator used for Rule 3 ordering.
+    pub fn estimator(mut self, kind: EstimatorKind) -> Self {
+        self.config.estimator = kind;
+        self
+    }
+
+    /// Ablation: admit by raw Est_cc instead of the hard bound.
+    pub fn admit_by_estimate(mut self, on: bool) -> Self {
+        self.config.admit_by_estimate = on;
+        self
+    }
+
+    /// Finish building.
+    pub fn build(self) -> MiddlewareConfig {
+        self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = MiddlewareConfig::default();
+        assert_eq!(c.memory_budget_bytes, 64 << 20);
+        assert!(!c.file_policy.enabled());
+        assert!(c.memory_caching);
+        assert_eq!(c.aux_mode, AuxMode::Off);
+    }
+
+    #[test]
+    fn builder_sets_fields() {
+        let c = MiddlewareConfig::builder()
+            .memory_budget_mb(5.0)
+            .file_policy(FileStagingPolicy::Hybrid {
+                split_threshold: 0.5,
+            })
+            .memory_caching(false)
+            .wire_batch_rows(0)
+            .aux_mode(AuxMode::Keyset)
+            .aux_threshold(2.0)
+            .build();
+        assert_eq!(c.memory_budget_bytes, 5 * 1024 * 1024);
+        assert!(c.file_policy.enabled());
+        assert!(!c.memory_caching);
+        assert_eq!(c.wire_batch_rows, 1, "clamped to at least one row");
+        assert_eq!(c.aux_threshold, 1.0, "clamped to [0,1]");
+    }
+
+    #[test]
+    fn policy_enabled_matrix() {
+        assert!(!FileStagingPolicy::Disabled.enabled());
+        assert!(FileStagingPolicy::PerNode.enabled());
+        assert!(FileStagingPolicy::Singleton.enabled());
+        assert!(FileStagingPolicy::Hybrid {
+            split_threshold: 0.5
+        }
+        .enabled());
+    }
+}

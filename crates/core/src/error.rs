@@ -1,0 +1,71 @@
+//! Middleware error type.
+
+use scaleclass_sqldb::DbError;
+use std::fmt;
+
+/// Errors surfaced by the middleware layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MwError {
+    /// A backend (server) error.
+    Db(DbError),
+    /// A staging-file I/O failure.
+    Staging(String),
+    /// A request referenced an unknown attribute column.
+    BadRequest(String),
+    /// Internal invariant violation (a bug; surfaced rather than panicking).
+    Internal(String),
+}
+
+impl fmt::Display for MwError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MwError::Db(e) => write!(f, "backend error: {e}"),
+            MwError::Staging(msg) => write!(f, "staging error: {msg}"),
+            MwError::BadRequest(msg) => write!(f, "bad request: {msg}"),
+            MwError::Internal(msg) => write!(f, "internal middleware error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MwError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MwError::Db(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DbError> for MwError {
+    fn from(e: DbError) -> Self {
+        MwError::Db(e)
+    }
+}
+
+impl From<std::io::Error> for MwError {
+    fn from(e: std::io::Error) -> Self {
+        MwError::Staging(e.to_string())
+    }
+}
+
+/// Convenience alias.
+pub type MwResult<T> = Result<T, MwError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_db_errors_with_source() {
+        let e: MwError = DbError::UnknownTable("t".into()).into();
+        assert!(e.to_string().contains("unknown table"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn io_errors_become_staging() {
+        let io = std::io::Error::other("disk full");
+        let e: MwError = io.into();
+        assert!(matches!(e, MwError::Staging(ref m) if m.contains("disk full")));
+    }
+}

@@ -1,0 +1,394 @@
+//! The execution module's counting core (§4.1.1).
+//!
+//! Given the scheduler's batch plan, [`BatchCounter`] consumes one stream
+//! of rows (whatever the source) and simultaneously:
+//!
+//! * updates the counts table of every scheduled node whose predicate the
+//!   row satisfies,
+//! * tees matching rows into per-node staging destinations (middleware
+//!   file and/or memory buffers) and into the hybrid split file,
+//! * enforces the middleware memory budget at runtime: when a new counts
+//!   entry cannot be accommodated, that node *dynamically switches to the
+//!   SQL-based implementation* — its partial table is dropped and its
+//!   counts are later fetched lazily via per-attribute GROUP BY queries
+//!   (handled by the middleware after the scan).
+
+use crate::cc::{CountsTable, CC_ENTRY_BYTES};
+use crate::error::MwResult;
+use crate::metrics::MiddlewareStats;
+use crate::request::CcRequest;
+use crate::staging::FileWriter;
+use scaleclass_sqldb::types::{Code, CODE_BYTES};
+use scaleclass_sqldb::Pred;
+use std::collections::HashMap;
+
+/// Counting state for one scheduled node during a scan.
+pub struct NodeCounter {
+    /// The request being served.
+    pub req: CcRequest,
+    /// The counts accumulated so far.
+    pub cc: CountsTable,
+    /// Set when the §4.1.1 runtime fallback fired for this node.
+    pub fallback: bool,
+    /// Staging tee: middleware file.
+    pub file_writer: Option<FileWriter>,
+    /// Staging tee: middleware memory buffer (flat codes).
+    pub mem_buffer: Option<Vec<Code>>,
+}
+
+impl NodeCounter {
+    /// Fresh counting state for one request.
+    pub fn new(req: CcRequest) -> Self {
+        NodeCounter {
+            req,
+            cc: CountsTable::new(),
+            fallback: false,
+            file_writer: None,
+            mem_buffer: None,
+        }
+    }
+}
+
+/// One batch's counting pass.
+pub struct BatchCounter {
+    /// Counting state per scheduled node.
+    pub nodes: Vec<NodeCounter>,
+    /// Hybrid split output: rows matching *any* scheduled node.
+    pub split_writer: Option<FileWriter>,
+    /// Previously staged memory sets that may be evicted under counting
+    /// pressure (`(id, bytes)`, consumed in order). Counting memory always
+    /// outranks cached data: an evicted set costs one extra scan later, a
+    /// fallback costs one SQL query per attribute now.
+    pub evictable: Vec<(u64, u64)>,
+    /// Memory-set ids sacrificed during this scan (the middleware deletes
+    /// them when the batch completes).
+    pub evicted: Vec<u64>,
+    /// Total middleware memory budget in bytes.
+    budget: u64,
+    /// Memory already pinned by previously staged data sets.
+    base_mem_bytes: u64,
+    /// Live counts-table bytes across all nodes in this batch.
+    cc_bytes: u64,
+    /// Bytes accumulated in memory-staging buffers this batch.
+    buffer_bytes: u64,
+    arity: usize,
+    /// Candidate prefilter: nodes whose path predicate contains an `Eq`
+    /// conjunct are bucketed by their *deepest* such atom `(col, value)` —
+    /// a necessary condition for the full predicate, and (being the node's
+    /// own or nearest Eq edge) the most selective one. A row only fully
+    /// evaluates the nodes in its matching buckets plus the few nodes with
+    /// no Eq conjunct at all. This turns the per-row cost from
+    /// O(batch size) to O(matching nodes), which is what makes full-scale
+    /// (multi-MB) scans tractable.
+    dispatch: HashMap<(usize, Code), Vec<usize>>,
+    /// Distinct columns appearing as dispatch keys.
+    dispatch_cols: Vec<usize>,
+    /// Nodes with no Eq conjunct (root, pure-NotEq paths): always checked.
+    undispatched: Vec<usize>,
+}
+
+/// The deepest `Eq` conjunct of a path predicate, if any.
+fn deepest_eq_atom(pred: &Pred) -> Option<(usize, Code)> {
+    match pred {
+        Pred::Eq { col, value } => Some((*col, *value)),
+        Pred::And(children) => children.iter().rev().find_map(deepest_eq_atom),
+        _ => None,
+    }
+}
+
+impl BatchCounter {
+    /// A counting pass over `nodes` against the given budget; `base_mem_bytes`
+    /// is memory already pinned by staged data.
+    pub fn new(nodes: Vec<NodeCounter>, budget: u64, base_mem_bytes: u64, arity: usize) -> Self {
+        let mut dispatch: HashMap<(usize, Code), Vec<usize>> = HashMap::new();
+        let mut undispatched = Vec::new();
+        for (i, node) in nodes.iter().enumerate() {
+            match deepest_eq_atom(node.req.pred()) {
+                Some(key) => dispatch.entry(key).or_default().push(i),
+                None => undispatched.push(i),
+            }
+        }
+        let mut dispatch_cols: Vec<usize> = dispatch.keys().map(|&(c, _)| c).collect();
+        dispatch_cols.sort_unstable();
+        dispatch_cols.dedup();
+        BatchCounter {
+            nodes,
+            split_writer: None,
+            evictable: Vec::new(),
+            evicted: Vec::new(),
+            budget,
+            base_mem_bytes,
+            cc_bytes: 0,
+            buffer_bytes: 0,
+            arity,
+            dispatch,
+            dispatch_cols,
+            undispatched,
+        }
+    }
+
+    /// Current modelled middleware memory use.
+    pub fn memory_in_use(&self) -> u64 {
+        self.base_mem_bytes + self.cc_bytes + self.buffer_bytes
+    }
+
+    /// Feed one row through every scheduled node.
+    pub fn process_row(&mut self, row: &[Code], stats: &mut MiddlewareStats) -> MwResult<()> {
+        debug_assert_eq!(row.len(), self.arity);
+        let row_bytes = (self.arity * CODE_BYTES) as u64;
+        let budget = self.budget;
+        let mut base = self.base_mem_bytes;
+        let mut cc_bytes = self.cc_bytes;
+        let mut buffer_bytes = self.buffer_bytes;
+        let mut any_matched = false;
+
+        // Candidate nodes: the buckets keyed by this row's values on the
+        // dispatch columns, plus the nodes with no Eq conjunct.
+        let mut candidates: Vec<usize> = Vec::with_capacity(8);
+        candidates.extend_from_slice(&self.undispatched);
+        for &col in &self.dispatch_cols {
+            if let Some(idxs) = self.dispatch.get(&(col, row[col])) {
+                candidates.extend_from_slice(idxs);
+            }
+        }
+
+        for idx in candidates {
+            let node = &mut self.nodes[idx];
+            if !node.req.pred().eval(row) {
+                continue;
+            }
+            any_matched = true;
+
+            // Counting (unless this node already fell back to SQL).
+            if !node.fallback {
+                let before = node.cc.entries();
+                node.cc.add_row(row, &node.req.attrs, node.req.class_col);
+                let grew = (node.cc.entries() - before) as u64 * CC_ENTRY_BYTES;
+                cc_bytes += grew;
+                if grew > 0 && base + cc_bytes + buffer_bytes > budget {
+                    // Counting pressure: sacrifice cached data sets first —
+                    // an evicted set costs one extra scan later, a fallback
+                    // costs a SQL query per attribute now.
+                    while base + cc_bytes + buffer_bytes > budget {
+                        let Some((id, bytes)) = self.evictable.pop() else {
+                            break;
+                        };
+                        base = base.saturating_sub(bytes);
+                        self.evicted.push(id);
+                        stats.pressure_evictions += 1;
+                    }
+                }
+                if grew > 0 && base + cc_bytes + buffer_bytes > budget {
+                    // §4.1.1: no new entries can be accommodated — switch
+                    // this node to the SQL-based implementation.
+                    cc_bytes -= node.cc.memory_bytes();
+                    node.cc = CountsTable::new();
+                    node.fallback = true;
+                    stats.sql_fallbacks += 1;
+                }
+            }
+
+            // Staging tees.
+            if let Some(w) = node.file_writer.as_mut() {
+                w.push(row)?;
+            }
+            if let Some(buf) = node.mem_buffer.as_mut() {
+                buf.extend_from_slice(row);
+                buffer_bytes += row_bytes;
+                if base + cc_bytes + buffer_bytes > budget {
+                    // Staging is best-effort: cancel this node's memory
+                    // staging rather than evicting counts.
+                    buffer_bytes -= node
+                        .mem_buffer
+                        .take()
+                        .map_or(0, |b| (b.len() * CODE_BYTES) as u64);
+                }
+            }
+        }
+        self.cc_bytes = cc_bytes;
+        self.buffer_bytes = buffer_bytes;
+        self.base_mem_bytes = base;
+
+        if any_matched {
+            if let Some(w) = self.split_writer.as_mut() {
+                w.push(row)?;
+            }
+        }
+        stats.observe_memory(self.memory_in_use());
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::{Lineage, NodeId};
+    use scaleclass_sqldb::Pred;
+
+    const ARITY: usize = 3; // attrs 0,1 + class 2
+
+    fn request(node: u64, pred: Pred) -> CcRequest {
+        CcRequest {
+            lineage: Lineage::root(NodeId(0)).child(NodeId(node), pred),
+            attrs: vec![0, 1],
+            class_col: 2,
+            rows: 100,
+            parent_rows: 200,
+            parent_cards: vec![4, 4],
+        }
+    }
+
+    fn root_request() -> CcRequest {
+        CcRequest {
+            lineage: Lineage::root(NodeId(0)),
+            attrs: vec![0, 1],
+            class_col: 2,
+            rows: 100,
+            parent_rows: 100,
+            parent_cards: vec![4, 4],
+        }
+    }
+
+    #[test]
+    fn counts_multiple_nodes_in_one_pass() {
+        let a = NodeCounter::new(request(1, Pred::Eq { col: 0, value: 0 }));
+        let b = NodeCounter::new(request(2, Pred::Eq { col: 0, value: 1 }));
+        let mut batch = BatchCounter::new(vec![a, b], u64::MAX, 0, ARITY);
+        let mut stats = MiddlewareStats::new();
+        let rows: &[[Code; 3]] = &[[0, 0, 0], [0, 1, 1], [1, 0, 0], [1, 1, 0], [2, 0, 1]];
+        for r in rows {
+            batch.process_row(r, &mut stats).unwrap();
+        }
+        assert_eq!(batch.nodes[0].cc.total(), 2, "node a=0 saw two rows");
+        assert_eq!(batch.nodes[1].cc.total(), 2, "node a=1 saw two rows");
+        assert_eq!(batch.nodes[0].cc.count(1, 1, 1), 1);
+        assert!(!batch.nodes[0].fallback && !batch.nodes[1].fallback);
+        assert_eq!(stats.sql_fallbacks, 0);
+    }
+
+    #[test]
+    fn overlapping_predicates_count_into_both() {
+        let a = NodeCounter::new(root_request());
+        let b = NodeCounter::new(request(2, Pred::NotEq { col: 0, value: 9 }));
+        let mut batch = BatchCounter::new(vec![a, b], u64::MAX, 0, ARITY);
+        let mut stats = MiddlewareStats::new();
+        batch.process_row(&[1, 1, 0], &mut stats).unwrap();
+        assert_eq!(batch.nodes[0].cc.total(), 1);
+        assert_eq!(batch.nodes[1].cc.total(), 1);
+    }
+
+    #[test]
+    fn budget_overflow_triggers_sql_fallback_for_offending_node() {
+        // Budget: room for ~2 entries; each distinct (attr,value,class)
+        // costs CC_ENTRY_BYTES and every row creates 2 entries at first.
+        let budget = 3 * CC_ENTRY_BYTES;
+        let node = NodeCounter::new(root_request());
+        let mut batch = BatchCounter::new(vec![node], budget, 0, ARITY);
+        let mut stats = MiddlewareStats::new();
+        batch.process_row(&[0, 0, 0], &mut stats).unwrap(); // 2 entries
+        assert!(!batch.nodes[0].fallback);
+        batch.process_row(&[1, 1, 1], &mut stats).unwrap(); // 4 entries → over
+        assert!(batch.nodes[0].fallback);
+        assert_eq!(stats.sql_fallbacks, 1);
+        assert_eq!(batch.nodes[0].cc.entries(), 0, "partial table dropped");
+        assert_eq!(batch.memory_in_use(), 0, "bytes released");
+
+        // Later rows are ignored for counting (SQL will provide them).
+        batch.process_row(&[2, 0, 0], &mut stats).unwrap();
+        assert_eq!(batch.nodes[0].cc.entries(), 0);
+        assert_eq!(stats.sql_fallbacks, 1, "fallback fires once");
+    }
+
+    #[test]
+    fn other_nodes_keep_counting_after_one_falls_back() {
+        // Room for six entries: the wide node alone needs six and the
+        // narrow one two, so exactly one of them hits the ceiling —
+        // which one depends on evaluation order (an implementation detail
+        // of the dispatch prefilter); the other keeps exact counts.
+        let budget = 6 * CC_ENTRY_BYTES;
+        let narrow = NodeCounter::new(request(2, Pred::Eq { col: 0, value: 0 }));
+        let wide = NodeCounter::new(root_request()); // sees everything
+        let mut batch = BatchCounter::new(vec![narrow, wide], budget, 0, ARITY);
+        let mut stats = MiddlewareStats::new();
+        for r in [[0u16, 0, 0], [1, 1, 1], [0, 0, 0], [2, 1, 0]] {
+            batch.process_row(&r, &mut stats).unwrap();
+        }
+        assert_eq!(stats.sql_fallbacks, 1, "exactly one node overflows");
+        let survivor_total: u64 = batch
+            .nodes
+            .iter()
+            .filter(|n| !n.fallback)
+            .map(|n| n.cc.total())
+            .sum();
+        // survivor counted all of its matching rows (narrow: 2; wide: 4)
+        let narrow_survived = !batch.nodes[0].fallback;
+        assert_eq!(survivor_total, if narrow_survived { 2 } else { 4 });
+    }
+
+    #[test]
+    fn dispatch_prefilter_covers_all_predicate_shapes() {
+        // One node per shape: root (True), pure NotEq path, Eq path, deep
+        // And path ending in NotEq — all must count exactly right.
+        let mk = |pred: Pred| NodeCounter::new(request(9, pred));
+        let nodes = vec![
+            NodeCounter::new(root_request()),
+            mk(Pred::NotEq { col: 0, value: 0 }),
+            mk(Pred::Eq { col: 0, value: 1 }),
+            mk(Pred::and(vec![
+                Pred::Eq { col: 0, value: 1 },
+                Pred::NotEq { col: 1, value: 0 },
+            ])),
+        ];
+        let mut batch = BatchCounter::new(nodes, u64::MAX, 0, ARITY);
+        let mut stats = MiddlewareStats::new();
+        let rows: &[[Code; 3]] = &[[0, 0, 0], [1, 0, 1], [1, 1, 0], [2, 1, 1]];
+        for r in rows {
+            batch.process_row(r, &mut stats).unwrap();
+        }
+        assert_eq!(batch.nodes[0].cc.total(), 4, "root sees everything");
+        assert_eq!(batch.nodes[1].cc.total(), 3, "a<>0");
+        assert_eq!(batch.nodes[2].cc.total(), 2, "a=1");
+        assert_eq!(batch.nodes[3].cc.total(), 1, "a=1 AND b<>0");
+    }
+
+    #[test]
+    fn memory_staging_buffer_cancelled_on_overflow() {
+        // Budget allows the CC entries (a repeated row creates exactly two:
+        // one per attribute) plus two buffered rows, not three.
+        let budget = 2 * CC_ENTRY_BYTES + 2 * (ARITY * CODE_BYTES) as u64;
+        let mut node = NodeCounter::new(root_request());
+        node.mem_buffer = Some(Vec::new());
+        let mut batch = BatchCounter::new(vec![node], budget, 0, ARITY);
+        let mut stats = MiddlewareStats::new();
+        batch.process_row(&[0, 0, 0], &mut stats).unwrap();
+        batch.process_row(&[0, 0, 0], &mut stats).unwrap();
+        assert!(batch.nodes[0].mem_buffer.is_some());
+        batch.process_row(&[0, 0, 0], &mut stats).unwrap();
+        assert!(
+            batch.nodes[0].mem_buffer.is_none(),
+            "buffer dropped, counting unaffected"
+        );
+        assert!(!batch.nodes[0].fallback);
+        assert_eq!(batch.nodes[0].cc.total(), 3);
+    }
+
+    #[test]
+    fn base_memory_counts_against_budget() {
+        let budget = 10 * CC_ENTRY_BYTES;
+        let node = NodeCounter::new(root_request());
+        // Previously staged data pins most of the budget.
+        let mut batch = BatchCounter::new(vec![node], budget, 9 * CC_ENTRY_BYTES, ARITY);
+        let mut stats = MiddlewareStats::new();
+        batch.process_row(&[0, 0, 0], &mut stats).unwrap();
+        assert!(batch.nodes[0].fallback, "2 new entries exceed the slack");
+    }
+
+    #[test]
+    fn peak_memory_is_observed() {
+        let node = NodeCounter::new(root_request());
+        let mut batch = BatchCounter::new(vec![node], u64::MAX, 0, ARITY);
+        let mut stats = MiddlewareStats::new();
+        batch.process_row(&[0, 0, 0], &mut stats).unwrap();
+        assert_eq!(stats.peak_memory_bytes, 2 * CC_ENTRY_BYTES);
+    }
+}

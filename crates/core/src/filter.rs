@@ -1,0 +1,91 @@
+//! Server filter generation (§4.3.1).
+//!
+//! "To ensure that each record fetched from the server to the middleware
+//! contributes to one or more of the counts, we generate a filter
+//! expression to be used in the select query … Given nodes n_1 … n_k we
+//! generate the filter expression (S_1 ∨ … ∨ S_k)." This avoids tagging
+//! records with node membership (as SLIQ/SPRINT do) and therefore avoids
+//! any writes to the data table.
+
+use crate::request::CcRequest;
+use scaleclass_sqldb::Pred;
+
+/// The union filter for a batch of scheduled requests.
+pub fn union_filter(requests: &[&CcRequest]) -> Pred {
+    Pred::or(requests.iter().map(|r| r.pred().clone()).collect())
+}
+
+/// A *relative* filter: given that rows already satisfy `base` (e.g. the
+/// predicate of the staged ancestor whose file/memory set we are scanning),
+/// the per-node predicates still need full evaluation — our predicates are
+/// cheap conjunctions, so we do not strip the shared prefix — but the union
+/// can skip nodes whose predicate literally equals the base.
+pub fn residual_union_filter(base: &Pred, requests: &[&CcRequest]) -> Pred {
+    let parts: Vec<Pred> = requests
+        .iter()
+        .map(|r| r.pred())
+        .map(|p| if p == base { Pred::True } else { p.clone() })
+        .collect();
+    Pred::or(parts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::{Lineage, NodeId};
+
+    fn request_with(pred_edges: &[(usize, u16)]) -> CcRequest {
+        let mut lineage = Lineage::root(NodeId(0));
+        for (i, (col, value)) in pred_edges.iter().enumerate() {
+            lineage = lineage.child(
+                NodeId(i as u64 + 1),
+                Pred::Eq {
+                    col: *col,
+                    value: *value,
+                },
+            );
+        }
+        CcRequest {
+            lineage,
+            attrs: vec![0, 1],
+            class_col: 2,
+            rows: 10,
+            parent_rows: 20,
+            parent_cards: vec![2, 2],
+        }
+    }
+
+    #[test]
+    fn union_of_paths() {
+        let a = request_with(&[(0, 1)]);
+        let b = request_with(&[(0, 2), (1, 0)]);
+        let f = union_filter(&[&a, &b]);
+        // rows matching either path pass
+        assert!(f.eval(&[1, 9, 0]));
+        assert!(f.eval(&[2, 0, 0]));
+        assert!(!f.eval(&[2, 1, 0]));
+        assert!(!f.eval(&[3, 0, 0]));
+    }
+
+    #[test]
+    fn union_of_root_is_true() {
+        let root = request_with(&[]);
+        assert_eq!(union_filter(&[&root]), Pred::True);
+    }
+
+    #[test]
+    fn empty_union_is_false() {
+        assert_eq!(union_filter(&[]), Pred::False);
+    }
+
+    #[test]
+    fn residual_collapses_exact_base_match() {
+        let a = request_with(&[(0, 1)]);
+        let base = a.pred().clone();
+        let f = residual_union_filter(&base, &[&a]);
+        assert_eq!(f, Pred::True, "node whose pred equals base needs no filter");
+        let b = request_with(&[(0, 2)]);
+        let g = residual_union_filter(&base, &[&b]);
+        assert_eq!(g, *b.pred());
+    }
+}

@@ -1,0 +1,66 @@
+//! # scaleclass — Scalable Classification over SQL Databases
+//!
+//! A faithful reproduction of the middleware of *Scalable Classification
+//! over SQL Databases* (Chaudhuri, Fayyad & Bernhardt, ICDE 1999).
+//!
+//! The middleware sits between a classification client and a SQL backend
+//! and exploits two observations:
+//!
+//! 1. decision-tree (and Naïve Bayes) construction touches the data only
+//!    to build **CC tables** — counts of `(attribute, value, class)`
+//!    co-occurrences per tree node ([`CountsTable`]);
+//! 2. the CC tables of *many* active nodes can be built in **one scan**,
+//!    and as the tree grows the relevant data shrinks monotonically, so it
+//!    pays to **stage** it from the server to middleware files to
+//!    middleware memory ([`staging`]).
+//!
+//! The [`Middleware`] owns the backend connection and a rule-based
+//! [`scheduler`]; the client queues [`CcRequest`]s and consumes
+//! [`FulfilledCc`] results, synchronously via
+//! [`Middleware::process_next_batch`] or on a separate thread via
+//! [`concurrent::spawn`].
+//!
+//! ## Quick example
+//!
+//! ```
+//! use scaleclass::{Middleware, MiddlewareConfig, NodeId};
+//! use scaleclass_sqldb::{Database, Schema};
+//!
+//! // A tiny table: predict `class` from `a`.
+//! let mut db = Database::new();
+//! db.create_table("d", Schema::from_pairs(&[("a", 4), ("class", 2)])).unwrap();
+//! for i in 0..40u16 {
+//!     db.insert("d", &[i % 4, u16::from(i % 4 >= 2)]).unwrap();
+//! }
+//!
+//! let mut mw = Middleware::new(db, "d", "class", MiddlewareConfig::default()).unwrap();
+//! let root = mw.root_request(NodeId(0));
+//! mw.enqueue(root).unwrap();
+//! let results = mw.process_next_batch().unwrap();
+//! let cc = &results[0].cc;
+//! assert_eq!(cc.total(), 40);
+//! assert_eq!(cc.count(0, 3, 1), 10); // a=3 co-occurs with class=1 ten times
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cc;
+pub mod concurrent;
+pub mod config;
+pub mod error;
+pub mod estimator;
+pub mod executor;
+pub mod filter;
+pub mod metrics;
+pub mod middleware;
+pub mod request;
+pub mod scheduler;
+pub mod sqlgen;
+pub mod staging;
+
+pub use cc::{CountsTable, FulfilledCc, CC_ENTRY_BYTES};
+pub use config::{AuxMode, EstimatorKind, FileStagingPolicy, MiddlewareConfig};
+pub use error::{MwError, MwResult};
+pub use metrics::MiddlewareStats;
+pub use middleware::Middleware;
+pub use request::{CcRequest, DataLocation, Lineage, NodeId};

@@ -1,0 +1,950 @@
+//! The scalable classification middleware (§3–§4).
+//!
+//! [`Middleware`] owns the backend [`Database`] connection, the staging
+//! manager, and the request queue. The client (a decision tree, Naïve
+//! Bayes, …) never sees a data row: it queues [`CcRequest`]s for its
+//! active nodes and consumes [`FulfilledCc`] counts tables, exactly as in
+//! Figure 3 of the paper. Which requests are serviced next — and from
+//! where — is the middleware's decision (the scheduler of §4.2); the
+//! client is free to consume the returned tables in any order.
+
+use crate::cc::{CountsTable, FulfilledCc};
+use crate::config::{AuxMode, MiddlewareConfig};
+use crate::error::{MwError, MwResult};
+use crate::executor::{BatchCounter, NodeCounter};
+use crate::filter::union_filter;
+use crate::metrics::MiddlewareStats;
+use crate::request::{CcRequest, DataLocation, Lineage, NodeId};
+use crate::scheduler::{schedule, BatchPlan};
+use crate::sqlgen::cc_via_sql;
+use crate::staging::StagingManager;
+use scaleclass_sqldb::{Code, Database, KeysetCursor, Pred, Schema, StatsSnapshot};
+
+/// A server-side auxiliary structure (§4.3.3) built for a set of nodes.
+enum AuxKind {
+    /// (a) a temp table holding the relevant subset.
+    Temp(String),
+    /// (b) a TID set fetched through random access.
+    TidSet(String),
+    /// (c) a keyset cursor with stored-procedure residual filtering.
+    Keyset(KeysetCursor),
+}
+
+struct AuxHandle {
+    members: Vec<NodeId>,
+    kind: AuxKind,
+}
+
+/// The middleware execution + scheduling engine for one mining session
+/// (one data table, one class column).
+pub struct Middleware {
+    db: Database,
+    table: String,
+    class_col: u16,
+    attrs: Vec<u16>,
+    nclasses: u64,
+    arity: usize,
+    table_rows: u64,
+    config: MiddlewareConfig,
+    staging: StagingManager,
+    pending: Vec<CcRequest>,
+    stats: MiddlewareStats,
+    aux: Vec<AuxHandle>,
+}
+
+impl Middleware {
+    /// Create a middleware session over `table`, predicting `class_column`.
+    /// Every other column is treated as a (categorical) input attribute.
+    pub fn new(
+        db: Database,
+        table: impl Into<String>,
+        class_column: &str,
+        config: MiddlewareConfig,
+    ) -> MwResult<Self> {
+        let table = table.into();
+        let t = db.table(&table)?;
+        let schema = t.schema();
+        let class_col = schema.column_index(class_column)? as u16;
+        let attrs: Vec<u16> = (0..schema.arity() as u16)
+            .filter(|&c| c != class_col)
+            .collect();
+        let nclasses = u64::from(schema.column(class_col as usize).cardinality());
+        let arity = schema.arity();
+        let table_rows = t.nrows();
+        let staging = StagingManager::new(config.staging_dir.clone())?;
+        Ok(Middleware {
+            db,
+            table,
+            class_col,
+            attrs,
+            nclasses,
+            arity,
+            table_rows,
+            config,
+            staging,
+            pending: Vec::new(),
+            stats: MiddlewareStats::new(),
+            aux: Vec::new(),
+        })
+    }
+
+    /// The session's data schema.
+    pub fn schema(&self) -> &Schema {
+        self.db
+            .table(&self.table)
+            .expect("session table exists")
+            .schema()
+    }
+
+    /// Input attribute columns of the session.
+    pub fn attrs(&self) -> &[u16] {
+        &self.attrs
+    }
+
+    /// The session's table name.
+    pub fn table_name(&self) -> &str {
+        &self.table
+    }
+
+    /// The session's configuration.
+    pub fn config(&self) -> &MiddlewareConfig {
+        &self.config
+    }
+
+    /// Restrict the session's attribute set to a subset (e.g. a random
+    /// subspace for ensemble members). Fails on unknown or class columns,
+    /// or while requests are pending.
+    pub fn restrict_attrs(&mut self, attrs: &[u16]) -> MwResult<()> {
+        if self.has_pending() {
+            return Err(MwError::BadRequest(
+                "cannot restrict attributes with requests pending".into(),
+            ));
+        }
+        if attrs.is_empty() {
+            return Err(MwError::BadRequest("attribute subset is empty".into()));
+        }
+        for &a in attrs {
+            if a as usize >= self.arity || a == self.class_col {
+                return Err(MwError::BadRequest(format!(
+                    "attribute column {a} invalid for this session"
+                )));
+            }
+        }
+        let mut subset = attrs.to_vec();
+        subset.sort_unstable();
+        subset.dedup();
+        self.attrs = subset;
+        Ok(())
+    }
+
+    /// Class column index.
+    pub fn class_col(&self) -> u16 {
+        self.class_col
+    }
+
+    /// Rows in the session table.
+    pub fn table_rows(&self) -> u64 {
+        self.table_rows
+    }
+
+    /// Middleware-side statistics.
+    pub fn stats(&self) -> &MiddlewareStats {
+        &self.stats
+    }
+
+    /// Snapshot of the backend server's statistics.
+    pub fn db_stats(&self) -> StatsSnapshot {
+        self.db.stats().snapshot()
+    }
+
+    /// Borrow the backend (read access for examples and evaluation).
+    pub fn db(&self) -> &Database {
+        &self.db
+    }
+
+    /// Tear down and recover the backend database. Auxiliary server
+    /// structures the session built (§4.3.3 temp tables / TID sets) are
+    /// dropped so no session state leaks into the returned catalog.
+    pub fn into_db(mut self) -> Database {
+        for handle in self.aux.drain(..) {
+            match &handle.kind {
+                AuxKind::Temp(name) => {
+                    let _ = self.db.drop_table(name);
+                }
+                AuxKind::TidSet(name) => {
+                    let _ = self.db.drop_tid_set(name);
+                }
+                AuxKind::Keyset(_) => {}
+            }
+        }
+        self.db
+    }
+
+    /// The bootstrap request for a tree root (§3.1 step 1 of the client
+    /// loop): exact row count from the table, parent cardinalities from the
+    /// schema.
+    pub fn root_request(&self, root: NodeId) -> CcRequest {
+        let schema = self.schema();
+        CcRequest {
+            lineage: Lineage::root(root),
+            attrs: self.attrs.clone(),
+            class_col: self.class_col,
+            rows: self.table_rows,
+            parent_rows: self.table_rows,
+            parent_cards: self
+                .attrs
+                .iter()
+                .map(|&a| u64::from(schema.column(a as usize).cardinality()))
+                .collect(),
+        }
+    }
+
+    /// Queue a counts-table request (client step 1 of Figure 3).
+    pub fn enqueue(&mut self, req: CcRequest) -> MwResult<()> {
+        if req.class_col != self.class_col {
+            return Err(MwError::BadRequest(format!(
+                "request class column {} does not match session column {}",
+                req.class_col, self.class_col
+            )));
+        }
+        if let Some(&bad) = req
+            .attrs
+            .iter()
+            .find(|&&a| a as usize >= self.arity || a == self.class_col)
+        {
+            return Err(MwError::BadRequest(format!(
+                "attribute column {bad} invalid for this session"
+            )));
+        }
+        if req.attrs.len() != req.parent_cards.len() {
+            return Err(MwError::BadRequest(
+                "parent_cards must align with attrs".into(),
+            ));
+        }
+        self.pending.push(req);
+        Ok(())
+    }
+
+    /// Outstanding requests.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Are any requests queued?
+    pub fn has_pending(&self) -> bool {
+        !self.pending.is_empty()
+    }
+
+    /// Service one scheduled batch: pick requests (Rules 1–3), scan once,
+    /// stage data (Rules 4–6), and return the fulfilled counts tables.
+    /// Returns an empty vector when no requests are pending.
+    pub fn process_next_batch(&mut self) -> MwResult<Vec<FulfilledCc>> {
+        // Reclaim datasets and aux structures no pending subtree can use.
+        self.staging
+            .evict_unreachable(&self.pending, &mut self.stats);
+        self.evict_aux();
+
+        let Some(plan) = schedule(
+            &mut self.pending,
+            &self.staging,
+            &self.config,
+            self.nclasses,
+            self.arity,
+        ) else {
+            return Ok(Vec::new());
+        };
+
+        let source = plan.source;
+        // The §4.3.3 threshold is judged on the *whole frontier's* relevant
+        // data (batch + still-queued requests), not this batch alone — the
+        // paper observes the techniques only apply once the active data set
+        // has genuinely shrunk.
+        let frontier_rows = plan.relevant_rows() + self.pending.iter().map(|r| r.rows).sum::<u64>();
+        let batch = self.build_counters(plan)?;
+        let batch = match source {
+            DataLocation::Memory(id) => self.scan_memory(id, batch)?,
+            DataLocation::File(id) => self.scan_file(id, batch)?,
+            DataLocation::Server => self.scan_server(batch, frontier_rows)?,
+        };
+        self.finish_batch(batch, source)
+    }
+
+    /// Drain the queue completely, invoking `consume` for every fulfilled
+    /// request; `consume` may enqueue follow-up requests through the
+    /// returned list (the synchronous client loop of Figure 3).
+    pub fn run_to_completion(
+        &mut self,
+        mut consume: impl FnMut(FulfilledCc) -> Vec<CcRequest>,
+    ) -> MwResult<()> {
+        while self.has_pending() {
+            let fulfilled = self.process_next_batch()?;
+            for f in fulfilled {
+                for follow_up in consume(f) {
+                    self.enqueue(follow_up)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Batch assembly and scanning
+    // ------------------------------------------------------------------
+
+    fn build_counters(&mut self, plan: BatchPlan) -> MwResult<BatchCounter> {
+        let source = plan.source;
+        let split = if plan.split_file {
+            let members = plan.node_ids();
+            let preds: Vec<Pred> = plan.nodes.iter().map(|n| n.req.pred().clone()).collect();
+            Some(
+                self.staging
+                    .start_file(members, Pred::or(preds), self.arity)?,
+            )
+        } else {
+            None
+        };
+        let mut counters = Vec::with_capacity(plan.nodes.len());
+        for sched in plan.nodes {
+            let mut counter = NodeCounter::new(sched.req);
+            if sched.stage_file {
+                let pred = counter.req.pred().clone();
+                counter.file_writer = Some(self.staging.start_file(
+                    vec![counter.req.node()],
+                    pred,
+                    self.arity,
+                )?);
+            }
+            if sched.stage_mem {
+                counter.mem_buffer = Some(Vec::new());
+            }
+            counters.push(counter);
+        }
+        let mut batch = BatchCounter::new(
+            counters,
+            self.config.memory_budget_bytes,
+            self.staging.staged_mem_bytes(),
+            self.arity,
+        );
+        batch.split_writer = split;
+        let source_set = match source {
+            DataLocation::Memory(id) => Some(id),
+            _ => None,
+        };
+        batch.evictable = self.staging.evictable_mem_sets(source_set);
+        Ok(batch)
+    }
+
+    fn scan_memory(&mut self, id: u64, mut batch: BatchCounter) -> MwResult<BatchCounter> {
+        self.stats.memory_scans += 1;
+        let set = self
+            .staging
+            .mem_set(id)
+            .ok_or_else(|| MwError::Internal(format!("scheduled memory set {id} missing")))?;
+        // Split borrows: the row data is read-only; counting mutates only
+        // the batch and the stats.
+        let rows = &set.rows;
+        let arity = self.arity;
+        let mut read = 0u64;
+        for row in rows.chunks_exact(arity) {
+            batch.process_row(row, &mut self.stats)?;
+            read += 1;
+        }
+        self.stats.memory_rows_read += read;
+        Ok(batch)
+    }
+
+    fn scan_file(&mut self, id: u64, mut batch: BatchCounter) -> MwResult<BatchCounter> {
+        self.stats.file_scans += 1;
+        let mut scan = self.staging.open_file(id)?;
+        let row_bytes = scan.row_bytes();
+        let mut row = Vec::with_capacity(self.arity);
+        while scan.next_row(&mut row)? {
+            self.stats.file_rows_read += 1;
+            self.stats.file_bytes_read += row_bytes;
+            batch.process_row(&row, &mut self.stats)?;
+        }
+        Ok(batch)
+    }
+
+    fn scan_server(
+        &mut self,
+        mut batch: BatchCounter,
+        frontier_rows: u64,
+    ) -> MwResult<BatchCounter> {
+        self.stats.server_scans += 1;
+        let filter = union_filter(&batch.nodes.iter().map(|n| &n.req).collect::<Vec<_>>());
+
+        if self.config.aux_mode != AuxMode::Off {
+            // Reuse an existing structure every scheduled node descends
+            // from, or build one when the frontier's relevant fraction is
+            // small.
+            let usable = self.aux.iter().position(|h| {
+                batch
+                    .nodes
+                    .iter()
+                    .all(|n| h.members.iter().any(|&m| n.req.lineage.contains(m)))
+            });
+            let idx = match usable {
+                Some(i) => Some(i),
+                None => {
+                    let fraction = if self.table_rows == 0 {
+                        1.0
+                    } else {
+                        frontier_rows as f64 / self.table_rows as f64
+                    };
+                    if fraction <= self.config.aux_threshold {
+                        Some(self.build_aux(&batch, &filter)?)
+                    } else {
+                        None
+                    }
+                }
+            };
+            if let Some(i) = idx {
+                self.stats.aux_scans += 1;
+                return self.scan_through_aux(i, filter, batch);
+            }
+        }
+
+        // Plain filtered cursor scan — the paper's recommended path. The
+        // filter-pushdown ablation ships everything and filters here.
+        let arity = self.arity;
+        let pushed = if self.config.push_filters {
+            filter
+        } else {
+            Pred::True
+        };
+        let mut cursor = self
+            .db
+            .open_cursor(&self.table, pushed, self.config.wire_batch_rows)?;
+        let mut flat: Vec<Code> = Vec::with_capacity(self.config.wire_batch_rows * arity);
+        loop {
+            flat.clear();
+            if cursor.fetch(&mut flat) == 0 {
+                break;
+            }
+            for row in flat.chunks_exact(arity) {
+                batch.process_row(row, &mut self.stats)?;
+            }
+        }
+        Ok(batch)
+    }
+
+    /// Build the configured §4.3.3 structure for the scheduled nodes,
+    /// recording the server cost of the build separately so experiments can
+    /// report the "idealized" number that neglects it.
+    fn build_aux(&mut self, batch: &BatchCounter, filter: &Pred) -> MwResult<usize> {
+        let members: Vec<NodeId> = batch.nodes.iter().map(|n| n.req.node()).collect();
+        let before = self.db.stats().snapshot();
+        let kind = match self.config.aux_mode {
+            AuxMode::TempTable => AuxKind::Temp(self.db.copy_to_temp(&self.table, filter)?),
+            AuxMode::TidJoin => AuxKind::TidSet(self.db.create_tid_set(&self.table, filter)?),
+            AuxMode::Keyset => AuxKind::Keyset(self.db.open_keyset_cursor(&self.table, filter)?),
+            AuxMode::Off => {
+                return Err(MwError::Internal(
+                    "build_aux called with AuxMode::Off".into(),
+                ))
+            }
+        };
+        let build_cost = self.db.stats().snapshot() - before;
+        self.stats.aux_builds += 1;
+        self.stats.aux_build_cost = self.stats.aux_build_cost + build_cost;
+        self.aux.push(AuxHandle { members, kind });
+        Ok(self.aux.len() - 1)
+    }
+
+    fn scan_through_aux(
+        &mut self,
+        idx: usize,
+        residual: Pred,
+        mut batch: BatchCounter,
+    ) -> MwResult<BatchCounter> {
+        let arity = self.arity;
+        match &self.aux[idx].kind {
+            AuxKind::Temp(name) => {
+                let name = name.clone();
+                let mut cursor =
+                    self.db
+                        .open_cursor(&name, residual, self.config.wire_batch_rows)?;
+                let mut flat: Vec<Code> = Vec::new();
+                loop {
+                    flat.clear();
+                    if cursor.fetch(&mut flat) == 0 {
+                        break;
+                    }
+                    for row in flat.chunks_exact(arity) {
+                        batch.process_row(row, &mut self.stats)?;
+                    }
+                }
+            }
+            AuxKind::TidSet(name) => {
+                let mut flat: Vec<Code> = Vec::new();
+                let n = self.db.tid_scan(name, &residual, &mut flat)?;
+                // The fetched rows cross the wire.
+                let stats = self.db.stats();
+                stats.add_rows_shipped(n as u64);
+                stats.add_bytes_shipped((flat.len() * 2) as u64);
+                stats.add_wire_round_trip();
+                for row in flat.chunks_exact(arity) {
+                    batch.process_row(row, &mut self.stats)?;
+                }
+            }
+            AuxKind::Keyset(cursor) => {
+                let mut flat: Vec<Code> = Vec::new();
+                cursor.scan_filtered(&self.db, &residual, &mut flat)?;
+                for row in flat.chunks_exact(arity) {
+                    batch.process_row(row, &mut self.stats)?;
+                }
+            }
+        }
+        Ok(batch)
+    }
+
+    fn evict_aux(&mut self) {
+        let pending = &self.pending;
+        let mut keep = Vec::with_capacity(self.aux.len());
+        for handle in self.aux.drain(..) {
+            let reachable = handle
+                .members
+                .iter()
+                .any(|&m| pending.iter().any(|r| r.lineage.contains(m)));
+            if reachable {
+                keep.push(handle);
+            } else {
+                match &handle.kind {
+                    AuxKind::Temp(name) => {
+                        let _ = self.db.drop_table(name);
+                    }
+                    AuxKind::TidSet(name) => {
+                        let _ = self.db.drop_tid_set(name);
+                    }
+                    AuxKind::Keyset(_) => {}
+                }
+            }
+        }
+        self.aux = keep;
+    }
+
+    // ------------------------------------------------------------------
+    // Batch completion
+    // ------------------------------------------------------------------
+
+    fn finish_batch(
+        &mut self,
+        batch: BatchCounter,
+        source: DataLocation,
+    ) -> MwResult<Vec<FulfilledCc>> {
+        let BatchCounter {
+            nodes,
+            split_writer,
+            evicted,
+            ..
+        } = batch;
+        // Apply pressure evictions decided during the scan.
+        for id in evicted {
+            self.staging.evict_mem_set(id, &mut self.stats);
+        }
+        if let Some(w) = split_writer {
+            self.staging.commit_file(w, &mut self.stats)?;
+        }
+        let mut out = Vec::with_capacity(nodes.len());
+        for counter in nodes {
+            let NodeCounter {
+                req,
+                cc,
+                fallback,
+                file_writer,
+                mem_buffer,
+            } = counter;
+            if let Some(w) = file_writer {
+                self.staging.commit_file(w, &mut self.stats)?;
+            }
+            if let Some(buf) = mem_buffer {
+                self.staging.commit_mem(
+                    req.node(),
+                    req.pred().clone(),
+                    buf,
+                    self.arity,
+                    &mut self.stats,
+                );
+            }
+            let cc = if fallback {
+                // §4.1.1 dynamic switch: fetch this node's counts through
+                // per-attribute GROUP BY queries.
+                cc_via_sql(&self.db, &self.table, req.pred(), &req.attrs, req.class_col)?
+            } else {
+                cc
+            };
+            self.stats.requests_served += 1;
+            out.push(FulfilledCc {
+                node: req.node(),
+                cc,
+                source,
+                via_sql_fallback: fallback,
+            });
+        }
+        self.stats.rounds += 1;
+        Ok(out)
+    }
+
+    // ------------------------------------------------------------------
+    // Baselines (§2.3) — exposed for the experiments
+    // ------------------------------------------------------------------
+
+    /// Straightforward-SQL baseline: compute a node's counts table with the
+    /// UNION-of-GROUP-BY query (one server scan per attribute).
+    pub fn cc_via_sql_baseline(&self, req: &CcRequest) -> MwResult<CountsTable> {
+        cc_via_sql(&self.db, &self.table, req.pred(), &req.attrs, req.class_col)
+    }
+
+    /// Full-extraction baseline: ship the entire table (or the subset
+    /// matching `pred`) to the client through the wire, as a flat code
+    /// vector. This is §2.3's "extract the data set and load it into the
+    /// client" strategy.
+    pub fn extract_all(&self, pred: Pred) -> MwResult<Vec<Code>> {
+        let mut cursor = self
+            .db
+            .open_cursor(&self.table, pred, self.config.wire_batch_rows)?;
+        let mut out = Vec::new();
+        cursor.fetch_all(&mut out);
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FileStagingPolicy;
+    use scaleclass_sqldb::Schema;
+
+    /// A deterministic table: attrs a (card 4), b (card 3), class (card 2);
+    /// class = 1 iff a >= 2.
+    fn test_db(rows: u16) -> Database {
+        let mut db = Database::new();
+        db.create_table("d", Schema::from_pairs(&[("a", 4), ("b", 3), ("class", 2)]))
+            .unwrap();
+        for i in 0..rows {
+            let a = i % 4;
+            let b = (i / 4) % 3;
+            let c = u16::from(a >= 2);
+            db.insert("d", &[a, b, c]).unwrap();
+        }
+        db
+    }
+
+    fn middleware(rows: u16, config: MiddlewareConfig) -> Middleware {
+        Middleware::new(test_db(rows), "d", "class", config).unwrap()
+    }
+
+    #[test]
+    fn session_setup_derives_attrs_and_classes() {
+        let mw = middleware(40, MiddlewareConfig::default());
+        assert_eq!(mw.attrs(), &[0, 1]);
+        assert_eq!(mw.class_col(), 2);
+        assert_eq!(mw.table_rows(), 40);
+    }
+
+    #[test]
+    fn unknown_class_column_rejected() {
+        let err = Middleware::new(test_db(4), "d", "zzz", MiddlewareConfig::default());
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn root_request_counts_whole_table() {
+        let mut mw = middleware(40, MiddlewareConfig::default());
+        let req = mw.root_request(NodeId(0));
+        assert_eq!(req.rows, 40);
+        assert_eq!(req.parent_cards, vec![4, 3]);
+        mw.enqueue(req).unwrap();
+        let results = mw.process_next_batch().unwrap();
+        assert_eq!(results.len(), 1);
+        let cc = &results[0].cc;
+        assert_eq!(cc.total(), 40);
+        // a is uniform over 4 values: 10 rows each; a>=2 → class 1.
+        assert_eq!(cc.count(0, 0, 0), 10);
+        assert_eq!(cc.count(0, 3, 1), 10);
+        assert_eq!(cc.count(0, 0, 1), 0);
+        assert!(!results[0].via_sql_fallback);
+    }
+
+    #[test]
+    fn enqueue_validation() {
+        let mut mw = middleware(8, MiddlewareConfig::default());
+        let mut bad_class = mw.root_request(NodeId(0));
+        bad_class.class_col = 0;
+        assert!(mw.enqueue(bad_class).is_err());
+
+        let mut bad_attr = mw.root_request(NodeId(0));
+        bad_attr.attrs = vec![2]; // the class column
+        bad_attr.parent_cards = vec![2];
+        assert!(mw.enqueue(bad_attr).is_err());
+
+        let mut misaligned = mw.root_request(NodeId(0));
+        misaligned.parent_cards.pop();
+        assert!(mw.enqueue(misaligned).is_err());
+    }
+
+    #[test]
+    fn batch_of_children_served_in_one_scan() {
+        let mut mw = middleware(80, MiddlewareConfig::default());
+        let root = mw.root_request(NodeId(0));
+        let lineage = root.lineage.clone();
+        // Children a=0..3, as a client would create them after the root CC.
+        for v in 0..4u16 {
+            let child = CcRequest {
+                lineage: lineage.child(NodeId(1 + u64::from(v)), Pred::Eq { col: 0, value: v }),
+                attrs: vec![1],
+                class_col: 2,
+                rows: 20,
+                parent_rows: 80,
+                parent_cards: vec![3],
+            };
+            mw.enqueue(child).unwrap();
+        }
+        let before = mw.db_stats();
+        let results = mw.process_next_batch().unwrap();
+        let delta = mw.db_stats() - before;
+        assert_eq!(results.len(), 4, "all four children in one batch");
+        assert_eq!(delta.seq_scans, 1, "single scan services the whole batch");
+        for r in &results {
+            assert_eq!(r.cc.total(), 20);
+        }
+    }
+
+    #[test]
+    fn memory_staging_eliminates_later_server_scans() {
+        let mut mw = middleware(80, MiddlewareConfig::default()); // caching on, big budget
+        let root = mw.root_request(NodeId(0));
+        let lineage = root.lineage.clone();
+        mw.enqueue(root).unwrap();
+        let r1 = mw.process_next_batch().unwrap();
+        assert_eq!(r1[0].source, DataLocation::Server);
+        assert_eq!(mw.stats().memory_sets_created, 1, "root staged to memory");
+
+        // A child request is served from memory, with zero extra server work.
+        let child = CcRequest {
+            lineage: lineage.child(NodeId(1), Pred::Eq { col: 0, value: 1 }),
+            attrs: vec![1],
+            class_col: 2,
+            rows: 20,
+            parent_rows: 80,
+            parent_cards: vec![3],
+        };
+        mw.enqueue(child).unwrap();
+        let before = mw.db_stats();
+        let r2 = mw.process_next_batch().unwrap();
+        let delta = mw.db_stats() - before;
+        assert!(matches!(r2[0].source, DataLocation::Memory(_)));
+        assert_eq!(r2[0].cc.total(), 20);
+        assert_eq!(delta.seq_scans, 0, "no server scan needed");
+        assert_eq!(delta.rows_shipped, 0);
+    }
+
+    #[test]
+    fn no_caching_means_every_batch_hits_the_server() {
+        let cfg = MiddlewareConfig::builder().memory_caching(false).build();
+        let mut mw = middleware(80, cfg);
+        let root = mw.root_request(NodeId(0));
+        let lineage = root.lineage.clone();
+        mw.enqueue(root).unwrap();
+        mw.process_next_batch().unwrap();
+        assert_eq!(mw.stats().memory_sets_created, 0);
+
+        let child = CcRequest {
+            lineage: lineage.child(NodeId(1), Pred::Eq { col: 0, value: 1 }),
+            attrs: vec![1],
+            class_col: 2,
+            rows: 20,
+            parent_rows: 80,
+            parent_cards: vec![3],
+        };
+        mw.enqueue(child).unwrap();
+        let before = mw.db_stats();
+        let r = mw.process_next_batch().unwrap();
+        assert_eq!(r[0].source, DataLocation::Server);
+        let delta = mw.db_stats() - before;
+        assert_eq!(delta.seq_scans, 1);
+        assert_eq!(delta.rows_shipped, 20, "filter ships only relevant rows");
+    }
+
+    #[test]
+    fn file_staging_roundtrip() {
+        let cfg = MiddlewareConfig::builder()
+            .memory_caching(false)
+            .file_policy(FileStagingPolicy::Singleton)
+            .build();
+        let mut mw = middleware(80, cfg);
+        let root = mw.root_request(NodeId(0));
+        let lineage = root.lineage.clone();
+        mw.enqueue(root).unwrap();
+        mw.process_next_batch().unwrap();
+        assert_eq!(mw.stats().files_created, 1, "singleton file staged");
+        assert_eq!(mw.stats().file_rows_written, 80);
+
+        let child = CcRequest {
+            lineage: lineage.child(NodeId(1), Pred::Eq { col: 0, value: 2 }),
+            attrs: vec![1],
+            class_col: 2,
+            rows: 20,
+            parent_rows: 80,
+            parent_cards: vec![3],
+        };
+        mw.enqueue(child).unwrap();
+        let before = mw.db_stats();
+        let r = mw.process_next_batch().unwrap();
+        let delta = mw.db_stats() - before;
+        assert!(matches!(r[0].source, DataLocation::File(_)));
+        assert_eq!(r[0].cc.total(), 20);
+        assert_eq!(delta.seq_scans, 0, "served from middleware file");
+        assert_eq!(mw.stats().file_scans, 1);
+        assert_eq!(mw.stats().file_rows_read, 80, "whole file scanned");
+    }
+
+    #[test]
+    fn sql_fallback_produces_correct_counts_under_tiny_budget() {
+        let cfg = MiddlewareConfig::builder()
+            .memory_budget_bytes(64) // roomy enough for ~1 entry
+            .memory_caching(false)
+            .build();
+        let mut mw = middleware(80, cfg);
+        mw.enqueue(mw.root_request(NodeId(0))).unwrap();
+        let r = mw.process_next_batch().unwrap();
+        assert!(r[0].via_sql_fallback);
+        assert_eq!(mw.stats().sql_fallbacks, 1);
+        // The SQL-computed CC is still exact.
+        assert_eq!(r[0].cc.total(), 80);
+        assert_eq!(r[0].cc.count(0, 0, 0), 20);
+        assert_eq!(r[0].cc.count(0, 2, 1), 20);
+    }
+
+    #[test]
+    fn run_to_completion_drives_follow_ups() {
+        let mut mw = middleware(80, MiddlewareConfig::default());
+        let root = mw.root_request(NodeId(0));
+        let root_lineage = root.lineage.clone();
+        mw.enqueue(root).unwrap();
+        let mut seen = Vec::new();
+        mw.run_to_completion(|f| {
+            seen.push(f.node);
+            if f.node == NodeId(0) {
+                // expand once
+                vec![CcRequest {
+                    lineage: root_lineage.child(NodeId(1), Pred::Eq { col: 0, value: 0 }),
+                    attrs: vec![1],
+                    class_col: 2,
+                    rows: 20,
+                    parent_rows: 80,
+                    parent_cards: vec![3],
+                }]
+            } else {
+                vec![]
+            }
+        })
+        .unwrap();
+        assert_eq!(seen, vec![NodeId(0), NodeId(1)]);
+        assert!(!mw.has_pending());
+    }
+
+    #[test]
+    fn aux_structure_is_built_once_and_reused() {
+        // Tiny aux threshold = 1.0 so the first qualifying server scan
+        // builds a keyset; later server scans for descendants reuse it.
+        let cfg = MiddlewareConfig::builder()
+            .memory_caching(false)
+            .aux_mode(crate::config::AuxMode::Keyset)
+            .aux_threshold(1.0)
+            .build();
+        let mut mw = middleware(80, cfg);
+        let root = mw.root_request(NodeId(0));
+        let lineage = root.lineage.clone();
+        mw.enqueue(root).unwrap();
+        mw.process_next_batch().unwrap();
+        assert_eq!(mw.stats().aux_builds, 1, "root scan builds the keyset");
+
+        for v in 0..4u16 {
+            mw.enqueue(CcRequest {
+                lineage: lineage.child(NodeId(1 + u64::from(v)), Pred::Eq { col: 0, value: v }),
+                attrs: vec![1],
+                class_col: 2,
+                rows: 20,
+                parent_rows: 80,
+                parent_cards: vec![3],
+            })
+            .unwrap();
+        }
+        let results = mw.process_next_batch().unwrap();
+        assert_eq!(results.len(), 4);
+        assert_eq!(mw.stats().aux_builds, 1, "children reuse the keyset");
+        assert_eq!(mw.stats().aux_scans, 2, "both scans went through it");
+        for r in &results {
+            assert_eq!(r.cc.total(), 20, "keyset scans count correctly");
+        }
+    }
+
+    #[test]
+    fn admit_by_estimate_matches_paper_literal_behaviour() {
+        // With Est_cc admission and a budget sized to the (small) estimate
+        // of many children, all of them are admitted into one batch even
+        // though the hard bound would split them up.
+        let cfg_est = MiddlewareConfig::builder()
+            .memory_budget_bytes(16 * 1024)
+            .memory_caching(false)
+            .admit_by_estimate(true)
+            .build();
+        let cfg_bound = MiddlewareConfig::builder()
+            .memory_budget_bytes(16 * 1024)
+            .memory_caching(false)
+            .build();
+        let run = |cfg: MiddlewareConfig| {
+            let mut mw = middleware(80, cfg);
+            let root = mw.root_request(NodeId(0));
+            let lineage = root.lineage.clone();
+            for v in 0..4u16 {
+                mw.enqueue(CcRequest {
+                    lineage: lineage.child(NodeId(1 + u64::from(v)), Pred::Eq { col: 0, value: v }),
+                    attrs: vec![1],
+                    class_col: 2,
+                    rows: 20,
+                    parent_rows: 80,
+                    parent_cards: vec![3],
+                })
+                .unwrap();
+            }
+            let mut rounds = 0;
+            while mw.has_pending() {
+                mw.process_next_batch().unwrap();
+                rounds += 1;
+            }
+            rounds
+        };
+        // Both finish correctly; est-admission never needs more rounds
+        // than bound-admission on this workload.
+        assert!(run(cfg_est) <= run(cfg_bound));
+    }
+
+    #[test]
+    fn into_db_drops_auxiliary_structures() {
+        let cfg = MiddlewareConfig::builder()
+            .memory_caching(false)
+            .aux_mode(crate::config::AuxMode::TempTable)
+            .aux_threshold(1.0)
+            .build();
+        let mut mw = middleware(40, cfg);
+        mw.enqueue(mw.root_request(NodeId(0))).unwrap();
+        mw.process_next_batch().unwrap();
+        assert_eq!(mw.stats().aux_builds, 1);
+        let db = mw.into_db();
+        let temps: Vec<&str> = db.table_names().filter(|n| n.starts_with('#')).collect();
+        assert!(temps.is_empty(), "leaked temp tables: {temps:?}");
+    }
+
+    #[test]
+    fn extraction_baseline_ships_every_row() {
+        let mw = middleware(80, MiddlewareConfig::default());
+        let before = mw.db_stats();
+        let flat = mw.extract_all(Pred::True).unwrap();
+        let delta = mw.db_stats() - before;
+        assert_eq!(flat.len(), 80 * 3);
+        assert_eq!(delta.rows_shipped, 80);
+    }
+}

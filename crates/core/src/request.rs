@@ -1,0 +1,232 @@
+//! Client requests and node lineage.
+//!
+//! The client's only interface to the data (Figure 3): it queues one
+//! [`CcRequest`] per active tree node and later consumes fulfilled counts
+//! tables. A request carries everything the middleware's estimator needs
+//! (§4.2.1) — the node's *exact* data size (known from the parent's CC
+//! table) and the parent-level attribute cardinalities — plus the node's
+//! [`Lineage`] so the scheduler can find staged data of ancestors.
+
+use scaleclass_sqldb::Pred;
+use std::fmt;
+
+/// Identifier of a client tree node. Allocation is the client's business;
+/// the middleware treats these as opaque.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u64);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Where a node's relevant data currently lives — the `S` / `I` / `L`
+/// prefixes of Figure 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataLocation {
+    /// Must be scanned at the database server.
+    Server,
+    /// Staged in a middleware file (identified by staging-manager id).
+    File(u64),
+    /// Staged in middleware memory (identified by staging-manager id).
+    Memory(u64),
+}
+
+impl DataLocation {
+    /// The paper's one-letter tag (Figure 1).
+    pub fn tag(&self) -> char {
+        match self {
+            DataLocation::Server => 'S',
+            DataLocation::File(_) => 'I',
+            DataLocation::Memory(_) => 'L',
+        }
+    }
+
+    /// Rule 1 priority: higher is scheduled first
+    /// (In-Memory Scan > Middleware File Scan > Server Scan).
+    pub fn priority(&self) -> u8 {
+        match self {
+            DataLocation::Memory(_) => 2,
+            DataLocation::File(_) => 1,
+            DataLocation::Server => 0,
+        }
+    }
+}
+
+impl fmt::Display for DataLocation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataLocation::Server => write!(f, "S"),
+            DataLocation::File(id) => write!(f, "I({id})"),
+            DataLocation::Memory(id) => write!(f, "L({id})"),
+        }
+    }
+}
+
+/// The chain of ancestors from the root down to (and including) a node,
+/// each with its *full path predicate* (the conjunction of edge predicates
+/// from the root, §4.3.1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lineage {
+    entries: Vec<(NodeId, Pred)>,
+}
+
+impl Lineage {
+    /// Lineage of a root node (predicate `TRUE`).
+    pub fn root(node: NodeId) -> Self {
+        Lineage {
+            entries: vec![(node, Pred::True)],
+        }
+    }
+
+    /// Extend with a child: the child's path predicate is this node's
+    /// predicate AND the edge predicate.
+    pub fn child(&self, node: NodeId, edge: Pred) -> Self {
+        let pred = Pred::and(vec![self.pred().clone(), edge]);
+        let mut entries = self.entries.clone();
+        entries.push((node, pred));
+        Lineage { entries }
+    }
+
+    /// The node itself.
+    pub fn node(&self) -> NodeId {
+        self.entries.last().expect("lineage never empty").0
+    }
+
+    /// The node's full path predicate.
+    pub fn pred(&self) -> &Pred {
+        &self.entries.last().expect("lineage never empty").1
+    }
+
+    /// Depth (root = 0).
+    pub fn depth(&self) -> usize {
+        self.entries.len() - 1
+    }
+
+    /// Does this lineage pass through `ancestor` (inclusive of self)?
+    pub fn contains(&self, ancestor: NodeId) -> bool {
+        self.entries.iter().any(|(id, _)| *id == ancestor)
+    }
+
+    /// Ancestors from root to self: `(id, path predicate)` pairs.
+    pub fn entries(&self) -> &[(NodeId, Pred)] {
+        &self.entries
+    }
+
+    /// Path predicate of a specific ancestor, if on this lineage.
+    pub fn pred_of(&self, ancestor: NodeId) -> Option<&Pred> {
+        self.entries
+            .iter()
+            .find(|(id, _)| *id == ancestor)
+            .map(|(_, p)| p)
+    }
+
+    /// The deepest node present in *all* of the given lineages (their least
+    /// common ancestor). `None` when the slice is empty.
+    pub fn common_ancestor(lineages: &[&Lineage]) -> Option<NodeId> {
+        let first = lineages.first()?;
+        let mut lca = None;
+        for (depth, (id, _)) in first.entries.iter().enumerate() {
+            if lineages
+                .iter()
+                .all(|l| l.entries.get(depth).map(|(i, _)| i) == Some(id))
+            {
+                lca = Some(*id);
+            } else {
+                break;
+            }
+        }
+        lca
+    }
+}
+
+/// A request for the counts table of one active node.
+#[derive(Debug, Clone)]
+pub struct CcRequest {
+    /// The node's ancestry and path predicate.
+    pub lineage: Lineage,
+    /// Attribute columns still present at this node (class column excluded).
+    pub attrs: Vec<u16>,
+    /// Class column index.
+    pub class_col: u16,
+    /// Exact number of rows at this node (from the parent's CC table;
+    /// §4.2.1 — "hence memory load requirements are known").
+    pub rows: u64,
+    /// Exact number of rows at the parent.
+    pub parent_rows: u64,
+    /// `card(p_i, A_j)` for each entry of `attrs`: the number of distinct
+    /// values of the attribute observed at the parent.
+    pub parent_cards: Vec<u64>,
+}
+
+impl CcRequest {
+    /// The node this request is for.
+    pub fn node(&self) -> NodeId {
+        self.lineage.node()
+    }
+
+    /// The node's path predicate (the request's WHERE clause).
+    pub fn pred(&self) -> &Pred {
+        self.lineage.pred()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eq(col: usize, value: u16) -> Pred {
+        Pred::Eq { col, value }
+    }
+
+    #[test]
+    fn lineage_accumulates_conjunction() {
+        let root = Lineage::root(NodeId(0));
+        assert_eq!(root.pred(), &Pred::True);
+        assert_eq!(root.depth(), 0);
+        let child = root.child(NodeId(1), eq(0, 2));
+        assert_eq!(child.pred(), &eq(0, 2));
+        let grand = child.child(NodeId(2), eq(1, 0));
+        assert_eq!(grand.depth(), 2);
+        match grand.pred() {
+            Pred::And(terms) => assert_eq!(terms.len(), 2),
+            other => panic!("expected conjunction, got {other}"),
+        }
+        assert!(grand.contains(NodeId(0)));
+        assert!(grand.contains(NodeId(2)));
+        assert!(!grand.contains(NodeId(7)));
+    }
+
+    #[test]
+    fn pred_of_finds_ancestor_predicates() {
+        let l = Lineage::root(NodeId(0))
+            .child(NodeId(1), eq(0, 1))
+            .child(NodeId(2), eq(1, 1));
+        assert_eq!(l.pred_of(NodeId(0)), Some(&Pred::True));
+        assert_eq!(l.pred_of(NodeId(1)), Some(&eq(0, 1)));
+        assert!(l.pred_of(NodeId(9)).is_none());
+    }
+
+    #[test]
+    fn common_ancestor_of_siblings_is_parent() {
+        let root = Lineage::root(NodeId(0));
+        let a = root.child(NodeId(1), eq(0, 0));
+        let b = root.child(NodeId(2), eq(0, 1));
+        let a1 = a.child(NodeId(3), eq(1, 0));
+        assert_eq!(Lineage::common_ancestor(&[&a, &b]), Some(NodeId(0)));
+        assert_eq!(Lineage::common_ancestor(&[&a, &a1]), Some(NodeId(1)));
+        assert_eq!(Lineage::common_ancestor(&[&a1]), Some(NodeId(3)));
+        assert_eq!(Lineage::common_ancestor(&[]), None);
+    }
+
+    #[test]
+    fn location_tags_and_priority() {
+        assert_eq!(DataLocation::Server.tag(), 'S');
+        assert_eq!(DataLocation::File(3).tag(), 'I');
+        assert_eq!(DataLocation::Memory(1).tag(), 'L');
+        assert!(DataLocation::Memory(0).priority() > DataLocation::File(0).priority());
+        assert!(DataLocation::File(0).priority() > DataLocation::Server.priority());
+        assert_eq!(DataLocation::File(3).to_string(), "I(3)");
+    }
+}

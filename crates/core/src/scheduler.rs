@@ -1,0 +1,582 @@
+//! The priority-based scheduler (§4.2).
+//!
+//! Each scheduling round turns the head of the request queue into a
+//! [`BatchPlan`]: one data source plus the set of nodes whose counts tables
+//! a single scan of that source will build, annotated with staging
+//! directives. The paper's rules, implemented literally:
+//!
+//! * **Rule 1** — In-Memory Scan > Middleware File Scan > Server Scan.
+//! * **Rule 2** — nodes scheduled together must share the same in-memory
+//!   data set or the same middleware file. (Server scans batch freely: one
+//!   table scan serves any mix of nodes.)
+//! * **Rule 3** — among eligible nodes, smallest estimated counts table
+//!   first, admitted while the estimates fit the counting budget.
+//! * **Rule 4** — only scheduled nodes qualify for staging.
+//! * **Rule 5** — stage largest data sets first, while they fit.
+//! * **Rule 6** — server → file precedes file → memory: when file staging
+//!   is enabled, data coming from the server is staged to file this round;
+//!   memory staging happens on a later (file-sourced) round. With file
+//!   staging disabled, server → memory staging is direct.
+
+use crate::config::{FileStagingPolicy, MiddlewareConfig};
+use crate::estimator::{data_bytes, est_cc_bytes_kind, est_cc_bytes_upper};
+use crate::request::{CcRequest, DataLocation, Lineage, NodeId};
+use crate::staging::StagingManager;
+
+/// One scheduled node within a batch.
+#[derive(Debug)]
+pub struct ScheduledNode {
+    /// The request to serve.
+    pub req: CcRequest,
+    /// Estimated counts-table footprint (Est_cc, §4.2.1) in bytes.
+    pub est_cc_bytes: u64,
+    /// Write this node's rows to a new middleware file during the scan.
+    pub stage_file: bool,
+    /// Buffer this node's rows into middleware memory during the scan.
+    pub stage_mem: bool,
+}
+
+/// A planned batch: one source, several nodes.
+#[derive(Debug)]
+pub struct BatchPlan {
+    /// Where the batch's rows come from.
+    pub source: DataLocation,
+    /// The scheduled nodes (Rule 3 order).
+    pub nodes: Vec<ScheduledNode>,
+    /// Hybrid-policy split (§4.3.2): while scanning the source file, also
+    /// write one new smaller file holding the union of the scheduled
+    /// nodes' rows, replacing their claim on the big file.
+    pub split_file: bool,
+}
+
+impl BatchPlan {
+    /// Total rows the scheduled nodes will read (relevant data).
+    pub fn relevant_rows(&self) -> u64 {
+        self.nodes.iter().map(|n| n.req.rows).sum()
+    }
+
+    /// Node ids in the batch.
+    pub fn node_ids(&self) -> Vec<NodeId> {
+        self.nodes.iter().map(|n| n.req.node()).collect()
+    }
+
+    /// Least common ancestor of the scheduled nodes.
+    pub fn common_ancestor(&self) -> Option<NodeId> {
+        let lineages: Vec<&Lineage> = self.nodes.iter().map(|n| &n.req.lineage).collect();
+        Lineage::common_ancestor(&lineages)
+    }
+}
+
+/// Produce the next batch plan, removing the scheduled requests from
+/// `pending`. Returns `None` when the queue is empty.
+///
+/// `nclasses` is the cardinality of the class column; `arity` the table
+/// row width in columns.
+pub fn schedule(
+    pending: &mut Vec<CcRequest>,
+    staging: &StagingManager,
+    config: &MiddlewareConfig,
+    nclasses: u64,
+    arity: usize,
+) -> Option<BatchPlan> {
+    if pending.is_empty() {
+        return None;
+    }
+
+    // Resolve each pending request's best source.
+    let locations: Vec<DataLocation> = pending
+        .iter()
+        .map(|r| staging.best_location(&r.lineage))
+        .collect();
+
+    // Rule 1: pick the highest-priority location class present; the group
+    // anchor is the *earliest queued* request of that class (FIFO fairness
+    // between equal-priority datasets).
+    let best_priority = locations
+        .iter()
+        .map(DataLocation::priority)
+        .max()
+        .expect("pending non-empty");
+    let anchor = locations
+        .iter()
+        .position(|l| l.priority() == best_priority)
+        .expect("a request has the best priority");
+    let source = locations[anchor];
+
+    // Rule 2: the group is every pending request resolving to the same
+    // dataset (same id); for the server, every server-bound request.
+    let mut group: Vec<usize> = locations
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| **l == source)
+        .map(|(i, _)| i)
+        .collect();
+
+    // Rule 3: smallest estimated counts table first (the FIFO alternative
+    // exists only for the ablation bench).
+    let est_of = |req: &CcRequest| est_cc_bytes_kind(req, nclasses, config.estimator);
+    if config.rule3_smallest_first {
+        group.sort_by_key(|&i| est_of(&pending[i]));
+    }
+
+    // Admit while the *hard* counts-table bounds fit the counting budget
+    // (total budget minus memory already pinned by staged data); the
+    // selectable Est_cc drives ordering, the guaranteed bound drives
+    // admission (see `est_cc_bytes_upper`). Always admit at least one —
+    // the §4.1.1 runtime fallback handles that degenerate case.
+    let cc_budget = config
+        .memory_budget_bytes
+        .saturating_sub(staging.staged_mem_bytes());
+    let cap = config.max_batch_nodes.unwrap_or(usize::MAX);
+    let mut admitted: Vec<usize> = Vec::new();
+    let mut cc_reserved = 0u64;
+    for &i in &group {
+        if admitted.len() >= cap {
+            break;
+        }
+        let bound = if config.admit_by_estimate {
+            est_of(&pending[i])
+        } else {
+            est_cc_bytes_upper(&pending[i], nclasses)
+        };
+        if admitted.is_empty() || cc_reserved + bound <= cc_budget {
+            cc_reserved += bound;
+            admitted.push(i);
+        }
+    }
+
+    // Extract admitted requests from the queue (preserving queue order of
+    // the remainder).
+    let mut take: Vec<bool> = vec![false; pending.len()];
+    for &i in &admitted {
+        take[i] = true;
+    }
+    let mut scheduled: Vec<ScheduledNode> = Vec::with_capacity(admitted.len());
+    let mut rest: Vec<CcRequest> = Vec::with_capacity(pending.len() - admitted.len());
+    for (i, req) in pending.drain(..).enumerate() {
+        if take[i] {
+            let est = est_cc_bytes_kind(&req, nclasses, config.estimator);
+            scheduled.push(ScheduledNode {
+                req,
+                est_cc_bytes: est,
+                stage_file: false,
+                stage_mem: false,
+            });
+        } else {
+            rest.push(req);
+        }
+    }
+    *pending = rest;
+    // Keep Rule 3 order (smallest CC first) in the plan.
+    scheduled.sort_by_key(|n| n.est_cc_bytes);
+
+    let mut plan = BatchPlan {
+        source,
+        nodes: scheduled,
+        split_file: false,
+    };
+    // Bytes of data the whole frontier (this batch + still-queued
+    // requests) will touch — staging may use the budget aggressively only
+    // when everything left fits.
+    let frontier_bytes = plan
+        .nodes
+        .iter()
+        .map(|n| data_bytes(n.req.rows, arity))
+        .chain(pending.iter().map(|r| data_bytes(r.rows, arity)))
+        .sum::<u64>();
+    decide_staging(
+        &mut plan,
+        staging,
+        config,
+        cc_reserved,
+        frontier_bytes,
+        arity,
+    );
+    Some(plan)
+}
+
+/// Apply Rules 4–6 plus the file-policy specifics to the plan.
+fn decide_staging(
+    plan: &mut BatchPlan,
+    staging: &StagingManager,
+    config: &MiddlewareConfig,
+    cc_reserved: u64,
+    frontier_bytes: u64,
+    arity: usize,
+) {
+    let from_server = plan.source == DataLocation::Server;
+
+    // --- File staging (Rule 6: server→file first). -----------------------
+    match config.file_policy {
+        FileStagingPolicy::Disabled => {}
+        FileStagingPolicy::PerNode => {
+            // Configuration (1): every active node gets its own cache file
+            // (unless one already exists for exactly this node).
+            for node in &mut plan.nodes {
+                let is_mem_source = matches!(plan.source, DataLocation::Memory(_));
+                if !is_mem_source && !staging.has_file_for(node.req.node()) {
+                    node.stage_file = true;
+                }
+            }
+        }
+        FileStagingPolicy::Singleton | FileStagingPolicy::Hybrid { .. } => {
+            // Configurations (2)/(3): a single staging file for the whole
+            // tree, created on the first server scan. Rule 5: the largest
+            // node (in practice the root) is the one staged.
+            if from_server && staging.file_count() == 0 {
+                if let Some(largest) = plan.nodes.iter_mut().max_by_key(|n| n.req.rows) {
+                    largest.stage_file = true;
+                }
+            }
+            // Configuration (3) additionally splits when the scheduled
+            // nodes need less than `split_threshold` of the source file.
+            if let FileStagingPolicy::Hybrid { split_threshold } = config.file_policy {
+                if let DataLocation::File(id) = plan.source {
+                    if let Some(file) = staging.file(id) {
+                        let relevant = plan.relevant_rows() as f64;
+                        if file.nrows > 0 && relevant / file.nrows as f64 > 0.0 {
+                            plan.split_file = relevant / file.nrows as f64 <= split_threshold;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // --- Memory staging (Rules 4–6). --------------------------------------
+    if !config.memory_caching {
+        return;
+    }
+    // Rule 6: with file staging enabled, server-sourced rounds stage to
+    // file only; memory staging waits for a file-sourced round.
+    if config.file_policy.enabled() && from_server {
+        return;
+    }
+    // Data already in middleware memory (an ancestor's set) is never
+    // re-staged: scanning it is already the cheapest access, and copying
+    // subsets would duplicate rows against the budget.
+    if matches!(plan.source, DataLocation::Memory(_)) {
+        return;
+    }
+    // Staging never crowds out counting: (a) the batch's hard counts-table
+    // reservation is honoured, and (b) staged data in total stays below
+    // 3/5 of the budget unless the *whole* remaining frontier fits (a
+    // staged set covering every pending byte ends all rescans, which is
+    // worth the squeeze). Staging is a pure optimization — losing a
+    // staging opportunity costs one extra scan; losing counting memory
+    // costs per-attribute SQL queries.
+    let headroom = config
+        .memory_budget_bytes
+        .saturating_sub(staging.staged_mem_bytes())
+        .saturating_sub(cc_reserved);
+    let cap_slack = (config.memory_budget_bytes * 3 / 5).saturating_sub(staging.staged_mem_bytes());
+    let full_fit = frontier_bytes <= headroom;
+    let mut remaining = if full_fit {
+        headroom
+    } else {
+        headroom.min(cap_slack)
+    };
+    // Rule 5: largest data sets first.
+    let mut order: Vec<usize> = (0..plan.nodes.len()).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(plan.nodes[i].req.rows));
+    for i in order {
+        let node = &mut plan.nodes[i];
+        // Data already fully contained in some ancestor's memory set is
+        // never duplicated.
+        if staging.mem_covers(&node.req.lineage) {
+            continue;
+        }
+        let bytes = data_bytes(node.req.rows, arity);
+        if bytes <= remaining {
+            node.stage_mem = true;
+            remaining -= bytes;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimator::est_cc_bytes;
+    use crate::metrics::MiddlewareStats;
+    use scaleclass_sqldb::Pred;
+
+    const ARITY: usize = 4; // 3 attrs + class
+    const NCLASSES: u64 = 2;
+
+    fn req(id: u64, rows: u64, lineage: Lineage) -> CcRequest {
+        let _ = id;
+        CcRequest {
+            lineage,
+            attrs: vec![0, 1, 2],
+            class_col: 3,
+            rows,
+            parent_rows: 1000,
+            parent_cards: vec![4, 4, 4],
+        }
+    }
+
+    fn root_req(rows: u64) -> CcRequest {
+        let mut r = req(0, rows, Lineage::root(NodeId(0)));
+        r.parent_rows = rows;
+        r
+    }
+
+    fn child_lineage(child: u64, value: u16) -> Lineage {
+        Lineage::root(NodeId(0)).child(NodeId(child), Pred::Eq { col: 0, value })
+    }
+
+    fn config(budget: u64) -> MiddlewareConfig {
+        MiddlewareConfig::builder()
+            .memory_budget_bytes(budget)
+            .memory_caching(false)
+            .build()
+    }
+
+    #[test]
+    fn empty_queue_yields_no_plan() {
+        let staging = StagingManager::new(None).unwrap();
+        let mut q = Vec::new();
+        assert!(schedule(&mut q, &staging, &config(1 << 20), NCLASSES, ARITY).is_none());
+    }
+
+    #[test]
+    fn server_batch_takes_all_requests_when_budget_allows() {
+        let staging = StagingManager::new(None).unwrap();
+        let mut q = vec![
+            req(1, 100, child_lineage(1, 0)),
+            req(2, 300, child_lineage(2, 1)),
+            req(3, 200, child_lineage(3, 2)),
+        ];
+        let plan = schedule(&mut q, &staging, &config(1 << 20), NCLASSES, ARITY).unwrap();
+        assert_eq!(plan.source, DataLocation::Server);
+        assert_eq!(plan.nodes.len(), 3);
+        assert!(q.is_empty());
+        // Rule 3: ordered by estimated CC size ascending = by rows here.
+        let rows: Vec<u64> = plan.nodes.iter().map(|n| n.req.rows).collect();
+        assert_eq!(rows, vec![100, 200, 300]);
+    }
+
+    #[test]
+    fn tight_budget_admits_smallest_first_and_leaves_rest_queued() {
+        let staging = StagingManager::new(None).unwrap();
+        let mut q = vec![
+            req(1, 1000, child_lineage(1, 0)),
+            req(2, 10, child_lineage(2, 1)),
+            req(3, 500, child_lineage(3, 2)),
+        ];
+        // Budget fits roughly one small estimate only.
+        let small_budget = est_cc_bytes(&q[1], NCLASSES) + 1;
+        let plan = schedule(&mut q, &staging, &config(small_budget), NCLASSES, ARITY).unwrap();
+        assert_eq!(plan.nodes.len(), 1);
+        assert_eq!(plan.nodes[0].req.rows, 10, "Rule 3: smallest CC first");
+        assert_eq!(q.len(), 2, "others remain queued");
+    }
+
+    #[test]
+    fn always_admits_at_least_one() {
+        let staging = StagingManager::new(None).unwrap();
+        let mut q = vec![req(1, 1_000_000, child_lineage(1, 0))];
+        let plan = schedule(&mut q, &staging, &config(1), NCLASSES, ARITY).unwrap();
+        assert_eq!(plan.nodes.len(), 1);
+    }
+
+    #[test]
+    fn rule1_memory_group_beats_file_and_server() {
+        let mut staging = StagingManager::new(None).unwrap();
+        let mut stats = MiddlewareStats::new();
+        // Node 1's data in memory; node 2's in a file; node 3 on server.
+        staging.commit_mem(
+            NodeId(1),
+            Pred::Eq { col: 0, value: 0 },
+            vec![0; ARITY * 10],
+            ARITY,
+            &mut stats,
+        );
+        let mut w = staging
+            .start_file(vec![NodeId(2)], Pred::Eq { col: 0, value: 1 }, ARITY)
+            .unwrap();
+        w.push(&[1, 0, 0, 0]).unwrap();
+        staging.commit_file(w, &mut stats).unwrap();
+
+        let mut q = vec![
+            req(3, 50, child_lineage(3, 2)),
+            req(2, 50, child_lineage(2, 1)),
+            req(1, 50, child_lineage(1, 0)),
+        ];
+        let plan = schedule(&mut q, &staging, &config(1 << 20), NCLASSES, ARITY).unwrap();
+        assert!(matches!(plan.source, DataLocation::Memory(_)));
+        assert_eq!(plan.nodes.len(), 1);
+        assert_eq!(plan.nodes[0].req.node(), NodeId(1));
+
+        // Next round: file group.
+        let plan2 = schedule(&mut q, &staging, &config(1 << 20), NCLASSES, ARITY).unwrap();
+        assert!(matches!(plan2.source, DataLocation::File(_)));
+        assert_eq!(plan2.nodes[0].req.node(), NodeId(2));
+
+        // Finally the server scan.
+        let plan3 = schedule(&mut q, &staging, &config(1 << 20), NCLASSES, ARITY).unwrap();
+        assert_eq!(plan3.source, DataLocation::Server);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn rule2_only_same_dataset_nodes_scheduled_together() {
+        let mut staging = StagingManager::new(None).unwrap();
+        let mut stats = MiddlewareStats::new();
+        // Two distinct memory sets.
+        staging.commit_mem(
+            NodeId(1),
+            Pred::Eq { col: 0, value: 0 },
+            vec![0; ARITY * 4],
+            ARITY,
+            &mut stats,
+        );
+        staging.commit_mem(
+            NodeId(2),
+            Pred::Eq { col: 0, value: 1 },
+            vec![0; ARITY * 4],
+            ARITY,
+            &mut stats,
+        );
+        // Two children under node 1, one under node 2.
+        let l1 = child_lineage(1, 0);
+        let l2 = child_lineage(2, 1);
+        let mut q = vec![
+            req(11, 10, l1.child(NodeId(11), Pred::Eq { col: 1, value: 0 })),
+            req(21, 10, l2.child(NodeId(21), Pred::Eq { col: 1, value: 0 })),
+            req(12, 10, l1.child(NodeId(12), Pred::Eq { col: 1, value: 1 })),
+        ];
+        let plan = schedule(&mut q, &staging, &config(1 << 20), NCLASSES, ARITY).unwrap();
+        let ids = plan.node_ids();
+        assert_eq!(ids.len(), 2);
+        assert!(ids.contains(&NodeId(11)) && ids.contains(&NodeId(12)));
+        assert_eq!(q.len(), 1, "node under the other memory set waits");
+    }
+
+    #[test]
+    fn per_node_policy_stages_every_scheduled_node() {
+        let staging = StagingManager::new(None).unwrap();
+        let cfg = MiddlewareConfig::builder()
+            .memory_budget_bytes(1 << 20)
+            .memory_caching(false)
+            .file_policy(FileStagingPolicy::PerNode)
+            .build();
+        let mut q = vec![
+            req(1, 100, child_lineage(1, 0)),
+            req(2, 100, child_lineage(2, 1)),
+        ];
+        let plan = schedule(&mut q, &staging, &cfg, NCLASSES, ARITY).unwrap();
+        assert!(plan.nodes.iter().all(|n| n.stage_file));
+    }
+
+    #[test]
+    fn singleton_policy_stages_only_largest_and_only_once() {
+        let mut staging = StagingManager::new(None).unwrap();
+        let cfg = MiddlewareConfig::builder()
+            .memory_budget_bytes(1 << 20)
+            .memory_caching(false)
+            .file_policy(FileStagingPolicy::Singleton)
+            .build();
+        let mut q = vec![
+            req(1, 100, child_lineage(1, 0)),
+            req(2, 900, child_lineage(2, 1)),
+        ];
+        let plan = schedule(&mut q, &staging, &cfg, NCLASSES, ARITY).unwrap();
+        let staged: Vec<_> = plan.nodes.iter().filter(|n| n.stage_file).collect();
+        assert_eq!(staged.len(), 1);
+        assert_eq!(staged[0].req.rows, 900, "Rule 5: largest first");
+
+        // Once a file exists, no more singleton staging.
+        let mut stats = MiddlewareStats::new();
+        let mut w = staging
+            .start_file(vec![NodeId(2)], Pred::Eq { col: 0, value: 1 }, ARITY)
+            .unwrap();
+        w.push(&[1, 0, 0, 0]).unwrap();
+        staging.commit_file(w, &mut stats).unwrap();
+        let mut q2 = vec![req(3, 50, child_lineage(3, 2))];
+        let plan2 = schedule(&mut q2, &staging, &cfg, NCLASSES, ARITY).unwrap();
+        assert!(plan2.nodes.iter().all(|n| !n.stage_file));
+    }
+
+    #[test]
+    fn hybrid_split_triggers_below_threshold() {
+        let mut staging = StagingManager::new(None).unwrap();
+        let mut stats = MiddlewareStats::new();
+        let mut w = staging
+            .start_file(vec![NodeId(0)], Pred::True, ARITY)
+            .unwrap();
+        for i in 0..100u16 {
+            w.push(&[i % 4, 0, 0, 0]).unwrap();
+        }
+        staging.commit_file(w, &mut stats).unwrap();
+        let cfg = MiddlewareConfig::builder()
+            .memory_budget_bytes(1 << 20)
+            .memory_caching(false)
+            .file_policy(FileStagingPolicy::Hybrid {
+                split_threshold: 0.5,
+            })
+            .build();
+        // Scheduled nodes cover 30 of 100 file rows → split.
+        let mut q = vec![req(1, 30, child_lineage(1, 0))];
+        let plan = schedule(&mut q, &staging, &cfg, NCLASSES, ARITY).unwrap();
+        assert!(matches!(plan.source, DataLocation::File(_)));
+        assert!(plan.split_file);
+
+        // 80 of 100 → no split.
+        let mut q2 = vec![req(2, 80, child_lineage(2, 1))];
+        let plan2 = schedule(&mut q2, &staging, &cfg, NCLASSES, ARITY).unwrap();
+        assert!(!plan2.split_file);
+    }
+
+    #[test]
+    fn memory_staging_respects_budget_and_rule5() {
+        let staging = StagingManager::new(None).unwrap();
+        // Budget: doubled CC reservation + room for exactly the bigger
+        // node's data (the scheduler double-reserves counting memory
+        // before staging).
+        let big = req(1, 100, child_lineage(1, 0));
+        let small = req(2, 40, child_lineage(2, 1));
+        let cc = est_cc_bytes(&big, NCLASSES) + est_cc_bytes(&small, NCLASSES);
+        let budget = 2 * cc + data_bytes(100, ARITY) + data_bytes(40, ARITY) / 2;
+        let cfg = MiddlewareConfig::builder()
+            .memory_budget_bytes(budget)
+            .memory_caching(true)
+            .build();
+        let mut q = vec![big, small];
+        let plan = schedule(&mut q, &staging, &cfg, NCLASSES, ARITY).unwrap();
+        let staged: Vec<u64> = plan
+            .nodes
+            .iter()
+            .filter(|n| n.stage_mem)
+            .map(|n| n.req.rows)
+            .collect();
+        assert_eq!(staged, vec![100], "largest staged, smaller no longer fits");
+    }
+
+    #[test]
+    fn rule6_no_direct_server_to_memory_when_file_staging_enabled() {
+        let staging = StagingManager::new(None).unwrap();
+        let cfg = MiddlewareConfig::builder()
+            .memory_budget_bytes(1 << 30)
+            .memory_caching(true)
+            .file_policy(FileStagingPolicy::Singleton)
+            .build();
+        let mut q = vec![root_req(1000)];
+        let plan = schedule(&mut q, &staging, &cfg, NCLASSES, ARITY).unwrap();
+        assert!(plan.nodes.iter().all(|n| !n.stage_mem));
+        assert!(plan.nodes.iter().any(|n| n.stage_file));
+    }
+
+    #[test]
+    fn direct_server_to_memory_when_file_staging_disabled() {
+        let staging = StagingManager::new(None).unwrap();
+        let cfg = MiddlewareConfig::builder()
+            .memory_budget_bytes(1 << 30)
+            .memory_caching(true)
+            .build();
+        let mut q = vec![root_req(1000)];
+        let plan = schedule(&mut q, &staging, &cfg, NCLASSES, ARITY).unwrap();
+        assert!(plan.nodes[0].stage_mem);
+    }
+}

@@ -1,0 +1,708 @@
+//! Data staging (§4.1.2): middleware files and middleware memory.
+//!
+//! As the tree grows, the relevant data set of the active frontier shrinks
+//! monotonically, so data "smoothly migrates from the SQL server, to the
+//! middleware file system, and to middleware memory". This module owns
+//! those staged copies: binary row files on disk and flat code vectors in
+//! memory, each tagged with the tree node(s) whose data it holds. A dataset
+//! is usable by any *descendant* of a member node (the descendant's
+//! predicate selects the subset), and is reclaimed once no pending request
+//! descends from any member.
+
+use crate::error::{MwError, MwResult};
+use crate::metrics::MiddlewareStats;
+use crate::request::{CcRequest, DataLocation, Lineage, NodeId};
+use scaleclass_sqldb::types::{Code, CODE_BYTES};
+use scaleclass_sqldb::Pred;
+use std::collections::HashMap;
+use std::fs::{self, File};
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static STAGE_DIR_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// A staged middleware file of fixed-width rows.
+///
+/// `members` are the tree nodes whose data the file *fully* contains. A
+/// per-node cache has exactly one member; a split file produced by the
+/// hybrid policy (§4.3.2) contains the union of several scheduled nodes'
+/// rows and lists all of them. The file is usable by any descendant of any
+/// member, and reclaimable once no pending request descends from one.
+#[derive(Debug)]
+pub struct StagedFile {
+    /// Staging-manager id.
+    pub id: u64,
+    /// Nodes whose data the file fully contains.
+    pub members: Vec<NodeId>,
+    /// Disjunction of the members' path predicates (every file row
+    /// satisfies it).
+    pub pred: Pred,
+    /// On-disk location.
+    pub path: PathBuf,
+    /// Number of rows.
+    pub nrows: u64,
+    /// Codes per row.
+    pub arity: usize,
+}
+
+/// A memory-staged data set (flat codes, `nrows × arity`).
+#[derive(Debug)]
+pub struct MemSet {
+    /// Staging-manager id.
+    pub id: u64,
+    /// Tree node whose data this set holds.
+    pub owner: NodeId,
+    /// The owner's path predicate (every row satisfies it).
+    pub pred: Pred,
+    /// Flat row codes (`nrows × arity`).
+    pub rows: Vec<Code>,
+    /// Number of rows.
+    pub nrows: u64,
+    /// Codes per row.
+    pub arity: usize,
+}
+
+impl MemSet {
+    /// Modelled footprint in bytes (`rows × row width`).
+    pub fn bytes(&self) -> u64 {
+        self.nrows * (self.arity * CODE_BYTES) as u64
+    }
+
+    /// Iterate rows.
+    pub fn iter(&self) -> impl Iterator<Item = &[Code]> + '_ {
+        self.rows.chunks_exact(self.arity)
+    }
+}
+
+/// Owns every staged dataset and the node → dataset bookkeeping.
+#[derive(Debug)]
+pub struct StagingManager {
+    dir: PathBuf,
+    owns_dir: bool,
+    next_id: u64,
+    files: HashMap<u64, StagedFile>,
+    mem: HashMap<u64, MemSet>,
+    /// Most recent (smallest) staged file containing each node's data.
+    file_of: HashMap<NodeId, u64>,
+    /// Memory set owned by each node.
+    mem_of: HashMap<NodeId, u64>,
+}
+
+impl StagingManager {
+    /// Create a manager. With `dir = None` a fresh directory is created
+    /// under the system temp dir and removed on drop.
+    pub fn new(dir: Option<PathBuf>) -> MwResult<Self> {
+        let (dir, owns_dir) = match dir {
+            Some(d) => {
+                fs::create_dir_all(&d)?;
+                (d, false)
+            }
+            None => {
+                let d = std::env::temp_dir().join(format!(
+                    "scaleclass-stage-{}-{}",
+                    std::process::id(),
+                    STAGE_DIR_COUNTER.fetch_add(1, Ordering::Relaxed)
+                ));
+                fs::create_dir_all(&d)?;
+                (d, true)
+            }
+        };
+        Ok(StagingManager {
+            dir,
+            owns_dir,
+            next_id: 0,
+            files: HashMap::new(),
+            mem: HashMap::new(),
+            file_of: HashMap::new(),
+            mem_of: HashMap::new(),
+        })
+    }
+
+    /// Where staged files live.
+    pub fn staging_dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn next_id(&mut self) -> u64 {
+        self.next_id += 1;
+        self.next_id
+    }
+
+    /// Total bytes of memory-staged data (counts against the budget).
+    pub fn staged_mem_bytes(&self) -> u64 {
+        self.mem.values().map(MemSet::bytes).sum()
+    }
+
+    /// Staged file by id.
+    pub fn file(&self, id: u64) -> Option<&StagedFile> {
+        self.files.get(&id)
+    }
+
+    /// Memory set by id.
+    pub fn mem_set(&self, id: u64) -> Option<&MemSet> {
+        self.mem.get(&id)
+    }
+
+    /// Live staged files.
+    pub fn file_count(&self) -> usize {
+        self.files.len()
+    }
+
+    /// Live memory sets.
+    pub fn mem_count(&self) -> usize {
+        self.mem.len()
+    }
+
+    /// Does a staged file already contain this node's data?
+    pub fn has_file_for(&self, node: NodeId) -> bool {
+        self.file_of.contains_key(&node)
+    }
+
+    /// Does `node` own a memory set?
+    pub fn owns_mem(&self, node: NodeId) -> bool {
+        self.mem_of.contains_key(&node)
+    }
+
+    /// Begin writing a staged file whose content will be the union of the
+    /// rows of `members` (predicate `pred`). Rows are appended through the
+    /// returned writer; call [`StagingManager::commit_file`] to register it.
+    pub fn start_file(
+        &mut self,
+        members: Vec<NodeId>,
+        pred: Pred,
+        arity: usize,
+    ) -> MwResult<FileWriter> {
+        debug_assert!(!members.is_empty());
+        let id = self.next_id();
+        let path = self.dir.join(format!("stage_{id}.rows"));
+        let file = File::create(&path)?;
+        Ok(FileWriter {
+            id,
+            members,
+            pred,
+            path,
+            arity,
+            nrows: 0,
+            bytes: 0,
+            out: BufWriter::new(file),
+        })
+    }
+
+    /// Register a finished staged file. Each member is re-pointed at the
+    /// new (smaller) file; a previous file that loses its last member is
+    /// deleted — this is exactly the §4.3.2 "creating a smaller middleware
+    /// file" operation.
+    pub fn commit_file(
+        &mut self,
+        writer: FileWriter,
+        stats: &mut MiddlewareStats,
+    ) -> MwResult<u64> {
+        let FileWriter {
+            id,
+            members,
+            pred,
+            path,
+            arity,
+            nrows,
+            bytes,
+            mut out,
+        } = writer;
+        out.flush()?;
+        drop(out);
+        stats.files_created += 1;
+        stats.file_rows_written += nrows;
+        stats.file_bytes_written += bytes;
+        for &m in &members {
+            if let Some(old_id) = self.file_of.insert(m, id) {
+                let emptied = {
+                    let old = self
+                        .files
+                        .get_mut(&old_id)
+                        .expect("file_of points at a live file");
+                    old.members.retain(|&x| x != m);
+                    old.members.is_empty()
+                };
+                if emptied {
+                    self.delete_file(old_id, stats);
+                }
+            }
+        }
+        self.files.insert(
+            id,
+            StagedFile {
+                id,
+                members,
+                pred,
+                path,
+                nrows,
+                arity,
+            },
+        );
+        Ok(id)
+    }
+
+    /// Abandon an in-progress staged file (e.g. the scan failed).
+    pub fn abort_file(&mut self, writer: FileWriter) {
+        let _ = fs::remove_file(&writer.path);
+    }
+
+    /// Register a memory-staged data set for `owner`, replacing any
+    /// previous one the node owned.
+    pub fn commit_mem(
+        &mut self,
+        owner: NodeId,
+        pred: Pred,
+        rows: Vec<Code>,
+        arity: usize,
+        stats: &mut MiddlewareStats,
+    ) -> u64 {
+        let id = self.next_id();
+        let nrows = (rows.len() / arity.max(1)) as u64;
+        stats.memory_sets_created += 1;
+        stats.memory_rows_staged += nrows;
+        if let Some(old) = self.mem_of.remove(&owner) {
+            self.delete_mem(old, stats);
+        }
+        self.mem_of.insert(owner, id);
+        self.mem.insert(
+            id,
+            MemSet {
+                id,
+                owner,
+                pred,
+                rows,
+                nrows,
+                arity,
+            },
+        );
+        id
+    }
+
+    fn delete_file(&mut self, id: u64, stats: &mut MiddlewareStats) {
+        if let Some(f) = self.files.remove(&id) {
+            let _ = fs::remove_file(&f.path);
+            for m in &f.members {
+                if self.file_of.get(m) == Some(&id) {
+                    self.file_of.remove(m);
+                }
+            }
+            stats.files_deleted += 1;
+        }
+    }
+
+    fn delete_mem(&mut self, id: u64, stats: &mut MiddlewareStats) {
+        if let Some(m) = self.mem.remove(&id) {
+            if self.mem_of.get(&m.owner) == Some(&id) {
+                self.mem_of.remove(&m.owner);
+            }
+            stats.memory_sets_evicted += 1;
+        }
+    }
+
+    /// Open a staged file for reading.
+    pub fn open_file(&self, id: u64) -> MwResult<FileScan> {
+        let f = self
+            .files
+            .get(&id)
+            .ok_or_else(|| MwError::Internal(format!("no staged file {id}")))?;
+        FileScan::open(&f.path, f.arity)
+    }
+
+    /// The cheapest staged dataset usable by a node: walk its lineage and
+    /// pick the candidate (memory or file, any ancestor) with the fewest
+    /// rows; memory wins ties (Rule 1's cost ordering).
+    pub fn best_location(&self, lineage: &Lineage) -> DataLocation {
+        let mut best: Option<(u64, u8, DataLocation)> = None; // (rows, prio, loc)
+        let mut consider = |rows: u64, prio: u8, loc: DataLocation| {
+            let better = match &best {
+                None => true,
+                Some((brows, bprio, _)) => {
+                    (rows, std::cmp::Reverse(prio)) < (*brows, std::cmp::Reverse(*bprio))
+                }
+            };
+            if better {
+                best = Some((rows, prio, loc));
+            }
+        };
+        for (node, _) in lineage.entries() {
+            if let Some(&id) = self.mem_of.get(node) {
+                consider(self.mem[&id].nrows, 2, DataLocation::Memory(id));
+            }
+            if let Some(&id) = self.file_of.get(node) {
+                consider(self.files[&id].nrows, 1, DataLocation::File(id));
+            }
+        }
+        best.map(|(_, _, loc)| loc).unwrap_or(DataLocation::Server)
+    }
+
+    /// Memory sets that may be sacrificed under counting pressure:
+    /// `(id, bytes)` ascending by size — consumers pop from the back, so
+    /// the largest (most memory freed per eviction) goes first — excluding
+    /// `exclude` (the current scan's source must survive the scan).
+    pub fn evictable_mem_sets(&self, exclude: Option<u64>) -> Vec<(u64, u64)> {
+        let mut sets: Vec<(u64, u64)> = self
+            .mem
+            .values()
+            .filter(|m| Some(m.id) != exclude)
+            .map(|m| (m.id, m.bytes()))
+            .collect();
+        sets.sort_by_key(|&(id, bytes)| (bytes, id));
+        sets
+    }
+
+    /// Drop one memory set by id (pressure eviction).
+    pub fn evict_mem_set(&mut self, id: u64, stats: &mut MiddlewareStats) {
+        self.delete_mem(id, stats);
+    }
+
+    /// Is some ancestor-or-self of this lineage already memory-staged
+    /// (i.e. the node's data is fully contained in middleware memory)?
+    pub fn mem_covers(&self, lineage: &Lineage) -> bool {
+        lineage
+            .entries()
+            .iter()
+            .any(|(node, _)| self.mem_of.contains_key(node))
+    }
+
+    /// Reclaim every dataset none of whose members is an ancestor-or-self
+    /// of any pending request (§4.2.2: once a staged subtree is fully
+    /// expanded its data is flushed, "freeing up the resource").
+    pub fn evict_unreachable(&mut self, pending: &[CcRequest], stats: &mut MiddlewareStats) {
+        let reachable = |node: NodeId| pending.iter().any(|r| r.lineage.contains(node));
+        let dead_files: Vec<u64> = self
+            .files
+            .values()
+            .filter(|f| !f.members.iter().any(|&m| reachable(m)))
+            .map(|f| f.id)
+            .collect();
+        for id in dead_files {
+            self.delete_file(id, stats);
+        }
+        let dead_mem: Vec<u64> = self
+            .mem
+            .values()
+            .filter(|m| !reachable(m.owner))
+            .map(|m| m.id)
+            .collect();
+        for id in dead_mem {
+            self.delete_mem(id, stats);
+        }
+    }
+}
+
+impl Drop for StagingManager {
+    fn drop(&mut self) {
+        if self.owns_dir {
+            let _ = fs::remove_dir_all(&self.dir);
+        } else {
+            // Leave the user's directory, remove only our files.
+            for f in self.files.values() {
+                let _ = fs::remove_file(&f.path);
+            }
+        }
+    }
+}
+
+/// Incremental writer for one staged file.
+#[derive(Debug)]
+pub struct FileWriter {
+    id: u64,
+    members: Vec<NodeId>,
+    pred: Pred,
+    path: PathBuf,
+    arity: usize,
+    nrows: u64,
+    bytes: u64,
+    out: BufWriter<File>,
+}
+
+impl FileWriter {
+    /// Append one row.
+    pub fn push(&mut self, row: &[Code]) -> MwResult<()> {
+        debug_assert_eq!(row.len(), self.arity);
+        for &code in row {
+            self.out.write_all(&code.to_le_bytes())?;
+        }
+        self.nrows += 1;
+        self.bytes += (self.arity * CODE_BYTES) as u64;
+        Ok(())
+    }
+
+    /// Rows written so far.
+    pub fn nrows(&self) -> u64 {
+        self.nrows
+    }
+
+    /// Nodes whose data this file will fully contain.
+    pub fn members(&self) -> &[NodeId] {
+        &self.members
+    }
+
+    /// Predicate selecting the rows this file should hold.
+    pub fn pred(&self) -> &Pred {
+        &self.pred
+    }
+}
+
+/// Streaming reader over a staged file (fixed 64 KiB buffer — staged files
+/// are scanned, never loaded, so middleware memory stays honest).
+pub struct FileScan {
+    reader: BufReader<File>,
+    arity: usize,
+    row_buf: Vec<u8>,
+}
+
+impl FileScan {
+    fn open(path: &Path, arity: usize) -> MwResult<Self> {
+        let file = File::open(path)?;
+        Ok(FileScan {
+            reader: BufReader::with_capacity(64 * 1024, file),
+            arity,
+            row_buf: vec![0u8; arity * CODE_BYTES],
+        })
+    }
+
+    /// Read the next row into `out` (cleared first). Returns `false` at EOF.
+    pub fn next_row(&mut self, out: &mut Vec<Code>) -> MwResult<bool> {
+        match self.reader.read_exact(&mut self.row_buf) {
+            Ok(()) => {
+                out.clear();
+                out.extend(
+                    self.row_buf
+                        .chunks_exact(CODE_BYTES)
+                        .map(|b| Code::from_le_bytes([b[0], b[1]])),
+                );
+                Ok(true)
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => Ok(false),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Bytes per row (for I/O accounting).
+    pub fn row_bytes(&self) -> u64 {
+        (self.arity * CODE_BYTES) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mgr() -> StagingManager {
+        StagingManager::new(None).unwrap()
+    }
+
+    fn lineage_chain() -> (Lineage, Lineage, Lineage) {
+        let root = Lineage::root(NodeId(0));
+        let child = root.child(NodeId(1), Pred::Eq { col: 0, value: 1 });
+        let grand = child.child(NodeId(2), Pred::Eq { col: 1, value: 0 });
+        (root, child, grand)
+    }
+
+    fn dummy_request(lineage: Lineage) -> CcRequest {
+        CcRequest {
+            lineage,
+            attrs: vec![0, 1],
+            class_col: 2,
+            rows: 1,
+            parent_rows: 1,
+            parent_cards: vec![1, 1],
+        }
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let mut m = mgr();
+        let mut stats = MiddlewareStats::new();
+        let mut w = m.start_file(vec![NodeId(0)], Pred::True, 3).unwrap();
+        w.push(&[1, 2, 3]).unwrap();
+        w.push(&[4, 5, 6]).unwrap();
+        let id = m.commit_file(w, &mut stats).unwrap();
+        assert_eq!(m.file(id).unwrap().nrows, 2);
+        assert_eq!(stats.files_created, 1);
+        assert_eq!(stats.file_rows_written, 2);
+
+        let mut scan = m.open_file(id).unwrap();
+        let mut row = Vec::new();
+        assert!(scan.next_row(&mut row).unwrap());
+        assert_eq!(row, vec![1, 2, 3]);
+        assert!(scan.next_row(&mut row).unwrap());
+        assert_eq!(row, vec![4, 5, 6]);
+        assert!(!scan.next_row(&mut row).unwrap());
+    }
+
+    #[test]
+    fn mem_set_round_trip_and_bytes() {
+        let mut m = mgr();
+        let mut stats = MiddlewareStats::new();
+        let id = m.commit_mem(NodeId(1), Pred::True, vec![1, 2, 3, 4], 2, &mut stats);
+        let set = m.mem_set(id).unwrap();
+        assert_eq!(set.nrows, 2);
+        assert_eq!(set.bytes(), 8);
+        assert_eq!(set.iter().count(), 2);
+        assert_eq!(m.staged_mem_bytes(), 8);
+        assert_eq!(stats.memory_rows_staged, 2);
+    }
+
+    #[test]
+    fn best_location_prefers_smallest_then_memory() {
+        let mut m = mgr();
+        let mut stats = MiddlewareStats::new();
+        let (root, child, grand) = lineage_chain();
+
+        assert_eq!(m.best_location(&grand), DataLocation::Server);
+
+        // Stage a large file at root.
+        let mut w = m.start_file(vec![NodeId(0)], Pred::True, 2).unwrap();
+        for i in 0..100u16 {
+            w.push(&[i, 0]).unwrap();
+        }
+        let file_id = m.commit_file(w, &mut stats).unwrap();
+        assert_eq!(m.best_location(&grand), DataLocation::File(file_id));
+        assert_eq!(m.best_location(&root), DataLocation::File(file_id));
+
+        // Stage a smaller memory set at the child → preferred for
+        // descendants of the child, not for the root itself.
+        let mem_id = m.commit_mem(NodeId(1), child.pred().clone(), vec![1; 40], 2, &mut stats);
+        assert_eq!(m.best_location(&grand), DataLocation::Memory(mem_id));
+        assert_eq!(m.best_location(&child), DataLocation::Memory(mem_id));
+        assert_eq!(m.best_location(&root), DataLocation::File(file_id));
+    }
+
+    #[test]
+    fn memory_wins_ties_at_equal_size() {
+        let mut m = mgr();
+        let mut stats = MiddlewareStats::new();
+        let (root, ..) = lineage_chain();
+        let mut w = m.start_file(vec![NodeId(0)], Pred::True, 2).unwrap();
+        w.push(&[1, 1]).unwrap();
+        let _file = m.commit_file(w, &mut stats).unwrap();
+        let mem = m.commit_mem(NodeId(0), Pred::True, vec![1, 1], 2, &mut stats);
+        assert_eq!(m.best_location(&root), DataLocation::Memory(mem));
+    }
+
+    #[test]
+    fn eviction_reclaims_unreachable_datasets() {
+        let mut m = mgr();
+        let mut stats = MiddlewareStats::new();
+        let (_root, child, grand) = lineage_chain();
+
+        let mut w = m
+            .start_file(vec![NodeId(1)], child.pred().clone(), 2)
+            .unwrap();
+        w.push(&[1, 0]).unwrap();
+        m.commit_file(w, &mut stats).unwrap();
+        m.commit_mem(NodeId(2), grand.pred().clone(), vec![1, 0], 2, &mut stats);
+        assert_eq!(m.file_count(), 1);
+        assert_eq!(m.mem_count(), 1);
+
+        // A pending request under the grandchild keeps both alive (its
+        // lineage passes through nodes 1 and 2).
+        let pending = vec![dummy_request(
+            grand.child(NodeId(5), Pred::Eq { col: 0, value: 0 }),
+        )];
+        m.evict_unreachable(&pending, &mut stats);
+        assert_eq!(m.file_count(), 1);
+        assert_eq!(m.mem_count(), 1);
+
+        // A pending request in a different subtree frees everything.
+        let other = vec![dummy_request(
+            Lineage::root(NodeId(0)).child(NodeId(9), Pred::Eq { col: 0, value: 3 }),
+        )];
+        m.evict_unreachable(&other, &mut stats);
+        assert_eq!(m.file_count(), 0);
+        assert_eq!(m.mem_count(), 0);
+        assert_eq!(stats.files_deleted, 1);
+        assert_eq!(stats.memory_sets_evicted, 1);
+    }
+
+    #[test]
+    fn split_file_remaps_members_and_reclaims_emptied_files() {
+        let mut m = mgr();
+        let mut stats = MiddlewareStats::new();
+        // One big file holding data of nodes 1 and 2.
+        let mut w = m
+            .start_file(vec![NodeId(1), NodeId(2)], Pred::True, 2)
+            .unwrap();
+        for i in 0..10u16 {
+            w.push(&[i, 0]).unwrap();
+        }
+        let big = m.commit_file(w, &mut stats).unwrap();
+
+        // Split: node 1 gets its own smaller file; the big file survives
+        // because node 2 still points at it.
+        let mut w1 = m
+            .start_file(vec![NodeId(1)], Pred::Eq { col: 0, value: 1 }, 2)
+            .unwrap();
+        w1.push(&[1, 0]).unwrap();
+        let small = m.commit_file(w1, &mut stats).unwrap();
+        assert!(m.file(big).is_some());
+        assert_eq!(m.file(big).unwrap().members, vec![NodeId(2)]);
+        let l1 = Lineage::root(NodeId(1));
+        assert_eq!(m.best_location(&l1), DataLocation::File(small));
+
+        // Re-pointing node 2 as well empties and deletes the big file.
+        let mut w2 = m
+            .start_file(vec![NodeId(2)], Pred::Eq { col: 0, value: 2 }, 2)
+            .unwrap();
+        w2.push(&[2, 0]).unwrap();
+        m.commit_file(w2, &mut stats).unwrap();
+        assert!(m.file(big).is_none(), "emptied file reclaimed");
+        assert_eq!(stats.files_deleted, 1);
+        assert_eq!(m.file_count(), 2);
+    }
+
+    #[test]
+    fn recommit_replaces_solely_owned_dataset() {
+        let mut m = mgr();
+        let mut stats = MiddlewareStats::new();
+        let mut w1 = m.start_file(vec![NodeId(1)], Pred::True, 2).unwrap();
+        for i in 0..10u16 {
+            w1.push(&[i, 0]).unwrap();
+        }
+        let id1 = m.commit_file(w1, &mut stats).unwrap();
+        let mut w2 = m.start_file(vec![NodeId(1)], Pred::True, 2).unwrap();
+        w2.push(&[0, 0]).unwrap();
+        let id2 = m.commit_file(w2, &mut stats).unwrap();
+        assert_ne!(id1, id2);
+        assert!(m.file(id1).is_none(), "old file reclaimed");
+        assert_eq!(m.file(id2).unwrap().nrows, 1);
+        assert_eq!(m.file_count(), 1);
+        assert_eq!(stats.files_deleted, 1);
+
+        // Memory sets replace the same way.
+        let m1 = m.commit_mem(NodeId(1), Pred::True, vec![1, 1, 2, 2], 2, &mut stats);
+        let m2 = m.commit_mem(NodeId(1), Pred::True, vec![3, 3], 2, &mut stats);
+        assert!(m.mem_set(m1).is_none());
+        assert_eq!(m.mem_set(m2).unwrap().nrows, 1);
+        assert_eq!(m.staged_mem_bytes(), 4);
+    }
+
+    #[test]
+    fn abort_file_removes_partial_output() {
+        let mut m = mgr();
+        let mut w = m.start_file(vec![NodeId(0)], Pred::True, 1).unwrap();
+        w.push(&[7]).unwrap();
+        let path = w.path.clone();
+        m.abort_file(w);
+        assert!(!path.exists());
+        assert_eq!(m.file_count(), 0);
+    }
+
+    #[test]
+    fn staging_dir_cleanup_on_drop() {
+        let dir;
+        {
+            let mut m = mgr();
+            dir = m.staging_dir().to_path_buf();
+            let mut stats = MiddlewareStats::new();
+            let mut w = m.start_file(vec![NodeId(0)], Pred::True, 1).unwrap();
+            w.push(&[7]).unwrap();
+            m.commit_file(w, &mut stats).unwrap();
+            assert!(dir.exists());
+        }
+        assert!(!dir.exists(), "owned temp dir removed on drop");
+    }
+}

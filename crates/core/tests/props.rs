@@ -1,0 +1,223 @@
+//! Property tests for the middleware's estimators, scheduler, and
+//! counting engine.
+
+use proptest::prelude::*;
+use scaleclass::estimator::{est_cc_bytes_upper, est_cc_entries};
+use scaleclass::scheduler::schedule;
+use scaleclass::staging::StagingManager;
+use scaleclass::{
+    CcRequest, CountsTable, DataLocation, Lineage, Middleware, MiddlewareConfig, MiddlewareStats,
+    NodeId, CC_ENTRY_BYTES,
+};
+use scaleclass_sqldb::{Code, Database, Pred, Schema};
+
+/// Arbitrary flat data over a fixed 3-attr + class schema.
+fn rows_strategy() -> impl Strategy<Value = Vec<[Code; 4]>> {
+    prop::collection::vec(
+        (0u16..4, 0u16..3, 0u16..5, 0u16..2).prop_map(|(a, b, c, k)| [a, b, c, k]),
+        1..200,
+    )
+}
+
+fn schema() -> Schema {
+    Schema::from_pairs(&[("a", 4), ("b", 3), ("c", 5), ("class", 2)])
+}
+
+fn request_for(rows: &[[Code; 4]], node: u64, pred: Pred) -> CcRequest {
+    let matching = rows.iter().filter(|r| pred.eval(&r[..])).count() as u64;
+    CcRequest {
+        lineage: Lineage::root(NodeId(0)).child(NodeId(node), pred),
+        attrs: vec![0, 1, 2],
+        class_col: 3,
+        rows: matching,
+        parent_rows: rows.len() as u64,
+        parent_cards: vec![4, 3, 5],
+    }
+}
+
+proptest! {
+    /// SAFETY PROPERTY: the admission bound really bounds the counts
+    /// table a node can ever produce.
+    #[test]
+    fn upper_bound_dominates_actual_cc(rows in rows_strategy(), value in 0u16..4) {
+        let pred = Pred::Eq { col: 0, value };
+        let req = request_for(&rows, 1, pred.clone());
+        let mut cc = CountsTable::new();
+        for r in &rows {
+            if pred.eval(&r[..]) {
+                cc.add_row(&r[..], &req.attrs, req.class_col);
+            }
+        }
+        prop_assert!(
+            cc.memory_bytes() <= est_cc_bytes_upper(&req, 2),
+            "actual {} > bound {}",
+            cc.memory_bytes(),
+            est_cc_bytes_upper(&req, 2)
+        );
+    }
+
+    /// The paper's Est_cc never exceeds the parent-card sum and never
+    /// drops below one entry per attribute.
+    #[test]
+    fn est_cc_stays_in_declared_range(
+        rows in 0u64..10_000,
+        parent in 1u64..10_000,
+        cards in prop::collection::vec(1u64..64, 1..10),
+    ) {
+        let attrs: Vec<u16> = (0..cards.len() as u16).collect();
+        let req = CcRequest {
+            lineage: Lineage::root(NodeId(0)),
+            attrs: attrs.clone(),
+            class_col: 99,
+            rows,
+            parent_rows: parent,
+            parent_cards: cards.clone(),
+        };
+        let est = est_cc_entries(&req);
+        prop_assert!(est >= attrs.len() as u64);
+        prop_assert!(est <= cards.iter().sum::<u64>().max(attrs.len() as u64));
+    }
+
+    /// The scheduler conserves requests: every pending request either
+    /// appears in the plan or stays queued, exactly once.
+    #[test]
+    fn scheduler_conserves_requests(
+        rows in rows_strategy(),
+        budget in 512u64..100_000,
+        n_requests in 1usize..12,
+    ) {
+        let staging = StagingManager::new(None).unwrap();
+        let config = MiddlewareConfig::builder()
+            .memory_budget_bytes(budget)
+            .memory_caching(false)
+            .build();
+        let mut pending: Vec<CcRequest> = (0..n_requests)
+            .map(|i| request_for(&rows, i as u64 + 1, Pred::Eq { col: 0, value: (i % 4) as u16 }))
+            .collect();
+        let original: Vec<NodeId> = pending.iter().map(|r| r.node()).collect();
+        let plan = schedule(&mut pending, &staging, &config, 2, 4).unwrap();
+
+        let mut seen: Vec<NodeId> = plan.node_ids();
+        seen.extend(pending.iter().map(|r| r.node()));
+        seen.sort();
+        let mut expected = original.clone();
+        expected.sort();
+        prop_assert_eq!(seen, expected);
+        prop_assert!(!plan.nodes.is_empty(), "at least one node admitted");
+        prop_assert_eq!(plan.source, DataLocation::Server);
+    }
+
+    /// Hard-bound admission honours the budget beyond the first node.
+    #[test]
+    fn scheduler_admission_respects_budget(
+        rows in rows_strategy(),
+        budget in 512u64..20_000,
+    ) {
+        let staging = StagingManager::new(None).unwrap();
+        let config = MiddlewareConfig::builder()
+            .memory_budget_bytes(budget)
+            .memory_caching(false)
+            .build();
+        let mut pending: Vec<CcRequest> = (0..8)
+            .map(|i| request_for(&rows, i + 1, Pred::Eq { col: 0, value: (i % 4) as u16 }))
+            .collect();
+        let bounds: std::collections::HashMap<NodeId, u64> = pending
+            .iter()
+            .map(|r| (r.node(), est_cc_bytes_upper(r, 2)))
+            .collect();
+        let plan = schedule(&mut pending, &staging, &config, 2, 4).unwrap();
+        let reserved: u64 = plan.node_ids().iter().map(|id| bounds[id]).sum();
+        let first = bounds[&plan.node_ids()[0]];
+        prop_assert!(
+            reserved <= budget.max(first),
+            "reserved {reserved} over budget {budget}"
+        );
+    }
+
+    /// End-to-end: whatever the (tiny, arbitrary) budget, the middleware
+    /// answers the root request with exactly the brute-force counts.
+    #[test]
+    fn root_counts_correct_under_any_budget(
+        rows in rows_strategy(),
+        budget in 64u64..50_000,
+    ) {
+        let mut db = Database::new();
+        db.create_table("d", schema()).unwrap();
+        for r in &rows {
+            db.insert("d", &r[..]).unwrap();
+        }
+        let cfg = MiddlewareConfig::builder()
+            .memory_budget_bytes(budget)
+            .memory_caching(true)
+            .build();
+        let mut mw = Middleware::new(db, "d", "class", cfg).unwrap();
+        mw.enqueue(mw.root_request(NodeId(0))).unwrap();
+        let got = mw.process_next_batch().unwrap().pop().unwrap().cc;
+
+        let mut expected = CountsTable::new();
+        for r in &rows {
+            expected.add_row(&r[..], &[0, 1, 2], 3);
+        }
+        prop_assert_eq!(got, expected);
+    }
+
+    /// CountsTable bookkeeping invariants under arbitrary row streams.
+    #[test]
+    fn counts_table_invariants(rows in rows_strategy()) {
+        let mut cc = CountsTable::new();
+        for r in &rows {
+            cc.add_row(&r[..], &[0, 1, 2], 3);
+        }
+        prop_assert_eq!(cc.total(), rows.len() as u64);
+        // per-attribute vectors each sum to the total
+        for attr in [0u16, 1, 2] {
+            let sum: u64 = cc.attr_vector(attr).map(|(_, _, n)| n).sum();
+            prop_assert_eq!(sum, cc.total());
+            // splitting on any value partitions the rows
+            for value in 0..5u16 {
+                prop_assert_eq!(
+                    cc.rows_with_value(attr, value) + cc.rows_without_value(attr, value),
+                    cc.total()
+                );
+            }
+        }
+        // class distribution sums to total
+        let class_sum: u64 = cc.class_distribution().map(|(_, n)| n).sum();
+        prop_assert_eq!(class_sum, cc.total());
+        prop_assert_eq!(cc.memory_bytes(), cc.entries() as u64 * CC_ENTRY_BYTES);
+    }
+
+    /// Staging bookkeeping: best_location always returns a dataset one of
+    /// whose members lies on the lineage.
+    #[test]
+    fn best_location_is_reachable(
+        stage_at in prop::collection::vec(0u64..4, 0..4),
+        depth in 1usize..5,
+    ) {
+        let mut staging = StagingManager::new(None).unwrap();
+        let mut stats = MiddlewareStats::new();
+        // lineage 0 → 1 → 2 → 3 → 4
+        let mut lineage = Lineage::root(NodeId(0));
+        for d in 0..depth {
+            lineage = lineage.child(NodeId(d as u64 + 1), Pred::Eq { col: 0, value: d as u16 });
+        }
+        for &node in &stage_at {
+            staging.commit_mem(NodeId(node), Pred::True, vec![0; 8], 4, &mut stats);
+        }
+        match staging.best_location(&lineage) {
+            DataLocation::Memory(id) => {
+                let owner = staging.mem_set(id).unwrap().owner;
+                prop_assert!(lineage.contains(owner));
+            }
+            DataLocation::Server => {
+                // correct only if no staged set lies on the lineage
+                for &node in &stage_at {
+                    prop_assert!(
+                        !lineage.contains(NodeId(node)) || node as usize > depth
+                    );
+                }
+            }
+            DataLocation::File(_) => prop_assert!(false, "no files staged"),
+        }
+    }
+}

@@ -1,0 +1,231 @@
+//! Census-like categorical data (the paper's third data set).
+//!
+//! **Substitution note (see DESIGN.md):** the paper uses a large public
+//! U.S. Census Bureau extract; we do not have it, so this module generates
+//! a synthetic stand-in with the properties that mattered to the paper's
+//! use of it: many skewed categorical attributes, realistic correlations
+//! between attributes and the class (income bracket), uneven subtree decay
+//! (some branches die early, one stays thin and deep), and a binary class
+//! with imbalanced priors — i.e. the workload shape that exercises file
+//! staging (Fig. 6) and the §5.2.5 index-scan experiment.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use scaleclass_sqldb::{Code, ColumnMeta, Schema, Table};
+
+/// Census-like generator parameters.
+#[derive(Debug, Clone)]
+pub struct CensusParams {
+    /// Rows to generate.
+    pub rows: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for CensusParams {
+    fn default() -> Self {
+        CensusParams {
+            rows: 50_000,
+            seed: 42,
+        }
+    }
+}
+
+/// The fixed census-like schema: 10 skewed attributes + binary `income`.
+pub fn census_schema() -> Schema {
+    Schema::new(vec![
+        ColumnMeta::new("age", 8), // 8 age brackets
+        ColumnMeta::new("workclass", 7),
+        ColumnMeta::new("education", 16),
+        ColumnMeta::new("marital", 7),
+        ColumnMeta::new("occupation", 14),
+        ColumnMeta::new("relationship", 6),
+        ColumnMeta::new("race", 5),
+        ColumnMeta::new("sex", 2),
+        ColumnMeta::new("hours", 5), // weekly-hours brackets
+        ColumnMeta::new("region", 9),
+        ColumnMeta::new("income", 2), // the class: ≤50K / >50K
+    ])
+}
+
+/// Column index of the class.
+pub const CENSUS_CLASS_COL: u16 = 10;
+
+/// Zipf-ish draw over `card` values: value `i` has weight `1/(i+1)`.
+fn skewed(rng: &mut StdRng, card: u16) -> Code {
+    let total: f64 = (0..card).map(|i| 1.0 / f64::from(i + 1)).sum();
+    let mut x = rng.gen::<f64>() * total;
+    for i in 0..card {
+        x -= 1.0 / f64::from(i + 1);
+        if x <= 0.0 {
+            return i;
+        }
+    }
+    card - 1
+}
+
+/// Generated census-like rows (flat; class last).
+#[derive(Debug, Clone)]
+pub struct CensusData {
+    /// The census-like schema.
+    pub schema: Schema,
+    /// Flat rows (class last).
+    pub rows: Vec<Code>,
+    /// Class column index.
+    pub class_col: u16,
+}
+
+impl CensusData {
+    /// Codes per row.
+    pub fn arity(&self) -> usize {
+        self.schema.arity()
+    }
+
+    /// Number of generated rows.
+    pub fn nrows(&self) -> usize {
+        self.rows.len() / self.arity()
+    }
+
+    /// Materialize into a backend table.
+    pub fn to_table(&self) -> Table {
+        let mut t = Table::new(self.schema.clone());
+        for row in self.rows.chunks_exact(self.arity()) {
+            t.insert_unchecked(row);
+        }
+        t
+    }
+}
+
+/// Generate census-like data.
+pub fn generate(params: &CensusParams) -> CensusData {
+    let schema = census_schema();
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let arity = schema.arity();
+    let mut rows = Vec::with_capacity(params.rows * arity);
+
+    for _ in 0..params.rows {
+        let age = skewed(&mut rng, 8);
+        let workclass = skewed(&mut rng, 7);
+        // education correlates with age (older → slightly more educated)
+        let edu_base = skewed(&mut rng, 16);
+        let education = (edu_base + age / 3).min(15);
+        let marital = if age == 0 {
+            0 // youngest bracket: never married
+        } else {
+            skewed(&mut rng, 7)
+        };
+        // occupation correlates with education
+        let occupation = ((skewed(&mut rng, 14) + education / 3) % 14).min(13);
+        let relationship = skewed(&mut rng, 6);
+        let race = skewed(&mut rng, 5);
+        let sex = rng.gen_range(0..2u16);
+        let hours = skewed(&mut rng, 5);
+        let region = skewed(&mut rng, 9);
+
+        // income: logistic-ish in education, age, hours with noise; ~25%
+        // positive overall (imbalanced like the real extract).
+        let signal = f64::from(education) * 0.25
+            + f64::from(age) * 0.30
+            + f64::from(hours) * 0.35
+            + f64::from(workclass) * 0.10;
+        let threshold = 2.8 + rng.gen::<f64>() * 2.0;
+        let income = u16::from(signal > threshold);
+
+        rows.extend_from_slice(&[
+            age,
+            workclass,
+            education,
+            marital,
+            occupation,
+            relationship,
+            race,
+            sex,
+            hours,
+            region,
+            income,
+        ]);
+    }
+
+    CensusData {
+        schema,
+        rows,
+        class_col: CENSUS_CLASS_COL,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data() -> CensusData {
+        generate(&CensusParams {
+            rows: 5_000,
+            seed: 42,
+        })
+    }
+
+    #[test]
+    fn schema_and_shape() {
+        let d = data();
+        assert_eq!(d.arity(), 11);
+        assert_eq!(d.nrows(), 5_000);
+        for row in d.rows.chunks_exact(11) {
+            d.schema.check_row(row).unwrap();
+        }
+    }
+
+    #[test]
+    fn determinism() {
+        assert_eq!(data().rows, data().rows);
+        let other = generate(&CensusParams {
+            rows: 5_000,
+            seed: 1,
+        });
+        assert_ne!(data().rows, other.rows);
+    }
+
+    #[test]
+    fn class_is_imbalanced_but_present() {
+        let d = data();
+        let positives = d.rows.chunks_exact(11).filter(|r| r[10] == 1).count();
+        let frac = positives as f64 / d.nrows() as f64;
+        assert!(
+            (0.05..0.50).contains(&frac),
+            "positive fraction {frac} out of expected band"
+        );
+    }
+
+    #[test]
+    fn attributes_are_skewed() {
+        // value 0 of a Zipf-ish column should be far more common than the
+        // last value.
+        let d = data();
+        let occ0 = d.rows.chunks_exact(11).filter(|r| r[5] == 0).count();
+        let occ_last = d.rows.chunks_exact(11).filter(|r| r[5] == 5).count();
+        assert!(occ0 > occ_last * 2, "{occ0} vs {occ_last}");
+    }
+
+    #[test]
+    fn education_correlates_with_income() {
+        let d = data();
+        let avg_edu = |class: Code| -> f64 {
+            let (sum, n) = d
+                .rows
+                .chunks_exact(11)
+                .filter(|r| r[10] == class)
+                .fold((0u64, 0u64), |(s, n), r| (s + u64::from(r[2]), n + 1));
+            sum as f64 / n.max(1) as f64
+        };
+        assert!(
+            avg_edu(1) > avg_edu(0) + 0.5,
+            "income should track education"
+        );
+    }
+
+    #[test]
+    fn to_table_loads() {
+        let d = data();
+        let t = d.to_table();
+        assert_eq!(t.nrows(), 5_000);
+    }
+}

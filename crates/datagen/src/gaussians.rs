@@ -1,0 +1,265 @@
+//! Data from mixtures of Gaussians (§5.1.2).
+//!
+//! "The data set was generated from a mixture of Gaussians in 100
+//! dimensions. The means are chosen uniformly randomly over [-5, +5] in
+//! each dimension. The variances in each dimension are uniformly random
+//! over [0.7, 1.5]. We generated 10,000 samples from each Gaussian
+//! (class)." Dimensions and classes can be varied independently of the
+//! data's character — omitting dimensions of a Gaussian mixture leaves a
+//! Gaussian mixture — which is exactly why the paper uses it.
+//!
+//! The middleware consumes categorical data, so each dimension is
+//! discretized into equal-width bins over a fixed range (the paper assumes
+//! discretization upstream, §1).
+
+use crate::normal::sample_normal;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use scaleclass_sqldb::{Code, ColumnMeta, Schema};
+
+/// Mixture parameters (defaults follow §5.1.2, scaled down by
+/// `samples_per_class`).
+#[derive(Debug, Clone)]
+pub struct GaussianParams {
+    /// Dimensions (the paper uses up to 100).
+    pub dims: usize,
+    /// Mixture components = class values (the paper uses 100 Gaussians /
+    /// 10 classes variants; here one component per class).
+    pub classes: u16,
+    /// Samples drawn per class.
+    pub samples_per_class: usize,
+    /// Equal-width bins per dimension after discretization.
+    pub bins: u16,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for GaussianParams {
+    fn default() -> Self {
+        GaussianParams {
+            dims: 100,
+            classes: 10,
+            samples_per_class: 10_000,
+            bins: 10,
+            seed: 42,
+        }
+    }
+}
+
+/// Generated, discretized mixture data.
+#[derive(Debug, Clone)]
+pub struct GaussianData {
+    /// The discretized schema.
+    pub schema: Schema,
+    /// Flat rows; class is the last column.
+    pub rows: Vec<Code>,
+    /// Class column index.
+    pub class_col: u16,
+    /// Component means (class-major, `classes × dims`).
+    pub means: Vec<f64>,
+}
+
+impl GaussianData {
+    /// Codes per row.
+    pub fn arity(&self) -> usize {
+        self.schema.arity()
+    }
+
+    /// Number of generated rows.
+    pub fn nrows(&self) -> usize {
+        self.rows.len() / self.arity()
+    }
+
+    /// Materialize into a backend table.
+    pub fn to_table(&self) -> scaleclass_sqldb::Table {
+        let mut t = scaleclass_sqldb::Table::new(self.schema.clone());
+        for row in self.rows.chunks_exact(self.arity()) {
+            t.insert_unchecked(row);
+        }
+        t
+    }
+
+    /// Project onto the first `dims` dimensions (still a Gaussian mixture;
+    /// the paper varies dimensionality this way) — class column kept.
+    pub fn project(&self, dims: usize) -> GaussianData {
+        let old_arity = self.arity();
+        assert!(dims < old_arity, "cannot project to more dims than exist");
+        let mut columns: Vec<ColumnMeta> =
+            (0..dims).map(|i| self.schema.column(i).clone()).collect();
+        columns.push(self.schema.column(old_arity - 1).clone());
+        let mut rows = Vec::with_capacity(self.nrows() * (dims + 1));
+        for row in self.rows.chunks_exact(old_arity) {
+            rows.extend_from_slice(&row[..dims]);
+            rows.push(row[old_arity - 1]);
+        }
+        GaussianData {
+            schema: Schema::new(columns),
+            rows,
+            class_col: dims as u16,
+            means: self.means.clone(),
+        }
+    }
+
+    /// Keep only the first `classes` components' samples (still a Gaussian
+    /// mixture; the paper varies the number of classes this way).
+    pub fn restrict_classes(&self, classes: u16) -> GaussianData {
+        let arity = self.arity();
+        let mut rows = Vec::new();
+        for row in self.rows.chunks_exact(arity) {
+            if row[arity - 1] < classes {
+                rows.extend_from_slice(row);
+            }
+        }
+        let mut columns: Vec<ColumnMeta> = (0..arity - 1)
+            .map(|i| self.schema.column(i).clone())
+            .collect();
+        columns.push(ColumnMeta::new("class", classes));
+        GaussianData {
+            schema: Schema::new(columns),
+            rows,
+            class_col: self.class_col,
+            means: self.means.clone(),
+        }
+    }
+}
+
+/// Sampling range for discretization: means span [-5, 5], stddev ≤ ~1.23,
+/// so ±10 covers essentially all mass.
+const RANGE: (f64, f64) = (-10.0, 10.0);
+
+/// Generate the discretized mixture.
+pub fn generate(params: &GaussianParams) -> GaussianData {
+    assert!(params.dims > 0 && params.classes >= 1 && params.bins >= 2);
+    let mut rng = StdRng::seed_from_u64(params.seed);
+
+    let k = params.classes as usize;
+    let mut means = vec![0.0f64; k * params.dims];
+    let mut stddevs = vec![0.0f64; k * params.dims];
+    for c in 0..k {
+        for d in 0..params.dims {
+            means[c * params.dims + d] = rng.gen_range(-5.0..=5.0);
+            stddevs[c * params.dims + d] = rng.gen_range(0.7f64..=1.5).sqrt();
+        }
+    }
+
+    let bin_width = (RANGE.1 - RANGE.0) / f64::from(params.bins);
+    let discretize = |x: f64| -> Code {
+        let idx = ((x - RANGE.0) / bin_width).floor();
+        (idx.clamp(0.0, f64::from(params.bins - 1))) as Code
+    };
+
+    let arity = params.dims + 1;
+    let mut rows = Vec::with_capacity(k * params.samples_per_class * arity);
+    for c in 0..k {
+        for _ in 0..params.samples_per_class {
+            for d in 0..params.dims {
+                let x = sample_normal(
+                    &mut rng,
+                    means[c * params.dims + d],
+                    stddevs[c * params.dims + d],
+                );
+                rows.push(discretize(x));
+            }
+            rows.push(c as Code);
+        }
+    }
+
+    let mut columns: Vec<ColumnMeta> = (0..params.dims)
+        .map(|d| ColumnMeta::new(format!("x{d}"), params.bins))
+        .collect();
+    columns.push(ColumnMeta::new("class", params.classes));
+    GaussianData {
+        schema: Schema::new(columns),
+        rows,
+        class_col: params.dims as u16,
+        means,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> GaussianParams {
+        GaussianParams {
+            dims: 8,
+            classes: 4,
+            samples_per_class: 200,
+            bins: 10,
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn shape_and_determinism() {
+        let d = generate(&small());
+        assert_eq!(d.arity(), 9);
+        assert_eq!(d.nrows(), 800);
+        assert_eq!(d.rows, generate(&small()).rows);
+        for row in d.rows.chunks_exact(9) {
+            d.schema.check_row(row).unwrap();
+        }
+    }
+
+    #[test]
+    fn classes_are_balanced() {
+        let d = generate(&small());
+        let mut per_class = [0usize; 4];
+        for row in d.rows.chunks_exact(9) {
+            per_class[row[8] as usize] += 1;
+        }
+        assert!(per_class.iter().all(|&n| n == 200));
+    }
+
+    #[test]
+    fn projection_keeps_class_and_rows() {
+        let d = generate(&small());
+        let p = d.project(3);
+        assert_eq!(p.arity(), 4);
+        assert_eq!(p.nrows(), d.nrows());
+        assert_eq!(p.class_col, 3);
+        // class column preserved row-by-row
+        for (orig, proj) in d.rows.chunks_exact(9).zip(p.rows.chunks_exact(4)) {
+            assert_eq!(orig[8], proj[3]);
+            assert_eq!(&orig[..3], &proj[..3]);
+        }
+    }
+
+    #[test]
+    fn class_restriction_drops_rows() {
+        let d = generate(&small());
+        let r = d.restrict_classes(2);
+        assert_eq!(r.nrows(), 400);
+        assert!(r.rows.chunks_exact(9).all(|row| row[8] < 2));
+        assert_eq!(r.schema.column(8).cardinality(), 2);
+    }
+
+    #[test]
+    fn components_are_separable() {
+        // With means spread over [-5,5] and unit-ish variance, a simple
+        // per-dimension nearest-mean classifier should beat chance easily.
+        let d = generate(&small());
+        let bins = 10.0;
+        let to_value = |code: Code| RANGE.0 + (f64::from(code) + 0.5) * (RANGE.1 - RANGE.0) / bins;
+        let mut correct = 0usize;
+        for row in d.rows.chunks_exact(9) {
+            let mut best = (f64::MAX, 0u16);
+            for c in 0..4usize {
+                let dist: f64 = (0..8)
+                    .map(|dim| {
+                        let x = to_value(row[dim]);
+                        (x - d.means[c * 8 + dim]).powi(2)
+                    })
+                    .sum();
+                if dist < best.0 {
+                    best = (dist, c as u16);
+                }
+            }
+            if best.1 == row[8] {
+                correct += 1;
+            }
+        }
+        let acc = correct as f64 / d.nrows() as f64;
+        assert!(acc > 0.9, "nearest-mean accuracy {acc}");
+    }
+}

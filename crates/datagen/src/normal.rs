@@ -1,0 +1,64 @@
+//! Gaussian sampling via Box–Muller (keeps the dependency set to `rand`
+//! alone; `rand 0.8` has no Normal distribution without `rand_distr`).
+
+use rand::Rng;
+
+/// One sample from N(mean, stddev²). `stddev = 0` returns the mean.
+pub fn sample_normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, stddev: f64) -> f64 {
+    if stddev <= 0.0 {
+        return mean;
+    }
+    mean + stddev * sample_standard_normal(rng)
+}
+
+/// One sample from N(0, 1) by Box–Muller.
+pub fn sample_standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // u1 in (0, 1] to keep ln finite.
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_stddev_returns_mean() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(sample_normal(&mut rng, 7.5, 0.0), 7.5);
+        assert_eq!(sample_normal(&mut rng, -3.0, -1.0), -3.0);
+    }
+
+    #[test]
+    fn moments_are_close() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| sample_normal(&mut rng, 2.0, 3.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 9.0).abs() < 0.2, "var {var}");
+    }
+
+    #[test]
+    fn standard_normal_is_symmetric() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 100_000;
+        let positive = (0..n)
+            .filter(|_| sample_standard_normal(&mut rng) > 0.0)
+            .count();
+        let frac = positive as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.01, "positive fraction {frac}");
+    }
+
+    #[test]
+    fn samples_are_finite() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            assert!(sample_standard_normal(&mut rng).is_finite());
+        }
+    }
+}

@@ -1,0 +1,390 @@
+//! Data from random generating trees (§5.1.1).
+//!
+//! "Given a decision tree, data was generated such that the effect of
+//! applying classification on the data will be the given decision tree."
+//! The generator first grows a random *generating tree* controlled by the
+//! paper's knobs — number of leaves, skewness, number of attributes,
+//! values per attribute (with a standard deviation), number of classes,
+//! cases per leaf (with a standard deviation), complete splits — then
+//! emits rows: attributes on a leaf's path are pinned to the path values,
+//! the rest are uniform, and the class is the leaf's label.
+
+use crate::normal::sample_normal;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use scaleclass_sqldb::{Code, ColumnMeta, Schema, Table};
+
+/// Generator parameters, mirroring §5.1.1 and the defaults of §5.1.3.
+#[derive(Debug, Clone)]
+pub struct RandomTreeParams {
+    /// Leaves in the generating tree ("measure of tree size").
+    pub leaves: usize,
+    /// Number of attributes (default 25).
+    pub attributes: usize,
+    /// Mean number of values per attribute (default 4)…
+    pub mean_values: f64,
+    /// …with this standard deviation (default 4; clamped to ≥2 values).
+    pub values_stddev: f64,
+    /// Number of class values (default 10).
+    pub classes: u16,
+    /// Tree skewness in `[0, 1]`: 0 grows a bushy balanced tree
+    /// (breadth-first expansion), 1 a long lop-sided chain (depth-first).
+    pub skew: f64,
+    /// Complete splits: an internal node fans out to every value of its
+    /// attribute (default true). When false, splits are binary
+    /// (`A = v` vs the rest).
+    pub complete_splits: bool,
+    /// Mean cases generated per leaf…
+    pub cases_per_leaf: f64,
+    /// …with this standard deviation (default 0).
+    pub cases_stddev: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RandomTreeParams {
+    fn default() -> Self {
+        RandomTreeParams {
+            leaves: 100,
+            attributes: 25,
+            mean_values: 4.0,
+            values_stddev: 4.0,
+            classes: 10,
+            skew: 0.0,
+            complete_splits: true,
+            cases_per_leaf: 100.0,
+            cases_stddev: 0.0,
+            seed: 42,
+        }
+    }
+}
+
+/// A generated data set: schema (attributes then `class`), flat rows, and
+/// the generating tree's actual leaf count and depth.
+#[derive(Debug, Clone)]
+pub struct GeneratedData {
+    /// Attributes then `class`.
+    pub schema: Schema,
+    /// Flat rows, `arity = attributes + 1`; class is the last column.
+    pub rows: Vec<Code>,
+    /// Class column index.
+    pub class_col: u16,
+    /// Leaves actually present in the generating tree.
+    pub generating_leaves: usize,
+    /// Depth of the generating tree.
+    pub generating_depth: usize,
+}
+
+impl GeneratedData {
+    /// Codes per row.
+    pub fn arity(&self) -> usize {
+        self.schema.arity()
+    }
+
+    /// Number of generated rows.
+    pub fn nrows(&self) -> usize {
+        if self.arity() == 0 {
+            0
+        } else {
+            self.rows.len() / self.arity()
+        }
+    }
+
+    /// Materialize into a backend table.
+    pub fn to_table(&self) -> Table {
+        let mut t = Table::new(self.schema.clone());
+        for row in self.rows.chunks_exact(self.arity()) {
+            t.insert_unchecked(row);
+        }
+        t
+    }
+
+    /// Approximate stored size in bytes (rows × row width).
+    pub fn data_bytes(&self) -> u64 {
+        (self.rows.len() * scaleclass_sqldb::types::CODE_BYTES) as u64
+    }
+}
+
+/// One frontier entry while growing the generating tree.
+#[derive(Debug, Clone)]
+struct ProtoLeaf {
+    /// Pinned attribute values along the path (None = free).
+    pinned: Vec<Option<Code>>,
+    /// For binary `A ≠ v` edges: excluded values per attribute.
+    excluded: Vec<Vec<Code>>,
+    /// Attributes still available for splitting.
+    available: Vec<usize>,
+    depth: usize,
+}
+
+/// Generate data per §5.1.1.
+pub fn generate(params: &RandomTreeParams) -> GeneratedData {
+    assert!(params.attributes > 0, "need at least one attribute");
+    assert!(params.classes >= 2, "need at least two classes");
+    let mut rng = StdRng::seed_from_u64(params.seed);
+
+    // Attribute cardinalities ~ N(mean, std), clamped to [2, 64].
+    let cards: Vec<u16> = (0..params.attributes)
+        .map(|_| {
+            let v = sample_normal(&mut rng, params.mean_values, params.values_stddev);
+            v.round().clamp(2.0, 64.0) as u16
+        })
+        .collect();
+
+    // Grow the generating tree as a frontier of proto-leaves.
+    let mut frontier = vec![ProtoLeaf {
+        pinned: vec![None; params.attributes],
+        excluded: vec![Vec::new(); params.attributes],
+        available: (0..params.attributes).collect(),
+        depth: 0,
+    }];
+    let mut max_depth = 0usize;
+    while frontier.len() < params.leaves {
+        // Pick which leaf to expand: breadth (front) vs depth (back) per
+        // the skew knob.
+        let expandable: Vec<usize> = frontier
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| !l.available.is_empty())
+            .map(|(i, _)| i)
+            .collect();
+        let Some(&pick) = (if rng.gen_bool(params.skew.clamp(0.0, 1.0)) {
+            expandable.last()
+        } else {
+            expandable.first()
+        }) else {
+            break; // nothing left to split
+        };
+        let leaf = frontier.remove(pick);
+        let attr_pos = rng.gen_range(0..leaf.available.len());
+        let attr = leaf.available[attr_pos];
+        let remaining: Vec<Code> = (0..cards[attr])
+            .filter(|v| !leaf.excluded[attr].contains(v))
+            .collect();
+        if remaining.len() < 2 {
+            // Attribute exhausted by exclusions; drop it and retry later.
+            let mut reduced = leaf;
+            reduced.available.retain(|&a| a != attr);
+            frontier.push(reduced);
+            continue;
+        }
+        max_depth = max_depth.max(leaf.depth + 1);
+        if params.complete_splits {
+            for &v in &remaining {
+                let mut child = leaf.clone();
+                child.pinned[attr] = Some(v);
+                child.available.retain(|&a| a != attr);
+                child.depth = leaf.depth + 1;
+                frontier.push(child);
+            }
+        } else {
+            let v = remaining[rng.gen_range(0..remaining.len())];
+            let mut eq = leaf.clone();
+            eq.pinned[attr] = Some(v);
+            eq.available.retain(|&a| a != attr);
+            eq.depth = leaf.depth + 1;
+            let mut neq = leaf.clone();
+            neq.excluded[attr].push(v);
+            neq.depth = leaf.depth + 1;
+            if remaining.len() <= 2 {
+                // only one value remains on the ≠ side: pin it
+                let other = remaining.iter().copied().find(|&x| x != v).expect("len 2");
+                neq.pinned[attr] = Some(other);
+                neq.available.retain(|&a| a != attr);
+            }
+            frontier.push(eq);
+            frontier.push(neq);
+        }
+    }
+
+    // Emit data: each leaf gets a class and ~cases_per_leaf rows.
+    let arity = params.attributes + 1;
+    let mut rows: Vec<Code> =
+        Vec::with_capacity((params.cases_per_leaf as usize + 1) * frontier.len() * arity);
+    for leaf in &frontier {
+        let class = rng.gen_range(0..params.classes);
+        let n = sample_normal(&mut rng, params.cases_per_leaf, params.cases_stddev)
+            .round()
+            .max(0.0) as usize;
+        for _ in 0..n {
+            for (a, pin) in leaf.pinned.iter().enumerate() {
+                let v = match pin {
+                    Some(v) => *v,
+                    None => loop {
+                        let cand = rng.gen_range(0..cards[a]);
+                        if !leaf.excluded[a].contains(&cand) {
+                            break cand;
+                        }
+                    },
+                };
+                rows.push(v);
+            }
+            rows.push(class);
+        }
+    }
+
+    let mut columns: Vec<ColumnMeta> = cards
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| ColumnMeta::new(format!("a{i}"), c))
+        .collect();
+    columns.push(ColumnMeta::new("class", params.classes));
+    GeneratedData {
+        schema: Schema::new(columns),
+        rows,
+        class_col: params.attributes as u16,
+        generating_leaves: frontier.len(),
+        generating_depth: max_depth,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> RandomTreeParams {
+        RandomTreeParams {
+            leaves: 20,
+            attributes: 6,
+            mean_values: 4.0,
+            values_stddev: 0.0,
+            classes: 4,
+            cases_per_leaf: 30.0,
+            ..RandomTreeParams::default()
+        }
+    }
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let a = generate(&small());
+        let b = generate(&small());
+        assert_eq!(a.rows, b.rows);
+        let c = generate(&RandomTreeParams {
+            seed: 43,
+            ..small()
+        });
+        assert_ne!(a.rows, c.rows, "different seed, different data");
+    }
+
+    #[test]
+    fn row_counts_and_schema() {
+        let d = generate(&small());
+        assert_eq!(d.arity(), 7);
+        assert_eq!(d.class_col, 6);
+        assert!(d.generating_leaves >= 20);
+        // ~30 cases per leaf with no stddev.
+        assert_eq!(d.nrows(), d.generating_leaves * 30);
+        // all values within declared cardinalities
+        for row in d.rows.chunks_exact(7) {
+            d.schema.check_row(row).unwrap();
+        }
+    }
+
+    #[test]
+    fn complete_splits_reach_target_leaves() {
+        let d = generate(&RandomTreeParams {
+            leaves: 50,
+            ..small()
+        });
+        assert!(d.generating_leaves >= 50);
+        // complete 4-way splits: leaves ≡ 1 mod 3
+        assert_eq!((d.generating_leaves - 1) % 3, 0);
+    }
+
+    #[test]
+    fn binary_splits_grow_one_leaf_at_a_time() {
+        let d = generate(&RandomTreeParams {
+            complete_splits: false,
+            leaves: 33,
+            ..small()
+        });
+        assert_eq!(d.generating_leaves, 33);
+    }
+
+    #[test]
+    fn skewed_trees_are_deeper() {
+        let balanced = generate(&RandomTreeParams {
+            skew: 0.0,
+            leaves: 60,
+            ..small()
+        });
+        let skewed = generate(&RandomTreeParams {
+            skew: 1.0,
+            leaves: 60,
+            ..small()
+        });
+        assert!(
+            skewed.generating_depth > balanced.generating_depth,
+            "skew {} vs balanced {}",
+            skewed.generating_depth,
+            balanced.generating_depth
+        );
+    }
+
+    #[test]
+    fn cases_stddev_varies_leaf_sizes() {
+        let d = generate(&RandomTreeParams {
+            cases_stddev: 10.0,
+            ..small()
+        });
+        // not an exact multiple anymore (overwhelmingly likely)
+        assert!(d.nrows() > 0);
+        assert_ne!(d.nrows(), d.generating_leaves * 30);
+    }
+
+    #[test]
+    fn to_table_round_trip() {
+        let d = generate(&small());
+        let t = d.to_table();
+        assert_eq!(t.nrows() as usize, d.nrows());
+        assert_eq!(t.schema(), &d.schema);
+    }
+
+    #[test]
+    fn data_is_classifiable_by_generating_structure() {
+        // Rows from the same leaf share pinned attrs and class, so a tree
+        // grown on the data should achieve perfect training accuracy.
+        let d = generate(&RandomTreeParams {
+            leaves: 10,
+            attributes: 4,
+            classes: 3,
+            cases_per_leaf: 40.0,
+            ..small()
+        });
+        use scaleclass_dtree_shim::*;
+        let tree = grow(&d);
+        let acc = accuracy(&tree, &d);
+        assert!(acc > 0.95, "training accuracy {acc}");
+    }
+
+    /// Minimal local shim to avoid a circular dev-dependency on dtree:
+    /// a tiny exact classifier — memorize (pinned attrs → class) per row
+    /// via nearest exact match on the full attribute vector.
+    mod scaleclass_dtree_shim {
+        use super::GeneratedData;
+        use scaleclass_sqldb::Code;
+        use std::collections::HashMap;
+
+        pub struct Memorizer(HashMap<Vec<Code>, Code>);
+
+        pub fn grow(d: &GeneratedData) -> Memorizer {
+            let arity = d.arity();
+            let mut m = HashMap::new();
+            for row in d.rows.chunks_exact(arity) {
+                m.insert(row[..arity - 1].to_vec(), row[arity - 1]);
+            }
+            Memorizer(m)
+        }
+
+        pub fn accuracy(t: &Memorizer, d: &GeneratedData) -> f64 {
+            let arity = d.arity();
+            let mut ok = 0usize;
+            for row in d.rows.chunks_exact(arity) {
+                if t.0.get(&row[..arity - 1]) == Some(&row[arity - 1]) {
+                    ok += 1;
+                }
+            }
+            ok as f64 / d.nrows() as f64
+        }
+    }
+}

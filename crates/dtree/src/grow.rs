@@ -1,0 +1,483 @@
+//! Algorithm Grow (§2.1), driven by middleware CC tables.
+//!
+//! The client maintains the tree and the scoring; the middleware decides
+//! which active nodes are serviced next (§3.1: "the client no longer
+//! decides which nodes in the decision tree should be expanded next").
+//! The client partitions fulfilled nodes in whatever order the counts
+//! arrive — which, per the paper, does not affect the tree produced.
+//!
+//! The node-level decision logic ([`decide`], [`derive_children`]) is
+//! shared with the in-memory baseline client so both provably grow the
+//! *same* tree from the same data.
+
+use crate::split::{best_split, Scorer, Split, SplitKind};
+use crate::tree::{DecisionTree, Edge, NodeState, TreeNode};
+use scaleclass::{CcRequest, CountsTable, Middleware, MwResult, NodeId};
+use scaleclass_sqldb::{Code, Pred};
+use std::collections::HashMap;
+
+/// Tree-growing configuration.
+#[derive(Debug, Clone)]
+pub struct GrowConfig {
+    /// Selection measure.
+    pub scorer: Scorer,
+    /// Candidate split shape.
+    pub split_kind: SplitKind,
+    /// Stop expanding below this depth (root = 0). `None` = unbounded —
+    /// the paper grows full trees.
+    pub max_depth: Option<usize>,
+    /// Nodes with fewer rows become leaves.
+    pub min_rows: u64,
+}
+
+impl Default for GrowConfig {
+    fn default() -> Self {
+        GrowConfig {
+            scorer: Scorer::Entropy,
+            split_kind: SplitKind::Binary,
+            max_depth: None,
+            min_rows: 1,
+        }
+    }
+}
+
+/// What to do with a node, given its counts table.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Decision {
+    /// Terminate: predict `class`.
+    Leaf {
+        /// Majority class at the node.
+        class: Code,
+    },
+    /// Partition on this split.
+    Split(Split),
+}
+
+/// Decide a node's fate from its CC table (termination criteria of §2.1:
+/// purity, exhausted attributes, no non-degenerate split, plus the
+/// practical min-rows / max-depth bounds).
+pub fn decide(cc: &CountsTable, attrs: &[u16], depth: usize, config: &GrowConfig) -> Decision {
+    let majority = cc.majority_class().map(|(c, _)| c).unwrap_or(0);
+    let depth_capped = config.max_depth.is_some_and(|d| depth >= d);
+    if cc.distinct_classes() <= 1
+        || cc.total() < config.min_rows
+        || depth_capped
+        || attrs.is_empty()
+    {
+        return Decision::Leaf { class: majority };
+    }
+    match best_split(cc, attrs, config.split_kind, config.scorer) {
+        Some(scored) if scored.score > 1e-12 => Decision::Split(scored.split),
+        _ => Decision::Leaf { class: majority },
+    }
+}
+
+/// Everything needed to create one child of a split, computed *exactly*
+/// from the parent's CC table (§4.2.1).
+#[derive(Debug, Clone)]
+pub struct ChildSpec {
+    /// The edge from the parent.
+    pub edge: Edge,
+    /// The edge predicate in backend column terms.
+    pub edge_pred: Pred,
+    /// Exact rows flowing to this child.
+    pub rows: u64,
+    /// Exact class distribution at this child.
+    pub class_counts: Vec<(Code, u64)>,
+    /// Attributes still informative at the child.
+    pub attrs: Vec<u16>,
+    /// `card(parent, A_j)` aligned with `attrs` (estimator input).
+    pub parent_cards: Vec<u64>,
+}
+
+/// Derive the children of `split` from the parent's CC table.
+pub fn derive_children(cc: &CountsTable, split: &Split, attrs: &[u16]) -> Vec<ChildSpec> {
+    let attr = split.attr();
+    let card_at_node = cc.distinct_values(attr);
+    // Class counts for `attr = v`, per value, in one pass over the vector.
+    let mut by_value: HashMap<Code, Vec<(Code, u64)>> = HashMap::new();
+    for (v, class, n) in cc.attr_vector(attr) {
+        by_value.entry(v).or_default().push((class, n));
+    }
+    let parent_counts: Vec<(Code, u64)> = cc.class_distribution().collect();
+
+    let child_attrs = |keep_split_attr: bool| -> Vec<u16> {
+        attrs
+            .iter()
+            .copied()
+            .filter(|&a| keep_split_attr || a != attr)
+            .collect()
+    };
+    let cards_for = |child_attrs: &[u16]| -> Vec<u64> {
+        child_attrs
+            .iter()
+            .map(|&a| cc.distinct_values(a).max(1))
+            .collect()
+    };
+
+    match split {
+        Split::Binary { value, .. } => {
+            let eq_counts: Vec<(Code, u64)> = by_value.get(value).cloned().unwrap_or_default();
+            let eq_rows: u64 = eq_counts.iter().map(|&(_, n)| n).sum();
+            let neq_counts: Vec<(Code, u64)> = parent_counts
+                .iter()
+                .map(|&(c, total)| {
+                    let eq = eq_counts
+                        .iter()
+                        .find(|&&(ec, _)| ec == c)
+                        .map(|&(_, n)| n)
+                        .unwrap_or(0);
+                    (c, total - eq)
+                })
+                .filter(|&(_, n)| n > 0)
+                .collect();
+            let neq_rows = cc.total() - eq_rows;
+            // `A = v` pins the attribute → drop it. `A ≠ v` leaves it with
+            // card−1 values → drop only if that is a single value.
+            let eq_attrs = child_attrs(false);
+            let neq_attrs = child_attrs(card_at_node > 2);
+            vec![
+                ChildSpec {
+                    edge: Edge::Eq {
+                        attr,
+                        value: *value,
+                    },
+                    edge_pred: Pred::Eq {
+                        col: attr as usize,
+                        value: *value,
+                    },
+                    rows: eq_rows,
+                    class_counts: eq_counts,
+                    parent_cards: cards_for(&eq_attrs),
+                    attrs: eq_attrs,
+                },
+                ChildSpec {
+                    edge: Edge::NotEq {
+                        attr,
+                        value: *value,
+                    },
+                    edge_pred: Pred::NotEq {
+                        col: attr as usize,
+                        value: *value,
+                    },
+                    rows: neq_rows,
+                    class_counts: neq_counts,
+                    parent_cards: cards_for(&neq_attrs),
+                    attrs: neq_attrs,
+                },
+            ]
+        }
+        Split::Multiway { values, .. } => values
+            .iter()
+            .map(|&v| {
+                let counts = by_value.get(&v).cloned().unwrap_or_default();
+                let rows = counts.iter().map(|&(_, n)| n).sum();
+                let a = child_attrs(false);
+                ChildSpec {
+                    edge: Edge::Eq { attr, value: v },
+                    edge_pred: Pred::Eq {
+                        col: attr as usize,
+                        value: v,
+                    },
+                    rows,
+                    class_counts: counts,
+                    parent_cards: cards_for(&a),
+                    attrs: a,
+                }
+            })
+            .collect(),
+    }
+}
+
+/// Would a child with this spec terminate immediately? If so, its class
+/// distribution is already known from the parent's CC table and no counts
+/// request is needed.
+pub fn immediate_leaf(spec: &ChildSpec, depth: usize, config: &GrowConfig) -> bool {
+    let classes_present = spec.class_counts.iter().filter(|&&(_, n)| n > 0).count();
+    classes_present <= 1
+        || spec.rows < config.min_rows
+        || config.max_depth.is_some_and(|d| depth >= d)
+        || spec.attrs.is_empty()
+}
+
+/// Outcome of a middleware-driven grow.
+#[derive(Debug)]
+pub struct GrowOutcome {
+    /// The grown tree.
+    pub tree: DecisionTree,
+    /// Counts requests issued to the middleware.
+    pub requests_issued: u64,
+}
+
+/// Grow a full decision tree through the middleware (the synchronous
+/// client loop of Figure 3).
+pub fn grow_with_middleware(mw: &mut Middleware, config: &GrowConfig) -> MwResult<GrowOutcome> {
+    let mut tree = DecisionTree::new();
+    let root = tree.push(TreeNode {
+        id: 0,
+        parent: None,
+        edge: None,
+        depth: 0,
+        state: NodeState::Active,
+        class_counts: Vec::new(),
+        rows: mw.table_rows(),
+        children: Vec::new(),
+        source: None,
+    });
+    let root_req = mw.root_request(NodeId(root as u64));
+    let mut lineages: HashMap<usize, scaleclass::Lineage> = HashMap::new();
+    let mut attrs_of: HashMap<usize, Vec<u16>> = HashMap::new();
+    lineages.insert(root, root_req.lineage.clone());
+    attrs_of.insert(root, root_req.attrs.clone());
+    mw.enqueue(root_req)?;
+    let mut requests_issued = 1u64;
+
+    while mw.has_pending() {
+        let fulfilled = mw.process_next_batch()?;
+        for f in fulfilled {
+            let idx = f.node.0 as usize;
+            let lineage = lineages.remove(&idx).expect("fulfilled node was requested");
+            let attrs = attrs_of.remove(&idx).expect("attrs recorded");
+            let depth = tree.node(idx).depth;
+
+            {
+                let node = tree.node_mut(idx);
+                node.class_counts = f.cc.class_distribution().collect();
+                node.rows = f.cc.total();
+                node.source = Some(f.source);
+            }
+
+            match decide(&f.cc, &attrs, depth, config) {
+                Decision::Leaf { class } => {
+                    tree.node_mut(idx).state = NodeState::Leaf { class };
+                }
+                Decision::Split(split) => {
+                    let specs = derive_children(&f.cc, &split, &attrs);
+                    tree.node_mut(idx).state = NodeState::Partitioned {
+                        split: split.clone(),
+                    };
+                    for spec in specs {
+                        let leaf_now = immediate_leaf(&spec, depth + 1, config);
+                        let state = if leaf_now {
+                            let class = spec
+                                .class_counts
+                                .iter()
+                                .max_by_key(|&&(_, n)| n)
+                                .map(|&(c, _)| c)
+                                .unwrap_or(0);
+                            NodeState::Leaf { class }
+                        } else {
+                            NodeState::Active
+                        };
+                        let child_idx = tree.push(TreeNode {
+                            id: 0,
+                            parent: Some(idx),
+                            edge: Some(spec.edge),
+                            depth: depth + 1,
+                            state,
+                            class_counts: spec.class_counts.clone(),
+                            rows: spec.rows,
+                            children: Vec::new(),
+                            source: None,
+                        });
+                        if !leaf_now {
+                            let child_lineage =
+                                lineage.child(NodeId(child_idx as u64), spec.edge_pred.clone());
+                            let req = CcRequest {
+                                lineage: child_lineage.clone(),
+                                attrs: spec.attrs.clone(),
+                                class_col: mw.class_col(),
+                                rows: spec.rows,
+                                parent_rows: f.cc.total(),
+                                parent_cards: spec.parent_cards.clone(),
+                            };
+                            lineages.insert(child_idx, child_lineage);
+                            attrs_of.insert(child_idx, spec.attrs);
+                            mw.enqueue(req)?;
+                            requests_issued += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(GrowOutcome {
+        tree,
+        requests_issued,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scaleclass::MiddlewareConfig;
+    use scaleclass_sqldb::{Database, Schema};
+
+    /// class = (a AND b) over binary attrs with a noise attribute.
+    fn and_db(copies: u16) -> Database {
+        let mut db = Database::new();
+        db.create_table(
+            "d",
+            Schema::from_pairs(&[("a", 2), ("b", 2), ("noise", 3), ("class", 2)]),
+        )
+        .unwrap();
+        for i in 0..copies {
+            for a in 0..2u16 {
+                for b in 0..2u16 {
+                    db.insert("d", &[a, b, i % 3, a & b]).unwrap();
+                }
+            }
+        }
+        db
+    }
+
+    fn grow(db: Database, config: &GrowConfig) -> GrowOutcome {
+        let mut mw = Middleware::new(db, "d", "class", MiddlewareConfig::default()).unwrap();
+        grow_with_middleware(&mut mw, config).unwrap()
+    }
+
+    #[test]
+    fn learns_the_and_function() {
+        let out = grow(and_db(10), &GrowConfig::default());
+        let tree = &out.tree;
+        assert!(tree.len() >= 3);
+        for a in 0..2u16 {
+            for b in 0..2u16 {
+                assert_eq!(tree.classify(&[a, b, 0, 0]), a & b, "({a},{b})");
+            }
+        }
+        // Noise attribute never chosen for a split.
+        for n in tree.nodes() {
+            if let NodeState::Partitioned { split } = &n.state {
+                assert_ne!(split.attr(), 2, "noise attribute used in a split");
+            }
+        }
+    }
+
+    #[test]
+    fn multiway_growth_also_learns() {
+        let cfg = GrowConfig {
+            split_kind: SplitKind::Multiway,
+            ..GrowConfig::default()
+        };
+        let out = grow(and_db(5), &cfg);
+        for a in 0..2u16 {
+            for b in 0..2u16 {
+                assert_eq!(out.tree.classify(&[a, b, 1, 0]), a & b);
+            }
+        }
+    }
+
+    #[test]
+    fn max_depth_zero_yields_single_leaf() {
+        let cfg = GrowConfig {
+            max_depth: Some(0),
+            ..GrowConfig::default()
+        };
+        let out = grow(and_db(5), &cfg);
+        assert_eq!(out.tree.len(), 1);
+        assert!(out.tree.root().unwrap().is_leaf());
+        assert_eq!(out.requests_issued, 1);
+    }
+
+    #[test]
+    fn pure_children_become_leaves_without_requests() {
+        // class == a exactly: after the root split both children are pure →
+        // only the root request is ever issued.
+        let mut db = Database::new();
+        db.create_table("d", Schema::from_pairs(&[("a", 2), ("class", 2)]))
+            .unwrap();
+        for i in 0..20u16 {
+            db.insert("d", &[i % 2, i % 2]).unwrap();
+        }
+        let mut mw = Middleware::new(db, "d", "class", MiddlewareConfig::default()).unwrap();
+        let out = grow_with_middleware(&mut mw, &GrowConfig::default()).unwrap();
+        assert_eq!(out.requests_issued, 1);
+        assert_eq!(out.tree.len(), 3);
+        assert_eq!(out.tree.leaves().count(), 2);
+        assert_eq!(mw.stats().requests_served, 1);
+    }
+
+    #[test]
+    fn min_rows_prunes_small_nodes() {
+        let cfg = GrowConfig {
+            min_rows: 1000,
+            ..GrowConfig::default()
+        };
+        let out = grow(and_db(10), &cfg); // 40 rows total
+                                          // root itself has < 1000 rows → leaf immediately
+        assert_eq!(out.tree.len(), 1);
+    }
+
+    #[test]
+    fn decide_handles_empty_cc() {
+        let cc = CountsTable::new();
+        assert_eq!(
+            decide(&cc, &[0], 0, &GrowConfig::default()),
+            Decision::Leaf { class: 0 }
+        );
+    }
+
+    #[test]
+    fn derive_children_binary_partitions_counts_exactly() {
+        let mut cc = CountsTable::new();
+        // (a, b, class): a has 3 values
+        for r in [
+            [0u16, 0, 0],
+            [0, 1, 0],
+            [1, 0, 1],
+            [1, 1, 1],
+            [2, 0, 0],
+            [2, 1, 1],
+        ] {
+            cc.add_row(&r, &[0, 1], 2);
+        }
+        let specs = derive_children(&cc, &Split::Binary { attr: 0, value: 1 }, &[0, 1]);
+        assert_eq!(specs.len(), 2);
+        let eq = &specs[0];
+        assert_eq!(eq.rows, 2);
+        assert_eq!(eq.class_counts, vec![(1, 2)]);
+        assert_eq!(eq.attrs, vec![1], "split attr dropped on = branch");
+        let neq = &specs[1];
+        assert_eq!(neq.rows, 4);
+        assert_eq!(neq.class_counts, vec![(0, 3), (1, 1)]);
+        assert_eq!(
+            neq.attrs,
+            vec![0, 1],
+            "three values at node → ≠ branch keeps the attribute"
+        );
+        assert_eq!(neq.parent_cards, vec![3, 2]);
+        // rows conserve
+        assert_eq!(eq.rows + neq.rows, cc.total());
+    }
+
+    #[test]
+    fn derive_children_binary_drops_attr_when_two_values() {
+        let mut cc = CountsTable::new();
+        for r in [[0u16, 0, 0], [1, 0, 1], [1, 1, 1]] {
+            cc.add_row(&r, &[0, 1], 2);
+        }
+        let specs = derive_children(&cc, &Split::Binary { attr: 0, value: 0 }, &[0, 1]);
+        assert_eq!(specs[1].attrs, vec![1], "two values → ≠ branch drops attr");
+    }
+
+    #[test]
+    fn derive_children_multiway_covers_all_values() {
+        let mut cc = CountsTable::new();
+        for r in [[0u16, 0, 0], [1, 0, 1], [2, 0, 0], [2, 1, 1]] {
+            cc.add_row(&r, &[0, 1], 2);
+        }
+        let specs = derive_children(
+            &cc,
+            &Split::Multiway {
+                attr: 0,
+                values: vec![0, 1, 2],
+            },
+            &[0, 1],
+        );
+        assert_eq!(specs.len(), 3);
+        let total: u64 = specs.iter().map(|s| s.rows).sum();
+        assert_eq!(total, cc.total());
+        assert!(specs.iter().all(|s| s.attrs == vec![1]));
+    }
+}

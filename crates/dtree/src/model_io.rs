@@ -1,0 +1,340 @@
+//! Decision-tree model persistence.
+//!
+//! A trained tree is a deployable artifact: this module writes it to a
+//! line-oriented text format (stable, diffable, no external dependencies)
+//! and reads it back. Round-tripping preserves structure exactly
+//! (verified by [`crate::trees_structurally_equal`] in tests), so a model
+//! trained through the middleware in one process can classify in another.
+//!
+//! Format:
+//!
+//! ```text
+//! SCLSTREE01
+//! nodes <count>
+//! <id> parent=<idx|-> edge=<eq:attr:val|ne:attr:val|-> depth=<d> rows=<r> \
+//!     state=<leaf:class|bin:attr:val|multi:attr:v1+v2+...|active> \
+//!     counts=<class:n,class:n,...|->
+//! ```
+
+use crate::split::Split;
+use crate::tree::{DecisionTree, Edge, NodeState, TreeNode};
+use scaleclass_sqldb::Code;
+use std::io::{BufRead, Write};
+
+/// Errors from reading a serialized model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelFormatError {
+    /// 1-based line the error was found on (0 = preamble).
+    pub line: usize,
+    /// Human-readable cause.
+    pub message: String,
+}
+
+impl std::fmt::Display for ModelFormatError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "model format error on line {}: {}",
+            self.line, self.message
+        )
+    }
+}
+
+impl std::error::Error for ModelFormatError {}
+
+const MAGIC: &str = "SCLSTREE01";
+
+fn edge_str(edge: &Option<Edge>) -> String {
+    match edge {
+        None => "-".into(),
+        Some(Edge::Eq { attr, value }) => format!("eq:{attr}:{value}"),
+        Some(Edge::NotEq { attr, value }) => format!("ne:{attr}:{value}"),
+    }
+}
+
+fn state_str(state: &NodeState) -> String {
+    match state {
+        NodeState::Active => "active".into(),
+        NodeState::Leaf { class } => format!("leaf:{class}"),
+        NodeState::Partitioned {
+            split: Split::Binary { attr, value },
+        } => format!("bin:{attr}:{value}"),
+        NodeState::Partitioned {
+            split: Split::Multiway { attr, values },
+        } => {
+            let vs: Vec<String> = values.iter().map(u16::to_string).collect();
+            format!("multi:{attr}:{}", vs.join("+"))
+        }
+    }
+}
+
+/// Write a tree to the text format.
+pub fn save_tree(tree: &DecisionTree, mut out: impl Write) -> std::io::Result<()> {
+    writeln!(out, "{MAGIC}")?;
+    writeln!(out, "nodes {}", tree.len())?;
+    for n in tree.nodes() {
+        let counts = if n.class_counts.is_empty() {
+            "-".to_string()
+        } else {
+            n.class_counts
+                .iter()
+                .map(|(c, k)| format!("{c}:{k}"))
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        writeln!(
+            out,
+            "{} parent={} edge={} depth={} rows={} state={} counts={}",
+            n.id,
+            n.parent.map_or("-".into(), |p| p.to_string()),
+            edge_str(&n.edge),
+            n.depth,
+            n.rows,
+            state_str(&n.state),
+            counts,
+        )?;
+    }
+    Ok(())
+}
+
+fn err(line: usize, message: impl Into<String>) -> ModelFormatError {
+    ModelFormatError {
+        line,
+        message: message.into(),
+    }
+}
+
+fn parse_edge(s: &str, line: usize) -> Result<Option<Edge>, ModelFormatError> {
+    if s == "-" {
+        return Ok(None);
+    }
+    let parts: Vec<&str> = s.split(':').collect();
+    if parts.len() != 3 {
+        return Err(err(line, format!("bad edge `{s}`")));
+    }
+    let attr: u16 = parts[1].parse().map_err(|_| err(line, "bad edge attr"))?;
+    let value: Code = parts[2].parse().map_err(|_| err(line, "bad edge value"))?;
+    match parts[0] {
+        "eq" => Ok(Some(Edge::Eq { attr, value })),
+        "ne" => Ok(Some(Edge::NotEq { attr, value })),
+        other => Err(err(line, format!("unknown edge kind `{other}`"))),
+    }
+}
+
+fn parse_state(s: &str, line: usize) -> Result<NodeState, ModelFormatError> {
+    if s == "active" {
+        return Ok(NodeState::Active);
+    }
+    let parts: Vec<&str> = s.split(':').collect();
+    match parts[0] {
+        "leaf" if parts.len() == 2 => Ok(NodeState::Leaf {
+            class: parts[1].parse().map_err(|_| err(line, "bad leaf class"))?,
+        }),
+        "bin" if parts.len() == 3 => Ok(NodeState::Partitioned {
+            split: Split::Binary {
+                attr: parts[1].parse().map_err(|_| err(line, "bad split attr"))?,
+                value: parts[2].parse().map_err(|_| err(line, "bad split value"))?,
+            },
+        }),
+        "multi" if parts.len() == 3 => {
+            let values: Result<Vec<Code>, _> = parts[2].split('+').map(str::parse).collect();
+            Ok(NodeState::Partitioned {
+                split: Split::Multiway {
+                    attr: parts[1].parse().map_err(|_| err(line, "bad split attr"))?,
+                    values: values.map_err(|_| err(line, "bad split values"))?,
+                },
+            })
+        }
+        _ => Err(err(line, format!("unknown state `{s}`"))),
+    }
+}
+
+/// Read a tree written by [`save_tree`].
+pub fn load_tree(reader: impl BufRead) -> Result<DecisionTree, ModelFormatError> {
+    let mut lines = reader.lines().enumerate();
+    let magic = lines
+        .next()
+        .ok_or_else(|| err(0, "empty input"))?
+        .1
+        .map_err(|e| err(1, e.to_string()))?;
+    if magic.trim() != MAGIC {
+        return Err(err(1, "bad magic header"));
+    }
+    let header = lines
+        .next()
+        .ok_or_else(|| err(2, "missing node count"))?
+        .1
+        .map_err(|e| err(2, e.to_string()))?;
+    let count: usize = header
+        .strip_prefix("nodes ")
+        .and_then(|c| c.trim().parse().ok())
+        .ok_or_else(|| err(2, "bad node count"))?;
+
+    let mut tree = DecisionTree::new();
+    for _ in 0..count {
+        let (lineno, line) = lines.next().ok_or_else(|| err(0, "truncated model"))?;
+        let lineno = lineno + 1;
+        let line = line.map_err(|e| err(lineno, e.to_string()))?;
+        let mut fields = line.split_whitespace();
+        let id: usize = fields
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| err(lineno, "bad node id"))?;
+        if id != tree.len() {
+            return Err(err(lineno, "node ids must be dense and in order"));
+        }
+        let mut parent = None;
+        let mut edge = None;
+        let mut depth = 0usize;
+        let mut rows = 0u64;
+        let mut state = NodeState::Active;
+        let mut class_counts = Vec::new();
+        for field in fields {
+            let (key, value) = field
+                .split_once('=')
+                .ok_or_else(|| err(lineno, format!("bad field `{field}`")))?;
+            match key {
+                "parent" => {
+                    parent = if value == "-" {
+                        None
+                    } else {
+                        Some(value.parse().map_err(|_| err(lineno, "bad parent"))?)
+                    }
+                }
+                "edge" => edge = parse_edge(value, lineno)?,
+                "depth" => depth = value.parse().map_err(|_| err(lineno, "bad depth"))?,
+                "rows" => rows = value.parse().map_err(|_| err(lineno, "bad rows"))?,
+                "state" => state = parse_state(value, lineno)?,
+                "counts" => {
+                    if value != "-" {
+                        for pair in value.split(',') {
+                            let (c, k) = pair
+                                .split_once(':')
+                                .ok_or_else(|| err(lineno, "bad counts"))?;
+                            class_counts.push((
+                                c.parse().map_err(|_| err(lineno, "bad count class"))?,
+                                k.parse().map_err(|_| err(lineno, "bad count value"))?,
+                            ));
+                        }
+                    }
+                }
+                other => return Err(err(lineno, format!("unknown field `{other}`"))),
+            }
+        }
+        if let Some(p) = parent {
+            if p >= tree.len() {
+                return Err(err(lineno, "parent refers to a later node"));
+            }
+        }
+        tree.push(TreeNode {
+            id: 0,
+            parent,
+            edge,
+            depth,
+            state,
+            class_counts,
+            rows,
+            children: Vec::new(),
+            source: None,
+        });
+    }
+    Ok(tree)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::trees_structurally_equal;
+    use crate::grow::GrowConfig;
+    use crate::inmemory::grow_in_memory;
+    use crate::split::SplitKind;
+
+    fn sample_tree(kind: SplitKind) -> DecisionTree {
+        let mut rows = Vec::new();
+        for i in 0..120u16 {
+            let (a, b) = (i % 3, (i / 3) % 2);
+            rows.extend_from_slice(&[a, b, u16::from(a == 2 || b == 1)]);
+        }
+        grow_in_memory(
+            &rows,
+            3,
+            2,
+            &[0, 1],
+            &GrowConfig {
+                split_kind: kind,
+                ..GrowConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn round_trip_binary_tree() {
+        let tree = sample_tree(SplitKind::Binary);
+        let mut buf = Vec::new();
+        save_tree(&tree, &mut buf).unwrap();
+        let loaded = load_tree(&buf[..]).unwrap();
+        assert!(trees_structurally_equal(&tree, &loaded));
+        // And it classifies identically.
+        for a in 0..3u16 {
+            for b in 0..2u16 {
+                assert_eq!(tree.classify(&[a, b, 0]), loaded.classify(&[a, b, 0]));
+            }
+        }
+    }
+
+    #[test]
+    fn round_trip_multiway_tree() {
+        let tree = sample_tree(SplitKind::Multiway);
+        let mut buf = Vec::new();
+        save_tree(&tree, &mut buf).unwrap();
+        let loaded = load_tree(&buf[..]).unwrap();
+        assert!(trees_structurally_equal(&tree, &loaded));
+    }
+
+    #[test]
+    fn round_trip_empty_tree() {
+        let mut buf = Vec::new();
+        save_tree(&DecisionTree::new(), &mut buf).unwrap();
+        let loaded = load_tree(&buf[..]).unwrap();
+        assert!(loaded.is_empty());
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(load_tree(&b""[..]).is_err());
+        assert!(load_tree(&b"WRONGMAGIC\nnodes 0\n"[..]).is_err());
+        assert!(load_tree(&b"SCLSTREE01\nnodes banana\n"[..]).is_err());
+        assert!(
+            load_tree(&b"SCLSTREE01\nnodes 1\n"[..]).is_err(),
+            "truncated"
+        );
+        assert!(
+            load_tree(&b"SCLSTREE01\nnodes 1\n5 parent=- edge=- depth=0 rows=1 state=active counts=-\n"[..])
+                .is_err(),
+            "non-dense ids"
+        );
+        assert!(
+            load_tree(&b"SCLSTREE01\nnodes 1\n0 parent=3 edge=- depth=0 rows=1 state=active counts=-\n"[..])
+                .is_err(),
+            "forward parent reference"
+        );
+        assert!(
+            load_tree(&b"SCLSTREE01\nnodes 1\n0 parent=- edge=zz:1:2 depth=0 rows=1 state=active counts=-\n"[..])
+                .is_err(),
+            "bad edge kind"
+        );
+        let e = load_tree(&b"SCLSTREE01\nnodes 1\n0 parent=- state=leaf\n"[..]).unwrap_err();
+        assert!(e.to_string().contains("line 3"));
+    }
+
+    #[test]
+    fn format_is_human_readable() {
+        let tree = sample_tree(SplitKind::Binary);
+        let mut buf = Vec::new();
+        save_tree(&tree, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("SCLSTREE01\n"));
+        assert!(text.contains("state=bin:"));
+        assert!(text.contains("state=leaf:"));
+    }
+}

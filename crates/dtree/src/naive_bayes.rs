@@ -1,0 +1,162 @@
+//! Naïve Bayes client.
+//!
+//! The paper's §1: "other classification algorithms such as Naïve Bayes
+//! can also plug in to this architecture" — NB needs exactly one CC table
+//! (the root's) as its sufficient statistics: class priors and per-class
+//! conditional value counts all read straight out of it.
+
+use scaleclass::{CountsTable, Middleware, MwError, MwResult, NodeId};
+use scaleclass_sqldb::Code;
+use std::collections::HashMap;
+
+/// A trained Naïve Bayes model over categorical attributes.
+#[derive(Debug, Clone)]
+pub struct NaiveBayes {
+    /// `(class, rows)` priors.
+    class_counts: Vec<(Code, u64)>,
+    total: u64,
+    /// `(attr, value, class) → count`.
+    counts: HashMap<(u16, Code, Code), u64>,
+    /// Distinct values per attribute (Laplace smoothing denominator).
+    cards: HashMap<u16, u64>,
+    attrs: Vec<u16>,
+}
+
+impl NaiveBayes {
+    /// Train from a (root) counts table.
+    pub fn from_cc(cc: &CountsTable, attrs: &[u16]) -> Self {
+        let mut counts = HashMap::new();
+        let mut cards = HashMap::new();
+        for &attr in attrs {
+            cards.insert(attr, cc.distinct_values(attr).max(1));
+            for (value, class, n) in cc.attr_vector(attr) {
+                counts.insert((attr, value, class), n);
+            }
+        }
+        NaiveBayes {
+            class_counts: cc.class_distribution().collect(),
+            total: cc.total(),
+            counts,
+            cards,
+            attrs: attrs.to_vec(),
+        }
+    }
+
+    /// Train through the middleware: a single root request supplies all the
+    /// sufficient statistics.
+    pub fn train_with_middleware(mw: &mut Middleware) -> MwResult<Self> {
+        let root = mw.root_request(NodeId(0));
+        let attrs = root.attrs.clone();
+        mw.enqueue(root)?;
+        let mut results = mw.process_next_batch()?;
+        let f = results
+            .pop()
+            .ok_or_else(|| MwError::Internal("root request not fulfilled".into()))?;
+        Ok(Self::from_cc(&f.cc, &attrs))
+    }
+
+    /// Log-posterior (up to the shared evidence term) of `class` for `row`,
+    /// with Laplace (+1) smoothing.
+    pub fn log_posterior(&self, row: &[Code], class: Code, class_rows: u64) -> f64 {
+        let mut lp =
+            ((class_rows + 1) as f64 / (self.total + self.class_counts.len() as u64) as f64).ln();
+        for &attr in &self.attrs {
+            let card = self.cards[&attr];
+            let joint = self
+                .counts
+                .get(&(attr, row[attr as usize], class))
+                .copied()
+                .unwrap_or(0);
+            lp += ((joint + 1) as f64 / (class_rows + card) as f64).ln();
+        }
+        lp
+    }
+
+    /// Most probable class for a row.
+    pub fn classify(&self, row: &[Code]) -> Code {
+        self.class_counts
+            .iter()
+            .map(|&(c, n)| (c, self.log_posterior(row, c, n)))
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("log posteriors are finite"))
+            .map(|(c, _)| c)
+            .unwrap_or(0)
+    }
+
+    /// Classes the model knows.
+    pub fn classes(&self) -> impl Iterator<Item = Code> + '_ {
+        self.class_counts.iter().map(|&(c, _)| c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scaleclass::MiddlewareConfig;
+    use scaleclass_sqldb::{Database, Schema};
+
+    fn cc_from(rows: &[[Code; 3]]) -> CountsTable {
+        let mut cc = CountsTable::new();
+        for r in rows {
+            cc.add_row(r, &[0, 1], 2);
+        }
+        cc
+    }
+
+    #[test]
+    fn classifies_strongly_correlated_attribute() {
+        // class ≡ a, b is noise.
+        let cc = cc_from(&[
+            [0, 0, 0],
+            [0, 1, 0],
+            [0, 0, 0],
+            [1, 1, 1],
+            [1, 0, 1],
+            [1, 1, 1],
+        ]);
+        let nb = NaiveBayes::from_cc(&cc, &[0, 1]);
+        assert_eq!(nb.classify(&[0, 0, 9]), 0);
+        assert_eq!(nb.classify(&[1, 1, 9]), 1);
+        assert_eq!(nb.classes().count(), 2);
+    }
+
+    #[test]
+    fn smoothing_handles_unseen_values() {
+        let cc = cc_from(&[[0, 0, 0], [1, 1, 1]]);
+        let nb = NaiveBayes::from_cc(&cc, &[0, 1]);
+        // value 7 never seen anywhere: posterior still finite, prior wins.
+        let c = nb.classify(&[7, 7, 0]);
+        assert!(c == 0 || c == 1);
+        let lp0 = nb.log_posterior(&[7, 7, 0], 0, 1);
+        assert!(lp0.is_finite());
+    }
+
+    #[test]
+    fn priors_break_ties() {
+        // class 0 is three times as common; attributes carry no signal.
+        let cc = cc_from(&[[0, 0, 0], [0, 0, 0], [0, 0, 0], [0, 0, 1]]);
+        let nb = NaiveBayes::from_cc(&cc, &[0, 1]);
+        assert_eq!(nb.classify(&[0, 0, 0]), 0);
+    }
+
+    #[test]
+    fn trains_through_middleware_with_one_scan() {
+        let mut db = Database::new();
+        db.create_table("d", Schema::from_pairs(&[("a", 3), ("class", 3)]))
+            .unwrap();
+        for i in 0..90u16 {
+            db.insert("d", &[i % 3, i % 3]).unwrap();
+        }
+        let mut mw = Middleware::new(db, "d", "class", MiddlewareConfig::default()).unwrap();
+        let nb = NaiveBayes::train_with_middleware(&mut mw).unwrap();
+        for v in 0..3u16 {
+            assert_eq!(nb.classify(&[v, 0]), v);
+        }
+        assert_eq!(mw.db_stats().seq_scans, 1, "NB needs exactly one scan");
+    }
+
+    #[test]
+    fn empty_model_defaults() {
+        let nb = NaiveBayes::from_cc(&CountsTable::new(), &[0]);
+        assert_eq!(nb.classify(&[0, 0]), 0);
+    }
+}

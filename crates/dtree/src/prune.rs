@@ -1,0 +1,160 @@
+//! Pessimistic error pruning.
+//!
+//! The paper grows full trees ("we did not implement any tree pruning
+//! criteria … This can be easily implemented in our scheme") — this module
+//! is that easily-implemented extension: C4.5-style pessimistic pruning
+//! using only the class counts already stored in the tree, i.e. no extra
+//! data access, preserving the middleware's Observation 1.
+
+use crate::tree::{DecisionTree, NodeState, TreeNode};
+
+/// Pessimistic error estimate of predicting the majority class on a node:
+/// observed errors plus a 0.5 continuity correction (per leaf).
+fn leaf_error(node: &TreeNode) -> f64 {
+    let total: u64 = node.class_counts.iter().map(|&(_, n)| n).sum();
+    let majority: u64 = node.class_counts.iter().map(|&(_, n)| n).max().unwrap_or(0);
+    (total - majority) as f64 + 0.5
+}
+
+/// Prune a grown tree bottom-up: collapse any internal node whose
+/// pessimistic leaf error does not exceed its subtree's pessimistic error.
+/// Returns a fresh, compact tree (no orphan nodes).
+pub fn prune_pessimistic(tree: &DecisionTree) -> DecisionTree {
+    if tree.is_empty() {
+        return DecisionTree::new();
+    }
+    // Decide, bottom-up, which nodes collapse.
+    let mut collapse = vec![false; tree.len()];
+    // Process in reverse push order (children always after parents in our
+    // builders), so descendants are decided before ancestors.
+    for idx in (0..tree.len()).rev() {
+        let node = tree.node(idx);
+        if node.children.is_empty() {
+            continue;
+        }
+        let sub = pruned_subtree_error(tree, idx, &collapse);
+        if leaf_error(node) <= sub + 1e-9 {
+            collapse[idx] = true;
+        }
+    }
+    // Rebuild, skipping collapsed subtrees.
+    let mut out = DecisionTree::new();
+    rebuild(tree, 0, None, &collapse, &mut out);
+    out
+}
+
+/// Subtree error respecting already-collapsed descendants.
+fn pruned_subtree_error(tree: &DecisionTree, idx: usize, collapse: &[bool]) -> f64 {
+    let node = tree.node(idx);
+    if node.children.is_empty() || collapse[idx] {
+        leaf_error(node)
+    } else {
+        node.children
+            .iter()
+            .map(|&c| pruned_subtree_error(tree, c, collapse))
+            .sum()
+    }
+}
+
+fn rebuild(
+    src: &DecisionTree,
+    idx: usize,
+    new_parent: Option<usize>,
+    collapse: &[bool],
+    out: &mut DecisionTree,
+) {
+    let node = src.node(idx);
+    let collapsed = collapse[idx];
+    let state = if collapsed || node.children.is_empty() {
+        NodeState::Leaf {
+            class: node.majority_class(),
+        }
+    } else {
+        node.state.clone()
+    };
+    let new_idx = out.push(TreeNode {
+        id: 0,
+        parent: new_parent,
+        edge: node.edge,
+        depth: node.depth,
+        state,
+        class_counts: node.class_counts.clone(),
+        rows: node.rows,
+        children: Vec::new(),
+        source: node.source,
+    });
+    if !collapsed {
+        for &c in &node.children {
+            rebuild(src, c, Some(new_idx), collapse, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grow::GrowConfig;
+    use crate::inmemory::grow_in_memory;
+    use scaleclass_sqldb::Code;
+
+    #[test]
+    fn noise_only_tree_prunes_to_root() {
+        // attribute is pure noise: any split is overfitting.
+        let mut rows: Vec<Code> = Vec::new();
+        for i in 0..64u16 {
+            rows.extend_from_slice(&[i % 4, u16::from(i % 7 == 0)]);
+        }
+        let full = grow_in_memory(&rows, 2, 1, &[0], &GrowConfig::default());
+        let pruned = prune_pessimistic(&full);
+        assert!(pruned.len() < full.len() || full.len() == 1);
+        // Collapsing never changes the majority prediction of the root.
+        assert_eq!(
+            pruned.root().unwrap().majority_class(),
+            full.root().unwrap().majority_class()
+        );
+    }
+
+    #[test]
+    fn perfect_tree_survives_pruning() {
+        let mut rows: Vec<Code> = Vec::new();
+        for i in 0..40u16 {
+            let a = i % 2;
+            rows.extend_from_slice(&[a, a]);
+        }
+        let full = grow_in_memory(&rows, 2, 1, &[0], &GrowConfig::default());
+        let pruned = prune_pessimistic(&full);
+        assert_eq!(pruned.len(), full.len(), "no error → nothing to prune");
+        for a in 0..2u16 {
+            assert_eq!(pruned.classify(&[a, 0]), a);
+        }
+    }
+
+    #[test]
+    fn pruned_tree_has_no_orphans() {
+        let mut rows: Vec<Code> = Vec::new();
+        for i in 0..100u16 {
+            rows.extend_from_slice(&[i % 4, (i / 4) % 3, u16::from(i % 4 >= 2 || i % 13 == 0)]);
+        }
+        let full = grow_in_memory(&rows, 3, 2, &[0, 1], &GrowConfig::default());
+        let pruned = prune_pessimistic(&full);
+        // Every non-root node's parent exists and lists it as a child.
+        for n in pruned.nodes() {
+            if let Some(p) = n.parent {
+                assert!(pruned.node(p).children.contains(&n.id));
+            }
+        }
+        // Every internal node is Partitioned; every childless node a Leaf.
+        for n in pruned.nodes() {
+            if n.children.is_empty() {
+                assert!(n.is_leaf());
+            } else {
+                assert!(matches!(n.state, NodeState::Partitioned { .. }));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_tree_prunes_to_empty() {
+        assert!(prune_pessimistic(&DecisionTree::new()).is_empty());
+    }
+}

@@ -1,0 +1,410 @@
+//! Split scoring from CC tables.
+//!
+//! Everything here consumes only a [`CountsTable`] — never data rows —
+//! which is the paper's Observation 1 in action. Supported measures: the
+//! entropy/information-gain measure of ID3/CART used in the paper's
+//! experiments (§3.1), plus Gini (CART) and gain ratio (C4.5), which the
+//! paper notes its scheme supports equally.
+
+use scaleclass::CountsTable;
+use scaleclass_sqldb::Code;
+
+/// Impurity / selection measure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Scorer {
+    /// Information gain over entropy (ID3; the paper's experiments).
+    #[default]
+    Entropy,
+    /// Gini index reduction (CART).
+    Gini,
+    /// Gain ratio (C4.5): information gain normalized by split information.
+    GainRatio,
+    /// Chi-square statistic of the (child × class) contingency table
+    /// (CHAID-style). Scores are not comparable across measures, only
+    /// within one grow.
+    ChiSquare,
+}
+
+/// Candidate split shapes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SplitKind {
+    /// Binary partitions `A = v` vs `A = other` (what the paper grows:
+    /// "only binary trees were grown from the data").
+    #[default]
+    Binary,
+    /// One child per observed value of the attribute.
+    Multiway,
+}
+
+/// A concrete chosen split.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Split {
+    /// Children: `attr = value` and `attr <> value`.
+    Binary {
+        /// Split attribute column.
+        attr: u16,
+        /// Split value.
+        value: Code,
+    },
+    /// One child per listed (observed) value.
+    Multiway {
+        /// Split attribute column.
+        attr: u16,
+        /// Observed values, ascending (one child each).
+        values: Vec<Code>,
+    },
+}
+
+impl Split {
+    /// The attribute this split tests.
+    pub fn attr(&self) -> u16 {
+        match self {
+            Split::Binary { attr, .. } | Split::Multiway { attr, .. } => *attr,
+        }
+    }
+}
+
+/// Entropy of a class-count distribution, in bits.
+pub fn entropy(counts: impl IntoIterator<Item = u64>) -> f64 {
+    let counts: Vec<u64> = counts.into_iter().filter(|&c| c > 0).collect();
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let total = total as f64;
+    counts
+        .iter()
+        .map(|&c| {
+            let p = c as f64 / total;
+            -p * p.log2()
+        })
+        .sum()
+}
+
+/// Gini impurity of a class-count distribution.
+pub fn gini(counts: impl IntoIterator<Item = u64>) -> f64 {
+    let counts: Vec<u64> = counts.into_iter().collect();
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let total = total as f64;
+    1.0 - counts
+        .iter()
+        .map(|&c| {
+            let p = c as f64 / total;
+            p * p
+        })
+        .sum::<f64>()
+}
+
+fn impurity(scorer: Scorer, counts: &[u64]) -> f64 {
+    match scorer {
+        Scorer::Entropy | Scorer::GainRatio => entropy(counts.iter().copied()),
+        Scorer::Gini => gini(counts.iter().copied()),
+        Scorer::ChiSquare => 0.0, // chi-square is not impurity-based
+    }
+}
+
+/// Pearson chi-square statistic of a children × classes contingency table.
+/// Zero when children and classes are independent; grows with association.
+pub fn chi_square(children: &[Vec<u64>]) -> f64 {
+    let nclasses = children.first().map_or(0, Vec::len);
+    let total: u64 = children.iter().flatten().sum();
+    if total == 0 || nclasses == 0 {
+        return 0.0;
+    }
+    let class_totals: Vec<u64> = (0..nclasses)
+        .map(|c| children.iter().map(|row| row[c]).sum())
+        .collect();
+    let mut chi2 = 0.0;
+    for row in children {
+        let row_total: u64 = row.iter().sum();
+        for (c, &observed) in row.iter().enumerate() {
+            let expected = row_total as f64 * class_totals[c] as f64 / total as f64;
+            if expected > 0.0 {
+                let d = observed as f64 - expected;
+                chi2 += d * d / expected;
+            }
+        }
+    }
+    chi2
+}
+
+/// A scored candidate split.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScoredSplit {
+    /// The candidate split.
+    pub split: Split,
+    /// The selection score (higher is better).
+    pub score: f64,
+}
+
+/// Class-count vectors of the children a split induces, derived purely from
+/// the CC table. Classes are aligned with `cc.class_distribution()` order.
+fn children_class_counts(cc: &CountsTable, split: &Split) -> Vec<Vec<u64>> {
+    let classes: Vec<(Code, u64)> = cc.class_distribution().collect();
+    let class_pos = |c: Code| classes.iter().position(|&(cc_, _)| cc_ == c);
+    match split {
+        Split::Binary { attr, value } => {
+            let mut left = vec![0u64; classes.len()];
+            for (v, class, n) in cc.attr_vector(*attr) {
+                if v == *value {
+                    if let Some(i) = class_pos(class) {
+                        left[i] += n;
+                    }
+                }
+            }
+            let right: Vec<u64> = classes
+                .iter()
+                .enumerate()
+                .map(|(i, &(_, total))| total - left[i])
+                .collect();
+            vec![left, right]
+        }
+        Split::Multiway { attr, values } => {
+            let mut children = vec![vec![0u64; classes.len()]; values.len()];
+            for (v, class, n) in cc.attr_vector(*attr) {
+                if let (Some(ci), Some(pos)) =
+                    (values.iter().position(|&x| x == v), class_pos(class))
+                {
+                    children[ci][pos] += n;
+                }
+            }
+            children
+        }
+    }
+}
+
+/// Score one candidate split against a node's CC table. Returns `None`
+/// when the split is degenerate (an empty child).
+pub fn score_split(cc: &CountsTable, split: &Split, scorer: Scorer) -> Option<ScoredSplit> {
+    let total = cc.total();
+    if total == 0 {
+        return None;
+    }
+    let parent_counts: Vec<u64> = cc.class_distribution().map(|(_, n)| n).collect();
+    let children = children_class_counts(cc, split);
+    let child_totals: Vec<u64> = children.iter().map(|c| c.iter().sum()).collect();
+    if child_totals.contains(&0) {
+        return None;
+    }
+    let parent_impurity = impurity(scorer, &parent_counts);
+    let weighted: f64 = children
+        .iter()
+        .zip(&child_totals)
+        .map(|(counts, &t)| (t as f64 / total as f64) * impurity(scorer, counts))
+        .sum();
+    let gain = parent_impurity - weighted;
+    let score = match scorer {
+        Scorer::Entropy | Scorer::Gini => gain,
+        Scorer::GainRatio => {
+            let split_info = entropy(child_totals.iter().copied());
+            if split_info <= f64::EPSILON {
+                return None;
+            }
+            gain / split_info
+        }
+        Scorer::ChiSquare => chi_square(&children),
+    };
+    Some(ScoredSplit {
+        split: split.clone(),
+        score,
+    })
+}
+
+/// Enumerate and score every candidate split of the given kind over
+/// `attrs`, returning the best (deterministic tie-break: higher score, then
+/// lower attribute index, then lower value). `None` when no attribute
+/// admits a non-degenerate split.
+pub fn best_split(
+    cc: &CountsTable,
+    attrs: &[u16],
+    kind: SplitKind,
+    scorer: Scorer,
+) -> Option<ScoredSplit> {
+    let mut best: Option<ScoredSplit> = None;
+    let mut consider = |cand: ScoredSplit| {
+        let better = match &best {
+            None => true,
+            Some(b) => cand.score > b.score + 1e-12,
+        };
+        if better {
+            best = Some(cand);
+        }
+    };
+    for &attr in attrs {
+        let values: Vec<Code> = {
+            let mut vs: Vec<Code> = cc.attr_vector(attr).map(|(v, _, _)| v).collect();
+            vs.dedup();
+            vs
+        };
+        if values.len() < 2 {
+            continue; // single-valued attribute cannot split
+        }
+        match kind {
+            SplitKind::Binary => {
+                for &v in &values {
+                    if let Some(s) = score_split(cc, &Split::Binary { attr, value: v }, scorer) {
+                        consider(s);
+                    }
+                }
+            }
+            SplitKind::Multiway => {
+                if let Some(s) = score_split(
+                    cc,
+                    &Split::Multiway {
+                        attr,
+                        values: values.clone(),
+                    },
+                    scorer,
+                ) {
+                    consider(s);
+                }
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cc_from(rows: &[[Code; 3]]) -> CountsTable {
+        let mut cc = CountsTable::new();
+        for r in rows {
+            cc.add_row(r, &[0, 1], 2);
+        }
+        cc
+    }
+
+    #[test]
+    fn entropy_basics() {
+        assert_eq!(entropy([0, 0]), 0.0);
+        assert_eq!(entropy([10]), 0.0);
+        assert!((entropy([5, 5]) - 1.0).abs() < 1e-12);
+        assert!((entropy([1, 1, 1, 1]) - 2.0).abs() < 1e-12);
+        // skewed is less than uniform
+        assert!(entropy([9, 1]) < 1.0);
+    }
+
+    #[test]
+    fn gini_basics() {
+        assert_eq!(gini([10]), 0.0);
+        assert!((gini([5, 5]) - 0.5).abs() < 1e-12);
+        assert!(gini([9, 1]) < 0.5);
+        assert_eq!(gini(std::iter::empty()), 0.0);
+    }
+
+    #[test]
+    fn perfect_attribute_gets_full_gain() {
+        // attr 0 determines class perfectly; attr 1 is noise.
+        let cc = cc_from(&[[0, 0, 0], [0, 1, 0], [1, 0, 1], [1, 1, 1]]);
+        let s = best_split(&cc, &[0, 1], SplitKind::Binary, Scorer::Entropy).unwrap();
+        assert_eq!(s.split.attr(), 0);
+        assert!((s.score - 1.0).abs() < 1e-9, "full bit of gain");
+    }
+
+    #[test]
+    fn noise_attribute_scores_zero() {
+        let cc = cc_from(&[[0, 0, 0], [1, 0, 1], [0, 1, 0], [1, 1, 1]]);
+        let s = score_split(&cc, &Split::Binary { attr: 1, value: 0 }, Scorer::Entropy).unwrap();
+        assert!(s.score.abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_split_rejected() {
+        let cc = cc_from(&[[0, 0, 0], [0, 1, 1]]);
+        // attr 0 only has value 0 → binary split on it has an empty child.
+        assert!(score_split(&cc, &Split::Binary { attr: 0, value: 0 }, Scorer::Entropy).is_none());
+        // and best_split skips single-valued attributes entirely
+        let s = best_split(&cc, &[0], SplitKind::Binary, Scorer::Entropy);
+        assert!(s.is_none());
+    }
+
+    #[test]
+    fn multiway_split_scores_each_value_child() {
+        // attr 0 ∈ {0,1,2} determines class ∈ {0,1,0}.
+        let cc = cc_from(&[[0, 0, 0], [1, 0, 1], [2, 0, 0], [0, 1, 0], [1, 1, 1]]);
+        let s = best_split(&cc, &[0, 1], SplitKind::Multiway, Scorer::Entropy).unwrap();
+        match &s.split {
+            Split::Multiway { attr, values } => {
+                assert_eq!(*attr, 0);
+                assert_eq!(values, &vec![0, 1, 2]);
+            }
+            other => panic!("expected multiway, got {other:?}"),
+        }
+        // Perfect separation → gain = parent entropy.
+        let parent_h = entropy([3u64, 2]);
+        assert!((s.score - parent_h).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gain_ratio_penalizes_high_arity() {
+        // attr 0: 4 distinct values each appearing once (id-like);
+        // attr 1: binary, splits classes 2-2 imperfectly but cheaply.
+        let cc = cc_from(&[[0, 0, 0], [1, 0, 0], [2, 1, 1], [3, 1, 1]]);
+        let gain_best = best_split(&cc, &[0, 1], SplitKind::Multiway, Scorer::Entropy).unwrap();
+        let ratio_best = best_split(&cc, &[0, 1], SplitKind::Multiway, Scorer::GainRatio).unwrap();
+        // Plain gain is indifferent or favors the id attribute; the ratio
+        // must favor attr 1 (split info 1 bit vs 2 bits).
+        assert_eq!(ratio_best.split.attr(), 1);
+        assert!(ratio_best.score >= gain_best.score / 2.0 - 1e-12);
+    }
+
+    #[test]
+    fn gini_and_entropy_agree_on_perfect_splits() {
+        let cc = cc_from(&[[0, 0, 0], [0, 1, 0], [1, 0, 1], [1, 1, 1]]);
+        let e = best_split(&cc, &[0, 1], SplitKind::Binary, Scorer::Entropy).unwrap();
+        let g = best_split(&cc, &[0, 1], SplitKind::Binary, Scorer::Gini).unwrap();
+        assert_eq!(e.split, g.split);
+    }
+
+    #[test]
+    fn deterministic_tie_break_prefers_first_attr() {
+        // attrs 0 and 1 are identical copies.
+        let cc = cc_from(&[[0, 0, 0], [1, 1, 1], [0, 0, 0], [1, 1, 1]]);
+        let s = best_split(&cc, &[0, 1], SplitKind::Binary, Scorer::Entropy).unwrap();
+        assert_eq!(s.split.attr(), 0);
+        match s.split {
+            Split::Binary { value, .. } => assert_eq!(value, 0, "lowest value wins ties"),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn chi_square_zero_under_independence() {
+        // identical class mix in both children → no association
+        let children = vec![vec![10u64, 20], vec![5, 10]];
+        assert!(chi_square(&children).abs() < 1e-9);
+        // empty table
+        assert_eq!(chi_square(&[]), 0.0);
+        assert_eq!(chi_square(&[vec![0, 0]]), 0.0);
+    }
+
+    #[test]
+    fn chi_square_grows_with_association() {
+        let perfect = vec![vec![30u64, 0], vec![0, 30]];
+        let partial = vec![vec![20u64, 10], vec![10, 20]];
+        assert!(chi_square(&perfect) > chi_square(&partial));
+        assert!(
+            (chi_square(&perfect) - 60.0).abs() < 1e-9,
+            "n for perfect 2x2"
+        );
+    }
+
+    #[test]
+    fn chi_square_scorer_picks_the_informative_attribute() {
+        let cc = cc_from(&[[0, 0, 0], [0, 1, 0], [1, 0, 1], [1, 1, 1]]);
+        let s = best_split(&cc, &[0, 1], SplitKind::Binary, Scorer::ChiSquare).unwrap();
+        assert_eq!(s.split.attr(), 0);
+        assert!(s.score > 0.0);
+    }
+
+    #[test]
+    fn empty_cc_yields_no_split() {
+        let cc = CountsTable::new();
+        assert!(best_split(&cc, &[0, 1], SplitKind::Binary, Scorer::Entropy).is_none());
+    }
+}

@@ -1,0 +1,167 @@
+//! Property tests for the classification clients: measure bounds, split
+//! conservation, growth sanity, pruning, rules, and discretization.
+
+use proptest::prelude::*;
+use scaleclass::CountsTable;
+use scaleclass_dtree::{
+    best_split, entropy, extract_rules, gini, grow_in_memory, load_tree, mdl_cut_points,
+    prune_pessimistic, rules::RuleList, save_tree, tree_accuracy, Discretizer, GrowConfig, Scorer,
+    SplitKind,
+};
+use scaleclass_sqldb::Code;
+
+fn rows_strategy() -> impl Strategy<Value = Vec<Code>> {
+    prop::collection::vec((0u16..4, 0u16..3, 0u16..2), 1..150)
+        .prop_map(|rows| rows.into_iter().flat_map(|(a, b, c)| [a, b, c]).collect())
+}
+
+const ARITY: usize = 3;
+const CLASS: u16 = 2;
+const ATTRS: [u16; 2] = [0, 1];
+
+fn cc_of(flat: &[Code]) -> CountsTable {
+    let mut cc = CountsTable::new();
+    for row in flat.chunks_exact(ARITY) {
+        cc.add_row(row, &ATTRS, CLASS);
+    }
+    cc
+}
+
+proptest! {
+    /// Entropy and Gini stay within their theoretical bounds and are
+    /// permutation invariant.
+    #[test]
+    fn impurity_bounds(counts in prop::collection::vec(0u64..1000, 1..8)) {
+        let k = counts.iter().filter(|&&c| c > 0).count().max(1) as f64;
+        let h = entropy(counts.iter().copied());
+        let g = gini(counts.iter().copied());
+        prop_assert!(h >= -1e-12 && h <= k.log2() + 1e-9, "entropy {h} vs k {k}");
+        prop_assert!(g >= -1e-12 && g <= 1.0 - 1.0 / k + 1e-9, "gini {g}");
+        let mut shuffled = counts.clone();
+        shuffled.reverse();
+        prop_assert!((entropy(shuffled.iter().copied()) - h).abs() < 1e-12);
+    }
+
+    /// Any best split has non-negative gain bounded by the parent
+    /// impurity, for every scorer and split kind.
+    #[test]
+    fn best_split_gain_is_bounded(flat in rows_strategy()) {
+        let cc = cc_of(&flat);
+        let parent_h = entropy(cc.class_distribution().map(|(_, n)| n));
+        for scorer in [Scorer::Entropy, Scorer::Gini, Scorer::GainRatio] {
+            for kind in [SplitKind::Binary, SplitKind::Multiway] {
+                if let Some(s) = best_split(&cc, &ATTRS, kind, scorer) {
+                    prop_assert!(s.score >= -1e-12, "{scorer:?}/{kind:?}: {}", s.score);
+                    if scorer == Scorer::Entropy {
+                        prop_assert!(s.score <= parent_h + 1e-9);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Grown trees classify at least as well as the majority baseline on
+    /// their own training data, and never worse than chance.
+    #[test]
+    fn training_accuracy_beats_majority(flat in rows_strategy()) {
+        let tree = grow_in_memory(&flat, ARITY, CLASS, &ATTRS, &GrowConfig::default());
+        let acc = tree_accuracy(&tree, &flat, ARITY, CLASS);
+        let n = (flat.len() / ARITY) as f64;
+        let majority = {
+            let ones = flat.chunks_exact(ARITY).filter(|r| r[2] == 1).count() as f64;
+            ones.max(n - ones) / n
+        };
+        prop_assert!(acc + 1e-12 >= majority, "acc {acc} < majority {majority}");
+    }
+
+    /// Pruning never enlarges the tree, never leaves orphans, and never
+    /// changes the root's majority prediction.
+    #[test]
+    fn pruning_invariants(flat in rows_strategy()) {
+        let tree = grow_in_memory(&flat, ARITY, CLASS, &ATTRS, &GrowConfig::default());
+        let pruned = prune_pessimistic(&tree);
+        prop_assert!(pruned.len() <= tree.len());
+        prop_assert!(!pruned.is_empty());
+        for n in pruned.nodes() {
+            if let Some(p) = n.parent {
+                prop_assert!(pruned.node(p).children.contains(&n.id));
+            }
+            for &c in &n.children {
+                prop_assert_eq!(pruned.node(c).parent, Some(n.id));
+            }
+        }
+        prop_assert_eq!(
+            pruned.root().unwrap().majority_class(),
+            tree.root().unwrap().majority_class()
+        );
+    }
+
+    /// The extracted rule list classifies exactly like the tree, over the
+    /// whole input domain (not just training rows).
+    #[test]
+    fn rules_equal_tree_classification(flat in rows_strategy()) {
+        let tree = grow_in_memory(&flat, ARITY, CLASS, &ATTRS, &GrowConfig::default());
+        let rules: RuleList = extract_rules(&tree);
+        for a in 0..4u16 {
+            for b in 0..3u16 {
+                let row = [a, b, 0];
+                prop_assert_eq!(rules.classify(&row), tree.classify(&row));
+            }
+        }
+        // rule supports partition the training data
+        let total: u64 = rules.rules.iter().map(|r| r.support).sum();
+        prop_assert_eq!(total, (flat.len() / ARITY) as u64);
+    }
+
+    /// Serialized models round-trip exactly for arbitrary grown trees.
+    #[test]
+    fn model_io_round_trips(flat in rows_strategy()) {
+        use scaleclass_dtree::trees_structurally_equal;
+        let tree = grow_in_memory(&flat, ARITY, CLASS, &ATTRS, &GrowConfig::default());
+        let mut buf = Vec::new();
+        save_tree(&tree, &mut buf).unwrap();
+        let loaded = load_tree(&buf[..]).unwrap();
+        prop_assert!(trees_structurally_equal(&tree, &loaded));
+        for a in 0..4u16 {
+            for b in 0..3u16 {
+                prop_assert_eq!(tree.classify(&[a, b, 0]), loaded.classify(&[a, b, 0]));
+            }
+        }
+    }
+
+    /// MDL cut points always lie strictly inside the observed value range
+    /// and are strictly increasing.
+    #[test]
+    fn mdl_cuts_well_formed(
+        pairs in prop::collection::vec((-100.0f64..100.0, 0u16..3), 2..120)
+    ) {
+        let values: Vec<f64> = pairs.iter().map(|&(v, _)| v).collect();
+        let classes: Vec<Code> = pairs.iter().map(|&(_, c)| c).collect();
+        let cuts = mdl_cut_points(&values, &classes);
+        let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        for w in cuts.windows(2) {
+            prop_assert!(w[0] < w[1], "cuts not increasing: {cuts:?}");
+        }
+        for &c in &cuts {
+            prop_assert!(c > lo && c < hi, "cut {c} outside ({lo}, {hi})");
+        }
+    }
+
+    /// The fitted discretizer produces codes within its declared
+    /// cardinalities for any row in (or out of) the training range.
+    #[test]
+    fn discretizer_codes_in_range(
+        rows in prop::collection::vec((-50.0f64..50.0, -50.0f64..50.0, 0u16..2), 4..80),
+        probe in (-200.0f64..200.0, -200.0f64..200.0),
+    ) {
+        let flat: Vec<f64> = rows.iter().flat_map(|&(x, y, _)| [x, y]).collect();
+        let classes: Vec<Code> = rows.iter().map(|&(_, _, c)| c).collect();
+        let disc = Discretizer::fit_mdl(&flat, 2, &classes, 5);
+        let cards = disc.cardinalities();
+        let coded = disc.transform_row(&[probe.0, probe.1]);
+        for (code, card) in coded.iter().zip(&cards) {
+            prop_assert!(code < card, "code {code} exceeds cardinality {card}");
+        }
+    }
+}

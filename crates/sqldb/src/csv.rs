@@ -1,0 +1,225 @@
+//! CSV import/export for categorical tables.
+//!
+//! Real deployments load the data table from flat files before mining;
+//! this module provides that path without external dependencies. Import
+//! builds the value dictionaries (labels → codes) on the fly, producing a
+//! labelled [`Schema`]; export writes labels back out.
+//!
+//! Format: header row of column names; fields separated by `,`; quoting
+//! with `"` (doubled quotes escape); no embedded newlines inside quoted
+//! fields are supported (classification data never needs them).
+
+use crate::error::{DbError, DbResult};
+use crate::storage::Table;
+use crate::types::{Code, ColumnMeta, Schema};
+use std::io::{BufRead, Write};
+
+/// Split one CSV line into fields, honouring `"` quoting.
+fn split_line(line: &str, lineno: usize) -> DbResult<Vec<String>> {
+    let mut fields = Vec::new();
+    let mut field = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        match c {
+            '"' if in_quotes => {
+                if chars.peek() == Some(&'"') {
+                    chars.next();
+                    field.push('"');
+                } else {
+                    in_quotes = false;
+                }
+            }
+            '"' if field.is_empty() => in_quotes = true,
+            '"' => {
+                return Err(DbError::Parse {
+                    message: format!("stray quote in CSV line {lineno}"),
+                    position: 0,
+                })
+            }
+            ',' if !in_quotes => fields.push(std::mem::take(&mut field)),
+            other => field.push(other),
+        }
+    }
+    if in_quotes {
+        return Err(DbError::Parse {
+            message: format!("unterminated quote in CSV line {lineno}"),
+            position: 0,
+        });
+    }
+    fields.push(field);
+    Ok(fields)
+}
+
+fn quote(field: &str) -> String {
+    if field.contains(',') || field.contains('"') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+/// Import a categorical CSV: every distinct string per column becomes a
+/// code (in first-appearance order); the returned table's schema carries
+/// the labels. Fails on ragged rows or > 65 535 distinct values.
+pub fn import_csv(reader: impl BufRead) -> DbResult<Table> {
+    let mut lines = reader.lines();
+    let header = lines.next().ok_or_else(|| DbError::Parse {
+        message: "empty CSV (no header)".into(),
+        position: 0,
+    })??;
+    let names = split_line(&header, 1)?;
+    let ncols = names.len();
+    let mut dictionaries: Vec<Vec<String>> = vec![Vec::new(); ncols];
+    let mut coded_rows: Vec<Vec<Code>> = Vec::new();
+
+    for (i, line) in lines.enumerate() {
+        let lineno = i + 2;
+        let line = line?;
+        if line.is_empty() {
+            continue;
+        }
+        let fields = split_line(&line, lineno)?;
+        if fields.len() != ncols {
+            return Err(DbError::ArityMismatch {
+                expected: ncols,
+                got: fields.len(),
+            });
+        }
+        let mut row = Vec::with_capacity(ncols);
+        for (col, value) in fields.into_iter().enumerate() {
+            let dict = &mut dictionaries[col];
+            let code = match dict.iter().position(|v| *v == value) {
+                Some(i) => i,
+                None => {
+                    if dict.len() >= u16::MAX as usize {
+                        return Err(DbError::ValueOutOfRange {
+                            column: names[col].clone(),
+                            value: u16::MAX,
+                            cardinality: u16::MAX,
+                        });
+                    }
+                    dict.push(value);
+                    dict.len() - 1
+                }
+            };
+            row.push(code as Code);
+        }
+        coded_rows.push(row);
+    }
+
+    let columns: Vec<ColumnMeta> = names
+        .into_iter()
+        .zip(dictionaries)
+        .map(|(name, mut labels)| {
+            if labels.is_empty() {
+                labels.push(String::new()); // empty column: single value
+            }
+            ColumnMeta::with_labels(name, labels)
+        })
+        .collect();
+    let mut table = Table::new(Schema::new(columns));
+    for row in &coded_rows {
+        table.insert_unchecked(row);
+    }
+    Ok(table)
+}
+
+/// Export a table as labelled CSV (header + one line per row).
+pub fn export_csv(table: &Table, mut out: impl Write) -> DbResult<()> {
+    let schema = table.schema();
+    let header: Vec<String> = schema.columns().iter().map(|c| quote(c.name())).collect();
+    writeln!(out, "{}", header.join(","))?;
+    for row in table.rows_unaccounted() {
+        let line: Vec<String> = row
+            .iter()
+            .enumerate()
+            .map(|(col, &code)| quote(&schema.column(col).label(code)))
+            .collect();
+        writeln!(out, "{}", line.join(","))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    const SAMPLE: &str = "outlook,humidity,play\n\
+                          sunny,high,no\n\
+                          overcast,high,yes\n\
+                          rain,normal,yes\n\
+                          sunny,normal,yes\n";
+
+    #[test]
+    fn import_builds_dictionaries_in_appearance_order() {
+        let t = import_csv(Cursor::new(SAMPLE)).unwrap();
+        assert_eq!(t.nrows(), 4);
+        let s = t.schema();
+        assert_eq!(s.arity(), 3);
+        assert_eq!(s.column(0).name(), "outlook");
+        assert_eq!(s.column(0).cardinality(), 3);
+        assert_eq!(s.column(0).code_of("sunny"), Some(0));
+        assert_eq!(s.column(0).code_of("rain"), Some(2));
+        assert_eq!(s.column(2).code_of("yes"), Some(1));
+        let rows: Vec<Vec<Code>> = t.rows_unaccounted().map(|r| r.to_vec()).collect();
+        assert_eq!(rows[0], vec![0, 0, 0]);
+        assert_eq!(rows[2], vec![2, 1, 1]);
+    }
+
+    #[test]
+    fn round_trip_preserves_content() {
+        let t = import_csv(Cursor::new(SAMPLE)).unwrap();
+        let mut buf = Vec::new();
+        export_csv(&t, &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text, SAMPLE);
+    }
+
+    #[test]
+    fn quoting_round_trip() {
+        let csv = "name,class\n\"a,b\",x\n\"say \"\"hi\"\"\",y\n";
+        let t = import_csv(Cursor::new(csv)).unwrap();
+        assert_eq!(t.schema().column(0).label(0), "a,b");
+        assert_eq!(t.schema().column(0).label(1), "say \"hi\"");
+        let mut buf = Vec::new();
+        export_csv(&t, &mut buf).unwrap();
+        assert_eq!(String::from_utf8(buf).unwrap(), csv);
+    }
+
+    #[test]
+    fn ragged_rows_rejected() {
+        let csv = "a,b\n1,2\n3\n";
+        assert!(matches!(
+            import_csv(Cursor::new(csv)),
+            Err(DbError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_file_and_blank_lines() {
+        assert!(import_csv(Cursor::new("")).is_err());
+        let t = import_csv(Cursor::new("a,b\n\n1,2\n\n")).unwrap();
+        assert_eq!(t.nrows(), 1);
+    }
+
+    #[test]
+    fn stray_and_unterminated_quotes_rejected() {
+        assert!(import_csv(Cursor::new("a\nfo\"o\n")).is_err());
+        assert!(import_csv(Cursor::new("a\n\"unclosed\n")).is_err());
+    }
+
+    #[test]
+    fn imported_table_is_minable() {
+        // The labelled table plugs straight into the middleware.
+        let t = import_csv(Cursor::new(SAMPLE)).unwrap();
+        let mut db = crate::database::Database::new();
+        db.register_table("weather", t).unwrap();
+        let rs = crate::sql::execute(&mut db, "SELECT play, COUNT(*) FROM weather GROUP BY play")
+            .unwrap()
+            .into_rows()
+            .unwrap();
+        assert_eq!(rs.len(), 2);
+    }
+}

@@ -1,0 +1,257 @@
+//! Server-side cursors.
+//!
+//! [`ServerCursor`] is the forward-only filtered cursor the middleware uses
+//! for its scan-based counting: the server evaluates the pushed-down filter
+//! expression and ships only matching rows over the simulated wire (§4.3.1).
+//!
+//! [`KeysetCursor`] is access path (c) of §4.3.3: a snapshot of qualifying
+//! TIDs taken at open time, over which later scans can run with an extra
+//! *residual* filter applied server-side before shipping ("a stored
+//! procedure that applies the filters on the results obtained by the cursor
+//! before the results are returned").
+
+use crate::database::Database;
+use crate::error::DbResult;
+use crate::expr::Pred;
+use crate::page::Page;
+use crate::stats::DbStats;
+use crate::storage::{ScanIter, Table};
+use crate::types::{Code, Tid};
+use crate::wire::{WireBatch, DEFAULT_BATCH_ROWS};
+
+/// Forward-only cursor with server-side filtering and batched wire fetches.
+pub struct ServerCursor<'a> {
+    iter: ScanIter<'a>,
+    pred: Pred,
+    arity: usize,
+    batch_rows: usize,
+    batch: WireBatch,
+    stats: &'a DbStats,
+    exhausted: bool,
+}
+
+impl<'a> ServerCursor<'a> {
+    pub(crate) fn new(table: &'a Table, pred: Pred, batch_rows: usize, stats: &'a DbStats) -> Self {
+        ServerCursor {
+            iter: table.scan(stats),
+            pred,
+            arity: table.schema().arity(),
+            batch_rows: batch_rows.max(1),
+            batch: WireBatch::new(),
+            stats,
+            exhausted: false,
+        }
+    }
+
+    /// Number of codes per row in fetched data.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Fetch the next batch of matching rows, appending their codes (flat)
+    /// to `out`. Returns the number of rows fetched; `0` means end of scan.
+    pub fn fetch(&mut self, out: &mut Vec<Code>) -> usize {
+        if self.exhausted {
+            return 0;
+        }
+        debug_assert!(self.batch.is_empty());
+        while self.batch.rows() < self.batch_rows {
+            match self.iter.next() {
+                Some((_, row)) => {
+                    if self.pred.eval(row) {
+                        self.batch.push(row);
+                    }
+                }
+                None => {
+                    self.exhausted = true;
+                    break;
+                }
+            }
+        }
+        self.batch.transmit(self.arity, self.stats, out)
+    }
+
+    /// Drain the whole cursor into a flat vector. Returns total rows.
+    pub fn fetch_all(&mut self, out: &mut Vec<Code>) -> usize {
+        let mut total = 0;
+        loop {
+            let n = self.fetch(out);
+            if n == 0 {
+                return total;
+            }
+            total += n;
+        }
+    }
+}
+
+/// A snapshot of qualifying TIDs with server-side residual filtering on
+/// re-scan. TIDs are kept sorted so a keyset scan touches each page once —
+/// the "idealized" access the §5.2.5 experiment grants this technique.
+pub struct KeysetCursor {
+    table: String,
+    tids: Vec<Tid>,
+    arity: usize,
+}
+
+impl KeysetCursor {
+    pub(crate) fn open(db: &Database, table: &str, pred: &Pred) -> DbResult<Self> {
+        let t = db.table(table)?;
+        let stats = db.stats();
+        stats.add_keyset_open();
+        let tids: Vec<Tid> = t
+            .scan(stats)
+            .filter(|(_, row)| pred.eval(row))
+            .map(|(tid, _)| tid)
+            .collect();
+        Ok(KeysetCursor {
+            table: table.to_string(),
+            tids,
+            arity: t.schema().arity(),
+        })
+    }
+
+    /// Rows in the keyset.
+    pub fn len(&self) -> usize {
+        self.tids.len()
+    }
+
+    /// Is the keyset empty?
+    pub fn is_empty(&self) -> bool {
+        self.tids.is_empty()
+    }
+
+    /// Codes per row in fetched data.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Scan the keyset, applying `residual` at the server before shipping.
+    /// Appends matching rows (flat) to `out`; returns the match count.
+    ///
+    /// Charges one page read per distinct page in the keyset and one scanned
+    /// row per keyset entry; only residual matches pay wire costs.
+    pub fn scan_filtered(
+        &self,
+        db: &Database,
+        residual: &Pred,
+        out: &mut Vec<Code>,
+    ) -> DbResult<usize> {
+        let table = db.table(&self.table)?;
+        let stats = db.stats();
+        let per_page = Page::capacity_rows(self.arity) as u64;
+        let mut batch = WireBatch::new();
+        let mut last_page = u64::MAX;
+        let mut shipped = 0;
+        for &tid in &self.tids {
+            let page = tid.0 / per_page;
+            if page != last_page {
+                stats.add_pages_read(1);
+                last_page = page;
+            }
+            stats.add_rows_scanned(1);
+            let row = table.row_by_tid_unaccounted(tid)?;
+            if residual.eval(row) {
+                batch.push(row);
+                if batch.rows() >= DEFAULT_BATCH_ROWS {
+                    shipped += batch.transmit(self.arity, stats, out);
+                }
+            }
+        }
+        shipped += batch.transmit(self.arity, stats, out);
+        Ok(shipped)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Schema;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.create_table("t", Schema::from_pairs(&[("a", 4), ("class", 2)]))
+            .unwrap();
+        for i in 0..1000u16 {
+            db.insert("t", &[i % 4, (i / 4) % 2]).unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn server_cursor_filters_and_batches() {
+        let db = db();
+        let mut cur = db
+            .open_cursor("t", Pred::Eq { col: 0, value: 3 }, 100)
+            .unwrap();
+        let mut out = Vec::new();
+        let mut batches = 0;
+        loop {
+            let n = cur.fetch(&mut out);
+            if n == 0 {
+                break;
+            }
+            assert!(n <= 100);
+            batches += 1;
+        }
+        assert_eq!(out.len() / 2, 250);
+        assert_eq!(batches, 3, "250 matches / 100-row batches");
+        assert!(out.chunks(2).all(|r| r[0] == 3));
+        let snap = db.stats().snapshot();
+        assert_eq!(snap.rows_scanned, 1000, "server scans everything");
+        assert_eq!(snap.rows_shipped, 250, "wire only carries matches");
+    }
+
+    #[test]
+    fn fetch_after_exhaustion_returns_zero() {
+        let db = db();
+        let mut cur = db.open_cursor("t", Pred::False, 64).unwrap();
+        let mut out = Vec::new();
+        assert_eq!(cur.fetch(&mut out), 0);
+        assert_eq!(cur.fetch(&mut out), 0);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn fetch_all_drains() {
+        let db = db();
+        let mut cur = db.open_cursor("t", Pred::True, 128).unwrap();
+        let mut out = Vec::new();
+        assert_eq!(cur.fetch_all(&mut out), 1000);
+        assert_eq!(out.len(), 2000);
+    }
+
+    #[test]
+    fn keyset_cursor_residual_filter() {
+        let db = db();
+        let keyset = db
+            .open_keyset_cursor("t", &Pred::Eq { col: 0, value: 1 })
+            .unwrap();
+        assert_eq!(keyset.len(), 250);
+
+        let before = db.stats().snapshot();
+        let mut out = Vec::new();
+        let n = keyset
+            .scan_filtered(&db, &Pred::Eq { col: 1, value: 0 }, &mut out)
+            .unwrap();
+        let delta = db.stats().snapshot() - before;
+        assert_eq!(n, 125);
+        assert_eq!(delta.rows_scanned, 250, "reads whole keyset");
+        assert_eq!(delta.rows_shipped, 125, "ships only residual matches");
+        assert!(out.chunks(2).all(|r| r[0] == 1 && r[1] == 0));
+    }
+
+    #[test]
+    fn keyset_scan_touches_each_page_once() {
+        let db = db();
+        let keyset = db.open_keyset_cursor("t", &Pred::True).unwrap();
+        let before = db.stats().snapshot();
+        let mut out = Vec::new();
+        keyset.scan_filtered(&db, &Pred::True, &mut out).unwrap();
+        let delta = db.stats().snapshot() - before;
+        assert_eq!(
+            delta.pages_read,
+            db.table("t").unwrap().npages(),
+            "sorted keyset ⇒ sequential page access"
+        );
+    }
+}

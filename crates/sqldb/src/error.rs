@@ -1,0 +1,122 @@
+//! Error types for the embedded relational backend.
+
+use std::fmt;
+
+/// Errors produced by the storage engine, SQL layer, and cursor machinery.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DbError {
+    /// Referenced table does not exist in the catalog.
+    UnknownTable(String),
+    /// Referenced column does not exist in the table schema.
+    UnknownColumn(String),
+    /// A table with this name already exists.
+    DuplicateTable(String),
+    /// A value code is outside the declared cardinality of its column.
+    ValueOutOfRange {
+        /// Offending column's name.
+        column: String,
+        /// The rejected code.
+        value: u16,
+        /// The column's declared cardinality.
+        cardinality: u16,
+    },
+    /// A row had the wrong number of columns for the schema.
+    ArityMismatch {
+        /// Columns the schema declares.
+        expected: usize,
+        /// Columns the row supplied.
+        got: usize,
+    },
+    /// SQL text failed to lex or parse.
+    Parse {
+        /// What went wrong.
+        message: String,
+        /// Byte offset in the input.
+        position: usize,
+    },
+    /// A query referenced a feature the executor does not support.
+    Unsupported(String),
+    /// The schemas of two UNION arms are incompatible.
+    UnionSchemaMismatch {
+        /// Index of the incompatible arm.
+        arm: usize,
+    },
+    /// A cursor was used after being exhausted or closed.
+    CursorClosed,
+    /// An I/O error while spooling data (message only; `std::io::Error`
+    /// is not `Clone`, so we keep the rendered text).
+    Io(String),
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::UnknownTable(name) => write!(f, "unknown table `{name}`"),
+            DbError::UnknownColumn(name) => write!(f, "unknown column `{name}`"),
+            DbError::DuplicateTable(name) => write!(f, "table `{name}` already exists"),
+            DbError::ValueOutOfRange {
+                column,
+                value,
+                cardinality,
+            } => write!(
+                f,
+                "value {value} out of range for column `{column}` (cardinality {cardinality})"
+            ),
+            DbError::ArityMismatch { expected, got } => {
+                write!(f, "row has {got} columns, schema expects {expected}")
+            }
+            DbError::Parse { message, position } => {
+                write!(f, "SQL parse error at byte {position}: {message}")
+            }
+            DbError::Unsupported(what) => write!(f, "unsupported SQL feature: {what}"),
+            DbError::UnionSchemaMismatch { arm } => {
+                write!(f, "UNION arm {arm} is not schema-compatible with arm 0")
+            }
+            DbError::CursorClosed => write!(f, "cursor is closed or exhausted"),
+            DbError::Io(msg) => write!(f, "I/O error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+impl From<std::io::Error> for DbError {
+    fn from(e: std::io::Error) -> Self {
+        DbError::Io(e.to_string())
+    }
+}
+
+/// Convenience alias used across the crate.
+pub type DbResult<T> = Result<T, DbError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = DbError::ValueOutOfRange {
+            column: "age".into(),
+            value: 9,
+            cardinality: 4,
+        };
+        let s = e.to_string();
+        assert!(s.contains("age") && s.contains('9') && s.contains('4'));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: DbError = io.into();
+        assert!(matches!(e, DbError::Io(ref m) if m.contains("gone")));
+    }
+
+    #[test]
+    fn parse_error_reports_position() {
+        let e = DbError::Parse {
+            message: "expected FROM".into(),
+            position: 17,
+        };
+        assert!(e.to_string().contains("17"));
+    }
+}

@@ -1,0 +1,312 @@
+//! Predicate expressions.
+//!
+//! Decision-tree node conditions are conjunctions of edge predicates of the
+//! form `A = v` (a split branch) or `A <> v` ("A = other", the complement
+//! branch of a binary split). The middleware's server filter (§4.3.1) is the
+//! disjunction `(S_1 OR ... OR S_k)` of the path predicates of the scheduled
+//! active nodes. This module gives those shapes an AST with evaluation,
+//! selectivity estimation, and SQL rendering.
+
+use crate::types::{Code, Schema};
+use std::fmt;
+
+/// A boolean predicate over a coded row.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Pred {
+    /// Always true (the root node's condition).
+    True,
+    /// Always false.
+    False,
+    /// `column = value`.
+    Eq {
+        /// Column index.
+        col: usize,
+        /// Value code compared against.
+        value: Code,
+    },
+    /// `column <> value` — the "other" branch of a binary split.
+    NotEq {
+        /// Column index.
+        col: usize,
+        /// Value code compared against.
+        value: Code,
+    },
+    /// Conjunction of all children (empty = true).
+    And(Vec<Pred>),
+    /// Disjunction of all children (empty = false).
+    Or(Vec<Pred>),
+}
+
+impl Pred {
+    /// Conjunction that collapses trivial cases.
+    pub fn and(preds: Vec<Pred>) -> Pred {
+        let mut out = Vec::with_capacity(preds.len());
+        for p in preds {
+            match p {
+                Pred::True => {}
+                Pred::False => return Pred::False,
+                Pred::And(children) => out.extend(children),
+                other => out.push(other),
+            }
+        }
+        match out.len() {
+            0 => Pred::True,
+            1 => out.pop().expect("len checked"),
+            _ => Pred::And(out),
+        }
+    }
+
+    /// Disjunction that collapses trivial cases.
+    pub fn or(preds: Vec<Pred>) -> Pred {
+        let mut out = Vec::with_capacity(preds.len());
+        for p in preds {
+            match p {
+                Pred::False => {}
+                Pred::True => return Pred::True,
+                Pred::Or(children) => out.extend(children),
+                other => out.push(other),
+            }
+        }
+        match out.len() {
+            0 => Pred::False,
+            1 => out.pop().expect("len checked"),
+            _ => Pred::Or(out),
+        }
+    }
+
+    /// Evaluate against a row of codes.
+    #[inline]
+    pub fn eval(&self, row: &[Code]) -> bool {
+        match self {
+            Pred::True => true,
+            Pred::False => false,
+            Pred::Eq { col, value } => row[*col] == *value,
+            Pred::NotEq { col, value } => row[*col] != *value,
+            Pred::And(children) => children.iter().all(|p| p.eval(row)),
+            Pred::Or(children) => children.iter().any(|p| p.eval(row)),
+        }
+    }
+
+    /// Number of atomic comparisons in the expression (filter complexity;
+    /// the paper's filter expressions grow with the scheduled frontier).
+    pub fn atom_count(&self) -> usize {
+        match self {
+            Pred::True | Pred::False => 0,
+            Pred::Eq { .. } | Pred::NotEq { .. } => 1,
+            Pred::And(children) | Pred::Or(children) => children.iter().map(Pred::atom_count).sum(),
+        }
+    }
+
+    /// Crude independence-based selectivity estimate in `[0, 1]`, using only
+    /// column cardinalities (uniformity assumption). Used by tests and by
+    /// the middleware's staging heuristics as a sanity bound, never for
+    /// correctness.
+    pub fn selectivity(&self, schema: &Schema) -> f64 {
+        match self {
+            Pred::True => 1.0,
+            Pred::False => 0.0,
+            Pred::Eq { col, .. } => 1.0 / f64::from(schema.column(*col).cardinality()),
+            Pred::NotEq { col, .. } => 1.0 - 1.0 / f64::from(schema.column(*col).cardinality()),
+            Pred::And(children) => children.iter().map(|p| p.selectivity(schema)).product(),
+            Pred::Or(children) => {
+                // Inclusion by independence: 1 - prod(1 - s_i), clamped.
+                let miss: f64 = children
+                    .iter()
+                    .map(|p| 1.0 - p.selectivity(schema))
+                    .product();
+                (1.0 - miss).clamp(0.0, 1.0)
+            }
+        }
+    }
+
+    /// Render as a SQL text fragment using schema column names.
+    pub fn to_sql(&self, schema: &Schema) -> String {
+        match self {
+            Pred::True => "1=1".to_string(),
+            Pred::False => "1=0".to_string(),
+            Pred::Eq { col, value } => {
+                format!("{} = {}", schema.column(*col).name(), value)
+            }
+            Pred::NotEq { col, value } => {
+                format!("{} <> {}", schema.column(*col).name(), value)
+            }
+            Pred::And(children) => {
+                let parts: Vec<_> = children.iter().map(|p| p.to_sql(schema)).collect();
+                format!("({})", parts.join(" AND "))
+            }
+            Pred::Or(children) => {
+                let parts: Vec<_> = children.iter().map(|p| p.to_sql(schema)).collect();
+                format!("({})", parts.join(" OR "))
+            }
+        }
+    }
+
+    /// True when this predicate can never be satisfied together with `other`
+    /// for *structurally obvious* reasons (same column equal to two different
+    /// values). Conservative: `false` means "unknown".
+    pub fn obviously_disjoint(&self, other: &Pred) -> bool {
+        fn eq_atoms(p: &Pred, out: &mut Vec<(usize, Code)>) {
+            match p {
+                Pred::Eq { col, value } => out.push((*col, *value)),
+                Pred::And(children) => children.iter().for_each(|c| eq_atoms(c, out)),
+                _ => {}
+            }
+        }
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        eq_atoms(self, &mut a);
+        eq_atoms(other, &mut b);
+        a.iter()
+            .any(|(ca, va)| b.iter().any(|(cb, vb)| ca == cb && va != vb))
+    }
+}
+
+impl fmt::Display for Pred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Pred::True => write!(f, "TRUE"),
+            Pred::False => write!(f, "FALSE"),
+            Pred::Eq { col, value } => write!(f, "#{col} = {value}"),
+            Pred::NotEq { col, value } => write!(f, "#{col} <> {value}"),
+            Pred::And(children) => {
+                write!(f, "(")?;
+                for (i, c) in children.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " AND ")?;
+                    }
+                    write!(f, "{c}")?;
+                }
+                write!(f, ")")
+            }
+            Pred::Or(children) => {
+                write!(f, "(")?;
+                for (i, c) in children.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " OR ")?;
+                    }
+                    write!(f, "{c}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::from_pairs(&[("a", 4), ("b", 2), ("class", 3)])
+    }
+
+    #[test]
+    fn atoms_evaluate() {
+        let row = [2, 1, 0];
+        assert!(Pred::Eq { col: 0, value: 2 }.eval(&row));
+        assert!(!Pred::Eq { col: 0, value: 3 }.eval(&row));
+        assert!(Pred::NotEq { col: 0, value: 3 }.eval(&row));
+        assert!(Pred::True.eval(&row));
+        assert!(!Pred::False.eval(&row));
+    }
+
+    #[test]
+    fn and_or_collapse_trivial_cases() {
+        assert_eq!(Pred::and(vec![]), Pred::True);
+        assert_eq!(Pred::or(vec![]), Pred::False);
+        assert_eq!(
+            Pred::and(vec![Pred::True, Pred::Eq { col: 1, value: 0 }]),
+            Pred::Eq { col: 1, value: 0 }
+        );
+        assert_eq!(
+            Pred::and(vec![Pred::False, Pred::Eq { col: 1, value: 0 }]),
+            Pred::False
+        );
+        assert_eq!(
+            Pred::or(vec![Pred::True, Pred::Eq { col: 1, value: 0 }]),
+            Pred::True
+        );
+    }
+
+    #[test]
+    fn nested_and_or_flatten() {
+        let p = Pred::and(vec![
+            Pred::And(vec![
+                Pred::Eq { col: 0, value: 1 },
+                Pred::Eq { col: 1, value: 0 },
+            ]),
+            Pred::Eq { col: 2, value: 2 },
+        ]);
+        match p {
+            Pred::And(children) => assert_eq!(children.len(), 3),
+            other => panic!("expected flattened AND, got {other}"),
+        }
+    }
+
+    #[test]
+    fn compound_evaluation() {
+        let p = Pred::and(vec![
+            Pred::Eq { col: 0, value: 2 },
+            Pred::NotEq { col: 1, value: 0 },
+        ]);
+        assert!(p.eval(&[2, 1, 0]));
+        assert!(!p.eval(&[2, 0, 0]));
+        assert!(!p.eval(&[1, 1, 0]));
+        let q = Pred::or(vec![
+            Pred::Eq { col: 0, value: 9 },
+            Pred::Eq { col: 2, value: 0 },
+        ]);
+        assert!(q.eval(&[2, 1, 0]));
+        assert!(!q.eval(&[2, 1, 1]));
+    }
+
+    #[test]
+    fn selectivity_bounds() {
+        let s = schema();
+        let eq = Pred::Eq { col: 0, value: 1 };
+        assert!((eq.selectivity(&s) - 0.25).abs() < 1e-12);
+        let ne = Pred::NotEq { col: 0, value: 1 };
+        assert!((ne.selectivity(&s) - 0.75).abs() < 1e-12);
+        let conj = Pred::and(vec![eq.clone(), Pred::Eq { col: 1, value: 0 }]);
+        assert!((conj.selectivity(&s) - 0.125).abs() < 1e-12);
+        let disj = Pred::or(vec![eq, Pred::Eq { col: 1, value: 0 }]);
+        let sel = disj.selectivity(&s);
+        assert!(sel > 0.25 && sel < 0.75);
+    }
+
+    #[test]
+    fn sql_rendering() {
+        let s = schema();
+        let p = Pred::and(vec![
+            Pred::Eq { col: 0, value: 2 },
+            Pred::NotEq { col: 1, value: 0 },
+        ]);
+        assert_eq!(p.to_sql(&s), "(a = 2 AND b <> 0)");
+        assert_eq!(Pred::True.to_sql(&s), "1=1");
+    }
+
+    #[test]
+    fn atom_count_counts_leaves() {
+        let p = Pred::or(vec![
+            Pred::and(vec![
+                Pred::Eq { col: 0, value: 1 },
+                Pred::Eq { col: 1, value: 1 },
+            ]),
+            Pred::Eq { col: 2, value: 0 },
+        ]);
+        assert_eq!(p.atom_count(), 3);
+        assert_eq!(Pred::True.atom_count(), 0);
+    }
+
+    #[test]
+    fn disjointness_detection() {
+        let p = Pred::and(vec![Pred::Eq { col: 0, value: 1 }]);
+        let q = Pred::and(vec![Pred::Eq { col: 0, value: 2 }]);
+        let r = Pred::and(vec![Pred::Eq { col: 1, value: 1 }]);
+        assert!(p.obviously_disjoint(&q));
+        assert!(!p.obviously_disjoint(&r));
+        // NotEq atoms are ignored (conservative).
+        let s = Pred::NotEq { col: 0, value: 1 };
+        assert!(!p.obviously_disjoint(&s));
+    }
+}

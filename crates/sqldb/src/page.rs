@@ -1,0 +1,118 @@
+//! Heap pages.
+//!
+//! Tables are stored as a sequence of fixed-size pages of packed fixed-width
+//! rows. The page is the unit of I/O accounting: a sequential scan charges
+//! one logical page read per page it touches, which is what makes the
+//! server-scan cost in the experiments proportional to *table* size rather
+//! than *result* size (the asymmetry the paper's staging exploits).
+
+use crate::types::{Code, CODE_BYTES};
+
+/// Page size in bytes. 8 KB, matching SQL Server 7.0's page size.
+pub const PAGE_SIZE: usize = 8192;
+
+/// Number of codes a page can hold.
+pub const PAGE_CODES: usize = PAGE_SIZE / CODE_BYTES;
+
+/// A fixed-size page of packed rows, each `arity` codes wide.
+#[derive(Debug, Clone)]
+pub struct Page {
+    /// Packed row data; `nrows * arity` codes are valid.
+    data: Vec<Code>,
+    arity: usize,
+    nrows: usize,
+}
+
+impl Page {
+    /// An empty page for rows of the given arity.
+    pub fn new(arity: usize) -> Self {
+        assert!(arity > 0 && arity <= PAGE_CODES, "row too wide for a page");
+        Page {
+            data: Vec::with_capacity(Self::capacity_rows(arity) * arity),
+            arity,
+            nrows: 0,
+        }
+    }
+
+    /// Rows of width `arity` that fit on one page.
+    pub fn capacity_rows(arity: usize) -> usize {
+        PAGE_CODES / arity
+    }
+
+    /// Append a row. Returns `false` (without modifying the page) when full.
+    pub fn push_row(&mut self, row: &[Code]) -> bool {
+        debug_assert_eq!(row.len(), self.arity);
+        if self.nrows >= Self::capacity_rows(self.arity) {
+            return false;
+        }
+        self.data.extend_from_slice(row);
+        self.nrows += 1;
+        true
+    }
+
+    /// Rows stored on the page.
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    /// Is the page empty?
+    pub fn is_empty(&self) -> bool {
+        self.nrows == 0
+    }
+
+    /// Row `i` as a code slice.
+    pub fn row(&self, i: usize) -> &[Code] {
+        let start = i * self.arity;
+        &self.data[start..start + self.arity]
+    }
+
+    /// Iterate over all rows on the page.
+    pub fn rows(&self) -> impl Iterator<Item = &[Code]> + '_ {
+        self.data.chunks_exact(self.arity)
+    }
+
+    /// Raw packed codes (used by spooling and the simulated wire).
+    pub fn raw(&self) -> &[Code] {
+        &self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_depends_on_arity() {
+        assert_eq!(Page::capacity_rows(1), 4096);
+        assert_eq!(Page::capacity_rows(4), 1024);
+        assert_eq!(Page::capacity_rows(100), 40);
+    }
+
+    #[test]
+    fn push_until_full() {
+        let mut p = Page::new(2);
+        let cap = Page::capacity_rows(2);
+        for i in 0..cap {
+            assert!(p.push_row(&[i as Code, 1]));
+        }
+        assert!(!p.push_row(&[0, 0]), "page must reject overflow");
+        assert_eq!(p.nrows(), cap);
+        assert_eq!(p.row(5), &[5, 1]);
+    }
+
+    #[test]
+    fn rows_iterates_in_insert_order() {
+        let mut p = Page::new(3);
+        p.push_row(&[1, 2, 3]);
+        p.push_row(&[4, 5, 6]);
+        let rows: Vec<_> = p.rows().collect();
+        assert_eq!(rows, vec![&[1, 2, 3][..], &[4, 5, 6][..]]);
+    }
+
+    #[test]
+    fn empty_page() {
+        let p = Page::new(7);
+        assert!(p.is_empty());
+        assert_eq!(p.rows().count(), 0);
+    }
+}

@@ -1,0 +1,262 @@
+//! Database persistence: a compact binary snapshot format.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! magic "SCLSDB01"
+//! u32 table_count
+//! per table:
+//!   str  name                      (u32 length + UTF-8 bytes)
+//!   u32  column_count
+//!   per column:
+//!     str  name
+//!     u16  cardinality
+//!     u8   has_labels
+//!     [str × cardinality labels]   (if has_labels)
+//!   u64  row_count
+//!   row_count × arity × u16 codes
+//! ```
+//!
+//! Only base tables persist; temp tables, TID sets, and statistics are
+//! session state by design.
+
+use crate::database::Database;
+use crate::error::{DbError, DbResult};
+use crate::storage::Table;
+use crate::types::{Code, ColumnMeta, Schema};
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"SCLSDB01";
+
+fn write_str(out: &mut impl Write, s: &str) -> DbResult<()> {
+    out.write_all(&(s.len() as u32).to_le_bytes())?;
+    out.write_all(s.as_bytes())?;
+    Ok(())
+}
+
+fn read_str(input: &mut impl Read) -> DbResult<String> {
+    let mut len = [0u8; 4];
+    input.read_exact(&mut len)?;
+    let len = u32::from_le_bytes(len) as usize;
+    if len > 1 << 20 {
+        return Err(corrupt("string length"));
+    }
+    let mut buf = vec![0u8; len];
+    input.read_exact(&mut buf)?;
+    String::from_utf8(buf).map_err(|_| corrupt("string encoding"))
+}
+
+fn corrupt(what: &str) -> DbError {
+    DbError::Parse {
+        message: format!("corrupt database file: bad {what}"),
+        position: 0,
+    }
+}
+
+/// Write a snapshot of every base table to `path`.
+pub fn save_database(db: &Database, path: impl AsRef<Path>) -> DbResult<()> {
+    let mut out = BufWriter::new(File::create(path)?);
+    out.write_all(MAGIC)?;
+    let mut names: Vec<&str> = db.table_names().collect();
+    names.sort_unstable(); // deterministic files
+    out.write_all(&(names.len() as u32).to_le_bytes())?;
+    for name in names {
+        let table = db.table(name).expect("listed table exists");
+        write_str(&mut out, name)?;
+        let schema = table.schema();
+        out.write_all(&(schema.arity() as u32).to_le_bytes())?;
+        for col in schema.columns() {
+            write_str(&mut out, col.name())?;
+            out.write_all(&col.cardinality().to_le_bytes())?;
+            let has_labels = col.has_labels();
+            out.write_all(&[u8::from(has_labels)])?;
+            if has_labels {
+                for c in 0..col.cardinality() {
+                    write_str(&mut out, &col.label(c))?;
+                }
+            }
+        }
+        out.write_all(&table.nrows().to_le_bytes())?;
+        for row in table.rows_unaccounted() {
+            for &code in row {
+                out.write_all(&code.to_le_bytes())?;
+            }
+        }
+    }
+    out.flush()?;
+    Ok(())
+}
+
+/// Load a snapshot written by [`save_database`].
+pub fn open_database(path: impl AsRef<Path>) -> DbResult<Database> {
+    let mut input = BufReader::new(File::open(path)?);
+    let mut magic = [0u8; 8];
+    input.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(corrupt("magic header"));
+    }
+    let mut count = [0u8; 4];
+    input.read_exact(&mut count)?;
+    let ntables = u32::from_le_bytes(count);
+    let mut db = Database::new();
+    for _ in 0..ntables {
+        let name = read_str(&mut input)?;
+        let mut ncols = [0u8; 4];
+        input.read_exact(&mut ncols)?;
+        let ncols = u32::from_le_bytes(ncols) as usize;
+        if ncols == 0 || ncols > 4096 {
+            return Err(corrupt("column count"));
+        }
+        let mut columns = Vec::with_capacity(ncols);
+        for _ in 0..ncols {
+            let col_name = read_str(&mut input)?;
+            let mut card = [0u8; 2];
+            input.read_exact(&mut card)?;
+            let card = u16::from_le_bytes(card);
+            if card == 0 {
+                return Err(corrupt("cardinality"));
+            }
+            let mut flag = [0u8; 1];
+            input.read_exact(&mut flag)?;
+            if flag[0] > 1 {
+                return Err(corrupt("label flag"));
+            }
+            if flag[0] == 1 {
+                let labels: DbResult<Vec<String>> =
+                    (0..card).map(|_| read_str(&mut input)).collect();
+                columns.push(ColumnMeta::with_labels(col_name, labels?));
+            } else {
+                columns.push(ColumnMeta::new(col_name, card));
+            }
+        }
+        let schema = Schema::new(columns);
+        let arity = schema.arity();
+        let mut nrows = [0u8; 8];
+        input.read_exact(&mut nrows)?;
+        let nrows = u64::from_le_bytes(nrows);
+        let mut table = Table::new(schema);
+        let mut row_buf = vec![0u8; arity * 2];
+        let mut row: Vec<Code> = Vec::with_capacity(arity);
+        for _ in 0..nrows {
+            input.read_exact(&mut row_buf)?;
+            row.clear();
+            row.extend(
+                row_buf
+                    .chunks_exact(2)
+                    .map(|b| Code::from_le_bytes([b[0], b[1]])),
+            );
+            table.insert(&row).map_err(|_| corrupt("row data"))?;
+        }
+        db.register_table(name, table)?;
+    }
+    // Trailing garbage means the file is not what it claims to be.
+    let mut extra = [0u8; 1];
+    match input.read(&mut extra)? {
+        0 => Ok(db),
+        _ => Err(corrupt("trailing data")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sql::execute;
+
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!(
+            "scaleclass-persist-{}-{tag}.db",
+            std::process::id()
+        ))
+    }
+
+    fn sample_db() -> Database {
+        let mut db = Database::new();
+        execute(
+            &mut db,
+            "CREATE TABLE t (a CARDINALITY 4, class CARDINALITY 2)",
+        )
+        .unwrap();
+        for i in 0..100u16 {
+            db.insert("t", &[i % 4, i % 2]).unwrap();
+        }
+        // A labelled table too.
+        let labelled = crate::csv::import_csv(std::io::Cursor::new(
+            "color,size\nred,big\nblue,small\nred,small\n",
+        ))
+        .unwrap();
+        db.register_table("shapes", labelled).unwrap();
+        db
+    }
+
+    #[test]
+    fn round_trip_preserves_tables_and_labels() {
+        let path = temp_path("roundtrip");
+        let db = sample_db();
+        save_database(&db, &path).unwrap();
+        let loaded = open_database(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+
+        let t = loaded.table("t").unwrap();
+        assert_eq!(t.nrows(), 100);
+        assert_eq!(t.schema(), db.table("t").unwrap().schema());
+        let rows_a: Vec<Vec<Code>> = db
+            .table("t")
+            .unwrap()
+            .rows_unaccounted()
+            .map(|r| r.to_vec())
+            .collect();
+        let rows_b: Vec<Vec<Code>> = t.rows_unaccounted().map(|r| r.to_vec()).collect();
+        assert_eq!(rows_a, rows_b);
+
+        let shapes = loaded.table("shapes").unwrap();
+        assert_eq!(shapes.schema().column(0).label(1), "blue");
+        assert_eq!(shapes.schema().column(0).code_of("red"), Some(0));
+    }
+
+    #[test]
+    fn loaded_database_is_queryable() {
+        let path = temp_path("query");
+        save_database(&sample_db(), &path).unwrap();
+        let mut loaded = open_database(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        let rs = execute(&mut loaded, "SELECT COUNT(*) FROM t WHERE a = 1")
+            .unwrap()
+            .into_rows()
+            .unwrap();
+        assert_eq!(rs.rows[0][0].as_int(), Some(25));
+    }
+
+    #[test]
+    fn corrupt_files_are_rejected() {
+        let path = temp_path("corrupt");
+        std::fs::write(&path, b"definitely not a database").unwrap();
+        assert!(open_database(&path).is_err());
+        // truncated real file
+        save_database(&sample_db(), &path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        assert!(open_database(&path).is_err());
+        // trailing garbage
+        let mut extended = bytes.clone();
+        extended.push(0xFF);
+        std::fs::write(&path, &extended).unwrap();
+        assert!(open_database(&path).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_file_errors() {
+        assert!(open_database("/nonexistent/scaleclass.db").is_err());
+    }
+
+    #[test]
+    fn empty_database_round_trips() {
+        let path = temp_path("empty");
+        save_database(&Database::new(), &path).unwrap();
+        let loaded = open_database(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        assert_eq!(loaded.table_names().count(), 0);
+    }
+}

@@ -1,0 +1,197 @@
+//! Abstract syntax for the supported SQL subset.
+//!
+//! The grammar covers exactly what the paper's middleware and baselines
+//! emit (§2.3): `SELECT`s with literal/column/`COUNT(*)` projections,
+//! conjunctive/disjunctive equality predicates, `GROUP BY`, and `UNION
+//! [ALL]` chains — plus enough DDL/DML (`CREATE TABLE` / `INSERT` / `DROP
+//! TABLE`) to drive the engine from examples and tests.
+
+/// One parsed SQL statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Statement {
+    /// A query: one or more `UNION [ALL]` arms.
+    Select(SelectQuery),
+    /// `CREATE TABLE name (col CARDINALITY n, ...)` — cardinality-typed
+    /// categorical columns.
+    CreateTable {
+        /// Table name.
+        name: String,
+        /// `(column name, cardinality)` pairs.
+        columns: Vec<(String, u16)>,
+    },
+    /// `INSERT INTO name VALUES (..), (..)`.
+    Insert {
+        /// Target table.
+        table: String,
+        /// Literal rows of value codes.
+        rows: Vec<Vec<u16>>,
+    },
+    /// `DROP TABLE name`.
+    DropTable {
+        /// Table to drop.
+        name: String,
+    },
+    /// `DELETE FROM name [WHERE ...]`.
+    Delete {
+        /// Target table.
+        table: String,
+        /// Optional predicate (absent = delete everything).
+        where_clause: Option<BoolExpr>,
+    },
+}
+
+/// A `UNION ALL` chain of select arms. A single plain `SELECT` is a chain
+/// of length one. `ORDER BY` / `LIMIT` apply to the combined result, as in
+/// standard SQL.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SelectQuery {
+    /// The UNION arms, in source order.
+    pub arms: Vec<SelectArm>,
+    /// Output ordering over *output column names* (empty = unspecified).
+    pub order_by: Vec<OrderKey>,
+    /// Row-count cap applied after ordering.
+    pub limit: Option<u64>,
+}
+
+/// One ORDER BY key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OrderKey {
+    /// Output column name to sort on.
+    pub column: String,
+    /// Descending order?
+    pub desc: bool,
+}
+
+/// One `SELECT ... FROM ... [WHERE ...] [GROUP BY ...]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SelectArm {
+    /// Output expressions, in order.
+    pub projections: Vec<Projection>,
+    /// The FROM table.
+    pub table: String,
+    /// Optional WHERE predicate.
+    pub where_clause: Option<BoolExpr>,
+    /// GROUP BY column names (empty = ungrouped).
+    pub group_by: Vec<String>,
+}
+
+/// A projected output column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Projection {
+    /// All columns (`*`). Only valid without GROUP BY.
+    Wildcard,
+    /// A named column, optionally aliased.
+    Column {
+        /// Referenced column.
+        name: String,
+        /// Optional `AS` alias.
+        alias: Option<String>,
+    },
+    /// A string literal (the paper uses `'attr1' AS attr_name` markers).
+    StrLit {
+        /// Literal text.
+        value: String,
+        /// Optional `AS` alias.
+        alias: Option<String>,
+    },
+    /// An integer literal.
+    IntLit {
+        /// Literal value.
+        value: u64,
+        /// Optional `AS` alias.
+        alias: Option<String>,
+    },
+    /// `COUNT(*)`.
+    CountStar {
+        /// Optional `AS` alias.
+        alias: Option<String>,
+    },
+}
+
+impl Projection {
+    /// The output column name this projection produces.
+    pub fn output_name(&self) -> String {
+        match self {
+            Projection::Wildcard => "*".to_string(),
+            Projection::Column { name, alias } => alias.clone().unwrap_or_else(|| name.clone()),
+            Projection::StrLit { value, alias } => {
+                alias.clone().unwrap_or_else(|| format!("'{value}'"))
+            }
+            Projection::IntLit { value, alias } => {
+                alias.clone().unwrap_or_else(|| value.to_string())
+            }
+            Projection::CountStar { alias } => {
+                alias.clone().unwrap_or_else(|| "count(*)".to_string())
+            }
+        }
+    }
+}
+
+/// A boolean expression over columns, by name (resolved against the schema
+/// at execution time).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BoolExpr {
+    /// A constant (`1=1` / `1=0` in SQL text).
+    Const(bool),
+    /// `column op value`.
+    Cmp {
+        /// Column name (resolved at execution time).
+        column: String,
+        /// Comparison operator.
+        op: CmpOp,
+        /// Compared literal.
+        value: u64,
+    },
+    /// Conjunction.
+    And(Vec<BoolExpr>),
+    /// Disjunction.
+    Or(Vec<BoolExpr>),
+    /// Negation.
+    Not(Box<BoolExpr>),
+}
+
+/// Comparison operators of the subset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `<>`
+    NotEq,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_names_prefer_aliases() {
+        assert_eq!(
+            Projection::Column {
+                name: "a1".into(),
+                alias: Some("value".into())
+            }
+            .output_name(),
+            "value"
+        );
+        assert_eq!(
+            Projection::Column {
+                name: "a1".into(),
+                alias: None
+            }
+            .output_name(),
+            "a1"
+        );
+        assert_eq!(
+            Projection::CountStar { alias: None }.output_name(),
+            "count(*)"
+        );
+        assert_eq!(
+            Projection::StrLit {
+                value: "x".into(),
+                alias: None
+            }
+            .output_name(),
+            "'x'"
+        );
+    }
+}

@@ -1,0 +1,255 @@
+//! SQL tokenizer for the query subset the middleware generates.
+
+use crate::error::{DbError, DbResult};
+
+/// A lexical token with its byte position (for error reporting).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What the token is.
+    pub kind: TokenKind,
+    /// Byte offset in the input.
+    pub pos: usize,
+}
+
+/// Token kinds of the SQL subset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (keywords are matched case-insensitively by
+    /// the parser; the original text is preserved here).
+    Ident(String),
+    /// Unsigned integer literal.
+    Int(u64),
+    /// Single-quoted string literal (quotes stripped, `''` unescaped).
+    Str(String),
+    /// `,`
+    Comma,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `*`
+    Star,
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    NotEq,
+    /// `;`
+    Semicolon,
+}
+
+impl TokenKind {
+    /// True if this token is the given keyword (case-insensitive).
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, TokenKind::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+}
+
+/// Tokenize SQL text.
+pub fn lex(input: &str) -> DbResult<Vec<Token>> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => i += 1,
+            b',' => {
+                tokens.push(Token {
+                    kind: TokenKind::Comma,
+                    pos: i,
+                });
+                i += 1;
+            }
+            b'(' => {
+                tokens.push(Token {
+                    kind: TokenKind::LParen,
+                    pos: i,
+                });
+                i += 1;
+            }
+            b')' => {
+                tokens.push(Token {
+                    kind: TokenKind::RParen,
+                    pos: i,
+                });
+                i += 1;
+            }
+            b'*' => {
+                tokens.push(Token {
+                    kind: TokenKind::Star,
+                    pos: i,
+                });
+                i += 1;
+            }
+            b';' => {
+                tokens.push(Token {
+                    kind: TokenKind::Semicolon,
+                    pos: i,
+                });
+                i += 1;
+            }
+            b'=' => {
+                tokens.push(Token {
+                    kind: TokenKind::Eq,
+                    pos: i,
+                });
+                i += 1;
+            }
+            b'<' => {
+                if bytes.get(i + 1) == Some(&b'>') {
+                    tokens.push(Token {
+                        kind: TokenKind::NotEq,
+                        pos: i,
+                    });
+                    i += 2;
+                } else {
+                    return Err(DbError::Parse {
+                        message: "expected `<>`".into(),
+                        position: i,
+                    });
+                }
+            }
+            b'!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token {
+                        kind: TokenKind::NotEq,
+                        pos: i,
+                    });
+                    i += 2;
+                } else {
+                    return Err(DbError::Parse {
+                        message: "expected `!=`".into(),
+                        position: i,
+                    });
+                }
+            }
+            b'\'' => {
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match bytes.get(i) {
+                        Some(b'\'') => {
+                            if bytes.get(i + 1) == Some(&b'\'') {
+                                s.push('\'');
+                                i += 2;
+                            } else {
+                                i += 1;
+                                break;
+                            }
+                        }
+                        Some(&b) => {
+                            s.push(b as char);
+                            i += 1;
+                        }
+                        None => {
+                            return Err(DbError::Parse {
+                                message: "unterminated string literal".into(),
+                                position: start,
+                            })
+                        }
+                    }
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Str(s),
+                    pos: start,
+                });
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let text = &input[start..i];
+                let value = text.parse::<u64>().map_err(|_| DbError::Parse {
+                    message: format!("integer literal `{text}` out of range"),
+                    position: start,
+                })?;
+                tokens.push(Token {
+                    kind: TokenKind::Int(value),
+                    pos: start,
+                });
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' | b'#' => {
+                let start = i;
+                i += 1;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_' || bytes[i] == b'#')
+                {
+                    i += 1;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Ident(input[start..i].to_string()),
+                    pos: start,
+                });
+            }
+            other => {
+                return Err(DbError::Parse {
+                    message: format!("unexpected character `{}`", other as char),
+                    position: i,
+                })
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(sql: &str) -> Vec<TokenKind> {
+        lex(sql).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_the_paper_cc_query_shape() {
+        let toks = kinds("SELECT 'a1' AS attr_name, A1 AS value, class, count(*)");
+        assert_eq!(toks[0], TokenKind::Ident("SELECT".into()));
+        assert_eq!(toks[1], TokenKind::Str("a1".into()));
+        assert!(toks[2].is_kw("as"));
+        assert!(toks.contains(&TokenKind::Star));
+    }
+
+    #[test]
+    fn operators_and_punctuation() {
+        assert_eq!(
+            kinds("a = 1 , b <> 2 ; (c != 3)"),
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Eq,
+                TokenKind::Int(1),
+                TokenKind::Comma,
+                TokenKind::Ident("b".into()),
+                TokenKind::NotEq,
+                TokenKind::Int(2),
+                TokenKind::Semicolon,
+                TokenKind::LParen,
+                TokenKind::Ident("c".into()),
+                TokenKind::NotEq,
+                TokenKind::Int(3),
+                TokenKind::RParen,
+            ]
+        );
+    }
+
+    #[test]
+    fn string_escapes() {
+        assert_eq!(kinds("'it''s'"), vec![TokenKind::Str("it's".into())]);
+    }
+
+    #[test]
+    fn errors_carry_positions() {
+        match lex("a ? b") {
+            Err(DbError::Parse { position, .. }) => assert_eq!(position, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        assert!(lex("'unterminated").is_err());
+        assert!(lex("a < b").is_err(), "bare `<` unsupported");
+    }
+
+    #[test]
+    fn temp_table_names_lex_as_idents() {
+        assert_eq!(kinds("#temp_1"), vec![TokenKind::Ident("#temp_1".into())]);
+    }
+}

@@ -1,0 +1,17 @@
+//! The SQL subset: lexer, parser, AST, and executor.
+//!
+//! Coverage is intentionally scoped to the query shapes of the paper (§2.3)
+//! plus minimal DDL/DML. See [`ast`] for the grammar and [`exec`] for
+//! execution semantics (notably: every UNION arm pays its own scan, as
+//! 1999-era optimizers did).
+
+pub mod ast;
+pub mod exec;
+pub mod lexer;
+pub mod parser;
+pub mod result;
+
+pub use ast::{BoolExpr, CmpOp, Projection, SelectArm, SelectQuery, Statement};
+pub use exec::{execute, execute_script, execute_select, resolve_bool_expr, ExecOutcome};
+pub use parser::parse;
+pub use result::{ResultSet, SqlValue};

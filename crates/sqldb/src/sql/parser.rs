@@ -1,0 +1,503 @@
+//! Recursive-descent parser for the SQL subset.
+
+use super::ast::*;
+use super::lexer::{lex, Token, TokenKind};
+use crate::error::{DbError, DbResult};
+
+/// Parse a single SQL statement (an optional trailing `;` is allowed).
+pub fn parse(sql: &str) -> DbResult<Statement> {
+    let tokens = lex(sql)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let stmt = p.statement()?;
+    p.eat_if(|k| matches!(k, TokenKind::Semicolon));
+    if let Some(tok) = p.peek() {
+        return Err(p.error_at(tok.pos, "trailing input after statement"));
+    }
+    Ok(stmt)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn error_here(&self, message: &str) -> DbError {
+        let position = self.peek().map(|t| t.pos).unwrap_or(usize::MAX);
+        DbError::Parse {
+            message: message.to_string(),
+            position,
+        }
+    }
+
+    fn error_at(&self, position: usize, message: &str) -> DbError {
+        DbError::Parse {
+            message: message.to_string(),
+            position,
+        }
+    }
+
+    fn eat_if(&mut self, f: impl Fn(&TokenKind) -> bool) -> bool {
+        if self.peek().is_some_and(|t| f(&t.kind)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        self.eat_if(|k| k.is_kw(kw))
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> DbResult<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(self.error_here(&format!("expected `{kw}`")))
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind, what: &str) -> DbResult<()> {
+        if self.eat_if(|k| k == kind) {
+            Ok(())
+        } else {
+            Err(self.error_here(&format!("expected {what}")))
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> DbResult<String> {
+        match self.next() {
+            Some(Token {
+                kind: TokenKind::Ident(s),
+                ..
+            }) => Ok(s),
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                Err(self.error_here(&format!("expected {what}")))
+            }
+        }
+    }
+
+    fn int(&mut self, what: &str) -> DbResult<u64> {
+        match self.next() {
+            Some(Token {
+                kind: TokenKind::Int(v),
+                ..
+            }) => Ok(v),
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                Err(self.error_here(&format!("expected {what}")))
+            }
+        }
+    }
+
+    fn statement(&mut self) -> DbResult<Statement> {
+        let tok = self.peek().ok_or_else(|| self.error_here("empty input"))?;
+        match &tok.kind {
+            k if k.is_kw("select") => Ok(Statement::Select(self.select_query()?)),
+            k if k.is_kw("create") => self.create_table(),
+            k if k.is_kw("insert") => self.insert(),
+            k if k.is_kw("drop") => self.drop_table(),
+            k if k.is_kw("delete") => self.delete(),
+            _ => Err(self.error_here("expected SELECT, CREATE, INSERT, DELETE, or DROP")),
+        }
+    }
+
+    fn select_query(&mut self) -> DbResult<SelectQuery> {
+        let mut arms = vec![self.select_arm()?];
+        while self.eat_kw("union") {
+            // Plain UNION and UNION ALL are both accepted; the paper's CC
+            // queries produce disjoint groups, so duplicate elimination is a
+            // no-op and we treat both as ALL.
+            self.eat_kw("all");
+            arms.push(self.select_arm()?);
+        }
+        let mut order_by = Vec::new();
+        if self.eat_kw("order") {
+            self.expect_kw("by")?;
+            loop {
+                let column = self.ident("ordering column")?;
+                let desc = if self.eat_kw("desc") {
+                    true
+                } else {
+                    self.eat_kw("asc");
+                    false
+                };
+                order_by.push(OrderKey { column, desc });
+                if !self.eat_if(|k| matches!(k, TokenKind::Comma)) {
+                    break;
+                }
+            }
+        }
+        let limit = if self.eat_kw("limit") {
+            Some(self.int("limit count")?)
+        } else {
+            None
+        };
+        Ok(SelectQuery {
+            arms,
+            order_by,
+            limit,
+        })
+    }
+
+    fn select_arm(&mut self) -> DbResult<SelectArm> {
+        self.expect_kw("select")?;
+        let mut projections = vec![self.projection()?];
+        while self.eat_if(|k| matches!(k, TokenKind::Comma)) {
+            projections.push(self.projection()?);
+        }
+        self.expect_kw("from")?;
+        let table = self.ident("table name")?;
+        let where_clause = if self.eat_kw("where") {
+            Some(self.bool_expr()?)
+        } else {
+            None
+        };
+        let mut group_by = Vec::new();
+        if self.eat_kw("group") {
+            self.expect_kw("by")?;
+            group_by.push(self.ident("grouping column")?);
+            while self.eat_if(|k| matches!(k, TokenKind::Comma)) {
+                group_by.push(self.ident("grouping column")?);
+            }
+        }
+        Ok(SelectArm {
+            projections,
+            table,
+            where_clause,
+            group_by,
+        })
+    }
+
+    fn alias(&mut self) -> DbResult<Option<String>> {
+        if self.eat_kw("as") {
+            Ok(Some(self.ident("alias")?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    fn projection(&mut self) -> DbResult<Projection> {
+        let tok = self
+            .peek()
+            .ok_or_else(|| self.error_here("expected projection"))?
+            .clone();
+        match tok.kind {
+            TokenKind::Star => {
+                self.pos += 1;
+                Ok(Projection::Wildcard)
+            }
+            TokenKind::Str(value) => {
+                self.pos += 1;
+                Ok(Projection::StrLit {
+                    value,
+                    alias: self.alias()?,
+                })
+            }
+            TokenKind::Int(value) => {
+                self.pos += 1;
+                Ok(Projection::IntLit {
+                    value,
+                    alias: self.alias()?,
+                })
+            }
+            TokenKind::Ident(name) if name.eq_ignore_ascii_case("count") => {
+                self.pos += 1;
+                self.expect(&TokenKind::LParen, "`(` after COUNT")?;
+                self.expect(&TokenKind::Star, "`*` in COUNT(*)")?;
+                self.expect(&TokenKind::RParen, "`)` after COUNT(*")?;
+                Ok(Projection::CountStar {
+                    alias: self.alias()?,
+                })
+            }
+            TokenKind::Ident(name) => {
+                self.pos += 1;
+                Ok(Projection::Column {
+                    name,
+                    alias: self.alias()?,
+                })
+            }
+            _ => Err(self.error_here("expected projection")),
+        }
+    }
+
+    fn bool_expr(&mut self) -> DbResult<BoolExpr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> DbResult<BoolExpr> {
+        let mut terms = vec![self.and_expr()?];
+        while self.eat_kw("or") {
+            terms.push(self.and_expr()?);
+        }
+        Ok(if terms.len() == 1 {
+            terms.pop().expect("len checked")
+        } else {
+            BoolExpr::Or(terms)
+        })
+    }
+
+    fn and_expr(&mut self) -> DbResult<BoolExpr> {
+        let mut terms = vec![self.not_expr()?];
+        while self.eat_kw("and") {
+            terms.push(self.not_expr()?);
+        }
+        Ok(if terms.len() == 1 {
+            terms.pop().expect("len checked")
+        } else {
+            BoolExpr::And(terms)
+        })
+    }
+
+    fn not_expr(&mut self) -> DbResult<BoolExpr> {
+        if self.eat_kw("not") {
+            Ok(BoolExpr::Not(Box::new(self.not_expr()?)))
+        } else {
+            self.primary()
+        }
+    }
+
+    fn primary(&mut self) -> DbResult<BoolExpr> {
+        if self.eat_if(|k| matches!(k, TokenKind::LParen)) {
+            let inner = self.bool_expr()?;
+            self.expect(&TokenKind::RParen, "`)`")?;
+            return Ok(inner);
+        }
+        // `1=1` / `1=0` constants, else `column (=|<>) int`.
+        let tok = self
+            .peek()
+            .ok_or_else(|| self.error_here("expected comparison"))?
+            .clone();
+        match tok.kind {
+            TokenKind::Int(lhs) => {
+                self.pos += 1;
+                let op = self.cmp_op()?;
+                let rhs = self.int("integer")?;
+                let equal = lhs == rhs;
+                Ok(BoolExpr::Const(match op {
+                    CmpOp::Eq => equal,
+                    CmpOp::NotEq => !equal,
+                }))
+            }
+            TokenKind::Ident(column) => {
+                self.pos += 1;
+                let op = self.cmp_op()?;
+                let value = self.int("comparison value")?;
+                Ok(BoolExpr::Cmp { column, op, value })
+            }
+            _ => Err(self.error_here("expected comparison")),
+        }
+    }
+
+    fn cmp_op(&mut self) -> DbResult<CmpOp> {
+        if self.eat_if(|k| matches!(k, TokenKind::Eq)) {
+            Ok(CmpOp::Eq)
+        } else if self.eat_if(|k| matches!(k, TokenKind::NotEq)) {
+            Ok(CmpOp::NotEq)
+        } else {
+            Err(self.error_here("expected `=` or `<>`"))
+        }
+    }
+
+    fn create_table(&mut self) -> DbResult<Statement> {
+        self.expect_kw("create")?;
+        self.expect_kw("table")?;
+        let name = self.ident("table name")?;
+        self.expect(&TokenKind::LParen, "`(`")?;
+        let mut columns = Vec::new();
+        loop {
+            let col = self.ident("column name")?;
+            self.expect_kw("cardinality")?;
+            let card = self.int("cardinality")?;
+            if card == 0 || card > u64::from(u16::MAX) {
+                return Err(self.error_here("cardinality must be in 1..=65535"));
+            }
+            columns.push((col, card as u16));
+            if !self.eat_if(|k| matches!(k, TokenKind::Comma)) {
+                break;
+            }
+        }
+        self.expect(&TokenKind::RParen, "`)`")?;
+        Ok(Statement::CreateTable { name, columns })
+    }
+
+    fn insert(&mut self) -> DbResult<Statement> {
+        self.expect_kw("insert")?;
+        self.expect_kw("into")?;
+        let table = self.ident("table name")?;
+        self.expect_kw("values")?;
+        let mut rows = Vec::new();
+        loop {
+            self.expect(&TokenKind::LParen, "`(`")?;
+            let mut row = Vec::new();
+            loop {
+                let v = self.int("value")?;
+                if v > u64::from(u16::MAX) {
+                    return Err(self.error_here("value exceeds u16 range"));
+                }
+                row.push(v as u16);
+                if !self.eat_if(|k| matches!(k, TokenKind::Comma)) {
+                    break;
+                }
+            }
+            self.expect(&TokenKind::RParen, "`)`")?;
+            rows.push(row);
+            if !self.eat_if(|k| matches!(k, TokenKind::Comma)) {
+                break;
+            }
+        }
+        Ok(Statement::Insert { table, rows })
+    }
+
+    fn delete(&mut self) -> DbResult<Statement> {
+        self.expect_kw("delete")?;
+        self.expect_kw("from")?;
+        let table = self.ident("table name")?;
+        let where_clause = if self.eat_kw("where") {
+            Some(self.bool_expr()?)
+        } else {
+            None
+        };
+        Ok(Statement::Delete {
+            table,
+            where_clause,
+        })
+    }
+
+    fn drop_table(&mut self) -> DbResult<Statement> {
+        self.expect_kw("drop")?;
+        self.expect_kw("table")?;
+        let name = self.ident("table name")?;
+        Ok(Statement::DropTable { name })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_cc_query() {
+        let sql = "Select 'attr1' as attr_name, A1 as value, class, count(*) \
+                   From Data_table Where A2 = 1 AND A3 <> 0 Group By class, A1 \
+                   UNION \
+                   Select 'attr2', A2, class, count(*) \
+                   From Data_table Where A2 = 1 Group By class, A2";
+        let stmt = parse(sql).unwrap();
+        let Statement::Select(q) = stmt else {
+            panic!("expected select");
+        };
+        assert_eq!(q.arms.len(), 2);
+        let arm = &q.arms[0];
+        assert_eq!(arm.table, "Data_table");
+        assert_eq!(arm.group_by, vec!["class", "A1"]);
+        assert_eq!(arm.projections.len(), 4);
+        assert_eq!(arm.projections[0].output_name(), "attr_name");
+        match &arm.where_clause {
+            Some(BoolExpr::And(terms)) => assert_eq!(terms.len(), 2),
+            other => panic!("expected AND, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_plain_select_star() {
+        let stmt = parse("SELECT * FROM t WHERE a = 3;").unwrap();
+        let Statement::Select(q) = stmt else { panic!() };
+        assert_eq!(q.arms[0].projections, vec![Projection::Wildcard]);
+        assert!(q.arms[0].group_by.is_empty());
+    }
+
+    #[test]
+    fn boolean_precedence_and_parens() {
+        let stmt = parse("SELECT a FROM t WHERE a=1 OR a=2 AND b=0").unwrap();
+        let Statement::Select(q) = stmt else { panic!() };
+        // OR binds loosest: a=1 OR (a=2 AND b=0)
+        match q.arms[0].where_clause.as_ref().unwrap() {
+            BoolExpr::Or(terms) => {
+                assert_eq!(terms.len(), 2);
+                assert!(matches!(terms[1], BoolExpr::And(_)));
+            }
+            other => panic!("expected OR, got {other:?}"),
+        }
+        let stmt2 = parse("SELECT a FROM t WHERE (a=1 OR a=2) AND b=0").unwrap();
+        let Statement::Select(q2) = stmt2 else {
+            panic!()
+        };
+        assert!(matches!(
+            q2.arms[0].where_clause.as_ref().unwrap(),
+            BoolExpr::And(_)
+        ));
+    }
+
+    #[test]
+    fn not_and_consts() {
+        let stmt = parse("SELECT a FROM t WHERE NOT a = 1 AND 1=1").unwrap();
+        let Statement::Select(q) = stmt else { panic!() };
+        match q.arms[0].where_clause.as_ref().unwrap() {
+            BoolExpr::And(terms) => {
+                assert!(matches!(terms[0], BoolExpr::Not(_)));
+                assert_eq!(terms[1], BoolExpr::Const(true));
+            }
+            other => panic!("{other:?}"),
+        }
+        let f = parse("SELECT a FROM t WHERE 1=0").unwrap();
+        let Statement::Select(qf) = f else { panic!() };
+        assert_eq!(qf.arms[0].where_clause, Some(BoolExpr::Const(false)));
+    }
+
+    #[test]
+    fn ddl_and_dml() {
+        let stmt = parse("CREATE TABLE t (a CARDINALITY 4, class CARDINALITY 2)").unwrap();
+        assert_eq!(
+            stmt,
+            Statement::CreateTable {
+                name: "t".into(),
+                columns: vec![("a".into(), 4), ("class".into(), 2)],
+            }
+        );
+        let ins = parse("INSERT INTO t VALUES (1, 0), (3, 1)").unwrap();
+        assert_eq!(
+            ins,
+            Statement::Insert {
+                table: "t".into(),
+                rows: vec![vec![1, 0], vec![3, 1]],
+            }
+        );
+        assert_eq!(
+            parse("DROP TABLE t").unwrap(),
+            Statement::DropTable { name: "t".into() }
+        );
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(parse("").is_err());
+        assert!(parse("SELECT").is_err());
+        assert!(parse("SELECT a FROM").is_err());
+        assert!(parse("SELECT a FROM t WHERE a =").is_err());
+        assert!(parse("SELECT a FROM t GROUP a").is_err());
+        assert!(parse("SELECT a FROM t; extra").is_err());
+        assert!(parse("CREATE TABLE t (a CARDINALITY 0)").is_err());
+        assert!(parse("UPDATE t SET a = 1").is_err());
+        assert!(parse("INSERT INTO t VALUES (99999)").is_err());
+    }
+
+    #[test]
+    fn count_requires_star() {
+        assert!(parse("SELECT count(a) FROM t").is_err());
+    }
+}

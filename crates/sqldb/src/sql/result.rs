@@ -1,0 +1,180 @@
+//! Query results.
+
+use std::fmt;
+
+/// A single output value.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum SqlValue {
+    /// An integer (column codes and counts).
+    Int(u64),
+    /// A string (literal projections, labels).
+    Str(String),
+}
+
+impl SqlValue {
+    /// The integer value, if this is an `Int`.
+    pub fn as_int(&self) -> Option<u64> {
+        match self {
+            SqlValue::Int(v) => Some(*v),
+            SqlValue::Str(_) => None,
+        }
+    }
+
+    /// The string value, if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            SqlValue::Str(s) => Some(s),
+            SqlValue::Int(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for SqlValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlValue::Int(v) => write!(f, "{v}"),
+            SqlValue::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+/// An ordered, named collection of result rows.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ResultSet {
+    /// Output column names.
+    pub columns: Vec<String>,
+    /// Output rows, aligned with `columns`.
+    pub rows: Vec<Vec<SqlValue>>,
+}
+
+impl ResultSet {
+    /// An empty result with the given columns.
+    pub fn new(columns: Vec<String>) -> Self {
+        ResultSet {
+            columns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Is the result empty?
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Index of an output column by name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns
+            .iter()
+            .position(|c| c.eq_ignore_ascii_case(name))
+    }
+
+    /// Sort rows lexicographically (stable output for tests and display).
+    pub fn sort(&mut self) {
+        self.rows.sort_by(|a, b| {
+            for (x, y) in a.iter().zip(b) {
+                let ord = match (x, y) {
+                    (SqlValue::Int(i), SqlValue::Int(j)) => i.cmp(j),
+                    (SqlValue::Str(s), SqlValue::Str(t)) => s.cmp(t),
+                    (SqlValue::Int(_), SqlValue::Str(_)) => std::cmp::Ordering::Less,
+                    (SqlValue::Str(_), SqlValue::Int(_)) => std::cmp::Ordering::Greater,
+                };
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+    }
+}
+
+impl fmt::Display for ResultSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
+        let rendered: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|row| row.iter().map(|v| v.to_string()).collect())
+            .collect();
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate() {
+                if i < widths.len() {
+                    widths[i] = widths[i].max(cell.len());
+                }
+            }
+        }
+        for (i, c) in self.columns.iter().enumerate() {
+            if i > 0 {
+                write!(f, " | ")?;
+            }
+            write!(f, "{c:<width$}", width = widths[i])?;
+        }
+        writeln!(f)?;
+        for (i, w) in widths.iter().enumerate() {
+            if i > 0 {
+                write!(f, "-+-")?;
+            }
+            write!(f, "{}", "-".repeat(*w))?;
+        }
+        writeln!(f)?;
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " | ")?;
+                }
+                write!(
+                    f,
+                    "{cell:<width$}",
+                    width = widths.get(i).copied().unwrap_or(0)
+                )?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rs() -> ResultSet {
+        ResultSet {
+            columns: vec!["attr".into(), "count".into()],
+            rows: vec![
+                vec![SqlValue::Str("b".into()), SqlValue::Int(2)],
+                vec![SqlValue::Str("a".into()), SqlValue::Int(9)],
+            ],
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        let r = rs();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.column_index("COUNT"), Some(1));
+        assert_eq!(r.column_index("missing"), None);
+        assert_eq!(r.rows[0][1].as_int(), Some(2));
+        assert_eq!(r.rows[0][0].as_str(), Some("b"));
+        assert_eq!(r.rows[0][0].as_int(), None);
+    }
+
+    #[test]
+    fn sort_orders_rows() {
+        let mut r = rs();
+        r.sort();
+        assert_eq!(r.rows[0][0], SqlValue::Str("a".into()));
+    }
+
+    #[test]
+    fn display_renders_header_and_rows() {
+        let text = rs().to_string();
+        assert!(text.contains("attr"));
+        assert!(text.contains('9'));
+        assert!(text.lines().count() >= 4);
+    }
+}

@@ -1,0 +1,325 @@
+//! Server-side I/O and query statistics.
+//!
+//! The 1999 experiments report wall-clock seconds on Pentium-II hardware.
+//! We cannot reproduce those numbers, but the *shape* of every figure is a
+//! function of how many pages were scanned, how many rows crossed the
+//! client/server boundary, and how many separate scans were issued. These
+//! counters make that shape deterministic and assertable in tests.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic counters, shared via `Arc` between the database and its
+/// cursors. All updates are `Relaxed`: counters are independent and only
+/// ever read as point-in-time snapshots.
+#[derive(Debug, Default)]
+pub struct DbStats {
+    /// Logical page reads performed by sequential scans and TID fetches.
+    pub pages_read: AtomicU64,
+    /// Logical page writes (temp-table materialization, spooling).
+    pub pages_written: AtomicU64,
+    /// Rows examined by scans (before any predicate filtering).
+    pub rows_scanned: AtomicU64,
+    /// Rows that crossed the server→client boundary.
+    pub rows_shipped: AtomicU64,
+    /// Bytes that crossed the server→client boundary (simulated wire).
+    pub bytes_shipped: AtomicU64,
+    /// Round trips on the simulated wire (one per fetched batch).
+    pub wire_round_trips: AtomicU64,
+    /// Sequential scans started (cursor opens and query-arm scans).
+    pub seq_scans: AtomicU64,
+    /// GROUP BY aggregations executed by the SQL engine (one per UNION arm).
+    pub group_by_queries: AtomicU64,
+    /// SQL statements executed.
+    pub statements: AtomicU64,
+    /// Temporary tables materialized (auxiliary access paths, §4.3.3a).
+    pub temp_tables: AtomicU64,
+    /// Rows fetched through a TID index access path (§4.3.3b).
+    pub tid_fetches: AtomicU64,
+    /// Keyset cursors opened (§4.3.3c).
+    pub keyset_opens: AtomicU64,
+}
+
+impl DbStats {
+    /// Fresh, all-zero counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Charge `n` logical page reads.
+    pub fn add_pages_read(&self, n: u64) {
+        self.pages_read.fetch_add(n, Ordering::Relaxed);
+    }
+    /// Charge `n` logical page writes.
+    pub fn add_pages_written(&self, n: u64) {
+        self.pages_written.fetch_add(n, Ordering::Relaxed);
+    }
+    /// Charge `n` rows examined by a scan.
+    pub fn add_rows_scanned(&self, n: u64) {
+        self.rows_scanned.fetch_add(n, Ordering::Relaxed);
+    }
+    /// Charge `n` rows crossing the server→client wire.
+    pub fn add_rows_shipped(&self, n: u64) {
+        self.rows_shipped.fetch_add(n, Ordering::Relaxed);
+    }
+    /// Charge `n` bytes crossing the server→client wire.
+    pub fn add_bytes_shipped(&self, n: u64) {
+        self.bytes_shipped.fetch_add(n, Ordering::Relaxed);
+    }
+    /// Charge one wire round trip (one fetched batch).
+    pub fn add_wire_round_trip(&self) {
+        self.wire_round_trips.fetch_add(1, Ordering::Relaxed);
+    }
+    /// Charge one sequential scan start.
+    pub fn add_seq_scan(&self) {
+        self.seq_scans.fetch_add(1, Ordering::Relaxed);
+    }
+    /// Charge one GROUP BY aggregation.
+    pub fn add_group_by(&self) {
+        self.group_by_queries.fetch_add(1, Ordering::Relaxed);
+    }
+    /// Charge one executed SQL statement.
+    pub fn add_statement(&self) {
+        self.statements.fetch_add(1, Ordering::Relaxed);
+    }
+    /// Charge one materialized temp structure (§4.3.3).
+    pub fn add_temp_table(&self) {
+        self.temp_tables.fetch_add(1, Ordering::Relaxed);
+    }
+    /// Charge `n` TID-indexed row fetches (§4.3.3b).
+    pub fn add_tid_fetches(&self, n: u64) {
+        self.tid_fetches.fetch_add(n, Ordering::Relaxed);
+    }
+    /// Charge one keyset-cursor open (§4.3.3c).
+    pub fn add_keyset_open(&self) {
+        self.keyset_opens.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Point-in-time copy of all counters.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            pages_read: self.pages_read.load(Ordering::Relaxed),
+            pages_written: self.pages_written.load(Ordering::Relaxed),
+            rows_scanned: self.rows_scanned.load(Ordering::Relaxed),
+            rows_shipped: self.rows_shipped.load(Ordering::Relaxed),
+            bytes_shipped: self.bytes_shipped.load(Ordering::Relaxed),
+            wire_round_trips: self.wire_round_trips.load(Ordering::Relaxed),
+            seq_scans: self.seq_scans.load(Ordering::Relaxed),
+            group_by_queries: self.group_by_queries.load(Ordering::Relaxed),
+            statements: self.statements.load(Ordering::Relaxed),
+            temp_tables: self.temp_tables.load(Ordering::Relaxed),
+            tid_fetches: self.tid_fetches.load(Ordering::Relaxed),
+            keyset_opens: self.keyset_opens.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of [`DbStats`]; supports `a - b` to express "work
+/// done between two snapshots".
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Snapshot of [`DbStats::pages_read`] (pages read).
+    pub pages_read: u64,
+    /// Snapshot of [`DbStats::pages_written`] (pages written).
+    pub pages_written: u64,
+    /// Snapshot of [`DbStats::rows_scanned`] (rows scanned).
+    pub rows_scanned: u64,
+    /// Snapshot of [`DbStats::rows_shipped`] (rows shipped).
+    pub rows_shipped: u64,
+    /// Snapshot of [`DbStats::bytes_shipped`] (bytes shipped).
+    pub bytes_shipped: u64,
+    /// Snapshot of [`DbStats::wire_round_trips`] (wire round trips).
+    pub wire_round_trips: u64,
+    /// Snapshot of [`DbStats::seq_scans`] (seq scans).
+    pub seq_scans: u64,
+    /// Snapshot of [`DbStats::group_by_queries`] (group by queries).
+    pub group_by_queries: u64,
+    /// Snapshot of [`DbStats::statements`] (statements).
+    pub statements: u64,
+    /// Snapshot of [`DbStats::temp_tables`] (temp tables).
+    pub temp_tables: u64,
+    /// Snapshot of [`DbStats::tid_fetches`] (tid fetches).
+    pub tid_fetches: u64,
+    /// Snapshot of [`DbStats::keyset_opens`] (keyset opens).
+    pub keyset_opens: u64,
+}
+
+impl std::ops::Sub for StatsSnapshot {
+    type Output = StatsSnapshot;
+
+    fn sub(self, rhs: StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            pages_read: self.pages_read - rhs.pages_read,
+            pages_written: self.pages_written - rhs.pages_written,
+            rows_scanned: self.rows_scanned - rhs.rows_scanned,
+            rows_shipped: self.rows_shipped - rhs.rows_shipped,
+            bytes_shipped: self.bytes_shipped - rhs.bytes_shipped,
+            wire_round_trips: self.wire_round_trips - rhs.wire_round_trips,
+            seq_scans: self.seq_scans - rhs.seq_scans,
+            group_by_queries: self.group_by_queries - rhs.group_by_queries,
+            statements: self.statements - rhs.statements,
+            temp_tables: self.temp_tables - rhs.temp_tables,
+            tid_fetches: self.tid_fetches - rhs.tid_fetches,
+            keyset_opens: self.keyset_opens - rhs.keyset_opens,
+        }
+    }
+}
+
+impl std::ops::Add for StatsSnapshot {
+    type Output = StatsSnapshot;
+
+    fn add(self, rhs: StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            pages_read: self.pages_read + rhs.pages_read,
+            pages_written: self.pages_written + rhs.pages_written,
+            rows_scanned: self.rows_scanned + rhs.rows_scanned,
+            rows_shipped: self.rows_shipped + rhs.rows_shipped,
+            bytes_shipped: self.bytes_shipped + rhs.bytes_shipped,
+            wire_round_trips: self.wire_round_trips + rhs.wire_round_trips,
+            seq_scans: self.seq_scans + rhs.seq_scans,
+            group_by_queries: self.group_by_queries + rhs.group_by_queries,
+            statements: self.statements + rhs.statements,
+            temp_tables: self.temp_tables + rhs.temp_tables,
+            tid_fetches: self.tid_fetches + rhs.tid_fetches,
+            keyset_opens: self.keyset_opens + rhs.keyset_opens,
+        }
+    }
+}
+
+/// Weights turning I/O counters into a scalar simulated cost. Units are
+/// arbitrary; only ratios matter. Two presets capture the two hardware
+/// eras the experiments care about:
+///
+/// * [`CostWeights::modern`] — today's ratios: local (middleware) disk is
+///   several times cheaper per row than the client/server wire.
+/// * [`CostWeights::lan1999`] — the paper's testbed: a 100 Mbit LAN and
+///   period disks are near parity, which is what makes the paper's
+///   Figure 8a crossover (server WHERE beats re-reading a static
+///   middleware file) appear.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CostWeights {
+    /// Cost of one logical page read.
+    pub page_read: u64,
+    /// Cost of one logical page write.
+    pub page_written: u64,
+    /// Cost of examining one row during a scan.
+    pub row_scanned: u64,
+    /// Cost of shipping one row over the wire.
+    pub row_shipped: u64,
+    /// Cost of one wire round trip.
+    pub round_trip: u64,
+    /// Cost of one TID-indexed random fetch.
+    pub tid_fetch: u64,
+    /// Middleware staging-file row read / written.
+    pub file_row_read: u64,
+    /// Cost of writing one middleware staging-file row.
+    pub file_row_written: u64,
+    /// Middleware memory row touched (scan or staging).
+    pub mem_row: u64,
+    /// Fixed overhead per middleware staging file created.
+    pub file_created: u64,
+}
+
+impl CostWeights {
+    /// Modern ratios (the default everywhere).
+    pub const fn modern() -> Self {
+        CostWeights {
+            page_read: 100,
+            page_written: 150,
+            row_scanned: 1,
+            row_shipped: 20,
+            round_trip: 1000,
+            tid_fetch: 120,
+            file_row_read: 4,
+            file_row_written: 6,
+            mem_row: 1,
+            file_created: 2500,
+        }
+    }
+
+    /// 1999 LAN-vs-disk ratios: reading a middleware file row costs about
+    /// as much as receiving a row over the wire.
+    pub const fn lan1999() -> Self {
+        CostWeights {
+            page_read: 100,
+            page_written: 150,
+            row_scanned: 1,
+            row_shipped: 20,
+            round_trip: 1000,
+            tid_fetch: 120,
+            file_row_read: 18,
+            file_row_written: 22,
+            mem_row: 1,
+            file_created: 2500,
+        }
+    }
+}
+
+impl Default for CostWeights {
+    fn default() -> Self {
+        CostWeights::modern()
+    }
+}
+
+impl StatsSnapshot {
+    /// Simulated server cost under the default (modern) weights.
+    pub fn simulated_cost(&self) -> u64 {
+        self.simulated_cost_with(&CostWeights::modern())
+    }
+
+    /// Simulated server cost under explicit weights.
+    pub fn simulated_cost_with(&self, w: &CostWeights) -> u64 {
+        self.pages_read * w.page_read
+            + self.pages_written * w.page_written
+            + self.rows_scanned * w.row_scanned
+            + self.rows_shipped * w.row_shipped
+            + self.wire_round_trips * w.round_trip
+            + self.tid_fetches * w.tid_fetch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_snapshot() {
+        let s = DbStats::new();
+        s.add_pages_read(3);
+        s.add_rows_scanned(100);
+        s.add_rows_shipped(10);
+        s.add_bytes_shipped(60);
+        s.add_seq_scan();
+        let snap = s.snapshot();
+        assert_eq!(snap.pages_read, 3);
+        assert_eq!(snap.rows_scanned, 100);
+        assert_eq!(snap.rows_shipped, 10);
+        assert_eq!(snap.bytes_shipped, 60);
+        assert_eq!(snap.seq_scans, 1);
+    }
+
+    #[test]
+    fn snapshot_subtraction_gives_deltas() {
+        let s = DbStats::new();
+        s.add_pages_read(5);
+        let before = s.snapshot();
+        s.add_pages_read(7);
+        s.add_rows_shipped(2);
+        let delta = s.snapshot() - before;
+        assert_eq!(delta.pages_read, 7);
+        assert_eq!(delta.rows_shipped, 2);
+        assert_eq!(delta.rows_scanned, 0);
+    }
+
+    #[test]
+    fn simulated_cost_weights_wire_heavier_than_scan() {
+        let shipped = StatsSnapshot {
+            rows_shipped: 100,
+            ..Default::default()
+        };
+        let scanned = StatsSnapshot {
+            rows_scanned: 100,
+            ..Default::default()
+        };
+        assert!(shipped.simulated_cost() > scanned.simulated_cost());
+    }
+}

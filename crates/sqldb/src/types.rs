@@ -1,0 +1,248 @@
+//! Core value and schema types.
+//!
+//! Following the paper (§1), all attributes are categorical (numeric
+//! attributes are assumed discretized upstream, see \[CFB97\]). Every column
+//! therefore stores small integer *codes* in `0..cardinality`. Rows are
+//! fixed-width sequences of codes, which keeps pages compact and makes scan
+//! cost proportional to bytes touched.
+
+use crate::error::{DbError, DbResult};
+use std::fmt;
+
+/// A categorical value code. `0..cardinality` for its column.
+pub type Code = u16;
+
+/// Bytes occupied by one stored code.
+pub const CODE_BYTES: usize = std::mem::size_of::<Code>();
+
+/// Metadata for a single column: a name, the number of distinct values, and
+/// optional human-readable labels for each code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnMeta {
+    name: String,
+    cardinality: u16,
+    labels: Option<Vec<String>>,
+}
+
+impl ColumnMeta {
+    /// A column with `cardinality` distinct values and no labels.
+    pub fn new(name: impl Into<String>, cardinality: u16) -> Self {
+        assert!(cardinality > 0, "a column needs at least one value");
+        ColumnMeta {
+            name: name.into(),
+            cardinality,
+            labels: None,
+        }
+    }
+
+    /// A column whose values carry display labels; cardinality is the label
+    /// count.
+    pub fn with_labels(name: impl Into<String>, labels: Vec<String>) -> Self {
+        assert!(!labels.is_empty(), "a column needs at least one value");
+        assert!(labels.len() <= u16::MAX as usize);
+        ColumnMeta {
+            name: name.into(),
+            cardinality: labels.len() as u16,
+            labels: Some(labels),
+        }
+    }
+
+    /// The column's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of distinct values the column may hold.
+    pub fn cardinality(&self) -> u16 {
+        self.cardinality
+    }
+
+    /// Display label for a code: the stored label if present, otherwise the
+    /// code rendered as a number.
+    pub fn label(&self, code: Code) -> String {
+        match &self.labels {
+            Some(labels) => labels
+                .get(code as usize)
+                .cloned()
+                .unwrap_or_else(|| code.to_string()),
+            None => code.to_string(),
+        }
+    }
+
+    /// Does this column carry display labels?
+    pub fn has_labels(&self) -> bool {
+        self.labels.is_some()
+    }
+
+    /// Resolve a label back to its code, if this column has labels.
+    pub fn code_of(&self, label: &str) -> Option<Code> {
+        self.labels
+            .as_ref()?
+            .iter()
+            .position(|l| l == label)
+            .map(|i| i as Code)
+    }
+}
+
+/// An ordered set of columns. Row layout is one [`Code`] per column in schema
+/// order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    columns: Vec<ColumnMeta>,
+}
+
+impl Schema {
+    /// A schema over the given columns (at least one).
+    pub fn new(columns: Vec<ColumnMeta>) -> Self {
+        assert!(!columns.is_empty(), "a schema needs at least one column");
+        Schema { columns }
+    }
+
+    /// Convenience constructor: `(name, cardinality)` pairs.
+    pub fn from_pairs(pairs: &[(&str, u16)]) -> Self {
+        Schema::new(pairs.iter().map(|(n, c)| ColumnMeta::new(*n, *c)).collect())
+    }
+
+    /// The ordered columns.
+    pub fn columns(&self) -> &[ColumnMeta] {
+        &self.columns
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Width of one stored row in bytes.
+    pub fn row_bytes(&self) -> usize {
+        self.arity() * CODE_BYTES
+    }
+
+    /// Column metadata by index.
+    pub fn column(&self, idx: usize) -> &ColumnMeta {
+        &self.columns[idx]
+    }
+
+    /// Index of a column by name (case-sensitive, then case-insensitive
+    /// fallback, which mirrors how the SQL layer resolves identifiers).
+    pub fn column_index(&self, name: &str) -> DbResult<usize> {
+        if let Some(i) = self.columns.iter().position(|c| c.name == name) {
+            return Ok(i);
+        }
+        self.columns
+            .iter()
+            .position(|c| c.name.eq_ignore_ascii_case(name))
+            .ok_or_else(|| DbError::UnknownColumn(name.to_string()))
+    }
+
+    /// Validate one row against the schema: arity and per-column range.
+    pub fn check_row(&self, row: &[Code]) -> DbResult<()> {
+        if row.len() != self.arity() {
+            return Err(DbError::ArityMismatch {
+                expected: self.arity(),
+                got: row.len(),
+            });
+        }
+        for (value, col) in row.iter().zip(&self.columns) {
+            if *value >= col.cardinality {
+                return Err(DbError::ValueOutOfRange {
+                    column: col.name.clone(),
+                    value: *value,
+                    cardinality: col.cardinality,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, c) in self.columns.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}:{}", c.name, c.cardinality)?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// A row identifier: position of the row within its table's heap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Tid(pub u64);
+
+impl fmt::Display for Tid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tid:{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn abc_schema() -> Schema {
+        Schema::from_pairs(&[("a", 4), ("b", 2), ("class", 3)])
+    }
+
+    #[test]
+    fn column_lookup_by_name() {
+        let s = abc_schema();
+        assert_eq!(s.column_index("a").unwrap(), 0);
+        assert_eq!(s.column_index("class").unwrap(), 2);
+        assert_eq!(s.column_index("CLASS").unwrap(), 2, "case-insensitive");
+        assert!(matches!(
+            s.column_index("missing"),
+            Err(DbError::UnknownColumn(_))
+        ));
+    }
+
+    #[test]
+    fn case_sensitive_match_wins_over_insensitive() {
+        let s = Schema::from_pairs(&[("A", 2), ("a", 2)]);
+        assert_eq!(s.column_index("a").unwrap(), 1);
+        assert_eq!(s.column_index("A").unwrap(), 0);
+    }
+
+    #[test]
+    fn row_validation() {
+        let s = abc_schema();
+        assert!(s.check_row(&[3, 1, 2]).is_ok());
+        assert!(matches!(
+            s.check_row(&[4, 0, 0]),
+            Err(DbError::ValueOutOfRange { .. })
+        ));
+        assert!(matches!(
+            s.check_row(&[0, 0]),
+            Err(DbError::ArityMismatch {
+                expected: 3,
+                got: 2
+            })
+        ));
+    }
+
+    #[test]
+    fn row_bytes_is_two_per_column() {
+        assert_eq!(abc_schema().row_bytes(), 6);
+    }
+
+    #[test]
+    fn labels_round_trip() {
+        let col = ColumnMeta::with_labels("color", vec!["red".into(), "blue".into()]);
+        assert_eq!(col.cardinality(), 2);
+        assert_eq!(col.label(1), "blue");
+        assert_eq!(col.code_of("red"), Some(0));
+        assert_eq!(col.code_of("green"), None);
+        // Unlabelled columns render codes numerically.
+        let plain = ColumnMeta::new("x", 5);
+        assert_eq!(plain.label(3), "3");
+        assert_eq!(plain.code_of("3"), None);
+    }
+
+    #[test]
+    fn schema_display_lists_columns() {
+        assert_eq!(abc_schema().to_string(), "(a:4, b:2, class:3)");
+    }
+}

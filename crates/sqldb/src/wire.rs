@@ -1,0 +1,140 @@
+//! Simulated client/server wire.
+//!
+//! In the paper the middleware fetches rows from SQL Server through an
+//! OLE-DB cursor: every shipped row pays marshalling plus (amortized) a
+//! network round trip per buffer. We reproduce that cost structure by
+//! actually serializing each shipped row to a byte buffer and deserializing
+//! it on the "client" side, and by accounting one round trip per batch.
+//! This keeps the central asymmetry of the experiments — a row obtained
+//! from the server is substantially more expensive than a row read from a
+//! middleware staging file, which in turn beats an in-memory row — without
+//! resorting to `sleep`-based fakery.
+
+use crate::stats::DbStats;
+use crate::types::{Code, CODE_BYTES};
+
+/// Default number of rows per fetch buffer (one simulated round trip each).
+pub const DEFAULT_BATCH_ROWS: usize = 1024;
+
+/// Per-batch header bytes (message framing overhead on the simulated wire).
+pub const BATCH_HEADER_BYTES: u64 = 64;
+
+/// Encode one row into the wire buffer (little-endian codes).
+#[inline]
+pub fn encode_row(row: &[Code], buf: &mut Vec<u8>) {
+    for &code in row {
+        buf.extend_from_slice(&code.to_le_bytes());
+    }
+}
+
+/// Decode the next row of `arity` codes from `buf` starting at byte
+/// `offset`, appending codes to `out`. Returns the new offset.
+#[inline]
+pub fn decode_row(buf: &[u8], offset: usize, arity: usize, out: &mut Vec<Code>) -> usize {
+    let mut pos = offset;
+    for _ in 0..arity {
+        let bytes = [buf[pos], buf[pos + 1]];
+        out.push(Code::from_le_bytes(bytes));
+        pos += CODE_BYTES;
+    }
+    pos
+}
+
+/// A reusable batch buffer representing one fetch round trip.
+#[derive(Debug, Default)]
+pub struct WireBatch {
+    buf: Vec<u8>,
+    rows: usize,
+}
+
+impl WireBatch {
+    /// An empty batch buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Discard buffered rows without transmitting.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.rows = 0;
+    }
+
+    /// Rows currently buffered.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Is the batch empty?
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Server side: marshal a row into the batch.
+    pub fn push(&mut self, row: &[Code]) {
+        encode_row(row, &mut self.buf);
+        self.rows += 1;
+    }
+
+    /// Transmit the batch: charge wire statistics and unmarshal every row
+    /// into `out` as a flat code vector (client side). Returns rows shipped.
+    pub fn transmit(&mut self, arity: usize, stats: &DbStats, out: &mut Vec<Code>) -> usize {
+        if self.rows == 0 {
+            return 0;
+        }
+        stats.add_wire_round_trip();
+        stats.add_rows_shipped(self.rows as u64);
+        stats.add_bytes_shipped(self.buf.len() as u64 + BATCH_HEADER_BYTES);
+        let mut offset = 0;
+        out.reserve(self.rows * arity);
+        for _ in 0..self.rows {
+            offset = decode_row(&self.buf, offset, arity, out);
+        }
+        debug_assert_eq!(offset, self.buf.len());
+        let shipped = self.rows;
+        self.clear();
+        shipped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let mut buf = Vec::new();
+        encode_row(&[1, 65535, 42], &mut buf);
+        encode_row(&[7, 0, 9], &mut buf);
+        assert_eq!(buf.len(), 12);
+        let mut out = Vec::new();
+        let off = decode_row(&buf, 0, 3, &mut out);
+        decode_row(&buf, off, 3, &mut out);
+        assert_eq!(out, vec![1, 65535, 42, 7, 0, 9]);
+    }
+
+    #[test]
+    fn batch_transmit_charges_stats_and_resets() {
+        let stats = DbStats::new();
+        let mut batch = WireBatch::new();
+        batch.push(&[1, 2]);
+        batch.push(&[3, 4]);
+        let mut out = Vec::new();
+        let n = batch.transmit(2, &stats, &mut out);
+        assert_eq!(n, 2);
+        assert_eq!(out, vec![1, 2, 3, 4]);
+        assert!(batch.is_empty());
+        let snap = stats.snapshot();
+        assert_eq!(snap.rows_shipped, 2);
+        assert_eq!(snap.wire_round_trips, 1);
+        assert_eq!(snap.bytes_shipped, 8 + BATCH_HEADER_BYTES);
+    }
+
+    #[test]
+    fn empty_batch_is_free() {
+        let stats = DbStats::new();
+        let mut batch = WireBatch::new();
+        let mut out = Vec::new();
+        assert_eq!(batch.transmit(3, &stats, &mut out), 0);
+        assert_eq!(stats.snapshot().wire_round_trips, 0);
+    }
+}

@@ -1,0 +1,164 @@
+//! Property tests for the backend substrate: total functions on
+//! arbitrary input, storage round trips, and executor self-consistency.
+
+use proptest::prelude::*;
+use scaleclass_sqldb::sql::parse;
+use scaleclass_sqldb::wire::WireBatch;
+use scaleclass_sqldb::{execute, Code, Database, DbStats, Pred, Schema, Table};
+
+proptest! {
+    /// The SQL front end is total: arbitrary input may fail to parse but
+    /// must never panic.
+    #[test]
+    fn parser_never_panics(input in ".{0,200}") {
+        let _ = parse(&input);
+    }
+
+    /// … including inputs built from SQL-ish fragments, which reach deeper
+    /// parser states.
+    #[test]
+    fn parser_never_panics_on_sqlish(
+        parts in prop::collection::vec(
+            prop::sample::select(vec![
+                "SELECT", "FROM", "WHERE", "GROUP", "BY", "UNION", "ALL",
+                "COUNT", "(", ")", "*", ",", "=", "<>", "AND", "OR", "NOT",
+                "AS", "t", "a1", "class", "42", "'x'", ";",
+            ]),
+            0..25,
+        )
+    ) {
+        let input = parts.join(" ");
+        let _ = parse(&input);
+    }
+
+    /// Wire marshalling round-trips arbitrary row batches exactly.
+    #[test]
+    fn wire_round_trips(
+        rows in prop::collection::vec(
+            prop::collection::vec(any::<Code>(), 3),
+            0..50,
+        )
+    ) {
+        let stats = DbStats::new();
+        let mut batch = WireBatch::new();
+        for r in &rows {
+            batch.push(r);
+        }
+        let mut out = Vec::new();
+        let shipped = batch.transmit(3, &stats, &mut out);
+        prop_assert_eq!(shipped, rows.len());
+        let flat: Vec<Code> = rows.into_iter().flatten().collect();
+        prop_assert_eq!(out, flat);
+    }
+
+    /// Tables preserve insertion order across any page count, and every
+    /// TID fetched individually matches the scanned row.
+    #[test]
+    fn table_scan_round_trips(
+        rows in prop::collection::vec(
+            (0u16..8, 0u16..4, 0u16..3),
+            1..300,
+        )
+    ) {
+        let mut t = Table::new(Schema::from_pairs(&[("a", 8), ("b", 4), ("c", 3)]));
+        for &(a, b, c) in &rows {
+            t.insert(&[a, b, c]).unwrap();
+        }
+        let stats = DbStats::new();
+        let scanned: Vec<(scaleclass_sqldb::Tid, Vec<Code>)> =
+            t.scan(&stats).map(|(tid, r)| (tid, r.to_vec())).collect();
+        prop_assert_eq!(scanned.len(), rows.len());
+        for (i, ((tid, row), &(a, b, c))) in scanned.iter().zip(&rows).enumerate() {
+            prop_assert_eq!(row.clone(), vec![a, b, c], "row {}", i);
+            let fetched = t.fetch_by_tid(*tid, &stats).unwrap();
+            prop_assert_eq!(fetched, &row[..]);
+        }
+    }
+
+    /// GROUP BY counts always sum to the WHERE-filtered row count.
+    #[test]
+    fn group_by_counts_sum_to_total(
+        rows in prop::collection::vec((0u16..4, 0u16..3), 1..120,),
+        filter_value in 0u16..4,
+    ) {
+        let mut db = Database::new();
+        db.create_table("t", Schema::from_pairs(&[("a", 4), ("c", 3)])).unwrap();
+        for &(a, c) in &rows {
+            db.insert("t", &[a, c]).unwrap();
+        }
+        let sql = format!(
+            "SELECT c, COUNT(*) AS n FROM t WHERE a <> {filter_value} GROUP BY c"
+        );
+        let rs = execute(&mut db, &sql).unwrap().into_rows().unwrap();
+        let total: u64 = rs.rows.iter().map(|r| r[1].as_int().unwrap()).sum();
+        let expected = rows.iter().filter(|&&(a, _)| a != filter_value).count() as u64;
+        prop_assert_eq!(total, expected);
+    }
+
+    /// Predicate combinators have their boolean semantics.
+    #[test]
+    fn pred_combinators_are_boolean(
+        row in prop::collection::vec(0u16..5, 4),
+        atoms in prop::collection::vec((0usize..4, 0u16..5, any::<bool>()), 0..5),
+    ) {
+        let preds: Vec<Pred> = atoms
+            .iter()
+            .map(|&(col, value, eq)| if eq {
+                Pred::Eq { col, value }
+            } else {
+                Pred::NotEq { col, value }
+            })
+            .collect();
+        let conj = Pred::and(preds.clone());
+        let disj = Pred::or(preds.clone());
+        prop_assert_eq!(conj.eval(&row), preds.iter().all(|p| p.eval(&row)));
+        prop_assert_eq!(disj.eval(&row), preds.iter().any(|p| p.eval(&row)));
+    }
+
+    /// Filtered cursors ship exactly the matching rows, in order.
+    #[test]
+    fn cursor_matches_manual_filter(
+        rows in prop::collection::vec((0u16..4, 0u16..2), 0..200),
+        value in 0u16..4,
+        batch in 1usize..64,
+    ) {
+        let mut db = Database::new();
+        db.create_table("t", Schema::from_pairs(&[("a", 4), ("c", 2)])).unwrap();
+        for &(a, c) in &rows {
+            db.insert("t", &[a, c]).unwrap();
+        }
+        let mut cur = db.open_cursor("t", Pred::Eq { col: 0, value }, batch).unwrap();
+        let mut flat = Vec::new();
+        let n = cur.fetch_all(&mut flat);
+        let expected: Vec<Code> = rows
+            .iter()
+            .filter(|&&(a, _)| a == value)
+            .flat_map(|&(a, c)| [a, c])
+            .collect();
+        prop_assert_eq!(n, expected.len() / 2);
+        prop_assert_eq!(flat, expected);
+    }
+
+    /// CSV import/export round-trips arbitrary label tables.
+    #[test]
+    fn csv_round_trips(
+        labels in prop::collection::vec("[a-z]{1,6}", 1..4),
+        rows in prop::collection::vec(prop::collection::vec(0usize..3, 2), 0..30),
+    ) {
+        // Build a CSV from a fixed header and label-indexed cells.
+        let mut csv = String::from("col_x,col_y\n");
+        for row in &rows {
+            let cells: Vec<&str> = row
+                .iter()
+                .map(|&i| labels[i % labels.len()].as_str())
+                .collect();
+            csv.push_str(&cells.join(","));
+            csv.push('\n');
+        }
+        let table = scaleclass_sqldb::import_csv(std::io::Cursor::new(csv.clone())).unwrap();
+        prop_assert_eq!(table.nrows() as usize, rows.len());
+        let mut out = Vec::new();
+        scaleclass_sqldb::export_csv(&table, &mut out).unwrap();
+        prop_assert_eq!(String::from_utf8(out).unwrap(), csv);
+    }
+}

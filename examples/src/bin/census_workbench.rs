@@ -1,0 +1,85 @@
+//! Census workbench: an end-to-end classification study on the
+//! census-like workload (the paper's third data set) under three staging
+//! policies, with train/test evaluation and full cost accounting.
+//!
+//! ```text
+//! cargo run --release -p scaleclass-examples --bin census_workbench [rows]
+//! ```
+
+use scaleclass::{FileStagingPolicy, Middleware, MiddlewareConfig};
+use scaleclass_datagen::{census, train_test_split};
+use scaleclass_dtree::{evaluate, grow_with_middleware, prune_pessimistic, GrowConfig};
+use scaleclass_examples::pct;
+
+fn main() {
+    let rows: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20_000);
+
+    println!("Generating census-like data: {rows} rows …");
+    let data = census::generate(&census::CensusParams { rows, seed: 7 });
+    let arity = data.arity();
+    let (train, test) = train_test_split(&data.rows, arity, 0.3, 11);
+    println!(
+        "  train {} rows / test {} rows, {} attributes, binary income class",
+        train.len() / arity,
+        test.len() / arity,
+        arity - 1
+    );
+
+    let grow = GrowConfig {
+        min_rows: (rows / 500).max(2) as u64,
+        ..GrowConfig::default()
+    };
+
+    let policies: [(&str, FileStagingPolicy, bool); 3] = [
+        (
+            "no staging (server scans only)",
+            FileStagingPolicy::Disabled,
+            false,
+        ),
+        (
+            "hybrid file staging (50% split)",
+            FileStagingPolicy::Hybrid {
+                split_threshold: 0.5,
+            },
+            false,
+        ),
+        (
+            "hybrid files + memory caching",
+            FileStagingPolicy::Hybrid {
+                split_threshold: 0.5,
+            },
+            true,
+        ),
+    ];
+
+    for (name, policy, mem) in policies {
+        println!("\n=== policy: {name} ===");
+        let db = scaleclass_datagen::into_database(data.schema.clone(), &train, "census");
+        let cfg = MiddlewareConfig::builder()
+            .memory_budget_mb(0.25)
+            .file_policy(policy)
+            .memory_caching(mem)
+            .build();
+        let mut mw = Middleware::new(db, "census", "income", cfg).expect("session");
+        let out = grow_with_middleware(&mut mw, &grow).expect("grow");
+        let tree = out.tree;
+        let pruned = prune_pessimistic(&tree);
+
+        let cm = evaluate(|row| pruned.classify(row), &test, arity, data.class_col, 2);
+        println!(
+            "tree: {} nodes (pruned to {}), depth {}, {} leaves",
+            tree.len(),
+            pruned.len(),
+            tree.depth().unwrap_or(0),
+            tree.leaves().count()
+        );
+        let (s, i, l) = tree.source_mix();
+        println!("node data sources: {s} server / {i} file / {l} memory (Fig. 1 tags)");
+        println!("test accuracy: {}", pct(cm.accuracy()));
+        println!("confusion matrix:\n{}", cm.render());
+        scaleclass_examples::print_stats(&mw.db_stats(), mw.stats());
+    }
+}

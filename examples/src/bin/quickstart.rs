@@ -1,0 +1,81 @@
+//! Quickstart: load a small categorical table into the embedded SQL
+//! backend, grow a decision tree through the scalable-classification
+//! middleware, print the tree, and classify new rows.
+//!
+//! ```text
+//! cargo run -p scaleclass-examples --bin quickstart
+//! ```
+
+use scaleclass::{Middleware, MiddlewareConfig};
+use scaleclass_dtree::{grow_with_middleware, GrowConfig};
+use scaleclass_sqldb::{execute, Database};
+
+fn main() {
+    // 1. A toy "play tennis?" table, created through plain SQL.
+    //    Columns: outlook {sunny, overcast, rain}, humidity {normal, high},
+    //    wind {weak, strong}, play {no, yes}.
+    let mut db = Database::new();
+    execute(
+        &mut db,
+        "CREATE TABLE weather (outlook CARDINALITY 3, humidity CARDINALITY 2, \
+         wind CARDINALITY 2, play CARDINALITY 2)",
+    )
+    .expect("create table");
+    let rows: &[[u16; 4]] = &[
+        // the classic Quinlan data set, coded
+        [0, 1, 0, 0],
+        [0, 1, 1, 0],
+        [1, 1, 0, 1],
+        [2, 1, 0, 1],
+        [2, 0, 0, 1],
+        [2, 0, 1, 0],
+        [1, 0, 1, 1],
+        [0, 1, 0, 0],
+        [0, 0, 0, 1],
+        [2, 1, 0, 1],
+        [0, 0, 1, 1],
+        [1, 1, 1, 1],
+        [1, 0, 0, 1],
+        [2, 1, 1, 0],
+    ];
+    for r in rows {
+        execute(
+            &mut db,
+            &format!(
+                "INSERT INTO weather VALUES ({}, {}, {}, {})",
+                r[0], r[1], r[2], r[3]
+            ),
+        )
+        .expect("insert");
+    }
+
+    // 2. Start a middleware session predicting `play` and grow the tree.
+    //    The client below never touches a data row: it only consumes
+    //    counts tables the middleware builds in batched scans.
+    let mut mw = Middleware::new(db, "weather", "play", MiddlewareConfig::default())
+        .expect("middleware session");
+    let outcome = grow_with_middleware(&mut mw, &GrowConfig::default()).expect("grow");
+    let tree = &outcome.tree;
+
+    println!("Grown decision tree ({} nodes):", tree.len());
+    println!("{}", tree.render(40));
+
+    // 3. Classify unseen rows.
+    for (desc, row) in [
+        ("sunny, high humidity, weak wind ", [0u16, 1, 0, 0]),
+        ("overcast, normal humidity, weak ", [1, 0, 0, 0]),
+        ("rain, high humidity, strong wind", [2, 1, 1, 0]),
+    ] {
+        let play = tree.classify(&row);
+        println!("{desc} -> play = {}", if play == 1 { "yes" } else { "no" });
+    }
+
+    // 4. What did it cost?
+    println!();
+    scaleclass_examples::print_stats(&mw.db_stats(), mw.stats());
+    println!(
+        "\n{} counts requests were answered in {} middleware rounds.",
+        outcome.requests_issued,
+        mw.stats().rounds
+    );
+}

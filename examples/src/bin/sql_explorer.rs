@@ -1,0 +1,75 @@
+//! SQL explorer: exercise the embedded backend directly — DDL, DML, the
+//! paper's CC-table UNION query (§2.3), and the server statistics that
+//! show why the middleware beats it.
+//!
+//! ```text
+//! cargo run -p scaleclass-examples --bin sql_explorer
+//! ```
+
+use scaleclass::sqlgen::cc_query_sql;
+use scaleclass_sqldb::{execute, Database, Pred};
+
+fn run(db: &mut Database, sql: &str) {
+    println!("sql> {sql}");
+    match execute(db, sql) {
+        Ok(scaleclass_sqldb::ExecOutcome::Rows(mut rs)) => {
+            rs.sort();
+            println!("{rs}");
+        }
+        Ok(other) => println!("ok: {other:?}\n"),
+        Err(e) => println!("error: {e}\n"),
+    }
+}
+
+fn main() {
+    let mut db = Database::new();
+
+    run(
+        &mut db,
+        "CREATE TABLE t (a1 CARDINALITY 3, a2 CARDINALITY 2, class CARDINALITY 2)",
+    );
+    run(
+        &mut db,
+        "INSERT INTO t VALUES (0,0,0), (0,1,0), (1,0,1), (1,1,1), (2,0,0), (2,1,1), (2,0,1)",
+    );
+    run(&mut db, "SELECT * FROM t WHERE a1 = 2");
+    run(
+        &mut db,
+        "SELECT COUNT(*) FROM t WHERE NOT (a1 = 0 OR a2 = 1)",
+    );
+    run(
+        &mut db,
+        "SELECT a1, class, COUNT(*) AS n FROM t GROUP BY a1, class",
+    );
+
+    // The paper's CC-table query for a node with condition a2 = 0:
+    let schema = db.table("t").unwrap().schema().clone();
+    let cc_sql = cc_query_sql("t", &schema, &Pred::Eq { col: 1, value: 0 }, &[0, 1], 2);
+    println!("-- the §2.3 CC-table query the middleware's SQL fallback issues --");
+    run(&mut db, &cc_sql);
+
+    let snap = db.stats().snapshot();
+    println!("-- server statistics so far --");
+    println!("  statements        {}", snap.statements);
+    println!("  sequential scans  {}", snap.seq_scans);
+    println!("  GROUP BY queries  {}", snap.group_by_queries);
+    println!("  rows scanned      {}", snap.rows_scanned);
+    println!(
+        "\nNote the UNION query paid one full scan per arm ({} scans for 2 \
+         attributes) — exactly the 1999-optimizer behaviour (§2.3) that the \
+         middleware's single-scan batched counting avoids.",
+        2
+    );
+
+    // Cursors: the middleware's preferred access path.
+    let mut cur = db
+        .open_cursor("t", Pred::NotEq { col: 2, value: 0 }, 4)
+        .expect("cursor");
+    let mut out = Vec::new();
+    let n = cur.fetch_all(&mut out);
+    let snap2 = db.stats().snapshot();
+    println!(
+        "\nfiltered server cursor shipped {n} of 7 rows ({} bytes on the wire)",
+        snap2.bytes_shipped - snap.bytes_shipped
+    );
+}

@@ -1,0 +1,78 @@
+//! Train-once, deploy-anywhere: grow a tree through the middleware, save
+//! both the model and the database snapshot to disk, then — as a "second
+//! process" — reload the model alone and classify without touching the
+//! backend at all.
+//!
+//! ```text
+//! cargo run --release -p scaleclass-examples --bin train_and_deploy
+//! ```
+
+use scaleclass::{Middleware, MiddlewareConfig};
+use scaleclass_datagen::{census, train_test_split};
+use scaleclass_dtree::{
+    evaluate, extract_rules, grow_with_middleware, load_tree, save_tree, GrowConfig,
+};
+use scaleclass_examples::pct;
+use scaleclass_sqldb::{open_database, save_database};
+
+fn main() {
+    let dir = std::env::temp_dir().join(format!("scaleclass-deploy-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let db_path = dir.join("census.db");
+    let model_path = dir.join("income.tree");
+
+    // ---- Training session -------------------------------------------------
+    let data = census::generate(&census::CensusParams {
+        rows: 15_000,
+        seed: 21,
+    });
+    let arity = data.arity();
+    let (train, test) = train_test_split(&data.rows, arity, 0.3, 3);
+    println!(
+        "training on {} rows; holding out {} rows",
+        train.len() / arity,
+        test.len() / arity
+    );
+    let db = scaleclass_datagen::into_database(data.schema.clone(), &train, "census");
+    save_database(&db, &db_path).expect("save db");
+    let mut mw =
+        Middleware::new(db, "census", "income", MiddlewareConfig::default()).expect("session");
+    let grow = GrowConfig {
+        min_rows: 40,
+        ..GrowConfig::default()
+    };
+    let out = grow_with_middleware(&mut mw, &grow).expect("grow");
+    let model_file = std::fs::File::create(&model_path).expect("model file");
+    save_tree(&out.tree, std::io::BufWriter::new(model_file)).expect("save model");
+    println!(
+        "trained a {}-node tree in {} middleware rounds; model saved to {}",
+        out.tree.len(),
+        mw.stats().rounds,
+        model_path.display()
+    );
+
+    // ---- Deployment session (no backend needed) ---------------------------
+    let model_file = std::fs::File::open(&model_path).expect("open model");
+    let tree = load_tree(std::io::BufReader::new(model_file)).expect("load model");
+    let cm = evaluate(|row| tree.classify(row), &test, arity, data.class_col, 2);
+    println!("\nreloaded model: {} nodes", tree.len());
+    println!("holdout accuracy: {}", pct(cm.accuracy()));
+    println!("first rules:\n{}", {
+        let rules = extract_rules(&tree);
+        rules
+            .rules
+            .iter()
+            .take(4)
+            .map(|r| r.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    });
+
+    // ---- And the database snapshot reloads too ----------------------------
+    let db = open_database(&db_path).expect("open db");
+    println!(
+        "\ndatabase snapshot reloads: census table has {} rows",
+        db.table("census").expect("table").nrows()
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

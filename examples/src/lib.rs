@@ -1,0 +1,48 @@
+//! Shared helpers for the runnable examples.
+
+#![warn(missing_docs)]
+
+use scaleclass::MiddlewareStats;
+use scaleclass_sqldb::StatsSnapshot;
+
+/// Pretty-print the server + middleware statistics block the examples end
+/// with.
+pub fn print_stats(server: &StatsSnapshot, mw: &MiddlewareStats) {
+    println!("-- backend server ------------------------------------");
+    println!("  sequential scans      {}", server.seq_scans);
+    println!("  pages read            {}", server.pages_read);
+    println!("  rows scanned          {}", server.rows_scanned);
+    println!("  rows shipped (wire)   {}", server.rows_shipped);
+    println!("  bytes shipped (wire)  {}", server.bytes_shipped);
+    println!("  GROUP BY queries      {}", server.group_by_queries);
+    println!("-- middleware ----------------------------------------");
+    println!("  scheduling rounds     {}", mw.rounds);
+    println!("  requests served       {}", mw.requests_served);
+    println!(
+        "  scans (server/file/mem) {}/{}/{}",
+        mw.server_scans, mw.file_scans, mw.memory_scans
+    );
+    println!("  staging files created {}", mw.files_created);
+    println!("  file rows written     {}", mw.file_rows_written);
+    println!("  file rows read        {}", mw.file_rows_read);
+    println!("  memory rows staged    {}", mw.memory_rows_staged);
+    println!("  memory rows read      {}", mw.memory_rows_read);
+    println!("  SQL fallbacks         {}", mw.sql_fallbacks);
+    println!("  peak modelled memory  {} bytes", mw.peak_memory_bytes);
+}
+
+/// Format a fraction as a percentage string.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.756), "75.6%");
+        assert_eq!(pct(1.0), "100.0%");
+    }
+}

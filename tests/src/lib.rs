@@ -1,0 +1,32 @@
+//! Shared fixtures for the cross-crate integration tests.
+
+use scaleclass_datagen::{census, random_tree, CensusParams, RandomTreeParams};
+use scaleclass_sqldb::{Code, Database, Schema};
+
+/// A small random-tree workload (deterministic).
+pub fn small_tree_workload() -> (Schema, Vec<Code>, u16) {
+    let d = random_tree::generate(&RandomTreeParams {
+        leaves: 30,
+        attributes: 8,
+        mean_values: 4.0,
+        values_stddev: 0.0,
+        classes: 4,
+        cases_per_leaf: 40.0,
+        ..RandomTreeParams::default()
+    });
+    (d.schema.clone(), d.rows.clone(), d.class_col)
+}
+
+/// A small census-like workload (deterministic).
+pub fn small_census_workload() -> (Schema, Vec<Code>, u16) {
+    let d = census::generate(&CensusParams {
+        rows: 4_000,
+        seed: 42,
+    });
+    (d.schema.clone(), d.rows.clone(), d.class_col)
+}
+
+/// Load flat rows into a fresh database under table name `d`.
+pub fn load(schema: &Schema, rows: &[Code]) -> Database {
+    scaleclass_datagen::into_database(schema.clone(), rows, "d")
+}

@@ -1,0 +1,214 @@
+//! The paper's central correctness claim (§3.1): the middleware changes
+//! *when and from where* counts are computed, never *what* tree the client
+//! produces. We assert the middleware-grown tree is structurally identical
+//! to the traditional in-memory client's tree under every middleware
+//! policy, budget, and access-path configuration.
+
+use scaleclass::{AuxMode, FileStagingPolicy, Middleware, MiddlewareConfig};
+use scaleclass_dtree::{
+    grow_in_memory, grow_with_middleware, trees_structurally_equal, DecisionTree, GrowConfig,
+    Scorer, SplitKind,
+};
+use scaleclass_sqldb::{Code, Schema};
+use scaleclass_tests::{load, small_census_workload, small_tree_workload};
+
+fn reference_tree(
+    schema: &Schema,
+    rows: &[Code],
+    class_col: u16,
+    grow: &GrowConfig,
+) -> DecisionTree {
+    let attrs: Vec<u16> = (0..schema.arity() as u16)
+        .filter(|&c| c != class_col)
+        .collect();
+    grow_in_memory(rows, schema.arity(), class_col, &attrs, grow)
+}
+
+fn middleware_tree(
+    schema: &Schema,
+    rows: &[Code],
+    class_column: &str,
+    cfg: MiddlewareConfig,
+    grow: &GrowConfig,
+) -> DecisionTree {
+    let db = load(schema, rows);
+    let mut mw = Middleware::new(db, "d", class_column, cfg).expect("session");
+    grow_with_middleware(&mut mw, grow).expect("grow").tree
+}
+
+fn assert_equivalent(cfg: MiddlewareConfig, grow: &GrowConfig) {
+    let (schema, rows, class_col) = small_tree_workload();
+    let reference = reference_tree(&schema, &rows, class_col, grow);
+    let tree = middleware_tree(&schema, &rows, "class", cfg, grow);
+    assert!(
+        trees_structurally_equal(&tree, &reference),
+        "middleware tree diverged from the in-memory client's tree \
+         ({} vs {} nodes)",
+        tree.len(),
+        reference.len()
+    );
+    assert!(reference.len() > 10, "workload must actually grow a tree");
+}
+
+#[test]
+fn default_config_matches_in_memory_client() {
+    assert_equivalent(MiddlewareConfig::default(), &GrowConfig::default());
+}
+
+#[test]
+fn no_caching_matches() {
+    let cfg = MiddlewareConfig::builder().memory_caching(false).build();
+    assert_equivalent(cfg, &GrowConfig::default());
+}
+
+#[test]
+fn tiny_budget_with_sql_fallbacks_matches() {
+    // A budget this small forces multi-scan frontiers and §4.1.1 fallbacks;
+    // the tree must not change.
+    let cfg = MiddlewareConfig::builder()
+        .memory_budget_bytes(4 * 1024)
+        .memory_caching(false)
+        .build();
+    assert_equivalent(cfg, &GrowConfig::default());
+}
+
+#[test]
+fn per_node_file_staging_matches() {
+    let cfg = MiddlewareConfig::builder()
+        .memory_caching(false)
+        .file_policy(FileStagingPolicy::PerNode)
+        .build();
+    assert_equivalent(cfg, &GrowConfig::default());
+}
+
+#[test]
+fn singleton_file_staging_matches() {
+    let cfg = MiddlewareConfig::builder()
+        .memory_caching(false)
+        .file_policy(FileStagingPolicy::Singleton)
+        .build();
+    assert_equivalent(cfg, &GrowConfig::default());
+}
+
+#[test]
+fn hybrid_split_staging_matches() {
+    for threshold in [0.25, 0.5, 0.9] {
+        let cfg = MiddlewareConfig::builder()
+            .memory_caching(false)
+            .memory_budget_bytes(64 * 1024)
+            .file_policy(FileStagingPolicy::Hybrid {
+                split_threshold: threshold,
+            })
+            .build();
+        assert_equivalent(cfg, &GrowConfig::default());
+    }
+}
+
+#[test]
+fn file_staging_plus_memory_caching_matches() {
+    let cfg = MiddlewareConfig::builder()
+        .memory_budget_bytes(96 * 1024)
+        .memory_caching(true)
+        .file_policy(FileStagingPolicy::Hybrid {
+            split_threshold: 0.5,
+        })
+        .build();
+    assert_equivalent(cfg, &GrowConfig::default());
+}
+
+#[test]
+fn aux_structures_match() {
+    for mode in [AuxMode::TempTable, AuxMode::TidJoin, AuxMode::Keyset] {
+        let cfg = MiddlewareConfig::builder()
+            .memory_caching(false)
+            .memory_budget_bytes(64 * 1024)
+            .aux_mode(mode)
+            .aux_threshold(0.5) // trigger early to actually exercise the path
+            .build();
+        assert_equivalent(cfg, &GrowConfig::default());
+    }
+}
+
+#[test]
+fn unfiltered_scans_match() {
+    let cfg = MiddlewareConfig::builder()
+        .memory_caching(false)
+        .push_filters(false)
+        .build();
+    assert_equivalent(cfg, &GrowConfig::default());
+}
+
+#[test]
+fn one_node_per_scan_matches() {
+    let cfg = MiddlewareConfig::builder()
+        .memory_caching(false)
+        .max_batch_nodes(Some(1))
+        .build();
+    assert_equivalent(cfg, &GrowConfig::default());
+}
+
+#[test]
+fn fifo_ordering_matches() {
+    let cfg = MiddlewareConfig::builder()
+        .memory_budget_bytes(32 * 1024)
+        .memory_caching(false)
+        .rule3_smallest_first(false)
+        .build();
+    assert_equivalent(cfg, &GrowConfig::default());
+}
+
+#[test]
+fn multiway_splits_match() {
+    let grow = GrowConfig {
+        split_kind: SplitKind::Multiway,
+        ..GrowConfig::default()
+    };
+    assert_equivalent(MiddlewareConfig::default(), &grow);
+    let cfg = MiddlewareConfig::builder()
+        .memory_caching(false)
+        .file_policy(FileStagingPolicy::Hybrid {
+            split_threshold: 0.5,
+        })
+        .build();
+    assert_equivalent(cfg, &grow);
+}
+
+#[test]
+fn gini_and_gain_ratio_match() {
+    for scorer in [Scorer::Gini, Scorer::GainRatio, Scorer::ChiSquare] {
+        let grow = GrowConfig {
+            scorer,
+            ..GrowConfig::default()
+        };
+        assert_equivalent(MiddlewareConfig::default(), &grow);
+    }
+}
+
+#[test]
+fn census_workload_matches_under_stress_config() {
+    let (schema, rows, class_col) = small_census_workload();
+    let grow = GrowConfig {
+        min_rows: 8,
+        ..GrowConfig::default()
+    };
+    let reference = reference_tree(&schema, &rows, class_col, &grow);
+    let cfg = MiddlewareConfig::builder()
+        .memory_budget_bytes(24 * 1024)
+        .memory_caching(true)
+        .file_policy(FileStagingPolicy::Hybrid {
+            split_threshold: 0.5,
+        })
+        .build();
+    let tree = middleware_tree(&schema, &rows, "income", cfg, &grow);
+    assert!(trees_structurally_equal(&tree, &reference));
+    assert!(reference.len() > 50);
+}
+
+#[test]
+fn depth_capped_growth_matches() {
+    let grow = GrowConfig {
+        max_depth: Some(3),
+        ..GrowConfig::default()
+    };
+    assert_equivalent(MiddlewareConfig::default(), &grow);
+}

@@ -1,0 +1,188 @@
+//! End-to-end adoption pipelines: CSV import → middleware mining,
+//! numeric data → MDL discretization → mining, and database persistence
+//! across sessions.
+
+use scaleclass::{Middleware, MiddlewareConfig};
+use scaleclass_dtree::{
+    cross_validate, grow_in_memory, grow_with_middleware, trees_structurally_equal, Discretizer,
+    GrowConfig, NaiveBayes,
+};
+use scaleclass_sqldb::{
+    import_csv, open_database, save_database, Code, ColumnMeta, Database, Schema,
+};
+use std::io::Cursor;
+
+fn weather_csv() -> &'static str {
+    "outlook,humidity,wind,play\n\
+     sunny,high,weak,no\n\
+     sunny,high,strong,no\n\
+     overcast,high,weak,yes\n\
+     rain,high,weak,yes\n\
+     rain,normal,weak,yes\n\
+     rain,normal,strong,no\n\
+     overcast,normal,strong,yes\n\
+     sunny,high,weak,no\n\
+     sunny,normal,weak,yes\n\
+     rain,high,weak,yes\n\
+     sunny,normal,strong,yes\n\
+     overcast,high,strong,yes\n\
+     overcast,normal,weak,yes\n\
+     rain,high,strong,no\n"
+}
+
+#[test]
+fn csv_to_middleware_mining() {
+    let table = import_csv(Cursor::new(weather_csv())).unwrap();
+    let schema = table.schema().clone();
+    let mut db = Database::new();
+    db.register_table("weather", table).unwrap();
+    let mut mw = Middleware::new(db, "weather", "play", MiddlewareConfig::default()).unwrap();
+    let out = grow_with_middleware(&mut mw, &GrowConfig::default()).unwrap();
+    // The classic result: outlook=overcast is always "play".
+    let overcast = schema.column(0).code_of("overcast").unwrap();
+    let yes = schema.column(3).code_of("yes").unwrap();
+    assert_eq!(out.tree.classify(&[overcast, 0, 0, 0]), yes);
+    assert!(out.tree.len() > 3);
+}
+
+#[test]
+fn persistence_survives_a_session_boundary() {
+    let path = std::env::temp_dir().join(format!("scaleclass-pipeline-{}.db", std::process::id()));
+    // Session 1: build + save.
+    let tree_a = {
+        let table = import_csv(Cursor::new(weather_csv())).unwrap();
+        let mut db = Database::new();
+        db.register_table("weather", table).unwrap();
+        save_database(&db, &path).unwrap();
+        let mut mw = Middleware::new(db, "weather", "play", MiddlewareConfig::default()).unwrap();
+        grow_with_middleware(&mut mw, &GrowConfig::default())
+            .unwrap()
+            .tree
+    };
+    // Session 2: load + rebuild — identical tree.
+    let db = open_database(&path).unwrap();
+    std::fs::remove_file(&path).unwrap();
+    let mut mw = Middleware::new(db, "weather", "play", MiddlewareConfig::default()).unwrap();
+    let tree_b = grow_with_middleware(&mut mw, &GrowConfig::default())
+        .unwrap()
+        .tree;
+    assert!(trees_structurally_equal(&tree_a, &tree_b));
+}
+
+#[test]
+fn numeric_pipeline_discretize_then_mine() {
+    // Two informative numeric features (class = x0 > 0 XOR-free), one noise.
+    let mut numeric = Vec::new();
+    let mut classes: Vec<Code> = Vec::new();
+    for i in 0..400 {
+        let x0 = (i as f64 / 400.0) * 20.0 - 10.0;
+        let x1 = ((i * 7) % 400) as f64 / 40.0;
+        let x2 = ((i * 13) % 17) as f64;
+        numeric.extend_from_slice(&[x0, x1, x2]);
+        classes.push(u16::from(x0 > 0.0 && x1 < 5.0));
+    }
+    let disc = Discretizer::fit_mdl(&numeric, 3, &classes, 6);
+    let cards = disc.cardinalities();
+
+    let mut columns: Vec<ColumnMeta> = cards
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| ColumnMeta::new(format!("x{i}"), c))
+        .collect();
+    columns.push(ColumnMeta::new("class", 2));
+    let schema = Schema::new(columns);
+
+    let mut flat: Vec<Code> = Vec::new();
+    for (row, &class) in numeric.chunks_exact(3).zip(&classes) {
+        flat.extend(disc.transform_row(row));
+        flat.push(class);
+    }
+    let db = scaleclass_datagen::into_database(schema, &flat, "d");
+    let mut mw = Middleware::new(db, "d", "class", MiddlewareConfig::default()).unwrap();
+    let out = grow_with_middleware(&mut mw, &GrowConfig::default()).unwrap();
+    let acc = scaleclass_dtree::tree_accuracy(&out.tree, &flat, 4, 3);
+    assert!(acc > 0.97, "discretized pipeline accuracy {acc}");
+}
+
+#[test]
+fn cross_validated_clients_agree_on_census() {
+    let data = scaleclass_datagen::census::generate(&scaleclass_datagen::CensusParams {
+        rows: 3_000,
+        seed: 9,
+    });
+    let arity = data.arity();
+    let grow = GrowConfig {
+        min_rows: 15,
+        ..GrowConfig::default()
+    };
+    let attrs: Vec<u16> = (0..(arity - 1) as u16).collect();
+
+    let tree_accs = cross_validate(&data.rows, arity, data.class_col, 3, |train| {
+        let tree = grow_in_memory(train, arity, data.class_col, &attrs, &grow);
+        move |row: &[Code]| tree.classify(row)
+    });
+    let nb_accs = cross_validate(&data.rows, arity, data.class_col, 3, |train| {
+        let mut cc = scaleclass::CountsTable::new();
+        for row in train.chunks_exact(arity) {
+            cc.add_row(row, &attrs, data.class_col);
+        }
+        let nb = NaiveBayes::from_cc(&cc, &attrs);
+        move |row: &[Code]| nb.classify(row)
+    });
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    let (t, n) = (mean(&tree_accs), mean(&nb_accs));
+    assert!(t > 0.80, "tree CV accuracy {t}");
+    assert!(n > 0.80, "NB CV accuracy {n}");
+    assert!(
+        (t - n).abs() < 0.15,
+        "clients should be in the same band: {t} vs {n}"
+    );
+}
+
+#[test]
+fn subspace_forest_plugs_into_the_middleware() {
+    use scaleclass_dtree::{grow_forest_with_middleware, ForestConfig};
+    let data = scaleclass_datagen::census::generate(&scaleclass_datagen::CensusParams {
+        rows: 4_000,
+        seed: 17,
+    });
+    let arity = data.arity();
+    let (train, test) = scaleclass_datagen::train_test_split(&data.rows, arity, 0.3, 2);
+    let grow = GrowConfig {
+        min_rows: 25,
+        ..GrowConfig::default()
+    };
+
+    // Single tree.
+    let db = scaleclass_datagen::into_database(data.schema.clone(), &train, "census");
+    let mut mw = Middleware::new(db, "census", "income", MiddlewareConfig::default()).unwrap();
+    let tree = grow_with_middleware(&mut mw, &grow).unwrap().tree;
+    let tree_acc = scaleclass_dtree::tree_accuracy(&tree, &test, arity, data.class_col);
+
+    // Subspace forest of 9 members through the same middleware stack.
+    let db = scaleclass_datagen::into_database(data.schema.clone(), &train, "census");
+    let mw = Middleware::new(db, "census", "income", MiddlewareConfig::default()).unwrap();
+    let (forest, mw) = grow_forest_with_middleware(
+        mw,
+        &ForestConfig {
+            trees: 9,
+            grow: grow.clone(),
+            ..ForestConfig::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(forest.len(), 9);
+    let correct = test
+        .chunks_exact(arity)
+        .filter(|r| forest.classify(r) == r[data.class_col as usize])
+        .count();
+    let forest_acc = correct as f64 / (test.len() / arity) as f64;
+
+    assert!(forest_acc > 0.75, "forest accuracy {forest_acc}");
+    assert!(
+        forest_acc >= tree_acc - 0.05,
+        "forest ({forest_acc}) should be competitive with the tree ({tree_acc})"
+    );
+    // Every member went through the backend — scans accumulated.
+    assert!(mw.db_stats().seq_scans >= 9);
+}

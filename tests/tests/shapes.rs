@@ -1,0 +1,365 @@
+//! Figure-shape assertions (§5.2): the orderings, flattenings, and
+//! crossovers the paper reports must hold on the deterministic simulated
+//! cost, independent of the host machine.
+
+use scaleclass::{AuxMode, FileStagingPolicy, MiddlewareConfig};
+use scaleclass_bench::workloads::{census_workload, fig4_workload, fig7_workload};
+use scaleclass_bench::{run_tree_growth, run_tree_growth_via_sql, RunMetrics};
+use scaleclass_dtree::GrowConfig;
+
+const KB: u64 = 1024;
+
+fn grow() -> GrowConfig {
+    GrowConfig::default()
+}
+
+fn run(w: scaleclass_bench::workloads::Workload, class: &str, cfg: MiddlewareConfig) -> RunMetrics {
+    run_tree_growth(w.into_db("d"), "d", class, cfg, &grow())
+}
+
+/// Figure 4: data caching never loses, and wins decisively once the data
+/// fits in middleware memory.
+#[test]
+fn fig4_caching_dominates_and_flattens() {
+    let w = fig4_workload(40, 40.0);
+    let data = w.data_bytes();
+    for budget in [data / 4, data / 2, data, 2 * data] {
+        let caching = run(
+            w.clone(),
+            "class",
+            MiddlewareConfig::builder()
+                .memory_budget_bytes(budget)
+                .memory_caching(true)
+                .build(),
+        );
+        let plain = run(
+            w.clone(),
+            "class",
+            MiddlewareConfig::builder()
+                .memory_budget_bytes(budget)
+                .memory_caching(false)
+                .build(),
+        );
+        assert!(
+            caching.simulated_cost() <= plain.simulated_cost(),
+            "caching lost at budget {budget}: {} vs {}",
+            caching.simulated_cost(),
+            plain.simulated_cost()
+        );
+    }
+    // With 2x the data size available, one server scan suffices.
+    let ample = run(
+        w.clone(),
+        "class",
+        MiddlewareConfig::builder()
+            .memory_budget_bytes(2 * data)
+            .memory_caching(true)
+            .build(),
+    );
+    assert_eq!(ample.server.seq_scans, 1, "everything staged on first scan");
+}
+
+/// Figure 5a: shrinking counts-table memory (no caching) means more scans
+/// per frontier, monotonically in cost.
+#[test]
+fn fig5a_scans_grow_as_memory_shrinks() {
+    let w = fig4_workload(40, 40.0);
+    let mut last_scans = 0;
+    let mut costs = Vec::new();
+    for budget in [2048 * KB, 256 * KB, 64 * KB, 16 * KB] {
+        let m = run(
+            w.clone(),
+            "class",
+            MiddlewareConfig::builder()
+                .memory_budget_bytes(budget)
+                .memory_caching(false)
+                .build(),
+        );
+        assert!(
+            m.server.seq_scans >= last_scans,
+            "scans must not decrease as memory shrinks"
+        );
+        last_scans = m.server.seq_scans;
+        costs.push(m.simulated_cost());
+    }
+    assert!(
+        costs.last().unwrap() > costs.first().unwrap(),
+        "tight memory must cost more: {costs:?}"
+    );
+}
+
+/// Figure 5b: cost grows roughly linearly in the number of rows (fixed
+/// generating tree), certainly not quadratically.
+#[test]
+fn fig5b_row_scaling_is_roughly_linear() {
+    let small = run(
+        fig4_workload(40, 25.0),
+        "class",
+        MiddlewareConfig::default(),
+    );
+    let big = run(
+        fig4_workload(40, 100.0),
+        "class",
+        MiddlewareConfig::default(),
+    );
+    let ratio = big.simulated_cost() as f64 / small.simulated_cost() as f64;
+    assert!(
+        (1.5..12.0).contains(&ratio),
+        "4x rows should cost ~4x (got {ratio:.2}x)"
+    );
+}
+
+/// Figure 6: at low memory, hybrid 50% splitting beats the singleton file,
+/// and the memory-augmented hybrid is at least as good as plain hybrid at
+/// ample memory.
+#[test]
+fn fig6_hybrid_beats_singleton_at_low_memory() {
+    let w = census_workload(6_000);
+    let grow = GrowConfig {
+        min_rows: 15,
+        ..GrowConfig::default()
+    };
+    let budget = 48 * KB;
+    let cost = |policy: FileStagingPolicy, mem: bool| {
+        let cfg = MiddlewareConfig::builder()
+            .memory_budget_bytes(budget)
+            .file_policy(policy)
+            .memory_caching(mem)
+            .build();
+        run_tree_growth(w.clone().into_db("d"), "d", "income", cfg, &grow).simulated_cost()
+    };
+    let singleton = cost(FileStagingPolicy::Singleton, false);
+    let hybrid = cost(
+        FileStagingPolicy::Hybrid {
+            split_threshold: 0.5,
+        },
+        false,
+    );
+    assert!(
+        hybrid < singleton,
+        "hybrid ({hybrid}) must beat singleton ({singleton}) at low memory"
+    );
+
+    let ample = 4096 * KB;
+    let cfg_plain = MiddlewareConfig::builder()
+        .memory_budget_bytes(ample)
+        .file_policy(FileStagingPolicy::Hybrid {
+            split_threshold: 0.5,
+        })
+        .memory_caching(false)
+        .build();
+    let cfg_mem = MiddlewareConfig::builder()
+        .memory_budget_bytes(ample)
+        .file_policy(FileStagingPolicy::Hybrid {
+            split_threshold: 0.5,
+        })
+        .memory_caching(true)
+        .build();
+    let plain = run_tree_growth(w.clone().into_db("d"), "d", "income", cfg_plain, &grow);
+    let with_mem = run_tree_growth(w.clone().into_db("d"), "d", "income", cfg_mem, &grow);
+    assert!(
+        with_mem.simulated_cost() <= plain.simulated_cost(),
+        "memory caching must help at ample memory: {} vs {}",
+        with_mem.simulated_cost(),
+        plain.simulated_cost()
+    );
+}
+
+/// Figure 7: straightforward SQL counting is worse than the middleware and
+/// degrades faster as attributes grow.
+#[test]
+fn fig7_sql_counting_loses_and_degrades() {
+    let mut sql_costs = Vec::new();
+    let mut mw_costs = Vec::new();
+    for attrs in [6usize, 12, 24] {
+        let w = fig7_workload(attrs, 15, 25.0);
+        let sql = run_tree_growth_via_sql(w.clone().into_db("d"), "d", "class", &grow());
+        let mw = run(
+            w,
+            "class",
+            MiddlewareConfig::builder().memory_caching(false).build(),
+        );
+        assert!(
+            sql.simulated_cost() > mw.simulated_cost(),
+            "SQL counting must lose at {attrs} attrs: {} vs {}",
+            sql.simulated_cost(),
+            mw.simulated_cost()
+        );
+        sql_costs.push(sql.simulated_cost());
+        mw_costs.push(mw.simulated_cost());
+    }
+    // degradation: SQL cost ratio across the sweep exceeds middleware's
+    let sql_ratio = *sql_costs.last().unwrap() as f64 / sql_costs[0] as f64;
+    let mw_ratio = *mw_costs.last().unwrap() as f64 / mw_costs[0] as f64;
+    assert!(
+        sql_ratio > mw_ratio,
+        "SQL must degrade faster: {sql_ratio:.2}x vs {mw_ratio:.2}x"
+    );
+}
+
+/// Figure 8a: on a lop-sided tree, the filtered server cursor beats the
+/// static file-based data store under 1999 LAN-vs-disk cost ratios (the
+/// paper's conclusion), while modern disk ratios flip the winner.
+#[test]
+fn fig8a_crossover_depends_on_io_ratio() {
+    use scaleclass_bench::workloads::fig8a_workload;
+    use scaleclass_sqldb::CostWeights;
+    let w = fig8a_workload(4.0, 20, 60.0);
+    let cursor = run(
+        w.clone(),
+        "class",
+        MiddlewareConfig::builder().memory_caching(false).build(),
+    );
+    let file_store = run(
+        w,
+        "class",
+        MiddlewareConfig::builder()
+            .memory_caching(false)
+            .file_policy(FileStagingPolicy::Singleton)
+            .build(),
+    );
+    let w99 = CostWeights::lan1999();
+    assert!(
+        cursor.simulated_cost_with(&w99) < file_store.simulated_cost_with(&w99),
+        "1999 ratios: cursor must win ({} vs {})",
+        cursor.simulated_cost_with(&w99),
+        file_store.simulated_cost_with(&w99)
+    );
+    assert!(
+        file_store.simulated_cost() < cursor.simulated_cost(),
+        "modern ratios: cheap local disk flips the winner ({} vs {})",
+        file_store.simulated_cost(),
+        cursor.simulated_cost()
+    );
+}
+
+/// §5.2.5: server-side index structures are not beneficial — the TID join
+/// actively hurts, and even the better structures yield no decisive win.
+#[test]
+fn idx_structures_do_not_help() {
+    let w = census_workload(6_000);
+    let grow = GrowConfig {
+        min_rows: 15,
+        ..GrowConfig::default()
+    };
+    let metric = |mode: AuxMode| {
+        let cfg = MiddlewareConfig::builder()
+            .memory_budget_bytes(64 * KB)
+            .memory_caching(false)
+            .aux_mode(mode)
+            .build();
+        run_tree_growth(w.clone().into_db("d"), "d", "income", cfg, &grow)
+    };
+    let off = metric(AuxMode::Off);
+    let tid = metric(AuxMode::TidJoin);
+    let keyset = metric(AuxMode::Keyset);
+    let temp = metric(AuxMode::TempTable);
+    assert!(
+        tid.simulated_cost() > off.simulated_cost(),
+        "TID join overhead must hurt ({} vs {})",
+        tid.simulated_cost(),
+        off.simulated_cost()
+    );
+    // "the gain in efficiency due to this technique was limited": under 25%
+    // either way, i.e. no decisive win.
+    for (name, m) in [("keyset", &keyset), ("temp", &temp)] {
+        let ratio = m.simulated_cost_idealized() as f64 / off.simulated_cost() as f64;
+        assert!(
+            ratio > 0.70,
+            "{name} won too decisively ({ratio:.2}) — contradicts §5.2.5"
+        );
+    }
+}
+
+/// §4.3.1: the pushed union filter reduces wire traffic (vs shipping the
+/// whole table each scan).
+#[test]
+fn filter_pushdown_reduces_shipped_rows() {
+    let w = fig4_workload(40, 40.0);
+    let pushed = run(
+        w.clone(),
+        "class",
+        MiddlewareConfig::builder()
+            .memory_caching(false)
+            .push_filters(true)
+            .build(),
+    );
+    let shipped = run(
+        w,
+        "class",
+        MiddlewareConfig::builder()
+            .memory_caching(false)
+            .push_filters(false)
+            .build(),
+    );
+    assert!(
+        pushed.server.rows_shipped < shipped.server.rows_shipped,
+        "pushdown must ship fewer rows: {} vs {}",
+        pushed.server.rows_shipped,
+        shipped.server.rows_shipped
+    );
+    assert!(pushed.simulated_cost() < shipped.simulated_cost());
+}
+
+/// The headline claim: batching many nodes into one scan beats
+/// one-node-per-scan decisively.
+#[test]
+fn batching_beats_node_at_a_time() {
+    let w = fig4_workload(40, 40.0);
+    let batched = run(
+        w.clone(),
+        "class",
+        MiddlewareConfig::builder().memory_caching(false).build(),
+    );
+    let serial = run(
+        w,
+        "class",
+        MiddlewareConfig::builder()
+            .memory_caching(false)
+            .max_batch_nodes(Some(1))
+            .build(),
+    );
+    assert!(
+        serial.server.seq_scans > 2 * batched.server.seq_scans,
+        "one-per-scan must pay many more scans: {} vs {}",
+        serial.server.seq_scans,
+        batched.server.seq_scans
+    );
+    assert!(serial.simulated_cost() > batched.simulated_cost());
+}
+
+/// Rule 3 is a simplicity heuristic ("For simplicity, we order eligible
+/// nodes by the increasing estimated sizes of count tables"), not a
+/// guaranteed optimization — the ablation must show both orderings finish
+/// with costs in the same ballpark, neither catastrophically worse.
+#[test]
+fn rule3_ordering_is_no_worse_than_fifo() {
+    let w = fig4_workload(80, 30.0);
+    let smallest = run(
+        w.clone(),
+        "class",
+        MiddlewareConfig::builder()
+            .memory_budget_bytes(48 * KB)
+            .memory_caching(false)
+            .build(),
+    );
+    let fifo = run(
+        w,
+        "class",
+        MiddlewareConfig::builder()
+            .memory_budget_bytes(48 * KB)
+            .memory_caching(false)
+            .rule3_smallest_first(false)
+            .build(),
+    );
+    let ratio = smallest.simulated_cost() as f64 / fifo.simulated_cost() as f64;
+    assert!(
+        (0.4..2.5).contains(&ratio),
+        "orderings should be in the same ballpark, got ratio {ratio:.2} \
+         ({} vs {} cost, {} vs {} scans)",
+        smallest.simulated_cost(),
+        fifo.simulated_cost(),
+        smallest.server.seq_scans,
+        fifo.server.seq_scans
+    );
+}

@@ -1,0 +1,116 @@
+//! Soak suite: the same invariants as the fast integration tests, at
+//! sizes closer to the paper's. Run with
+//! `cargo test --workspace --release -- --ignored`.
+
+use scaleclass::{FileStagingPolicy, Middleware, MiddlewareConfig};
+use scaleclass_datagen::{census, random_tree, CensusParams, RandomTreeParams};
+use scaleclass_dtree::{
+    grow_in_memory, grow_with_middleware, trees_structurally_equal, GrowConfig,
+};
+
+#[test]
+#[ignore = "soak: ~1 minute"]
+fn equivalence_holds_at_scale_under_every_policy() {
+    let d = random_tree::generate(&RandomTreeParams {
+        leaves: 200,
+        attributes: 25,
+        classes: 10,
+        cases_per_leaf: 120.0,
+        ..RandomTreeParams::default()
+    });
+    let attrs: Vec<u16> = (0..25).collect();
+    let grow = GrowConfig::default();
+    let reference = grow_in_memory(&d.rows, d.arity(), d.class_col, &attrs, &grow);
+    assert!(reference.len() > 1000, "grew {} nodes", reference.len());
+
+    let configs = vec![
+        MiddlewareConfig::default(),
+        MiddlewareConfig::builder()
+            .memory_budget_bytes(64 * 1024)
+            .memory_caching(false)
+            .build(),
+        MiddlewareConfig::builder()
+            .memory_budget_bytes(256 * 1024)
+            .memory_caching(true)
+            .file_policy(FileStagingPolicy::Hybrid {
+                split_threshold: 0.5,
+            })
+            .build(),
+        MiddlewareConfig::builder()
+            .memory_budget_bytes(128 * 1024)
+            .memory_caching(false)
+            .file_policy(FileStagingPolicy::PerNode)
+            .build(),
+    ];
+    for (i, cfg) in configs.into_iter().enumerate() {
+        let db = scaleclass_datagen::into_database(d.schema.clone(), &d.rows, "d");
+        let mut mw = Middleware::new(db, "d", "class", cfg).unwrap();
+        let tree = grow_with_middleware(&mut mw, &grow).unwrap().tree;
+        assert!(
+            trees_structurally_equal(&tree, &reference),
+            "config {i} diverged"
+        );
+    }
+}
+
+#[test]
+#[ignore = "soak: ~30 seconds"]
+fn census_at_scale_is_accurate_and_memory_honest() {
+    let d = census::generate(&CensusParams {
+        rows: 100_000,
+        seed: 5,
+    });
+    let arity = d.arity();
+    let (train, test) = scaleclass_datagen::train_test_split(&d.rows, arity, 0.25, 6);
+    let budget = 256 * 1024u64;
+    let db = scaleclass_datagen::into_database(d.schema.clone(), &train, "census");
+    let cfg = MiddlewareConfig::builder()
+        .memory_budget_bytes(budget)
+        .memory_caching(true)
+        .file_policy(FileStagingPolicy::Hybrid {
+            split_threshold: 0.5,
+        })
+        .build();
+    let mut mw = Middleware::new(db, "census", "income", cfg).unwrap();
+    let grow = GrowConfig {
+        min_rows: 50,
+        ..GrowConfig::default()
+    };
+    let out = grow_with_middleware(&mut mw, &grow).unwrap();
+    let acc = scaleclass_dtree::tree_accuracy(&out.tree, &test, arity, d.class_col);
+    assert!(acc > 0.85, "holdout accuracy {acc}");
+    assert!(
+        mw.stats().peak_memory_bytes <= budget + 8 * 1024,
+        "peak {} over budget {budget}",
+        mw.stats().peak_memory_bytes
+    );
+    // staging actually happened at this scale
+    assert!(mw.stats().files_created >= 1);
+}
+
+#[test]
+#[ignore = "soak: ~1 minute"]
+fn five_hundred_thousand_rows_scale_linearly() {
+    let small = random_tree::generate(&RandomTreeParams {
+        leaves: 100,
+        cases_per_leaf: 500.0,
+        ..RandomTreeParams::default()
+    });
+    let big = random_tree::generate(&RandomTreeParams {
+        leaves: 100,
+        cases_per_leaf: 2500.0,
+        ..RandomTreeParams::default()
+    });
+    let run = |d: &random_tree::GeneratedData| {
+        let db = scaleclass_datagen::into_database(d.schema.clone(), &d.rows, "d");
+        let mut mw = Middleware::new(db, "d", "class", MiddlewareConfig::default()).unwrap();
+        grow_with_middleware(&mut mw, &GrowConfig::default()).unwrap();
+        mw.db_stats().simulated_cost()
+    };
+    let (cs, cb) = (run(&small), run(&big));
+    let ratio = cb as f64 / cs as f64;
+    assert!(
+        (2.0..15.0).contains(&ratio),
+        "5x rows gave {ratio:.1}x cost ({cs} -> {cb})"
+    );
+}

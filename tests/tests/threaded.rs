@@ -1,0 +1,151 @@
+//! The asynchronous Figure 3 protocol: a client thread and a middleware
+//! thread exchanging request/result batches must grow the same tree the
+//! synchronous loop does.
+
+use scaleclass::concurrent::spawn;
+use scaleclass::{CcRequest, Middleware, MiddlewareConfig, NodeId};
+use scaleclass_dtree::{
+    decide, derive_children, grow::immediate_leaf, grow_with_middleware, trees_structurally_equal,
+    Decision, DecisionTree, GrowConfig, NodeState, TreeNode,
+};
+use scaleclass_tests::{load, small_tree_workload};
+use std::collections::HashMap;
+
+/// A client driving the threaded middleware: queue requests, consume
+/// whatever batches come back, in whatever order.
+fn grow_threaded(mw: Middleware, config: &GrowConfig) -> DecisionTree {
+    let class_col = mw.class_col();
+    let root_req = mw.root_request(NodeId(0));
+    let handle = spawn(mw);
+
+    let mut tree = DecisionTree::new();
+    tree.push(TreeNode {
+        id: 0,
+        parent: None,
+        edge: None,
+        depth: 0,
+        state: NodeState::Active,
+        class_counts: Vec::new(),
+        rows: root_req.rows,
+        children: Vec::new(),
+        source: None,
+    });
+    let mut lineages = HashMap::new();
+    let mut attrs_of = HashMap::new();
+    lineages.insert(0usize, root_req.lineage.clone());
+    attrs_of.insert(0usize, root_req.attrs.clone());
+    let mut outstanding = 1usize;
+    handle.enqueue(root_req).unwrap();
+
+    while outstanding > 0 {
+        let batch = handle
+            .wait_results()
+            .expect("middleware alive")
+            .expect("no middleware error");
+        for f in batch {
+            outstanding -= 1;
+            let idx = f.node.0 as usize;
+            let lineage = lineages.remove(&idx).unwrap();
+            let attrs = attrs_of.remove(&idx).unwrap();
+            let depth = tree.node(idx).depth;
+            {
+                let n = tree.node_mut(idx);
+                n.class_counts = f.cc.class_distribution().collect();
+                n.rows = f.cc.total();
+                n.source = Some(f.source);
+            }
+            match decide(&f.cc, &attrs, depth, config) {
+                Decision::Leaf { class } => {
+                    tree.node_mut(idx).state = NodeState::Leaf { class };
+                }
+                Decision::Split(split) => {
+                    let specs = derive_children(&f.cc, &split, &attrs);
+                    tree.node_mut(idx).state = NodeState::Partitioned { split };
+                    for spec in specs {
+                        let leaf_now = immediate_leaf(&spec, depth + 1, config);
+                        let state = if leaf_now {
+                            NodeState::Leaf {
+                                class: spec
+                                    .class_counts
+                                    .iter()
+                                    .max_by_key(|&&(_, n)| n)
+                                    .map(|&(c, _)| c)
+                                    .unwrap_or(0),
+                            }
+                        } else {
+                            NodeState::Active
+                        };
+                        let child = tree.push(TreeNode {
+                            id: 0,
+                            parent: Some(idx),
+                            edge: Some(spec.edge),
+                            depth: depth + 1,
+                            state,
+                            class_counts: spec.class_counts.clone(),
+                            rows: spec.rows,
+                            children: Vec::new(),
+                            source: None,
+                        });
+                        if !leaf_now {
+                            let lin = lineage.child(NodeId(child as u64), spec.edge_pred.clone());
+                            lineages.insert(child, lin.clone());
+                            attrs_of.insert(child, spec.attrs.clone());
+                            handle
+                                .enqueue(CcRequest {
+                                    lineage: lin,
+                                    attrs: spec.attrs,
+                                    class_col,
+                                    rows: spec.rows,
+                                    parent_rows: f.cc.total(),
+                                    parent_cards: spec.parent_cards,
+                                })
+                                .unwrap();
+                            outstanding += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    handle.shutdown();
+    tree
+}
+
+#[test]
+fn threaded_growth_matches_synchronous_growth() {
+    let (schema, rows, _) = small_tree_workload();
+    let config = GrowConfig::default();
+
+    let db = load(&schema, &rows);
+    let mw = Middleware::new(db, "d", "class", MiddlewareConfig::default()).unwrap();
+    let threaded = grow_threaded(mw, &config);
+
+    let db = load(&schema, &rows);
+    let mut mw = Middleware::new(db, "d", "class", MiddlewareConfig::default()).unwrap();
+    let sync = grow_with_middleware(&mut mw, &config).unwrap().tree;
+
+    // The paper: "This approach does not affect the decision tree that is
+    // finally produced by the classifier."
+    assert!(trees_structurally_equal(&threaded, &sync));
+    assert!(sync.len() > 10);
+}
+
+#[test]
+fn threaded_growth_under_tight_memory_matches() {
+    let (schema, rows, _) = small_tree_workload();
+    let config = GrowConfig::default();
+    let cfg = MiddlewareConfig::builder()
+        .memory_budget_bytes(16 * 1024)
+        .memory_caching(false)
+        .build();
+
+    let db = load(&schema, &rows);
+    let mw = Middleware::new(db, "d", "class", cfg.clone()).unwrap();
+    let threaded = grow_threaded(mw, &config);
+
+    let db = load(&schema, &rows);
+    let mut mw = Middleware::new(db, "d", "class", cfg).unwrap();
+    let sync = grow_with_middleware(&mut mw, &config).unwrap().tree;
+
+    assert!(trees_structurally_equal(&threaded, &sync));
+}
