@@ -1,0 +1,129 @@
+//! Counting-scan throughput bench: serial vs. parallel pipeline.
+//!
+//! Runs the root CC batch over a >= 500k-row synthetic table with
+//! `scan_workers = 1` and `= 4` and writes the measured numbers to
+//! `results/BENCH_parallel_scan.json`. Throughput is taken from the
+//! middleware's own scan counters (`scan_rows` / `scan_nanos`), i.e. it
+//! isolates the counting scan from table load and scheduling.
+//!
+//! The recorded speedup is whatever the host delivers — on a single-core
+//! box the pipeline pays channel overhead and cannot beat serial, which
+//! the JSON states explicitly via `host_cores`.
+
+use scaleclass::{Middleware, MiddlewareConfig, NodeId};
+use scaleclass_bench::workloads::scan_bench_workload;
+use std::time::Instant;
+
+const TARGET_ROWS: usize = 500_000;
+const ITERATIONS: usize = 3;
+
+struct Leg {
+    workers: usize,
+    wall_secs: f64,
+    scan_rows: u64,
+    scan_nanos: u64,
+    parallel_scans: u64,
+    blocks: u64,
+}
+
+impl Leg {
+    fn rows_per_sec(&self) -> f64 {
+        if self.scan_nanos == 0 {
+            return 0.0;
+        }
+        self.scan_rows as f64 * 1e9 / self.scan_nanos as f64
+    }
+}
+
+fn run_leg(workload: &scaleclass_bench::workloads::Workload, workers: usize) -> Leg {
+    let mut best: Option<Leg> = None;
+    for _ in 0..ITERATIONS {
+        let db = workload.clone().into_db("t");
+        let cfg = MiddlewareConfig::builder().scan_workers(workers).build();
+        let mut mw = Middleware::new(db, "t", &workload.class_column, cfg).unwrap();
+        mw.enqueue(mw.root_request(NodeId(0))).unwrap();
+        let start = Instant::now();
+        let results = mw.process_next_batch().unwrap();
+        let wall_secs = start.elapsed().as_secs_f64();
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].cc.total(), workload.nrows() as u64);
+        let s = mw.stats();
+        let leg = Leg {
+            workers,
+            wall_secs,
+            scan_rows: s.scan_rows,
+            scan_nanos: s.scan_nanos,
+            parallel_scans: s.parallel_scans,
+            blocks: s.scan_blocks,
+        };
+        if best
+            .as_ref()
+            .map(|b| leg.wall_secs < b.wall_secs)
+            .unwrap_or(true)
+        {
+            best = Some(leg);
+        }
+    }
+    best.unwrap()
+}
+
+fn main() {
+    let workload = scan_bench_workload(TARGET_ROWS);
+    let nrows = workload.nrows();
+    let host_cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    eprintln!(
+        "{} ({} rows, {:.1} MB), host cores: {host_cores}",
+        workload.description,
+        nrows,
+        workload.data_mb()
+    );
+
+    let serial = run_leg(&workload, 1);
+    let parallel = run_leg(&workload, 4);
+    assert_eq!(serial.parallel_scans, 0);
+    assert!(parallel.parallel_scans > 0);
+
+    let speedup = parallel.rows_per_sec() / serial.rows_per_sec();
+    for leg in [&serial, &parallel] {
+        eprintln!(
+            "  scan_workers={}: {:.2}M rows/s (wall {:.3}s, {} blocks)",
+            leg.workers,
+            leg.rows_per_sec() / 1e6,
+            leg.wall_secs,
+            leg.blocks
+        );
+    }
+    eprintln!("  speedup (4 vs 1): {speedup:.2}x");
+
+    let json = format!(
+        r#"{{
+  "bench": "parallel_scan",
+  "workload": "{desc}",
+  "rows": {nrows},
+  "arity": {arity},
+  "host_cores": {host_cores},
+  "iterations_best_of": {iters},
+  "note": "throughput = scan_rows / scan_nanos from middleware counters; speedup on a {host_cores}-core host — the >=2x target requires a multi-core box",
+  "legs": [
+    {{ "scan_workers": 1, "rows_per_sec": {s_rps:.0}, "wall_secs": {s_wall:.4}, "scan_blocks": {s_blocks} }},
+    {{ "scan_workers": 4, "rows_per_sec": {p_rps:.0}, "wall_secs": {p_wall:.4}, "scan_blocks": {p_blocks} }}
+  ],
+  "speedup_4_over_1": {speedup:.3}
+}}
+"#,
+        desc = workload.description,
+        arity = workload.schema.arity(),
+        iters = ITERATIONS,
+        s_rps = serial.rows_per_sec(),
+        s_wall = serial.wall_secs,
+        s_blocks = serial.blocks,
+        p_rps = parallel.rows_per_sec(),
+        p_wall = parallel.wall_secs,
+        p_blocks = parallel.blocks,
+    );
+    let out = std::path::Path::new("results/BENCH_parallel_scan.json");
+    std::fs::write(out, &json).unwrap();
+    println!("wrote {}", out.display());
+}

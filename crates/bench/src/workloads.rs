@@ -126,6 +126,31 @@ pub fn fig8b_workload(leaves: usize, total_rows: usize) -> Workload {
     from_generated(d, desc)
 }
 
+/// Scan-throughput workload for the parallel counting pipeline bench:
+/// a wide random-tree table (25 attributes + class) with enough leaves
+/// that the root batch dispatches over many candidate nodes. `total_rows`
+/// is a floor — complete splits can round the case count up slightly.
+pub fn scan_bench_workload(total_rows: usize) -> Workload {
+    let leaves = 100;
+    let d = random_tree::generate(&random_tree::RandomTreeParams {
+        leaves,
+        attributes: 25,
+        mean_values: 4.0,
+        values_stddev: 0.0,
+        classes: 10,
+        skew: 0.0,
+        complete_splits: true,
+        cases_per_leaf: (total_rows as f64 / leaves as f64).ceil(),
+        cases_stddev: 0.0,
+        seed: 42,
+    });
+    let desc = format!(
+        "scan-bench random-tree: {} leaves, 25 attrs, >= {total_rows} rows",
+        d.generating_leaves
+    );
+    from_generated(d, desc)
+}
+
 /// Census-like workload (Figures 6 and the §5.2.5 experiment).
 pub fn census_workload(rows: usize) -> Workload {
     let d = census::generate(&census::CensusParams { rows, seed: 42 });
@@ -193,6 +218,13 @@ mod tests {
         assert_eq!(w.class_column, "income");
         let db = w.into_db("census");
         assert_eq!(db.table("census").unwrap().nrows(), 500);
+    }
+
+    #[test]
+    fn scan_bench_workload_meets_row_floor() {
+        let w = scan_bench_workload(5_000);
+        assert!(w.nrows() >= 5_000, "only {} rows", w.nrows());
+        assert_eq!(w.schema.arity(), 26);
     }
 
     #[test]

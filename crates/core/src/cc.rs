@@ -174,6 +174,20 @@ impl CountsTable {
     pub fn iter(&self) -> impl Iterator<Item = (CcKey, u64)> + '_ {
         self.counts.iter().map(|(&k, &n)| (k, n))
     }
+
+    /// Absorb another counts table: entry-wise addition of counts, class
+    /// totals, and row totals. Counting is additive, so the shards of a
+    /// parallel scan merge — in any order — to exactly the table one
+    /// serial pass over the same rows would build.
+    pub fn merge(&mut self, other: CountsTable) {
+        for (key, n) in other.counts {
+            *self.counts.entry(key).or_insert(0) += n;
+        }
+        for (class, n) in other.class_totals {
+            *self.class_totals.entry(class).or_insert(0) += n;
+        }
+        self.total += other.total;
+    }
 }
 
 /// A fulfilled counts request handed back to the client.
@@ -267,6 +281,22 @@ mod tests {
             direct.class_distribution().collect::<Vec<_>>()
         );
         assert_eq!(agg, direct);
+    }
+
+    #[test]
+    fn merge_of_row_partitions_equals_single_pass() {
+        let rows: Vec<[Code; 3]> = vec![[0, 0, 0], [0, 1, 0], [1, 1, 1], [0, 0, 1], [2, 1, 1]];
+        let whole = table_from(&rows);
+        // Split the rows across three shards (one empty) and merge.
+        let mut merged = table_from(&rows[..2]);
+        merged.merge(table_from(&rows[2..]));
+        merged.merge(CountsTable::new());
+        assert_eq!(merged, whole);
+        assert_eq!(merged.total(), whole.total());
+        assert_eq!(
+            merged.class_distribution().collect::<Vec<_>>(),
+            whole.class_distribution().collect::<Vec<_>>()
+        );
     }
 
     #[test]

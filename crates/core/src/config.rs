@@ -99,6 +99,26 @@ pub struct MiddlewareConfig {
     /// scaled-down budgets it triggers §4.1.1 fallback storms (see
     /// DESIGN.md §8) — measurable via `experiments ablate-admission`.
     pub admit_by_estimate: bool,
+    /// Counting workers per scan. `1` (the default) is the exact serial
+    /// path; `> 1` routes rows through the block pipeline of
+    /// [`crate::parallel`]: one producer thread reads the source and `n`
+    /// workers count into private CC-table shards merged after the scan.
+    /// The default honours the `SCALECLASS_SCAN_WORKERS` environment
+    /// variable so whole test runs can be switched without code changes.
+    pub scan_workers: usize,
+    /// Rows per block handed from the scan producer to the counting
+    /// workers (only used when `scan_workers > 1`).
+    pub scan_block_rows: usize,
+}
+
+/// Worker count from `SCALECLASS_SCAN_WORKERS` (unset, empty, zero, or
+/// unparsable all mean the serial default of 1).
+fn env_scan_workers() -> usize {
+    std::env::var("SCALECLASS_SCAN_WORKERS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(1)
 }
 
 impl Default for MiddlewareConfig {
@@ -116,6 +136,8 @@ impl Default for MiddlewareConfig {
             rule3_smallest_first: true,
             estimator: EstimatorKind::default(),
             admit_by_estimate: false,
+            scan_workers: env_scan_workers(),
+            scan_block_rows: 4096,
         }
     }
 }
@@ -215,6 +237,18 @@ impl MiddlewareConfigBuilder {
         self
     }
 
+    /// Counting workers per scan (min 1; 1 = exact serial path).
+    pub fn scan_workers(mut self, workers: usize) -> Self {
+        self.config.scan_workers = workers.max(1);
+        self
+    }
+
+    /// Rows per producer→worker block (min 1).
+    pub fn scan_block_rows(mut self, rows: usize) -> Self {
+        self.config.scan_block_rows = rows.max(1);
+        self
+    }
+
     /// Finish building.
     pub fn build(self) -> MiddlewareConfig {
         self.config
@@ -251,6 +285,22 @@ mod tests {
         assert!(!c.memory_caching);
         assert_eq!(c.wire_batch_rows, 1, "clamped to at least one row");
         assert_eq!(c.aux_threshold, 1.0, "clamped to [0,1]");
+    }
+
+    #[test]
+    fn scan_worker_knobs_are_clamped() {
+        let c = MiddlewareConfig::builder()
+            .scan_workers(0)
+            .scan_block_rows(0)
+            .build();
+        assert_eq!(c.scan_workers, 1, "zero workers means serial");
+        assert_eq!(c.scan_block_rows, 1);
+        let c = MiddlewareConfig::builder()
+            .scan_workers(4)
+            .scan_block_rows(1024)
+            .build();
+        assert_eq!(c.scan_workers, 4);
+        assert_eq!(c.scan_block_rows, 1024);
     }
 
     #[test]

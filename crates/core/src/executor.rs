@@ -64,27 +64,65 @@ pub struct BatchCounter {
     /// them when the batch completes).
     pub evicted: Vec<u64>,
     /// Total middleware memory budget in bytes.
-    budget: u64,
+    pub(crate) budget: u64,
     /// Memory already pinned by previously staged data sets.
-    base_mem_bytes: u64,
+    pub(crate) base_mem_bytes: u64,
     /// Live counts-table bytes across all nodes in this batch.
-    cc_bytes: u64,
+    pub(crate) cc_bytes: u64,
     /// Bytes accumulated in memory-staging buffers this batch.
-    buffer_bytes: u64,
-    arity: usize,
-    /// Candidate prefilter: nodes whose path predicate contains an `Eq`
-    /// conjunct are bucketed by their *deepest* such atom `(col, value)` —
-    /// a necessary condition for the full predicate, and (being the node's
-    /// own or nearest Eq edge) the most selective one. A row only fully
-    /// evaluates the nodes in its matching buckets plus the few nodes with
-    /// no Eq conjunct at all. This turns the per-row cost from
-    /// O(batch size) to O(matching nodes), which is what makes full-scale
-    /// (multi-MB) scans tractable.
-    dispatch: HashMap<(usize, Code), Vec<usize>>,
+    pub(crate) buffer_bytes: u64,
+    pub(crate) arity: usize,
+    /// Candidate prefilter shared with the parallel workers.
+    dispatch: Dispatch,
+}
+
+/// Candidate prefilter over a batch's predicates: nodes whose path
+/// predicate contains an `Eq` conjunct are bucketed by their *deepest*
+/// such atom `(col, value)` — a necessary condition for the full
+/// predicate, and (being the node's own or nearest Eq edge) the most
+/// selective one. A row only fully evaluates the nodes in its matching
+/// buckets plus the few nodes with no Eq conjunct at all. This turns the
+/// per-row cost from O(batch size) to O(matching nodes), which is what
+/// makes full-scale (multi-MB) scans tractable. Built once per scan and
+/// read-only afterwards, so the serial counter and every parallel worker
+/// can share the same structure.
+pub(crate) struct Dispatch {
+    /// `(col, value)` buckets of node indices.
+    map: HashMap<(usize, Code), Vec<usize>>,
     /// Distinct columns appearing as dispatch keys.
-    dispatch_cols: Vec<usize>,
+    cols: Vec<usize>,
     /// Nodes with no Eq conjunct (root, pure-NotEq paths): always checked.
-    undispatched: Vec<usize>,
+    unkeyed: Vec<usize>,
+}
+
+impl Dispatch {
+    /// Build the prefilter for an ordered list of node predicates.
+    pub(crate) fn new<'a>(preds: impl Iterator<Item = &'a Pred>) -> Self {
+        let mut map: HashMap<(usize, Code), Vec<usize>> = HashMap::new();
+        let mut unkeyed = Vec::new();
+        for (i, pred) in preds.enumerate() {
+            match deepest_eq_atom(pred) {
+                Some(key) => map.entry(key).or_default().push(i),
+                None => unkeyed.push(i),
+            }
+        }
+        let mut cols: Vec<usize> = map.keys().map(|&(c, _)| c).collect();
+        cols.sort_unstable();
+        cols.dedup();
+        Dispatch { map, cols, unkeyed }
+    }
+
+    /// Collect into `out` the node indices whose predicate might match
+    /// `row` (a superset of the true matches).
+    pub(crate) fn candidates(&self, row: &[Code], out: &mut Vec<usize>) {
+        out.clear();
+        out.extend_from_slice(&self.unkeyed);
+        for &col in &self.cols {
+            if let Some(idxs) = self.map.get(&(col, row[col])) {
+                out.extend_from_slice(idxs);
+            }
+        }
+    }
 }
 
 /// The deepest `Eq` conjunct of a path predicate, if any.
@@ -100,17 +138,7 @@ impl BatchCounter {
     /// A counting pass over `nodes` against the given budget; `base_mem_bytes`
     /// is memory already pinned by staged data.
     pub fn new(nodes: Vec<NodeCounter>, budget: u64, base_mem_bytes: u64, arity: usize) -> Self {
-        let mut dispatch: HashMap<(usize, Code), Vec<usize>> = HashMap::new();
-        let mut undispatched = Vec::new();
-        for (i, node) in nodes.iter().enumerate() {
-            match deepest_eq_atom(node.req.pred()) {
-                Some(key) => dispatch.entry(key).or_default().push(i),
-                None => undispatched.push(i),
-            }
-        }
-        let mut dispatch_cols: Vec<usize> = dispatch.keys().map(|&(c, _)| c).collect();
-        dispatch_cols.sort_unstable();
-        dispatch_cols.dedup();
+        let dispatch = Dispatch::new(nodes.iter().map(|n| n.req.pred()));
         BatchCounter {
             nodes,
             split_writer: None,
@@ -122,8 +150,6 @@ impl BatchCounter {
             buffer_bytes: 0,
             arity,
             dispatch,
-            dispatch_cols,
-            undispatched,
         }
     }
 
@@ -145,12 +171,7 @@ impl BatchCounter {
         // Candidate nodes: the buckets keyed by this row's values on the
         // dispatch columns, plus the nodes with no Eq conjunct.
         let mut candidates: Vec<usize> = Vec::with_capacity(8);
-        candidates.extend_from_slice(&self.undispatched);
-        for &col in &self.dispatch_cols {
-            if let Some(idxs) = self.dispatch.get(&(col, row[col])) {
-                candidates.extend_from_slice(idxs);
-            }
-        }
+        self.dispatch.candidates(row, &mut candidates);
 
         for idx in candidates {
             let node = &mut self.nodes[idx];

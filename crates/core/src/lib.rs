@@ -53,6 +53,7 @@ pub mod executor;
 pub mod filter;
 pub mod metrics;
 pub mod middleware;
+pub mod parallel;
 pub mod request;
 pub mod scheduler;
 pub mod sqlgen;

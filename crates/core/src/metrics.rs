@@ -50,6 +50,20 @@ pub struct MiddlewareStats {
     pub aux_scans: u64,
     /// Peak of (live CC bytes + memory-staged bytes) observed.
     pub peak_memory_bytes: u64,
+    /// Counting scans routed through the parallel block pipeline.
+    pub parallel_scans: u64,
+    /// Rows fed through counting scans (serial or parallel).
+    pub scan_rows: u64,
+    /// Row blocks handed from the scan producer to counting workers.
+    pub scan_blocks: u64,
+    /// Wall-clock nanoseconds spent inside counting scans. Timing, not a
+    /// logical counter: it varies run to run and must be excluded from
+    /// determinism comparisons (rows/sec = `scan_rows` / `scan_nanos`).
+    pub scan_nanos: u64,
+    /// Most rows any single worker consumed in one parallel scan (maximum
+    /// over scans) — `scan_rows / (parallel workers × this)` approximates
+    /// worker occupancy.
+    pub scan_worker_rows_max: u64,
     /// Server statistics attributable to building auxiliary structures
     /// (so experiments can report the "idealized" §5.2.5 number that
     /// neglects index build cost).

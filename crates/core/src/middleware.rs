@@ -14,11 +14,12 @@ use crate::error::{MwError, MwResult};
 use crate::executor::{BatchCounter, NodeCounter};
 use crate::filter::union_filter;
 use crate::metrics::MiddlewareStats;
+use crate::parallel::RowSink;
 use crate::request::{CcRequest, DataLocation, Lineage, NodeId};
 use crate::scheduler::{schedule, BatchPlan};
 use crate::sqlgen::cc_via_sql;
 use crate::staging::StagingManager;
-use scaleclass_sqldb::{Code, Database, KeysetCursor, Pred, Schema, StatsSnapshot};
+use scaleclass_sqldb::{Code, Database, KeysetCursor, Pred, Schema, StatsSnapshot, CODE_BYTES};
 
 /// A server-side auxiliary structure (§4.3.3) built for a set of nodes.
 enum AuxKind {
@@ -261,11 +262,15 @@ impl Middleware {
         // has genuinely shrunk.
         let frontier_rows = plan.relevant_rows() + self.pending.iter().map(|r| r.rows).sum::<u64>();
         let batch = self.build_counters(plan)?;
-        let batch = match source {
-            DataLocation::Memory(id) => self.scan_memory(id, batch)?,
-            DataLocation::File(id) => self.scan_file(id, batch)?,
-            DataLocation::Server => self.scan_server(batch, frontier_rows)?,
+        // Serial or parallel counting behind one row interface — the scan
+        // drivers below never know which one runs.
+        let sink = RowSink::new(batch, &self.config);
+        let sink = match source {
+            DataLocation::Memory(id) => self.scan_memory(id, sink)?,
+            DataLocation::File(id) => self.scan_file(id, sink)?,
+            DataLocation::Server => self.scan_server(sink, frontier_rows)?,
         };
+        let batch = sink.finish(&mut self.stats)?;
         self.finish_batch(batch, source)
     }
 
@@ -334,26 +339,26 @@ impl Middleware {
         Ok(batch)
     }
 
-    fn scan_memory(&mut self, id: u64, mut batch: BatchCounter) -> MwResult<BatchCounter> {
+    fn scan_memory(&mut self, id: u64, mut sink: RowSink) -> MwResult<RowSink> {
         self.stats.memory_scans += 1;
         let set = self
             .staging
             .mem_set(id)
             .ok_or_else(|| MwError::Internal(format!("scheduled memory set {id} missing")))?;
         // Split borrows: the row data is read-only; counting mutates only
-        // the batch and the stats.
+        // the sink and the stats.
         let rows = &set.rows;
         let arity = self.arity;
         let mut read = 0u64;
         for row in rows.chunks_exact(arity) {
-            batch.process_row(row, &mut self.stats)?;
+            sink.process_row(row, &mut self.stats)?;
             read += 1;
         }
         self.stats.memory_rows_read += read;
-        Ok(batch)
+        Ok(sink)
     }
 
-    fn scan_file(&mut self, id: u64, mut batch: BatchCounter) -> MwResult<BatchCounter> {
+    fn scan_file(&mut self, id: u64, mut sink: RowSink) -> MwResult<RowSink> {
         self.stats.file_scans += 1;
         let mut scan = self.staging.open_file(id)?;
         let row_bytes = scan.row_bytes();
@@ -361,26 +366,21 @@ impl Middleware {
         while scan.next_row(&mut row)? {
             self.stats.file_rows_read += 1;
             self.stats.file_bytes_read += row_bytes;
-            batch.process_row(&row, &mut self.stats)?;
+            sink.process_row(&row, &mut self.stats)?;
         }
-        Ok(batch)
+        Ok(sink)
     }
 
-    fn scan_server(
-        &mut self,
-        mut batch: BatchCounter,
-        frontier_rows: u64,
-    ) -> MwResult<BatchCounter> {
+    fn scan_server(&mut self, mut sink: RowSink, frontier_rows: u64) -> MwResult<RowSink> {
         self.stats.server_scans += 1;
-        let filter = union_filter(&batch.nodes.iter().map(|n| &n.req).collect::<Vec<_>>());
+        let filter = union_filter(&sink.nodes().iter().map(|n| &n.req).collect::<Vec<_>>());
 
         if self.config.aux_mode != AuxMode::Off {
             // Reuse an existing structure every scheduled node descends
             // from, or build one when the frontier's relevant fraction is
             // small.
             let usable = self.aux.iter().position(|h| {
-                batch
-                    .nodes
+                sink.nodes()
                     .iter()
                     .all(|n| h.members.iter().any(|&m| n.req.lineage.contains(m)))
             });
@@ -393,7 +393,7 @@ impl Middleware {
                         frontier_rows as f64 / self.table_rows as f64
                     };
                     if fraction <= self.config.aux_threshold {
-                        Some(self.build_aux(&batch, &filter)?)
+                        Some(self.build_aux(sink.nodes(), &filter)?)
                     } else {
                         None
                     }
@@ -401,7 +401,7 @@ impl Middleware {
             };
             if let Some(i) = idx {
                 self.stats.aux_scans += 1;
-                return self.scan_through_aux(i, filter, batch);
+                return self.scan_through_aux(i, filter, sink);
             }
         }
 
@@ -423,17 +423,17 @@ impl Middleware {
                 break;
             }
             for row in flat.chunks_exact(arity) {
-                batch.process_row(row, &mut self.stats)?;
+                sink.process_row(row, &mut self.stats)?;
             }
         }
-        Ok(batch)
+        Ok(sink)
     }
 
     /// Build the configured §4.3.3 structure for the scheduled nodes,
     /// recording the server cost of the build separately so experiments can
     /// report the "idealized" number that neglects it.
-    fn build_aux(&mut self, batch: &BatchCounter, filter: &Pred) -> MwResult<usize> {
-        let members: Vec<NodeId> = batch.nodes.iter().map(|n| n.req.node()).collect();
+    fn build_aux(&mut self, nodes: &[NodeCounter], filter: &Pred) -> MwResult<usize> {
+        let members: Vec<NodeId> = nodes.iter().map(|n| n.req.node()).collect();
         let before = self.db.stats().snapshot();
         let kind = match self.config.aux_mode {
             AuxMode::TempTable => AuxKind::Temp(self.db.copy_to_temp(&self.table, filter)?),
@@ -456,8 +456,8 @@ impl Middleware {
         &mut self,
         idx: usize,
         residual: Pred,
-        mut batch: BatchCounter,
-    ) -> MwResult<BatchCounter> {
+        mut sink: RowSink,
+    ) -> MwResult<RowSink> {
         let arity = self.arity;
         match &self.aux[idx].kind {
             AuxKind::Temp(name) => {
@@ -472,7 +472,7 @@ impl Middleware {
                         break;
                     }
                     for row in flat.chunks_exact(arity) {
-                        batch.process_row(row, &mut self.stats)?;
+                        sink.process_row(row, &mut self.stats)?;
                     }
                 }
             }
@@ -482,21 +482,21 @@ impl Middleware {
                 // The fetched rows cross the wire.
                 let stats = self.db.stats();
                 stats.add_rows_shipped(n as u64);
-                stats.add_bytes_shipped((flat.len() * 2) as u64);
+                stats.add_bytes_shipped((flat.len() * CODE_BYTES) as u64);
                 stats.add_wire_round_trip();
                 for row in flat.chunks_exact(arity) {
-                    batch.process_row(row, &mut self.stats)?;
+                    sink.process_row(row, &mut self.stats)?;
                 }
             }
             AuxKind::Keyset(cursor) => {
                 let mut flat: Vec<Code> = Vec::new();
                 cursor.scan_filtered(&self.db, &residual, &mut flat)?;
                 for row in flat.chunks_exact(arity) {
-                    batch.process_row(row, &mut self.stats)?;
+                    sink.process_row(row, &mut self.stats)?;
                 }
             }
         }
-        Ok(batch)
+        Ok(sink)
     }
 
     fn evict_aux(&mut self) {

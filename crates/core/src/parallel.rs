@@ -1,0 +1,649 @@
+//! Parallel counting pipeline for the execution module (§4.1.1 at scale).
+//!
+//! The serial [`BatchCounter`] feeds every source row through every
+//! scheduled node on the thread that owns the scan. That single counting
+//! thread becomes the bottleneck once the dispatch prefilter has made
+//! predicate evaluation cheap: for wide batches the scan is dominated by
+//! CC-table insertion, which is embarrassingly parallel because counting
+//! is additive.
+//!
+//! [`ParallelScan`] splits a counting pass into three roles:
+//!
+//! * **Producer (the scan thread).** Whatever drives the scan — a server
+//!   cursor, [`crate::staging::FileScan::next_row`], or chunks of a
+//!   memory-staged set — keeps pushing rows into [`RowSink::process_row`].
+//!   The coordinator packs them into fixed-size blocks
+//!   ([`crate::config::MiddlewareConfig::scan_block_rows`]) and sends them
+//!   through a *bounded* channel, so a fast producer cannot outrun slow
+//!   workers by more than a few blocks (backpressure, not unbounded
+//!   buffering).
+//! * **Workers.** `scan_workers` threads pull blocks and count rows into
+//!   *private* per-node [`CountsTable`] shards — no locks on the hot path.
+//!   CC memory is reserved against a shared atomic so the middleware
+//!   budget stays a global invariant (see below).
+//! * **Merge.** After the producer finishes, shards are combined in
+//!   worker-index order via [`CountsTable::merge`]. Counting is additive,
+//!   so the merged tables are exactly what one serial pass over the same
+//!   rows builds, regardless of how blocks were interleaved.
+//!
+//! ## What stays on the coordinator
+//!
+//! Staging tees (per-node file writers, memory buffers, and the hybrid
+//! split file) remain on the producer thread: files must be written in
+//! source row order to be byte-identical to the serial path, and a single
+//! writer needs no synchronisation. The coordinator evaluates only the
+//! predicates of nodes that actually stage (usually 0–1 per batch).
+//!
+//! ## Shard-aware budget enforcement
+//!
+//! Workers reserve every new CC entry against a shared `AtomicU64`. When
+//! the global reservation (plus staged bytes and staging buffers) exceeds
+//! the budget, the worker first claims pressure evictions from the shared
+//! evictable pool — sacrificing cached data sets exactly like the serial
+//! path, at entry granularity — and only then flips the node's shared
+//! fallback flag. Every worker observing the flag drops its shard for
+//! that node and releases the bytes (self-cleanup); the middleware later
+//! serves the node through the §4.1.1 SQL fallback, which is exact.
+//!
+//! Because shards are private, the same `(attr, value, class)` entry can
+//! be reserved once per worker, so the parallel reservation is an *upper
+//! bound* on the serial footprint: under pressure the parallel path may
+//! fall back (or evict) slightly earlier than the serial path would.
+//! Results stay exact either way — fallback counts come from the server —
+//! and with any slack in the budget the two paths are bit-identical, which
+//! is what the property suite pins down.
+
+use crate::cc::{CountsTable, CC_ENTRY_BYTES};
+use crate::config::MiddlewareConfig;
+use crate::error::{MwError, MwResult};
+use crate::executor::{BatchCounter, Dispatch};
+use crate::metrics::MiddlewareStats;
+use crossbeam_channel::{bounded, Receiver, Sender};
+use scaleclass_sqldb::types::{Code, CODE_BYTES};
+use scaleclass_sqldb::Pred;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Everything a worker needs to count for one node (read-only).
+struct NodeSpec {
+    pred: Pred,
+    attrs: Vec<u16>,
+    class_col: u16,
+}
+
+/// State shared between the coordinator and the counting workers.
+struct Shared {
+    specs: Vec<NodeSpec>,
+    arity: usize,
+    /// Total middleware memory budget in bytes.
+    budget: u64,
+    /// Bytes pinned by previously staged data (shrinks under eviction).
+    base_mem_bytes: AtomicU64,
+    /// Global CC-byte reservation across all worker shards.
+    cc_reserved: AtomicU64,
+    /// Bytes buffered by the coordinator's memory-staging tees.
+    buffer_bytes: AtomicU64,
+    /// Per-node §4.1.1 fallback flags.
+    fallback: Vec<AtomicBool>,
+    /// Memory sets that may be sacrificed under counting pressure
+    /// (`(id, bytes)`, popped from the end — the serial order).
+    evictable: Mutex<Vec<(u64, u64)>>,
+    /// Sets sacrificed during this scan.
+    evicted: Mutex<Vec<u64>>,
+}
+
+impl Shared {
+    /// Modelled memory in use right now (upper bound, see module docs).
+    fn memory_in_use(&self) -> u64 {
+        self.base_mem_bytes.load(Ordering::Relaxed)
+            + self.cc_reserved.load(Ordering::Relaxed)
+            + self.buffer_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Evict cached sets until the reservation fits the budget again.
+    /// Returns false when the pool runs dry while still over budget —
+    /// the caller must fall back.
+    fn relieve_pressure(&self) -> bool {
+        let mut evictable = self.evictable.lock().expect("evictable pool");
+        let mut evicted = self.evicted.lock().expect("evicted list");
+        loop {
+            if self.memory_in_use() <= self.budget {
+                return true;
+            }
+            let Some((id, bytes)) = evictable.pop() else {
+                return false;
+            };
+            // `bytes` is part of `base`, so this cannot underflow.
+            self.base_mem_bytes.fetch_sub(bytes, Ordering::Relaxed);
+            evicted.push(id);
+        }
+    }
+}
+
+/// What one worker hands back when the channel closes.
+struct WorkerResult {
+    shards: Vec<CountsTable>,
+    rows: u64,
+}
+
+fn worker_loop(rx: Receiver<Vec<Code>>, shared: Arc<Shared>) -> WorkerResult {
+    let dispatch = Dispatch::new(shared.specs.iter().map(|s| &s.pred));
+    let mut shards: Vec<CountsTable> = shared.specs.iter().map(|_| CountsTable::new()).collect();
+    // Nodes whose fallback flag this worker has already honoured.
+    let mut dropped = vec![false; shards.len()];
+    let mut rows = 0u64;
+    let mut candidates: Vec<usize> = Vec::with_capacity(8);
+    for block in rx.iter() {
+        for row in block.chunks_exact(shared.arity) {
+            rows += 1;
+            dispatch.candidates(row, &mut candidates);
+            for &idx in &candidates {
+                if shared.fallback[idx].load(Ordering::Relaxed) {
+                    if !dropped[idx] {
+                        // Self-cleanup: another worker tripped the §4.1.1
+                        // switch; release this shard's bytes.
+                        shared
+                            .cc_reserved
+                            .fetch_sub(shards[idx].memory_bytes(), Ordering::Relaxed);
+                        shards[idx] = CountsTable::new();
+                        dropped[idx] = true;
+                    }
+                    continue;
+                }
+                let spec = &shared.specs[idx];
+                if !spec.pred.eval(row) {
+                    continue;
+                }
+                let before = shards[idx].entries();
+                shards[idx].add_row(row, &spec.attrs, spec.class_col);
+                let grew = (shards[idx].entries() - before) as u64 * CC_ENTRY_BYTES;
+                if grew == 0 {
+                    continue;
+                }
+                shared.cc_reserved.fetch_add(grew, Ordering::Relaxed);
+                if shared.memory_in_use() <= shared.budget {
+                    continue;
+                }
+                // Counting pressure: cached data first, then the switch.
+                if !shared.relieve_pressure() {
+                    shared.fallback[idx].store(true, Ordering::Relaxed);
+                    shared
+                        .cc_reserved
+                        .fetch_sub(shards[idx].memory_bytes(), Ordering::Relaxed);
+                    shards[idx] = CountsTable::new();
+                    dropped[idx] = true;
+                }
+            }
+        }
+    }
+    WorkerResult { shards, rows }
+}
+
+/// Coordinator state for one parallel counting pass. Owns the
+/// [`BatchCounter`] (for its staging tees and final accounting) while the
+/// workers own the counting.
+pub struct ParallelScan {
+    batch: BatchCounter,
+    shared: Arc<Shared>,
+    tx: Option<Sender<Vec<Code>>>,
+    workers: Vec<JoinHandle<WorkerResult>>,
+    /// Block under construction (flat codes).
+    block: Vec<Code>,
+    block_codes: usize,
+    /// Indices of nodes with a staging tee (file and/or memory).
+    tee_nodes: Vec<usize>,
+    /// Union of scheduled predicates, evaluated for the hybrid split tee.
+    union_pred: Option<Pred>,
+    rows_sent: u64,
+    blocks_sent: u64,
+    started: Instant,
+}
+
+impl ParallelScan {
+    /// Spin up `workers` counting threads for this batch.
+    pub fn new(mut batch: BatchCounter, workers: usize, block_rows: usize) -> Self {
+        let specs = batch
+            .nodes
+            .iter()
+            .map(|n| NodeSpec {
+                pred: n.req.pred().clone(),
+                attrs: n.req.attrs.clone(),
+                class_col: n.req.class_col,
+            })
+            .collect();
+        let fallback = batch.nodes.iter().map(|_| AtomicBool::new(false)).collect();
+        let shared = Arc::new(Shared {
+            specs,
+            arity: batch.arity,
+            budget: batch.budget,
+            base_mem_bytes: AtomicU64::new(batch.base_mem_bytes),
+            cc_reserved: AtomicU64::new(0),
+            buffer_bytes: AtomicU64::new(0),
+            fallback,
+            evictable: Mutex::new(std::mem::take(&mut batch.evictable)),
+            evicted: Mutex::new(Vec::new()),
+        });
+        // Two blocks of headroom per worker: enough to keep everyone busy,
+        // small enough that backpressure kicks in within milliseconds.
+        let (tx, rx) = bounded(workers * 2);
+        let handles = (0..workers)
+            .map(|_| {
+                let rx = rx.clone();
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(rx, shared))
+            })
+            .collect();
+        let tee_nodes = batch
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.file_writer.is_some() || n.mem_buffer.is_some())
+            .map(|(i, _)| i)
+            .collect();
+        let union_pred = batch
+            .split_writer
+            .is_some()
+            .then(|| Pred::or(batch.nodes.iter().map(|n| n.req.pred().clone()).collect()));
+        let block_codes = block_rows.max(1) * batch.arity;
+        ParallelScan {
+            batch,
+            shared,
+            tx: Some(tx),
+            workers: handles,
+            block: Vec::with_capacity(block_codes),
+            block_codes,
+            tee_nodes,
+            union_pred,
+            rows_sent: 0,
+            blocks_sent: 0,
+            started: Instant::now(),
+        }
+    }
+
+    /// Feed one source row: tee it where staging demands, then hand it to
+    /// the workers (blocking when the pipeline is full).
+    pub fn process_row(&mut self, row: &[Code]) -> MwResult<()> {
+        debug_assert_eq!(row.len(), self.shared.arity);
+        self.tee(row)?;
+        self.block.extend_from_slice(row);
+        self.rows_sent += 1;
+        if self.block.len() >= self.block_codes {
+            self.flush_block()?;
+        }
+        Ok(())
+    }
+
+    /// Staging tees — single-writer, source row order, exactly the serial
+    /// path's file contents and memory buffers.
+    fn tee(&mut self, row: &[Code]) -> MwResult<()> {
+        if let Some(union_pred) = &self.union_pred {
+            if union_pred.eval(row) {
+                if let Some(w) = self.batch.split_writer.as_mut() {
+                    w.push(row)?;
+                }
+            }
+        }
+        if self.tee_nodes.is_empty() {
+            return Ok(());
+        }
+        let row_bytes = (self.shared.arity * CODE_BYTES) as u64;
+        for t in 0..self.tee_nodes.len() {
+            let i = self.tee_nodes[t];
+            let node = &mut self.batch.nodes[i];
+            if !node.req.pred().eval(row) {
+                continue;
+            }
+            if let Some(w) = node.file_writer.as_mut() {
+                w.push(row)?;
+            }
+            if let Some(buf) = node.mem_buffer.as_mut() {
+                buf.extend_from_slice(row);
+                self.shared
+                    .buffer_bytes
+                    .fetch_add(row_bytes, Ordering::Relaxed);
+                if self.shared.memory_in_use() > self.shared.budget {
+                    // Staging is best-effort: cancel this node's memory
+                    // staging rather than evicting counts.
+                    let bytes = node
+                        .mem_buffer
+                        .take()
+                        .map_or(0, |b| (b.len() * CODE_BYTES) as u64);
+                    self.shared.buffer_bytes.fetch_sub(bytes, Ordering::Relaxed);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn flush_block(&mut self) -> MwResult<()> {
+        if self.block.is_empty() {
+            return Ok(());
+        }
+        let block = std::mem::replace(&mut self.block, Vec::with_capacity(self.block_codes));
+        self.blocks_sent += 1;
+        self.tx
+            .as_ref()
+            .expect("channel open until finish")
+            .send(block)
+            .map_err(|_| MwError::Internal("scan worker pool disconnected".into()))
+    }
+
+    /// Close the pipeline: drain the last block, join the workers, merge
+    /// their shards deterministically, and restore the serial memory model
+    /// on the returned [`BatchCounter`].
+    pub fn finish(mut self, stats: &mut MiddlewareStats) -> MwResult<BatchCounter> {
+        self.flush_block()?;
+        drop(self.tx.take()); // disconnect → workers drain and exit
+        let mut results = Vec::with_capacity(self.workers.len());
+        for handle in self.workers.drain(..) {
+            let r = handle
+                .join()
+                .map_err(|_| MwError::Internal("scan worker panicked".into()))?;
+            results.push(r);
+        }
+        let mut worker_rows_max = 0u64;
+        for r in &results {
+            worker_rows_max = worker_rows_max.max(r.rows);
+        }
+        // Deterministic merge, worker-index order. Counting is additive,
+        // so the result is independent of how blocks were interleaved.
+        for (i, node) in self.batch.nodes.iter_mut().enumerate() {
+            if self.shared.fallback[i].load(Ordering::Relaxed) {
+                node.cc = CountsTable::new();
+                node.fallback = true;
+                stats.sql_fallbacks += 1;
+                continue;
+            }
+            for r in &mut results {
+                node.cc.merge(std::mem::take(&mut r.shards[i]));
+            }
+        }
+        // Fold the shared accounting back into the batch: exact CC bytes
+        // from the merged tables (the shard reservation was an upper
+        // bound), eviction decisions, and the tee buffers.
+        let evicted: Vec<u64> = self
+            .shared
+            .evicted
+            .lock()
+            .expect("evicted list")
+            .drain(..)
+            .collect();
+        stats.pressure_evictions += evicted.len() as u64;
+        self.batch.evicted.extend(evicted);
+        self.batch.base_mem_bytes = self.shared.base_mem_bytes.load(Ordering::Relaxed);
+        self.batch.cc_bytes = self.batch.nodes.iter().map(|n| n.cc.memory_bytes()).sum();
+        self.batch.buffer_bytes = self.shared.buffer_bytes.load(Ordering::Relaxed);
+        stats.observe_memory(self.batch.memory_in_use());
+        stats.parallel_scans += 1;
+        stats.scan_rows += self.rows_sent;
+        stats.scan_blocks += self.blocks_sent;
+        stats.scan_worker_rows_max = stats.scan_worker_rows_max.max(worker_rows_max);
+        stats.scan_nanos += self.started.elapsed().as_nanos() as u64;
+        Ok(self.batch)
+    }
+}
+
+// No Drop impl needed for the error path: dropping a `ParallelScan` drops
+// its `Sender`, the disconnect wakes every worker out of `recv`, and the
+// detached join handles let the threads exit on their own.
+
+/// A counting pass behind a uniform row interface: the exact serial
+/// [`BatchCounter`] when `scan_workers == 1`, the block pipeline
+/// otherwise. Scan drivers push rows and never know which one runs.
+// One RowSink exists per scheduling round, held in a single stack frame
+// for the whole scan — the Serial/Parallel size gap costs nothing, and
+// boxing the serial BatchCounter would tax the default path instead.
+#[allow(clippy::large_enum_variant)]
+pub enum RowSink {
+    /// Single-threaded counting (the seed behaviour, bit-exact).
+    Serial {
+        /// The counting state.
+        batch: BatchCounter,
+        /// Rows fed so far.
+        rows: u64,
+        /// Scan start, for `scan_nanos`.
+        started: Instant,
+    },
+    /// Producer/worker block pipeline.
+    Parallel(Box<ParallelScan>),
+}
+
+impl RowSink {
+    /// Wrap a batch in the counting mode the configuration asks for.
+    pub fn new(batch: BatchCounter, config: &MiddlewareConfig) -> Self {
+        if config.scan_workers > 1 {
+            RowSink::Parallel(Box::new(ParallelScan::new(
+                batch,
+                config.scan_workers,
+                config.scan_block_rows,
+            )))
+        } else {
+            RowSink::Serial {
+                batch,
+                rows: 0,
+                started: Instant::now(),
+            }
+        }
+    }
+
+    /// The scheduled nodes (read access for filter/aux construction).
+    pub fn nodes(&self) -> &[crate::executor::NodeCounter] {
+        match self {
+            RowSink::Serial { batch, .. } => &batch.nodes,
+            RowSink::Parallel(scan) => &scan.batch.nodes,
+        }
+    }
+
+    /// Feed one source row through the counting pass.
+    pub fn process_row(&mut self, row: &[Code], stats: &mut MiddlewareStats) -> MwResult<()> {
+        match self {
+            RowSink::Serial { batch, rows, .. } => {
+                *rows += 1;
+                batch.process_row(row, stats)
+            }
+            RowSink::Parallel(scan) => scan.process_row(row),
+        }
+    }
+
+    /// Finish the pass and recover the batch for completion bookkeeping.
+    pub fn finish(self, stats: &mut MiddlewareStats) -> MwResult<BatchCounter> {
+        match self {
+            RowSink::Serial {
+                batch,
+                rows,
+                started,
+            } => {
+                stats.scan_rows += rows;
+                stats.scan_nanos += started.elapsed().as_nanos() as u64;
+                Ok(batch)
+            }
+            RowSink::Parallel(scan) => scan.finish(stats),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::NodeCounter;
+    use crate::request::{CcRequest, Lineage, NodeId};
+
+    const ARITY: usize = 3; // attrs 0,1 + class 2
+
+    fn request(node: u64, pred: Pred) -> CcRequest {
+        CcRequest {
+            lineage: Lineage::root(NodeId(0)).child(NodeId(node), pred),
+            attrs: vec![0, 1],
+            class_col: 2,
+            rows: 100,
+            parent_rows: 200,
+            parent_cards: vec![4, 4],
+        }
+    }
+
+    fn root_request() -> CcRequest {
+        CcRequest {
+            lineage: Lineage::root(NodeId(0)),
+            attrs: vec![0, 1],
+            class_col: 2,
+            rows: 100,
+            parent_rows: 100,
+            parent_cards: vec![4, 4],
+        }
+    }
+
+    /// Deterministic pseudo-random rows (same generator style as the
+    /// executor's consumers; keeps `rand` out of the unit tests).
+    fn rows(n: usize, seed: u64) -> Vec<[Code; 3]> {
+        let mut state = seed.max(1);
+        (0..n)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                [
+                    (state % 4) as Code,
+                    ((state >> 8) % 4) as Code,
+                    ((state >> 16) % 2) as Code,
+                ]
+            })
+            .collect()
+    }
+
+    fn nodes() -> Vec<NodeCounter> {
+        vec![
+            NodeCounter::new(root_request()),
+            NodeCounter::new(request(1, Pred::Eq { col: 0, value: 0 })),
+            NodeCounter::new(request(2, Pred::Eq { col: 0, value: 1 })),
+            NodeCounter::new(request(3, Pred::NotEq { col: 1, value: 3 })),
+        ]
+    }
+
+    fn run(workers: usize, block_rows: usize, data: &[[Code; 3]]) -> BatchCounter {
+        let batch = BatchCounter::new(nodes(), u64::MAX, 0, ARITY);
+        let mut stats = MiddlewareStats::new();
+        if workers == 1 {
+            let mut batch = batch;
+            for r in data {
+                batch.process_row(r, &mut stats).unwrap();
+            }
+            batch
+        } else {
+            let mut scan = ParallelScan::new(batch, workers, block_rows);
+            for r in data {
+                scan.process_row(r).unwrap();
+            }
+            scan.finish(&mut stats).unwrap()
+        }
+    }
+
+    #[test]
+    fn parallel_counts_equal_serial() {
+        let data = rows(3000, 7);
+        let serial = run(1, 0, &data);
+        for &(workers, block) in &[(2usize, 64usize), (3, 17), (4, 1), (4, 4096)] {
+            let par = run(workers, block, &data);
+            for (s, p) in serial.nodes.iter().zip(&par.nodes) {
+                assert_eq!(s.cc, p.cc, "{workers} workers, block {block}");
+                assert_eq!(s.cc.total(), p.cc.total());
+            }
+        }
+    }
+
+    #[test]
+    fn pipeline_handles_empty_and_tiny_inputs() {
+        let empty = run(4, 8, &[]);
+        assert!(empty.nodes.iter().all(|n| n.cc.is_empty()));
+        let one = run(4, 8, &rows(1, 3));
+        assert_eq!(one.nodes[0].cc.total(), 1, "root sees the single row");
+    }
+
+    #[test]
+    fn stats_record_pipeline_shape() {
+        let data = rows(100, 5);
+        let batch = BatchCounter::new(nodes(), u64::MAX, 0, ARITY);
+        let mut stats = MiddlewareStats::new();
+        let mut scan = ParallelScan::new(batch, 2, 30);
+        for r in &data {
+            scan.process_row(r).unwrap();
+        }
+        scan.finish(&mut stats).unwrap();
+        assert_eq!(stats.parallel_scans, 1);
+        assert_eq!(stats.scan_rows, 100);
+        assert_eq!(stats.scan_blocks, 4, "3 full blocks of 30 + remainder");
+        assert!(
+            stats.scan_worker_rows_max >= 50,
+            "someone did half the work"
+        );
+        assert!(stats.scan_worker_rows_max <= 100);
+    }
+
+    #[test]
+    fn tiny_budget_triggers_fallback_not_wrong_counts() {
+        // Budget fits a handful of entries; the wide root must fall back,
+        // and fallback nodes end with an empty (to-be-SQL-filled) table.
+        let data = rows(500, 11);
+        let batch = BatchCounter::new(vec![NodeCounter::new(root_request())], 96, 0, ARITY);
+        let mut stats = MiddlewareStats::new();
+        let mut scan = ParallelScan::new(batch, 3, 16);
+        for r in &data {
+            scan.process_row(r).unwrap();
+        }
+        let batch = scan.finish(&mut stats).unwrap();
+        assert!(batch.nodes[0].fallback);
+        assert_eq!(stats.sql_fallbacks, 1);
+        assert!(batch.nodes[0].cc.is_empty(), "partial shards dropped");
+    }
+
+    #[test]
+    fn pressure_evicts_cached_sets_before_falling_back() {
+        let data = rows(200, 23);
+        // Base memory nearly fills the budget, but the evictable pool can
+        // release enough to count without any fallback.
+        let budget = 64 * CC_ENTRY_BYTES;
+        let mut batch = BatchCounter::new(
+            vec![NodeCounter::new(root_request())],
+            budget,
+            budget - 48,
+            ARITY,
+        );
+        batch.evictable = vec![(7, budget / 2), (9, budget / 4)];
+        let mut stats = MiddlewareStats::new();
+        let mut scan = ParallelScan::new(batch, 2, 32);
+        for r in &data {
+            scan.process_row(r).unwrap();
+        }
+        let batch = scan.finish(&mut stats).unwrap();
+        assert!(!batch.nodes[0].fallback, "evictions freed enough room");
+        assert!(stats.pressure_evictions >= 1);
+        assert!(batch.evicted.contains(&9), "popped from the end first");
+        assert_eq!(batch.nodes[0].cc.total(), 200);
+    }
+
+    #[test]
+    fn row_sink_modes_agree() {
+        let data = rows(400, 31);
+        let cfg_serial = MiddlewareConfig::builder().scan_workers(1).build();
+        let cfg_par = MiddlewareConfig::builder()
+            .scan_workers(4)
+            .scan_block_rows(64)
+            .build();
+        let mut out = Vec::new();
+        for cfg in [&cfg_serial, &cfg_par] {
+            let mut stats = MiddlewareStats::new();
+            let mut sink = RowSink::new(BatchCounter::new(nodes(), u64::MAX, 0, ARITY), cfg);
+            assert_eq!(sink.nodes().len(), 4);
+            for r in &data {
+                sink.process_row(r, &mut stats).unwrap();
+            }
+            let batch = sink.finish(&mut stats).unwrap();
+            assert_eq!(stats.scan_rows, 400);
+            out.push(batch);
+        }
+        for (s, p) in out[0].nodes.iter().zip(&out[1].nodes) {
+            assert_eq!(s.cc, p.cc);
+        }
+    }
+}

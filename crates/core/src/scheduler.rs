@@ -269,7 +269,10 @@ fn decide_staging(
         .memory_budget_bytes
         .saturating_sub(staging.staged_mem_bytes())
         .saturating_sub(cc_reserved);
-    let cap_slack = (config.memory_budget_bytes * 3 / 5).saturating_sub(staging.staged_mem_bytes());
+    // 3/5 of the budget, computed in u128 so "unbounded" budgets near
+    // u64::MAX don't wrap `budget * 3` into a garbage cap.
+    let staged_cap = ((config.memory_budget_bytes as u128 * 3) / 5) as u64;
+    let cap_slack = staged_cap.saturating_sub(staging.staged_mem_bytes());
     let full_fit = frontier_bytes <= headroom;
     let mut remaining = if full_fit {
         headroom
@@ -578,5 +581,32 @@ mod tests {
         let mut q = vec![root_req(1000)];
         let plan = schedule(&mut q, &staging, &cfg, NCLASSES, ARITY).unwrap();
         assert!(plan.nodes[0].stage_mem);
+    }
+
+    #[test]
+    fn unbounded_budget_does_not_wrap_staging_cap() {
+        // Budgets above u64::MAX / 3 used to wrap in `budget * 3 / 5`:
+        // overflow panic in debug builds, a garbage (possibly zero) staged
+        // cap in release. An effectively unbounded budget must behave like
+        // one — everything admitted, everything staged.
+        let staging = StagingManager::new(None).unwrap();
+        for budget in [u64::MAX, u64::MAX / 3 + 1] {
+            let cfg = MiddlewareConfig::builder()
+                .memory_budget_bytes(budget)
+                .memory_caching(true)
+                .build();
+            let mut q = vec![
+                req(1, 100, child_lineage(1, 0)),
+                req(2, 300, child_lineage(2, 1)),
+                root_req(1000),
+            ];
+            let plan = schedule(&mut q, &staging, &cfg, NCLASSES, ARITY).unwrap();
+            assert_eq!(plan.nodes.len(), 3);
+            assert!(q.is_empty());
+            assert!(
+                plan.nodes.iter().all(|n| n.stage_mem),
+                "budget {budget}: every node fits an unbounded budget"
+            );
+        }
     }
 }

@@ -6,10 +6,10 @@ use scaleclass::estimator::{est_cc_bytes_upper, est_cc_entries};
 use scaleclass::scheduler::schedule;
 use scaleclass::staging::StagingManager;
 use scaleclass::{
-    CcRequest, CountsTable, DataLocation, Lineage, Middleware, MiddlewareConfig, MiddlewareStats,
-    NodeId, CC_ENTRY_BYTES,
+    CcRequest, CountsTable, DataLocation, FileStagingPolicy, Lineage, Middleware, MiddlewareConfig,
+    MiddlewareStats, NodeId, CC_ENTRY_BYTES,
 };
-use scaleclass_sqldb::{Code, Database, Pred, Schema};
+use scaleclass_sqldb::{Code, Database, Pred, Schema, CODE_BYTES};
 
 /// Arbitrary flat data over a fixed 3-attr + class schema.
 fn rows_strategy() -> impl Strategy<Value = Vec<[Code; 4]>> {
@@ -33,6 +33,60 @@ fn request_for(rows: &[[Code; 4]], node: u64, pred: Pred) -> CcRequest {
         parent_rows: rows.len() as u64,
         parent_cards: vec![4, 3, 5],
     }
+}
+
+/// Drive a two-level tree through the middleware, returning every node's
+/// counts table (+ fallback flag) keyed by node id, and the final
+/// middleware stats. The grandchildren rounds exercise scans whose source
+/// is a staged data set (memory or file) rather than the server.
+fn drive(
+    rows: &[[Code; 4]],
+    cfg: MiddlewareConfig,
+) -> (
+    std::collections::BTreeMap<u64, (CountsTable, bool)>,
+    MiddlewareStats,
+) {
+    let mut db = Database::new();
+    db.create_table("d", schema()).unwrap();
+    for r in rows {
+        db.insert("d", &r[..]).unwrap();
+    }
+    let mut mw = Middleware::new(db, "d", "class", cfg).unwrap();
+    mw.enqueue(mw.root_request(NodeId(0))).unwrap();
+    let mut out = std::collections::BTreeMap::new();
+    let data = rows.to_vec();
+    mw.run_to_completion(|f| {
+        let follow = if f.node == NodeId(0) {
+            (0..4u16)
+                .map(|v| request_for(&data, 1 + u64::from(v), Pred::Eq { col: 0, value: v }))
+                .collect()
+        } else if f.node == NodeId(1) {
+            let parent = Lineage::root(NodeId(0)).child(NodeId(1), Pred::Eq { col: 0, value: 0 });
+            (0..3u16)
+                .map(|w| {
+                    let lineage =
+                        parent.child(NodeId(10 + u64::from(w)), Pred::Eq { col: 1, value: w });
+                    let matching =
+                        data.iter().filter(|r| lineage.pred().eval(&r[..])).count() as u64;
+                    CcRequest {
+                        lineage,
+                        attrs: vec![0, 1, 2],
+                        class_col: 3,
+                        rows: matching,
+                        parent_rows: data.len() as u64,
+                        parent_cards: vec![4, 3, 5],
+                    }
+                })
+                .collect()
+        } else {
+            vec![]
+        };
+        out.insert(f.node.0, (f.cc, f.via_sql_fallback));
+        follow
+    })
+    .unwrap();
+    let stats = *mw.stats();
+    (out, stats)
 }
 
 proptest! {
@@ -219,5 +273,90 @@ proptest! {
             }
             DataLocation::File(_) => prop_assert!(false, "no files staged"),
         }
+    }
+}
+
+/// Project the logical (deterministic) counters out of a stats record:
+/// everything except pipeline-shape counters (`parallel_scans`,
+/// `scan_blocks`, `scan_worker_rows_max` legitimately differ between
+/// worker counts) and wall-clock timing (`scan_nanos`).
+fn logical(s: &MiddlewareStats) -> MiddlewareStats {
+    MiddlewareStats {
+        parallel_scans: 0,
+        scan_blocks: 0,
+        scan_nanos: 0,
+        scan_worker_rows_max: 0,
+        ..*s
+    }
+}
+
+fn file_variant() -> scaleclass::config::MiddlewareConfigBuilder {
+    MiddlewareConfig::builder()
+        .file_policy(FileStagingPolicy::Singleton)
+        .memory_caching(false)
+}
+
+proptest! {
+    /// TENTPOLE PROPERTY: the parallel counting pipeline is bit-identical
+    /// to the serial scan — every node's counts table, fallback flag, and
+    /// all logical stats counters — for any worker count in 2..8 and a
+    /// block size small enough to force real interleaving. Exercised over
+    /// both the default (memory-staging) path and the singleton-file path
+    /// so server-, memory-, and file-sourced scans all go through the
+    /// parallel producer. Worker counts are set explicitly so the test
+    /// stays meaningful under the `SCALECLASS_SCAN_WORKERS` CI matrix.
+    #[test]
+    fn parallel_scan_is_bit_identical_to_serial(
+        rows in rows_strategy(),
+        workers in 2usize..8,
+    ) {
+        for build in [MiddlewareConfig::builder, file_variant] {
+            let serial_cfg = build().scan_workers(1).build();
+            let par_cfg = build().scan_workers(workers).scan_block_rows(7).build();
+            let (serial_cc, serial_stats) = drive(&rows, serial_cfg);
+            let (par_cc, par_stats) = drive(&rows, par_cfg);
+            prop_assert_eq!(&par_cc, &serial_cc, "counts diverged at {} workers", workers);
+            prop_assert_eq!(
+                logical(&par_stats),
+                logical(&serial_stats),
+                "logical stats diverged at {} workers",
+                workers
+            );
+        }
+    }
+
+    /// `MiddlewareStats` internal-consistency invariants hold for the same
+    /// workload regardless of worker count, and the logical counters are
+    /// identical across `scan_workers = 1` and `= 4`.
+    #[test]
+    fn middleware_stats_consistent_across_worker_counts(rows in rows_strategy()) {
+        let arity_bytes = (4 * CODE_BYTES) as u64;
+
+        // Default config: children are mem-covered by the root's staged
+        // set, so exactly the root's rows are staged into memory.
+        let runs: Vec<MiddlewareStats> = [1usize, 4]
+            .iter()
+            .map(|&w| drive(&rows, MiddlewareConfig::builder().scan_workers(w).build()).1)
+            .collect();
+        for s in &runs {
+            prop_assert_eq!(s.memory_rows_staged, rows.len() as u64);
+            prop_assert!(s.peak_memory_bytes >= s.memory_rows_staged * arity_bytes);
+            prop_assert_eq!(s.file_bytes_written, s.file_rows_written * arity_bytes);
+            prop_assert!(s.scan_rows >= rows.len() as u64);
+        }
+        prop_assert_eq!(logical(&runs[0]), logical(&runs[1]));
+        prop_assert_eq!(runs[0].parallel_scans, 0);
+        prop_assert!(runs[1].parallel_scans > 0);
+
+        // Singleton-file staging: every root row lands in the staging file.
+        let file_runs: Vec<MiddlewareStats> = [1usize, 4]
+            .iter()
+            .map(|&w| drive(&rows, file_variant().scan_workers(w).build()).1)
+            .collect();
+        for s in &file_runs {
+            prop_assert_eq!(s.file_rows_written, rows.len() as u64);
+            prop_assert_eq!(s.file_bytes_written, s.file_rows_written * arity_bytes);
+        }
+        prop_assert_eq!(logical(&file_runs[0]), logical(&file_runs[1]));
     }
 }

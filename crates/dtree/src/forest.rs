@@ -57,7 +57,10 @@ impl Forest {
 pub struct ForestConfig {
     /// Member trees to grow.
     pub trees: usize,
-    /// Attributes sampled per member (`None` = ⌈√m⌉, the usual default).
+    /// Attributes sampled per member (`None` = ⌈m/2⌉, Ho's random-subspace
+    /// default; the ⌈√m⌉ convention belongs to per-*split* sampling and
+    /// leaves √m-sized subspaces too likely to miss every informative
+    /// attribute).
     pub attrs_per_tree: Option<usize>,
     /// Per-member tree-growing configuration.
     pub grow: GrowConfig,
@@ -114,10 +117,7 @@ pub fn grow_forest_with_middleware(
     }
     let all_attrs: Vec<u16> = mw.attrs().to_vec();
     let m = all_attrs.len();
-    let k = config
-        .attrs_per_tree
-        .unwrap_or_else(|| (m as f64).sqrt().ceil() as usize)
-        .clamp(1, m);
+    let k = config.attrs_per_tree.unwrap_or(m.div_ceil(2)).clamp(1, m);
     let class_column = mw
         .schema()
         .column(mw.class_col() as usize)

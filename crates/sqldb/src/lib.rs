@@ -66,4 +66,4 @@ pub use persist::{open_database, save_database};
 pub use sql::{execute, execute_script, ExecOutcome, ResultSet, SqlValue};
 pub use stats::{CostWeights, DbStats, StatsSnapshot};
 pub use storage::Table;
-pub use types::{Code, ColumnMeta, Schema, Tid};
+pub use types::{Code, ColumnMeta, Schema, Tid, CODE_BYTES};

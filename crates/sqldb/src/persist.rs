@@ -23,7 +23,7 @@
 use crate::database::Database;
 use crate::error::{DbError, DbResult};
 use crate::storage::Table;
-use crate::types::{Code, ColumnMeta, Schema};
+use crate::types::{Code, ColumnMeta, Schema, CODE_BYTES};
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::Path;
@@ -137,15 +137,15 @@ pub fn open_database(path: impl AsRef<Path>) -> DbResult<Database> {
         input.read_exact(&mut nrows)?;
         let nrows = u64::from_le_bytes(nrows);
         let mut table = Table::new(schema);
-        let mut row_buf = vec![0u8; arity * 2];
+        let mut row_buf = vec![0u8; arity * CODE_BYTES];
         let mut row: Vec<Code> = Vec::with_capacity(arity);
         for _ in 0..nrows {
             input.read_exact(&mut row_buf)?;
             row.clear();
             row.extend(
                 row_buf
-                    .chunks_exact(2)
-                    .map(|b| Code::from_le_bytes([b[0], b[1]])),
+                    .chunks_exact(CODE_BYTES)
+                    .map(|b| Code::from_le_bytes(b.try_into().expect("CODE_BYTES-wide chunk"))),
             );
             table.insert(&row).map_err(|_| corrupt("row data"))?;
         }

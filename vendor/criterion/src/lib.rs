@@ -1,0 +1,243 @@
+//! Vendored stand-in for the subset of `criterion` 0.5 used by this
+//! workspace's `harness = false` bench targets. It keeps the group /
+//! bench-function / throughput API shape but replaces the statistics
+//! engine with straightforward wall-clock timing: each benchmark runs a
+//! warm-up iteration plus `sample_size` timed iterations and prints
+//! mean / best wall time (and derived throughput, when declared).
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from discarding a value (API-compatible shim).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Set the number of timed iterations per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Run a standalone benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let sample_size = self.sample_size;
+        run_one(id, sample_size, None, f);
+        self
+    }
+}
+
+/// Declared per-iteration work, used to derive throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Identifier carrying only a parameter value.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            label: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// A group of related benchmarks sharing throughput settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declare per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Override the timed iteration count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into().label);
+        run_one(&label, self.sample_size, self.throughput, f);
+        self
+    }
+
+    /// Run one benchmark parameterized by an input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Timing harness handed to each benchmark closure.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    rounds: usize,
+}
+
+impl Bencher {
+    /// Time `rounds` invocations of `f` (after one warm-up call).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f()); // warm-up, also primes caches/files
+        for _ in 0..self.rounds {
+            let start = Instant::now();
+            black_box(f());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    label: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let mut b = Bencher {
+        samples: Vec::new(),
+        rounds: sample_size,
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{label}: no samples recorded");
+        return;
+    }
+    let total: Duration = b.samples.iter().sum();
+    let mean = total / b.samples.len() as u32;
+    let best = *b.samples.iter().min().expect("non-empty");
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if mean.as_secs_f64() > 0.0 => {
+            format!("  ({:.0} elem/s)", n as f64 / mean.as_secs_f64())
+        }
+        Some(Throughput::Bytes(n)) if mean.as_secs_f64() > 0.0 => {
+            format!("  ({:.0} B/s)", n as f64 / mean.as_secs_f64())
+        }
+        _ => String::new(),
+    };
+    println!(
+        "{label}: mean {mean:?}, best {best:?} over {} samples{rate}",
+        b.samples.len()
+    );
+}
+
+/// Define a benchmark group entry point, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $cfg;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Define `main` running the given groups, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_and_bencher_run_closures() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut g = c.benchmark_group("shim");
+        g.throughput(Throughput::Elements(10));
+        let mut runs = 0;
+        g.bench_function("count", |b| {
+            b.iter(|| {
+                runs += 1;
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("param", 3), &3u32, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        g.finish();
+        assert!(runs >= 2);
+    }
+}

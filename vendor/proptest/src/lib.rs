@@ -1,0 +1,693 @@
+//! Vendored stand-in for the subset of `proptest` 1.x used by this
+//! workspace.
+//!
+//! The build environment has no crates registry, so this crate
+//! re-implements the pieces the test suites consume: the [`Strategy`]
+//! trait (`prop_map` / `prop_flat_map`), range / tuple / vec / regex-string
+//! strategies, `prop::collection::vec`, `prop::sample::select`,
+//! [`any`], the `proptest!` macro, and `prop_assert*`. Cases are generated
+//! from a deterministic per-test RNG; there is **no shrinking** — on
+//! failure the runner prints the full generated inputs instead, which is
+//! adequate for the small input sizes these suites use.
+//!
+//! Case count defaults to 256 (like upstream) and can be overridden with
+//! the `PROPTEST_CASES` environment variable.
+
+use std::fmt;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+pub mod collection;
+pub mod sample;
+
+/// Everything a test file needs: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig, Strategy,
+    };
+
+    /// Namespace mirror of upstream's `prelude::prop`.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic RNG (xoshiro256**, seeded by splitmix64)
+// ---------------------------------------------------------------------------
+
+/// Deterministic per-case random source handed to strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// Expand a 64-bit seed into generator state.
+    pub fn from_seed(seed: u64) -> Self {
+        fn splitmix64(state: &mut u64) -> u64 {
+            *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = *state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+        let mut sm = seed;
+        TestRng {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+
+    /// Next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform draw from `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        self.next_u64() % bound
+    }
+
+    /// Uniform draw from `[lo, hi]` (inclusive), tolerating the full u64
+    /// domain.
+    pub fn between_u128(&mut self, lo: i128, hi: i128) -> i128 {
+        debug_assert!(lo <= hi);
+        let span = (hi - lo) as u128 + 1;
+        lo + ((self.next_u64() as u128) % span) as i128
+    }
+
+    /// Uniform draw from `[0, 1)` with 53 bits of precision.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strategy trait and combinators
+// ---------------------------------------------------------------------------
+
+/// A recipe for generating values of `Self::Value`.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value: fmt::Debug;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with a function.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        O: fmt::Debug,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { source: self, f }
+    }
+
+    /// Build a dependent strategy from each generated value.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { source: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    O: fmt::Debug,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.source.generate(rng))
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    type Value = S2::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.source.generate(rng)).generate(rng)
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + fmt::Debug>(pub T);
+
+impl<T: Clone + fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+// Integer and float ranges.
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                rng.between_u128(self.start as i128, self.end as i128 - 1) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (s, e) = (*self.start(), *self.end());
+                assert!(s <= e, "empty range strategy");
+                rng.between_u128(s as i128, e as i128) as $t
+            }
+        }
+    )*};
+}
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                self.start + (self.end - self.start) * rng.unit_f64() as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (s, e) = (*self.start(), *self.end());
+                assert!(s <= e, "empty range strategy");
+                s + (e - s) * rng.unit_f64() as $t
+            }
+        }
+    )*};
+}
+float_range_strategy!(f32, f64);
+
+// Tuples of strategies.
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+);)*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (A);
+    (A, B);
+    (A, B, C);
+    (A, B, C, D);
+    (A, B, C, D, E);
+    (A, B, C, D, E, G);
+}
+
+/// A `Vec` of strategies generates one value per element, in order.
+impl<S: Strategy> Strategy for Vec<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        self.iter().map(|s| s.generate(rng)).collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Regex-subset string strategies (`"[a-z]{1,6}"`, `".{0,200}"`, …)
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+struct CharClass {
+    // Inclusive codepoint ranges.
+    ranges: Vec<(u32, u32)>,
+}
+
+impl CharClass {
+    fn dot() -> Self {
+        // Printable ASCII plus a slice of Latin-1, so multi-byte UTF-8
+        // sequences reach the code under test.
+        CharClass {
+            ranges: vec![(0x20, 0x7e), (0xa1, 0xff)],
+        }
+    }
+
+    fn single(c: char) -> Self {
+        CharClass {
+            ranges: vec![(c as u32, c as u32)],
+        }
+    }
+
+    fn sample(&self, rng: &mut TestRng) -> char {
+        let total: u32 = self.ranges.iter().map(|&(lo, hi)| hi - lo + 1).sum();
+        let mut pick = rng.below(total as u64) as u32;
+        for &(lo, hi) in &self.ranges {
+            let size = hi - lo + 1;
+            if pick < size {
+                return char::from_u32(lo + pick).expect("valid codepoint in class");
+            }
+            pick -= size;
+        }
+        unreachable!("pick < total")
+    }
+}
+
+#[derive(Debug, Clone)]
+struct RegexAtom {
+    class: CharClass,
+    min: u32,
+    max: u32,
+}
+
+fn parse_regex_subset(pattern: &str) -> Vec<RegexAtom> {
+    let mut chars = pattern.chars().peekable();
+    let mut atoms = Vec::new();
+    while let Some(c) = chars.next() {
+        let class = match c {
+            '.' => CharClass::dot(),
+            '[' => {
+                let mut ranges = Vec::new();
+                let mut class_chars: Vec<char> = Vec::new();
+                for cc in chars.by_ref() {
+                    if cc == ']' {
+                        break;
+                    }
+                    class_chars.push(cc);
+                }
+                assert!(
+                    !class_chars.is_empty() && class_chars[0] != '^',
+                    "unsupported char class in vendored proptest: {pattern:?}"
+                );
+                let mut i = 0;
+                while i < class_chars.len() {
+                    if i + 2 < class_chars.len() && class_chars[i + 1] == '-' {
+                        ranges.push((class_chars[i] as u32, class_chars[i + 2] as u32));
+                        i += 3;
+                    } else {
+                        let ch = class_chars[i];
+                        ranges.push((ch as u32, ch as u32));
+                        i += 1;
+                    }
+                }
+                CharClass { ranges }
+            }
+            '\\' => CharClass::single(chars.next().expect("dangling escape")),
+            '(' | ')' | '|' | '^' | '$' => {
+                panic!("unsupported regex feature {c:?} in vendored proptest: {pattern:?}")
+            }
+            other => CharClass::single(other),
+        };
+        // Optional quantifier.
+        let (min, max) = match chars.peek() {
+            Some('{') => {
+                chars.next();
+                let mut spec = String::new();
+                for cc in chars.by_ref() {
+                    if cc == '}' {
+                        break;
+                    }
+                    spec.push(cc);
+                }
+                if let Some((lo, hi)) = spec.split_once(',') {
+                    (
+                        lo.trim().parse().expect("bad quantifier"),
+                        hi.trim().parse().expect("bad quantifier"),
+                    )
+                } else {
+                    let n: u32 = spec.trim().parse().expect("bad quantifier");
+                    (n, n)
+                }
+            }
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            Some('*') => {
+                chars.next();
+                (0, 8)
+            }
+            Some('+') => {
+                chars.next();
+                (1, 8)
+            }
+            _ => (1, 1),
+        };
+        atoms.push(RegexAtom { class, min, max });
+    }
+    atoms
+}
+
+/// A `&'static str` is interpreted as a regex (subset) generating `String`s,
+/// mirroring upstream's string strategies.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_regex_subset(self);
+        let mut out = String::new();
+        for atom in &atoms {
+            let count = rng.between_u128(atom.min as i128, atom.max as i128) as u32;
+            for _ in 0..count {
+                out.push(atom.class.sample(rng));
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// any::<T>()
+// ---------------------------------------------------------------------------
+
+/// Types with a canonical "whole domain" strategy.
+pub trait Arbitrary: Sized + fmt::Debug {
+    /// Draw one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Finite doubles spanning a wide magnitude range.
+        let mantissa = rng.unit_f64() * 2.0 - 1.0;
+        let exp = rng.between_u128(-60, 60) as i32;
+        mantissa * (exp as f64).exp2()
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        CharClass::dot().sample(rng)
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct AnyStrategy<A> {
+    _marker: PhantomData<A>,
+}
+
+impl<A: Arbitrary> Strategy for AnyStrategy<A> {
+    type Value = A;
+
+    fn generate(&self, rng: &mut TestRng) -> A {
+        A::arbitrary(rng)
+    }
+}
+
+/// The whole-domain strategy for `A`.
+pub fn any<A: Arbitrary>() -> AnyStrategy<A> {
+    AnyStrategy {
+        _marker: PhantomData,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Runner
+// ---------------------------------------------------------------------------
+
+/// Runner configuration; only `cases` is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Failure of a single test case (the `Err` of a case body).
+#[derive(Debug)]
+pub struct TestCaseError(pub String);
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Drive `body` for the configured number of cases with deterministic
+/// per-case seeds. Panics (failing the enclosing `#[test]`) on the first
+/// case whose body returns `Err`.
+pub fn run_cases<F>(config: &ProptestConfig, test_name: &str, body: F)
+where
+    F: Fn(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let cases = std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|s| s.parse::<u32>().ok())
+        .unwrap_or(config.cases)
+        .max(1);
+    let base = fnv1a(test_name);
+    for case in 0..cases {
+        let seed = base ^ (u64::from(case)).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let mut rng = TestRng::from_seed(seed);
+        if let Err(e) = body(&mut rng) {
+            panic!("proptest {test_name} failed at case {case}/{cases} (seed {seed:#x}):\n{e}");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Define property tests: `proptest! { #[test] fn f(x in strat) { … } }`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($pat:pat in $strat:expr),* $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config = $cfg;
+            $crate::run_cases(&__config, stringify!($name), |__rng| {
+                let __vals = ($($crate::Strategy::generate(&($strat), __rng),)*);
+                let __dbg = ::std::format!("{:?}", &__vals);
+                let __outcome = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(
+                        move || -> ::std::result::Result<(), $crate::TestCaseError> {
+                            let ($($pat,)*) = __vals;
+                            $body
+                            ::std::result::Result::Ok(())
+                        },
+                    ),
+                );
+                match __outcome {
+                    ::std::result::Result::Ok(::std::result::Result::Ok(())) => {
+                        ::std::result::Result::Ok(())
+                    }
+                    ::std::result::Result::Ok(::std::result::Result::Err(e)) => {
+                        ::std::result::Result::Err($crate::TestCaseError(::std::format!(
+                            "{}\n  inputs: {}",
+                            e.0,
+                            __dbg
+                        )))
+                    }
+                    ::std::result::Result::Err(payload) => {
+                        ::std::eprintln!("proptest case inputs: {}", __dbg);
+                        ::std::panic::resume_unwind(payload)
+                    }
+                }
+            });
+        }
+    )*};
+}
+
+/// Fail the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", ::std::stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError(::std::format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fail the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if !(*l == *r) {
+                    return ::std::result::Result::Err($crate::TestCaseError(::std::format!(
+                        "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+                        l,
+                        r
+                    )));
+                }
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if !(*l == *r) {
+                    return ::std::result::Result::Err($crate::TestCaseError(::std::format!(
+                        "assertion failed: `(left == right)`: {}\n  left: `{:?}`\n right: `{:?}`",
+                        ::std::format!($($fmt)+),
+                        l,
+                        r
+                    )));
+                }
+            }
+        }
+    };
+}
+
+/// Fail the current case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                if *l == *r {
+                    return ::std::result::Result::Err($crate::TestCaseError(::std::format!(
+                        "assertion failed: `(left != right)`\n  both: `{:?}`",
+                        l
+                    )));
+                }
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn regex_subset_shapes() {
+        let mut rng = crate::TestRng::from_seed(5);
+        for _ in 0..200 {
+            let s = crate::Strategy::generate(&"[a-z]{1,6}", &mut rng);
+            assert!((1..=6).contains(&s.chars().count()), "bad len: {s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+            let t = crate::Strategy::generate(&".{0,200}", &mut rng);
+            assert!(t.chars().count() <= 200);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Ranges stay in bounds, tuples and vecs compose.
+        #[test]
+        fn generated_values_in_bounds(
+            x in 3u16..9,
+            (lo, hi) in (0u64..10, 10u64..20),
+            v in prop::collection::vec(0usize..4, 2..=5),
+            pick in prop::sample::select(vec!["a", "b"]),
+            flag in any::<bool>(),
+        ) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!(lo < hi, "lo {lo} hi {hi}");
+            prop_assert!((2..=5).contains(&v.len()));
+            prop_assert!(v.iter().all(|&e| e < 4));
+            prop_assert!(pick == "a" || pick == "b");
+            let _ = flag;
+        }
+
+        /// prop_map / prop_flat_map plumbing works.
+        #[test]
+        fn combinators_compose(
+            n in (1usize..4).prop_flat_map(|n| {
+                (Just(n), prop::collection::vec(0u16..3, n))
+            }),
+        ) {
+            let (len, items) = n;
+            prop_assert_eq!(items.len(), len);
+        }
+    }
+}
