@@ -1,21 +1,32 @@
-//! Counting-scan throughput bench: serial vs. parallel pipeline.
+//! Counting-scan throughput bench: serial vs. parallel pipeline, plus a
+//! staged-file reader sweep.
 //!
-//! Runs the root CC batch over a >= 500k-row synthetic table with
-//! `scan_workers = 1` and `= 4` and writes the measured numbers to
-//! `results/BENCH_parallel_scan.json`. Throughput is taken from the
-//! middleware's own scan counters (`scan_rows` / `scan_nanos`), i.e. it
-//! isolates the counting scan from table load and scheduling.
+//! Two experiments over a >= 500k-row synthetic table, written to
+//! `results/BENCH_parallel_scan.json`:
 //!
-//! The recorded speedup is whatever the host delivers — on a single-core
-//! box the pipeline pays channel overhead and cannot beat serial, which
-//! the JSON states explicitly via `host_cores`.
+//! 1. **Server scan** — the root CC batch with `scan_workers = 1` and
+//!    `= 4` (the original channel pipeline).
+//! 2. **Staged-file scan** — the table is staged to a singleton extent
+//!    file, then re-scanned from that file with `scan_workers` in
+//!    {1, 2, 4, 8}. For `> 1` workers this takes the sharded reader
+//!    path: each reader owns a disjoint extent range and decodes
+//!    locally, so the bench records per-worker `read_bytes` /
+//!    `decode_ns` from [`Middleware::scan_stats`] and checks the
+//!    read-byte counters sum to the physical file size.
+//!
+//! Throughput is taken from the middleware's own scan counters
+//! (`scan_rows` / `scan_nanos`), i.e. it isolates the counting scan from
+//! table load and scheduling. The recorded speedup is whatever the host
+//! delivers — on a single-core box parallel readers cannot beat serial,
+//! which the JSON states explicitly via `host_cores`.
 
-use scaleclass::{Middleware, MiddlewareConfig, NodeId};
+use scaleclass::{FileStagingPolicy, Middleware, MiddlewareConfig, NodeId, WorkerScanStats};
 use scaleclass_bench::workloads::scan_bench_workload;
 use std::time::Instant;
 
 const TARGET_ROWS: usize = 500_000;
 const ITERATIONS: usize = 3;
+const FILE_WORKER_SWEEP: [usize; 4] = [1, 2, 4, 8];
 
 struct Leg {
     workers: usize,
@@ -32,6 +43,34 @@ impl Leg {
             return 0.0;
         }
         self.scan_rows as f64 * 1e9 / self.scan_nanos as f64
+    }
+}
+
+/// One staged-file scan leg: scan-counter deltas for the file-sourced
+/// round plus the per-reader I/O counters for that round.
+struct FileLeg {
+    workers: usize,
+    wall_secs: f64,
+    scan_rows: u64,
+    scan_nanos: u64,
+    sharded_scans: u64,
+    file_bytes: u64,
+    readers: Vec<WorkerScanStats>,
+}
+
+impl FileLeg {
+    fn rows_per_sec(&self) -> f64 {
+        if self.scan_nanos == 0 {
+            return 0.0;
+        }
+        self.scan_rows as f64 * 1e9 / self.scan_nanos as f64
+    }
+
+    fn read_mb_per_sec(&self) -> f64 {
+        if self.scan_nanos == 0 {
+            return 0.0;
+        }
+        self.file_bytes as f64 * 1e9 / (self.scan_nanos as f64 * 1e6)
     }
 }
 
@@ -67,6 +106,64 @@ fn run_leg(workload: &scaleclass_bench::workloads::Workload, workers: usize) -> 
     best.unwrap()
 }
 
+/// Stage the table to a singleton extent file (round 1, server scan),
+/// then re-answer the root request from that file (round 2) and report
+/// the round-2 scan counters and per-reader I/O stats.
+fn run_file_leg(workload: &scaleclass_bench::workloads::Workload, workers: usize) -> FileLeg {
+    let mut best: Option<FileLeg> = None;
+    for _ in 0..ITERATIONS {
+        let db = workload.clone().into_db("t");
+        let cfg = MiddlewareConfig::builder()
+            .scan_workers(workers)
+            .file_policy(FileStagingPolicy::Singleton)
+            .memory_caching(false)
+            .build();
+        let mut mw = Middleware::new(db, "t", &workload.class_column, cfg).unwrap();
+
+        // Round 1: server scan stages the root data set into the file.
+        mw.enqueue(mw.root_request(NodeId(0))).unwrap();
+        let r1 = mw.process_next_batch().unwrap();
+        assert_eq!(r1[0].cc.total(), workload.nrows() as u64);
+        let (rows0, nanos0) = (mw.stats().scan_rows, mw.stats().scan_nanos);
+        let file_bytes = mw.stats().file_bytes_physical_written;
+        assert!(file_bytes > 0, "round 1 must stage the file");
+        assert!(mw.scan_stats().workers.is_empty());
+
+        // Round 2: the same request is now answered from the staged file.
+        mw.enqueue(mw.root_request(NodeId(0))).unwrap();
+        let start = Instant::now();
+        let r2 = mw.process_next_batch().unwrap();
+        let wall_secs = start.elapsed().as_secs_f64();
+        assert_eq!(r2[0].cc.total(), workload.nrows() as u64);
+        assert_eq!(r2[0].cc, r1[0].cc, "file scan diverged from server scan");
+
+        let s = mw.stats();
+        let readers = mw.scan_stats().workers.clone();
+        let read_sum: u64 = readers.iter().map(|w| w.read_bytes).sum();
+        assert_eq!(
+            read_sum, file_bytes,
+            "per-reader byte counters must cover the file exactly"
+        );
+        let leg = FileLeg {
+            workers,
+            wall_secs,
+            scan_rows: s.scan_rows - rows0,
+            scan_nanos: s.scan_nanos - nanos0,
+            sharded_scans: s.sharded_file_scans,
+            file_bytes,
+            readers,
+        };
+        if best
+            .as_ref()
+            .map(|b| leg.wall_secs < b.wall_secs)
+            .unwrap_or(true)
+        {
+            best = Some(leg);
+        }
+    }
+    best.unwrap()
+}
+
 fn main() {
     let workload = scan_bench_workload(TARGET_ROWS);
     let nrows = workload.nrows();
@@ -86,6 +183,7 @@ fn main() {
     assert!(parallel.parallel_scans > 0);
 
     let speedup = parallel.rows_per_sec() / serial.rows_per_sec();
+    eprintln!("server scan (channel pipeline):");
     for leg in [&serial, &parallel] {
         eprintln!(
             "  scan_workers={}: {:.2}M rows/s (wall {:.3}s, {} blocks)",
@@ -97,6 +195,61 @@ fn main() {
     }
     eprintln!("  speedup (4 vs 1): {speedup:.2}x");
 
+    eprintln!("staged-file scan (sharded extent readers):");
+    let file_legs: Vec<FileLeg> = FILE_WORKER_SWEEP
+        .iter()
+        .map(|&w| run_file_leg(&workload, w))
+        .collect();
+    for leg in &file_legs {
+        assert_eq!(leg.sharded_scans > 0, leg.workers > 1);
+        assert_eq!(leg.readers.len() > 1, leg.workers > 1);
+        eprintln!(
+            "  scan_workers={}: {:.2}M rows/s, read {:.1} MB/s ({} readers, file {:.1} MB)",
+            leg.workers,
+            leg.rows_per_sec() / 1e6,
+            leg.read_mb_per_sec(),
+            leg.readers.len(),
+            leg.file_bytes as f64 / 1e6
+        );
+        for (i, r) in leg.readers.iter().enumerate() {
+            eprintln!(
+                "    reader {i}: {} rows, {} extents, {} bytes read, decode {:.1} ms",
+                r.rows,
+                r.extents,
+                r.read_bytes,
+                r.decode_ns as f64 / 1e6
+            );
+        }
+    }
+
+    let file_speedup = file_legs.last().unwrap().rows_per_sec() / file_legs[0].rows_per_sec();
+    let file_leg_json: Vec<String> = file_legs
+        .iter()
+        .map(|leg| {
+            let readers: Vec<String> = leg
+                .readers
+                .iter()
+                .map(|r| {
+                    format!(
+                        r#"{{ "read_bytes": {}, "decode_ns": {}, "rows": {}, "extents": {} }}"#,
+                        r.read_bytes, r.decode_ns, r.rows, r.extents
+                    )
+                })
+                .collect();
+            format!(
+                r#"    {{ "scan_workers": {w}, "rows_per_sec": {rps:.0}, "read_mb_per_sec": {mbs:.1}, "wall_secs": {wall:.4}, "sharded_file_scans": {sh}, "file_bytes": {fb}, "read_bytes_sum": {sum}, "readers": [{readers}] }}"#,
+                w = leg.workers,
+                rps = leg.rows_per_sec(),
+                mbs = leg.read_mb_per_sec(),
+                wall = leg.wall_secs,
+                sh = leg.sharded_scans,
+                fb = leg.file_bytes,
+                sum = leg.readers.iter().map(|r| r.read_bytes).sum::<u64>(),
+                readers = readers.join(", "),
+            )
+        })
+        .collect();
+
     let json = format!(
         r#"{{
   "bench": "parallel_scan",
@@ -105,12 +258,16 @@ fn main() {
   "arity": {arity},
   "host_cores": {host_cores},
   "iterations_best_of": {iters},
-  "note": "throughput = scan_rows / scan_nanos from middleware counters; speedup on a {host_cores}-core host — the >=2x target requires a multi-core box",
-  "legs": [
+  "note": "throughput = scan_rows / scan_nanos from middleware counters; speedups on a {host_cores}-core host — the >=2x target requires a multi-core box",
+  "server_scan_legs": [
     {{ "scan_workers": 1, "rows_per_sec": {s_rps:.0}, "wall_secs": {s_wall:.4}, "scan_blocks": {s_blocks} }},
     {{ "scan_workers": 4, "rows_per_sec": {p_rps:.0}, "wall_secs": {p_wall:.4}, "scan_blocks": {p_blocks} }}
   ],
-  "speedup_4_over_1": {speedup:.3}
+  "server_speedup_4_over_1": {speedup:.3},
+  "file_scan_legs": [
+{file_legs}
+  ],
+  "file_speedup_{fw}_over_1": {file_speedup:.3}
 }}
 "#,
         desc = workload.description,
@@ -122,6 +279,8 @@ fn main() {
         p_rps = parallel.rows_per_sec(),
         p_wall = parallel.wall_secs,
         p_blocks = parallel.blocks,
+        file_legs = file_leg_json.join(",\n"),
+        fw = FILE_WORKER_SWEEP[FILE_WORKER_SWEEP.len() - 1],
     );
     let out = std::path::Path::new("results/BENCH_parallel_scan.json");
     std::fs::write(out, &json).unwrap();

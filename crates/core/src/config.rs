@@ -109,7 +109,23 @@ pub struct MiddlewareConfig {
     /// Rows per block handed from the scan producer to the counting
     /// workers (only used when `scan_workers > 1`).
     pub scan_block_rows: usize,
+    /// Rows per extent in staged middleware files. Staged files are
+    /// written as fixed-size extents (columnar blocks + CRC footer, see
+    /// `crates/core/src/staging.rs`) so that `scan_workers` reader threads
+    /// can each decode a disjoint extent range. Smaller extents shard
+    /// finer but pay more header/footer overhead. Honours the
+    /// `SCALECLASS_EXTENT_ROWS` environment variable by default.
+    pub stage_extent_rows: usize,
 }
+
+/// Default rows per staged-file extent (≈ 400 KB of payload at the
+/// experiments' 26-column arity — big enough to amortize the 16-byte
+/// extent overhead, small enough that 8 workers shard a 100k-row file).
+pub const DEFAULT_EXTENT_ROWS: usize = 8192;
+
+/// Hard cap on extent size: the format stores row counts as `u32` and the
+/// writer buffers one extent in memory.
+const MAX_EXTENT_ROWS: usize = 1 << 20;
 
 /// Worker count from `SCALECLASS_SCAN_WORKERS` (unset, empty, zero, or
 /// unparsable all mean the serial default of 1).
@@ -119,6 +135,17 @@ fn env_scan_workers() -> usize {
         .and_then(|v| v.trim().parse::<usize>().ok())
         .filter(|&n| n >= 1)
         .unwrap_or(1)
+}
+
+/// Extent size from `SCALECLASS_EXTENT_ROWS` (unset, empty, zero, or
+/// unparsable all mean [`DEFAULT_EXTENT_ROWS`]); clamped to the format cap.
+fn env_extent_rows() -> usize {
+    std::env::var("SCALECLASS_EXTENT_ROWS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(DEFAULT_EXTENT_ROWS)
+        .min(MAX_EXTENT_ROWS)
 }
 
 impl Default for MiddlewareConfig {
@@ -138,6 +165,7 @@ impl Default for MiddlewareConfig {
             admit_by_estimate: false,
             scan_workers: env_scan_workers(),
             scan_block_rows: 4096,
+            stage_extent_rows: env_extent_rows(),
         }
     }
 }
@@ -249,6 +277,12 @@ impl MiddlewareConfigBuilder {
         self
     }
 
+    /// Rows per staged-file extent (clamped to `1 ..= 2^20`).
+    pub fn stage_extent_rows(mut self, rows: usize) -> Self {
+        self.config.stage_extent_rows = rows.clamp(1, MAX_EXTENT_ROWS);
+        self
+    }
+
     /// Finish building.
     pub fn build(self) -> MiddlewareConfig {
         self.config
@@ -301,6 +335,31 @@ mod tests {
             .build();
         assert_eq!(c.scan_workers, 4);
         assert_eq!(c.scan_block_rows, 1024);
+    }
+
+    #[test]
+    fn extent_rows_knob_is_clamped() {
+        assert_eq!(
+            MiddlewareConfig::builder()
+                .stage_extent_rows(0)
+                .build()
+                .stage_extent_rows,
+            1
+        );
+        assert_eq!(
+            MiddlewareConfig::builder()
+                .stage_extent_rows(usize::MAX)
+                .build()
+                .stage_extent_rows,
+            MAX_EXTENT_ROWS
+        );
+        assert_eq!(
+            MiddlewareConfig::builder()
+                .stage_extent_rows(100)
+                .build()
+                .stage_extent_rows,
+            100
+        );
     }
 
     #[test]

@@ -10,6 +10,10 @@ pub enum MwError {
     Db(DbError),
     /// A staging-file I/O failure.
     Staging(String),
+    /// A staged file failed integrity verification (truncated, bad magic,
+    /// CRC mismatch, row-count mismatch). Distinct from [`MwError::Staging`]
+    /// so callers can tell "disk said no" from "the bytes lie".
+    Corrupt(String),
     /// A request referenced an unknown attribute column.
     BadRequest(String),
     /// Internal invariant violation (a bug; surfaced rather than panicking).
@@ -21,6 +25,7 @@ impl fmt::Display for MwError {
         match self {
             MwError::Db(e) => write!(f, "backend error: {e}"),
             MwError::Staging(msg) => write!(f, "staging error: {msg}"),
+            MwError::Corrupt(msg) => write!(f, "corrupt staged file: {msg}"),
             MwError::BadRequest(msg) => write!(f, "bad request: {msg}"),
             MwError::Internal(msg) => write!(f, "internal middleware error: {msg}"),
         }
@@ -60,6 +65,14 @@ mod tests {
         let e: MwError = DbError::UnknownTable("t".into()).into();
         assert!(e.to_string().contains("unknown table"));
         assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn corrupt_is_distinct_from_staging() {
+        let e = MwError::Corrupt("extent 3: CRC mismatch".into());
+        assert!(e.to_string().contains("corrupt staged file"));
+        assert!(e.to_string().contains("CRC mismatch"));
+        assert_ne!(e, MwError::Staging("extent 3: CRC mismatch".into()));
     }
 
     #[test]

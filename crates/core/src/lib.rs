@@ -62,6 +62,7 @@ pub mod staging;
 pub use cc::{CountsTable, FulfilledCc, CC_ENTRY_BYTES};
 pub use config::{AuxMode, EstimatorKind, FileStagingPolicy, MiddlewareConfig};
 pub use error::{MwError, MwResult};
-pub use metrics::MiddlewareStats;
+pub use metrics::{MiddlewareStats, ScanStats, WorkerScanStats};
 pub use middleware::Middleware;
 pub use request::{CcRequest, DataLocation, Lineage, NodeId};
+pub use staging::ExtentLayout;

@@ -26,8 +26,12 @@ pub struct MiddlewareStats {
     pub file_bytes_read: u64,
     /// Rows written to staging files.
     pub file_rows_written: u64,
-    /// Bytes written to staging files.
+    /// Bytes written to staging files (row payload only — `rows × row
+    /// width` — so the figure stays comparable across file formats).
     pub file_bytes_written: u64,
+    /// Physical bytes written to staging files, including the extent
+    /// format's file header and per-extent header/CRC-footer overhead.
+    pub file_bytes_physical_written: u64,
     /// Staging files created.
     pub files_created: u64,
     /// Staging files deleted.
@@ -52,6 +56,9 @@ pub struct MiddlewareStats {
     pub peak_memory_bytes: u64,
     /// Counting scans routed through the parallel block pipeline.
     pub parallel_scans: u64,
+    /// Staged-file scans served by sharded extent readers (each worker
+    /// thread reads and decodes its own extent range — no producer hop).
+    pub sharded_file_scans: u64,
     /// Rows fed through counting scans (serial or parallel).
     pub scan_rows: u64,
     /// Row blocks handed from the scan producer to counting workers.
@@ -102,9 +109,94 @@ impl MiddlewareStats {
     }
 }
 
+/// I/O + decode counters for one scan worker over staged extent files.
+///
+/// Unlike [`MiddlewareStats`] these are *physical* numbers: `read_bytes`
+/// includes extent headers and CRC footers, and `decode_ns` is wall-clock
+/// time spent verifying checksums and transposing columnar blocks back to
+/// rows. Timing fields must be excluded from determinism comparisons.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerScanStats {
+    /// Physical bytes this worker read from the staging file.
+    pub read_bytes: u64,
+    /// Nanoseconds spent verifying + decoding extents into rows.
+    pub decode_ns: u64,
+    /// Rows this worker decoded.
+    pub rows: u64,
+    /// Extents this worker decoded.
+    pub extents: u64,
+}
+
+/// Per-worker staged-file scan statistics, accumulated by worker index
+/// across every extent-format file scan of a middleware session. Serial
+/// extent scans contribute a single worker entry (index 0); sharded scans
+/// contribute one entry per reader thread. Kept separate from
+/// [`MiddlewareStats`] so that struct stays `Copy` for cheap snapshots.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ScanStats {
+    /// Accumulated counters, indexed by scan-worker id.
+    pub workers: Vec<WorkerScanStats>,
+}
+
+impl ScanStats {
+    /// Fold one scan's per-worker counters into the running totals.
+    pub fn absorb(&mut self, per_worker: &[WorkerScanStats]) {
+        if self.workers.len() < per_worker.len() {
+            self.workers
+                .resize(per_worker.len(), WorkerScanStats::default());
+        }
+        for (acc, w) in self.workers.iter_mut().zip(per_worker) {
+            acc.read_bytes += w.read_bytes;
+            acc.decode_ns += w.decode_ns;
+            acc.rows += w.rows;
+            acc.extents += w.extents;
+        }
+    }
+
+    /// Total physical bytes read across all workers.
+    pub fn total_read_bytes(&self) -> u64 {
+        self.workers.iter().map(|w| w.read_bytes).sum()
+    }
+
+    /// Total rows decoded across all workers.
+    pub fn total_rows(&self) -> u64 {
+        self.workers.iter().map(|w| w.rows).sum()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn scan_stats_absorb_accumulates_by_worker_index() {
+        let mut s = ScanStats::default();
+        s.absorb(&[WorkerScanStats {
+            read_bytes: 100,
+            decode_ns: 5,
+            rows: 10,
+            extents: 1,
+        }]);
+        s.absorb(&[
+            WorkerScanStats {
+                read_bytes: 50,
+                decode_ns: 1,
+                rows: 5,
+                extents: 1,
+            },
+            WorkerScanStats {
+                read_bytes: 70,
+                decode_ns: 2,
+                rows: 7,
+                extents: 2,
+            },
+        ]);
+        assert_eq!(s.workers.len(), 2);
+        assert_eq!(s.workers[0].read_bytes, 150);
+        assert_eq!(s.workers[1].rows, 7);
+        assert_eq!(s.total_read_bytes(), 220);
+        assert_eq!(s.total_rows(), 22);
+    }
 
     #[test]
     fn peak_memory_is_monotone() {

@@ -13,7 +13,7 @@ use crate::config::{AuxMode, MiddlewareConfig};
 use crate::error::{MwError, MwResult};
 use crate::executor::{BatchCounter, NodeCounter};
 use crate::filter::union_filter;
-use crate::metrics::MiddlewareStats;
+use crate::metrics::{MiddlewareStats, ScanStats};
 use crate::parallel::RowSink;
 use crate::request::{CcRequest, DataLocation, Lineage, NodeId};
 use crate::scheduler::{schedule, BatchPlan};
@@ -50,6 +50,7 @@ pub struct Middleware {
     staging: StagingManager,
     pending: Vec<CcRequest>,
     stats: MiddlewareStats,
+    scan_stats: ScanStats,
     aux: Vec<AuxHandle>,
 }
 
@@ -72,7 +73,8 @@ impl Middleware {
         let nclasses = u64::from(schema.column(class_col as usize).cardinality());
         let arity = schema.arity();
         let table_rows = t.nrows();
-        let staging = StagingManager::new(config.staging_dir.clone())?;
+        let mut staging = StagingManager::new(config.staging_dir.clone())?;
+        staging.set_extent_rows(config.stage_extent_rows);
         Ok(Middleware {
             db,
             table,
@@ -85,6 +87,7 @@ impl Middleware {
             staging,
             pending: Vec::new(),
             stats: MiddlewareStats::new(),
+            scan_stats: ScanStats::default(),
             aux: Vec::new(),
         })
     }
@@ -151,6 +154,12 @@ impl Middleware {
     /// Middleware-side statistics.
     pub fn stats(&self) -> &MiddlewareStats {
         &self.stats
+    }
+
+    /// Per-reader staged-file scan statistics (physical bytes read and
+    /// decode time by scan-worker index, summed over the session).
+    pub fn scan_stats(&self) -> &ScanStats {
+        &self.scan_stats
     }
 
     /// Snapshot of the backend server's statistics.
@@ -320,7 +329,11 @@ impl Middleware {
                 )?);
             }
             if sched.stage_mem {
-                counter.mem_buffer = Some(Vec::new());
+                // Pre-size from the scheduler's relevant-data estimate so
+                // concurrent tee writers don't reallocate mid-scan (capped:
+                // the estimate is trusted for sizing, not for allocation).
+                let cap = (sched.est_data_bytes / CODE_BYTES as u64).min(1 << 26) as usize;
+                counter.mem_buffer = Some(Vec::with_capacity(cap));
             }
             counters.push(counter);
         }
@@ -360,13 +373,32 @@ impl Middleware {
 
     fn scan_file(&mut self, id: u64, mut sink: RowSink) -> MwResult<RowSink> {
         self.stats.file_scans += 1;
+        let row_bytes = (self.arity * CODE_BYTES) as u64;
+        // Extent-format files can be read-sharded: each scan worker owns a
+        // disjoint extent range, decoding into its own counting shard with
+        // no producer thread in between. Legacy files and batches whose
+        // tees demand a single ordered stream take the row loop below.
+        if self.config.scan_workers > 1 {
+            if let Some(layout) = self.staging.extent_layout(id)? {
+                if let Some(per_reader) = sink.try_scan_extents(&layout)? {
+                    let rows: u64 = per_reader.iter().map(|w| w.rows).sum();
+                    self.stats.file_rows_read += rows;
+                    self.stats.file_bytes_read += rows * row_bytes;
+                    self.stats.sharded_file_scans += 1;
+                    self.scan_stats.absorb(&per_reader);
+                    return Ok(sink);
+                }
+            }
+        }
         let mut scan = self.staging.open_file(id)?;
-        let row_bytes = scan.row_bytes();
         let mut row = Vec::with_capacity(self.arity);
         while scan.next_row(&mut row)? {
             self.stats.file_rows_read += 1;
             self.stats.file_bytes_read += row_bytes;
             sink.process_row(&row, &mut self.stats)?;
+        }
+        if let Some(ws) = scan.worker_stats() {
+            self.scan_stats.absorb(&[ws]);
         }
         Ok(sink)
     }

@@ -26,13 +26,34 @@
 //!   so the merged tables are exactly what one serial pass over the same
 //!   rows builds, regardless of how blocks were interleaved.
 //!
+//! ## Sharded extent readers (no producer at all)
+//!
+//! For batches sourced from an extent-format staging file
+//! ([`crate::staging::ExtentLayout`]) the producer thread and the
+//! producer→worker channel hop disappear entirely:
+//! [`ParallelScan::scan_extent_file`] spawns `scan_workers` *reader*
+//! threads, each owning a disjoint contiguous extent range. Every reader
+//! seeks straight to its extents (offsets are computable because all
+//! extents but the last are full-sized), verifies + decodes them locally,
+//! and feeds the rows into its own counting shard — I/O, decode, and
+//! counting all scale together. Merge order is keyed by the extent ranges:
+//! readers are joined in range order, which is worker-index order, so the
+//! shard merge is exactly as deterministic as the channel pipeline's, and
+//! counting additivity makes the result bit-identical to a serial scan.
+//! Memory-staging tees are sharded the same way — each reader buffers the
+//! matching rows of *its* range, and the buffers are concatenated in range
+//! order, reproducing the serial staging byte order exactly.
+//!
 //! ## What stays on the coordinator
 //!
-//! Staging tees (per-node file writers, memory buffers, and the hybrid
-//! split file) remain on the producer thread: files must be written in
-//! source row order to be byte-identical to the serial path, and a single
-//! writer needs no synchronisation. The coordinator evaluates only the
-//! predicates of nodes that actually stage (usually 0–1 per batch).
+//! In the channel pipeline, staging tees (per-node file writers, memory
+//! buffers, and the hybrid split file) remain on the producer thread:
+//! files must be written in source row order to be byte-identical to the
+//! serial path, and a single writer needs no synchronisation. The
+//! coordinator evaluates only the predicates of nodes that actually stage
+//! (usually 0–1 per batch). Batches that tee to *files* also keep using
+//! the channel pipeline ([`ParallelScan::can_shard`]) — a file must be a
+//! single ordered stream, which is what the producer provides.
 //!
 //! ## Shard-aware budget enforcement
 //!
@@ -57,7 +78,8 @@ use crate::cc::{CountsTable, CC_ENTRY_BYTES};
 use crate::config::MiddlewareConfig;
 use crate::error::{MwError, MwResult};
 use crate::executor::{BatchCounter, Dispatch};
-use crate::metrics::MiddlewareStats;
+use crate::metrics::{MiddlewareStats, WorkerScanStats};
+use crate::staging::{ExtentLayout, ExtentReader, FILE_HEADER_BYTES};
 use crossbeam_channel::{bounded, Receiver, Sender};
 use scaleclass_sqldb::types::{Code, CODE_BYTES};
 use scaleclass_sqldb::Pred;
@@ -87,6 +109,10 @@ struct Shared {
     buffer_bytes: AtomicU64,
     /// Per-node §4.1.1 fallback flags.
     fallback: Vec<AtomicBool>,
+    /// Per-node "memory-staging tee cancelled" flags: in sharded-reader
+    /// mode any reader that overflows the budget cancels the node's tee
+    /// for everyone (staging is best-effort; counting is not).
+    tee_cancel: Vec<AtomicBool>,
     /// Memory sets that may be sacrificed under counting pressure
     /// (`(id, bytes)`, popped from the end — the serial order).
     evictable: Mutex<Vec<(u64, u64)>>,
@@ -128,57 +154,167 @@ struct WorkerResult {
     rows: u64,
 }
 
+/// One worker's private counting state — shared by the channel workers and
+/// the sharded extent readers, so both paths apply the identical budget,
+/// eviction, and fallback protocol per row.
+struct ShardState {
+    shards: Vec<CountsTable>,
+    /// Nodes whose fallback flag this worker has already honoured.
+    dropped: Vec<bool>,
+    rows: u64,
+    candidates: Vec<usize>,
+}
+
+impl ShardState {
+    fn new(nodes: usize) -> Self {
+        ShardState {
+            shards: (0..nodes).map(|_| CountsTable::new()).collect(),
+            dropped: vec![false; nodes],
+            rows: 0,
+            candidates: Vec::with_capacity(8),
+        }
+    }
+
+    #[inline]
+    fn count_row(&mut self, row: &[Code], dispatch: &Dispatch, shared: &Shared) {
+        self.rows += 1;
+        dispatch.candidates(row, &mut self.candidates);
+        for &idx in &self.candidates {
+            if shared.fallback[idx].load(Ordering::Relaxed) {
+                if !self.dropped[idx] {
+                    // Self-cleanup: another worker tripped the §4.1.1
+                    // switch; release this shard's bytes.
+                    shared
+                        .cc_reserved
+                        .fetch_sub(self.shards[idx].memory_bytes(), Ordering::Relaxed);
+                    self.shards[idx] = CountsTable::new();
+                    self.dropped[idx] = true;
+                }
+                continue;
+            }
+            let spec = &shared.specs[idx];
+            if !spec.pred.eval(row) {
+                continue;
+            }
+            let before = self.shards[idx].entries();
+            self.shards[idx].add_row(row, &spec.attrs, spec.class_col);
+            let grew = (self.shards[idx].entries() - before) as u64 * CC_ENTRY_BYTES;
+            if grew == 0 {
+                continue;
+            }
+            shared.cc_reserved.fetch_add(grew, Ordering::Relaxed);
+            if shared.memory_in_use() <= shared.budget {
+                continue;
+            }
+            // Counting pressure: cached data first, then the switch.
+            if !shared.relieve_pressure() {
+                shared.fallback[idx].store(true, Ordering::Relaxed);
+                shared
+                    .cc_reserved
+                    .fetch_sub(self.shards[idx].memory_bytes(), Ordering::Relaxed);
+                self.shards[idx] = CountsTable::new();
+                self.dropped[idx] = true;
+            }
+        }
+    }
+
+    fn into_result(self) -> WorkerResult {
+        WorkerResult {
+            shards: self.shards,
+            rows: self.rows,
+        }
+    }
+}
+
 fn worker_loop(rx: Receiver<Vec<Code>>, shared: Arc<Shared>) -> WorkerResult {
     let dispatch = Dispatch::new(shared.specs.iter().map(|s| &s.pred));
-    let mut shards: Vec<CountsTable> = shared.specs.iter().map(|_| CountsTable::new()).collect();
-    // Nodes whose fallback flag this worker has already honoured.
-    let mut dropped = vec![false; shards.len()];
-    let mut rows = 0u64;
-    let mut candidates: Vec<usize> = Vec::with_capacity(8);
+    let mut state = ShardState::new(shared.specs.len());
     for block in rx.iter() {
         for row in block.chunks_exact(shared.arity) {
-            rows += 1;
-            dispatch.candidates(row, &mut candidates);
-            for &idx in &candidates {
-                if shared.fallback[idx].load(Ordering::Relaxed) {
-                    if !dropped[idx] {
-                        // Self-cleanup: another worker tripped the §4.1.1
-                        // switch; release this shard's bytes.
+            state.count_row(row, &dispatch, &shared);
+        }
+    }
+    state.into_result()
+}
+
+/// What one sharded extent reader hands back.
+struct ShardReaderResult {
+    result: WorkerResult,
+    io: WorkerScanStats,
+    /// Rows this reader's range contributed to each memory tee, aligned
+    /// with the coordinator's tee-node list.
+    tee_bufs: Vec<Vec<Code>>,
+}
+
+/// Reader-thread body for the sharded file scan: verify + decode the
+/// extents of `range` locally, count into a private shard, and buffer
+/// memory-tee rows for range-order concatenation.
+fn shard_reader_loop(
+    layout: ExtentLayout,
+    range: std::ops::Range<u64>,
+    shared: Arc<Shared>,
+    tee_nodes: Vec<usize>,
+) -> MwResult<ShardReaderResult> {
+    let mut reader = ExtentReader::open(&layout)?;
+    let dispatch = Dispatch::new(shared.specs.iter().map(|s| &s.pred));
+    let mut state = ShardState::new(shared.specs.len());
+    let mut io = WorkerScanStats::default();
+    let mut block: Vec<Code> = Vec::new();
+    let mut tee_bufs: Vec<Vec<Code>> = tee_nodes.iter().map(|_| Vec::new()).collect();
+    let row_bytes = (shared.arity * CODE_BYTES) as u64;
+    for k in range {
+        reader.read_extent(k, &mut block, &mut io)?;
+        for row in block.chunks_exact(shared.arity) {
+            state.count_row(row, &dispatch, &shared);
+            for (t, &i) in tee_nodes.iter().enumerate() {
+                if shared.tee_cancel[i].load(Ordering::Relaxed) {
+                    if !tee_bufs[t].is_empty() {
                         shared
-                            .cc_reserved
-                            .fetch_sub(shards[idx].memory_bytes(), Ordering::Relaxed);
-                        shards[idx] = CountsTable::new();
-                        dropped[idx] = true;
+                            .buffer_bytes
+                            .fetch_sub((tee_bufs[t].len() * CODE_BYTES) as u64, Ordering::Relaxed);
+                        tee_bufs[t] = Vec::new();
                     }
                     continue;
                 }
-                let spec = &shared.specs[idx];
-                if !spec.pred.eval(row) {
+                if !shared.specs[i].pred.eval(row) {
                     continue;
                 }
-                let before = shards[idx].entries();
-                shards[idx].add_row(row, &spec.attrs, spec.class_col);
-                let grew = (shards[idx].entries() - before) as u64 * CC_ENTRY_BYTES;
-                if grew == 0 {
-                    continue;
-                }
-                shared.cc_reserved.fetch_add(grew, Ordering::Relaxed);
-                if shared.memory_in_use() <= shared.budget {
-                    continue;
-                }
-                // Counting pressure: cached data first, then the switch.
-                if !shared.relieve_pressure() {
-                    shared.fallback[idx].store(true, Ordering::Relaxed);
+                tee_bufs[t].extend_from_slice(row);
+                shared.buffer_bytes.fetch_add(row_bytes, Ordering::Relaxed);
+                if shared.memory_in_use() > shared.budget {
+                    // Staging is best-effort: cancel this node's memory
+                    // tee everywhere rather than evicting counts.
+                    shared.tee_cancel[i].store(true, Ordering::Relaxed);
                     shared
-                        .cc_reserved
-                        .fetch_sub(shards[idx].memory_bytes(), Ordering::Relaxed);
-                    shards[idx] = CountsTable::new();
-                    dropped[idx] = true;
+                        .buffer_bytes
+                        .fetch_sub((tee_bufs[t].len() * CODE_BYTES) as u64, Ordering::Relaxed);
+                    tee_bufs[t] = Vec::new();
                 }
             }
         }
     }
-    WorkerResult { shards, rows }
+    Ok(ShardReaderResult {
+        result: state.into_result(),
+        io,
+        tee_bufs,
+    })
+}
+
+/// The spawned channel pipeline: a bounded block channel plus its worker
+/// threads. Spawned lazily on the first block so a batch that goes down
+/// the sharded-reader path never pays for idle channel workers.
+struct Pipeline {
+    tx: Sender<Vec<Code>>,
+    workers: Vec<JoinHandle<WorkerResult>>,
+}
+
+/// Everything a sharded file scan produced, staged for the deterministic
+/// merge in [`ParallelScan::finish`].
+struct ShardOutcome {
+    /// Per-reader results in extent-range (== worker-index) order.
+    results: Vec<WorkerResult>,
+    /// Per tee node: the readers' buffered rows, range order.
+    tees: Vec<(usize, Vec<Vec<Code>>)>,
 }
 
 /// Coordinator state for one parallel counting pass. Owns the
@@ -187,8 +323,10 @@ fn worker_loop(rx: Receiver<Vec<Code>>, shared: Arc<Shared>) -> WorkerResult {
 pub struct ParallelScan {
     batch: BatchCounter,
     shared: Arc<Shared>,
-    tx: Option<Sender<Vec<Code>>>,
-    workers: Vec<JoinHandle<WorkerResult>>,
+    /// Requested worker count (threads spawn lazily).
+    workers_target: usize,
+    pipeline: Option<Pipeline>,
+    sharded: Option<ShardOutcome>,
     /// Block under construction (flat codes).
     block: Vec<Code>,
     block_codes: usize,
@@ -202,7 +340,10 @@ pub struct ParallelScan {
 }
 
 impl ParallelScan {
-    /// Spin up `workers` counting threads for this batch.
+    /// Prepare a parallel pass with `workers` counting threads. Threads
+    /// are not spawned until rows arrive: the channel pipeline spins up on
+    /// the first full block, and [`ParallelScan::scan_extent_file`] spawns
+    /// reader threads instead, never the channel.
     pub fn new(mut batch: BatchCounter, workers: usize, block_rows: usize) -> Self {
         let specs = batch
             .nodes
@@ -214,6 +355,7 @@ impl ParallelScan {
             })
             .collect();
         let fallback = batch.nodes.iter().map(|_| AtomicBool::new(false)).collect();
+        let tee_cancel = batch.nodes.iter().map(|_| AtomicBool::new(false)).collect();
         let shared = Arc::new(Shared {
             specs,
             arity: batch.arity,
@@ -222,19 +364,10 @@ impl ParallelScan {
             cc_reserved: AtomicU64::new(0),
             buffer_bytes: AtomicU64::new(0),
             fallback,
+            tee_cancel,
             evictable: Mutex::new(std::mem::take(&mut batch.evictable)),
             evicted: Mutex::new(Vec::new()),
         });
-        // Two blocks of headroom per worker: enough to keep everyone busy,
-        // small enough that backpressure kicks in within milliseconds.
-        let (tx, rx) = bounded(workers * 2);
-        let handles = (0..workers)
-            .map(|_| {
-                let rx = rx.clone();
-                let shared = Arc::clone(&shared);
-                std::thread::spawn(move || worker_loop(rx, shared))
-            })
-            .collect();
         let tee_nodes = batch
             .nodes
             .iter()
@@ -250,8 +383,9 @@ impl ParallelScan {
         ParallelScan {
             batch,
             shared,
-            tx: Some(tx),
-            workers: handles,
+            workers_target: workers.max(1),
+            pipeline: None,
+            sharded: None,
             block: Vec::with_capacity(block_codes),
             block_codes,
             tee_nodes,
@@ -260,6 +394,103 @@ impl ParallelScan {
             blocks_sent: 0,
             started: Instant::now(),
         }
+    }
+
+    fn spawn_pipeline(shared: &Arc<Shared>, workers: usize) -> Pipeline {
+        // Two blocks of headroom per worker: enough to keep everyone busy,
+        // small enough that backpressure kicks in within milliseconds.
+        let (tx, rx) = bounded(workers * 2);
+        let workers = (0..workers)
+            .map(|_| {
+                let rx = rx.clone();
+                let shared = Arc::clone(shared);
+                std::thread::spawn(move || worker_loop(rx, shared))
+            })
+            .collect();
+        Pipeline { tx, workers }
+    }
+
+    /// Can this batch be served by sharded extent readers? Memory tees
+    /// shard cleanly (per-range buffers concatenate in range order), but a
+    /// file tee needs one ordered stream, so those batches — and the
+    /// hybrid split file — keep the channel pipeline.
+    pub fn can_shard(&self) -> bool {
+        self.pipeline.is_none()
+            && self.sharded.is_none()
+            && self.rows_sent == 0
+            && self.batch.split_writer.is_none()
+            && self.batch.nodes.iter().all(|n| n.file_writer.is_none())
+    }
+
+    /// Scan an extent-format staging file with per-worker reader threads:
+    /// each owns a disjoint contiguous extent range, decodes locally, and
+    /// counts into its own shard — no producer thread, no channel hop.
+    /// Returns per-reader I/O counters (range order); the counting results
+    /// are merged by [`ParallelScan::finish`] exactly like channel shards.
+    pub fn scan_extent_file(&mut self, layout: &ExtentLayout) -> MwResult<Vec<WorkerScanStats>> {
+        debug_assert!(self.can_shard());
+        let extents = layout.extents;
+        let n = self.workers_target.min(extents.max(1) as usize).max(1);
+        let base = extents / n as u64;
+        let rem = (extents % n as u64) as usize;
+        let mut handles = Vec::with_capacity(n);
+        let mut start = 0u64;
+        for w in 0..n {
+            let len = base + u64::from(w < rem);
+            let range = start..start + len;
+            start += len;
+            let layout = layout.clone();
+            let shared = Arc::clone(&self.shared);
+            let tees = self.tee_nodes.clone();
+            handles.push(std::thread::spawn(move || {
+                shard_reader_loop(layout, range, shared, tees)
+            }));
+        }
+        let mut io = Vec::with_capacity(n);
+        let mut results = Vec::with_capacity(n);
+        let mut tee_cols: Vec<Vec<Vec<Code>>> = self.tee_nodes.iter().map(|_| Vec::new()).collect();
+        let mut first_err: Option<MwError> = None;
+        // Join every reader (even after an error — no detached threads
+        // holding the file), keep the first failure.
+        for h in handles {
+            match h.join() {
+                Err(_) => {
+                    if first_err.is_none() {
+                        first_err = Some(MwError::Internal("extent reader panicked".into()));
+                    }
+                }
+                Ok(Err(e)) => {
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                }
+                Ok(Ok(r)) => {
+                    io.push(r.io);
+                    results.push(r.result);
+                    for (t, buf) in r.tee_bufs.into_iter().enumerate() {
+                        tee_cols[t].push(buf);
+                    }
+                }
+            }
+        }
+        if let Some(e) = first_err {
+            return Err(e);
+        }
+        // The 16-byte file header was read once (layout detection); charge
+        // it to reader 0 so per-worker bytes sum to the file size.
+        match io.first_mut() {
+            Some(w0) => w0.read_bytes += FILE_HEADER_BYTES,
+            None => io.push(WorkerScanStats {
+                read_bytes: FILE_HEADER_BYTES,
+                ..WorkerScanStats::default()
+            }),
+        }
+        self.rows_sent += results.iter().map(|r| r.rows).sum::<u64>();
+        self.sharded = Some(ShardOutcome {
+            results,
+            tees: self.tee_nodes.iter().copied().zip(tee_cols).collect(),
+        });
+        Ok(io)
     }
 
     /// Feed one source row: tee it where staging demands, then hand it to
@@ -323,25 +554,57 @@ impl ParallelScan {
         }
         let block = std::mem::replace(&mut self.block, Vec::with_capacity(self.block_codes));
         self.blocks_sent += 1;
-        self.tx
-            .as_ref()
-            .expect("channel open until finish")
+        let workers = self.workers_target;
+        let shared = &self.shared;
+        self.pipeline
+            .get_or_insert_with(|| Self::spawn_pipeline(shared, workers))
+            .tx
             .send(block)
             .map_err(|_| MwError::Internal("scan worker pool disconnected".into()))
     }
 
-    /// Close the pipeline: drain the last block, join the workers, merge
-    /// their shards deterministically, and restore the serial memory model
-    /// on the returned [`BatchCounter`].
+    /// Close the pass: drain the last block, join whichever workers ran
+    /// (channel or sharded readers), merge their shards deterministically,
+    /// and restore the serial memory model on the returned
+    /// [`BatchCounter`].
     pub fn finish(mut self, stats: &mut MiddlewareStats) -> MwResult<BatchCounter> {
         self.flush_block()?;
-        drop(self.tx.take()); // disconnect → workers drain and exit
-        let mut results = Vec::with_capacity(self.workers.len());
-        for handle in self.workers.drain(..) {
-            let r = handle
-                .join()
-                .map_err(|_| MwError::Internal("scan worker panicked".into()))?;
-            results.push(r);
+        let mut results = Vec::new();
+        if let Some(pipe) = self.pipeline.take() {
+            drop(pipe.tx); // disconnect → workers drain and exit
+            for handle in pipe.workers {
+                let r = handle
+                    .join()
+                    .map_err(|_| MwError::Internal("scan worker panicked".into()))?;
+                results.push(r);
+            }
+        }
+        let sharded_tees = self.sharded.take().map(|outcome| {
+            // Reader shards joined in extent-range order slot in exactly
+            // like channel workers; the merge below stays index-ordered.
+            results.extend(outcome.results);
+            outcome.tees
+        });
+        if let Some(tees) = sharded_tees {
+            for (i, bufs) in tees {
+                if self.shared.tee_cancel[i].load(Ordering::Relaxed) {
+                    // Some reader overflowed the budget mid-scan; release
+                    // whatever buffers survived and drop the tee, exactly
+                    // the serial path's best-effort cancellation.
+                    let bytes: u64 = bufs.iter().map(|b| (b.len() * CODE_BYTES) as u64).sum();
+                    self.shared.buffer_bytes.fetch_sub(bytes, Ordering::Relaxed);
+                    self.batch.nodes[i].mem_buffer = None;
+                } else {
+                    // Concatenating per-range buffers in range order is the
+                    // file order, i.e. the exact bytes the serial tee
+                    // would have buffered.
+                    let mut merged = Vec::with_capacity(bufs.iter().map(Vec::len).sum());
+                    for b in bufs {
+                        merged.extend_from_slice(&b);
+                    }
+                    self.batch.nodes[i].mem_buffer = Some(merged);
+                }
+            }
         }
         let mut worker_rows_max = 0u64;
         for r in &results {
@@ -444,6 +707,20 @@ impl RowSink {
                 batch.process_row(row, stats)
             }
             RowSink::Parallel(scan) => scan.process_row(row),
+        }
+    }
+
+    /// Serve an extent-format staging file with sharded reader threads, if
+    /// this pass is parallel and the batch's tees allow it. Returns the
+    /// per-reader I/O counters on success, `None` when the caller should
+    /// fall back to feeding rows through [`RowSink::process_row`].
+    pub fn try_scan_extents(
+        &mut self,
+        layout: &ExtentLayout,
+    ) -> MwResult<Option<Vec<WorkerScanStats>>> {
+        match self {
+            RowSink::Parallel(scan) if scan.can_shard() => Ok(Some(scan.scan_extent_file(layout)?)),
+            _ => Ok(None),
         }
     }
 
@@ -620,6 +897,95 @@ mod tests {
         assert!(stats.pressure_evictions >= 1);
         assert!(batch.evicted.contains(&9), "popped from the end first");
         assert_eq!(batch.nodes[0].cc.total(), 200);
+    }
+
+    /// Stage `data` into an extent-format file with `extent_rows` per
+    /// extent; returns the manager (keeps the temp dir alive) and layout.
+    fn staged_layout(
+        data: &[[Code; 3]],
+        extent_rows: usize,
+    ) -> (crate::staging::StagingManager, crate::staging::ExtentLayout) {
+        use crate::request::NodeId;
+        let mut staging = crate::staging::StagingManager::new(None).unwrap();
+        staging.set_extent_rows(extent_rows);
+        let mut stats = MiddlewareStats::new();
+        let mut w = staging
+            .start_file(vec![NodeId(0)], Pred::True, ARITY)
+            .unwrap();
+        for r in data {
+            w.push(r).unwrap();
+        }
+        let id = staging.commit_file(w, &mut stats).unwrap();
+        let layout = staging.extent_layout(id).unwrap().expect("extent format");
+        (staging, layout)
+    }
+
+    #[test]
+    fn sharded_extent_scan_matches_serial_counts() {
+        let data = rows(1000, 13);
+        let serial = run(1, 0, &data);
+        // 37 rows per extent deliberately doesn't divide 1000.
+        let (_staging, layout) = staged_layout(&data, 37);
+        for workers in [2usize, 3, 5, 8] {
+            let batch = BatchCounter::new(nodes(), u64::MAX, 0, ARITY);
+            let mut scan = ParallelScan::new(batch, workers, 64);
+            assert!(scan.can_shard());
+            let io = scan.scan_extent_file(&layout).unwrap();
+            assert!(io.len() > 1, "{workers} workers actually sharded");
+            let disk = std::fs::metadata(&layout.path).unwrap().len();
+            assert_eq!(
+                io.iter().map(|w| w.read_bytes).sum::<u64>(),
+                disk,
+                "per-reader bytes sum to the file size"
+            );
+            assert_eq!(io.iter().map(|w| w.rows).sum::<u64>(), 1000);
+            let mut st = MiddlewareStats::new();
+            let par = scan.finish(&mut st).unwrap();
+            assert_eq!(st.scan_rows, 1000);
+            for (s, p) in serial.nodes.iter().zip(&par.nodes) {
+                assert_eq!(s.cc, p.cc, "{workers} sharded readers");
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_mem_tee_reproduces_serial_byte_order() {
+        let data = rows(500, 41);
+        let (_staging, layout) = staged_layout(&data, 19);
+        let mut ns = nodes();
+        ns[1].mem_buffer = Some(Vec::new()); // tee node 1 (a == 0)
+        let batch = BatchCounter::new(ns, u64::MAX, 0, ARITY);
+        let mut scan = ParallelScan::new(batch, 4, 64);
+        assert!(scan.can_shard(), "memory tees shard fine");
+        scan.scan_extent_file(&layout).unwrap();
+        let mut st = MiddlewareStats::new();
+        let batch = scan.finish(&mut st).unwrap();
+        let expected: Vec<Code> = data
+            .iter()
+            .filter(|r| r[0] == 0)
+            .flat_map(|r| r.iter().copied())
+            .collect();
+        assert_eq!(
+            batch.nodes[1].mem_buffer.as_deref(),
+            Some(expected.as_slice()),
+            "range-order concatenation is file order"
+        );
+        assert_eq!(batch.buffer_bytes, (expected.len() * CODE_BYTES) as u64);
+    }
+
+    #[test]
+    fn file_tees_keep_the_channel_pipeline() {
+        use crate::request::NodeId;
+        let mut staging = crate::staging::StagingManager::new(None).unwrap();
+        let mut ns = nodes();
+        ns[1].file_writer = Some(
+            staging
+                .start_file(vec![NodeId(1)], Pred::Eq { col: 0, value: 0 }, ARITY)
+                .unwrap(),
+        );
+        let batch = BatchCounter::new(ns, u64::MAX, 0, ARITY);
+        let scan = ParallelScan::new(batch, 4, 64);
+        assert!(!scan.can_shard(), "file tee needs one ordered stream");
     }
 
     #[test]

@@ -30,6 +30,10 @@ pub struct ScheduledNode {
     pub req: CcRequest,
     /// Estimated counts-table footprint (Est_cc, §4.2.1) in bytes.
     pub est_cc_bytes: u64,
+    /// Estimated relevant-data footprint (`rows × row width`) in bytes —
+    /// lets the executor pre-size staging buffers instead of growing them
+    /// row by row under the sharded readers' shared byte accounting.
+    pub est_data_bytes: u64,
     /// Write this node's rows to a new middleware file during the scan.
     pub stage_file: bool,
     /// Buffer this node's rows into middleware memory during the scan.
@@ -156,9 +160,11 @@ pub fn schedule(
     for (i, req) in pending.drain(..).enumerate() {
         if take[i] {
             let est = est_cc_bytes_kind(&req, nclasses, config.estimator);
+            let est_data = data_bytes(req.rows, arity);
             scheduled.push(ScheduledNode {
                 req,
                 est_cc_bytes: est,
+                est_data_bytes: est_data,
                 stage_file: false,
                 stage_mem: false,
             });

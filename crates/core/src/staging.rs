@@ -9,18 +9,82 @@
 //! predicate selects the subset), and is reclaimed once no pending request
 //! descends from any member.
 
+use crate::config::DEFAULT_EXTENT_ROWS;
 use crate::error::{MwError, MwResult};
-use crate::metrics::MiddlewareStats;
+use crate::metrics::{MiddlewareStats, WorkerScanStats};
 use crate::request::{CcRequest, DataLocation, Lineage, NodeId};
 use scaleclass_sqldb::types::{Code, CODE_BYTES};
 use scaleclass_sqldb::Pred;
 use std::collections::HashMap;
 use std::fs::{self, File};
-use std::io::{BufReader, BufWriter, Read, Write};
+use std::io::{BufReader, BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
 
 static STAGE_DIR_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+// ---------------------------------------------------------------------------
+// Extent file format (version 2)
+//
+// Staged files are written as a 16-byte file header followed by a sequence
+// of fixed-size *extents* so that reader threads can each own a disjoint
+// extent range (the offset of extent `k` is computable — only the final
+// extent may hold fewer than `extent_rows` rows).
+//
+//   file header (16 B): magic "SCXT" | version u32 LE | arity u32 LE
+//                       | extent_rows u32 LE
+//   extent  header (8 B): nrows u32 LE | extent index u32 LE
+//   extent payload      : for each column c in 0..arity, nrows × Code u16 LE
+//                         (columnar within the extent — decode transposes
+//                         back to rows; the layout sets up SIMD counting)
+//   extent  footer (8 B): CRC32(payload) u32 LE | nrows u32 LE (again)
+//
+// Files written before this format exist as bare row-major LE codes with
+// no header; `ExtentLayout::detect` recognises them (no magic) and callers
+// fall back to the legacy `FileScan`.
+// ---------------------------------------------------------------------------
+
+/// Magic prefix of extent-format staged files.
+pub const EXTENT_MAGIC: [u8; 4] = *b"SCXT";
+/// Format version stamped in the file header (1 was the headerless
+/// row-major layout; it is detected by the *absence* of the magic).
+pub const EXTENT_VERSION: u32 = 2;
+/// Bytes of the per-file header.
+pub const FILE_HEADER_BYTES: u64 = 16;
+/// Bytes of per-extent framing (8 header + 8 footer).
+pub const EXTENT_OVERHEAD_BYTES: u64 = 16;
+
+/// CRC-32 (IEEE 802.3, poly 0xEDB88320) lookup table, built at compile
+/// time — the repo deliberately takes no external crates.
+static CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 (IEEE) of `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = CRC32_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
 
 /// A staged middleware file of fixed-width rows.
 ///
@@ -87,6 +151,9 @@ pub struct StagingManager {
     file_of: HashMap<NodeId, u64>,
     /// Memory set owned by each node.
     mem_of: HashMap<NodeId, u64>,
+    /// Rows per extent for files written from now on (existing files keep
+    /// the extent size recorded in their header).
+    extent_rows: usize,
 }
 
 impl StagingManager {
@@ -116,12 +183,18 @@ impl StagingManager {
             mem: HashMap::new(),
             file_of: HashMap::new(),
             mem_of: HashMap::new(),
+            extent_rows: DEFAULT_EXTENT_ROWS,
         })
     }
 
     /// Where staged files live.
     pub fn staging_dir(&self) -> &Path {
         &self.dir
+    }
+
+    /// Set rows-per-extent for subsequently written files (min 1).
+    pub fn set_extent_rows(&mut self, rows: usize) {
+        self.extent_rows = rows.clamp(1, 1 << 20);
     }
 
     fn next_id(&mut self) -> u64 {
@@ -174,18 +247,29 @@ impl StagingManager {
         arity: usize,
     ) -> MwResult<FileWriter> {
         debug_assert!(!members.is_empty());
+        debug_assert!(arity >= 1 && arity <= u32::MAX as usize);
         let id = self.next_id();
         let path = self.dir.join(format!("stage_{id}.rows"));
         let file = File::create(&path)?;
+        let mut out = BufWriter::new(file);
+        out.write_all(&EXTENT_MAGIC)?;
+        out.write_all(&EXTENT_VERSION.to_le_bytes())?;
+        out.write_all(&(arity as u32).to_le_bytes())?;
+        out.write_all(&(self.extent_rows as u32).to_le_bytes())?;
         Ok(FileWriter {
             id,
             members,
             pred,
             path,
             arity,
+            extent_rows: self.extent_rows,
             nrows: 0,
             bytes: 0,
-            out: BufWriter::new(file),
+            physical_bytes: FILE_HEADER_BYTES,
+            extent_index: 0,
+            buf: Vec::new(),
+            col_buf: Vec::new(),
+            out,
         })
     }
 
@@ -195,9 +279,10 @@ impl StagingManager {
     /// file" operation.
     pub fn commit_file(
         &mut self,
-        writer: FileWriter,
+        mut writer: FileWriter,
         stats: &mut MiddlewareStats,
     ) -> MwResult<u64> {
+        writer.finish()?;
         let FileWriter {
             id,
             members,
@@ -206,13 +291,15 @@ impl StagingManager {
             arity,
             nrows,
             bytes,
-            mut out,
+            physical_bytes,
+            out,
+            ..
         } = writer;
-        out.flush()?;
         drop(out);
         stats.files_created += 1;
         stats.file_rows_written += nrows;
         stats.file_bytes_written += bytes;
+        stats.file_bytes_physical_written += physical_bytes;
         for &m in &members {
             if let Some(old_id) = self.file_of.insert(m, id) {
                 let emptied = {
@@ -300,13 +387,42 @@ impl StagingManager {
         }
     }
 
-    /// Open a staged file for reading.
-    pub fn open_file(&self, id: u64) -> MwResult<FileScan> {
+    /// Open a staged file for reading. Extent-format files get a verified
+    /// [`ExtentScan`]; headerless files from before the format get the
+    /// legacy [`FileScan`] (with a length check — a short legacy file used
+    /// to silently yield fewer rows).
+    pub fn open_file(&self, id: u64) -> MwResult<StagedScan> {
         let f = self
             .files
             .get(&id)
             .ok_or_else(|| MwError::Internal(format!("no staged file {id}")))?;
-        FileScan::open(&f.path, f.arity)
+        match ExtentLayout::detect(&f.path, f.arity, f.nrows)? {
+            Some(layout) => Ok(StagedScan::Extent(ExtentScan::open(&layout)?)),
+            None => {
+                let len = fs::metadata(&f.path)?.len();
+                let expect = f.nrows * (f.arity * CODE_BYTES) as u64;
+                if len != expect {
+                    return Err(MwError::Corrupt(format!(
+                        "{}: legacy staged file is {len} bytes, expected {expect} \
+                         ({} rows × {} cols)",
+                        f.path.display(),
+                        f.nrows,
+                        f.arity
+                    )));
+                }
+                Ok(StagedScan::Legacy(FileScan::open(&f.path, f.arity)?))
+            }
+        }
+    }
+
+    /// The extent layout of a staged file, or `None` for legacy row-major
+    /// files (which cannot be read-sharded).
+    pub fn extent_layout(&self, id: u64) -> MwResult<Option<ExtentLayout>> {
+        let f = self
+            .files
+            .get(&id)
+            .ok_or_else(|| MwError::Internal(format!("no staged file {id}")))?;
+        ExtentLayout::detect(&f.path, f.arity, f.nrows)
     }
 
     /// The cheapest staged dataset usable by a node: walk its lineage and
@@ -404,7 +520,9 @@ impl Drop for StagingManager {
     }
 }
 
-/// Incremental writer for one staged file.
+/// Incremental writer for one staged file in the extent format: rows are
+/// buffered until a full extent accumulates, then transposed into columnar
+/// blocks and framed with the header/CRC footer.
 #[derive(Debug)]
 pub struct FileWriter {
     id: u64,
@@ -412,8 +530,17 @@ pub struct FileWriter {
     pred: Pred,
     path: PathBuf,
     arity: usize,
+    extent_rows: usize,
     nrows: u64,
+    /// Payload bytes (`rows × row width`) — format-independent.
     bytes: u64,
+    /// On-disk bytes including file header and extent framing.
+    physical_bytes: u64,
+    extent_index: u32,
+    /// Row-major rows of the extent being accumulated.
+    buf: Vec<Code>,
+    /// Reusable columnar serialization buffer.
+    col_buf: Vec<u8>,
     out: BufWriter<File>,
 }
 
@@ -421,11 +548,44 @@ impl FileWriter {
     /// Append one row.
     pub fn push(&mut self, row: &[Code]) -> MwResult<()> {
         debug_assert_eq!(row.len(), self.arity);
-        for &code in row {
-            self.out.write_all(&code.to_le_bytes())?;
-        }
+        self.buf.extend_from_slice(row);
         self.nrows += 1;
         self.bytes += (self.arity * CODE_BYTES) as u64;
+        if self.buf.len() >= self.extent_rows * self.arity {
+            self.flush_extent()?;
+        }
+        Ok(())
+    }
+
+    /// Write the buffered rows (if any) as one extent.
+    fn flush_extent(&mut self) -> MwResult<()> {
+        let nrows = self.buf.len() / self.arity;
+        if nrows == 0 {
+            return Ok(());
+        }
+        self.col_buf.clear();
+        for c in 0..self.arity {
+            for r in 0..nrows {
+                self.col_buf
+                    .extend_from_slice(&self.buf[r * self.arity + c].to_le_bytes());
+            }
+        }
+        let crc = crc32(&self.col_buf);
+        self.out.write_all(&(nrows as u32).to_le_bytes())?;
+        self.out.write_all(&self.extent_index.to_le_bytes())?;
+        self.out.write_all(&self.col_buf)?;
+        self.out.write_all(&crc.to_le_bytes())?;
+        self.out.write_all(&(nrows as u32).to_le_bytes())?;
+        self.physical_bytes += EXTENT_OVERHEAD_BYTES + self.col_buf.len() as u64;
+        self.extent_index += 1;
+        self.buf.clear();
+        Ok(())
+    }
+
+    /// Flush the partial tail extent and the OS buffer.
+    fn finish(&mut self) -> MwResult<()> {
+        self.flush_extent()?;
+        self.out.flush()?;
         Ok(())
     }
 
@@ -447,6 +607,7 @@ impl FileWriter {
 
 /// Streaming reader over a staged file (fixed 64 KiB buffer — staged files
 /// are scanned, never loaded, so middleware memory stays honest).
+#[derive(Debug)]
 pub struct FileScan {
     reader: BufReader<File>,
     arity: usize,
@@ -483,6 +644,336 @@ impl FileScan {
     /// Bytes per row (for I/O accounting).
     pub fn row_bytes(&self) -> u64 {
         (self.arity * CODE_BYTES) as u64
+    }
+}
+
+/// Validated geometry of an extent-format staged file: everything a reader
+/// thread needs to seek straight to its extent range without coordination.
+///
+/// Built by [`ExtentLayout::detect`], which verifies the file header and
+/// that the file length decomposes exactly into whole extents (all
+/// full-sized except possibly the last) totalling the registered row
+/// count — so truncation is caught at open time, before any row is served.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExtentLayout {
+    /// On-disk location (each reader opens its own handle).
+    pub path: PathBuf,
+    /// Codes per row.
+    pub arity: usize,
+    /// Rows per full extent (from the file header).
+    pub extent_rows: usize,
+    /// Total rows in the file.
+    pub nrows: u64,
+    /// Number of extents.
+    pub extents: u64,
+    /// Rows in the final extent (== `extent_rows` unless the row count
+    /// doesn't divide evenly; 0 only when the file has no extents).
+    pub last_rows: usize,
+}
+
+impl ExtentLayout {
+    /// Inspect the file at `path`. Returns `Ok(None)` for legacy headerless
+    /// row-major files, `Ok(Some(layout))` for a well-formed extent file,
+    /// and [`MwError::Corrupt`] when the magic matches but the version,
+    /// arity, or length don't add up.
+    pub fn detect(path: &Path, arity: usize, expected_rows: u64) -> MwResult<Option<Self>> {
+        let mut file = File::open(path)?;
+        let file_len = file.metadata()?.len();
+        if file_len < FILE_HEADER_BYTES {
+            return Ok(None);
+        }
+        let mut header = [0u8; FILE_HEADER_BYTES as usize];
+        file.read_exact(&mut header)?;
+        if header[0..4] != EXTENT_MAGIC {
+            return Ok(None);
+        }
+        let version = u32::from_le_bytes(header[4..8].try_into().unwrap());
+        if version != EXTENT_VERSION {
+            return Err(MwError::Corrupt(format!(
+                "{}: unsupported extent format version {version}",
+                path.display()
+            )));
+        }
+        let file_arity = u32::from_le_bytes(header[8..12].try_into().unwrap()) as usize;
+        if file_arity != arity {
+            return Err(MwError::Corrupt(format!(
+                "{}: header says {file_arity} columns, catalog says {arity}",
+                path.display()
+            )));
+        }
+        let extent_rows = u32::from_le_bytes(header[12..16].try_into().unwrap()) as usize;
+        if extent_rows == 0 {
+            return Err(MwError::Corrupt(format!(
+                "{}: header declares zero rows per extent",
+                path.display()
+            )));
+        }
+        let row_bytes = (arity * CODE_BYTES) as u64;
+        let full_extent = EXTENT_OVERHEAD_BYTES + extent_rows as u64 * row_bytes;
+        let body = file_len - FILE_HEADER_BYTES;
+        let full = body / full_extent;
+        let rem = body % full_extent;
+        let (extents, last_rows) = if rem == 0 {
+            (full, if full == 0 { 0 } else { extent_rows })
+        } else {
+            if rem < EXTENT_OVERHEAD_BYTES + row_bytes
+                || (rem - EXTENT_OVERHEAD_BYTES) % row_bytes != 0
+            {
+                return Err(MwError::Corrupt(format!(
+                    "{}: trailing {rem} bytes are not a whole extent (truncated?)",
+                    path.display()
+                )));
+            }
+            (
+                full + 1,
+                ((rem - EXTENT_OVERHEAD_BYTES) / row_bytes) as usize,
+            )
+        };
+        let total = if rem == 0 {
+            full * extent_rows as u64
+        } else {
+            full * extent_rows as u64 + last_rows as u64
+        };
+        if total != expected_rows {
+            return Err(MwError::Corrupt(format!(
+                "{}: layout holds {total} rows but {expected_rows} were staged (truncated?)",
+                path.display()
+            )));
+        }
+        Ok(Some(ExtentLayout {
+            path: path.to_path_buf(),
+            arity,
+            extent_rows,
+            nrows: expected_rows,
+            extents,
+            last_rows,
+        }))
+    }
+
+    /// Rows in extent `k`.
+    pub fn rows_in_extent(&self, k: u64) -> usize {
+        debug_assert!(k < self.extents);
+        if k + 1 == self.extents {
+            self.last_rows
+        } else {
+            self.extent_rows
+        }
+    }
+
+    /// Byte offset of extent `k` — computable because every extent before
+    /// the last is full-sized.
+    pub fn extent_offset(&self, k: u64) -> u64 {
+        let row_bytes = (self.arity * CODE_BYTES) as u64;
+        FILE_HEADER_BYTES + k * (EXTENT_OVERHEAD_BYTES + self.extent_rows as u64 * row_bytes)
+    }
+
+    /// On-disk bytes of extent `k` (framing + payload).
+    pub fn extent_physical_bytes(&self, k: u64) -> u64 {
+        EXTENT_OVERHEAD_BYTES + (self.rows_in_extent(k) * self.arity * CODE_BYTES) as u64
+    }
+
+    /// Total file size implied by the layout (equals the on-disk length).
+    pub fn total_physical_bytes(&self) -> u64 {
+        if self.extents == 0 {
+            FILE_HEADER_BYTES
+        } else {
+            self.extent_offset(self.extents - 1) + self.extent_physical_bytes(self.extents - 1)
+        }
+    }
+}
+
+/// Random-access extent reader. Each reader owns its own file handle, so
+/// `scan_workers` of them can decode disjoint extent ranges concurrently.
+#[derive(Debug)]
+pub struct ExtentReader {
+    file: File,
+    layout: ExtentLayout,
+    byte_buf: Vec<u8>,
+}
+
+impl ExtentReader {
+    /// Open a reader over a validated layout.
+    pub fn open(layout: &ExtentLayout) -> MwResult<Self> {
+        Ok(ExtentReader {
+            file: File::open(&layout.path)?,
+            layout: layout.clone(),
+            byte_buf: Vec::new(),
+        })
+    }
+
+    /// The layout this reader serves.
+    pub fn layout(&self) -> &ExtentLayout {
+        &self.layout
+    }
+
+    /// Read and verify extent `k`, decoding its columnar payload into
+    /// row-major codes in `out` (cleared first). Returns the row count.
+    /// I/O bytes, decode time, rows, and extent count accrue to `stats`.
+    pub fn read_extent(
+        &mut self,
+        k: u64,
+        out: &mut Vec<Code>,
+        stats: &mut WorkerScanStats,
+    ) -> MwResult<usize> {
+        let nrows = self.layout.rows_in_extent(k);
+        let phys = self.layout.extent_physical_bytes(k) as usize;
+        self.byte_buf.resize(phys, 0);
+        self.file
+            .seek(SeekFrom::Start(self.layout.extent_offset(k)))?;
+        self.file.read_exact(&mut self.byte_buf).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                MwError::Corrupt(format!(
+                    "{}: extent {k} truncated mid-read",
+                    self.layout.path.display()
+                ))
+            } else {
+                e.into()
+            }
+        })?;
+        stats.read_bytes += phys as u64;
+        let t0 = Instant::now();
+        let hdr_rows = u32::from_le_bytes(self.byte_buf[0..4].try_into().unwrap());
+        let hdr_idx = u32::from_le_bytes(self.byte_buf[4..8].try_into().unwrap());
+        if hdr_rows as usize != nrows || hdr_idx as u64 != k {
+            return Err(MwError::Corrupt(format!(
+                "{}: extent {k} header says index {hdr_idx} / {hdr_rows} rows, \
+                 layout says index {k} / {nrows} rows",
+                self.layout.path.display()
+            )));
+        }
+        let payload_end = 8 + nrows * self.layout.arity * CODE_BYTES;
+        let payload = &self.byte_buf[8..payload_end];
+        let ftr_crc = u32::from_le_bytes(
+            self.byte_buf[payload_end..payload_end + 4]
+                .try_into()
+                .unwrap(),
+        );
+        let ftr_rows = u32::from_le_bytes(
+            self.byte_buf[payload_end + 4..payload_end + 8]
+                .try_into()
+                .unwrap(),
+        );
+        if ftr_rows != hdr_rows {
+            return Err(MwError::Corrupt(format!(
+                "{}: extent {k} footer row count {ftr_rows} != header {hdr_rows}",
+                self.layout.path.display()
+            )));
+        }
+        let actual_crc = crc32(payload);
+        if actual_crc != ftr_crc {
+            return Err(MwError::Corrupt(format!(
+                "{}: extent {k} CRC mismatch (stored {ftr_crc:#010x}, computed {actual_crc:#010x})",
+                self.layout.path.display()
+            )));
+        }
+        let arity = self.layout.arity;
+        out.clear();
+        out.resize(nrows * arity, 0);
+        for c in 0..arity {
+            let col = &payload[c * nrows * CODE_BYTES..(c + 1) * nrows * CODE_BYTES];
+            for r in 0..nrows {
+                out[r * arity + c] =
+                    Code::from_le_bytes([col[r * CODE_BYTES], col[r * CODE_BYTES + 1]]);
+            }
+        }
+        stats.decode_ns += t0.elapsed().as_nanos() as u64;
+        stats.rows += nrows as u64;
+        stats.extents += 1;
+        Ok(nrows)
+    }
+}
+
+/// Serial row cursor over an extent-format file: decodes one extent at a
+/// time and serves rows from it, tracking [`WorkerScanStats`] as reader 0.
+#[derive(Debug)]
+pub struct ExtentScan {
+    reader: ExtentReader,
+    next_extent: u64,
+    rows: Vec<Code>,
+    cursor: usize,
+    stats: WorkerScanStats,
+}
+
+impl ExtentScan {
+    /// Open a serial scan over a validated layout.
+    pub fn open(layout: &ExtentLayout) -> MwResult<Self> {
+        Ok(ExtentScan {
+            reader: ExtentReader::open(layout)?,
+            next_extent: 0,
+            rows: Vec::new(),
+            cursor: 0,
+            stats: WorkerScanStats {
+                // The 16-byte file header was read during layout detection;
+                // charge it here so per-worker bytes sum to the file size.
+                read_bytes: FILE_HEADER_BYTES,
+                ..WorkerScanStats::default()
+            },
+        })
+    }
+
+    /// Read the next row into `out` (cleared first). Returns `false` at EOF.
+    pub fn next_row(&mut self, out: &mut Vec<Code>) -> MwResult<bool> {
+        let arity = self.reader.layout().arity;
+        while self.cursor >= self.rows.len() {
+            if self.next_extent >= self.reader.layout().extents {
+                return Ok(false);
+            }
+            let k = self.next_extent;
+            self.reader
+                .read_extent(k, &mut self.rows, &mut self.stats)?;
+            self.next_extent += 1;
+            self.cursor = 0;
+        }
+        out.clear();
+        out.extend_from_slice(&self.rows[self.cursor..self.cursor + arity]);
+        self.cursor += arity;
+        Ok(true)
+    }
+
+    /// Bytes per row (payload accounting, same as the legacy scan).
+    pub fn row_bytes(&self) -> u64 {
+        (self.reader.layout().arity * CODE_BYTES) as u64
+    }
+
+    /// I/O + decode counters accumulated so far.
+    pub fn worker_stats(&self) -> WorkerScanStats {
+        self.stats
+    }
+}
+
+/// A row cursor over a staged file, whichever format it is in.
+#[derive(Debug)]
+pub enum StagedScan {
+    /// Extent-format file (verified, columnar).
+    Extent(ExtentScan),
+    /// Pre-extent headerless row-major file.
+    Legacy(FileScan),
+}
+
+impl StagedScan {
+    /// Read the next row into `out` (cleared first). Returns `false` at EOF.
+    pub fn next_row(&mut self, out: &mut Vec<Code>) -> MwResult<bool> {
+        match self {
+            StagedScan::Extent(s) => s.next_row(out),
+            StagedScan::Legacy(s) => s.next_row(out),
+        }
+    }
+
+    /// Bytes per row (for I/O accounting).
+    pub fn row_bytes(&self) -> u64 {
+        match self {
+            StagedScan::Extent(s) => s.row_bytes(),
+            StagedScan::Legacy(s) => s.row_bytes(),
+        }
+    }
+
+    /// Per-reader physical I/O counters (`None` for legacy files, which
+    /// predate the accounting).
+    pub fn worker_stats(&self) -> Option<WorkerScanStats> {
+        match self {
+            StagedScan::Extent(s) => Some(s.worker_stats()),
+            StagedScan::Legacy(_) => None,
+        }
     }
 }
 
@@ -689,6 +1180,161 @@ mod tests {
         m.abort_file(w);
         assert!(!path.exists());
         assert_eq!(m.file_count(), 0);
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // The canonical IEEE CRC-32 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    /// Stage `n` rows of arity 3 with `extent_rows` per extent; return
+    /// (manager, file id, stats).
+    fn staged(n: u16, extent_rows: usize) -> (StagingManager, u64, MiddlewareStats) {
+        let mut m = mgr();
+        m.set_extent_rows(extent_rows);
+        let mut stats = MiddlewareStats::new();
+        let mut w = m.start_file(vec![NodeId(0)], Pred::True, 3).unwrap();
+        for i in 0..n {
+            w.push(&[i, i.wrapping_add(1), i.wrapping_mul(3)]).unwrap();
+        }
+        let id = m.commit_file(w, &mut stats).unwrap();
+        (m, id, stats)
+    }
+
+    fn read_all(scan: &mut StagedScan) -> Vec<Vec<Code>> {
+        let mut rows = Vec::new();
+        let mut row = Vec::new();
+        while scan.next_row(&mut row).unwrap() {
+            rows.push(row.clone());
+        }
+        rows
+    }
+
+    #[test]
+    fn extent_file_round_trip_with_partial_tail() {
+        let (m, id, stats) = staged(10, 4);
+        let layout = m.extent_layout(id).unwrap().expect("extent format");
+        assert_eq!(layout.extents, 3);
+        assert_eq!(layout.rows_in_extent(0), 4);
+        assert_eq!(layout.rows_in_extent(2), 2);
+        assert_eq!(layout.nrows, 10);
+
+        let mut scan = m.open_file(id).unwrap();
+        let rows = read_all(&mut scan);
+        assert_eq!(rows.len(), 10);
+        assert_eq!(rows[0], vec![0, 1, 0]);
+        assert_eq!(rows[9], vec![9, 10, 27]);
+
+        // Physical accounting matches the bytes actually on disk; logical
+        // payload accounting is format-independent.
+        let disk = fs::metadata(&m.file(id).unwrap().path).unwrap().len();
+        assert_eq!(stats.file_bytes_physical_written, disk);
+        assert_eq!(layout.total_physical_bytes(), disk);
+        assert_eq!(stats.file_bytes_written, 10 * 3 * CODE_BYTES as u64);
+
+        // A full scan's reader stats cover every byte of the file.
+        let ws = scan.worker_stats().expect("extent scan has stats");
+        assert_eq!(ws.read_bytes, disk);
+        assert_eq!(ws.rows, 10);
+        assert_eq!(ws.extents, 3);
+    }
+
+    #[test]
+    fn empty_extent_file_yields_no_rows() {
+        let (m, id, _) = staged(0, 4);
+        let layout = m.extent_layout(id).unwrap().expect("extent format");
+        assert_eq!(layout.extents, 0);
+        assert_eq!(layout.total_physical_bytes(), FILE_HEADER_BYTES);
+        let mut scan = m.open_file(id).unwrap();
+        assert!(read_all(&mut scan).is_empty());
+    }
+
+    #[test]
+    fn truncated_extent_file_fails_with_corrupt() {
+        // Chop 5 bytes off the tail: the length no longer decomposes.
+        let (m, id, _) = staged(10, 4);
+        let path = m.file(id).unwrap().path.clone();
+        let len = fs::metadata(&path).unwrap().len();
+        let f = fs::OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(len - 5).unwrap();
+        drop(f);
+        assert!(matches!(m.open_file(id), Err(MwError::Corrupt(_))));
+
+        // Chop off exactly the final (partial, 2-row) extent: the length
+        // decomposes cleanly but the row total disagrees with the catalog.
+        let f = fs::OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(len - (EXTENT_OVERHEAD_BYTES + 2 * 3 * CODE_BYTES as u64))
+            .unwrap();
+        drop(f);
+        match m.open_file(id) {
+            Err(MwError::Corrupt(msg)) => assert!(msg.contains("truncated"), "{msg}"),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupted_extent_payload_fails_crc() {
+        let (m, id, _) = staged(10, 4);
+        let path = m.file(id).unwrap().path.clone();
+        let mut bytes = fs::read(&path).unwrap();
+        // Flip a bit inside the first extent's payload (after the 16-byte
+        // file header and 8-byte extent header).
+        let target = FILE_HEADER_BYTES as usize + 8 + 3;
+        bytes[target] ^= 0x40;
+        fs::write(&path, &bytes).unwrap();
+
+        // The layout is still well-formed, so open succeeds…
+        let mut scan = m.open_file(id).unwrap();
+        let mut row = Vec::new();
+        // …but serving a row from the damaged extent fails the CRC.
+        match scan.next_row(&mut row) {
+            Err(MwError::Corrupt(msg)) => assert!(msg.contains("CRC"), "{msg}"),
+            other => panic!("expected Corrupt(CRC), got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn legacy_row_major_files_still_load() {
+        let (m, id, _) = staged(10, 4);
+        let path = m.file(id).unwrap().path.clone();
+        // Overwrite with the pre-extent layout: bare row-major LE codes.
+        let mut legacy = Vec::new();
+        for i in 0..10u16 {
+            for code in [i, i.wrapping_add(1), i.wrapping_mul(3)] {
+                legacy.extend_from_slice(&code.to_le_bytes());
+            }
+        }
+        fs::write(&path, &legacy).unwrap();
+
+        assert!(m.extent_layout(id).unwrap().is_none(), "detected as legacy");
+        let mut scan = m.open_file(id).unwrap();
+        assert!(scan.worker_stats().is_none(), "legacy scans have no stats");
+        let rows = read_all(&mut scan);
+        assert_eq!(rows.len(), 10);
+        assert_eq!(rows[9], vec![9, 10, 27]);
+
+        // A short legacy file is rejected instead of silently under-reading.
+        fs::write(&path, &legacy[..legacy.len() - 6]).unwrap();
+        assert!(matches!(m.open_file(id), Err(MwError::Corrupt(_))));
+    }
+
+    #[test]
+    fn extent_reader_serves_random_access() {
+        let (m, id, _) = staged(10, 4);
+        let layout = m.extent_layout(id).unwrap().unwrap();
+        let mut r = ExtentReader::open(&layout).unwrap();
+        let mut out = Vec::new();
+        let mut ws = WorkerScanStats::default();
+        // Read the middle extent directly (rows 4..8).
+        assert_eq!(r.read_extent(1, &mut out, &mut ws).unwrap(), 4);
+        assert_eq!(&out[0..3], &[4, 5, 12]);
+        assert_eq!(ws.extents, 1);
+        assert_eq!(ws.read_bytes, layout.extent_physical_bytes(1));
+        // Then the tail extent, out of order (rows 8..10).
+        assert_eq!(r.read_extent(2, &mut out, &mut ws).unwrap(), 2);
+        assert_eq!(&out[3..6], &[9, 10, 27]);
     }
 
     #[test]

@@ -278,11 +278,13 @@ proptest! {
 
 /// Project the logical (deterministic) counters out of a stats record:
 /// everything except pipeline-shape counters (`parallel_scans`,
-/// `scan_blocks`, `scan_worker_rows_max` legitimately differ between
-/// worker counts) and wall-clock timing (`scan_nanos`).
+/// `sharded_file_scans`, `scan_blocks`, `scan_worker_rows_max`
+/// legitimately differ between worker counts) and wall-clock timing
+/// (`scan_nanos`).
 fn logical(s: &MiddlewareStats) -> MiddlewareStats {
     MiddlewareStats {
         parallel_scans: 0,
+        sharded_file_scans: 0,
         scan_blocks: 0,
         scan_nanos: 0,
         scan_worker_rows_max: 0,
@@ -322,6 +324,59 @@ proptest! {
                 "logical stats diverged at {} workers",
                 workers
             );
+        }
+    }
+
+    /// SATELLITE PROPERTY: the extent-sharded file scan — where each
+    /// reader thread owns a disjoint extent range and decodes locally —
+    /// is bit-identical to the serial `FileScan` path for any worker
+    /// count in 2..8 and extent sizes chosen so the last extent is
+    /// partial (they don't divide the row count evenly). Run both with
+    /// memory caching off (pure file scans) and on (sharded readers also
+    /// produce the memory tee, whose byte order must match serial).
+    #[test]
+    fn extent_sharded_file_scan_bit_identical(
+        rows in rows_strategy(),
+        workers in 2usize..8,
+        extent_rows in prop::sample::select(vec![3usize, 7, 13, 31, 61]),
+    ) {
+        for caching in [false, true] {
+            let build = || {
+                MiddlewareConfig::builder()
+                    .file_policy(FileStagingPolicy::Singleton)
+                    .memory_caching(caching)
+                    .stage_extent_rows(extent_rows)
+            };
+            let serial_cfg = build().scan_workers(1).build();
+            let sharded_cfg = build().scan_workers(workers).build();
+            let (serial_cc, serial_stats) = drive(&rows, serial_cfg);
+            let (sharded_cc, sharded_stats) = drive(&rows, sharded_cfg);
+            prop_assert_eq!(
+                &sharded_cc,
+                &serial_cc,
+                "counts diverged: {} workers, extent_rows {}, caching {}",
+                workers,
+                extent_rows,
+                caching
+            );
+            prop_assert_eq!(
+                logical(&sharded_stats),
+                logical(&serial_stats),
+                "logical stats diverged: {} workers, extent_rows {}, caching {}",
+                workers,
+                extent_rows,
+                caching
+            );
+            if !caching {
+                // With memory caching off every staged-data scan is
+                // file-backed, so the sharded reader path must engage.
+                prop_assert!(
+                    sharded_stats.sharded_file_scans > 0,
+                    "sharded path never ran ({} workers, extent_rows {})",
+                    workers,
+                    extent_rows
+                );
+            }
         }
     }
 
