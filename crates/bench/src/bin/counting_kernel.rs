@@ -1,0 +1,287 @@
+//! CC counting-kernel throughput bench: sparse BTreeMap vs. dense
+//! flat-array backend.
+//!
+//! Two experiments over a >= 500k-row synthetic table, written to
+//! `results/BENCH_counting_kernel.json`:
+//!
+//! 1. **Raw kernel** — one `CountsTable` per backend fed the identical
+//!    row stream through `add_row` (the only data-touching operation).
+//!    This isolates the per-row counting cost from scans, channels, and
+//!    scheduling, so the dense-over-sparse speedup here is
+//!    host-independent; the bench asserts it is >= 2x.
+//! 2. **Middleware sweep** — the root CC batch answered end-to-end with
+//!    the dense cap forced on vs. off (`cc_dense_max_bytes` 4 MiB vs. 0)
+//!    at `scan_workers` in {1, 2, 4}. Throughput is `scan_rows /
+//!    scan_nanos` from the middleware's own counters; `kernel_nanos`
+//!    (parallel workers only) shows how much of the scan is the counting
+//!    loop proper.
+//!
+//! End-to-end speedups include scan and decode overheads and depend on
+//! the host — the JSON records `host_cores` so single-core numbers are
+//! not mistaken for the multi-core result.
+
+use scaleclass::{CountsTable, Middleware, MiddlewareConfig, NodeId};
+use scaleclass_bench::workloads::scan_bench_workload;
+use std::time::Instant;
+
+const TARGET_ROWS: usize = 500_000;
+const ITERATIONS: usize = 3;
+const WORKER_SWEEP: [usize; 3] = [1, 2, 4];
+const DENSE_CAP: u64 = 4 << 20;
+
+struct KernelLeg {
+    backend: &'static str,
+    wall_secs: f64,
+    rows: u64,
+    entries: usize,
+    physical_bytes: u64,
+}
+
+impl KernelLeg {
+    fn rows_per_sec(&self) -> f64 {
+        if self.wall_secs == 0.0 {
+            return 0.0;
+        }
+        self.rows as f64 / self.wall_secs
+    }
+}
+
+struct MwLeg {
+    backend: &'static str,
+    workers: usize,
+    wall_secs: f64,
+    scan_rows: u64,
+    scan_nanos: u64,
+    kernel_nanos: u64,
+    dense_nodes: u64,
+    sparse_nodes: u64,
+}
+
+impl MwLeg {
+    fn rows_per_sec(&self) -> f64 {
+        if self.scan_nanos == 0 {
+            return 0.0;
+        }
+        self.scan_rows as f64 * 1e9 / self.scan_nanos as f64
+    }
+}
+
+/// Time `add_row` over the whole table on one backend, best of
+/// `ITERATIONS`. `make` builds the (empty) table under test.
+fn run_kernel_leg(
+    workload: &scaleclass_bench::workloads::Workload,
+    backend: &'static str,
+    make: impl Fn() -> CountsTable,
+) -> KernelLeg {
+    let arity = workload.schema.arity();
+    let attrs: Vec<u16> = (0..arity as u16 - 1).collect();
+    let class_col = arity as u16 - 1;
+    let mut best: Option<KernelLeg> = None;
+    for _ in 0..ITERATIONS {
+        let mut cc = make();
+        let start = Instant::now();
+        for row in workload.rows.chunks_exact(arity) {
+            cc.add_row(row, &attrs, class_col);
+        }
+        let wall_secs = start.elapsed().as_secs_f64();
+        assert_eq!(cc.total(), workload.nrows() as u64);
+        let leg = KernelLeg {
+            backend,
+            wall_secs,
+            rows: workload.nrows() as u64,
+            entries: cc.entries(),
+            physical_bytes: cc.physical_bytes(),
+        };
+        if best
+            .as_ref()
+            .map(|b| leg.wall_secs < b.wall_secs)
+            .unwrap_or(true)
+        {
+            best = Some(leg);
+        }
+    }
+    best.unwrap()
+}
+
+/// Answer the root CC batch end-to-end with the dense cap set to `cap`,
+/// best of `ITERATIONS`.
+fn run_mw_leg(
+    workload: &scaleclass_bench::workloads::Workload,
+    backend: &'static str,
+    cap: u64,
+    workers: usize,
+) -> MwLeg {
+    let mut best: Option<MwLeg> = None;
+    for _ in 0..ITERATIONS {
+        let db = workload.clone().into_db("t");
+        let cfg = MiddlewareConfig::builder()
+            .scan_workers(workers)
+            .cc_dense_max_bytes(cap)
+            .build();
+        let mut mw = Middleware::new(db, "t", &workload.class_column, cfg).unwrap();
+        mw.enqueue(mw.root_request(NodeId(0))).unwrap();
+        let start = Instant::now();
+        let results = mw.process_next_batch().unwrap();
+        let wall_secs = start.elapsed().as_secs_f64();
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].cc.total(), workload.nrows() as u64);
+        assert_eq!(results[0].cc.is_dense(), cap > 0, "wrong backend engaged");
+        let s = mw.stats();
+        let leg = MwLeg {
+            backend,
+            workers,
+            wall_secs,
+            scan_rows: s.scan_rows,
+            scan_nanos: s.scan_nanos,
+            kernel_nanos: s.kernel_nanos,
+            dense_nodes: s.dense_nodes,
+            sparse_nodes: s.sparse_nodes,
+        };
+        if best
+            .as_ref()
+            .map(|b| leg.wall_secs < b.wall_secs)
+            .unwrap_or(true)
+        {
+            best = Some(leg);
+        }
+    }
+    best.unwrap()
+}
+
+fn main() {
+    let workload = scan_bench_workload(TARGET_ROWS);
+    let nrows = workload.nrows();
+    let arity = workload.schema.arity();
+    let host_cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    eprintln!(
+        "{} ({} rows, {:.1} MB), host cores: {host_cores}",
+        workload.description,
+        nrows,
+        workload.data_mb()
+    );
+
+    // Raw kernel: same rows, same attrs, two backends.
+    let attr_cards: Vec<(u16, u64)> = (0..arity as u16 - 1)
+        .map(|a| {
+            (
+                a,
+                u64::from(workload.schema.column(a as usize).cardinality()),
+            )
+        })
+        .collect();
+    let n_classes = u64::from(workload.schema.column(arity - 1).cardinality());
+    let sparse = run_kernel_leg(&workload, "sparse", CountsTable::new);
+    let dense = run_kernel_leg(&workload, "dense", || {
+        let cc = CountsTable::new_dense(&attr_cards, n_classes);
+        assert!(cc.is_dense(), "workload must be dense-eligible");
+        cc
+    });
+    assert_eq!(
+        sparse.entries, dense.entries,
+        "backends disagree on entries"
+    );
+    let kernel_speedup = dense.rows_per_sec() / sparse.rows_per_sec();
+    eprintln!(
+        "raw add_row kernel ({} attrs x {n_classes} classes):",
+        arity - 1
+    );
+    for leg in [&sparse, &dense] {
+        eprintln!(
+            "  {}: {:.2}M rows/s (wall {:.3}s, {} entries, {} physical bytes)",
+            leg.backend,
+            leg.rows_per_sec() / 1e6,
+            leg.wall_secs,
+            leg.entries,
+            leg.physical_bytes
+        );
+    }
+    eprintln!("  speedup (dense vs sparse): {kernel_speedup:.2}x");
+    assert!(
+        kernel_speedup >= 2.0,
+        "dense kernel must be >= 2x sparse, got {kernel_speedup:.2}x"
+    );
+
+    // Middleware sweep: backend x worker count.
+    eprintln!("middleware root batch (backend x scan_workers):");
+    let mut mw_legs: Vec<MwLeg> = Vec::new();
+    for &(backend, cap) in &[("sparse", 0u64), ("dense", DENSE_CAP)] {
+        for &w in &WORKER_SWEEP {
+            let leg = run_mw_leg(&workload, backend, cap, w);
+            eprintln!(
+                "  {} scan_workers={}: {:.2}M rows/s (wall {:.3}s, kernel {:.1} ms, {} dense / {} sparse nodes)",
+                leg.backend,
+                leg.workers,
+                leg.rows_per_sec() / 1e6,
+                leg.wall_secs,
+                leg.kernel_nanos as f64 / 1e6,
+                leg.dense_nodes,
+                leg.sparse_nodes
+            );
+            mw_legs.push(leg);
+        }
+    }
+    let mw_speedup = |backend: &str, w: usize| {
+        mw_legs
+            .iter()
+            .find(|l| l.backend == backend && l.workers == w)
+            .unwrap()
+            .rows_per_sec()
+    };
+    let e2e_speedup = mw_speedup("dense", 1) / mw_speedup("sparse", 1);
+    eprintln!("  end-to-end speedup (dense vs sparse, serial): {e2e_speedup:.2}x");
+
+    let mw_leg_json: Vec<String> = mw_legs
+        .iter()
+        .map(|leg| {
+            format!(
+                r#"    {{ "backend": "{b}", "scan_workers": {w}, "rows_per_sec": {rps:.0}, "wall_secs": {wall:.4}, "scan_rows": {rows}, "kernel_nanos": {kn}, "dense_nodes": {dn}, "sparse_nodes": {sn} }}"#,
+                b = leg.backend,
+                w = leg.workers,
+                rps = leg.rows_per_sec(),
+                wall = leg.wall_secs,
+                rows = leg.scan_rows,
+                kn = leg.kernel_nanos,
+                dn = leg.dense_nodes,
+                sn = leg.sparse_nodes,
+            )
+        })
+        .collect();
+
+    let json = format!(
+        r#"{{
+  "bench": "counting_kernel",
+  "workload": "{desc}",
+  "rows": {nrows},
+  "arity": {arity},
+  "host_cores": {host_cores},
+  "iterations_best_of": {iters},
+  "note": "kernel legs time add_row alone and are host-independent; middleware legs use scan_rows / scan_nanos from middleware counters — parallel-worker speedups on a {host_cores}-core host need a multi-core re-run",
+  "kernel_legs": [
+    {{ "backend": "sparse", "rows_per_sec": {s_rps:.0}, "wall_secs": {s_wall:.4}, "entries": {s_ent}, "physical_bytes": {s_phys} }},
+    {{ "backend": "dense", "rows_per_sec": {d_rps:.0}, "wall_secs": {d_wall:.4}, "entries": {d_ent}, "physical_bytes": {d_phys} }}
+  ],
+  "kernel_speedup_dense_over_sparse": {kernel_speedup:.3},
+  "middleware_legs": [
+{mw_legs}
+  ],
+  "middleware_speedup_dense_over_sparse_serial": {e2e_speedup:.3}
+}}
+"#,
+        desc = workload.description,
+        iters = ITERATIONS,
+        s_rps = sparse.rows_per_sec(),
+        s_wall = sparse.wall_secs,
+        s_ent = sparse.entries,
+        s_phys = sparse.physical_bytes,
+        d_rps = dense.rows_per_sec(),
+        d_wall = dense.wall_secs,
+        d_ent = dense.entries,
+        d_phys = dense.physical_bytes,
+        mw_legs = mw_leg_json.join(",\n"),
+    );
+    let out = std::path::Path::new("results/BENCH_counting_kernel.json");
+    std::fs::write(out, &json).unwrap();
+    println!("wrote {}", out.display());
+}

@@ -7,29 +7,239 @@
 //! *only* operation that touches the data; all split scoring is computed
 //! from it.
 //!
-//! As in the paper's implementation (§5), counts are kept in an ordered
-//! tree keyed by `(attr, value, class)`, so retrieving the vector of counts
-//! for one attribute is a contiguous range read.
+//! Two physical representations back the same logical table:
+//!
+//! * **Sparse** — an ordered tree keyed by `(attr, value, class)`, as in
+//!   the paper's implementation (§5). Handles arbitrary cardinalities;
+//!   every `add_row` pays one `BTreeMap::entry` tree walk per attribute.
+//! * **Dense** — when the attribute and class cardinalities are known (the
+//!   scheduler takes them from the schema), counts live in one flat
+//!   `Vec<u64>` indexed by `offset[attr] + value * n_classes + class`, so
+//!   `add_row` is a handful of array increments and merging two
+//!   same-layout shards is a vector add. Any out-of-range code spills the
+//!   table back to the sparse form, entry for entry, so the dense path is
+//!   an invisible fast path rather than a semantic variant.
+//!
+//! The *modelled* memory footprint is entry-based (`CC_ENTRY_BYTES` ×
+//! occupied slots, tracked by an occupancy counter) in **both**
+//! representations: the §4.1.1 budget fallback, pressure eviction, and
+//! scheduler accounting fire at exactly the same rows regardless of the
+//! backend. Property tests in `tests/props.rs` pin this bit-identity.
 
 use crate::request::DataLocation;
 use scaleclass_sqldb::Code;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Modelled in-memory footprint of one counts-table entry: a 6-byte key,
 /// an 8-byte count, and balanced-tree node overhead, rounded to the figure
 /// the scheduler budgets with.
 ///
 /// Deterministic by design — the experiments sweep the memory budget and
-/// must not depend on allocator details.
+/// must not depend on allocator details (or on which physical
+/// representation holds the counts).
 pub const CC_ENTRY_BYTES: u64 = 48;
+
+/// Physical bytes one dense slot occupies (`u64` count).
+const DENSE_SLOT_BYTES: u64 = 8;
 
 /// Key of one counts-table entry.
 pub type CcKey = (u16, Code, Code); // (attr column, value, class)
 
+/// Physical footprint of a dense counts array over attributes with the
+/// given value cardinalities: `Σ card × n_classes` slots of 8 bytes. The
+/// scheduler compares this against `cc_dense_max_bytes` to decide the
+/// backend; saturating so absurd cardinalities simply disqualify.
+pub fn dense_physical_bytes(cards: impl IntoIterator<Item = u64>, n_classes: u64) -> u64 {
+    cards
+        .into_iter()
+        .fold(0u64, |acc, card| {
+            acc.saturating_add(card.saturating_mul(n_classes))
+        })
+        .saturating_mul(DENSE_SLOT_BYTES)
+}
+
+/// The immutable slot geometry of a dense counts array, shared (via `Arc`)
+/// by every shard of a parallel scan so layout equality is a pointer check.
+#[derive(Debug, PartialEq, Eq)]
+struct DenseLayout {
+    /// Tracked attribute columns, ascending (iteration order).
+    attrs: Vec<u16>,
+    /// First slot of each tracked attribute (aligned with `attrs`).
+    offsets: Vec<u32>,
+    /// Value cardinality (exclusive code bound) per tracked attribute.
+    cards: Vec<u32>,
+    /// Column id → index into `attrs`/`offsets`/`cards`; `u16::MAX` marks
+    /// an untracked column.
+    col_index: Vec<u16>,
+    /// Class cardinality (exclusive class-code bound).
+    n_classes: u32,
+    /// Total slots.
+    slots: u32,
+}
+
+impl DenseLayout {
+    /// Build a layout, or `None` when the geometry doesn't fit the dense
+    /// form (no classes, too many attrs, or slot count beyond `u32`).
+    fn build(attr_cards: &[(u16, u64)], n_classes: u64) -> Option<DenseLayout> {
+        if n_classes == 0 || n_classes > u32::MAX as u64 || attr_cards.len() >= u16::MAX as usize {
+            return None;
+        }
+        let n_classes = n_classes as u32;
+        let mut sorted: Vec<(u16, u64)> = attr_cards.to_vec();
+        sorted.sort_unstable_by_key(|&(a, _)| a);
+        sorted.dedup_by_key(|&mut (a, _)| a);
+        let mut attrs = Vec::with_capacity(sorted.len());
+        let mut offsets = Vec::with_capacity(sorted.len());
+        let mut cards = Vec::with_capacity(sorted.len());
+        let mut next: u32 = 0;
+        for &(attr, card) in &sorted {
+            let card = u32::try_from(card).ok()?;
+            let span = card.checked_mul(n_classes)?;
+            attrs.push(attr);
+            offsets.push(next);
+            cards.push(card);
+            next = next.checked_add(span)?;
+        }
+        let max_col = attrs.iter().copied().max().map_or(0, |a| a as usize + 1);
+        let mut col_index = vec![u16::MAX; max_col];
+        for (i, &attr) in attrs.iter().enumerate() {
+            col_index[attr as usize] = i as u16;
+        }
+        Some(DenseLayout {
+            attrs,
+            offsets,
+            cards,
+            col_index,
+            n_classes,
+            slots: next,
+        })
+    }
+
+    /// Index of `attr` in the tracked set, if tracked.
+    #[inline]
+    fn attr_index(&self, attr: u16) -> Option<usize> {
+        match self.col_index.get(attr as usize) {
+            Some(&i) if i != u16::MAX => Some(i as usize),
+            _ => None,
+        }
+    }
+}
+
+/// Dense counts: one flat slot array over a shared layout, plus the
+/// occupancy counter that keeps the modelled memory entry-based.
+#[derive(Debug, Clone)]
+struct DenseCounts {
+    layout: Arc<DenseLayout>,
+    slots: Vec<u64>,
+    /// Non-zero slots — the "entries" the scheduler's memory model counts.
+    occupied: usize,
+}
+
+impl DenseCounts {
+    fn new(layout: Arc<DenseLayout>) -> DenseCounts {
+        let n = layout.slots as usize;
+        DenseCounts {
+            layout,
+            slots: vec![0; n],
+            occupied: 0,
+        }
+    }
+
+    /// Count one row. Returns `false` — without touching any slot — when a
+    /// code falls outside the layout (caller spills to sparse and
+    /// re-counts); the check-then-increment split keeps the operation
+    /// all-or-nothing so no partial increments survive a spill.
+    #[inline]
+    fn add_row(&mut self, row: &[Code], attrs: &[u16], class: Code) -> bool {
+        let l = &*self.layout;
+        let class = class as u32;
+        if class >= l.n_classes {
+            return false;
+        }
+        for &attr in attrs {
+            match l.attr_index(attr) {
+                Some(i) if (row[attr as usize] as u32) < l.cards[i] => {}
+                _ => return false,
+            }
+        }
+        let mut newly = 0usize;
+        for &attr in attrs {
+            let i = l.col_index[attr as usize] as usize;
+            let slot = (l.offsets[i] + row[attr as usize] as u32 * l.n_classes + class) as usize;
+            let s = &mut self.slots[slot];
+            newly += (*s == 0) as usize;
+            *s += 1;
+        }
+        self.occupied += newly;
+        true
+    }
+
+    /// Add `n > 0` to one entry; `false` when the key is out of range.
+    #[inline]
+    fn bump(&mut self, attr: u16, value: Code, class: Code, n: u64) -> bool {
+        let l = &*self.layout;
+        let (value, class) = (value as u32, class as u32);
+        let Some(i) = l.attr_index(attr) else {
+            return false;
+        };
+        if value >= l.cards[i] || class >= l.n_classes {
+            return false;
+        }
+        let slot = (l.offsets[i] + value * l.n_classes + class) as usize;
+        self.occupied += (self.slots[slot] == 0) as usize;
+        self.slots[slot] += n;
+        true
+    }
+
+    #[inline]
+    fn get(&self, attr: u16, value: Code, class: Code) -> u64 {
+        let l = &*self.layout;
+        let (value, class) = (value as u32, class as u32);
+        match l.attr_index(attr) {
+            Some(i) if value < l.cards[i] && class < l.n_classes => {
+                self.slots[(l.offsets[i] + value * l.n_classes + class) as usize]
+            }
+            _ => 0,
+        }
+    }
+
+    /// The slot sub-slice of one tracked attribute.
+    fn attr_slots(&self, attr: u16) -> Option<&[u64]> {
+        let l = &*self.layout;
+        let i = l.attr_index(attr)?;
+        let start = l.offsets[i] as usize;
+        let span = (l.cards[i] * l.n_classes) as usize;
+        Some(&self.slots[start..start + span])
+    }
+
+    /// Non-zero entries in `(attr, value, class)` order.
+    fn entries(&self) -> Entries<'_> {
+        Entries(EntriesInner::Dense {
+            d: self,
+            attr_i: 0,
+            within: 0,
+        })
+    }
+}
+
+/// The physical backing of a counts table.
+#[derive(Debug, Clone)]
+enum CcRepr {
+    Sparse(BTreeMap<CcKey, u64>),
+    Dense(DenseCounts),
+}
+
+impl Default for CcRepr {
+    fn default() -> Self {
+        CcRepr::Sparse(BTreeMap::new())
+    }
+}
+
 /// A counts table for one tree node.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default)]
 pub struct CountsTable {
-    counts: BTreeMap<CcKey, u64>,
+    repr: CcRepr,
     /// Total rows counted (each row increments this once).
     total: u64,
     /// Rows per class value at this node.
@@ -37,9 +247,55 @@ pub struct CountsTable {
 }
 
 impl CountsTable {
-    /// An empty counts table.
+    /// An empty sparse counts table.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty dense counts table over the given `(attr column, value
+    /// cardinality)` pairs and class cardinality. Cardinalities are
+    /// *exclusive code bounds* — schema cardinalities, not the distinct
+    /// counts at some tree node. Falls back to a sparse table when the
+    /// geometry cannot be densified (zero classes, `u32` slot overflow).
+    pub fn new_dense(attr_cards: &[(u16, u64)], n_classes: u64) -> Self {
+        match DenseLayout::build(attr_cards, n_classes) {
+            Some(layout) => CountsTable {
+                repr: CcRepr::Dense(DenseCounts::new(Arc::new(layout))),
+                total: 0,
+                class_totals: BTreeMap::new(),
+            },
+            None => CountsTable::new(),
+        }
+    }
+
+    /// An empty table with the same representation (and, when dense, the
+    /// same shared layout) as `self` — how parallel scans mint per-worker
+    /// shards that later merge on the vector-add fast path.
+    pub fn fresh_like(&self) -> CountsTable {
+        match &self.repr {
+            CcRepr::Sparse(_) => CountsTable::new(),
+            CcRepr::Dense(d) => CountsTable {
+                repr: CcRepr::Dense(DenseCounts::new(Arc::clone(&d.layout))),
+                total: 0,
+                class_totals: BTreeMap::new(),
+            },
+        }
+    }
+
+    /// Is this table currently backed by the dense array?
+    pub fn is_dense(&self) -> bool {
+        matches!(self.repr, CcRepr::Dense(_))
+    }
+
+    /// Convert a dense table to the sparse form, entry for entry. No-op on
+    /// sparse tables. Occupancy equals map length, so the modelled memory
+    /// is unchanged.
+    fn spill_to_sparse(&mut self) {
+        if let CcRepr::Dense(d) = &self.repr {
+            let map: BTreeMap<CcKey, u64> = d.entries().collect();
+            debug_assert_eq!(map.len(), d.occupied);
+            self.repr = CcRepr::Sparse(map);
+        }
     }
 
     /// Count one data row: for every attribute column in `attrs`, record the
@@ -47,22 +303,45 @@ impl CountsTable {
     #[inline]
     pub fn add_row(&mut self, row: &[Code], attrs: &[u16], class_col: u16) {
         let class = row[class_col as usize];
-        for &attr in attrs {
-            *self
-                .counts
-                .entry((attr, row[attr as usize], class))
-                .or_insert(0) += 1;
+        if let CcRepr::Dense(d) = &mut self.repr {
+            if !d.add_row(row, attrs, class) {
+                self.spill_to_sparse();
+            }
+        }
+        if let CcRepr::Sparse(map) = &mut self.repr {
+            for &attr in attrs {
+                *map.entry((attr, row[attr as usize], class)).or_insert(0) += 1;
+            }
         }
         *self.class_totals.entry(class).or_insert(0) += 1;
         self.total += 1;
     }
 
+    /// Add `n` to one entry through whichever representation is active,
+    /// spilling to sparse when dense can't hold the key. Zero counts are
+    /// skipped — a zero-count entry carries no information and the dense
+    /// form cannot distinguish it from an empty slot.
+    fn bump(&mut self, attr: u16, value: Code, class: Code, n: u64) {
+        if n == 0 {
+            return;
+        }
+        if let CcRepr::Dense(d) = &mut self.repr {
+            if d.bump(attr, value, class, n) {
+                return;
+            }
+            self.spill_to_sparse();
+        }
+        if let CcRepr::Sparse(map) = &mut self.repr {
+            *map.entry((attr, value, class)).or_insert(0) += n;
+        }
+    }
+
     /// Record a pre-aggregated count (used when assembling a CC table from
     /// SQL GROUP BY results). Does **not** touch row totals; call
     /// [`CountsTable::set_totals_from_attr`] once after loading one full
-    /// attribute.
+    /// attribute. Zero counts are ignored.
     pub fn add_aggregate(&mut self, attr: u16, value: Code, class: Code, count: u64) {
-        *self.counts.entry((attr, value, class)).or_insert(0) += count;
+        self.bump(attr, value, class, count);
     }
 
     /// Record a pre-aggregated per-class row count (used when a node has no
@@ -76,13 +355,10 @@ impl CountsTable {
     /// attribute (every row has exactly one value per attribute, so one
     /// attribute's counts partition the node's rows).
     pub fn set_totals_from_attr(&mut self, attr: u16) {
+        let per_class: Vec<(Code, u64)> = self.attr_vector(attr).map(|(_, c, n)| (c, n)).collect();
         self.class_totals.clear();
         self.total = 0;
-        for (&(a, _v, class), &count) in self
-            .counts
-            .range((attr, 0, 0)..=(attr, Code::MAX, Code::MAX))
-        {
-            debug_assert_eq!(a, attr);
+        for (class, count) in per_class {
             *self.class_totals.entry(class).or_insert(0) += count;
             self.total += count;
         }
@@ -90,7 +366,10 @@ impl CountsTable {
 
     /// Count for one `(attr, value, class)` combination.
     pub fn count(&self, attr: u16, value: Code, class: Code) -> u64 {
-        self.counts.get(&(attr, value, class)).copied().unwrap_or(0)
+        match &self.repr {
+            CcRepr::Sparse(map) => map.get(&(attr, value, class)).copied().unwrap_or(0),
+            CcRepr::Dense(d) => d.get(attr, value, class),
+        }
     }
 
     /// Total rows at the node.
@@ -119,10 +398,20 @@ impl CountsTable {
     /// The counts vector for one attribute: `(value, class, count)` in
     /// `(value, class)` order — the paper's "vector of counts for the
     /// states of a class correlated with a particular attribute".
-    pub fn attr_vector(&self, attr: u16) -> impl Iterator<Item = (Code, Code, u64)> + '_ {
-        self.counts
-            .range((attr, 0, 0)..=(attr, Code::MAX, Code::MAX))
-            .map(|(&(_, v, c), &n)| (v, c, n))
+    pub fn attr_vector(&self, attr: u16) -> AttrVector<'_> {
+        AttrVector(match &self.repr {
+            CcRepr::Sparse(map) => {
+                AttrVecInner::Sparse(map.range((attr, 0, 0)..=(attr, Code::MAX, Code::MAX)))
+            }
+            CcRepr::Dense(d) => match d.attr_slots(attr) {
+                Some(slots) => AttrVecInner::Dense {
+                    slots,
+                    n_classes: d.layout.n_classes,
+                    i: 0,
+                },
+                None => AttrVecInner::Empty,
+            },
+        })
     }
 
     /// Distinct values of `attr` present at this node — `card(n, A)` of
@@ -143,10 +432,22 @@ impl CountsTable {
     /// (§4.2.1: "the data size of an active node can be calculated precisely
     /// from the count table of its parent").
     pub fn rows_with_value(&self, attr: u16, value: Code) -> u64 {
-        self.counts
-            .range((attr, value, 0)..=(attr, value, Code::MAX))
-            .map(|(_, &n)| n)
-            .sum()
+        match &self.repr {
+            CcRepr::Sparse(map) => map
+                .range((attr, value, 0)..=(attr, value, Code::MAX))
+                .map(|(_, &n)| n)
+                .sum(),
+            CcRepr::Dense(d) => {
+                let l = &*d.layout;
+                match l.attr_index(attr) {
+                    Some(i) if (value as u32) < l.cards[i] => {
+                        let start = (l.offsets[i] + value as u32 * l.n_classes) as usize;
+                        d.slots[start..start + l.n_classes as usize].iter().sum()
+                    }
+                    _ => 0,
+                }
+            }
+        }
     }
 
     /// Rows that would flow to the complement child `attr <> value`.
@@ -154,39 +455,187 @@ impl CountsTable {
         self.total - self.rows_with_value(attr, value)
     }
 
-    /// Number of stored entries.
+    /// Number of stored entries (non-zero slots when dense) — the unit of
+    /// the scheduler's memory model.
     pub fn entries(&self) -> usize {
-        self.counts.len()
+        match &self.repr {
+            CcRepr::Sparse(map) => map.len(),
+            CcRepr::Dense(d) => d.occupied,
+        }
     }
 
     /// Has nothing been counted yet?
     pub fn is_empty(&self) -> bool {
-        self.counts.is_empty() && self.total == 0
+        self.entries() == 0 && self.total == 0
     }
 
     /// Modelled memory footprint in bytes (deterministic; drives the
-    /// scheduler's memory accounting).
+    /// scheduler's memory accounting). Entry-based in both representations
+    /// so budget decisions are independent of the physical backend.
     pub fn memory_bytes(&self) -> u64 {
-        self.counts.len() as u64 * CC_ENTRY_BYTES
+        self.entries() as u64 * CC_ENTRY_BYTES
     }
 
-    /// Iterate all entries in `(attr, value, class)` order.
-    pub fn iter(&self) -> impl Iterator<Item = (CcKey, u64)> + '_ {
-        self.counts.iter().map(|(&k, &n)| (k, n))
+    /// Physical bytes the live representation holds (dense slot array vs.
+    /// modelled sparse entries) — reporting only, never budgeting.
+    pub fn physical_bytes(&self) -> u64 {
+        match &self.repr {
+            CcRepr::Sparse(map) => map.len() as u64 * CC_ENTRY_BYTES,
+            CcRepr::Dense(d) => d.slots.len() as u64 * DENSE_SLOT_BYTES,
+        }
+    }
+
+    /// Iterate all (non-zero) entries in `(attr, value, class)` order.
+    pub fn iter(&self) -> Entries<'_> {
+        match &self.repr {
+            CcRepr::Sparse(map) => Entries(EntriesInner::Sparse(map.iter())),
+            CcRepr::Dense(d) => d.entries(),
+        }
     }
 
     /// Absorb another counts table: entry-wise addition of counts, class
     /// totals, and row totals. Counting is additive, so the shards of a
     /// parallel scan merge — in any order — to exactly the table one
-    /// serial pass over the same rows would build.
+    /// serial pass over the same rows would build. Two dense tables over
+    /// the same shared layout merge as a single slot-wise vector add.
     pub fn merge(&mut self, other: CountsTable) {
-        for (key, n) in other.counts {
-            *self.counts.entry(key).or_insert(0) += n;
+        let CountsTable {
+            repr,
+            total,
+            class_totals,
+        } = other;
+        let slow = match (&mut self.repr, repr) {
+            (CcRepr::Dense(a), CcRepr::Dense(b))
+                if Arc::ptr_eq(&a.layout, &b.layout) || a.layout == b.layout =>
+            {
+                let mut newly = 0usize;
+                for (s, &o) in a.slots.iter_mut().zip(b.slots.iter()) {
+                    if o != 0 {
+                        newly += (*s == 0) as usize;
+                        *s += o;
+                    }
+                }
+                a.occupied += newly;
+                None
+            }
+            (_, repr) => Some(repr),
+        };
+        if let Some(repr) = slow {
+            match repr {
+                CcRepr::Sparse(map) => {
+                    for ((attr, value, class), n) in map {
+                        self.bump(attr, value, class, n);
+                    }
+                }
+                CcRepr::Dense(d) => {
+                    for ((attr, value, class), n) in d.entries() {
+                        self.bump(attr, value, class, n);
+                    }
+                }
+            }
         }
-        for (class, n) in other.class_totals {
+        for (class, n) in class_totals {
             *self.class_totals.entry(class).or_insert(0) += n;
         }
-        self.total += other.total;
+        self.total += total;
+    }
+}
+
+/// Equality is *logical*: same totals, same class distribution, same
+/// non-zero entries in key order — independent of the physical
+/// representation, so a dense-built table equals its sparse twin.
+impl PartialEq for CountsTable {
+    fn eq(&self, other: &Self) -> bool {
+        self.total == other.total
+            && self.class_totals == other.class_totals
+            && self
+                .iter()
+                .filter(|&(_, n)| n != 0)
+                .eq(other.iter().filter(|&(_, n)| n != 0))
+    }
+}
+
+impl Eq for CountsTable {}
+
+/// Iterator over a table's `(key, count)` entries in key order.
+pub struct Entries<'a>(EntriesInner<'a>);
+
+enum EntriesInner<'a> {
+    Sparse(std::collections::btree_map::Iter<'a, CcKey, u64>),
+    Dense {
+        d: &'a DenseCounts,
+        /// Index into `layout.attrs`.
+        attr_i: usize,
+        /// `value * n_classes + class` position within the current attr.
+        within: u32,
+    },
+}
+
+impl Iterator for Entries<'_> {
+    type Item = (CcKey, u64);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        match &mut self.0 {
+            EntriesInner::Sparse(it) => it.next().map(|(&k, &n)| (k, n)),
+            EntriesInner::Dense { d, attr_i, within } => {
+                let l = &*d.layout;
+                while *attr_i < l.attrs.len() {
+                    let span = l.cards[*attr_i] * l.n_classes;
+                    while *within < span {
+                        let pos = *within;
+                        *within += 1;
+                        let n = d.slots[(l.offsets[*attr_i] + pos) as usize];
+                        if n != 0 {
+                            let value = (pos / l.n_classes) as Code;
+                            let class = (pos % l.n_classes) as Code;
+                            return Some(((l.attrs[*attr_i], value, class), n));
+                        }
+                    }
+                    *attr_i += 1;
+                    *within = 0;
+                }
+                None
+            }
+        }
+    }
+}
+
+/// Iterator returned by [`CountsTable::attr_vector`].
+pub struct AttrVector<'a>(AttrVecInner<'a>);
+
+enum AttrVecInner<'a> {
+    Sparse(std::collections::btree_map::Range<'a, CcKey, u64>),
+    Dense {
+        slots: &'a [u64],
+        n_classes: u32,
+        i: u32,
+    },
+    Empty,
+}
+
+impl Iterator for AttrVector<'_> {
+    type Item = (Code, Code, u64);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        match &mut self.0 {
+            AttrVecInner::Sparse(range) => range.next().map(|(&(_, v, c), &n)| (v, c, n)),
+            AttrVecInner::Dense {
+                slots,
+                n_classes,
+                i,
+            } => {
+                while (*i as usize) < slots.len() {
+                    let pos = *i;
+                    *i += 1;
+                    let n = slots[pos as usize];
+                    if n != 0 {
+                        return Some(((pos / *n_classes) as Code, (pos % *n_classes) as Code, n));
+                    }
+                }
+                None
+            }
+            AttrVecInner::Empty => None,
+        }
     }
 }
 
@@ -211,6 +660,16 @@ mod tests {
     /// rows: (a0, a1, class) with attrs = [0, 1], class col 2.
     fn table_from(rows: &[[Code; 3]]) -> CountsTable {
         let mut cc = CountsTable::new();
+        for row in rows {
+            cc.add_row(row, &[0, 1], 2);
+        }
+        cc
+    }
+
+    /// Dense twin of `table_from`: both attrs card 4, two classes.
+    fn dense_from(rows: &[[Code; 3]]) -> CountsTable {
+        let mut cc = CountsTable::new_dense(&[(0, 4), (1, 4)], 2);
+        assert!(cc.is_dense());
         for row in rows {
             cc.add_row(row, &[0, 1], 2);
         }
@@ -306,5 +765,135 @@ mod tests {
         assert_eq!(cc.total(), 0);
         assert_eq!(cc.entries(), 0);
         assert_eq!(cc.attr_vector(0).count(), 0);
+    }
+
+    #[test]
+    fn dense_matches_sparse_on_every_accessor() {
+        let rows: Vec<[Code; 3]> = vec![
+            [0, 0, 0],
+            [0, 1, 0],
+            [1, 1, 1],
+            [0, 0, 1],
+            [2, 3, 1],
+            [3, 2, 0],
+            [2, 3, 1],
+        ];
+        let sparse = table_from(&rows);
+        let dense = dense_from(&rows);
+        assert!(dense.is_dense());
+        assert_eq!(dense, sparse);
+        assert_eq!(dense.total(), sparse.total());
+        assert_eq!(dense.entries(), sparse.entries());
+        assert_eq!(dense.memory_bytes(), sparse.memory_bytes());
+        assert_eq!(
+            dense.iter().collect::<Vec<_>>(),
+            sparse.iter().collect::<Vec<_>>()
+        );
+        for attr in [0u16, 1, 9] {
+            assert_eq!(
+                dense.attr_vector(attr).collect::<Vec<_>>(),
+                sparse.attr_vector(attr).collect::<Vec<_>>(),
+                "attr {attr}"
+            );
+            assert_eq!(dense.distinct_values(attr), sparse.distinct_values(attr));
+        }
+        for v in 0..4u16 {
+            assert_eq!(dense.rows_with_value(0, v), sparse.rows_with_value(0, v));
+            assert_eq!(
+                dense.rows_without_value(1, v),
+                sparse.rows_without_value(1, v)
+            );
+        }
+        assert_eq!(dense.count(0, 0, 1), 1);
+        assert_eq!(dense.count(0, 9, 0), 0, "value past cardinality is zero");
+        assert_eq!(dense.majority_class(), sparse.majority_class());
+    }
+
+    #[test]
+    fn dense_spills_to_sparse_on_out_of_range_codes() {
+        let rows: &[[Code; 3]] = &[[0, 0, 0], [1, 1, 1]];
+        let mut dense = dense_from(rows);
+        assert!(dense.is_dense());
+        // Value 7 exceeds cardinality 4 → silent spill, counts preserved.
+        dense.add_row(&[7, 0, 0], &[0, 1], 2);
+        assert!(!dense.is_dense());
+        let mut expect = table_from(rows);
+        expect.add_row(&[7, 0, 0], &[0, 1], 2);
+        assert_eq!(dense, expect);
+        assert_eq!(dense.entries(), expect.entries());
+        // A class code past n_classes spills too.
+        let mut d2 = dense_from(rows);
+        d2.add_row(&[0, 0, 5], &[0, 1], 2);
+        assert!(!d2.is_dense());
+        assert_eq!(d2.total(), 3);
+    }
+
+    #[test]
+    fn dense_merge_is_a_vector_add() {
+        let rows: Vec<[Code; 3]> = vec![[0, 0, 0], [0, 1, 0], [1, 1, 1], [0, 0, 1], [2, 1, 1]];
+        let whole = dense_from(&rows);
+        let proto = whole.fresh_like();
+        assert!(proto.is_dense() && proto.is_empty());
+        let mut a = proto.fresh_like();
+        let mut b = proto.fresh_like();
+        for row in &rows[..2] {
+            a.add_row(row, &[0, 1], 2);
+        }
+        for row in &rows[2..] {
+            b.add_row(row, &[0, 1], 2);
+        }
+        a.merge(b);
+        assert!(a.is_dense(), "same-layout merge stays dense");
+        assert_eq!(a, whole);
+        assert_eq!(a.entries(), whole.entries());
+        // Mixed-representation merges fold entry-wise.
+        let mut sparse = table_from(&rows[..2]);
+        sparse.merge(dense_from(&rows[2..]));
+        assert_eq!(sparse, table_from(&rows));
+        let mut dense = dense_from(&rows[..2]);
+        dense.merge(table_from(&rows[2..]));
+        assert_eq!(dense, table_from(&rows));
+    }
+
+    #[test]
+    fn dense_occupancy_tracks_entries_not_slots() {
+        let mut cc = CountsTable::new_dense(&[(0, 4), (1, 4)], 2);
+        assert_eq!(cc.entries(), 0);
+        assert_eq!(cc.memory_bytes(), 0, "empty slots cost nothing (modelled)");
+        assert_eq!(cc.physical_bytes(), (4 + 4) * 2 * 8);
+        cc.add_row(&[0, 0, 0], &[0, 1], 2);
+        assert_eq!(cc.entries(), 2);
+        cc.add_row(&[0, 0, 0], &[0, 1], 2);
+        assert_eq!(cc.entries(), 2, "repeat row occupies no new slot");
+        assert_eq!(cc.memory_bytes(), 2 * CC_ENTRY_BYTES);
+    }
+
+    #[test]
+    fn dense_sizing_helper_saturates() {
+        assert_eq!(dense_physical_bytes([4u64, 4], 2), (4 + 4) * 2 * 8);
+        assert_eq!(dense_physical_bytes([], 2), 0);
+        assert_eq!(dense_physical_bytes([u64::MAX], 10), u64::MAX);
+    }
+
+    #[test]
+    fn degenerate_dense_geometries_fall_back_to_sparse() {
+        assert!(!CountsTable::new_dense(&[(0, 4)], 0).is_dense());
+        assert!(!CountsTable::new_dense(&[(0, u64::MAX)], 2).is_dense());
+        // Empty attr set densifies trivially (zero slots) and spills on
+        // first aggregate touch of an unknown attr.
+        let mut empty = CountsTable::new_dense(&[], 2);
+        empty.add_aggregate(3, 0, 0, 5);
+        assert_eq!(empty.count(3, 0, 0), 5);
+    }
+
+    #[test]
+    fn zero_aggregates_are_skipped_in_both_representations() {
+        let mut sparse = CountsTable::new();
+        sparse.add_aggregate(0, 0, 0, 0);
+        assert_eq!(sparse.entries(), 0);
+        let mut dense = CountsTable::new_dense(&[(0, 4)], 2);
+        dense.add_aggregate(0, 0, 0, 0);
+        assert_eq!(dense.entries(), 0);
+        assert!(dense.is_dense());
     }
 }

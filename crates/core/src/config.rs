@@ -116,6 +116,13 @@ pub struct MiddlewareConfig {
     /// finer but pay more header/footer overhead. Honours the
     /// `SCALECLASS_EXTENT_ROWS` environment variable by default.
     pub stage_extent_rows: usize,
+    /// Cap on the *physical* slot-array size (`Σ card × classes × 8`
+    /// bytes, per node) below which a scheduled node's counts table uses
+    /// the dense flat-array backend instead of the sparse BTreeMap; `0`
+    /// disables dense counting entirely. Purely physical — the scheduler's
+    /// budget accounting stays entry-modelled either way (DESIGN.md §8c).
+    /// Honours the `SCALECLASS_CC_DENSE` environment variable by default.
+    pub cc_dense_max_bytes: u64,
 }
 
 /// Default rows per staged-file extent (≈ 400 KB of payload at the
@@ -135,6 +142,22 @@ fn env_scan_workers() -> usize {
         .and_then(|v| v.trim().parse::<usize>().ok())
         .filter(|&n| n >= 1)
         .unwrap_or(1)
+}
+
+/// Default dense counts-table cap: 4 MiB of slots per node. The
+/// experiments' widest node (26 columns × card ≈ 4 × 10 classes) needs
+/// ~8 KB, so realistic nodes densify while genuinely high-cardinality
+/// geometries stay sparse.
+pub const DEFAULT_CC_DENSE_MAX_BYTES: u64 = 4 << 20;
+
+/// Dense cap from `SCALECLASS_CC_DENSE` (unset, empty, or unparsable mean
+/// [`DEFAULT_CC_DENSE_MAX_BYTES`]; an explicit `0` disables the dense
+/// backend so whole test runs can pin the sparse path).
+fn env_cc_dense() -> u64 {
+    std::env::var("SCALECLASS_CC_DENSE")
+        .ok()
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .unwrap_or(DEFAULT_CC_DENSE_MAX_BYTES)
 }
 
 /// Extent size from `SCALECLASS_EXTENT_ROWS` (unset, empty, zero, or
@@ -166,6 +189,7 @@ impl Default for MiddlewareConfig {
             scan_workers: env_scan_workers(),
             scan_block_rows: 4096,
             stage_extent_rows: env_extent_rows(),
+            cc_dense_max_bytes: env_cc_dense(),
         }
     }
 }
@@ -283,6 +307,12 @@ impl MiddlewareConfigBuilder {
         self
     }
 
+    /// Physical-size cap for the dense counts backend (`0` = sparse only).
+    pub fn cc_dense_max_bytes(mut self, bytes: u64) -> Self {
+        self.config.cc_dense_max_bytes = bytes;
+        self
+    }
+
     /// Finish building.
     pub fn build(self) -> MiddlewareConfig {
         self.config
@@ -360,6 +390,17 @@ mod tests {
                 .stage_extent_rows,
             100
         );
+    }
+
+    #[test]
+    fn dense_cap_knob() {
+        // Builder overrides whatever the environment default resolved to.
+        let c = MiddlewareConfig::builder().cc_dense_max_bytes(0).build();
+        assert_eq!(c.cc_dense_max_bytes, 0, "explicit zero disables dense");
+        let c = MiddlewareConfig::builder()
+            .cc_dense_max_bytes(1 << 16)
+            .build();
+        assert_eq!(c.cc_dense_max_bytes, 1 << 16);
     }
 
     #[test]

@@ -74,6 +74,9 @@ pub struct BatchCounter {
     pub(crate) arity: usize,
     /// Candidate prefilter shared with the parallel workers.
     dispatch: Dispatch,
+    /// Reusable per-row scratch for dispatch candidates — hoisted out of
+    /// `process_row` so the hot loop never allocates.
+    scratch: Vec<usize>,
 }
 
 /// Candidate prefilter over a batch's predicates: nodes whose path
@@ -150,6 +153,7 @@ impl BatchCounter {
             buffer_bytes: 0,
             arity,
             dispatch,
+            scratch: Vec::with_capacity(8),
         }
     }
 
@@ -170,10 +174,10 @@ impl BatchCounter {
 
         // Candidate nodes: the buckets keyed by this row's values on the
         // dispatch columns, plus the nodes with no Eq conjunct.
-        let mut candidates: Vec<usize> = Vec::with_capacity(8);
+        let mut candidates = std::mem::take(&mut self.scratch);
         self.dispatch.candidates(row, &mut candidates);
 
-        for idx in candidates {
+        for &idx in &candidates {
             let node = &mut self.nodes[idx];
             if !node.req.pred().eval(row) {
                 continue;
@@ -226,6 +230,7 @@ impl BatchCounter {
                 }
             }
         }
+        self.scratch = candidates;
         self.cc_bytes = cc_bytes;
         self.buffer_bytes = buffer_bytes;
         self.base_mem_bytes = base;

@@ -71,6 +71,16 @@ pub struct MiddlewareStats {
     /// over scans) — `scan_rows / (parallel workers × this)` approximates
     /// worker occupancy.
     pub scan_worker_rows_max: u64,
+    /// Scheduled nodes counted on the dense flat-array backend.
+    pub dense_nodes: u64,
+    /// Scheduled nodes counted on the sparse BTreeMap backend.
+    pub sparse_nodes: u64,
+    /// Wall-clock nanoseconds parallel scan workers spent inside the
+    /// row-counting kernel (per-block counting loops — excludes channel
+    /// waits and, on sharded readers, extent read/decode). Serial scans
+    /// leave this 0; use `scan_nanos` for whole-scan throughput. Timing —
+    /// excluded from determinism comparisons like `scan_nanos`.
+    pub kernel_nanos: u64,
     /// Server statistics attributable to building auxiliary structures
     /// (so experiments can report the "idealized" §5.2.5 number that
     /// neglects index build cost).

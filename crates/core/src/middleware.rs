@@ -44,6 +44,9 @@ pub struct Middleware {
     class_col: u16,
     attrs: Vec<u16>,
     nclasses: u64,
+    /// Schema value cardinality per column — the exclusive code bounds the
+    /// dense counting backend sizes its slot arrays by.
+    col_cards: Vec<u64>,
     arity: usize,
     table_rows: u64,
     config: MiddlewareConfig,
@@ -71,6 +74,9 @@ impl Middleware {
             .filter(|&c| c != class_col)
             .collect();
         let nclasses = u64::from(schema.column(class_col as usize).cardinality());
+        let col_cards: Vec<u64> = (0..schema.arity())
+            .map(|c| u64::from(schema.column(c).cardinality()))
+            .collect();
         let arity = schema.arity();
         let table_rows = t.nrows();
         let mut staging = StagingManager::new(config.staging_dir.clone())?;
@@ -81,6 +87,7 @@ impl Middleware {
             class_col,
             attrs,
             nclasses,
+            col_cards,
             arity,
             table_rows,
             config,
@@ -258,6 +265,7 @@ impl Middleware {
             &mut self.pending,
             &self.staging,
             &self.config,
+            &self.col_cards,
             self.nclasses,
             self.arity,
         ) else {
@@ -320,6 +328,23 @@ impl Middleware {
         let mut counters = Vec::with_capacity(plan.nodes.len());
         for sched in plan.nodes {
             let mut counter = NodeCounter::new(sched.req);
+            if sched.dense {
+                // Slot arrays are sized by *schema* cardinalities — the
+                // true code bounds — never by the node-local distinct
+                // counts in `parent_cards`, which child codes can exceed.
+                let attr_cards: Vec<(u16, u64)> = counter
+                    .req
+                    .attrs
+                    .iter()
+                    .map(|&a| (a, self.col_cards[a as usize]))
+                    .collect();
+                counter.cc = CountsTable::new_dense(&attr_cards, self.nclasses);
+            }
+            if counter.cc.is_dense() {
+                self.stats.dense_nodes += 1;
+            } else {
+                self.stats.sparse_nodes += 1;
+            }
             if sched.stage_file {
                 let pred = counter.req.pred().clone();
                 counter.file_writer = Some(self.staging.start_file(

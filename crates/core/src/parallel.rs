@@ -93,6 +93,11 @@ struct NodeSpec {
     pred: Pred,
     attrs: Vec<u16>,
     class_col: u16,
+    /// Empty table carrying the node's counting backend: workers mint
+    /// their private shards via [`CountsTable::fresh_like`], so a dense
+    /// node gets dense shards (sharing one layout `Arc`) and the final
+    /// merge takes the vector-add fast path.
+    proto: CountsTable,
 }
 
 /// State shared between the coordinator and the counting workers.
@@ -152,6 +157,8 @@ impl Shared {
 struct WorkerResult {
     shards: Vec<CountsTable>,
     rows: u64,
+    /// Wall-clock ns this worker spent inside its row-counting loops.
+    kernel_ns: u64,
 }
 
 /// One worker's private counting state — shared by the channel workers and
@@ -162,15 +169,17 @@ struct ShardState {
     /// Nodes whose fallback flag this worker has already honoured.
     dropped: Vec<bool>,
     rows: u64,
+    kernel_ns: u64,
     candidates: Vec<usize>,
 }
 
 impl ShardState {
-    fn new(nodes: usize) -> Self {
+    fn new(specs: &[NodeSpec]) -> Self {
         ShardState {
-            shards: (0..nodes).map(|_| CountsTable::new()).collect(),
-            dropped: vec![false; nodes],
+            shards: specs.iter().map(|s| s.proto.fresh_like()).collect(),
+            dropped: vec![false; specs.len()],
             rows: 0,
+            kernel_ns: 0,
             candidates: Vec::with_capacity(8),
         }
     }
@@ -222,17 +231,20 @@ impl ShardState {
         WorkerResult {
             shards: self.shards,
             rows: self.rows,
+            kernel_ns: self.kernel_ns,
         }
     }
 }
 
 fn worker_loop(rx: Receiver<Vec<Code>>, shared: Arc<Shared>) -> WorkerResult {
     let dispatch = Dispatch::new(shared.specs.iter().map(|s| &s.pred));
-    let mut state = ShardState::new(shared.specs.len());
+    let mut state = ShardState::new(&shared.specs);
     for block in rx.iter() {
+        let t0 = Instant::now();
         for row in block.chunks_exact(shared.arity) {
             state.count_row(row, &dispatch, &shared);
         }
+        state.kernel_ns += t0.elapsed().as_nanos() as u64;
     }
     state.into_result()
 }
@@ -257,13 +269,14 @@ fn shard_reader_loop(
 ) -> MwResult<ShardReaderResult> {
     let mut reader = ExtentReader::open(&layout)?;
     let dispatch = Dispatch::new(shared.specs.iter().map(|s| &s.pred));
-    let mut state = ShardState::new(shared.specs.len());
+    let mut state = ShardState::new(&shared.specs);
     let mut io = WorkerScanStats::default();
     let mut block: Vec<Code> = Vec::new();
     let mut tee_bufs: Vec<Vec<Code>> = tee_nodes.iter().map(|_| Vec::new()).collect();
     let row_bytes = (shared.arity * CODE_BYTES) as u64;
     for k in range {
         reader.read_extent(k, &mut block, &mut io)?;
+        let t0 = Instant::now();
         for row in block.chunks_exact(shared.arity) {
             state.count_row(row, &dispatch, &shared);
             for (t, &i) in tee_nodes.iter().enumerate() {
@@ -292,6 +305,7 @@ fn shard_reader_loop(
                 }
             }
         }
+        state.kernel_ns += t0.elapsed().as_nanos() as u64;
     }
     Ok(ShardReaderResult {
         result: state.into_result(),
@@ -352,6 +366,7 @@ impl ParallelScan {
                 pred: n.req.pred().clone(),
                 attrs: n.req.attrs.clone(),
                 class_col: n.req.class_col,
+                proto: n.cc.fresh_like(),
             })
             .collect();
         let fallback = batch.nodes.iter().map(|_| AtomicBool::new(false)).collect();
@@ -607,8 +622,10 @@ impl ParallelScan {
             }
         }
         let mut worker_rows_max = 0u64;
+        let mut kernel_ns = 0u64;
         for r in &results {
             worker_rows_max = worker_rows_max.max(r.rows);
+            kernel_ns += r.kernel_ns;
         }
         // Deterministic merge, worker-index order. Counting is additive,
         // so the result is independent of how blocks were interleaved.
@@ -644,6 +661,7 @@ impl ParallelScan {
         stats.scan_blocks += self.blocks_sent;
         stats.scan_worker_rows_max = stats.scan_worker_rows_max.max(worker_rows_max);
         stats.scan_nanos += self.started.elapsed().as_nanos() as u64;
+        stats.kernel_nanos += kernel_ns;
         Ok(self.batch)
     }
 }
@@ -826,6 +844,52 @@ mod tests {
                 assert_eq!(s.cc, p.cc, "{workers} workers, block {block}");
                 assert_eq!(s.cc.total(), p.cc.total());
             }
+        }
+    }
+
+    /// The same batch with every node on the dense backend (both attrs
+    /// card 4, two classes — matches the `rows()` generator's code ranges).
+    fn dense_nodes() -> Vec<NodeCounter> {
+        nodes()
+            .into_iter()
+            .map(|mut n| {
+                n.cc = CountsTable::new_dense(&[(0, 4), (1, 4)], 2);
+                assert!(n.cc.is_dense());
+                n
+            })
+            .collect()
+    }
+
+    #[test]
+    fn dense_shards_merge_to_the_serial_sparse_result() {
+        let data = rows(2000, 17);
+        let serial_sparse = run(1, 0, &data);
+        for &(workers, block) in &[(2usize, 64usize), (4, 17)] {
+            let batch = BatchCounter::new(dense_nodes(), u64::MAX, 0, ARITY);
+            let mut scan = ParallelScan::new(batch, workers, block);
+            for r in &data {
+                scan.process_row(r).unwrap();
+            }
+            let mut st = MiddlewareStats::new();
+            let par = scan.finish(&mut st).unwrap();
+            assert!(st.kernel_nanos > 0, "workers recorded kernel time");
+            for (s, p) in serial_sparse.nodes.iter().zip(&par.nodes) {
+                assert!(p.cc.is_dense(), "merge stayed on the dense fast path");
+                assert_eq!(s.cc, p.cc, "{workers} workers, block {block}");
+            }
+        }
+        // Sharded extent readers mint dense shards through the same
+        // prototype and merge to the identical table.
+        let (_staging, layout) = staged_layout(&data, 37);
+        let batch = BatchCounter::new(dense_nodes(), u64::MAX, 0, ARITY);
+        let mut scan = ParallelScan::new(batch, 4, 64);
+        assert!(scan.can_shard());
+        scan.scan_extent_file(&layout).unwrap();
+        let mut st = MiddlewareStats::new();
+        let par = scan.finish(&mut st).unwrap();
+        for (s, p) in serial_sparse.nodes.iter().zip(&par.nodes) {
+            assert!(p.cc.is_dense());
+            assert_eq!(s.cc, p.cc, "sharded dense readers");
         }
     }
 

@@ -38,6 +38,11 @@ pub struct ScheduledNode {
     pub stage_file: bool,
     /// Buffer this node's rows into middleware memory during the scan.
     pub stage_mem: bool,
+    /// Build this node's counts table on the dense flat-array backend:
+    /// the *schema* cardinalities of its attributes bound the slot array
+    /// under `cc_dense_max_bytes`. Physical-layout choice only — budget
+    /// admission above stays entry-modelled either way.
+    pub dense: bool,
 }
 
 /// A planned batch: one source, several nodes.
@@ -75,11 +80,15 @@ impl BatchPlan {
 /// `pending`. Returns `None` when the queue is empty.
 ///
 /// `nclasses` is the cardinality of the class column; `arity` the table
-/// row width in columns.
+/// row width in columns; `col_cards` the *schema* value cardinality of
+/// each table column (the exclusive code bound the dense counting backend
+/// sizes its slot arrays by — node-local distinct counts like
+/// `parent_cards` underestimate code ranges and must not be used here).
 pub fn schedule(
     pending: &mut Vec<CcRequest>,
     staging: &StagingManager,
     config: &MiddlewareConfig,
+    col_cards: &[u64],
     nclasses: u64,
     arity: usize,
 ) -> Option<BatchPlan> {
@@ -161,12 +170,14 @@ pub fn schedule(
         if take[i] {
             let est = est_cc_bytes_kind(&req, nclasses, config.estimator);
             let est_data = data_bytes(req.rows, arity);
+            let dense = dense_eligible(&req, col_cards, config.cc_dense_max_bytes, nclasses);
             scheduled.push(ScheduledNode {
                 req,
                 est_cc_bytes: est,
                 est_data_bytes: est_data,
                 stage_file: false,
                 stage_mem: false,
+                dense,
             });
         } else {
             rest.push(req);
@@ -199,6 +210,21 @@ pub fn schedule(
         arity,
     );
     Some(plan)
+}
+
+/// Does this request's slot-array geometry fit under the dense cap? A
+/// column missing from `col_cards` (defensive — callers pass the full
+/// schema) counts as unbounded and disqualifies the node.
+fn dense_eligible(req: &CcRequest, col_cards: &[u64], cap: u64, nclasses: u64) -> bool {
+    if cap == 0 || req.attrs.is_empty() {
+        return false;
+    }
+    let cards = req
+        .attrs
+        .iter()
+        .map(|&a| col_cards.get(a as usize).copied().unwrap_or(u64::MAX));
+    let bytes = crate::cc::dense_physical_bytes(cards, nclasses);
+    bytes > 0 && bytes <= cap
 }
 
 /// Apply Rules 4–6 plus the file-policy specifics to the plan.
@@ -312,6 +338,8 @@ mod tests {
 
     const ARITY: usize = 4; // 3 attrs + class
     const NCLASSES: u64 = 2;
+    /// Schema cardinalities per column (3 attrs of card 4, class of 2).
+    const CARDS: [u64; 4] = [4, 4, 4, NCLASSES];
 
     fn req(id: u64, rows: u64, lineage: Lineage) -> CcRequest {
         let _ = id;
@@ -346,7 +374,7 @@ mod tests {
     fn empty_queue_yields_no_plan() {
         let staging = StagingManager::new(None).unwrap();
         let mut q = Vec::new();
-        assert!(schedule(&mut q, &staging, &config(1 << 20), NCLASSES, ARITY).is_none());
+        assert!(schedule(&mut q, &staging, &config(1 << 20), &CARDS, NCLASSES, ARITY).is_none());
     }
 
     #[test]
@@ -357,7 +385,7 @@ mod tests {
             req(2, 300, child_lineage(2, 1)),
             req(3, 200, child_lineage(3, 2)),
         ];
-        let plan = schedule(&mut q, &staging, &config(1 << 20), NCLASSES, ARITY).unwrap();
+        let plan = schedule(&mut q, &staging, &config(1 << 20), &CARDS, NCLASSES, ARITY).unwrap();
         assert_eq!(plan.source, DataLocation::Server);
         assert_eq!(plan.nodes.len(), 3);
         assert!(q.is_empty());
@@ -376,7 +404,15 @@ mod tests {
         ];
         // Budget fits roughly one small estimate only.
         let small_budget = est_cc_bytes(&q[1], NCLASSES) + 1;
-        let plan = schedule(&mut q, &staging, &config(small_budget), NCLASSES, ARITY).unwrap();
+        let plan = schedule(
+            &mut q,
+            &staging,
+            &config(small_budget),
+            &CARDS,
+            NCLASSES,
+            ARITY,
+        )
+        .unwrap();
         assert_eq!(plan.nodes.len(), 1);
         assert_eq!(plan.nodes[0].req.rows, 10, "Rule 3: smallest CC first");
         assert_eq!(q.len(), 2, "others remain queued");
@@ -386,7 +422,7 @@ mod tests {
     fn always_admits_at_least_one() {
         let staging = StagingManager::new(None).unwrap();
         let mut q = vec![req(1, 1_000_000, child_lineage(1, 0))];
-        let plan = schedule(&mut q, &staging, &config(1), NCLASSES, ARITY).unwrap();
+        let plan = schedule(&mut q, &staging, &config(1), &CARDS, NCLASSES, ARITY).unwrap();
         assert_eq!(plan.nodes.len(), 1);
     }
 
@@ -413,18 +449,18 @@ mod tests {
             req(2, 50, child_lineage(2, 1)),
             req(1, 50, child_lineage(1, 0)),
         ];
-        let plan = schedule(&mut q, &staging, &config(1 << 20), NCLASSES, ARITY).unwrap();
+        let plan = schedule(&mut q, &staging, &config(1 << 20), &CARDS, NCLASSES, ARITY).unwrap();
         assert!(matches!(plan.source, DataLocation::Memory(_)));
         assert_eq!(plan.nodes.len(), 1);
         assert_eq!(plan.nodes[0].req.node(), NodeId(1));
 
         // Next round: file group.
-        let plan2 = schedule(&mut q, &staging, &config(1 << 20), NCLASSES, ARITY).unwrap();
+        let plan2 = schedule(&mut q, &staging, &config(1 << 20), &CARDS, NCLASSES, ARITY).unwrap();
         assert!(matches!(plan2.source, DataLocation::File(_)));
         assert_eq!(plan2.nodes[0].req.node(), NodeId(2));
 
         // Finally the server scan.
-        let plan3 = schedule(&mut q, &staging, &config(1 << 20), NCLASSES, ARITY).unwrap();
+        let plan3 = schedule(&mut q, &staging, &config(1 << 20), &CARDS, NCLASSES, ARITY).unwrap();
         assert_eq!(plan3.source, DataLocation::Server);
         assert!(q.is_empty());
     }
@@ -456,7 +492,7 @@ mod tests {
             req(21, 10, l2.child(NodeId(21), Pred::Eq { col: 1, value: 0 })),
             req(12, 10, l1.child(NodeId(12), Pred::Eq { col: 1, value: 1 })),
         ];
-        let plan = schedule(&mut q, &staging, &config(1 << 20), NCLASSES, ARITY).unwrap();
+        let plan = schedule(&mut q, &staging, &config(1 << 20), &CARDS, NCLASSES, ARITY).unwrap();
         let ids = plan.node_ids();
         assert_eq!(ids.len(), 2);
         assert!(ids.contains(&NodeId(11)) && ids.contains(&NodeId(12)));
@@ -475,7 +511,7 @@ mod tests {
             req(1, 100, child_lineage(1, 0)),
             req(2, 100, child_lineage(2, 1)),
         ];
-        let plan = schedule(&mut q, &staging, &cfg, NCLASSES, ARITY).unwrap();
+        let plan = schedule(&mut q, &staging, &cfg, &CARDS, NCLASSES, ARITY).unwrap();
         assert!(plan.nodes.iter().all(|n| n.stage_file));
     }
 
@@ -491,7 +527,7 @@ mod tests {
             req(1, 100, child_lineage(1, 0)),
             req(2, 900, child_lineage(2, 1)),
         ];
-        let plan = schedule(&mut q, &staging, &cfg, NCLASSES, ARITY).unwrap();
+        let plan = schedule(&mut q, &staging, &cfg, &CARDS, NCLASSES, ARITY).unwrap();
         let staged: Vec<_> = plan.nodes.iter().filter(|n| n.stage_file).collect();
         assert_eq!(staged.len(), 1);
         assert_eq!(staged[0].req.rows, 900, "Rule 5: largest first");
@@ -504,7 +540,7 @@ mod tests {
         w.push(&[1, 0, 0, 0]).unwrap();
         staging.commit_file(w, &mut stats).unwrap();
         let mut q2 = vec![req(3, 50, child_lineage(3, 2))];
-        let plan2 = schedule(&mut q2, &staging, &cfg, NCLASSES, ARITY).unwrap();
+        let plan2 = schedule(&mut q2, &staging, &cfg, &CARDS, NCLASSES, ARITY).unwrap();
         assert!(plan2.nodes.iter().all(|n| !n.stage_file));
     }
 
@@ -528,13 +564,13 @@ mod tests {
             .build();
         // Scheduled nodes cover 30 of 100 file rows → split.
         let mut q = vec![req(1, 30, child_lineage(1, 0))];
-        let plan = schedule(&mut q, &staging, &cfg, NCLASSES, ARITY).unwrap();
+        let plan = schedule(&mut q, &staging, &cfg, &CARDS, NCLASSES, ARITY).unwrap();
         assert!(matches!(plan.source, DataLocation::File(_)));
         assert!(plan.split_file);
 
         // 80 of 100 → no split.
         let mut q2 = vec![req(2, 80, child_lineage(2, 1))];
-        let plan2 = schedule(&mut q2, &staging, &cfg, NCLASSES, ARITY).unwrap();
+        let plan2 = schedule(&mut q2, &staging, &cfg, &CARDS, NCLASSES, ARITY).unwrap();
         assert!(!plan2.split_file);
     }
 
@@ -553,7 +589,7 @@ mod tests {
             .memory_caching(true)
             .build();
         let mut q = vec![big, small];
-        let plan = schedule(&mut q, &staging, &cfg, NCLASSES, ARITY).unwrap();
+        let plan = schedule(&mut q, &staging, &cfg, &CARDS, NCLASSES, ARITY).unwrap();
         let staged: Vec<u64> = plan
             .nodes
             .iter()
@@ -572,7 +608,7 @@ mod tests {
             .file_policy(FileStagingPolicy::Singleton)
             .build();
         let mut q = vec![root_req(1000)];
-        let plan = schedule(&mut q, &staging, &cfg, NCLASSES, ARITY).unwrap();
+        let plan = schedule(&mut q, &staging, &cfg, &CARDS, NCLASSES, ARITY).unwrap();
         assert!(plan.nodes.iter().all(|n| !n.stage_mem));
         assert!(plan.nodes.iter().any(|n| n.stage_file));
     }
@@ -585,8 +621,51 @@ mod tests {
             .memory_caching(true)
             .build();
         let mut q = vec![root_req(1000)];
-        let plan = schedule(&mut q, &staging, &cfg, NCLASSES, ARITY).unwrap();
+        let plan = schedule(&mut q, &staging, &cfg, &CARDS, NCLASSES, ARITY).unwrap();
         assert!(plan.nodes[0].stage_mem);
+    }
+
+    #[test]
+    fn dense_eligibility_follows_schema_cards_and_cap() {
+        let staging = StagingManager::new(None).unwrap();
+        // Caps are pinned on the builder (not left to the env-derived
+        // default) so the test means the same thing under the
+        // `SCALECLASS_CC_DENSE=0` CI leg. An ample cap: the 3-attr ×
+        // card-4 × 2-class geometry (192 bytes of slots) densifies.
+        let ample = MiddlewareConfig::builder()
+            .memory_budget_bytes(1 << 20)
+            .memory_caching(false)
+            .cc_dense_max_bytes(crate::config::DEFAULT_CC_DENSE_MAX_BYTES)
+            .build();
+        let mut q = vec![req(1, 100, child_lineage(1, 0))];
+        let plan = schedule(&mut q, &staging, &ample, &CARDS, NCLASSES, ARITY).unwrap();
+        assert!(plan.nodes[0].dense);
+
+        // Cap 0 disables the dense backend outright.
+        let cfg = MiddlewareConfig::builder()
+            .memory_budget_bytes(1 << 20)
+            .memory_caching(false)
+            .cc_dense_max_bytes(0)
+            .build();
+        let mut q = vec![req(1, 100, child_lineage(1, 0))];
+        let plan = schedule(&mut q, &staging, &cfg, &CARDS, NCLASSES, ARITY).unwrap();
+        assert!(!plan.nodes[0].dense);
+
+        // A cap below the slot-array size keeps the node sparse.
+        let cfg = MiddlewareConfig::builder()
+            .memory_budget_bytes(1 << 20)
+            .memory_caching(false)
+            .cc_dense_max_bytes(100)
+            .build();
+        let mut q = vec![req(1, 100, child_lineage(1, 0))];
+        let plan = schedule(&mut q, &staging, &cfg, &CARDS, NCLASSES, ARITY).unwrap();
+        assert!(!plan.nodes[0].dense, "3×4×2×8 = 192 bytes > 100-byte cap");
+
+        // A huge schema cardinality disqualifies even under an ample cap.
+        let wild = [u64::MAX, 4, 4, NCLASSES];
+        let mut q = vec![req(1, 100, child_lineage(1, 0))];
+        let plan = schedule(&mut q, &staging, &ample, &wild, NCLASSES, ARITY).unwrap();
+        assert!(!plan.nodes[0].dense);
     }
 
     #[test]
@@ -606,7 +685,7 @@ mod tests {
                 req(2, 300, child_lineage(2, 1)),
                 root_req(1000),
             ];
-            let plan = schedule(&mut q, &staging, &cfg, NCLASSES, ARITY).unwrap();
+            let plan = schedule(&mut q, &staging, &cfg, &CARDS, NCLASSES, ARITY).unwrap();
             assert_eq!(plan.nodes.len(), 3);
             assert!(q.is_empty());
             assert!(

@@ -149,7 +149,7 @@ proptest! {
             .map(|i| request_for(&rows, i as u64 + 1, Pred::Eq { col: 0, value: (i % 4) as u16 }))
             .collect();
         let original: Vec<NodeId> = pending.iter().map(|r| r.node()).collect();
-        let plan = schedule(&mut pending, &staging, &config, 2, 4).unwrap();
+        let plan = schedule(&mut pending, &staging, &config, &[4, 3, 5, 2], 2, 4).unwrap();
 
         let mut seen: Vec<NodeId> = plan.node_ids();
         seen.extend(pending.iter().map(|r| r.node()));
@@ -179,7 +179,7 @@ proptest! {
             .iter()
             .map(|r| (r.node(), est_cc_bytes_upper(r, 2)))
             .collect();
-        let plan = schedule(&mut pending, &staging, &config, 2, 4).unwrap();
+        let plan = schedule(&mut pending, &staging, &config, &[4, 3, 5, 2], 2, 4).unwrap();
         let reserved: u64 = plan.node_ids().iter().map(|id| bounds[id]).sum();
         let first = bounds[&plan.node_ids()[0]];
         prop_assert!(
@@ -280,7 +280,7 @@ proptest! {
 /// everything except pipeline-shape counters (`parallel_scans`,
 /// `sharded_file_scans`, `scan_blocks`, `scan_worker_rows_max`
 /// legitimately differ between worker counts) and wall-clock timing
-/// (`scan_nanos`).
+/// (`scan_nanos`, `kernel_nanos`).
 fn logical(s: &MiddlewareStats) -> MiddlewareStats {
     MiddlewareStats {
         parallel_scans: 0,
@@ -288,7 +288,19 @@ fn logical(s: &MiddlewareStats) -> MiddlewareStats {
         scan_blocks: 0,
         scan_nanos: 0,
         scan_worker_rows_max: 0,
+        kernel_nanos: 0,
         ..*s
+    }
+}
+
+/// `logical`, additionally blind to which counting backend ran
+/// (`dense_nodes`/`sparse_nodes` legitimately differ between a dense-capped
+/// and a sparse-pinned run; everything else must not).
+fn backend_agnostic(s: &MiddlewareStats) -> MiddlewareStats {
+    MiddlewareStats {
+        dense_nodes: 0,
+        sparse_nodes: 0,
+        ..logical(s)
     }
 }
 
@@ -413,5 +425,129 @@ proptest! {
             prop_assert_eq!(s.file_bytes_written, s.file_rows_written * arity_bytes);
         }
         prop_assert_eq!(logical(&file_runs[0]), logical(&file_runs[1]));
+    }
+}
+
+proptest! {
+    /// TENTPOLE PROPERTY: the dense flat-array counting backend is
+    /// bit-identical to the sparse BTreeMap backend — every node's counts
+    /// table, fallback flag, and all logical stats except the
+    /// backend-mix counters themselves — across serial and parallel scans
+    /// (workers 1..8) and both the memory-staging and singleton-file
+    /// paths. The caps are set explicitly on the builder so the property
+    /// stays meaningful under the `SCALECLASS_CC_DENSE=0` CI leg.
+    #[test]
+    fn dense_backend_bit_identical_to_sparse(
+        rows in rows_strategy(),
+        workers in 1usize..8,
+    ) {
+        for build in [MiddlewareConfig::builder, file_variant] {
+            let dense_cfg = build()
+                .scan_workers(workers)
+                .scan_block_rows(7)
+                .cc_dense_max_bytes(1 << 20)
+                .build();
+            let sparse_cfg = build()
+                .scan_workers(workers)
+                .scan_block_rows(7)
+                .cc_dense_max_bytes(0)
+                .build();
+            let (dense_cc, dense_stats) = drive(&rows, dense_cfg);
+            let (sparse_cc, sparse_stats) = drive(&rows, sparse_cfg);
+            prop_assert_eq!(&dense_cc, &sparse_cc, "counts diverged at {} workers", workers);
+            prop_assert_eq!(
+                backend_agnostic(&dense_stats),
+                backend_agnostic(&sparse_stats),
+                "logical stats diverged at {} workers",
+                workers
+            );
+            // The runs must actually have exercised different backends.
+            prop_assert!(dense_stats.dense_nodes > 0, "dense run never went dense");
+            prop_assert_eq!(dense_stats.sparse_nodes, 0);
+            prop_assert_eq!(sparse_stats.dense_nodes, 0, "cap 0 must pin sparse");
+        }
+    }
+
+    /// TENTPOLE PROPERTY: because dense nodes model memory per *occupied
+    /// entry* (not per allocated slot), the §4.1.1 budget machinery fires
+    /// at exactly the same rows on either backend — under arbitrarily
+    /// tight budgets both runs report identical `sql_fallbacks` and
+    /// `pressure_evictions`, and every node carries the same fallback
+    /// flag.
+    #[test]
+    fn dense_budget_fallback_fires_identically_to_sparse(
+        rows in rows_strategy(),
+        budget in 64u64..5_000,
+    ) {
+        let cfg = |cap: u64| {
+            MiddlewareConfig::builder()
+                .memory_budget_bytes(budget)
+                .cc_dense_max_bytes(cap)
+                .build()
+        };
+        let (dense_cc, dense_stats) = drive(&rows, cfg(1 << 20));
+        let (sparse_cc, sparse_stats) = drive(&rows, cfg(0));
+        for (node, (_, dense_fb)) in &dense_cc {
+            prop_assert_eq!(
+                *dense_fb, sparse_cc[node].1,
+                "fallback flag diverged on node {} at budget {}", node, budget
+            );
+        }
+        prop_assert_eq!(dense_stats.sql_fallbacks, sparse_stats.sql_fallbacks);
+        prop_assert_eq!(dense_stats.pressure_evictions, sparse_stats.pressure_evictions);
+        prop_assert_eq!(&dense_cc, &sparse_cc);
+        prop_assert_eq!(
+            backend_agnostic(&dense_stats),
+            backend_agnostic(&sparse_stats)
+        );
+    }
+
+    /// Raw kernel property: a dense table fed an arbitrary row stream is
+    /// indistinguishable from a sparse one through every accessor —
+    /// entry iteration order, per-attribute vectors, modelled memory —
+    /// and merging dense shards equals one serial pass.
+    #[test]
+    fn dense_counts_table_matches_sparse_exactly(
+        rows in rows_strategy(),
+        split in 0usize..200,
+    ) {
+        let cards = [(0u16, 4u64), (1, 3), (2, 5)];
+        let mut sparse = CountsTable::new();
+        let mut dense = CountsTable::new_dense(&cards, 2);
+        prop_assert!(dense.is_dense());
+        for r in &rows {
+            sparse.add_row(&r[..], &[0, 1, 2], 3);
+            dense.add_row(&r[..], &[0, 1, 2], 3);
+        }
+        prop_assert_eq!(&dense, &sparse);
+        prop_assert_eq!(
+            dense.iter().collect::<Vec<_>>(),
+            sparse.iter().collect::<Vec<_>>(),
+            "entry iteration order diverged"
+        );
+        for attr in [0u16, 1, 2] {
+            prop_assert_eq!(
+                dense.attr_vector(attr).collect::<Vec<_>>(),
+                sparse.attr_vector(attr).collect::<Vec<_>>(),
+                "attr_vector order diverged on attr {}", attr
+            );
+        }
+        prop_assert_eq!(dense.entries(), sparse.entries());
+        prop_assert_eq!(dense.memory_bytes(), sparse.memory_bytes());
+
+        // Two dense shards merged = one serial dense pass.
+        let cut = split.min(rows.len());
+        let mut left = dense.fresh_like();
+        let mut right = dense.fresh_like();
+        for r in &rows[..cut] {
+            left.add_row(&r[..], &[0, 1, 2], 3);
+        }
+        for r in &rows[cut..] {
+            right.add_row(&r[..], &[0, 1, 2], 3);
+        }
+        left.merge(right);
+        prop_assert!(left.is_dense());
+        prop_assert_eq!(&left, &dense);
+        prop_assert_eq!(left.entries(), dense.entries());
     }
 }

@@ -347,6 +347,9 @@ fn execute_grouped(db: &Database, arm: &SelectArm, pred: Pred) -> DbResult<Resul
     }
 
     let mut groups: HashMap<Vec<Code>, u64> = HashMap::new();
+    // One reusable key buffer: probe by slice (`Vec<Code>: Borrow<[Code]>`)
+    // and clone only when a group is seen for the first time, so the hot
+    // loop allocates once per distinct group rather than once per row.
     let mut key = Vec::with_capacity(group_cols.len());
     for (_, row) in table.scan(&stats) {
         if !pred.eval(row) {
@@ -354,8 +357,11 @@ fn execute_grouped(db: &Database, arm: &SelectArm, pred: Pred) -> DbResult<Resul
         }
         key.clear();
         key.extend(group_cols.iter().map(|&c| row[c]));
-        *groups.entry(std::mem::take(&mut key)).or_insert(0) += 1;
-        key = Vec::with_capacity(group_cols.len());
+        if let Some(n) = groups.get_mut(key.as_slice()) {
+            *n += 1;
+        } else {
+            groups.insert(key.clone(), 1);
+        }
     }
 
     let names: Vec<String> = arm
