@@ -1,0 +1,21 @@
+//! `scaleclass-analyze` — the workspace's in-repo invariant analyzer.
+//!
+//! The middleware owns its own cost accounting (DESIGN.md §2, paper §4.1.1),
+//! so nothing in the database engine will catch an access path that dodges
+//! the staging layer or a counter that silently overflows. This crate is the
+//! enforcement layer: a dependency-free lexer ([`lexer`]) plus four named
+//! rules ([`rules`]) that walk every Rust source in the workspace and report
+//! `file:line: [rule] message` diagnostics.
+//!
+//! Run it as `cargo run -p scaleclass-analyze -- --deny` (CI does). See
+//! DESIGN.md §9 for the rule catalogue and the `analyze:allow` policy.
+#![warn(missing_docs)]
+
+pub mod lexer;
+pub mod rules;
+
+pub use lexer::{lex, AllowDirective, Lexed, Tok, TokKind};
+pub use rules::{
+    analyze_workspace, check_source, Report, Violation, RULES, RULE_ACCOUNTING_ARITH,
+    RULE_ALLOW_SYNTAX, RULE_HOT_PATH_PANIC, RULE_IO_BYPASS, RULE_STATS_COVERAGE,
+};

@@ -1,0 +1,83 @@
+//! CLI for the in-repo invariant analyzer.
+//!
+//! ```text
+//! scaleclass-analyze [--deny] [--allows] [ROOT]
+//! ```
+//!
+//! Walks the workspace at `ROOT` (default: the enclosing workspace of the
+//! current directory) and reports rule violations as `file:line: [rule] msg`.
+//! `--deny` exits with status 2 when any violation remains unsuppressed;
+//! `--allows` additionally prints the inventory of every `analyze:allow`
+//! directive in the tree.
+#![warn(missing_docs)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use scaleclass_analyze::analyze_workspace;
+
+fn find_workspace_root(start: PathBuf) -> PathBuf {
+    let mut dir = start.clone();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return dir;
+            }
+        }
+        if !dir.pop() {
+            return start;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut deny = false;
+    let mut show_allows = false;
+    let mut root: Option<PathBuf> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--deny" => deny = true,
+            "--allows" | "--list-allows" => show_allows = true,
+            "--help" | "-h" => {
+                println!("usage: scaleclass-analyze [--deny] [--allows] [ROOT]");
+                return ExitCode::SUCCESS;
+            }
+            other => root = Some(PathBuf::from(other)),
+        }
+    }
+    let root = root.unwrap_or_else(|| {
+        find_workspace_root(std::env::current_dir().unwrap_or_else(|_| PathBuf::from(".")))
+    });
+
+    let report = match analyze_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("scaleclass-analyze: failed to read {}: {e}", root.display());
+            return ExitCode::from(3);
+        }
+    };
+
+    for v in &report.violations {
+        println!("{}:{}: [{}] {}", v.file, v.line, v.rule, v.msg);
+    }
+    if show_allows {
+        println!(
+            "-- analyze:allow inventory ({} directives) --",
+            report.allows.len()
+        );
+        for (file, a) in &report.allows {
+            println!("{}:{}: allow({}) — {}", file, a.line, a.rule, a.reason);
+        }
+    }
+    println!(
+        "scaleclass-analyze: {} violation(s), {} suppressed by analyze:allow, {} allow directive(s)",
+        report.violations.len(),
+        report.suppressed.len(),
+        report.allows.len()
+    );
+    if deny && !report.violations.is_empty() {
+        return ExitCode::from(2);
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,824 @@
+//! The invariant rules enforced over the workspace.
+//!
+//! Four named rules, each reported as `file:line: [rule] message`:
+//!
+//! - **io-bypass** — no direct `std::fs` / `std::net` / `File::open` outside
+//!   `crates/sqldb` and `crates/core/src/staging.rs`: all I/O must go through
+//!   the cost-accounted wire/staging layers.
+//! - **accounting-arith** — no bare `as` casts to integer types and no
+//!   unchecked `+`/`-`/`*` in the accounting modules (`scheduler.rs`,
+//!   `metrics.rs`, `estimator.rs`, `config.rs`): the seed shipped a staging-cap
+//!   overflow of exactly this class.
+//! - **hot-path-panic** — no `unwrap()`/`expect()`/`panic!`-family macros, and
+//!   no slice indexing inside loop bodies, in the scan-path modules
+//!   (`parallel.rs`, `cc.rs`, `executor.rs`).
+//! - **stats-coverage** — every field declared on the stats structs in
+//!   `metrics.rs` must be written somewhere in `crates/core` non-test code and
+//!   mentioned in at least one test.
+//!
+//! A violation is suppressed only by `// analyze:allow(<rule>): <reason>` on
+//! the same line, or standing alone on the line(s) directly above. Directives
+//! must name a real rule and carry a non-empty reason; the tool inventories
+//! every directive it honours.
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::lexer::{lex, AllowDirective, Lexed, TokKind};
+
+/// Rule name: I/O outside the staging/wire layers.
+pub const RULE_IO_BYPASS: &str = "io-bypass";
+/// Rule name: unchecked arithmetic / bare casts in accounting modules.
+pub const RULE_ACCOUNTING_ARITH: &str = "accounting-arith";
+/// Rule name: panicking constructs on the scan path.
+pub const RULE_HOT_PATH_PANIC: &str = "hot-path-panic";
+/// Rule name: stats fields must be written and asserted.
+pub const RULE_STATS_COVERAGE: &str = "stats-coverage";
+/// Pseudo-rule for malformed `analyze:allow` directives (not suppressible).
+pub const RULE_ALLOW_SYNTAX: &str = "allow-syntax";
+
+/// All suppressible rule names.
+pub const RULES: [&str; 4] = [
+    RULE_IO_BYPASS,
+    RULE_ACCOUNTING_ARITH,
+    RULE_HOT_PATH_PANIC,
+    RULE_STATS_COVERAGE,
+];
+
+/// One reported finding.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Workspace-relative path, `/`-separated.
+    pub file: String,
+    /// 1-based line number.
+    pub line: u32,
+    /// Rule that fired.
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub msg: String,
+}
+
+/// Result of analyzing one file or a whole workspace.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Unsuppressed violations (sorted by file, then line).
+    pub violations: Vec<Violation>,
+    /// Violations silenced by a valid allow directive, with its reason.
+    pub suppressed: Vec<(Violation, String)>,
+    /// Every allow directive encountered, with its file.
+    pub allows: Vec<(String, AllowDirective)>,
+}
+
+impl Report {
+    fn merge(&mut self, other: Report) {
+        self.violations.extend(other.violations);
+        self.suppressed.extend(other.suppressed);
+        self.allows.extend(other.allows);
+    }
+
+    fn sort(&mut self) {
+        self.violations
+            .sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+        self.suppressed
+            .sort_by(|a, b| (&a.0.file, a.0.line).cmp(&(&b.0.file, b.0.line)));
+        self.allows
+            .sort_by(|a, b| (&a.0, a.1.line).cmp(&(&b.0, b.1.line)));
+    }
+}
+
+const INT_TYPES: [&str; 12] = [
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize",
+];
+
+/// Files subject to the accounting-arith rule.
+const ARITH_FILES: [&str; 4] = [
+    "crates/core/src/scheduler.rs",
+    "crates/core/src/metrics.rs",
+    "crates/core/src/estimator.rs",
+    "crates/core/src/config.rs",
+];
+
+/// Files subject to the hot-path-panic rule.
+const PANIC_FILES: [&str; 3] = [
+    "crates/core/src/parallel.rs",
+    "crates/core/src/cc.rs",
+    "crates/core/src/executor.rs",
+];
+
+/// Stats structs whose fields the stats-coverage rule tracks.
+const STATS_STRUCTS: [&str; 3] = ["MiddlewareStats", "WorkerScanStats", "ScanStats"];
+
+/// Mutating methods that count as a "write" to a stats field.
+const MUT_METHODS: [&str; 7] = [
+    "push",
+    "extend",
+    "insert",
+    "append",
+    "clear",
+    "resize",
+    "resize_with",
+];
+
+fn is_test_path(rel: &str) -> bool {
+    rel.split('/').any(|c| c == "tests" || c == "benches")
+}
+
+fn io_rule_applies(rel: &str) -> bool {
+    !(rel.starts_with("crates/sqldb/")
+        || rel == "crates/core/src/staging.rs"
+        || rel.starts_with("crates/analyze/"))
+}
+
+// ---------------------------------------------------------------------------
+// Token-stream helpers
+// ---------------------------------------------------------------------------
+
+struct FileCtx<'a> {
+    rel: &'a str,
+    src: &'a str,
+    lx: &'a Lexed,
+    /// Per-token: true when the token is test-only code.
+    test: Vec<bool>,
+    /// Per-token: true when the token sits inside a loop body.
+    in_loop: Vec<bool>,
+}
+
+impl<'a> FileCtx<'a> {
+    fn new(rel: &'a str, src: &'a str, lx: &'a Lexed) -> Self {
+        let test = if is_test_path(rel) {
+            vec![true; lx.toks.len()]
+        } else {
+            test_mask(lx, src)
+        };
+        let in_loop = loop_mask(lx, src);
+        FileCtx {
+            rel,
+            src,
+            lx,
+            test,
+            in_loop,
+        }
+    }
+
+    fn text(&self, i: usize) -> &'a str {
+        let t = &self.lx.toks[i];
+        &self.src[t.start..t.end]
+    }
+
+    fn is_punct(&self, i: usize, c: char) -> bool {
+        i < self.lx.toks.len()
+            && self.lx.toks[i].kind == TokKind::Punct
+            && self.text(i).starts_with(c)
+    }
+
+    fn is_ident(&self, i: usize, s: &str) -> bool {
+        i < self.lx.toks.len() && self.lx.toks[i].kind == TokKind::Ident && self.text(i) == s
+    }
+
+    /// `toks[i], toks[i+1]` form a `::` path separator.
+    fn path_sep(&self, i: usize) -> bool {
+        self.is_punct(i, ':') && self.is_punct(i + 1, ':')
+    }
+
+    fn line(&self, i: usize) -> u32 {
+        self.lx.toks[i].line
+    }
+}
+
+/// Index of the token matching `open` at `open_idx` (which must be `open`).
+fn match_bracket(ctx: &FileCtx, open_idx: usize, open: char, close: char) -> usize {
+    let n = ctx.lx.toks.len();
+    let mut depth = 0i64;
+    for j in open_idx..n {
+        if ctx.is_punct(j, open) {
+            depth += 1;
+        } else if ctx.is_punct(j, close) {
+            depth -= 1;
+            if depth == 0 {
+                return j;
+            }
+        }
+    }
+    n.saturating_sub(1)
+}
+
+/// Mark tokens inside `#[cfg(test)]` / `#[test]` items as test-only.
+fn test_mask(lx: &Lexed, src: &str) -> Vec<bool> {
+    // A light-weight ctx without recursion into masks.
+    let tmp = FileCtx {
+        rel: "",
+        src,
+        lx,
+        test: Vec::new(),
+        in_loop: Vec::new(),
+    };
+    let n = lx.toks.len();
+    let mut mask = vec![false; n];
+    let mut pending = false;
+    let mut i = 0usize;
+    while i < n {
+        if tmp.is_punct(i, '#') && tmp.is_punct(i + 1, '[') {
+            let close = match_bracket(&tmp, i + 1, '[', ']');
+            let inner: Vec<&str> = ((i + 2)..close).map(|j| tmp.text(j)).collect();
+            let cfg_test = inner.first() == Some(&"cfg") && inner.contains(&"test");
+            let test_attr = inner.len() == 1 && inner[0] == "test";
+            if cfg_test || test_attr {
+                pending = true;
+            }
+            i = close + 1;
+            continue;
+        }
+        if pending {
+            let t = if lx.toks[i].kind == TokKind::Ident {
+                tmp.text(i)
+            } else {
+                ""
+            };
+            match t {
+                "mod" | "fn" | "impl" | "trait" => {
+                    // Item with a braced body: mark through the matching `}`.
+                    let mut j = i + 1;
+                    while j < n && !tmp.is_punct(j, '{') && !tmp.is_punct(j, ';') {
+                        j += 1;
+                    }
+                    if j < n && tmp.is_punct(j, '{') {
+                        let close = match_bracket(&tmp, j, '{', '}');
+                        for m in mask.iter_mut().take(close + 1).skip(i) {
+                            *m = true;
+                        }
+                        pending = false;
+                        // Re-scan the interior so nested items behave, marking
+                        // is idempotent.
+                        i = j + 1;
+                        continue;
+                    }
+                    pending = false;
+                }
+                "use" | "const" | "static" | "type" => {
+                    let mut j = i;
+                    while j < n && !tmp.is_punct(j, ';') {
+                        j += 1;
+                    }
+                    for m in mask.iter_mut().take(j.min(n - 1) + 1).skip(i) {
+                        *m = true;
+                    }
+                    pending = false;
+                    i = j + 1;
+                    continue;
+                }
+                "pub" => {
+                    // visibility qualifier between attr and item; keep pending.
+                }
+                _ => pending = false,
+            }
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// Mark tokens inside `for`/`while`/`loop` bodies.
+fn loop_mask(lx: &Lexed, src: &str) -> Vec<bool> {
+    let tmp = FileCtx {
+        rel: "",
+        src,
+        lx,
+        test: Vec::new(),
+        in_loop: Vec::new(),
+    };
+    let n = lx.toks.len();
+    let mut mask = vec![false; n];
+    let mut depth = 0i64;
+    let mut loop_starts: Vec<i64> = Vec::new();
+    let mut pending = false;
+    for (i, t) in lx.toks.iter().enumerate() {
+        if t.kind == TokKind::Ident {
+            let s = tmp.text(i);
+            let prev_blocks_for = i > 0
+                && (lx.toks[i - 1].kind == TokKind::Ident
+                    || tmp.is_punct(i - 1, '>')
+                    || tmp.is_punct(i - 1, ']'));
+            let next_is_generics = tmp.is_punct(i + 1, '<');
+            match s {
+                // `impl Trait for Type` and `for<'a>` HRTBs are not loops.
+                "for" if !prev_blocks_for && !next_is_generics => pending = true,
+                "while" | "loop" => pending = true,
+                _ => {}
+            }
+        } else if tmp.is_punct(i, '{') {
+            depth += 1;
+            if pending {
+                loop_starts.push(depth);
+                pending = false;
+            }
+        } else if tmp.is_punct(i, '}') {
+            if loop_starts.last() == Some(&depth) {
+                loop_starts.pop();
+            }
+            depth -= 1;
+        }
+        mask[i] = !loop_starts.is_empty();
+    }
+    mask
+}
+
+// ---------------------------------------------------------------------------
+// Per-file rules
+// ---------------------------------------------------------------------------
+
+fn io_bypass(ctx: &FileCtx, out: &mut Vec<Violation>) {
+    let n = ctx.lx.toks.len();
+    for i in 0..n {
+        if ctx.test[i] || ctx.lx.toks[i].kind != TokKind::Ident {
+            continue;
+        }
+        let t = ctx.text(i);
+        let mut hit: Option<String> = None;
+        match t {
+            "std" if ctx.path_sep(i + 1) => {
+                let j = i + 3;
+                if ctx.is_ident(j, "fs") || ctx.is_ident(j, "net") {
+                    hit = Some(format!("direct `std::{}` access", ctx.text(j)));
+                } else if ctx.is_punct(j, '{') {
+                    // `use std::{fs, io}` grouped import.
+                    let close = match_bracket(ctx, j, '{', '}');
+                    for k in (j + 1)..close {
+                        if ctx.is_ident(k, "fs") || ctx.is_ident(k, "net") {
+                            hit = Some(format!("direct `std::{}` import", ctx.text(k)));
+                            break;
+                        }
+                    }
+                }
+            }
+            "File" if ctx.path_sep(i + 1) => {
+                let j = i + 3;
+                if ctx.is_ident(j, "open") || ctx.is_ident(j, "create") {
+                    hit = Some(format!("`File::{}`", ctx.text(j)));
+                }
+            }
+            "OpenOptions" | "TcpStream" | "TcpListener" | "UdpSocket" => {
+                hit = Some(format!("`{t}`"));
+            }
+            _ => {}
+        }
+        if let Some(what) = hit {
+            out.push(Violation {
+                file: ctx.rel.to_string(),
+                line: ctx.line(i),
+                rule: RULE_IO_BYPASS,
+                msg: format!(
+                    "{what} bypasses the cost-accounted staging/wire layers \
+                     (only crates/sqldb and crates/core/src/staging.rs may do raw I/O)"
+                ),
+            });
+        }
+    }
+}
+
+fn accounting_arith(ctx: &FileCtx, out: &mut Vec<Violation>) {
+    let n = ctx.lx.toks.len();
+    for i in 0..n {
+        if ctx.test[i] {
+            continue;
+        }
+        let tok = &ctx.lx.toks[i];
+        if tok.kind == TokKind::Ident && ctx.text(i) == "as" {
+            if i + 1 < n && ctx.lx.toks[i + 1].kind == TokKind::Ident {
+                let ty = ctx.text(i + 1);
+                if INT_TYPES.contains(&ty) {
+                    out.push(Violation {
+                        file: ctx.rel.to_string(),
+                        line: ctx.line(i),
+                        rule: RULE_ACCOUNTING_ARITH,
+                        msg: format!(
+                            "bare `as {ty}` cast in an accounting module; \
+                             use `try_into`/`{ty}::from`/checked conversion"
+                        ),
+                    });
+                }
+            }
+            continue;
+        }
+        if tok.kind != TokKind::Punct {
+            continue;
+        }
+        let op = match ctx.text(i).chars().next() {
+            Some(c @ ('+' | '-' | '*')) => c,
+            _ => continue,
+        };
+        // `->` return-type arrow.
+        if op == '-' && ctx.is_punct(i + 1, '>') {
+            continue;
+        }
+        // Binary position: previous token must look like an operand end.
+        let prev_ok = i > 0
+            && (matches!(ctx.lx.toks[i - 1].kind, TokKind::Ident | TokKind::Number)
+                || ctx.is_punct(i - 1, ')')
+                || ctx.is_punct(i - 1, ']'));
+        if !prev_ok {
+            continue;
+        }
+        // Const-folded literal arithmetic (`64 * 1024`) is fine.
+        let next = i + 1;
+        if ctx.lx.toks[i - 1].kind == TokKind::Number
+            && next < n
+            && ctx.lx.toks[next].kind == TokKind::Number
+        {
+            continue;
+        }
+        // `impl Trait + 'a` style bounds.
+        if op == '+' && next < n && ctx.lx.toks[next].kind == TokKind::Lifetime {
+            continue;
+        }
+        let compound = ctx.is_punct(next, '=');
+        let shown = if compound {
+            format!("{op}=")
+        } else {
+            op.to_string()
+        };
+        out.push(Violation {
+            file: ctx.rel.to_string(),
+            line: ctx.line(i),
+            rule: RULE_ACCOUNTING_ARITH,
+            msg: format!(
+                "unchecked `{shown}` in an accounting module; \
+                 use `checked_*`/`saturating_*` arithmetic"
+            ),
+        });
+    }
+}
+
+fn hot_path_panic(ctx: &FileCtx, out: &mut Vec<Violation>) {
+    let n = ctx.lx.toks.len();
+    for i in 0..n {
+        if ctx.test[i] {
+            continue;
+        }
+        let tok = &ctx.lx.toks[i];
+        if tok.kind == TokKind::Ident {
+            let t = ctx.text(i);
+            let panics = match t {
+                "unwrap" | "expect" => {
+                    i > 0 && ctx.is_punct(i - 1, '.') && ctx.is_punct(i + 1, '(')
+                }
+                "panic" | "unreachable" | "todo" | "unimplemented" => ctx.is_punct(i + 1, '!'),
+                _ => false,
+            };
+            if panics {
+                let shown = if ctx.is_punct(i + 1, '!') {
+                    format!("{t}!")
+                } else {
+                    format!(".{t}()")
+                };
+                out.push(Violation {
+                    file: ctx.rel.to_string(),
+                    line: ctx.line(i),
+                    rule: RULE_HOT_PATH_PANIC,
+                    msg: format!(
+                        "`{shown}` on the scan path; propagate `MwError` \
+                         (or annotate why it cannot fire)"
+                    ),
+                });
+            }
+            continue;
+        }
+        // Slice/array indexing inside a loop body: `expr[...]` postfix form.
+        if ctx.is_punct(i, '[') && ctx.in_loop[i] {
+            let postfix = i > 0
+                && (ctx.lx.toks[i - 1].kind == TokKind::Ident
+                    || ctx.is_punct(i - 1, ')')
+                    || ctx.is_punct(i - 1, ']'));
+            if postfix {
+                out.push(Violation {
+                    file: ctx.rel.to_string(),
+                    line: ctx.line(i),
+                    rule: RULE_HOT_PATH_PANIC,
+                    msg: "slice index inside a scan loop can panic; \
+                          use iterators/`get` (or annotate why it is in-bounds)"
+                        .to_string(),
+                });
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// stats-coverage (workspace-wide)
+// ---------------------------------------------------------------------------
+
+/// Accumulated evidence for the stats-coverage rule.
+#[derive(Debug, Default)]
+pub struct StatsScan {
+    decls: Vec<(String, String, u32)>,
+    writes: BTreeSet<String>,
+    test_reads: BTreeSet<String>,
+    /// Allow directives + comment-only lines of metrics.rs, for suppression.
+    metrics_rel: Option<String>,
+    metrics_allows: Vec<AllowDirective>,
+    metrics_comment_lines: Vec<u32>,
+}
+
+fn collect_stats(ctx: &FileCtx, s: &mut StatsScan) {
+    let n = ctx.lx.toks.len();
+    let in_core_src = ctx.rel.starts_with("crates/core/src/");
+    if ctx.rel == "crates/core/src/metrics.rs" {
+        s.metrics_rel = Some(ctx.rel.to_string());
+        s.metrics_allows = ctx.lx.allows.clone();
+        s.metrics_comment_lines = ctx.lx.comment_only_lines.clone();
+        // Field declarations: `pub struct <S> { pub <f>: ... }`.
+        let mut i = 0usize;
+        while i < n {
+            if ctx.is_ident(i, "struct")
+                && i + 1 < n
+                && ctx.lx.toks[i + 1].kind == TokKind::Ident
+                && STATS_STRUCTS.contains(&ctx.text(i + 1))
+                && ctx.is_punct(i + 2, '{')
+                && !ctx.test[i]
+            {
+                let sname = ctx.text(i + 1).to_string();
+                let close = match_bracket(ctx, i + 2, '{', '}');
+                let mut j = i + 3;
+                while j < close {
+                    if ctx.is_ident(j, "pub")
+                        && j + 1 < close
+                        && ctx.lx.toks[j + 1].kind == TokKind::Ident
+                        && ctx.is_punct(j + 2, ':')
+                        && !ctx.is_punct(j + 3, ':')
+                    {
+                        s.decls
+                            .push((sname.clone(), ctx.text(j + 1).to_string(), ctx.line(j + 1)));
+                        j += 3;
+                        continue;
+                    }
+                    j += 1;
+                }
+                i = close + 1;
+                continue;
+            }
+            i += 1;
+        }
+    }
+    for i in 0..n {
+        // Writes: non-test crates/core code.
+        if in_core_src && !ctx.test[i] {
+            if ctx.is_punct(i, '.')
+                && i + 1 < n
+                && ctx.lx.toks[i + 1].kind == TokKind::Ident
+                && !ctx.is_punct(i.wrapping_sub(1), '.')
+            {
+                let f = ctx.text(i + 1);
+                let j = i + 2;
+                let assign = ctx.is_punct(j, '=') && !ctx.is_punct(j + 1, '=');
+                let op_assign = (ctx.is_punct(j, '+')
+                    || ctx.is_punct(j, '-')
+                    || ctx.is_punct(j, '*')
+                    || ctx.is_punct(j, '/'))
+                    && ctx.is_punct(j + 1, '=');
+                let mutation = ctx.is_punct(j, '.')
+                    && j + 1 < n
+                    && ctx.lx.toks[j + 1].kind == TokKind::Ident
+                    && MUT_METHODS.contains(&ctx.text(j + 1))
+                    && ctx.is_punct(j + 2, '(');
+                if assign || op_assign || mutation {
+                    s.writes.insert(f.to_string());
+                }
+            }
+            // Struct-literal initialization counts as a write to every
+            // explicitly named field. The struct *declaration* has the same
+            // `Name { field: ... }` shape but declares rather than writes.
+            if ctx.lx.toks[i].kind == TokKind::Ident
+                && STATS_STRUCTS.contains(&ctx.text(i))
+                && ctx.is_punct(i + 1, '{')
+                && !(i > 0 && ctx.is_ident(i - 1, "struct"))
+            {
+                let close = match_bracket(ctx, i + 1, '{', '}');
+                let mut depth = 0i64;
+                for j in (i + 1)..close {
+                    if ctx.is_punct(j, '{') {
+                        depth += 1;
+                    } else if ctx.is_punct(j, '}') {
+                        depth -= 1;
+                    } else if depth == 1
+                        && ctx.lx.toks[j].kind == TokKind::Ident
+                        && ctx.is_punct(j + 1, ':')
+                        && !ctx.is_punct(j + 2, ':')
+                        && !ctx.is_punct(j.wrapping_sub(1), ':')
+                    {
+                        s.writes.insert(ctx.text(j).to_string());
+                    }
+                }
+            }
+        }
+        // Test mentions: any `.field` access inside test code.
+        if ctx.test[i]
+            && ctx.is_punct(i, '.')
+            && i + 1 < n
+            && ctx.lx.toks[i + 1].kind == TokKind::Ident
+        {
+            s.test_reads.insert(ctx.text(i + 1).to_string());
+        }
+    }
+}
+
+fn stats_coverage(s: &StatsScan, report: &mut Report) {
+    let Some(rel) = &s.metrics_rel else { return };
+    let mut raw = Vec::new();
+    for (sname, field, line) in &s.decls {
+        if !s.writes.contains(field) {
+            raw.push(Violation {
+                file: rel.clone(),
+                line: *line,
+                rule: RULE_STATS_COVERAGE,
+                msg: format!(
+                    "stats field `{sname}.{field}` is declared but never \
+                     written in crates/core non-test code"
+                ),
+            });
+        }
+        if !s.test_reads.contains(field) {
+            raw.push(Violation {
+                file: rel.clone(),
+                line: *line,
+                rule: RULE_STATS_COVERAGE,
+                msg: format!(
+                    "stats field `{sname}.{field}` is never asserted/inspected \
+                     in any test"
+                ),
+            });
+        }
+    }
+    let (kept, suppressed) = apply_allows(raw, &s.metrics_allows, &s.metrics_comment_lines);
+    report.violations.extend(kept);
+    report.suppressed.extend(suppressed);
+}
+
+// ---------------------------------------------------------------------------
+// Suppression
+// ---------------------------------------------------------------------------
+
+/// Split raw violations into (kept, suppressed-with-reason) using the file's
+/// allow directives. A directive suppresses a violation of its rule on its
+/// own line, or — when it stands alone — on the next code line below any run
+/// of comment-only lines.
+fn apply_allows(
+    raw: Vec<Violation>,
+    allows: &[AllowDirective],
+    comment_lines: &[u32],
+) -> (Vec<Violation>, Vec<(Violation, String)>) {
+    let comment_set: BTreeSet<u32> = comment_lines.iter().copied().collect();
+    let mut kept = Vec::new();
+    let mut suppressed = Vec::new();
+    'next: for v in raw {
+        for a in allows {
+            if a.rule != v.rule || a.reason.is_empty() {
+                continue;
+            }
+            if a.line == v.line {
+                suppressed.push((v, a.reason.clone()));
+                continue 'next;
+            }
+            if a.standalone && a.line < v.line {
+                // Every line strictly between the directive and the
+                // violation must be comment-only.
+                let covers = ((a.line + 1)..v.line).all(|l| comment_set.contains(&l))
+                    && comment_set.contains(&a.line);
+                if covers {
+                    suppressed.push((v, a.reason.clone()));
+                    continue 'next;
+                }
+            }
+        }
+        kept.push(v);
+    }
+    (kept, suppressed)
+}
+
+/// Complain about malformed directives (unknown rule / missing reason).
+fn check_allow_syntax(rel: &str, lx: &Lexed, out: &mut Vec<Violation>) {
+    for a in &lx.allows {
+        if !RULES.contains(&a.rule.as_str()) {
+            out.push(Violation {
+                file: rel.to_string(),
+                line: a.line,
+                rule: RULE_ALLOW_SYNTAX,
+                msg: format!(
+                    "analyze:allow names unknown rule `{}` (known: {})",
+                    a.rule,
+                    RULES.join(", ")
+                ),
+            });
+        } else if a.reason.is_empty() {
+            out.push(Violation {
+                file: rel.to_string(),
+                line: a.line,
+                rule: RULE_ALLOW_SYNTAX,
+                msg: format!(
+                    "analyze:allow({}) has no reason; write \
+                     `// analyze:allow({}): <why this is sound>`",
+                    a.rule, a.rule
+                ),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Entry points
+// ---------------------------------------------------------------------------
+
+/// Run the per-file rules on a single source text addressed as `rel`
+/// (workspace-relative, `/`-separated). Used directly by fixture tests.
+pub fn check_source(rel: &str, src: &str) -> Report {
+    let lx = lex(src);
+    let ctx = FileCtx::new(rel, src, &lx);
+    let mut raw = Vec::new();
+    if io_rule_applies(rel) {
+        io_bypass(&ctx, &mut raw);
+    }
+    if ARITH_FILES.contains(&rel) {
+        accounting_arith(&ctx, &mut raw);
+    }
+    if PANIC_FILES.contains(&rel) {
+        hot_path_panic(&ctx, &mut raw);
+    }
+    let (mut kept, suppressed) = apply_allows(raw, &lx.allows, &lx.comment_only_lines);
+    check_allow_syntax(rel, &lx, &mut kept);
+    let mut report = Report {
+        violations: kept,
+        suppressed,
+        allows: lx
+            .allows
+            .iter()
+            .map(|a| (rel.to_string(), a.clone()))
+            .collect(),
+    };
+    report.sort();
+    report
+}
+
+/// Directory names never descended into during the workspace walk.
+const SKIP_DIRS: [&str; 5] = ["target", "vendor", ".git", "fixtures", "node_modules"];
+
+fn walk(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if !SKIP_DIRS.contains(&name.as_ref()) && !name.starts_with('.') {
+                    stack.push(path);
+                }
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Analyze every Rust source under `root` (a workspace checkout) with all
+/// four rules, including the workspace-wide stats-coverage pass.
+pub fn analyze_workspace(root: &Path) -> io::Result<Report> {
+    let mut report = Report::default();
+    let mut stats = StatsScan::default();
+    for path in walk(root)? {
+        let rel: String = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy().into_owned())
+            .collect::<Vec<_>>()
+            .join("/");
+        let src = fs::read_to_string(&path)?;
+        let lx = lex(&src);
+        let ctx = FileCtx::new(&rel, &src, &lx);
+        let mut raw = Vec::new();
+        if io_rule_applies(&rel) {
+            io_bypass(&ctx, &mut raw);
+        }
+        if ARITH_FILES.contains(&rel.as_str()) {
+            accounting_arith(&ctx, &mut raw);
+        }
+        if PANIC_FILES.contains(&rel.as_str()) {
+            hot_path_panic(&ctx, &mut raw);
+        }
+        collect_stats(&ctx, &mut stats);
+        let (mut kept, suppressed) = apply_allows(raw, &lx.allows, &lx.comment_only_lines);
+        check_allow_syntax(&rel, &lx, &mut kept);
+        report.merge(Report {
+            violations: kept,
+            suppressed,
+            allows: lx.allows.iter().map(|a| (rel.clone(), a.clone())).collect(),
+        });
+    }
+    stats_coverage(&stats, &mut report);
+    report.sort();
+    Ok(report)
+}

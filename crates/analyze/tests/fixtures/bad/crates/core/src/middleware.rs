@@ -1,0 +1,13 @@
+//! Fixture: io-bypass violations in a middleware lookalike.
+
+use std::fs::File;
+
+/// Open a staged block directly, dodging the staging manager.
+pub fn load(path: &str) -> std::io::Result<File> {
+    File::open(path)
+}
+
+/// Write without accounting.
+pub fn dump(path: &str, data: &[u8]) {
+    let _ = std::fs::write(path, data);
+}

@@ -1,0 +1,10 @@
+//! Fixture: accounting-arith violations in a scheduler lookalike.
+
+/// Budget admission with every arithmetic sin the rule catches.
+pub fn admit(reserved: u64, bound: u64, budget: u64, rows: usize) -> bool {
+    let next = reserved + bound;
+    let scaled = bound * 3;
+    let shrunk = budget - bound;
+    let rows64 = rows as u64;
+    next <= budget && scaled >= rows64 && shrunk > 0
+}

@@ -1,0 +1,25 @@
+//! Fixture: stats fields all written and asserted.
+
+/// Middleware counters.
+#[derive(Default)]
+pub struct MiddlewareStats {
+    /// Batch rounds completed.
+    pub rounds: u64,
+}
+
+impl MiddlewareStats {
+    /// Count one round.
+    pub fn bump(&mut self) {
+        self.rounds = self.rounds.saturating_add(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn rounds_is_counted() {
+        let mut s = super::MiddlewareStats::default();
+        s.bump();
+        assert_eq!(s.rounds, 1);
+    }
+}

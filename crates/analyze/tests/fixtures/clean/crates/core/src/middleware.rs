@@ -1,0 +1,6 @@
+//! Fixture: middleware lookalike that stays inside the accounted layers.
+
+/// Pretend to schedule without touching raw I/O.
+pub fn plan(pending: usize) -> usize {
+    pending.saturating_sub(1)
+}

@@ -1,0 +1,14 @@
+//! Fixture: scan loop with iterator access and one vetted index.
+
+/// Sum candidate slots without panicking.
+pub fn scan(rows: &[Vec<u64>], idxs: &[usize]) -> u64 {
+    let mut total = 0u64;
+    for row in rows {
+        for &i in idxs {
+            total = total.saturating_add(row.get(i).copied().unwrap_or(0));
+        }
+        // analyze:allow(hot-path-panic): fixture — index 0 exists by contract.
+        total = total.saturating_add(row[0]);
+    }
+    total
+}

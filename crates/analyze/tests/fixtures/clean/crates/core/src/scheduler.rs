@@ -1,0 +1,10 @@
+//! Fixture: accounting arithmetic done right, plus one vetted cast.
+
+/// Budget admission with checked arithmetic.
+pub fn admit(reserved: u64, bound: u64, budget: u64, rows: usize) -> bool {
+    let next = reserved.saturating_add(bound);
+    let rows64 = u64::try_from(rows).unwrap_or(u64::MAX);
+    // analyze:allow(accounting-arith): fixture — the cast is vetted here.
+    let scaled = bound as u32;
+    next <= budget && rows64 >= u64::from(scaled)
+}

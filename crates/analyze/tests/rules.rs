@@ -1,0 +1,222 @@
+//! Fixture tests for the invariant analyzer: each rule fires exactly where
+//! the bad fixtures say it should, `analyze:allow` suppresses exactly its
+//! rule and line, and the CLI's `--deny` exit codes match.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use scaleclass_analyze::{
+    analyze_workspace, check_source, RULE_ACCOUNTING_ARITH, RULE_HOT_PATH_PANIC, RULE_IO_BYPASS,
+    RULE_STATS_COVERAGE,
+};
+
+fn fixture_root(which: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(which)
+}
+
+fn fixture(which: &str, rel: &str) -> String {
+    std::fs::read_to_string(fixture_root(which).join(rel)).unwrap()
+}
+
+/// `(rule, line)` pairs of a report's violations, sorted.
+fn fired(report: &scaleclass_analyze::Report) -> Vec<(&'static str, u32)> {
+    report.violations.iter().map(|v| (v.rule, v.line)).collect()
+}
+
+#[test]
+fn accounting_arith_fires_on_each_pattern() {
+    let rel = "crates/core/src/scheduler.rs";
+    let report = check_source(rel, &fixture("bad", rel));
+    assert_eq!(
+        fired(&report),
+        vec![
+            (RULE_ACCOUNTING_ARITH, 5), // reserved + bound
+            (RULE_ACCOUNTING_ARITH, 6), // bound * 3
+            (RULE_ACCOUNTING_ARITH, 7), // budget - bound
+            (RULE_ACCOUNTING_ARITH, 8), // rows as u64
+        ]
+    );
+    assert!(report.violations[3].msg.contains("`as u64`"));
+    assert!(report.suppressed.is_empty());
+}
+
+#[test]
+fn hot_path_panic_fires_on_each_pattern() {
+    let rel = "crates/core/src/parallel.rs";
+    let report = check_source(rel, &fixture("bad", rel));
+    assert_eq!(
+        fired(&report),
+        vec![
+            (RULE_HOT_PATH_PANIC, 7),  // .unwrap()
+            (RULE_HOT_PATH_PANIC, 10), // row[i] inside the scan loop
+            (RULE_HOT_PATH_PANIC, 13), // .expect()
+            (RULE_HOT_PATH_PANIC, 15), // panic!
+        ]
+    );
+}
+
+#[test]
+fn io_bypass_fires_on_each_pattern() {
+    let rel = "crates/core/src/middleware.rs";
+    let report = check_source(rel, &fixture("bad", rel));
+    assert_eq!(
+        fired(&report),
+        vec![
+            (RULE_IO_BYPASS, 3),  // use std::fs::File
+            (RULE_IO_BYPASS, 7),  // File::open
+            (RULE_IO_BYPASS, 12), // std::fs::write
+        ]
+    );
+}
+
+#[test]
+fn io_bypass_exempts_the_staging_layer() {
+    let src = fixture("bad", "crates/core/src/middleware.rs");
+    let report = check_source("crates/core/src/staging.rs", &src);
+    assert!(report.violations.is_empty(), "staging.rs may do raw I/O");
+    let report = check_source("crates/sqldb/src/pager.rs", &src);
+    assert!(report.violations.is_empty(), "sqldb may do raw I/O");
+}
+
+#[test]
+fn stats_coverage_requires_write_and_test_assert() {
+    let report = analyze_workspace(&fixture_root("bad")).unwrap();
+    let stats: Vec<(u32, &str)> = report
+        .violations
+        .iter()
+        .filter(|v| v.rule == RULE_STATS_COVERAGE)
+        .map(|v| (v.line, v.msg.as_str()))
+        .collect();
+    assert_eq!(stats.len(), 3, "stats findings: {stats:?}");
+    // `phantom_writes` is written but never asserted.
+    assert_eq!(stats[0].0, 9);
+    assert!(stats[0].1.contains("phantom_writes"));
+    assert!(stats[0].1.contains("never asserted"));
+    // `ghost_reads` is neither written nor asserted.
+    assert_eq!(stats[1].0, 11);
+    assert!(stats[1].1.contains("ghost_reads"));
+    assert!(stats[1].1.contains("never"));
+    assert_eq!(stats[2].0, 11);
+    // `rounds` (written + asserted) must NOT be flagged.
+    assert!(!stats
+        .iter()
+        .any(|(_, m)| m.contains("`MiddlewareStats.rounds`")));
+}
+
+#[test]
+fn bad_tree_fires_every_rule_and_clean_tree_is_clean() {
+    let bad = analyze_workspace(&fixture_root("bad")).unwrap();
+    for rule in [
+        RULE_IO_BYPASS,
+        RULE_ACCOUNTING_ARITH,
+        RULE_HOT_PATH_PANIC,
+        RULE_STATS_COVERAGE,
+    ] {
+        assert!(
+            bad.violations.iter().any(|v| v.rule == rule),
+            "bad tree should trip {rule}"
+        );
+    }
+
+    let clean = analyze_workspace(&fixture_root("clean")).unwrap();
+    assert!(
+        clean.violations.is_empty(),
+        "clean tree should pass: {:?}",
+        clean.violations
+    );
+    // The clean tree exercises the suppression path: one vetted cast and
+    // one vetted index, both with reasons the inventory preserves.
+    assert_eq!(clean.suppressed.len(), 2);
+    assert!(clean
+        .suppressed
+        .iter()
+        .all(|(_, reason)| !reason.is_empty()));
+    assert_eq!(clean.allows.len(), 2);
+}
+
+#[test]
+fn allow_suppresses_only_its_rule_and_line() {
+    let rel = "crates/core/src/scheduler.rs";
+    // Same-line directive suppresses the violation on that line only.
+    let src = "pub fn f(a: u64, b: u64) -> u64 {\n\
+               let x = a + b; // analyze:allow(accounting-arith): vetted\n\
+               x + a\n\
+               }\n";
+    let report = check_source(rel, src);
+    assert_eq!(fired(&report), vec![(RULE_ACCOUNTING_ARITH, 3)]);
+    assert_eq!(report.suppressed.len(), 1);
+
+    // A directive for a different rule suppresses nothing.
+    let src = "pub fn f(a: u64, b: u64) -> u64 {\n\
+               // analyze:allow(hot-path-panic): wrong rule on purpose\n\
+               a + b\n\
+               }\n";
+    let report = check_source(rel, src);
+    assert_eq!(fired(&report), vec![(RULE_ACCOUNTING_ARITH, 3)]);
+
+    // A standalone directive covers the next code line through comments.
+    let src = "pub fn f(a: u64, b: u64) -> u64 {\n\
+               // analyze:allow(accounting-arith): vetted\n\
+               // (more commentary in between)\n\
+               a + b\n\
+               }\n";
+    let report = check_source(rel, src);
+    assert!(report.violations.is_empty());
+    assert_eq!(report.suppressed.len(), 1);
+
+    // ...but not past a non-comment line.
+    let src = "pub fn f(a: u64, b: u64) -> u64 {\n\
+               // analyze:allow(accounting-arith): vetted\n\
+               let x = a;\n\
+               x + b\n\
+               }\n";
+    let report = check_source(rel, src);
+    assert_eq!(fired(&report), vec![(RULE_ACCOUNTING_ARITH, 4)]);
+}
+
+#[test]
+fn allow_without_reason_is_rejected_and_does_not_suppress() {
+    let rel = "crates/core/src/scheduler.rs";
+    let src = "pub fn f(a: u64, b: u64) -> u64 {\n\
+               a + b // analyze:allow(accounting-arith)\n\
+               }\n";
+    let report = check_source(rel, src);
+    let rules: Vec<&str> = report.violations.iter().map(|v| v.rule).collect();
+    assert!(rules.contains(&RULE_ACCOUNTING_ARITH), "not suppressed");
+    assert!(
+        rules.contains(&"allow-syntax"),
+        "malformed directive flagged"
+    );
+}
+
+#[test]
+fn cli_deny_exit_codes() {
+    let bin = env!("CARGO_BIN_EXE_scaleclass-analyze");
+    let run = |args: &[&str]| Command::new(bin).args(args).output().unwrap();
+
+    let bad_root = fixture_root("bad");
+    let bad = bad_root.to_str().unwrap();
+    let clean_root = fixture_root("clean");
+    let clean = clean_root.to_str().unwrap();
+
+    let out = run(&["--deny", bad]);
+    assert_eq!(out.status.code(), Some(2), "violations + --deny exit 2");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("crates/core/src/scheduler.rs:5: [accounting-arith]"));
+
+    let out = run(&[bad]);
+    assert_eq!(out.status.code(), Some(0), "without --deny, report only");
+
+    let out = run(&["--deny", clean]);
+    assert_eq!(out.status.code(), Some(0), "clean tree passes --deny");
+
+    let out = run(&["--deny", "--allows", clean]);
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("analyze:allow inventory"));
+    assert!(stdout.contains("fixture"), "inventory shows the reasons");
+
+    let out = run(&["--deny", "/nonexistent/path/for/sure"]);
+    assert_eq!(out.status.code(), Some(3), "unreadable root exits 3");
+}

@@ -283,6 +283,8 @@ fn main() {
         fw = FILE_WORKER_SWEEP[FILE_WORKER_SWEEP.len() - 1],
     );
     let out = std::path::Path::new("results/BENCH_parallel_scan.json");
+    // analyze:allow(io-bypass): bench artifact output, not table data;
+    // nothing here belongs in the cost-accounted staging path.
     std::fs::write(out, &json).unwrap();
     println!("wrote {}", out.display());
 }

@@ -104,6 +104,8 @@ impl DenseLayout {
         let max_col = attrs.iter().copied().max().map_or(0, |a| a as usize + 1);
         let mut col_index = vec![u16::MAX; max_col];
         for (i, &attr) in attrs.iter().enumerate() {
+            // analyze:allow(hot-path-panic): col_index was sized to the
+            // maximum attr + 1 two lines up.
             col_index[attr as usize] = i as u16;
         }
         Some(DenseLayout {
@@ -159,14 +161,25 @@ impl DenseCounts {
         }
         for &attr in attrs {
             match l.attr_index(attr) {
+                // analyze:allow(hot-path-panic): scan rows are full-arity by
+                // construction (staging/wire decode both produce `arity`
+                // columns; callers debug_assert it), and `i` comes from
+                // `attr_index` over the same layout vectors.
                 Some(i) if (row[attr as usize] as u32) < l.cards[i] => {}
                 _ => return false,
             }
         }
         let mut newly = 0usize;
         for &attr in attrs {
+            // analyze:allow(hot-path-panic): the validation loop above
+            // proved every attr is tracked and every code is inside its
+            // card, so col_index/offsets/row lookups cannot miss.
             let i = l.col_index[attr as usize] as usize;
+            // analyze:allow(hot-path-panic): slot < layout.slots because
+            // offset + value·classes + class was bounds-checked above.
             let slot = (l.offsets[i] + row[attr as usize] as u32 * l.n_classes + class) as usize;
+            // analyze:allow(hot-path-panic): slots was allocated with
+            // exactly `layout.slots` elements.
             let s = &mut self.slots[slot];
             newly += (*s == 0) as usize;
             *s += 1;
@@ -310,6 +323,9 @@ impl CountsTable {
         }
         if let CcRepr::Sparse(map) = &mut self.repr {
             for &attr in attrs {
+                // analyze:allow(hot-path-panic): requests are validated
+                // against the schema arity before scheduling; every attr
+                // column exists in a decoded row.
                 *map.entry((attr, row[attr as usize], class)).or_insert(0) += 1;
             }
         }
@@ -476,6 +492,21 @@ impl CountsTable {
         self.entries() as u64 * CC_ENTRY_BYTES
     }
 
+    /// Shadow accounting (DESIGN.md §9): recount the modelled footprint
+    /// from first principles — walk the live representation and count
+    /// non-zero entries, ignoring the incrementally maintained dense
+    /// `occupied` counter. Debug checkpoints assert this equals
+    /// [`memory_bytes`](Self::memory_bytes); a divergence means an
+    /// add/merge path updated slots without updating occupancy (or vice
+    /// versa), i.e. the scheduler has been budgeting against a lie.
+    pub fn shadow_memory_bytes(&self) -> u64 {
+        let entries = match &self.repr {
+            CcRepr::Sparse(map) => map.values().filter(|&&n| n != 0).count(),
+            CcRepr::Dense(d) => d.slots.iter().filter(|&&s| s != 0).count(),
+        };
+        entries as u64 * CC_ENTRY_BYTES
+    }
+
     /// Physical bytes the live representation holds (dense slot array vs.
     /// modelled sparse entries) — reporting only, never budgeting.
     pub fn physical_bytes(&self) -> u64 {
@@ -580,14 +611,21 @@ impl Iterator for Entries<'_> {
             EntriesInner::Dense { d, attr_i, within } => {
                 let l = &*d.layout;
                 while *attr_i < l.attrs.len() {
+                    // analyze:allow(hot-path-panic): attr_i < attrs.len() is
+                    // the loop condition and cards/offsets are parallel to
+                    // attrs by construction.
                     let span = l.cards[*attr_i] * l.n_classes;
                     while *within < span {
                         let pos = *within;
                         *within += 1;
+                        // analyze:allow(hot-path-panic): offset + pos <
+                        // layout.slots for pos < span by layout construction.
                         let n = d.slots[(l.offsets[*attr_i] + pos) as usize];
                         if n != 0 {
                             let value = (pos / l.n_classes) as Code;
                             let class = (pos % l.n_classes) as Code;
+                            // analyze:allow(hot-path-panic): same parallel
+                            // vector as the loop condition.
                             return Some(((l.attrs[*attr_i], value, class), n));
                         }
                     }
@@ -627,6 +665,8 @@ impl Iterator for AttrVector<'_> {
                 while (*i as usize) < slots.len() {
                     let pos = *i;
                     *i += 1;
+                    // analyze:allow(hot-path-panic): pos < slots.len() is the
+                    // loop condition.
                     let n = slots[pos as usize];
                     if n != 0 {
                         return Some(((pos / *n_classes) as Code, (pos % *n_classes) as Code, n));

@@ -217,8 +217,15 @@ impl MiddlewareConfigBuilder {
     }
 
     /// Middleware memory budget in megabytes (the unit the figures use).
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
     pub fn memory_budget_mb(self, mb: f64) -> Self {
-        self.memory_budget_bytes((mb * 1024.0 * 1024.0) as u64)
+        // Float→int `as` saturates (and maps NaN to 0) since Rust 1.45, so a
+        // nonsensical argument degrades to an empty/unbounded budget rather
+        // than wrapping.
+        // analyze:allow(accounting-arith): f64 MB → u64 bytes needs a float
+        // product and a saturating `as` cast; there is no checked_* for f64.
+        let bytes = (mb * 1024.0 * 1024.0) as u64;
+        self.memory_budget_bytes(bytes)
     }
 
     /// File staging policy (Figure 6 configurations).

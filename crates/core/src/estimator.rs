@@ -17,6 +17,12 @@
 use crate::cc::CC_ENTRY_BYTES;
 use crate::request::CcRequest;
 
+/// Lossless `usize → u64` for collection lengths (accounting-arith: no bare
+/// `as` casts in this module; lengths cannot exceed `u64::MAX`).
+fn len_u64(n: usize) -> u64 {
+    u64::try_from(n).unwrap_or(u64::MAX)
+}
+
 /// The paper's independence estimate of a node's counts-table entry count:
 /// `(rows / parent_rows) · Σ_j card(parent, A_j)`, clamped to at least one
 /// entry per attribute (a non-empty node sees ≥1 value per attribute) and
@@ -25,11 +31,14 @@ use crate::request::CcRequest;
 pub fn est_cc_entries(req: &CcRequest) -> u64 {
     let parent_sum: u64 = req.parent_cards.iter().sum();
     if req.parent_rows == 0 || req.rows == 0 {
-        return req.attrs.len() as u64;
+        return len_u64(req.attrs.len());
     }
-    let frac = req.rows as f64 / req.parent_rows as f64;
-    let est = (frac * parent_sum as f64).ceil() as u64;
-    est.clamp(req.attrs.len() as u64, parent_sum)
+    // Exact integer ceiling of `(rows / parent_rows) · parent_sum`; the old
+    // f64 round-trip agreed below 2^53 but was a needless precision cliff in
+    // an accounting module.
+    let num = u128::from(req.rows).saturating_mul(u128::from(parent_sum));
+    let est = u64::try_from(num.div_ceil(u128::from(req.parent_rows))).unwrap_or(u64::MAX);
+    est.clamp(len_u64(req.attrs.len()), parent_sum)
 }
 
 /// A *guaranteed* upper bound on a node's counts-table entries:
@@ -44,11 +53,15 @@ pub fn est_cc_entries(req: &CcRequest) -> u64 {
 /// needs the hard bound to reproduce the paper's figure shapes; see
 /// DESIGN.md).
 pub fn est_cc_bytes_upper(req: &CcRequest, nclasses: u64) -> u64 {
-    let by_cards: u64 = req.parent_cards.iter().sum::<u64>() * nclasses.max(1);
-    let by_rows: u64 = req.rows.saturating_mul(req.attrs.len() as u64);
+    let by_cards: u64 = req
+        .parent_cards
+        .iter()
+        .sum::<u64>()
+        .saturating_mul(nclasses.max(1));
+    let by_rows: u64 = req.rows.saturating_mul(len_u64(req.attrs.len()));
     by_cards
         .min(by_rows)
-        .max(req.attrs.len() as u64)
+        .max(len_u64(req.attrs.len()))
         .saturating_mul(CC_ENTRY_BYTES)
 }
 
@@ -61,7 +74,7 @@ pub fn est_cc_entries_kind(req: &CcRequest, kind: crate::config::EstimatorKind) 
             .parent_cards
             .iter()
             .sum::<u64>()
-            .max(req.attrs.len() as u64),
+            .max(len_u64(req.attrs.len())),
     }
 }
 
@@ -71,7 +84,9 @@ pub fn est_cc_bytes_kind(
     nclasses: u64,
     kind: crate::config::EstimatorKind,
 ) -> u64 {
-    est_cc_entries_kind(req, kind) * nclasses.max(1) * CC_ENTRY_BYTES
+    est_cc_entries_kind(req, kind)
+        .saturating_mul(nclasses.max(1))
+        .saturating_mul(CC_ENTRY_BYTES)
 }
 
 /// Estimated counts-table footprint in bytes. Each attribute-value can
@@ -79,12 +94,15 @@ pub fn est_cc_bytes_kind(
 /// class count (the paper's formula omits this constant factor; we keep it
 /// because our budget is in bytes).
 pub fn est_cc_bytes(req: &CcRequest, nclasses: u64) -> u64 {
-    est_cc_entries(req) * nclasses.max(1) * CC_ENTRY_BYTES
+    est_cc_entries(req)
+        .saturating_mul(nclasses.max(1))
+        .saturating_mul(CC_ENTRY_BYTES)
 }
 
 /// Exact staged size of a node's data in bytes: `rows × row width`.
 pub fn data_bytes(rows: u64, arity: usize) -> u64 {
-    rows * (arity * scaleclass_sqldb::types::CODE_BYTES) as u64
+    let row_width = len_u64(arity).saturating_mul(len_u64(scaleclass_sqldb::types::CODE_BYTES));
+    rows.saturating_mul(row_width)
 }
 
 /// Pessimistic bound 1 from §4.2.1: `|CC(p_i)| − 1` entries (the child lost
@@ -107,7 +125,7 @@ mod tests {
     use scaleclass_sqldb::Pred;
 
     fn req(rows: u64, parent_rows: u64, parent_cards: Vec<u64>) -> CcRequest {
-        let attrs: Vec<u16> = (0..parent_cards.len() as u16).collect();
+        let attrs: Vec<u16> = (0..u16::try_from(parent_cards.len()).unwrap()).collect();
         CcRequest {
             lineage: Lineage::root(NodeId(0)).child(NodeId(1), Pred::Eq { col: 0, value: 0 }),
             attrs,

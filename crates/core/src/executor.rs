@@ -121,7 +121,10 @@ impl Dispatch {
         out.clear();
         out.extend_from_slice(&self.unkeyed);
         for &col in &self.cols {
-            if let Some(idxs) = self.map.get(&(col, row[col])) {
+            // A dispatch column beyond this row's arity cannot match any
+            // predicate, so an out-of-range lookup just yields no candidates.
+            let Some(&value) = row.get(col) else { continue };
+            if let Some(idxs) = self.map.get(&(col, value)) {
                 out.extend_from_slice(idxs);
             }
         }
@@ -162,6 +165,32 @@ impl BatchCounter {
         self.base_mem_bytes + self.cc_bytes + self.buffer_bytes
     }
 
+    /// Shadow accounting (DESIGN.md §9): recompute this batch's CC and
+    /// staging-buffer bytes from first principles and assert they equal
+    /// the incrementally maintained counters the budget machinery ran on.
+    /// The asserts are unconditional — call sites gate on
+    /// `cfg(debug_assertions)` so release scans pay nothing, while a
+    /// release caller that opts in still gets a real check.
+    pub fn assert_shadow_accounting(&self) {
+        let shadow_cc: u64 = self.nodes.iter().map(|n| n.cc.shadow_memory_bytes()).sum();
+        assert_eq!(
+            shadow_cc, self.cc_bytes,
+            "incremental cc_bytes drifted from a first-principles recount \
+             of the batch's counts tables"
+        );
+        let shadow_buf: u64 = self
+            .nodes
+            .iter()
+            .filter_map(|n| n.mem_buffer.as_ref())
+            .map(|b| (b.len() * CODE_BYTES) as u64)
+            .sum();
+        assert_eq!(
+            shadow_buf, self.buffer_bytes,
+            "incremental buffer_bytes drifted from the bytes actually held \
+             in memory-staging tees"
+        );
+    }
+
     /// Feed one row through every scheduled node.
     pub fn process_row(&mut self, row: &[Code], stats: &mut MiddlewareStats) -> MwResult<()> {
         debug_assert_eq!(row.len(), self.arity);
@@ -178,6 +207,8 @@ impl BatchCounter {
         self.dispatch.candidates(row, &mut candidates);
 
         for &idx in &candidates {
+            // analyze:allow(hot-path-panic): Dispatch mints candidate indices
+            // from these same `nodes`, so they are structurally in-bounds.
             let node = &mut self.nodes[idx];
             if !node.req.pred().eval(row) {
                 continue;

@@ -46,15 +46,39 @@
 
 pub mod cc;
 pub mod concurrent;
+// The accounting modules (the files `scaleclass-analyze`'s accounting-arith
+// rule covers) additionally deny clippy's narrowing-cast lints here rather
+// than workspace-wide, where they would outlaw the legitimate casts in the
+// encoder/tree crates. See DESIGN.md §9.
+#[deny(
+    clippy::cast_possible_truncation,
+    clippy::cast_sign_loss,
+    clippy::cast_possible_wrap
+)]
 pub mod config;
 pub mod error;
+#[deny(
+    clippy::cast_possible_truncation,
+    clippy::cast_sign_loss,
+    clippy::cast_possible_wrap
+)]
 pub mod estimator;
 pub mod executor;
 pub mod filter;
+#[deny(
+    clippy::cast_possible_truncation,
+    clippy::cast_sign_loss,
+    clippy::cast_possible_wrap
+)]
 pub mod metrics;
 pub mod middleware;
 pub mod parallel;
 pub mod request;
+#[deny(
+    clippy::cast_possible_truncation,
+    clippy::cast_sign_loss,
+    clippy::cast_possible_wrap
+)]
 pub mod scheduler;
 pub mod sqlgen;
 pub mod staging;

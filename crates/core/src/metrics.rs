@@ -111,11 +111,12 @@ impl MiddlewareStats {
     /// Simulated middleware cost under explicit weights (see
     /// [`scaleclass_sqldb::stats::CostWeights`]).
     pub fn simulated_cost_with(&self, w: &scaleclass_sqldb::stats::CostWeights) -> u64 {
-        self.file_rows_read * w.file_row_read
-            + self.file_rows_written * w.file_row_written
-            + self.memory_rows_read * w.mem_row
-            + self.memory_rows_staged * w.mem_row
-            + self.files_created * w.file_created
+        self.file_rows_read
+            .saturating_mul(w.file_row_read)
+            .saturating_add(self.file_rows_written.saturating_mul(w.file_row_written))
+            .saturating_add(self.memory_rows_read.saturating_mul(w.mem_row))
+            .saturating_add(self.memory_rows_staged.saturating_mul(w.mem_row))
+            .saturating_add(self.files_created.saturating_mul(w.file_created))
     }
 }
 
@@ -156,10 +157,10 @@ impl ScanStats {
                 .resize(per_worker.len(), WorkerScanStats::default());
         }
         for (acc, w) in self.workers.iter_mut().zip(per_worker) {
-            acc.read_bytes += w.read_bytes;
-            acc.decode_ns += w.decode_ns;
-            acc.rows += w.rows;
-            acc.extents += w.extents;
+            acc.read_bytes = acc.read_bytes.saturating_add(w.read_bytes);
+            acc.decode_ns = acc.decode_ns.saturating_add(w.decode_ns);
+            acc.rows = acc.rows.saturating_add(w.rows);
+            acc.extents = acc.extents.saturating_add(w.extents);
         }
     }
 
@@ -203,6 +204,10 @@ mod tests {
         ]);
         assert_eq!(s.workers.len(), 2);
         assert_eq!(s.workers[0].read_bytes, 150);
+        assert_eq!(
+            s.workers[0].decode_ns, 6,
+            "decode time accumulates per worker"
+        );
         assert_eq!(s.workers[1].rows, 7);
         assert_eq!(s.total_read_bytes(), 220);
         assert_eq!(s.total_rows(), 22);

@@ -163,6 +163,15 @@ impl Middleware {
         &self.stats
     }
 
+    /// Shadow accounting (DESIGN.md §9): assert the staging manager's
+    /// incremental staged-byte counter matches a first-principles recount
+    /// of its live memory sets. `process_next_batch` runs this (plus the
+    /// per-batch [`BatchCounter`] check) automatically in debug builds;
+    /// tests call it directly to checkpoint between batches.
+    pub fn assert_shadow_accounting(&self) {
+        self.staging.assert_shadow_accounting();
+    }
+
     /// Per-reader staged-file scan statistics (physical bytes read and
     /// decode time by scan-worker index, summed over the session).
     pub fn scan_stats(&self) -> &ScanStats {
@@ -288,7 +297,17 @@ impl Middleware {
             DataLocation::Server => self.scan_server(sink, frontier_rows)?,
         };
         let batch = sink.finish(&mut self.stats)?;
-        self.finish_batch(batch, source)
+        // Shadow checkpoint (DESIGN.md §9): the batch's incremental CC and
+        // tee-buffer accounting must match a first-principles recount
+        // before eviction/commit decisions are applied from it.
+        #[cfg(debug_assertions)]
+        batch.assert_shadow_accounting();
+        let out = self.finish_batch(batch, source)?;
+        // And after commits/evictions: the staging manager's incremental
+        // staged-byte counter must match its live memory sets.
+        #[cfg(debug_assertions)]
+        self.staging.assert_shadow_accounting();
+        Ok(out)
     }
 
     /// Drain the queue completely, invoking `consume` for every fulfilled
@@ -776,7 +795,9 @@ mod tests {
         mw.enqueue(root).unwrap();
         let r1 = mw.process_next_batch().unwrap();
         assert_eq!(r1[0].source, DataLocation::Server);
+        assert_eq!(mw.stats().server_scans, 1, "root comes from the server");
         assert_eq!(mw.stats().memory_sets_created, 1, "root staged to memory");
+        assert!(mw.stats().scan_nanos > 0, "scan wall-clock is recorded");
 
         // A child request is served from memory, with zero extra server work.
         let child = CcRequest {
@@ -795,6 +816,13 @@ mod tests {
         assert_eq!(r2[0].cc.total(), 20);
         assert_eq!(delta.seq_scans, 0, "no server scan needed");
         assert_eq!(delta.rows_shipped, 0);
+        assert_eq!(mw.stats().server_scans, 1, "still only the root scan");
+        assert_eq!(mw.stats().memory_scans, 1, "child served by a memory scan");
+        assert_eq!(
+            mw.stats().memory_rows_read,
+            80,
+            "memory scan reads the whole staged parent set"
+        );
     }
 
     #[test]
@@ -855,6 +883,12 @@ mod tests {
         assert_eq!(delta.seq_scans, 0, "served from middleware file");
         assert_eq!(mw.stats().file_scans, 1);
         assert_eq!(mw.stats().file_rows_read, 80, "whole file scanned");
+        let row_bytes = (mw.attrs().len() + 1) as u64 * CODE_BYTES as u64;
+        assert_eq!(
+            mw.stats().file_bytes_read,
+            80 * row_bytes,
+            "file read accounting is rows x row_bytes"
+        );
     }
 
     #[test]
@@ -917,6 +951,10 @@ mod tests {
         mw.enqueue(root).unwrap();
         mw.process_next_batch().unwrap();
         assert_eq!(mw.stats().aux_builds, 1, "root scan builds the keyset");
+        assert!(
+            mw.stats().aux_build_cost.rows_scanned >= 80,
+            "keyset construction cost (a full qualifying scan) is captured"
+        );
 
         for v in 0..4u16 {
             mw.enqueue(CcRequest {

@@ -137,8 +137,18 @@ impl Shared {
     /// Returns false when the pool runs dry while still over budget —
     /// the caller must fall back.
     fn relieve_pressure(&self) -> bool {
-        let mut evictable = self.evictable.lock().expect("evictable pool");
-        let mut evicted = self.evicted.lock().expect("evicted list");
+        // A poisoned lock means another worker panicked mid-scan; the pool
+        // itself is a Vec whose pop/push are atomic with respect to panics,
+        // so recover the guard and keep accounting rather than compounding
+        // the panic on every surviving worker.
+        let mut evictable = self
+            .evictable
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut evicted = self
+            .evicted
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         loop {
             if self.memory_in_use() <= self.budget {
                 return true;
@@ -189,25 +199,32 @@ impl ShardState {
         self.rows += 1;
         dispatch.candidates(row, &mut self.candidates);
         for &idx in &self.candidates {
-            if shared.fallback[idx].load(Ordering::Relaxed) {
-                if !self.dropped[idx] {
+            // analyze:allow(hot-path-panic): Dispatch mints candidate
+            // indices from `shared.specs`, and fallback/shards/dropped are
+            // parallel vectors of the same length by construction.
+            let (spec, fallback) = (&shared.specs[idx], &shared.fallback[idx]);
+            // analyze:allow(hot-path-panic): same parallel-vector bound.
+            let shard = &mut self.shards[idx];
+            // analyze:allow(hot-path-panic): same parallel-vector bound.
+            let dropped = &mut self.dropped[idx];
+            if fallback.load(Ordering::Relaxed) {
+                if !*dropped {
                     // Self-cleanup: another worker tripped the §4.1.1
                     // switch; release this shard's bytes.
                     shared
                         .cc_reserved
-                        .fetch_sub(self.shards[idx].memory_bytes(), Ordering::Relaxed);
-                    self.shards[idx] = CountsTable::new();
-                    self.dropped[idx] = true;
+                        .fetch_sub(shard.memory_bytes(), Ordering::Relaxed);
+                    *shard = CountsTable::new();
+                    *dropped = true;
                 }
                 continue;
             }
-            let spec = &shared.specs[idx];
             if !spec.pred.eval(row) {
                 continue;
             }
-            let before = self.shards[idx].entries();
-            self.shards[idx].add_row(row, &spec.attrs, spec.class_col);
-            let grew = (self.shards[idx].entries() - before) as u64 * CC_ENTRY_BYTES;
+            let before = shard.entries();
+            shard.add_row(row, &spec.attrs, spec.class_col);
+            let grew = (shard.entries() - before) as u64 * CC_ENTRY_BYTES;
             if grew == 0 {
                 continue;
             }
@@ -217,12 +234,12 @@ impl ShardState {
             }
             // Counting pressure: cached data first, then the switch.
             if !shared.relieve_pressure() {
-                shared.fallback[idx].store(true, Ordering::Relaxed);
+                fallback.store(true, Ordering::Relaxed);
                 shared
                     .cc_reserved
-                    .fetch_sub(self.shards[idx].memory_bytes(), Ordering::Relaxed);
-                self.shards[idx] = CountsTable::new();
-                self.dropped[idx] = true;
+                    .fetch_sub(shard.memory_bytes(), Ordering::Relaxed);
+                *shard = CountsTable::new();
+                *dropped = true;
             }
         }
     }
@@ -279,29 +296,33 @@ fn shard_reader_loop(
         let t0 = Instant::now();
         for row in block.chunks_exact(shared.arity) {
             state.count_row(row, &dispatch, &shared);
-            for (t, &i) in tee_nodes.iter().enumerate() {
-                if shared.tee_cancel[i].load(Ordering::Relaxed) {
-                    if !tee_bufs[t].is_empty() {
+            for (buf, &i) in tee_bufs.iter_mut().zip(&tee_nodes) {
+                // analyze:allow(hot-path-panic): tee node indices were
+                // minted by the coordinator over these same spec/cancel
+                // vectors.
+                let (cancel, spec) = (&shared.tee_cancel[i], &shared.specs[i]);
+                if cancel.load(Ordering::Relaxed) {
+                    if !buf.is_empty() {
                         shared
                             .buffer_bytes
-                            .fetch_sub((tee_bufs[t].len() * CODE_BYTES) as u64, Ordering::Relaxed);
-                        tee_bufs[t] = Vec::new();
+                            .fetch_sub((buf.len() * CODE_BYTES) as u64, Ordering::Relaxed);
+                        *buf = Vec::new();
                     }
                     continue;
                 }
-                if !shared.specs[i].pred.eval(row) {
+                if !spec.pred.eval(row) {
                     continue;
                 }
-                tee_bufs[t].extend_from_slice(row);
+                buf.extend_from_slice(row);
                 shared.buffer_bytes.fetch_add(row_bytes, Ordering::Relaxed);
                 if shared.memory_in_use() > shared.budget {
                     // Staging is best-effort: cancel this node's memory
                     // tee everywhere rather than evicting counts.
-                    shared.tee_cancel[i].store(true, Ordering::Relaxed);
+                    cancel.store(true, Ordering::Relaxed);
                     shared
                         .buffer_bytes
-                        .fetch_sub((tee_bufs[t].len() * CODE_BYTES) as u64, Ordering::Relaxed);
-                    tee_bufs[t] = Vec::new();
+                        .fetch_sub((buf.len() * CODE_BYTES) as u64, Ordering::Relaxed);
+                    *buf = Vec::new();
                 }
             }
         }
@@ -482,8 +503,8 @@ impl ParallelScan {
                 Ok(Ok(r)) => {
                     io.push(r.io);
                     results.push(r.result);
-                    for (t, buf) in r.tee_bufs.into_iter().enumerate() {
-                        tee_cols[t].push(buf);
+                    for (col, buf) in tee_cols.iter_mut().zip(r.tee_bufs) {
+                        col.push(buf);
                     }
                 }
             }
@@ -535,8 +556,9 @@ impl ParallelScan {
             return Ok(());
         }
         let row_bytes = (self.shared.arity * CODE_BYTES) as u64;
-        for t in 0..self.tee_nodes.len() {
-            let i = self.tee_nodes[t];
+        for &i in &self.tee_nodes {
+            // analyze:allow(hot-path-panic): tee_nodes holds indices into
+            // this batch's node list, collected from it at construction.
             let node = &mut self.batch.nodes[i];
             if !node.req.pred().eval(row) {
                 continue;
@@ -602,12 +624,15 @@ impl ParallelScan {
         });
         if let Some(tees) = sharded_tees {
             for (i, bufs) in tees {
+                // analyze:allow(hot-path-panic): sharded tee indices address
+                // this batch's nodes; tee_cancel is the parallel flag vector.
                 if self.shared.tee_cancel[i].load(Ordering::Relaxed) {
                     // Some reader overflowed the budget mid-scan; release
                     // whatever buffers survived and drop the tee, exactly
                     // the serial path's best-effort cancellation.
                     let bytes: u64 = bufs.iter().map(|b| (b.len() * CODE_BYTES) as u64).sum();
                     self.shared.buffer_bytes.fetch_sub(bytes, Ordering::Relaxed);
+                    // analyze:allow(hot-path-panic): same in-bounds tee index.
                     self.batch.nodes[i].mem_buffer = None;
                 } else {
                     // Concatenating per-range buffers in range order is the
@@ -617,6 +642,7 @@ impl ParallelScan {
                     for b in bufs {
                         merged.extend_from_slice(&b);
                     }
+                    // analyze:allow(hot-path-panic): same in-bounds tee index.
                     self.batch.nodes[i].mem_buffer = Some(merged);
                 }
             }
@@ -630,6 +656,8 @@ impl ParallelScan {
         // Deterministic merge, worker-index order. Counting is additive,
         // so the result is independent of how blocks were interleaved.
         for (i, node) in self.batch.nodes.iter_mut().enumerate() {
+            // analyze:allow(hot-path-panic): fallback has one flag per batch
+            // node; i enumerates those nodes.
             if self.shared.fallback[i].load(Ordering::Relaxed) {
                 node.cc = CountsTable::new();
                 node.fallback = true;
@@ -637,17 +665,22 @@ impl ParallelScan {
                 continue;
             }
             for r in &mut results {
+                // analyze:allow(hot-path-panic): every worker built one
+                // shard per batch node.
                 node.cc.merge(std::mem::take(&mut r.shards[i]));
             }
         }
         // Fold the shared accounting back into the batch: exact CC bytes
         // from the merged tables (the shard reservation was an upper
         // bound), eviction decisions, and the tee buffers.
+        // Poisoning here means a worker panicked; the join loop above has
+        // already surfaced that as an error, so recover the guard and keep
+        // whatever eviction decisions completed.
         let evicted: Vec<u64> = self
             .shared
             .evicted
             .lock()
-            .expect("evicted list")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .drain(..)
             .collect();
         stats.pressure_evictions += evicted.len() as u64;
@@ -655,6 +688,12 @@ impl ParallelScan {
         self.batch.base_mem_bytes = self.shared.base_mem_bytes.load(Ordering::Relaxed);
         self.batch.cc_bytes = self.batch.nodes.iter().map(|n| n.cc.memory_bytes()).sum();
         self.batch.buffer_bytes = self.shared.buffer_bytes.load(Ordering::Relaxed);
+        // Shadow checkpoint (DESIGN.md §9): the dense occupancy counters
+        // just went through per-worker adds and a slot-wise merge, and
+        // buffer_bytes through concurrent tee add/cancel traffic — recount
+        // both from the merged state before the scheduler trusts them.
+        #[cfg(debug_assertions)]
+        self.batch.assert_shadow_accounting();
         stats.observe_memory(self.batch.memory_in_use());
         stats.parallel_scans += 1;
         stats.scan_rows += self.rows_sent;

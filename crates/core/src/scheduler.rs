@@ -152,8 +152,8 @@ pub fn schedule(
         } else {
             est_cc_bytes_upper(&pending[i], nclasses)
         };
-        if admitted.is_empty() || cc_reserved + bound <= cc_budget {
-            cc_reserved += bound;
+        if admitted.is_empty() || cc_reserved.saturating_add(bound) <= cc_budget {
+            cc_reserved = cc_reserved.saturating_add(bound);
             admitted.push(i);
         }
     }
@@ -165,7 +165,7 @@ pub fn schedule(
         take[i] = true;
     }
     let mut scheduled: Vec<ScheduledNode> = Vec::with_capacity(admitted.len());
-    let mut rest: Vec<CcRequest> = Vec::with_capacity(pending.len() - admitted.len());
+    let mut rest: Vec<CcRequest> = Vec::with_capacity(pending.len().saturating_sub(admitted.len()));
     for (i, req) in pending.drain(..).enumerate() {
         if take[i] {
             let est = est_cc_bytes_kind(&req, nclasses, config.estimator);
@@ -222,7 +222,7 @@ fn dense_eligible(req: &CcRequest, col_cards: &[u64], cap: u64, nclasses: u64) -
     let cards = req
         .attrs
         .iter()
-        .map(|&a| col_cards.get(a as usize).copied().unwrap_or(u64::MAX));
+        .map(|&a| col_cards.get(usize::from(a)).copied().unwrap_or(u64::MAX));
     let bytes = crate::cc::dense_physical_bytes(cards, nclasses);
     bytes > 0 && bytes <= cap
 }
@@ -303,7 +303,8 @@ fn decide_staging(
         .saturating_sub(cc_reserved);
     // 3/5 of the budget, computed in u128 so "unbounded" budgets near
     // u64::MAX don't wrap `budget * 3` into a garbage cap.
-    let staged_cap = ((config.memory_budget_bytes as u128 * 3) / 5) as u64;
+    let staged_cap = u64::try_from(u128::from(config.memory_budget_bytes).saturating_mul(3) / 5)
+        .unwrap_or(u64::MAX);
     let cap_slack = staged_cap.saturating_sub(staging.staged_mem_bytes());
     let full_fit = frontier_bytes <= headroom;
     let mut remaining = if full_fit {
@@ -324,7 +325,7 @@ fn decide_staging(
         let bytes = data_bytes(node.req.rows, arity);
         if bytes <= remaining {
             node.stage_mem = true;
-            remaining -= bytes;
+            remaining = remaining.saturating_sub(bytes);
         }
     }
 }

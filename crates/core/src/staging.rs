@@ -154,6 +154,11 @@ pub struct StagingManager {
     /// Rows per extent for files written from now on (existing files keep
     /// the extent size recorded in their header).
     extent_rows: usize,
+    /// Incrementally maintained total of [`MemSet::bytes`] over `mem` —
+    /// read on every scheduling decision, so O(1) instead of a re-sum.
+    /// Shadow-checked against the first-principles recount at batch
+    /// checkpoints (DESIGN.md §9).
+    staged_bytes: u64,
 }
 
 impl StagingManager {
@@ -184,6 +189,7 @@ impl StagingManager {
             file_of: HashMap::new(),
             mem_of: HashMap::new(),
             extent_rows: DEFAULT_EXTENT_ROWS,
+            staged_bytes: 0,
         })
     }
 
@@ -203,8 +209,25 @@ impl StagingManager {
     }
 
     /// Total bytes of memory-staged data (counts against the budget).
+    /// Maintained incrementally on stage/evict.
     pub fn staged_mem_bytes(&self) -> u64 {
+        self.staged_bytes
+    }
+
+    /// Shadow accounting (DESIGN.md §9): recompute the staged-byte total
+    /// from first principles by walking every live memory set.
+    pub fn shadow_staged_mem_bytes(&self) -> u64 {
         self.mem.values().map(MemSet::bytes).sum()
+    }
+
+    /// Assert the incremental staged-byte counter matches the recount.
+    /// Unconditional assert; call sites gate on `cfg(debug_assertions)`.
+    pub fn assert_shadow_accounting(&self) {
+        assert_eq!(
+            self.shadow_staged_mem_bytes(),
+            self.staged_bytes,
+            "incremental staged_bytes drifted from the live memory sets"
+        );
     }
 
     /// Staged file by id.
@@ -352,17 +375,16 @@ impl StagingManager {
             self.delete_mem(old, stats);
         }
         self.mem_of.insert(owner, id);
-        self.mem.insert(
+        let set = MemSet {
             id,
-            MemSet {
-                id,
-                owner,
-                pred,
-                rows,
-                nrows,
-                arity,
-            },
-        );
+            owner,
+            pred,
+            rows,
+            nrows,
+            arity,
+        };
+        self.staged_bytes += set.bytes();
+        self.mem.insert(id, set);
         id
     }
 
@@ -383,6 +405,7 @@ impl StagingManager {
             if self.mem_of.get(&m.owner) == Some(&id) {
                 self.mem_of.remove(&m.owner);
             }
+            self.staged_bytes -= m.bytes();
             stats.memory_sets_evicted += 1;
         }
     }

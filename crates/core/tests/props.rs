@@ -502,6 +502,55 @@ proptest! {
         );
     }
 
+    /// Shadow-accounting property (DESIGN.md §9): under arbitrarily tight
+    /// budgets — where pressure evictions, §4.1.1 fallbacks, and tee
+    /// cancellations all fire — the incrementally maintained memory
+    /// counters never drift from a first-principles recount, on either
+    /// counting backend and on both the memory- and file-staging paths.
+    /// `drive` runs `process_next_batch` via `run_to_completion`, whose
+    /// debug-build checkpoints assert batch CC/buffer bytes and staged
+    /// bytes after every batch; the explicit end-of-run call here guards
+    /// against the checkpoints being compiled out of the test profile.
+    #[test]
+    fn shadow_accounting_holds_under_tight_budgets(
+        rows in rows_strategy(),
+        budget in 64u64..5_000,
+    ) {
+        prop_assert!(cfg!(debug_assertions), "shadow sweep must run in a debug profile");
+        for dense_cap in [0u64, 1 << 20] {
+            for build in [MiddlewareConfig::builder, file_variant] {
+                let cfg = build()
+                    .memory_budget_bytes(budget)
+                    .cc_dense_max_bytes(dense_cap)
+                    .build();
+                let mut db = Database::new();
+                db.create_table("d", schema()).unwrap();
+                for r in &rows {
+                    db.insert("d", &r[..]).unwrap();
+                }
+                let mut mw = Middleware::new(db, "d", "class", cfg).unwrap();
+                mw.enqueue(mw.root_request(NodeId(0))).unwrap();
+                let data = rows.clone();
+                let mut served = 0u64;
+                mw.run_to_completion(|f| {
+                    served += 1;
+                    if f.node == NodeId(0) {
+                        (0..4u16)
+                            .map(|v| {
+                                request_for(&data, 1 + u64::from(v), Pred::Eq { col: 0, value: v })
+                            })
+                            .collect()
+                    } else {
+                        vec![]
+                    }
+                })
+                .unwrap();
+                mw.assert_shadow_accounting();
+                prop_assert_eq!(served, 5, "root + four children served");
+            }
+        }
+    }
+
     /// Raw kernel property: a dense table fed an arbitrary row stream is
     /// indistinguishable from a sparse one through every accessor —
     /// entry iteration order, per-attribute vectors, modelled memory —
