@@ -1,57 +1,116 @@
-//! Threaded client ↔ middleware protocol (Figure 3).
+//! Threaded client ↔ middleware protocol (Figure 3), single- and
+//! multi-client.
 //!
 //! The paper's architecture is explicitly asynchronous: the client *queues*
 //! batches of requests, *waits* for the middleware to notify it that some
 //! have been fulfilled, and consumes the counts tables in whatever order it
-//! likes, while the middleware independently decides scheduling. This
-//! module runs the [`Middleware`] on its own thread, connected to the
-//! client by a pair of channels.
+//! likes, while the middleware independently decides scheduling. Two
+//! front-ends implement that protocol:
+//!
+//! * [`MiddlewareHandle`] / [`spawn`] — the classic single-client form:
+//!   one [`Middleware`] on its own thread, one pair of channels.
+//! * [`SessionPool`] — the multi-client service the middleware really is:
+//!   K [`Session`]s over **one** shared [`Backend`], each session on its
+//!   own thread with its own request/result channels, all leasing slices
+//!   of the one `memory_budget_bytes` from the backend's
+//!   [`crate::session::BudgetArbiter`].
+//!
+//! Both front-ends drain deterministically on hangup: dropping a request
+//! sender lets the service finish every queued request (results keep
+//! flowing) before the thread exits. A middleware error that can no longer
+//! be delivered — the client already dropped its receiver — is *deferred*
+//! and surfaces from `shutdown()` as the `MwError` it was, never silently
+//! discarded.
 //!
 //! The synchronous [`Middleware::process_next_batch`] loop remains the
-//! deterministic path used by the experiments; this front-end exists to
+//! deterministic path used by the experiments; these front-ends exist to
 //! demonstrate (and test) that the protocol itself imposes no ordering
 //! beyond "requests in, counts out".
 
-use crate::cc::FulfilledCc;
-use crate::error::MwResult;
-use crate::metrics::MiddlewareStats;
-use crate::middleware::Middleware;
-use crate::request::CcRequest;
-use crossbeam_channel::{unbounded, Receiver, Sender, TryRecvError};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 
-/// Client-side handle to a middleware running on its own thread.
-pub struct MiddlewareHandle {
-    requests: Option<Sender<CcRequest>>,
-    results: Receiver<MwResult<Vec<FulfilledCc>>>,
-    thread: Option<JoinHandle<(Middleware, MiddlewareStats)>>,
+use crate::cc::FulfilledCc;
+use crate::config::MiddlewareConfig;
+use crate::error::{MwError, MwResult};
+use crate::metrics::{MiddlewareStats, ScanStats};
+use crate::middleware::Middleware;
+use crate::request::CcRequest;
+use crate::session::{Backend, Session};
+use crossbeam_channel::{unbounded, Receiver, SendError, Sender, TryRecvError};
+use scaleclass_sqldb::Database;
+
+/// The engine side of the Figure 3 protocol — implemented by both the
+/// single-session [`Middleware`] facade and a pool [`Session`], so one
+/// service loop serves both front-ends.
+trait Engine {
+    fn has_pending(&self) -> bool;
+    fn enqueue(&mut self, req: CcRequest) -> MwResult<()>;
+    fn process_next_batch(&mut self) -> MwResult<Vec<FulfilledCc>>;
 }
 
-/// Run `mw` on a dedicated thread. The thread services requests until the
-/// request sender is dropped *and* the queue is drained, then exits.
-pub fn spawn(mw: Middleware) -> MiddlewareHandle {
-    let (req_tx, req_rx) = unbounded::<CcRequest>();
-    let (res_tx, res_rx) = unbounded::<MwResult<Vec<FulfilledCc>>>();
-    let thread = std::thread::spawn(move || middleware_loop(mw, req_rx, res_tx));
-    MiddlewareHandle {
-        requests: Some(req_tx),
-        results: res_rx,
-        thread: Some(thread),
+impl Engine for Middleware {
+    fn has_pending(&self) -> bool {
+        Middleware::has_pending(self)
+    }
+    fn enqueue(&mut self, req: CcRequest) -> MwResult<()> {
+        Middleware::enqueue(self, req)
+    }
+    fn process_next_batch(&mut self) -> MwResult<Vec<FulfilledCc>> {
+        Middleware::process_next_batch(self)
     }
 }
 
-fn middleware_loop(
-    mut mw: Middleware,
-    requests: Receiver<CcRequest>,
-    results: Sender<MwResult<Vec<FulfilledCc>>>,
-) -> (Middleware, MiddlewareStats) {
+impl Engine for Session {
+    fn has_pending(&self) -> bool {
+        Session::has_pending(self)
+    }
+    fn enqueue(&mut self, req: CcRequest) -> MwResult<()> {
+        Session::enqueue(self, req)
+    }
+    fn process_next_batch(&mut self) -> MwResult<Vec<FulfilledCc>> {
+        Session::process_next_batch(self)
+    }
+}
+
+/// Send `outcome` to the client; when the client has hung up, park the
+/// error (if it was one) in `deferred` instead of discarding it with the
+/// channel. Returns whether the channel is still open.
+fn deliver(
+    results: &Sender<MwResult<Vec<FulfilledCc>>>,
+    outcome: MwResult<Vec<FulfilledCc>>,
+    deferred: &mut Option<MwError>,
+) -> bool {
+    match results.send(outcome) {
+        Ok(()) => true,
+        Err(SendError(payload)) => {
+            if deferred.is_none() {
+                *deferred = payload.err();
+            }
+            false
+        }
+    }
+}
+
+/// Service requests until the request sender is dropped *and* the queue is
+/// drained (deterministic drain-on-hangup), or until an error terminates
+/// the session. Returns any error that could not be delivered to the
+/// client.
+fn service_loop<E: Engine>(
+    engine: &mut E,
+    requests: &Receiver<CcRequest>,
+    results: &Sender<MwResult<Vec<FulfilledCc>>>,
+) -> Option<MwError> {
+    let mut deferred: Option<MwError> = None;
     'outer: loop {
         // Block for at least one request unless work is already queued.
-        if !mw.has_pending() {
+        if !engine.has_pending() {
             match requests.recv() {
                 Ok(req) => {
-                    if let Err(e) = mw.enqueue(req) {
-                        let _ = results.send(Err(e));
+                    if let Err(e) = engine.enqueue(req) {
+                        if !deliver(results, Err(e), &mut deferred) {
+                            break 'outer;
+                        }
                         continue;
                     }
                 }
@@ -63,22 +122,50 @@ fn middleware_loop(
         loop {
             match requests.try_recv() {
                 Ok(req) => {
-                    if let Err(e) = mw.enqueue(req) {
-                        let _ = results.send(Err(e));
+                    if let Err(e) = engine.enqueue(req) {
+                        deliver(results, Err(e), &mut deferred);
                     }
                 }
                 Err(TryRecvError::Empty) => break,
                 Err(TryRecvError::Disconnected) => break,
             }
         }
-        let outcome = mw.process_next_batch();
+        let outcome = engine.process_next_batch();
         let failed = outcome.is_err();
-        if results.send(outcome).is_err() || failed {
+        if !deliver(results, outcome, &mut deferred) || failed {
             break 'outer;
         }
     }
-    let stats = *mw.stats();
-    (mw, stats)
+    deferred
+}
+
+// ---------------------------------------------------------------------------
+// Single-client front-end
+// ---------------------------------------------------------------------------
+
+/// Client-side handle to a middleware running on its own thread.
+pub struct MiddlewareHandle {
+    requests: Option<Sender<CcRequest>>,
+    results: Receiver<MwResult<Vec<FulfilledCc>>>,
+    thread: Option<JoinHandle<(Middleware, MiddlewareStats, Option<MwError>)>>,
+}
+
+/// Run `mw` on a dedicated thread. The thread services requests until the
+/// request sender is dropped *and* the queue is drained, then exits.
+pub fn spawn(mw: Middleware) -> MiddlewareHandle {
+    let (req_tx, req_rx) = unbounded::<CcRequest>();
+    let (res_tx, res_rx) = unbounded::<MwResult<Vec<FulfilledCc>>>();
+    let thread = std::thread::spawn(move || {
+        let mut mw = mw;
+        let deferred = service_loop(&mut mw, &req_rx, &res_tx);
+        let stats = *mw.stats();
+        (mw, stats, deferred)
+    });
+    MiddlewareHandle {
+        requests: Some(req_tx),
+        results: res_rx,
+        thread: Some(thread),
+    }
 }
 
 impl MiddlewareHandle {
@@ -103,16 +190,24 @@ impl MiddlewareHandle {
     }
 
     /// Signal no more requests will come and wait for the middleware to
-    /// finish, recovering it (and its statistics).
-    pub fn shutdown(mut self) -> (Middleware, MiddlewareStats) {
+    /// finish, recovering it (and its statistics). An error the middleware
+    /// hit *after* this client stopped listening — so it could not be
+    /// delivered on the result channel — surfaces here as `Err` instead of
+    /// being silently discarded.
+    pub fn shutdown(mut self) -> MwResult<(Middleware, MiddlewareStats)> {
         self.requests = None;
         // Drain any residual results so the thread is not blocked on send.
         while self.results.try_recv().is_ok() {}
-        self.thread
+        let (mw, stats, deferred) = self
+            .thread
             .take()
             .expect("shutdown called once")
             .join()
-            .expect("middleware thread panicked")
+            .expect("middleware thread panicked");
+        match deferred {
+            Some(e) => Err(e),
+            None => Ok((mw, stats)),
+        }
     }
 }
 
@@ -127,21 +222,170 @@ impl Drop for MiddlewareHandle {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Multi-client pool
+// ---------------------------------------------------------------------------
+
+/// One pool session's client-side endpoints.
+struct SessionHandle {
+    requests: Option<Sender<CcRequest>>,
+    results: Receiver<MwResult<Vec<FulfilledCc>>>,
+    thread: Option<JoinHandle<(MiddlewareStats, ScanStats, Option<MwError>)>>,
+}
+
+impl SessionHandle {
+    fn launch(session: Session) -> Self {
+        let (req_tx, req_rx) = unbounded::<CcRequest>();
+        let (res_tx, res_rx) = unbounded::<MwResult<Vec<FulfilledCc>>>();
+        let thread = std::thread::spawn(move || {
+            let mut session = session;
+            let deferred = service_loop(&mut session, &req_rx, &res_tx);
+            let stats = *session.stats();
+            let scan_stats = session.scan_stats().clone();
+            // `session` drops here: aux structures are reclaimed from the
+            // shared catalog and the budget lease returns to the arbiter.
+            (stats, scan_stats, deferred)
+        });
+        SessionHandle {
+            requests: Some(req_tx),
+            results: res_rx,
+            thread: Some(thread),
+        }
+    }
+
+    fn join(&mut self) -> Option<(MiddlewareStats, ScanStats, Option<MwError>)> {
+        self.requests = None;
+        while self.results.try_recv().is_ok() {}
+        let t = self.thread.take()?;
+        Some(t.join().expect("session thread panicked"))
+    }
+}
+
+impl Drop for SessionHandle {
+    fn drop(&mut self) {
+        self.requests = None;
+        if let Some(t) = self.thread.take() {
+            while self.results.try_recv().is_ok() {}
+            let _ = t.join();
+        }
+    }
+}
+
+/// A multi-client middleware service: `config.sessions` concurrent
+/// tree-build sessions over **one** shared [`Backend`], each with its own
+/// request/result channel pair and its own thread, all arbitrated under
+/// the single global `memory_budget_bytes`.
+///
+/// Every lease is taken out *before* any session thread starts, so each
+/// session schedules under the stable fair share `budget / K` for the
+/// pool's whole life — making concurrent runs reproducible batch-for-batch
+/// regardless of thread interleaving.
+pub struct SessionPool {
+    backend: Arc<Backend>,
+    sessions: Vec<SessionHandle>,
+}
+
+impl SessionPool {
+    /// Build the shared backend over `table` and launch `config.sessions`
+    /// session threads against it.
+    pub fn new(
+        db: Database,
+        table: impl Into<String>,
+        class_column: &str,
+        config: MiddlewareConfig,
+    ) -> MwResult<Self> {
+        let k = config.sessions.max(1);
+        let backend = Arc::new(Backend::new(db, table, class_column, config)?);
+        // Open every session first: all K leases exist before any thread
+        // runs, so the arbiter's fair share is stable from the first batch.
+        let opened: Vec<Session> = (0..k)
+            .map(|_| Session::open(Arc::clone(&backend)))
+            .collect::<MwResult<_>>()?;
+        let sessions = opened.into_iter().map(SessionHandle::launch).collect();
+        Ok(SessionPool { backend, sessions })
+    }
+
+    /// The shared backend substrate (schema, config, budget arbiter).
+    pub fn backend(&self) -> &Arc<Backend> {
+        &self.backend
+    }
+
+    /// Number of sessions the pool serves.
+    pub fn session_count(&self) -> usize {
+        self.sessions.len()
+    }
+
+    fn session(&self, i: usize) -> Result<&SessionHandle, &'static str> {
+        self.sessions.get(i).ok_or("no such session")
+    }
+
+    /// Queue a request on session `i`. Fails if the session does not exist
+    /// or its thread is gone.
+    pub fn enqueue(&self, i: usize, req: CcRequest) -> Result<(), &'static str> {
+        self.session(i)?
+            .requests
+            .as_ref()
+            .ok_or("session shutting down")?
+            .send(req)
+            .map_err(|_| "session thread terminated")
+    }
+
+    /// Wait for session `i`'s next fulfilled batch.
+    pub fn wait_results(&self, i: usize) -> Option<MwResult<Vec<FulfilledCc>>> {
+        self.session(i).ok()?.results.recv().ok()
+    }
+
+    /// Non-blocking poll for session `i`'s fulfilled batches.
+    pub fn try_results(&self, i: usize) -> Option<MwResult<Vec<FulfilledCc>>> {
+        self.session(i).ok()?.results.try_recv().ok()
+    }
+
+    /// Signal no more requests will come on any session, drain all of them
+    /// deterministically, and tear the pool down: per-session statistics
+    /// come back in session order, and the database is recovered from the
+    /// backend. An error any session hit after its client stopped
+    /// listening surfaces here as `Err` (first session in order wins).
+    pub fn shutdown(mut self) -> MwResult<(Database, Vec<(MiddlewareStats, ScanStats)>)> {
+        let mut stats = Vec::with_capacity(self.sessions.len());
+        let mut first_err: Option<MwError> = None;
+        for handle in &mut self.sessions {
+            if let Some((s, scan, deferred)) = handle.join() {
+                stats.push((s, scan));
+                if first_err.is_none() {
+                    first_err = deferred;
+                }
+            }
+        }
+        self.sessions.clear();
+        if let Some(e) = first_err {
+            return Err(e);
+        }
+        let backend = Arc::try_unwrap(self.backend)
+            .ok()
+            .expect("all sessions joined; pool holds the only backend reference");
+        Ok((backend.into_db(), stats))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::MiddlewareConfig;
+    use crate::config::{FileStagingPolicy, MiddlewareConfig};
     use crate::request::{CcRequest, NodeId};
     use scaleclass_sqldb::{Database, Pred, Schema};
 
-    fn middleware(rows: u16) -> Middleware {
+    fn test_db(rows: u16) -> Database {
         let mut db = Database::new();
         db.create_table("d", Schema::from_pairs(&[("a", 4), ("class", 2)]))
             .unwrap();
         for i in 0..rows {
             db.insert("d", &[i % 4, u16::from(i % 4 >= 2)]).unwrap();
         }
-        Middleware::new(db, "d", "class", MiddlewareConfig::default()).unwrap()
+        db
+    }
+
+    fn middleware(rows: u16) -> Middleware {
+        Middleware::new(test_db(rows), "d", "class", MiddlewareConfig::default()).unwrap()
     }
 
     #[test]
@@ -153,7 +397,7 @@ mod tests {
         let batch = handle.wait_results().unwrap().unwrap();
         assert_eq!(batch.len(), 1);
         assert_eq!(batch[0].cc.total(), 40);
-        let (_mw, stats) = handle.shutdown();
+        let (_mw, stats) = handle.shutdown().unwrap();
         assert_eq!(stats.requests_served, 1);
     }
 
@@ -181,7 +425,7 @@ mod tests {
             let batch = handle.wait_results().unwrap().unwrap();
             served += batch.len();
         }
-        let (_mw, stats) = handle.shutdown();
+        let (_mw, stats) = handle.shutdown().unwrap();
         assert_eq!(stats.requests_served, 4);
         // All four children were answered; batching may take 1..=4 rounds
         // depending on thread interleaving, but never more rounds than
@@ -198,15 +442,107 @@ mod tests {
         handle.enqueue(bad).unwrap();
         let result = handle.wait_results().unwrap();
         assert!(result.is_err());
-        handle.shutdown();
+        // The error *was* delivered on the result channel, so shutdown is
+        // clean — nothing was lost.
+        handle.shutdown().unwrap();
     }
 
     #[test]
     fn shutdown_without_requests_is_clean() {
         let mw = middleware(8);
         let handle = spawn(mw);
-        let (mw, stats) = handle.shutdown();
+        let (mw, stats) = handle.shutdown().unwrap();
         assert_eq!(stats.rounds, 0);
         assert!(!mw.has_pending());
+    }
+
+    #[test]
+    fn batch_error_after_hangup_surfaces_on_join() {
+        // Rig a middleware whose first batch must create a staging file in
+        // a directory that no longer exists: processing fails, but only
+        // *after* the client hung up both channels.
+        let marker = 0u8;
+        let dir = std::env::temp_dir().join(format!(
+            "scaleclass-hangup-{}-{:p}",
+            std::process::id(),
+            &marker
+        ));
+        let cfg = MiddlewareConfig::builder()
+            .memory_caching(false)
+            .file_policy(FileStagingPolicy::Singleton)
+            .staging_dir(&dir)
+            .build();
+        let mw = Middleware::new(test_db(40), "d", "class", cfg).unwrap();
+        let root = mw.root_request(NodeId(0));
+        std::fs::remove_dir_all(&dir).unwrap();
+
+        let mut mw = mw;
+        let (req_tx, req_rx) = unbounded::<CcRequest>();
+        let (res_tx, res_rx) = unbounded::<MwResult<Vec<FulfilledCc>>>();
+        req_tx.send(root).unwrap();
+        // Client hangs up entirely before the middleware even runs.
+        drop(req_tx);
+        drop(res_rx);
+        let deferred = service_loop(&mut mw, &req_rx, &res_tx);
+        assert!(
+            deferred.is_some(),
+            "undeliverable batch error must be deferred, not discarded"
+        );
+    }
+
+    #[test]
+    fn pool_serves_sessions_independently_under_one_backend() {
+        let cfg = MiddlewareConfig::builder().sessions(3).build();
+        let budget = cfg.memory_budget_bytes;
+        let pool = SessionPool::new(test_db(40), "d", "class", cfg).unwrap();
+        assert_eq!(pool.session_count(), 3);
+        assert_eq!(pool.backend().arbiter().live_sessions(), 3);
+        // Fair share: every session leased budget/3 before any work ran.
+        assert_eq!(pool.backend().arbiter().stats().leases_granted, 3);
+
+        let root = pool.backend().root_request(NodeId(0));
+        for i in 0..3 {
+            pool.enqueue(i, root.clone()).unwrap();
+        }
+        for i in 0..3 {
+            let batch = pool.wait_results(i).unwrap().unwrap();
+            assert_eq!(batch.len(), 1);
+            assert_eq!(batch[0].cc.total(), 40);
+        }
+        let (db, stats) = pool.shutdown().unwrap();
+        assert_eq!(stats.len(), 3);
+        for (s, _) in &stats {
+            assert_eq!(s.requests_served, 1, "per-session stats are private");
+        }
+        assert_eq!(db.table("d").unwrap().nrows(), 40);
+        let _ = budget;
+    }
+
+    #[test]
+    fn pool_enqueue_rejects_unknown_session() {
+        let cfg = MiddlewareConfig::builder().sessions(2).build();
+        let pool = SessionPool::new(test_db(8), "d", "class", cfg).unwrap();
+        let root = pool.backend().root_request(NodeId(0));
+        assert!(pool.enqueue(5, root).is_err());
+        pool.shutdown().unwrap();
+    }
+
+    #[test]
+    fn pool_shutdown_reclaims_every_lease() {
+        let cfg = MiddlewareConfig::builder().sessions(4).build();
+        let pool = SessionPool::new(test_db(8), "d", "class", cfg).unwrap();
+        let backend = Arc::clone(pool.backend());
+        let root = backend.root_request(NodeId(0));
+        for i in 0..4 {
+            pool.enqueue(i, root.clone()).unwrap();
+        }
+        for i in 0..4 {
+            pool.wait_results(i).unwrap().unwrap();
+        }
+        let arbiter_stats = backend.arbiter().stats();
+        assert_eq!(arbiter_stats.leases_granted, 4);
+        drop(backend); // give the pool back its sole reference
+        let (_db, stats) = pool.shutdown().unwrap();
+        assert_eq!(stats.len(), 4);
     }
 }

@@ -123,6 +123,14 @@ pub struct MiddlewareConfig {
     /// budget accounting stays entry-modelled either way (DESIGN.md §8c).
     /// Honours the `SCALECLASS_CC_DENSE` environment variable by default.
     pub cc_dense_max_bytes: u64,
+    /// Concurrent tree-build sessions the multi-client front-end
+    /// ([`crate::concurrent::SessionPool`]) serves over one shared backend.
+    /// Each live session leases `memory_budget_bytes / sessions` from the
+    /// [`crate::session::BudgetArbiter`]. `1` (the default) is the classic
+    /// single-client middleware. Honours the `SCALECLASS_SESSIONS`
+    /// environment variable so whole test runs can exercise concurrency
+    /// without code changes.
+    pub sessions: usize,
 }
 
 /// Default rows per staged-file extent (≈ 400 KB of payload at the
@@ -138,6 +146,16 @@ const MAX_EXTENT_ROWS: usize = 1 << 20;
 /// unparsable all mean the serial default of 1).
 fn env_scan_workers() -> usize {
     std::env::var("SCALECLASS_SCAN_WORKERS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(1)
+}
+
+/// Session count from `SCALECLASS_SESSIONS` (unset, empty, zero, or
+/// unparsable all mean the single-client default of 1).
+fn env_sessions() -> usize {
+    std::env::var("SCALECLASS_SESSIONS")
         .ok()
         .and_then(|v| v.trim().parse::<usize>().ok())
         .filter(|&n| n >= 1)
@@ -190,6 +208,7 @@ impl Default for MiddlewareConfig {
             scan_block_rows: 4096,
             stage_extent_rows: env_extent_rows(),
             cc_dense_max_bytes: env_cc_dense(),
+            sessions: env_sessions(),
         }
     }
 }
@@ -320,6 +339,12 @@ impl MiddlewareConfigBuilder {
         self
     }
 
+    /// Concurrent sessions served by the pool front-end (min 1).
+    pub fn sessions(mut self, n: usize) -> Self {
+        self.config.sessions = n.max(1);
+        self
+    }
+
     /// Finish building.
     pub fn build(self) -> MiddlewareConfig {
         self.config
@@ -408,6 +433,16 @@ mod tests {
             .cc_dense_max_bytes(1 << 16)
             .build();
         assert_eq!(c.cc_dense_max_bytes, 1 << 16);
+    }
+
+    #[test]
+    fn sessions_knob_is_clamped() {
+        let c = MiddlewareConfig::builder().sessions(0).build();
+        assert_eq!(c.sessions, 1, "zero sessions means single-client");
+        let c = MiddlewareConfig::builder().sessions(4).build();
+        assert_eq!(c.sessions, 4);
+        // Unset/1 env default keeps the classic single-client middleware.
+        assert!(MiddlewareConfig::default().sessions >= 1);
     }
 
     #[test]

@@ -20,6 +20,13 @@
 //! [`Middleware::process_next_batch`] or on a separate thread via
 //! [`concurrent::spawn`].
 //!
+//! Internally the middleware is split into a shared read-only [`Backend`]
+//! and per-tree-build [`Session`] state, so N concurrent builds can share
+//! one substrate: a [`SessionPool`] serves `config.sessions` clients over
+//! one backend while the [`BudgetArbiter`] leases each live session a
+//! fair share of the single `memory_budget_bytes`. [`Middleware`] is the
+//! single-session facade over the same engine (DESIGN.md §10).
+//!
 //! ## Quick example
 //!
 //! ```
@@ -80,13 +87,16 @@ pub mod request;
     clippy::cast_possible_wrap
 )]
 pub mod scheduler;
+pub mod session;
 pub mod sqlgen;
 pub mod staging;
 
 pub use cc::{CountsTable, FulfilledCc, CC_ENTRY_BYTES};
+pub use concurrent::SessionPool;
 pub use config::{AuxMode, EstimatorKind, FileStagingPolicy, MiddlewareConfig};
 pub use error::{MwError, MwResult};
-pub use metrics::{MiddlewareStats, ScanStats, WorkerScanStats};
+pub use metrics::{ArbiterStats, MiddlewareStats, ScanStats, WorkerScanStats};
 pub use middleware::Middleware;
 pub use request::{CcRequest, DataLocation, Lineage, NodeId};
+pub use session::{Backend, BudgetArbiter, Session};
 pub use staging::ExtentLayout;

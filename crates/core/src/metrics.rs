@@ -120,6 +120,21 @@ impl MiddlewareStats {
     }
 }
 
+/// Counters kept by the [`crate::session::BudgetArbiter`] that leases
+/// slices of the global `memory_budget_bytes` to live sessions. Logical
+/// counters only — lease *sizes* are readable from the lease handles and
+/// asserted directly by shadow accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ArbiterStats {
+    /// Leases granted to opening sessions.
+    pub leases_granted: u64,
+    /// Leases reclaimed from closing sessions.
+    pub leases_reclaimed: u64,
+    /// Fair-share recomputations (one per grant and one per reclaim while
+    /// any session remains live).
+    pub rebalances: u64,
+}
+
 /// I/O + decode counters for one scan worker over staged extent files.
 ///
 /// Unlike [`MiddlewareStats`] these are *physical* numbers: `read_bytes`

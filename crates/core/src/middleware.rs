@@ -1,60 +1,36 @@
-//! The scalable classification middleware (§3–§4).
+//! The scalable classification middleware (§3–§4) — single-session facade.
 //!
-//! [`Middleware`] owns the backend [`Database`] connection, the staging
-//! manager, and the request queue. The client (a decision tree, Naïve
-//! Bayes, …) never sees a data row: it queues [`CcRequest`]s for its
-//! active nodes and consumes [`FulfilledCc`] counts tables, exactly as in
-//! Figure 3 of the paper. Which requests are serviced next — and from
-//! where — is the middleware's decision (the scheduler of §4.2); the
-//! client is free to consume the returned tables in any order.
+//! [`Middleware`] preserves the original monolithic API: one client, one
+//! mining session, one `Database`. Internally it is now a thin wrapper over
+//! the split architecture of [`crate::session`] — an Arc-shared
+//! [`Backend`] plus one [`Session`] holding all per-client state. A lone
+//! session leases the *entire* `memory_budget_bytes` from the
+//! [`crate::session::BudgetArbiter`], so every scheduling and eviction
+//! decision is bit-identical to the pre-split middleware.
+//!
+//! The client (a decision tree, Naïve Bayes, …) never sees a data row: it
+//! queues [`CcRequest`]s for its active nodes and consumes [`FulfilledCc`]
+//! counts tables, exactly as in Figure 3 of the paper. Which requests are
+//! serviced next — and from where — is the middleware's decision (the
+//! scheduler of §4.2); the client is free to consume the returned tables in
+//! any order. Multi-client service over one shared backend lives in
+//! [`crate::concurrent::SessionPool`].
+
+use std::sync::{Arc, RwLockReadGuard};
 
 use crate::cc::{CountsTable, FulfilledCc};
-use crate::config::{AuxMode, MiddlewareConfig};
-use crate::error::{MwError, MwResult};
-use crate::executor::{BatchCounter, NodeCounter};
-use crate::filter::union_filter;
+use crate::config::MiddlewareConfig;
+use crate::error::MwResult;
 use crate::metrics::{MiddlewareStats, ScanStats};
-use crate::parallel::RowSink;
-use crate::request::{CcRequest, DataLocation, Lineage, NodeId};
-use crate::scheduler::{schedule, BatchPlan};
-use crate::sqlgen::cc_via_sql;
-use crate::staging::StagingManager;
-use scaleclass_sqldb::{Code, Database, KeysetCursor, Pred, Schema, StatsSnapshot, CODE_BYTES};
-
-/// A server-side auxiliary structure (§4.3.3) built for a set of nodes.
-enum AuxKind {
-    /// (a) a temp table holding the relevant subset.
-    Temp(String),
-    /// (b) a TID set fetched through random access.
-    TidSet(String),
-    /// (c) a keyset cursor with stored-procedure residual filtering.
-    Keyset(KeysetCursor),
-}
-
-struct AuxHandle {
-    members: Vec<NodeId>,
-    kind: AuxKind,
-}
+use crate::request::{CcRequest, NodeId};
+use crate::session::{Backend, Session};
+use scaleclass_sqldb::{Code, Database, Pred, Schema, StatsSnapshot};
 
 /// The middleware execution + scheduling engine for one mining session
-/// (one data table, one class column).
+/// (one data table, one class column). A facade over
+/// [`Backend`] + [`Session`] that owns the only reference to its backend.
 pub struct Middleware {
-    db: Database,
-    table: String,
-    class_col: u16,
-    attrs: Vec<u16>,
-    nclasses: u64,
-    /// Schema value cardinality per column — the exclusive code bounds the
-    /// dense counting backend sizes its slot arrays by.
-    col_cards: Vec<u64>,
-    arity: usize,
-    table_rows: u64,
-    config: MiddlewareConfig,
-    staging: StagingManager,
-    pending: Vec<CcRequest>,
-    stats: MiddlewareStats,
-    scan_stats: ScanStats,
-    aux: Vec<AuxHandle>,
+    session: Session,
 }
 
 impl Middleware {
@@ -66,248 +42,117 @@ impl Middleware {
         class_column: &str,
         config: MiddlewareConfig,
     ) -> MwResult<Self> {
-        let table = table.into();
-        let t = db.table(&table)?;
-        let schema = t.schema();
-        let class_col = schema.column_index(class_column)? as u16;
-        let attrs: Vec<u16> = (0..schema.arity() as u16)
-            .filter(|&c| c != class_col)
-            .collect();
-        let nclasses = u64::from(schema.column(class_col as usize).cardinality());
-        let col_cards: Vec<u64> = (0..schema.arity())
-            .map(|c| u64::from(schema.column(c).cardinality()))
-            .collect();
-        let arity = schema.arity();
-        let table_rows = t.nrows();
-        let mut staging = StagingManager::new(config.staging_dir.clone())?;
-        staging.set_extent_rows(config.stage_extent_rows);
-        Ok(Middleware {
-            db,
-            table,
-            class_col,
-            attrs,
-            nclasses,
-            col_cards,
-            arity,
-            table_rows,
-            config,
-            staging,
-            pending: Vec::new(),
-            stats: MiddlewareStats::new(),
-            scan_stats: ScanStats::default(),
-            aux: Vec::new(),
-        })
+        let backend = Arc::new(Backend::new(db, table, class_column, config)?);
+        let session = Session::open(backend)?;
+        Ok(Middleware { session })
     }
 
     /// The session's data schema.
     pub fn schema(&self) -> &Schema {
-        self.db
-            .table(&self.table)
-            .expect("session table exists")
-            .schema()
+        self.session.schema()
     }
 
     /// Input attribute columns of the session.
     pub fn attrs(&self) -> &[u16] {
-        &self.attrs
+        self.session.attrs()
     }
 
     /// The session's table name.
     pub fn table_name(&self) -> &str {
-        &self.table
+        self.session.table_name()
     }
 
     /// The session's configuration.
     pub fn config(&self) -> &MiddlewareConfig {
-        &self.config
+        self.session.config()
     }
 
     /// Restrict the session's attribute set to a subset (e.g. a random
     /// subspace for ensemble members). Fails on unknown or class columns,
     /// or while requests are pending.
     pub fn restrict_attrs(&mut self, attrs: &[u16]) -> MwResult<()> {
-        if self.has_pending() {
-            return Err(MwError::BadRequest(
-                "cannot restrict attributes with requests pending".into(),
-            ));
-        }
-        if attrs.is_empty() {
-            return Err(MwError::BadRequest("attribute subset is empty".into()));
-        }
-        for &a in attrs {
-            if a as usize >= self.arity || a == self.class_col {
-                return Err(MwError::BadRequest(format!(
-                    "attribute column {a} invalid for this session"
-                )));
-            }
-        }
-        let mut subset = attrs.to_vec();
-        subset.sort_unstable();
-        subset.dedup();
-        self.attrs = subset;
-        Ok(())
+        self.session.restrict_attrs(attrs)
     }
 
     /// Class column index.
     pub fn class_col(&self) -> u16 {
-        self.class_col
+        self.session.class_col()
     }
 
     /// Rows in the session table.
     pub fn table_rows(&self) -> u64 {
-        self.table_rows
+        self.session.table_rows()
     }
 
     /// Middleware-side statistics.
     pub fn stats(&self) -> &MiddlewareStats {
-        &self.stats
+        self.session.stats()
     }
 
     /// Shadow accounting (DESIGN.md §9): assert the staging manager's
     /// incremental staged-byte counter matches a first-principles recount
-    /// of its live memory sets. `process_next_batch` runs this (plus the
-    /// per-batch [`BatchCounter`] check) automatically in debug builds;
-    /// tests call it directly to checkpoint between batches.
+    /// of its live memory sets, and the arbiter's leases sum within the
+    /// global budget. `process_next_batch` runs this (plus the per-batch
+    /// `BatchCounter` check) automatically in debug builds; tests call it
+    /// directly to checkpoint between batches.
     pub fn assert_shadow_accounting(&self) {
-        self.staging.assert_shadow_accounting();
+        self.session.assert_shadow_accounting();
     }
 
     /// Per-reader staged-file scan statistics (physical bytes read and
     /// decode time by scan-worker index, summed over the session).
     pub fn scan_stats(&self) -> &ScanStats {
-        &self.scan_stats
+        self.session.scan_stats()
     }
 
     /// Snapshot of the backend server's statistics.
     pub fn db_stats(&self) -> StatsSnapshot {
-        self.db.stats().snapshot()
+        self.session.db_stats()
     }
 
     /// Borrow the backend (read access for examples and evaluation).
-    pub fn db(&self) -> &Database {
-        &self.db
+    pub fn db(&self) -> RwLockReadGuard<'_, Database> {
+        self.session.db()
     }
 
     /// Tear down and recover the backend database. Auxiliary server
     /// structures the session built (§4.3.3 temp tables / TID sets) are
     /// dropped so no session state leaks into the returned catalog.
-    pub fn into_db(mut self) -> Database {
-        for handle in self.aux.drain(..) {
-            match &handle.kind {
-                AuxKind::Temp(name) => {
-                    let _ = self.db.drop_table(name);
-                }
-                AuxKind::TidSet(name) => {
-                    let _ = self.db.drop_tid_set(name);
-                }
-                AuxKind::Keyset(_) => {}
-            }
-        }
-        self.db
+    pub fn into_db(self) -> Database {
+        let backend = self.session.close();
+        Arc::try_unwrap(backend)
+            .ok()
+            .expect("single-session facade holds the only backend reference")
+            .into_db()
     }
 
     /// The bootstrap request for a tree root (§3.1 step 1 of the client
     /// loop): exact row count from the table, parent cardinalities from the
     /// schema.
     pub fn root_request(&self, root: NodeId) -> CcRequest {
-        let schema = self.schema();
-        CcRequest {
-            lineage: Lineage::root(root),
-            attrs: self.attrs.clone(),
-            class_col: self.class_col,
-            rows: self.table_rows,
-            parent_rows: self.table_rows,
-            parent_cards: self
-                .attrs
-                .iter()
-                .map(|&a| u64::from(schema.column(a as usize).cardinality()))
-                .collect(),
-        }
+        self.session.root_request(root)
     }
 
     /// Queue a counts-table request (client step 1 of Figure 3).
     pub fn enqueue(&mut self, req: CcRequest) -> MwResult<()> {
-        if req.class_col != self.class_col {
-            return Err(MwError::BadRequest(format!(
-                "request class column {} does not match session column {}",
-                req.class_col, self.class_col
-            )));
-        }
-        if let Some(&bad) = req
-            .attrs
-            .iter()
-            .find(|&&a| a as usize >= self.arity || a == self.class_col)
-        {
-            return Err(MwError::BadRequest(format!(
-                "attribute column {bad} invalid for this session"
-            )));
-        }
-        if req.attrs.len() != req.parent_cards.len() {
-            return Err(MwError::BadRequest(
-                "parent_cards must align with attrs".into(),
-            ));
-        }
-        self.pending.push(req);
-        Ok(())
+        self.session.enqueue(req)
     }
 
     /// Outstanding requests.
     pub fn pending_len(&self) -> usize {
-        self.pending.len()
+        self.session.pending_len()
     }
 
     /// Are any requests queued?
     pub fn has_pending(&self) -> bool {
-        !self.pending.is_empty()
+        self.session.has_pending()
     }
 
     /// Service one scheduled batch: pick requests (Rules 1–3), scan once,
     /// stage data (Rules 4–6), and return the fulfilled counts tables.
     /// Returns an empty vector when no requests are pending.
     pub fn process_next_batch(&mut self) -> MwResult<Vec<FulfilledCc>> {
-        // Reclaim datasets and aux structures no pending subtree can use.
-        self.staging
-            .evict_unreachable(&self.pending, &mut self.stats);
-        self.evict_aux();
-
-        let Some(plan) = schedule(
-            &mut self.pending,
-            &self.staging,
-            &self.config,
-            &self.col_cards,
-            self.nclasses,
-            self.arity,
-        ) else {
-            return Ok(Vec::new());
-        };
-
-        let source = plan.source;
-        // The §4.3.3 threshold is judged on the *whole frontier's* relevant
-        // data (batch + still-queued requests), not this batch alone — the
-        // paper observes the techniques only apply once the active data set
-        // has genuinely shrunk.
-        let frontier_rows = plan.relevant_rows() + self.pending.iter().map(|r| r.rows).sum::<u64>();
-        let batch = self.build_counters(plan)?;
-        // Serial or parallel counting behind one row interface — the scan
-        // drivers below never know which one runs.
-        let sink = RowSink::new(batch, &self.config);
-        let sink = match source {
-            DataLocation::Memory(id) => self.scan_memory(id, sink)?,
-            DataLocation::File(id) => self.scan_file(id, sink)?,
-            DataLocation::Server => self.scan_server(sink, frontier_rows)?,
-        };
-        let batch = sink.finish(&mut self.stats)?;
-        // Shadow checkpoint (DESIGN.md §9): the batch's incremental CC and
-        // tee-buffer accounting must match a first-principles recount
-        // before eviction/commit decisions are applied from it.
-        #[cfg(debug_assertions)]
-        batch.assert_shadow_accounting();
-        let out = self.finish_batch(batch, source)?;
-        // And after commits/evictions: the staging manager's incremental
-        // staged-byte counter must match its live memory sets.
-        #[cfg(debug_assertions)]
-        self.staging.assert_shadow_accounting();
-        Ok(out)
+        self.session.process_next_batch()
     }
 
     /// Drain the queue completely, invoking `consume` for every fulfilled
@@ -315,351 +160,9 @@ impl Middleware {
     /// returned list (the synchronous client loop of Figure 3).
     pub fn run_to_completion(
         &mut self,
-        mut consume: impl FnMut(FulfilledCc) -> Vec<CcRequest>,
+        consume: impl FnMut(FulfilledCc) -> Vec<CcRequest>,
     ) -> MwResult<()> {
-        while self.has_pending() {
-            let fulfilled = self.process_next_batch()?;
-            for f in fulfilled {
-                for follow_up in consume(f) {
-                    self.enqueue(follow_up)?;
-                }
-            }
-        }
-        Ok(())
-    }
-
-    // ------------------------------------------------------------------
-    // Batch assembly and scanning
-    // ------------------------------------------------------------------
-
-    fn build_counters(&mut self, plan: BatchPlan) -> MwResult<BatchCounter> {
-        let source = plan.source;
-        let split = if plan.split_file {
-            let members = plan.node_ids();
-            let preds: Vec<Pred> = plan.nodes.iter().map(|n| n.req.pred().clone()).collect();
-            Some(
-                self.staging
-                    .start_file(members, Pred::or(preds), self.arity)?,
-            )
-        } else {
-            None
-        };
-        let mut counters = Vec::with_capacity(plan.nodes.len());
-        for sched in plan.nodes {
-            let mut counter = NodeCounter::new(sched.req);
-            if sched.dense {
-                // Slot arrays are sized by *schema* cardinalities — the
-                // true code bounds — never by the node-local distinct
-                // counts in `parent_cards`, which child codes can exceed.
-                let attr_cards: Vec<(u16, u64)> = counter
-                    .req
-                    .attrs
-                    .iter()
-                    .map(|&a| (a, self.col_cards[a as usize]))
-                    .collect();
-                counter.cc = CountsTable::new_dense(&attr_cards, self.nclasses);
-            }
-            if counter.cc.is_dense() {
-                self.stats.dense_nodes += 1;
-            } else {
-                self.stats.sparse_nodes += 1;
-            }
-            if sched.stage_file {
-                let pred = counter.req.pred().clone();
-                counter.file_writer = Some(self.staging.start_file(
-                    vec![counter.req.node()],
-                    pred,
-                    self.arity,
-                )?);
-            }
-            if sched.stage_mem {
-                // Pre-size from the scheduler's relevant-data estimate so
-                // concurrent tee writers don't reallocate mid-scan (capped:
-                // the estimate is trusted for sizing, not for allocation).
-                let cap = (sched.est_data_bytes / CODE_BYTES as u64).min(1 << 26) as usize;
-                counter.mem_buffer = Some(Vec::with_capacity(cap));
-            }
-            counters.push(counter);
-        }
-        let mut batch = BatchCounter::new(
-            counters,
-            self.config.memory_budget_bytes,
-            self.staging.staged_mem_bytes(),
-            self.arity,
-        );
-        batch.split_writer = split;
-        let source_set = match source {
-            DataLocation::Memory(id) => Some(id),
-            _ => None,
-        };
-        batch.evictable = self.staging.evictable_mem_sets(source_set);
-        Ok(batch)
-    }
-
-    fn scan_memory(&mut self, id: u64, mut sink: RowSink) -> MwResult<RowSink> {
-        self.stats.memory_scans += 1;
-        let set = self
-            .staging
-            .mem_set(id)
-            .ok_or_else(|| MwError::Internal(format!("scheduled memory set {id} missing")))?;
-        // Split borrows: the row data is read-only; counting mutates only
-        // the sink and the stats.
-        let rows = &set.rows;
-        let arity = self.arity;
-        let mut read = 0u64;
-        for row in rows.chunks_exact(arity) {
-            sink.process_row(row, &mut self.stats)?;
-            read += 1;
-        }
-        self.stats.memory_rows_read += read;
-        Ok(sink)
-    }
-
-    fn scan_file(&mut self, id: u64, mut sink: RowSink) -> MwResult<RowSink> {
-        self.stats.file_scans += 1;
-        let row_bytes = (self.arity * CODE_BYTES) as u64;
-        // Extent-format files can be read-sharded: each scan worker owns a
-        // disjoint extent range, decoding into its own counting shard with
-        // no producer thread in between. Legacy files and batches whose
-        // tees demand a single ordered stream take the row loop below.
-        if self.config.scan_workers > 1 {
-            if let Some(layout) = self.staging.extent_layout(id)? {
-                if let Some(per_reader) = sink.try_scan_extents(&layout)? {
-                    let rows: u64 = per_reader.iter().map(|w| w.rows).sum();
-                    self.stats.file_rows_read += rows;
-                    self.stats.file_bytes_read += rows * row_bytes;
-                    self.stats.sharded_file_scans += 1;
-                    self.scan_stats.absorb(&per_reader);
-                    return Ok(sink);
-                }
-            }
-        }
-        let mut scan = self.staging.open_file(id)?;
-        let mut row = Vec::with_capacity(self.arity);
-        while scan.next_row(&mut row)? {
-            self.stats.file_rows_read += 1;
-            self.stats.file_bytes_read += row_bytes;
-            sink.process_row(&row, &mut self.stats)?;
-        }
-        if let Some(ws) = scan.worker_stats() {
-            self.scan_stats.absorb(&[ws]);
-        }
-        Ok(sink)
-    }
-
-    fn scan_server(&mut self, mut sink: RowSink, frontier_rows: u64) -> MwResult<RowSink> {
-        self.stats.server_scans += 1;
-        let filter = union_filter(&sink.nodes().iter().map(|n| &n.req).collect::<Vec<_>>());
-
-        if self.config.aux_mode != AuxMode::Off {
-            // Reuse an existing structure every scheduled node descends
-            // from, or build one when the frontier's relevant fraction is
-            // small.
-            let usable = self.aux.iter().position(|h| {
-                sink.nodes()
-                    .iter()
-                    .all(|n| h.members.iter().any(|&m| n.req.lineage.contains(m)))
-            });
-            let idx = match usable {
-                Some(i) => Some(i),
-                None => {
-                    let fraction = if self.table_rows == 0 {
-                        1.0
-                    } else {
-                        frontier_rows as f64 / self.table_rows as f64
-                    };
-                    if fraction <= self.config.aux_threshold {
-                        Some(self.build_aux(sink.nodes(), &filter)?)
-                    } else {
-                        None
-                    }
-                }
-            };
-            if let Some(i) = idx {
-                self.stats.aux_scans += 1;
-                return self.scan_through_aux(i, filter, sink);
-            }
-        }
-
-        // Plain filtered cursor scan — the paper's recommended path. The
-        // filter-pushdown ablation ships everything and filters here.
-        let arity = self.arity;
-        let pushed = if self.config.push_filters {
-            filter
-        } else {
-            Pred::True
-        };
-        let mut cursor = self
-            .db
-            .open_cursor(&self.table, pushed, self.config.wire_batch_rows)?;
-        let mut flat: Vec<Code> = Vec::with_capacity(self.config.wire_batch_rows * arity);
-        loop {
-            flat.clear();
-            if cursor.fetch(&mut flat) == 0 {
-                break;
-            }
-            for row in flat.chunks_exact(arity) {
-                sink.process_row(row, &mut self.stats)?;
-            }
-        }
-        Ok(sink)
-    }
-
-    /// Build the configured §4.3.3 structure for the scheduled nodes,
-    /// recording the server cost of the build separately so experiments can
-    /// report the "idealized" number that neglects it.
-    fn build_aux(&mut self, nodes: &[NodeCounter], filter: &Pred) -> MwResult<usize> {
-        let members: Vec<NodeId> = nodes.iter().map(|n| n.req.node()).collect();
-        let before = self.db.stats().snapshot();
-        let kind = match self.config.aux_mode {
-            AuxMode::TempTable => AuxKind::Temp(self.db.copy_to_temp(&self.table, filter)?),
-            AuxMode::TidJoin => AuxKind::TidSet(self.db.create_tid_set(&self.table, filter)?),
-            AuxMode::Keyset => AuxKind::Keyset(self.db.open_keyset_cursor(&self.table, filter)?),
-            AuxMode::Off => {
-                return Err(MwError::Internal(
-                    "build_aux called with AuxMode::Off".into(),
-                ))
-            }
-        };
-        let build_cost = self.db.stats().snapshot() - before;
-        self.stats.aux_builds += 1;
-        self.stats.aux_build_cost = self.stats.aux_build_cost + build_cost;
-        self.aux.push(AuxHandle { members, kind });
-        Ok(self.aux.len() - 1)
-    }
-
-    fn scan_through_aux(
-        &mut self,
-        idx: usize,
-        residual: Pred,
-        mut sink: RowSink,
-    ) -> MwResult<RowSink> {
-        let arity = self.arity;
-        match &self.aux[idx].kind {
-            AuxKind::Temp(name) => {
-                let name = name.clone();
-                let mut cursor =
-                    self.db
-                        .open_cursor(&name, residual, self.config.wire_batch_rows)?;
-                let mut flat: Vec<Code> = Vec::new();
-                loop {
-                    flat.clear();
-                    if cursor.fetch(&mut flat) == 0 {
-                        break;
-                    }
-                    for row in flat.chunks_exact(arity) {
-                        sink.process_row(row, &mut self.stats)?;
-                    }
-                }
-            }
-            AuxKind::TidSet(name) => {
-                let mut flat: Vec<Code> = Vec::new();
-                let n = self.db.tid_scan(name, &residual, &mut flat)?;
-                // The fetched rows cross the wire.
-                let stats = self.db.stats();
-                stats.add_rows_shipped(n as u64);
-                stats.add_bytes_shipped((flat.len() * CODE_BYTES) as u64);
-                stats.add_wire_round_trip();
-                for row in flat.chunks_exact(arity) {
-                    sink.process_row(row, &mut self.stats)?;
-                }
-            }
-            AuxKind::Keyset(cursor) => {
-                let mut flat: Vec<Code> = Vec::new();
-                cursor.scan_filtered(&self.db, &residual, &mut flat)?;
-                for row in flat.chunks_exact(arity) {
-                    sink.process_row(row, &mut self.stats)?;
-                }
-            }
-        }
-        Ok(sink)
-    }
-
-    fn evict_aux(&mut self) {
-        let pending = &self.pending;
-        let mut keep = Vec::with_capacity(self.aux.len());
-        for handle in self.aux.drain(..) {
-            let reachable = handle
-                .members
-                .iter()
-                .any(|&m| pending.iter().any(|r| r.lineage.contains(m)));
-            if reachable {
-                keep.push(handle);
-            } else {
-                match &handle.kind {
-                    AuxKind::Temp(name) => {
-                        let _ = self.db.drop_table(name);
-                    }
-                    AuxKind::TidSet(name) => {
-                        let _ = self.db.drop_tid_set(name);
-                    }
-                    AuxKind::Keyset(_) => {}
-                }
-            }
-        }
-        self.aux = keep;
-    }
-
-    // ------------------------------------------------------------------
-    // Batch completion
-    // ------------------------------------------------------------------
-
-    fn finish_batch(
-        &mut self,
-        batch: BatchCounter,
-        source: DataLocation,
-    ) -> MwResult<Vec<FulfilledCc>> {
-        let BatchCounter {
-            nodes,
-            split_writer,
-            evicted,
-            ..
-        } = batch;
-        // Apply pressure evictions decided during the scan.
-        for id in evicted {
-            self.staging.evict_mem_set(id, &mut self.stats);
-        }
-        if let Some(w) = split_writer {
-            self.staging.commit_file(w, &mut self.stats)?;
-        }
-        let mut out = Vec::with_capacity(nodes.len());
-        for counter in nodes {
-            let NodeCounter {
-                req,
-                cc,
-                fallback,
-                file_writer,
-                mem_buffer,
-            } = counter;
-            if let Some(w) = file_writer {
-                self.staging.commit_file(w, &mut self.stats)?;
-            }
-            if let Some(buf) = mem_buffer {
-                self.staging.commit_mem(
-                    req.node(),
-                    req.pred().clone(),
-                    buf,
-                    self.arity,
-                    &mut self.stats,
-                );
-            }
-            let cc = if fallback {
-                // §4.1.1 dynamic switch: fetch this node's counts through
-                // per-attribute GROUP BY queries.
-                cc_via_sql(&self.db, &self.table, req.pred(), &req.attrs, req.class_col)?
-            } else {
-                cc
-            };
-            self.stats.requests_served += 1;
-            out.push(FulfilledCc {
-                node: req.node(),
-                cc,
-                source,
-                via_sql_fallback: fallback,
-            });
-        }
-        self.stats.rounds += 1;
-        Ok(out)
+        self.session.run_to_completion(consume)
     }
 
     // ------------------------------------------------------------------
@@ -669,7 +172,7 @@ impl Middleware {
     /// Straightforward-SQL baseline: compute a node's counts table with the
     /// UNION-of-GROUP-BY query (one server scan per attribute).
     pub fn cc_via_sql_baseline(&self, req: &CcRequest) -> MwResult<CountsTable> {
-        cc_via_sql(&self.db, &self.table, req.pred(), &req.attrs, req.class_col)
+        self.session.cc_via_sql_baseline(req)
     }
 
     /// Full-extraction baseline: ship the entire table (or the subset
@@ -677,12 +180,7 @@ impl Middleware {
     /// vector. This is §2.3's "extract the data set and load it into the
     /// client" strategy.
     pub fn extract_all(&self, pred: Pred) -> MwResult<Vec<Code>> {
-        let mut cursor = self
-            .db
-            .open_cursor(&self.table, pred, self.config.wire_batch_rows)?;
-        let mut out = Vec::new();
-        cursor.fetch_all(&mut out);
-        Ok(out)
+        self.session.extract_all(pred)
     }
 }
 
@@ -690,7 +188,8 @@ impl Middleware {
 mod tests {
     use super::*;
     use crate::config::FileStagingPolicy;
-    use scaleclass_sqldb::Schema;
+    use crate::request::DataLocation;
+    use scaleclass_sqldb::{Schema, CODE_BYTES};
 
     /// A deterministic table: attrs a (card 4), b (card 3), class (card 2);
     /// class = 1 iff a >= 2.

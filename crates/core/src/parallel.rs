@@ -42,7 +42,12 @@
 //! counting additivity makes the result bit-identical to a serial scan.
 //! Memory-staging tees are sharded the same way — each reader buffers the
 //! matching rows of *its* range, and the buffers are concatenated in range
-//! order, reproducing the serial staging byte order exactly.
+//! order, reproducing the serial staging byte order exactly. *File* tees
+//! shard too: each reader spills its range's matching rows into a private
+//! [`TeeSpool`] file, and [`ParallelScan::finish`] replays the spools in
+//! range order through the node's real [`crate::staging::FileWriter`] —
+//! range order is file order, so the staged file is byte-identical to the
+//! serial tee's.
 //!
 //! ## What stays on the coordinator
 //!
@@ -51,9 +56,10 @@
 //! files must be written in source row order to be byte-identical to the
 //! serial path, and a single writer needs no synchronisation. The
 //! coordinator evaluates only the predicates of nodes that actually stage
-//! (usually 0–1 per batch). Batches that tee to *files* also keep using
-//! the channel pipeline ([`ParallelScan::can_shard`]) — a file must be a
-//! single ordered stream, which is what the producer provides.
+//! (usually 0–1 per batch). Only batches writing the hybrid *split* file
+//! keep using the channel pipeline ([`ParallelScan::can_shard`]): the
+//! split file interleaves every scheduled node's rows, so slicing it per
+//! reader would buy nothing over the single producer stream.
 //!
 //! ## Shard-aware budget enforcement
 //!
@@ -79,7 +85,7 @@ use crate::config::MiddlewareConfig;
 use crate::error::{MwError, MwResult};
 use crate::executor::{BatchCounter, Dispatch};
 use crate::metrics::{MiddlewareStats, WorkerScanStats};
-use crate::staging::{ExtentLayout, ExtentReader, FILE_HEADER_BYTES};
+use crate::staging::{ExtentLayout, ExtentReader, TeeSpool, FILE_HEADER_BYTES};
 use crossbeam_channel::{bounded, Receiver, Sender};
 use scaleclass_sqldb::types::{Code, CODE_BYTES};
 use scaleclass_sqldb::Pred;
@@ -266,63 +272,86 @@ fn worker_loop(rx: Receiver<Vec<Code>>, shared: Arc<Shared>) -> WorkerResult {
     state.into_result()
 }
 
+/// One sharded reader's private view of a staging tee: the batch-node
+/// index, whether the node tees to memory, this reader's range-local
+/// memory buffer, and its private file spool (when the node tees to a
+/// staged file).
+struct ReaderTee {
+    /// Index into the batch's node list (== `Shared` vectors).
+    node: usize,
+    /// Does this node tee to a memory buffer?
+    mem: bool,
+    /// Range-local memory-tee rows, concatenated in range order later.
+    buf: Vec<Code>,
+    /// Range-local file-tee spill, replayed in range order later.
+    spool: Option<TeeSpool>,
+}
+
 /// What one sharded extent reader hands back.
 struct ShardReaderResult {
     result: WorkerResult,
     io: WorkerScanStats,
-    /// Rows this reader's range contributed to each memory tee, aligned
-    /// with the coordinator's tee-node list.
-    tee_bufs: Vec<Vec<Code>>,
+    /// This reader's tee contributions, aligned with the coordinator's
+    /// tee-node list.
+    tees: Vec<ReaderTee>,
 }
 
 /// Reader-thread body for the sharded file scan: verify + decode the
-/// extents of `range` locally, count into a private shard, and buffer
-/// memory-tee rows for range-order concatenation.
+/// extents of `range` locally, count into a private shard, buffer
+/// memory-tee rows for range-order concatenation, and spool file-tee rows
+/// for range-order replay.
 fn shard_reader_loop(
     layout: ExtentLayout,
     range: std::ops::Range<u64>,
     shared: Arc<Shared>,
-    tee_nodes: Vec<usize>,
+    mut tees: Vec<ReaderTee>,
 ) -> MwResult<ShardReaderResult> {
     let mut reader = ExtentReader::open(&layout)?;
     let dispatch = Dispatch::new(shared.specs.iter().map(|s| &s.pred));
     let mut state = ShardState::new(&shared.specs);
     let mut io = WorkerScanStats::default();
     let mut block: Vec<Code> = Vec::new();
-    let mut tee_bufs: Vec<Vec<Code>> = tee_nodes.iter().map(|_| Vec::new()).collect();
     let row_bytes = (shared.arity * CODE_BYTES) as u64;
     for k in range {
         reader.read_extent(k, &mut block, &mut io)?;
         let t0 = Instant::now();
         for row in block.chunks_exact(shared.arity) {
             state.count_row(row, &dispatch, &shared);
-            for (buf, &i) in tee_bufs.iter_mut().zip(&tee_nodes) {
+            for tee in &mut tees {
                 // analyze:allow(hot-path-panic): tee node indices were
                 // minted by the coordinator over these same spec/cancel
                 // vectors.
-                let (cancel, spec) = (&shared.tee_cancel[i], &shared.specs[i]);
-                if cancel.load(Ordering::Relaxed) {
-                    if !buf.is_empty() {
-                        shared
-                            .buffer_bytes
-                            .fetch_sub((buf.len() * CODE_BYTES) as u64, Ordering::Relaxed);
-                        *buf = Vec::new();
-                    }
+                let (cancel, spec) = (&shared.tee_cancel[tee.node], &shared.specs[tee.node]);
+                let cancelled = cancel.load(Ordering::Relaxed);
+                if cancelled && !tee.buf.is_empty() {
+                    shared
+                        .buffer_bytes
+                        .fetch_sub((tee.buf.len() * CODE_BYTES) as u64, Ordering::Relaxed);
+                    tee.buf = Vec::new();
+                }
+                // File spools are unaffected by the memory-tee cancel flag:
+                // they cost disk, not budget.
+                if tee.spool.is_none() && (cancelled || !tee.mem) {
                     continue;
                 }
                 if !spec.pred.eval(row) {
                     continue;
                 }
-                buf.extend_from_slice(row);
-                shared.buffer_bytes.fetch_add(row_bytes, Ordering::Relaxed);
-                if shared.memory_in_use() > shared.budget {
-                    // Staging is best-effort: cancel this node's memory
-                    // tee everywhere rather than evicting counts.
-                    cancel.store(true, Ordering::Relaxed);
-                    shared
-                        .buffer_bytes
-                        .fetch_sub((buf.len() * CODE_BYTES) as u64, Ordering::Relaxed);
-                    *buf = Vec::new();
+                if let Some(spool) = tee.spool.as_mut() {
+                    spool.push(row)?;
+                }
+                if tee.mem && !cancelled {
+                    tee.buf.extend_from_slice(row);
+                    shared.buffer_bytes.fetch_add(row_bytes, Ordering::Relaxed);
+                    if shared.memory_in_use() > shared.budget {
+                        // Staging is best-effort: cancel this node's memory
+                        // tee everywhere rather than evicting counts.
+                        cancel.store(true, Ordering::Relaxed);
+                        shared
+                            .buffer_bytes
+                            .fetch_sub((tee.buf.len() * CODE_BYTES) as u64, Ordering::Relaxed);
+                        tee.buf = Vec::new();
+                    }
                 }
             }
         }
@@ -331,7 +360,7 @@ fn shard_reader_loop(
     Ok(ShardReaderResult {
         result: state.into_result(),
         io,
-        tee_bufs,
+        tees,
     })
 }
 
@@ -348,8 +377,9 @@ struct Pipeline {
 struct ShardOutcome {
     /// Per-reader results in extent-range (== worker-index) order.
     results: Vec<WorkerResult>,
-    /// Per tee node: the readers' buffered rows, range order.
-    tees: Vec<(usize, Vec<Vec<Code>>)>,
+    /// Per tee node: the readers' buffered rows and file spools, both in
+    /// range order.
+    tees: Vec<(usize, Vec<Vec<Code>>, Vec<TeeSpool>)>,
 }
 
 /// Coordinator state for one parallel counting pass. Owns the
@@ -447,15 +477,15 @@ impl ParallelScan {
     }
 
     /// Can this batch be served by sharded extent readers? Memory tees
-    /// shard cleanly (per-range buffers concatenate in range order), but a
-    /// file tee needs one ordered stream, so those batches — and the
-    /// hybrid split file — keep the channel pipeline.
+    /// shard cleanly (per-range buffers concatenate in range order) and so
+    /// do file tees (per-reader spools replay in range order); only the
+    /// hybrid *split* file keeps the channel pipeline — it interleaves all
+    /// scheduled nodes' rows, so it gains nothing from sharding.
     pub fn can_shard(&self) -> bool {
         self.pipeline.is_none()
             && self.sharded.is_none()
             && self.rows_sent == 0
             && self.batch.split_writer.is_none()
-            && self.batch.nodes.iter().all(|n| n.file_writer.is_none())
     }
 
     /// Scan an extent-format staging file with per-worker reader threads:
@@ -469,15 +499,51 @@ impl ParallelScan {
         let n = self.workers_target.min(extents.max(1) as usize).max(1);
         let base = extents / n as u64;
         let rem = (extents % n as u64) as usize;
+        // Per tee node: memory-tee flag and (for file tees) the directory
+        // the staged file is being written in, where spools go too.
+        let tee_info: Vec<(usize, bool, Option<std::path::PathBuf>)> = self
+            .tee_nodes
+            .iter()
+            .map(|&i| {
+                // analyze:allow(hot-path-panic): tee_nodes holds indices
+                // into this batch's node list, collected at construction.
+                let node = &self.batch.nodes[i];
+                (
+                    i,
+                    node.mem_buffer.is_some(),
+                    node.file_writer.as_ref().map(|w| w.dir().to_path_buf()),
+                )
+            })
+            .collect();
+        // Create every reader's spools before spawning anything, so a
+        // filesystem failure aborts cleanly with no threads in flight.
+        let arity = self.shared.arity;
+        let mut reader_tees: Vec<Vec<ReaderTee>> = Vec::with_capacity(n);
+        for _ in 0..n {
+            let tees = tee_info
+                .iter()
+                .map(|(node, mem, spool_dir)| {
+                    Ok(ReaderTee {
+                        node: *node,
+                        mem: *mem,
+                        buf: Vec::new(),
+                        spool: spool_dir
+                            .as_ref()
+                            .map(|d| TeeSpool::create(d, arity))
+                            .transpose()?,
+                    })
+                })
+                .collect::<MwResult<Vec<ReaderTee>>>()?;
+            reader_tees.push(tees);
+        }
         let mut handles = Vec::with_capacity(n);
         let mut start = 0u64;
-        for w in 0..n {
+        for (w, tees) in reader_tees.into_iter().enumerate() {
             let len = base + u64::from(w < rem);
             let range = start..start + len;
             start += len;
             let layout = layout.clone();
             let shared = Arc::clone(&self.shared);
-            let tees = self.tee_nodes.clone();
             handles.push(std::thread::spawn(move || {
                 shard_reader_loop(layout, range, shared, tees)
             }));
@@ -485,6 +551,8 @@ impl ParallelScan {
         let mut io = Vec::with_capacity(n);
         let mut results = Vec::with_capacity(n);
         let mut tee_cols: Vec<Vec<Vec<Code>>> = self.tee_nodes.iter().map(|_| Vec::new()).collect();
+        let mut spool_cols: Vec<Vec<TeeSpool>> =
+            self.tee_nodes.iter().map(|_| Vec::new()).collect();
         let mut first_err: Option<MwError> = None;
         // Join every reader (even after an error — no detached threads
         // holding the file), keep the first failure.
@@ -503,8 +571,13 @@ impl ParallelScan {
                 Ok(Ok(r)) => {
                     io.push(r.io);
                     results.push(r.result);
-                    for (col, buf) in tee_cols.iter_mut().zip(r.tee_bufs) {
-                        col.push(buf);
+                    for ((bufs, spools), tee) in
+                        tee_cols.iter_mut().zip(&mut spool_cols).zip(r.tees)
+                    {
+                        bufs.push(tee.buf);
+                        if let Some(s) = tee.spool {
+                            spools.push(s);
+                        }
                     }
                 }
             }
@@ -524,7 +597,13 @@ impl ParallelScan {
         self.rows_sent += results.iter().map(|r| r.rows).sum::<u64>();
         self.sharded = Some(ShardOutcome {
             results,
-            tees: self.tee_nodes.iter().copied().zip(tee_cols).collect(),
+            tees: self
+                .tee_nodes
+                .iter()
+                .copied()
+                .zip(tee_cols.into_iter().zip(spool_cols))
+                .map(|(i, (bufs, spools))| (i, bufs, spools))
+                .collect(),
         });
         Ok(io)
     }
@@ -623,17 +702,30 @@ impl ParallelScan {
             outcome.tees
         });
         if let Some(tees) = sharded_tees {
-            for (i, bufs) in tees {
+            for (i, bufs, spools) in tees {
                 // analyze:allow(hot-path-panic): sharded tee indices address
                 // this batch's nodes; tee_cancel is the parallel flag vector.
+                let node = &mut self.batch.nodes[i];
+                // File tee: replay the per-range spools in range order
+                // through the node's real writer. Range order is file
+                // order, and the staged file is a pure function of the
+                // pushed row sequence, so the bytes equal the serial tee's.
+                if let Some(w) = node.file_writer.as_mut() {
+                    for spool in spools {
+                        spool.drain_into(w)?;
+                    }
+                }
+                if node.mem_buffer.is_none() {
+                    continue; // file-only tee, nothing buffered
+                }
+                // analyze:allow(hot-path-panic): same in-bounds tee index.
                 if self.shared.tee_cancel[i].load(Ordering::Relaxed) {
                     // Some reader overflowed the budget mid-scan; release
                     // whatever buffers survived and drop the tee, exactly
                     // the serial path's best-effort cancellation.
                     let bytes: u64 = bufs.iter().map(|b| (b.len() * CODE_BYTES) as u64).sum();
                     self.shared.buffer_bytes.fetch_sub(bytes, Ordering::Relaxed);
-                    // analyze:allow(hot-path-panic): same in-bounds tee index.
-                    self.batch.nodes[i].mem_buffer = None;
+                    node.mem_buffer = None;
                 } else {
                     // Concatenating per-range buffers in range order is the
                     // file order, i.e. the exact bytes the serial tee
@@ -642,8 +734,7 @@ impl ParallelScan {
                     for b in bufs {
                         merged.extend_from_slice(&b);
                     }
-                    // analyze:allow(hot-path-panic): same in-bounds tee index.
-                    self.batch.nodes[i].mem_buffer = Some(merged);
+                    node.mem_buffer = Some(merged);
                 }
             }
         }
@@ -1077,7 +1168,7 @@ mod tests {
     }
 
     #[test]
-    fn file_tees_keep_the_channel_pipeline() {
+    fn split_file_keeps_the_channel_pipeline_but_file_tees_shard() {
         use crate::request::NodeId;
         let mut staging = crate::staging::StagingManager::new(None).unwrap();
         let mut ns = nodes();
@@ -1088,7 +1179,83 @@ mod tests {
         );
         let batch = BatchCounter::new(ns, u64::MAX, 0, ARITY);
         let scan = ParallelScan::new(batch, 4, 64);
-        assert!(!scan.can_shard(), "file tee needs one ordered stream");
+        assert!(scan.can_shard(), "file tees shard via per-reader spools");
+
+        let mut batch = scan.batch;
+        batch.split_writer = Some(
+            staging
+                .start_file(vec![NodeId(9)], Pred::True, ARITY)
+                .unwrap(),
+        );
+        let scan = ParallelScan::new(batch, 4, 64);
+        assert!(
+            !scan.can_shard(),
+            "the hybrid split file still needs the single producer stream"
+        );
+    }
+
+    /// Bit-identity of a sharded *file* tee: replaying per-reader spools in
+    /// range order through the real writer must produce the exact staged
+    /// file the serial tee writes — and the same counts.
+    #[test]
+    fn sharded_file_tee_reproduces_serial_file_bytes() {
+        use crate::request::NodeId;
+        let data = rows(600, 43);
+        // 19 rows per source extent, 23 per tee extent: neither divides the
+        // other or the row count, so every boundary case is exercised.
+        let (_src, layout) = staged_layout(&data, 19);
+        let tee_pred = Pred::Eq { col: 0, value: 0 };
+
+        let staged_file_bytes = |batch: BatchCounter,
+                                 staging: &mut crate::staging::StagingManager|
+         -> (Vec<u8>, CountsTable) {
+            let mut batch = batch;
+            let mut stats = MiddlewareStats::new();
+            let w = batch.nodes[1].file_writer.take().unwrap();
+            let id = staging.commit_file(w, &mut stats).unwrap();
+            let path = staging.extent_layout(id).unwrap().unwrap().path;
+            (std::fs::read(path).unwrap(), batch.nodes[1].cc.clone())
+        };
+
+        // Serial reference.
+        let mut serial_staging = crate::staging::StagingManager::new(None).unwrap();
+        serial_staging.set_extent_rows(23);
+        let mut ns = nodes();
+        ns[1].file_writer = Some(
+            serial_staging
+                .start_file(vec![NodeId(1)], tee_pred.clone(), ARITY)
+                .unwrap(),
+        );
+        let mut serial_batch = BatchCounter::new(ns, u64::MAX, 0, ARITY);
+        let mut stats = MiddlewareStats::new();
+        for r in &data {
+            serial_batch.process_row(r, &mut stats).unwrap();
+        }
+        let (serial_bytes, serial_cc) = staged_file_bytes(serial_batch, &mut serial_staging);
+
+        // Sharded readers with per-reader spools.
+        for workers in [2usize, 4, 7] {
+            let mut staging = crate::staging::StagingManager::new(None).unwrap();
+            staging.set_extent_rows(23);
+            let mut ns = nodes();
+            ns[1].file_writer = Some(
+                staging
+                    .start_file(vec![NodeId(1)], tee_pred.clone(), ARITY)
+                    .unwrap(),
+            );
+            let batch = BatchCounter::new(ns, u64::MAX, 0, ARITY);
+            let mut scan = ParallelScan::new(batch, workers, 64);
+            assert!(scan.can_shard());
+            scan.scan_extent_file(&layout).unwrap();
+            let mut st = MiddlewareStats::new();
+            let batch = scan.finish(&mut st).unwrap();
+            let (sharded_bytes, sharded_cc) = staged_file_bytes(batch, &mut staging);
+            assert_eq!(
+                serial_bytes, sharded_bytes,
+                "{workers} readers: staged file is byte-identical"
+            );
+            assert_eq!(serial_cc, sharded_cc, "{workers} readers: counts agree");
+        }
     }
 
     #[test]

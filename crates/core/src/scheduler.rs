@@ -84,6 +84,12 @@ impl BatchPlan {
 /// each table column (the exclusive code bound the dense counting backend
 /// sizes its slot arrays by — node-local distinct counts like
 /// `parent_cards` underestimate code ranges and must not be used here).
+///
+/// `lease_bytes` is the memory budget this scheduling round runs under —
+/// the calling session's lease from the
+/// [`crate::session::BudgetArbiter`], not the global
+/// `config.memory_budget_bytes` (a lone session's lease *is* the whole
+/// budget, so single-session behaviour is unchanged).
 pub fn schedule(
     pending: &mut Vec<CcRequest>,
     staging: &StagingManager,
@@ -91,6 +97,7 @@ pub fn schedule(
     col_cards: &[u64],
     nclasses: u64,
     arity: usize,
+    lease_bytes: u64,
 ) -> Option<BatchPlan> {
     if pending.is_empty() {
         return None;
@@ -137,9 +144,7 @@ pub fn schedule(
     // selectable Est_cc drives ordering, the guaranteed bound drives
     // admission (see `est_cc_bytes_upper`). Always admit at least one —
     // the §4.1.1 runtime fallback handles that degenerate case.
-    let cc_budget = config
-        .memory_budget_bytes
-        .saturating_sub(staging.staged_mem_bytes());
+    let cc_budget = lease_bytes.saturating_sub(staging.staged_mem_bytes());
     let cap = config.max_batch_nodes.unwrap_or(usize::MAX);
     let mut admitted: Vec<usize> = Vec::new();
     let mut cc_reserved = 0u64;
@@ -208,6 +213,7 @@ pub fn schedule(
         cc_reserved,
         frontier_bytes,
         arity,
+        lease_bytes,
     );
     Some(plan)
 }
@@ -228,6 +234,9 @@ fn dense_eligible(req: &CcRequest, col_cards: &[u64], cap: u64, nclasses: u64) -
 }
 
 /// Apply Rules 4–6 plus the file-policy specifics to the plan.
+/// `lease_bytes` bounds both the staging headroom and the 3/5 staged cap,
+/// so a session can never stage past its arbitrated slice.
+#[allow(clippy::too_many_arguments)]
 fn decide_staging(
     plan: &mut BatchPlan,
     staging: &StagingManager,
@@ -235,6 +244,7 @@ fn decide_staging(
     cc_reserved: u64,
     frontier_bytes: u64,
     arity: usize,
+    lease_bytes: u64,
 ) {
     let from_server = plan.source == DataLocation::Server;
 
@@ -297,14 +307,13 @@ fn decide_staging(
     // worth the squeeze). Staging is a pure optimization — losing a
     // staging opportunity costs one extra scan; losing counting memory
     // costs per-attribute SQL queries.
-    let headroom = config
-        .memory_budget_bytes
+    let headroom = lease_bytes
         .saturating_sub(staging.staged_mem_bytes())
         .saturating_sub(cc_reserved);
     // 3/5 of the budget, computed in u128 so "unbounded" budgets near
     // u64::MAX don't wrap `budget * 3` into a garbage cap.
-    let staged_cap = u64::try_from(u128::from(config.memory_budget_bytes).saturating_mul(3) / 5)
-        .unwrap_or(u64::MAX);
+    let staged_cap =
+        u64::try_from(u128::from(lease_bytes).saturating_mul(3) / 5).unwrap_or(u64::MAX);
     let cap_slack = staged_cap.saturating_sub(staging.staged_mem_bytes());
     let full_fit = frontier_bytes <= headroom;
     let mut remaining = if full_fit {
@@ -375,7 +384,16 @@ mod tests {
     fn empty_queue_yields_no_plan() {
         let staging = StagingManager::new(None).unwrap();
         let mut q = Vec::new();
-        assert!(schedule(&mut q, &staging, &config(1 << 20), &CARDS, NCLASSES, ARITY).is_none());
+        assert!(schedule(
+            &mut q,
+            &staging,
+            &config(1 << 20),
+            &CARDS,
+            NCLASSES,
+            ARITY,
+            1 << 20
+        )
+        .is_none());
     }
 
     #[test]
@@ -386,7 +404,16 @@ mod tests {
             req(2, 300, child_lineage(2, 1)),
             req(3, 200, child_lineage(3, 2)),
         ];
-        let plan = schedule(&mut q, &staging, &config(1 << 20), &CARDS, NCLASSES, ARITY).unwrap();
+        let plan = schedule(
+            &mut q,
+            &staging,
+            &config(1 << 20),
+            &CARDS,
+            NCLASSES,
+            ARITY,
+            1 << 20,
+        )
+        .unwrap();
         assert_eq!(plan.source, DataLocation::Server);
         assert_eq!(plan.nodes.len(), 3);
         assert!(q.is_empty());
@@ -412,6 +439,7 @@ mod tests {
             &CARDS,
             NCLASSES,
             ARITY,
+            small_budget,
         )
         .unwrap();
         assert_eq!(plan.nodes.len(), 1);
@@ -423,7 +451,7 @@ mod tests {
     fn always_admits_at_least_one() {
         let staging = StagingManager::new(None).unwrap();
         let mut q = vec![req(1, 1_000_000, child_lineage(1, 0))];
-        let plan = schedule(&mut q, &staging, &config(1), &CARDS, NCLASSES, ARITY).unwrap();
+        let plan = schedule(&mut q, &staging, &config(1), &CARDS, NCLASSES, ARITY, 1).unwrap();
         assert_eq!(plan.nodes.len(), 1);
     }
 
@@ -450,18 +478,45 @@ mod tests {
             req(2, 50, child_lineage(2, 1)),
             req(1, 50, child_lineage(1, 0)),
         ];
-        let plan = schedule(&mut q, &staging, &config(1 << 20), &CARDS, NCLASSES, ARITY).unwrap();
+        let plan = schedule(
+            &mut q,
+            &staging,
+            &config(1 << 20),
+            &CARDS,
+            NCLASSES,
+            ARITY,
+            1 << 20,
+        )
+        .unwrap();
         assert!(matches!(plan.source, DataLocation::Memory(_)));
         assert_eq!(plan.nodes.len(), 1);
         assert_eq!(plan.nodes[0].req.node(), NodeId(1));
 
         // Next round: file group.
-        let plan2 = schedule(&mut q, &staging, &config(1 << 20), &CARDS, NCLASSES, ARITY).unwrap();
+        let plan2 = schedule(
+            &mut q,
+            &staging,
+            &config(1 << 20),
+            &CARDS,
+            NCLASSES,
+            ARITY,
+            1 << 20,
+        )
+        .unwrap();
         assert!(matches!(plan2.source, DataLocation::File(_)));
         assert_eq!(plan2.nodes[0].req.node(), NodeId(2));
 
         // Finally the server scan.
-        let plan3 = schedule(&mut q, &staging, &config(1 << 20), &CARDS, NCLASSES, ARITY).unwrap();
+        let plan3 = schedule(
+            &mut q,
+            &staging,
+            &config(1 << 20),
+            &CARDS,
+            NCLASSES,
+            ARITY,
+            1 << 20,
+        )
+        .unwrap();
         assert_eq!(plan3.source, DataLocation::Server);
         assert!(q.is_empty());
     }
@@ -493,7 +548,16 @@ mod tests {
             req(21, 10, l2.child(NodeId(21), Pred::Eq { col: 1, value: 0 })),
             req(12, 10, l1.child(NodeId(12), Pred::Eq { col: 1, value: 1 })),
         ];
-        let plan = schedule(&mut q, &staging, &config(1 << 20), &CARDS, NCLASSES, ARITY).unwrap();
+        let plan = schedule(
+            &mut q,
+            &staging,
+            &config(1 << 20),
+            &CARDS,
+            NCLASSES,
+            ARITY,
+            1 << 20,
+        )
+        .unwrap();
         let ids = plan.node_ids();
         assert_eq!(ids.len(), 2);
         assert!(ids.contains(&NodeId(11)) && ids.contains(&NodeId(12)));
@@ -512,7 +576,16 @@ mod tests {
             req(1, 100, child_lineage(1, 0)),
             req(2, 100, child_lineage(2, 1)),
         ];
-        let plan = schedule(&mut q, &staging, &cfg, &CARDS, NCLASSES, ARITY).unwrap();
+        let plan = schedule(
+            &mut q,
+            &staging,
+            &cfg,
+            &CARDS,
+            NCLASSES,
+            ARITY,
+            cfg.memory_budget_bytes,
+        )
+        .unwrap();
         assert!(plan.nodes.iter().all(|n| n.stage_file));
     }
 
@@ -528,7 +601,16 @@ mod tests {
             req(1, 100, child_lineage(1, 0)),
             req(2, 900, child_lineage(2, 1)),
         ];
-        let plan = schedule(&mut q, &staging, &cfg, &CARDS, NCLASSES, ARITY).unwrap();
+        let plan = schedule(
+            &mut q,
+            &staging,
+            &cfg,
+            &CARDS,
+            NCLASSES,
+            ARITY,
+            cfg.memory_budget_bytes,
+        )
+        .unwrap();
         let staged: Vec<_> = plan.nodes.iter().filter(|n| n.stage_file).collect();
         assert_eq!(staged.len(), 1);
         assert_eq!(staged[0].req.rows, 900, "Rule 5: largest first");
@@ -541,7 +623,16 @@ mod tests {
         w.push(&[1, 0, 0, 0]).unwrap();
         staging.commit_file(w, &mut stats).unwrap();
         let mut q2 = vec![req(3, 50, child_lineage(3, 2))];
-        let plan2 = schedule(&mut q2, &staging, &cfg, &CARDS, NCLASSES, ARITY).unwrap();
+        let plan2 = schedule(
+            &mut q2,
+            &staging,
+            &cfg,
+            &CARDS,
+            NCLASSES,
+            ARITY,
+            cfg.memory_budget_bytes,
+        )
+        .unwrap();
         assert!(plan2.nodes.iter().all(|n| !n.stage_file));
     }
 
@@ -565,13 +656,31 @@ mod tests {
             .build();
         // Scheduled nodes cover 30 of 100 file rows → split.
         let mut q = vec![req(1, 30, child_lineage(1, 0))];
-        let plan = schedule(&mut q, &staging, &cfg, &CARDS, NCLASSES, ARITY).unwrap();
+        let plan = schedule(
+            &mut q,
+            &staging,
+            &cfg,
+            &CARDS,
+            NCLASSES,
+            ARITY,
+            cfg.memory_budget_bytes,
+        )
+        .unwrap();
         assert!(matches!(plan.source, DataLocation::File(_)));
         assert!(plan.split_file);
 
         // 80 of 100 → no split.
         let mut q2 = vec![req(2, 80, child_lineage(2, 1))];
-        let plan2 = schedule(&mut q2, &staging, &cfg, &CARDS, NCLASSES, ARITY).unwrap();
+        let plan2 = schedule(
+            &mut q2,
+            &staging,
+            &cfg,
+            &CARDS,
+            NCLASSES,
+            ARITY,
+            cfg.memory_budget_bytes,
+        )
+        .unwrap();
         assert!(!plan2.split_file);
     }
 
@@ -590,7 +699,16 @@ mod tests {
             .memory_caching(true)
             .build();
         let mut q = vec![big, small];
-        let plan = schedule(&mut q, &staging, &cfg, &CARDS, NCLASSES, ARITY).unwrap();
+        let plan = schedule(
+            &mut q,
+            &staging,
+            &cfg,
+            &CARDS,
+            NCLASSES,
+            ARITY,
+            cfg.memory_budget_bytes,
+        )
+        .unwrap();
         let staged: Vec<u64> = plan
             .nodes
             .iter()
@@ -609,7 +727,16 @@ mod tests {
             .file_policy(FileStagingPolicy::Singleton)
             .build();
         let mut q = vec![root_req(1000)];
-        let plan = schedule(&mut q, &staging, &cfg, &CARDS, NCLASSES, ARITY).unwrap();
+        let plan = schedule(
+            &mut q,
+            &staging,
+            &cfg,
+            &CARDS,
+            NCLASSES,
+            ARITY,
+            cfg.memory_budget_bytes,
+        )
+        .unwrap();
         assert!(plan.nodes.iter().all(|n| !n.stage_mem));
         assert!(plan.nodes.iter().any(|n| n.stage_file));
     }
@@ -622,7 +749,16 @@ mod tests {
             .memory_caching(true)
             .build();
         let mut q = vec![root_req(1000)];
-        let plan = schedule(&mut q, &staging, &cfg, &CARDS, NCLASSES, ARITY).unwrap();
+        let plan = schedule(
+            &mut q,
+            &staging,
+            &cfg,
+            &CARDS,
+            NCLASSES,
+            ARITY,
+            cfg.memory_budget_bytes,
+        )
+        .unwrap();
         assert!(plan.nodes[0].stage_mem);
     }
 
@@ -639,7 +775,16 @@ mod tests {
             .cc_dense_max_bytes(crate::config::DEFAULT_CC_DENSE_MAX_BYTES)
             .build();
         let mut q = vec![req(1, 100, child_lineage(1, 0))];
-        let plan = schedule(&mut q, &staging, &ample, &CARDS, NCLASSES, ARITY).unwrap();
+        let plan = schedule(
+            &mut q,
+            &staging,
+            &ample,
+            &CARDS,
+            NCLASSES,
+            ARITY,
+            ample.memory_budget_bytes,
+        )
+        .unwrap();
         assert!(plan.nodes[0].dense);
 
         // Cap 0 disables the dense backend outright.
@@ -649,7 +794,16 @@ mod tests {
             .cc_dense_max_bytes(0)
             .build();
         let mut q = vec![req(1, 100, child_lineage(1, 0))];
-        let plan = schedule(&mut q, &staging, &cfg, &CARDS, NCLASSES, ARITY).unwrap();
+        let plan = schedule(
+            &mut q,
+            &staging,
+            &cfg,
+            &CARDS,
+            NCLASSES,
+            ARITY,
+            cfg.memory_budget_bytes,
+        )
+        .unwrap();
         assert!(!plan.nodes[0].dense);
 
         // A cap below the slot-array size keeps the node sparse.
@@ -659,13 +813,31 @@ mod tests {
             .cc_dense_max_bytes(100)
             .build();
         let mut q = vec![req(1, 100, child_lineage(1, 0))];
-        let plan = schedule(&mut q, &staging, &cfg, &CARDS, NCLASSES, ARITY).unwrap();
+        let plan = schedule(
+            &mut q,
+            &staging,
+            &cfg,
+            &CARDS,
+            NCLASSES,
+            ARITY,
+            cfg.memory_budget_bytes,
+        )
+        .unwrap();
         assert!(!plan.nodes[0].dense, "3×4×2×8 = 192 bytes > 100-byte cap");
 
         // A huge schema cardinality disqualifies even under an ample cap.
         let wild = [u64::MAX, 4, 4, NCLASSES];
         let mut q = vec![req(1, 100, child_lineage(1, 0))];
-        let plan = schedule(&mut q, &staging, &ample, &wild, NCLASSES, ARITY).unwrap();
+        let plan = schedule(
+            &mut q,
+            &staging,
+            &ample,
+            &wild,
+            NCLASSES,
+            ARITY,
+            ample.memory_budget_bytes,
+        )
+        .unwrap();
         assert!(!plan.nodes[0].dense);
     }
 
@@ -686,7 +858,16 @@ mod tests {
                 req(2, 300, child_lineage(2, 1)),
                 root_req(1000),
             ];
-            let plan = schedule(&mut q, &staging, &cfg, &CARDS, NCLASSES, ARITY).unwrap();
+            let plan = schedule(
+                &mut q,
+                &staging,
+                &cfg,
+                &CARDS,
+                NCLASSES,
+                ARITY,
+                cfg.memory_budget_bytes,
+            )
+            .unwrap();
             assert_eq!(plan.nodes.len(), 3);
             assert!(q.is_empty());
             assert!(

@@ -1,0 +1,1158 @@
+//! Shared backend + per-session middleware state.
+//!
+//! The paper's Figure 3 middleware is a *service*: many classification
+//! clients queue counts-table requests against one SQL backend. This module
+//! splits the former `Middleware` monolith accordingly:
+//!
+//! * [`Backend`] — the read-mostly substrate shared by every session: the
+//!   [`Database`] (behind an `RwLock`; scans take read locks, the §4.3.3
+//!   aux builders take short write locks), the table schema and
+//!   cardinalities, the [`MiddlewareConfig`], and the [`BudgetArbiter`].
+//! * [`Session`] — one client's private state: pending request queue,
+//!   staging manager, auxiliary structures, stats, and its budget lease.
+//! * [`BudgetArbiter`] — leases fair-share slices of the global
+//!   `memory_budget_bytes` to live sessions, rebalancing on open/close. A
+//!   lone session (the single-session [`crate::middleware::Middleware`]
+//!   facade) holds the whole budget, so legacy behaviour is bit-exact.
+//!
+//! Shadow accounting (DESIGN.md §9.3) extends here: at every batch
+//! checkpoint the arbiter asserts `Σ session leases ≤ global budget`, and
+//! each session asserts its staged memory bytes against the lease it
+//! scheduled under.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+use crate::cc::{CountsTable, FulfilledCc};
+use crate::config::{AuxMode, MiddlewareConfig};
+use crate::error::{MwError, MwResult};
+use crate::executor::{BatchCounter, NodeCounter};
+use crate::filter::union_filter;
+use crate::metrics::{ArbiterStats, MiddlewareStats, ScanStats};
+use crate::parallel::RowSink;
+use crate::request::{CcRequest, DataLocation, Lineage, NodeId};
+use crate::scheduler::{schedule, BatchPlan};
+use crate::sqlgen::cc_via_sql;
+use crate::staging::StagingManager;
+use scaleclass_sqldb::stats::DbStats;
+use scaleclass_sqldb::{Code, Database, KeysetCursor, Pred, Schema, StatsSnapshot, CODE_BYTES};
+
+// ---------------------------------------------------------------------------
+// Budget arbitration
+// ---------------------------------------------------------------------------
+
+/// Leases fair-share slices of the global middleware memory budget to live
+/// sessions. Every open session holds a lease handle (an `Arc<AtomicU64>`)
+/// whose value is recomputed as `budget / live_sessions` on each open and
+/// close, so closing a session returns its slice to the survivors. The
+/// invariant `Σ leases ≤ budget` holds at all times (integer division
+/// floors) and is asserted by [`BudgetArbiter::assert_shadow_accounting`].
+pub struct BudgetArbiter {
+    budget: u64,
+    inner: Mutex<ArbiterInner>,
+}
+
+struct ArbiterInner {
+    /// Live leases: `(lease id, granted bytes)`.
+    leases: Vec<(u64, Arc<AtomicU64>)>,
+    next_id: u64,
+    stats: ArbiterStats,
+}
+
+impl BudgetArbiter {
+    /// An arbiter over `budget` bytes with no live sessions.
+    pub fn new(budget: u64) -> Self {
+        BudgetArbiter {
+            budget,
+            inner: Mutex::new(ArbiterInner {
+                leases: Vec::new(),
+                next_id: 0,
+                stats: ArbiterStats::default(),
+            }),
+        }
+    }
+
+    /// The global budget being arbitrated.
+    pub fn budget(&self) -> u64 {
+        self.budget
+    }
+
+    /// Number of sessions currently holding a lease.
+    pub fn live_sessions(&self) -> usize {
+        self.lock().leases.len()
+    }
+
+    /// Snapshot of the arbiter's counters.
+    pub fn stats(&self) -> ArbiterStats {
+        self.lock().stats
+    }
+
+    fn lock(&self) -> MutexGuard<'_, ArbiterInner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Grant a fresh lease, shrinking everyone to the new fair share.
+    fn open(&self) -> (u64, Arc<AtomicU64>) {
+        let mut inner = self.lock();
+        let id = inner.next_id;
+        inner.next_id = inner.next_id.wrapping_add(1);
+        let granted = Arc::new(AtomicU64::new(0));
+        inner.leases.push((id, Arc::clone(&granted)));
+        inner.stats.leases_granted = inner.stats.leases_granted.saturating_add(1);
+        Self::rebalance(self.budget, &mut inner);
+        (id, granted)
+    }
+
+    /// Reclaim a lease, growing the survivors back to fair share.
+    fn release(&self, id: u64) {
+        let mut inner = self.lock();
+        inner.leases.retain(|(l, _)| *l != id);
+        inner.stats.leases_reclaimed = inner.stats.leases_reclaimed.saturating_add(1);
+        if !inner.leases.is_empty() {
+            Self::rebalance(self.budget, &mut inner);
+        }
+    }
+
+    fn rebalance(budget: u64, inner: &mut ArbiterInner) {
+        let n = u64::try_from(inner.leases.len()).unwrap_or(u64::MAX);
+        if n == 0 {
+            return;
+        }
+        let share = budget / n;
+        for (_, granted) in &inner.leases {
+            granted.store(share, Ordering::Release);
+        }
+        inner.stats.rebalances = inner.stats.rebalances.saturating_add(1);
+    }
+
+    /// Shadow accounting (DESIGN.md §9.3): the granted leases must never
+    /// sum past the global budget. Unconditional assert; call sites gate on
+    /// `cfg(debug_assertions)`.
+    pub fn assert_shadow_accounting(&self) {
+        let inner = self.lock();
+        let total: u64 = inner
+            .leases
+            .iter()
+            .map(|(_, g)| g.load(Ordering::Acquire))
+            .sum();
+        assert!(
+            total <= self.budget,
+            "session leases sum to {total} B, exceeding the global budget of {} B",
+            self.budget
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Backend
+// ---------------------------------------------------------------------------
+
+/// The read-mostly substrate shared (via `Arc`) by every session mining one
+/// table: the database, the schema-derived metadata, the configuration, and
+/// the budget arbiter. Counting scans take read locks on the database;
+/// catalog mutations (§4.3.3 aux structures) take short write locks.
+pub struct Backend {
+    db: RwLock<Database>,
+    /// The server's shared statistics handle, cached so snapshots don't
+    /// need a database lock.
+    db_stats: Arc<DbStats>,
+    table: String,
+    /// Owned copy of the table schema (sessions hand out `&Schema` without
+    /// holding a database lock).
+    schema: Schema,
+    class_col: u16,
+    /// All non-class columns, the default attribute set of new sessions.
+    default_attrs: Vec<u16>,
+    nclasses: u64,
+    /// Schema value cardinality per column — the exclusive code bounds the
+    /// dense counting backend sizes its slot arrays by.
+    col_cards: Vec<u64>,
+    arity: usize,
+    table_rows: u64,
+    config: MiddlewareConfig,
+    arbiter: BudgetArbiter,
+}
+
+impl Backend {
+    /// Build the shared substrate over `table`, predicting `class_column`.
+    /// Every other column is treated as a (categorical) input attribute.
+    pub fn new(
+        db: Database,
+        table: impl Into<String>,
+        class_column: &str,
+        config: MiddlewareConfig,
+    ) -> MwResult<Self> {
+        let table = table.into();
+        let (schema, table_rows) = {
+            let t = db.table(&table)?;
+            (t.schema().clone(), t.nrows())
+        };
+        let class_col = schema.column_index(class_column)? as u16;
+        let default_attrs: Vec<u16> = (0..schema.arity() as u16)
+            .filter(|&c| c != class_col)
+            .collect();
+        let nclasses = u64::from(schema.column(class_col as usize).cardinality());
+        let col_cards: Vec<u64> = (0..schema.arity())
+            .map(|c| u64::from(schema.column(c).cardinality()))
+            .collect();
+        let arity = schema.arity();
+        let db_stats = Arc::clone(db.stats());
+        let arbiter = BudgetArbiter::new(config.memory_budget_bytes);
+        Ok(Backend {
+            db: RwLock::new(db),
+            db_stats,
+            table,
+            schema,
+            class_col,
+            default_attrs,
+            nclasses,
+            col_cards,
+            arity,
+            table_rows,
+            config,
+            arbiter,
+        })
+    }
+
+    /// The mined table's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The mined table's name.
+    pub fn table_name(&self) -> &str {
+        &self.table
+    }
+
+    /// The shared middleware configuration.
+    pub fn config(&self) -> &MiddlewareConfig {
+        &self.config
+    }
+
+    /// Class column index.
+    pub fn class_col(&self) -> u16 {
+        self.class_col
+    }
+
+    /// Rows in the mined table.
+    pub fn table_rows(&self) -> u64 {
+        self.table_rows
+    }
+
+    /// Schema value cardinality per column.
+    pub fn col_cards(&self) -> &[u64] {
+        &self.col_cards
+    }
+
+    /// The budget arbiter leasing slices of `memory_budget_bytes`.
+    pub fn arbiter(&self) -> &BudgetArbiter {
+        &self.arbiter
+    }
+
+    /// Snapshot of the backend server's statistics.
+    pub fn db_stats(&self) -> StatsSnapshot {
+        self.db_stats.snapshot()
+    }
+
+    /// Read access to the database (examples and evaluation).
+    pub fn db(&self) -> RwLockReadGuard<'_, Database> {
+        self.db_read()
+    }
+
+    /// Build the all-attribute root-node request every fresh session (and
+    /// pool client) starts from.
+    pub fn root_request(&self, root: NodeId) -> CcRequest {
+        CcRequest {
+            lineage: Lineage::root(root),
+            attrs: self.default_attrs.clone(),
+            class_col: self.class_col,
+            rows: self.table_rows,
+            parent_rows: self.table_rows,
+            parent_cards: self
+                .default_attrs
+                .iter()
+                .map(|&a| u64::from(self.schema.column(a as usize).cardinality()))
+                .collect(),
+        }
+    }
+
+    fn db_read(&self) -> RwLockReadGuard<'_, Database> {
+        self.db.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn db_write(&self) -> RwLockWriteGuard<'_, Database> {
+        self.db.write().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Tear down the substrate and recover the database.
+    pub fn into_db(self) -> Database {
+        self.db.into_inner().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Session
+// ---------------------------------------------------------------------------
+
+/// A server-side auxiliary structure (§4.3.3) built for a set of nodes.
+enum AuxKind {
+    /// (a) a temp table holding the relevant subset.
+    Temp(String),
+    /// (b) a TID set fetched through random access.
+    TidSet(String),
+    /// (c) a keyset cursor with stored-procedure residual filtering.
+    Keyset(KeysetCursor),
+}
+
+struct AuxHandle {
+    members: Vec<NodeId>,
+    kind: AuxKind,
+}
+
+fn drop_aux_structure(db: &mut Database, kind: &AuxKind) {
+    match kind {
+        AuxKind::Temp(name) => {
+            let _ = db.drop_table(name);
+        }
+        AuxKind::TidSet(name) => {
+            let _ = db.drop_tid_set(name);
+        }
+        AuxKind::Keyset(_) => {}
+    }
+}
+
+/// One client's middleware state: the pending request queue, the staging
+/// manager, auxiliary structures, statistics, and a budget lease. All the
+/// scheduling and scanning machinery of §4 executes here; the shared
+/// substrate is reached through the session's [`Backend`] handle.
+pub struct Session {
+    backend: Arc<Backend>,
+    lease_id: u64,
+    /// This session's leased slice of the global budget, updated by the
+    /// arbiter as sessions open and close. Read once per batch.
+    lease: Arc<AtomicU64>,
+    attrs: Vec<u16>,
+    staging: StagingManager,
+    pending: Vec<CcRequest>,
+    stats: MiddlewareStats,
+    scan_stats: ScanStats,
+    aux: Vec<AuxHandle>,
+}
+
+impl Session {
+    /// Open a session over the shared backend, taking out a budget lease.
+    pub fn open(backend: Arc<Backend>) -> MwResult<Self> {
+        let (lease_id, lease) = backend.arbiter.open();
+        let mut staging = match StagingManager::new(backend.config.staging_dir.clone()) {
+            Ok(s) => s,
+            Err(e) => {
+                backend.arbiter.release(lease_id);
+                return Err(e);
+            }
+        };
+        staging.set_extent_rows(backend.config.stage_extent_rows);
+        let attrs = backend.default_attrs.clone();
+        Ok(Session {
+            backend,
+            lease_id,
+            lease,
+            attrs,
+            staging,
+            pending: Vec::new(),
+            stats: MiddlewareStats::new(),
+            scan_stats: ScanStats::default(),
+            aux: Vec::new(),
+        })
+    }
+
+    /// The shared backend substrate.
+    pub fn backend(&self) -> &Arc<Backend> {
+        &self.backend
+    }
+
+    /// The session's data schema.
+    pub fn schema(&self) -> &Schema {
+        &self.backend.schema
+    }
+
+    /// Input attribute columns of the session.
+    pub fn attrs(&self) -> &[u16] {
+        &self.attrs
+    }
+
+    /// The session's table name.
+    pub fn table_name(&self) -> &str {
+        &self.backend.table
+    }
+
+    /// The session's configuration (shared backend-wide).
+    pub fn config(&self) -> &MiddlewareConfig {
+        &self.backend.config
+    }
+
+    /// Class column index.
+    pub fn class_col(&self) -> u16 {
+        self.backend.class_col
+    }
+
+    /// Rows in the session table.
+    pub fn table_rows(&self) -> u64 {
+        self.backend.table_rows
+    }
+
+    /// Middleware-side statistics for this session.
+    pub fn stats(&self) -> &MiddlewareStats {
+        &self.stats
+    }
+
+    /// Per-reader staged-file scan statistics (physical bytes read and
+    /// decode time by scan-worker index, summed over the session).
+    pub fn scan_stats(&self) -> &ScanStats {
+        &self.scan_stats
+    }
+
+    /// Snapshot of the backend server's statistics.
+    pub fn db_stats(&self) -> StatsSnapshot {
+        self.backend.db_stats()
+    }
+
+    /// Read access to the shared database.
+    pub fn db(&self) -> RwLockReadGuard<'_, Database> {
+        self.backend.db_read()
+    }
+
+    /// Bytes of middleware memory currently leased to this session.
+    pub fn lease_bytes(&self) -> u64 {
+        self.lease.load(Ordering::Acquire)
+    }
+
+    /// Shadow accounting (DESIGN.md §9): assert the staging manager's
+    /// incremental staged-byte counter matches a first-principles recount
+    /// of its live memory sets, and that the arbiter's leases sum within
+    /// the global budget. `process_next_batch` runs this (plus the
+    /// per-batch [`BatchCounter`] check) automatically in debug builds;
+    /// tests call it directly to checkpoint between batches.
+    pub fn assert_shadow_accounting(&self) {
+        self.staging.assert_shadow_accounting();
+        self.backend.arbiter.assert_shadow_accounting();
+    }
+
+    /// Restrict the session's attribute set to a subset (e.g. a random
+    /// subspace for ensemble members). Fails on unknown or class columns,
+    /// or while requests are pending.
+    pub fn restrict_attrs(&mut self, attrs: &[u16]) -> MwResult<()> {
+        if self.has_pending() {
+            return Err(MwError::BadRequest(
+                "cannot restrict attributes with requests pending".into(),
+            ));
+        }
+        if attrs.is_empty() {
+            return Err(MwError::BadRequest("attribute subset is empty".into()));
+        }
+        for &a in attrs {
+            if a as usize >= self.backend.arity || a == self.backend.class_col {
+                return Err(MwError::BadRequest(format!(
+                    "attribute column {a} invalid for this session"
+                )));
+            }
+        }
+        let mut subset = attrs.to_vec();
+        subset.sort_unstable();
+        subset.dedup();
+        self.attrs = subset;
+        Ok(())
+    }
+
+    /// Close the session: drop its auxiliary server structures, release its
+    /// budget lease back to the arbiter, and return the backend handle.
+    pub fn close(self) -> Arc<Backend> {
+        let backend = Arc::clone(&self.backend);
+        drop(self);
+        backend
+    }
+
+    /// The bootstrap request for a tree root (§3.1 step 1 of the client
+    /// loop): exact row count from the table, parent cardinalities from the
+    /// schema.
+    pub fn root_request(&self, root: NodeId) -> CcRequest {
+        let schema = self.schema();
+        CcRequest {
+            lineage: Lineage::root(root),
+            attrs: self.attrs.clone(),
+            class_col: self.backend.class_col,
+            rows: self.backend.table_rows,
+            parent_rows: self.backend.table_rows,
+            parent_cards: self
+                .attrs
+                .iter()
+                .map(|&a| u64::from(schema.column(a as usize).cardinality()))
+                .collect(),
+        }
+    }
+
+    /// Queue a counts-table request (client step 1 of Figure 3).
+    pub fn enqueue(&mut self, req: CcRequest) -> MwResult<()> {
+        if req.class_col != self.backend.class_col {
+            return Err(MwError::BadRequest(format!(
+                "request class column {} does not match session column {}",
+                req.class_col, self.backend.class_col
+            )));
+        }
+        if let Some(&bad) = req
+            .attrs
+            .iter()
+            .find(|&&a| a as usize >= self.backend.arity || a == self.backend.class_col)
+        {
+            return Err(MwError::BadRequest(format!(
+                "attribute column {bad} invalid for this session"
+            )));
+        }
+        if req.attrs.len() != req.parent_cards.len() {
+            return Err(MwError::BadRequest(
+                "parent_cards must align with attrs".into(),
+            ));
+        }
+        self.pending.push(req);
+        Ok(())
+    }
+
+    /// Outstanding requests.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Are any requests queued?
+    pub fn has_pending(&self) -> bool {
+        !self.pending.is_empty()
+    }
+
+    /// Service one scheduled batch: pick requests (Rules 1–3), scan once,
+    /// stage data (Rules 4–6), and return the fulfilled counts tables.
+    /// Returns an empty vector when no requests are pending. All budget
+    /// decisions in the batch use this session's lease, snapshotted once at
+    /// batch start so scheduling and counting agree.
+    pub fn process_next_batch(&mut self) -> MwResult<Vec<FulfilledCc>> {
+        // Reclaim datasets and aux structures no pending subtree can use.
+        self.staging
+            .evict_unreachable(&self.pending, &mut self.stats);
+        self.evict_aux();
+
+        let lease_bytes = self.lease_bytes();
+        #[cfg(debug_assertions)]
+        let staged_before = self.staging.staged_mem_bytes();
+
+        let Some(plan) = schedule(
+            &mut self.pending,
+            &self.staging,
+            &self.backend.config,
+            &self.backend.col_cards,
+            self.backend.nclasses,
+            self.backend.arity,
+            lease_bytes,
+        ) else {
+            return Ok(Vec::new());
+        };
+
+        let source = plan.source;
+        // The §4.3.3 threshold is judged on the *whole frontier's* relevant
+        // data (batch + still-queued requests), not this batch alone — the
+        // paper observes the techniques only apply once the active data set
+        // has genuinely shrunk.
+        let frontier_rows = plan.relevant_rows() + self.pending.iter().map(|r| r.rows).sum::<u64>();
+        let batch = self.build_counters(plan, lease_bytes)?;
+        // Serial or parallel counting behind one row interface — the scan
+        // drivers below never know which one runs.
+        let sink = RowSink::new(batch, &self.backend.config);
+        let sink = match source {
+            DataLocation::Memory(id) => self.scan_memory(id, sink)?,
+            DataLocation::File(id) => self.scan_file(id, sink)?,
+            DataLocation::Server => self.scan_server(sink, frontier_rows)?,
+        };
+        let batch = sink.finish(&mut self.stats)?;
+        // Shadow checkpoint (DESIGN.md §9): the batch's incremental CC and
+        // tee-buffer accounting must match a first-principles recount
+        // before eviction/commit decisions are applied from it.
+        #[cfg(debug_assertions)]
+        batch.assert_shadow_accounting();
+        let out = self.finish_batch(batch, source)?;
+        // And after commits/evictions: the staging manager's incremental
+        // staged-byte counter must match its live memory sets, the leases
+        // must sum within the global budget, and this session's staged
+        // memory must fit the lease it scheduled under (a concurrent lease
+        // shrink only narrows *future* batches, so pre-existing staged
+        // bytes are grandfathered until the next eviction decision).
+        #[cfg(debug_assertions)]
+        {
+            self.staging.assert_shadow_accounting();
+            self.backend.arbiter.assert_shadow_accounting();
+            let staged_after = self.staging.staged_mem_bytes();
+            assert!(
+                staged_after <= lease_bytes || staged_after <= staged_before,
+                "session staged {staged_after} B of memory against a lease of \
+                 {lease_bytes} B (was {staged_before} B before the batch)"
+            );
+        }
+        Ok(out)
+    }
+
+    /// Drain the queue completely, invoking `consume` for every fulfilled
+    /// request; `consume` may enqueue follow-up requests through the
+    /// returned list (the synchronous client loop of Figure 3).
+    pub fn run_to_completion(
+        &mut self,
+        mut consume: impl FnMut(FulfilledCc) -> Vec<CcRequest>,
+    ) -> MwResult<()> {
+        while self.has_pending() {
+            let fulfilled = self.process_next_batch()?;
+            for f in fulfilled {
+                for follow_up in consume(f) {
+                    self.enqueue(follow_up)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Batch assembly and scanning
+    // ------------------------------------------------------------------
+
+    fn build_counters(&mut self, plan: BatchPlan, lease_bytes: u64) -> MwResult<BatchCounter> {
+        let source = plan.source;
+        let split = if plan.split_file {
+            let members = plan.node_ids();
+            let preds: Vec<Pred> = plan.nodes.iter().map(|n| n.req.pred().clone()).collect();
+            Some(
+                self.staging
+                    .start_file(members, Pred::or(preds), self.backend.arity)?,
+            )
+        } else {
+            None
+        };
+        let mut counters = Vec::with_capacity(plan.nodes.len());
+        for sched in plan.nodes {
+            let mut counter = NodeCounter::new(sched.req);
+            if sched.dense {
+                // Slot arrays are sized by *schema* cardinalities — the
+                // true code bounds — never by the node-local distinct
+                // counts in `parent_cards`, which child codes can exceed.
+                let attr_cards: Vec<(u16, u64)> = counter
+                    .req
+                    .attrs
+                    .iter()
+                    .filter_map(|&a| {
+                        self.backend
+                            .col_cards
+                            .get(usize::from(a))
+                            .map(|&card| (a, card))
+                    })
+                    .collect();
+                counter.cc = CountsTable::new_dense(&attr_cards, self.backend.nclasses);
+            }
+            if counter.cc.is_dense() {
+                self.stats.dense_nodes += 1;
+            } else {
+                self.stats.sparse_nodes += 1;
+            }
+            if sched.stage_file {
+                let pred = counter.req.pred().clone();
+                counter.file_writer = Some(self.staging.start_file(
+                    vec![counter.req.node()],
+                    pred,
+                    self.backend.arity,
+                )?);
+            }
+            if sched.stage_mem {
+                // Pre-size from the scheduler's relevant-data estimate so
+                // concurrent tee writers don't reallocate mid-scan (capped:
+                // the estimate is trusted for sizing, not for allocation).
+                let cap = (sched.est_data_bytes / CODE_BYTES as u64).min(1 << 26) as usize;
+                counter.mem_buffer = Some(Vec::with_capacity(cap));
+            }
+            counters.push(counter);
+        }
+        let mut batch = BatchCounter::new(
+            counters,
+            lease_bytes,
+            self.staging.staged_mem_bytes(),
+            self.backend.arity,
+        );
+        batch.split_writer = split;
+        let source_set = match source {
+            DataLocation::Memory(id) => Some(id),
+            _ => None,
+        };
+        batch.evictable = self.staging.evictable_mem_sets(source_set);
+        Ok(batch)
+    }
+
+    fn scan_memory(&mut self, id: u64, mut sink: RowSink) -> MwResult<RowSink> {
+        self.stats.memory_scans += 1;
+        let set = self
+            .staging
+            .mem_set(id)
+            .ok_or_else(|| MwError::Internal(format!("scheduled memory set {id} missing")))?;
+        // Split borrows: the row data is read-only; counting mutates only
+        // the sink and the stats.
+        let rows = &set.rows;
+        let arity = self.backend.arity;
+        let mut read = 0u64;
+        for row in rows.chunks_exact(arity) {
+            sink.process_row(row, &mut self.stats)?;
+            read += 1;
+        }
+        self.stats.memory_rows_read += read;
+        Ok(sink)
+    }
+
+    fn scan_file(&mut self, id: u64, mut sink: RowSink) -> MwResult<RowSink> {
+        self.stats.file_scans += 1;
+        let row_bytes = (self.backend.arity * CODE_BYTES) as u64;
+        // Extent-format files can be read-sharded: each scan worker owns a
+        // disjoint extent range, decoding into its own counting shard with
+        // no producer thread in between. Legacy files and batches whose
+        // tees demand a single ordered stream take the row loop below.
+        if self.backend.config.scan_workers > 1 {
+            if let Some(layout) = self.staging.extent_layout(id)? {
+                if let Some(per_reader) = sink.try_scan_extents(&layout)? {
+                    let rows: u64 = per_reader.iter().map(|w| w.rows).sum();
+                    self.stats.file_rows_read += rows;
+                    self.stats.file_bytes_read += rows * row_bytes;
+                    self.stats.sharded_file_scans += 1;
+                    self.scan_stats.absorb(&per_reader);
+                    return Ok(sink);
+                }
+            }
+        }
+        let mut scan = self.staging.open_file(id)?;
+        let mut row = Vec::with_capacity(self.backend.arity);
+        while scan.next_row(&mut row)? {
+            self.stats.file_rows_read += 1;
+            self.stats.file_bytes_read += row_bytes;
+            sink.process_row(&row, &mut self.stats)?;
+        }
+        if let Some(ws) = scan.worker_stats() {
+            self.scan_stats.absorb(&[ws]);
+        }
+        Ok(sink)
+    }
+
+    fn scan_server(&mut self, mut sink: RowSink, frontier_rows: u64) -> MwResult<RowSink> {
+        self.stats.server_scans += 1;
+        let filter = union_filter(&sink.nodes().iter().map(|n| &n.req).collect::<Vec<_>>());
+
+        if self.backend.config.aux_mode != AuxMode::Off {
+            // Reuse an existing structure every scheduled node descends
+            // from, or build one when the frontier's relevant fraction is
+            // small.
+            let usable = self.aux.iter().position(|h| {
+                sink.nodes()
+                    .iter()
+                    .all(|n| h.members.iter().any(|&m| n.req.lineage.contains(m)))
+            });
+            let idx = match usable {
+                Some(i) => Some(i),
+                None => {
+                    let fraction = if self.backend.table_rows == 0 {
+                        1.0
+                    } else {
+                        frontier_rows as f64 / self.backend.table_rows as f64
+                    };
+                    if fraction <= self.backend.config.aux_threshold {
+                        Some(self.build_aux(sink.nodes(), &filter)?)
+                    } else {
+                        None
+                    }
+                }
+            };
+            if let Some(i) = idx {
+                self.stats.aux_scans += 1;
+                return self.scan_through_aux(i, filter, sink);
+            }
+        }
+
+        // Plain filtered cursor scan — the paper's recommended path. The
+        // filter-pushdown ablation ships everything and filters here.
+        let arity = self.backend.arity;
+        let pushed = if self.backend.config.push_filters {
+            filter
+        } else {
+            Pred::True
+        };
+        let db = self.backend.db_read();
+        let mut cursor = db.open_cursor(
+            &self.backend.table,
+            pushed,
+            self.backend.config.wire_batch_rows,
+        )?;
+        let mut flat: Vec<Code> =
+            Vec::with_capacity(self.backend.config.wire_batch_rows.saturating_mul(arity));
+        loop {
+            flat.clear();
+            if cursor.fetch(&mut flat) == 0 {
+                break;
+            }
+            for row in flat.chunks_exact(arity) {
+                sink.process_row(row, &mut self.stats)?;
+            }
+        }
+        Ok(sink)
+    }
+
+    /// Build the configured §4.3.3 structure for the scheduled nodes,
+    /// recording the server cost of the build separately so experiments can
+    /// report the "idealized" number that neglects it.
+    fn build_aux(&mut self, nodes: &[NodeCounter], filter: &Pred) -> MwResult<usize> {
+        let members: Vec<NodeId> = nodes.iter().map(|n| n.req.node()).collect();
+        let before = self.backend.db_stats.snapshot();
+        let kind = match self.backend.config.aux_mode {
+            AuxMode::TempTable => {
+                let mut db = self.backend.db_write();
+                AuxKind::Temp(db.copy_to_temp(&self.backend.table, filter)?)
+            }
+            AuxMode::TidJoin => {
+                let mut db = self.backend.db_write();
+                AuxKind::TidSet(db.create_tid_set(&self.backend.table, filter)?)
+            }
+            AuxMode::Keyset => {
+                let db = self.backend.db_read();
+                AuxKind::Keyset(db.open_keyset_cursor(&self.backend.table, filter)?)
+            }
+            AuxMode::Off => {
+                return Err(MwError::Internal(
+                    "build_aux called with AuxMode::Off".into(),
+                ))
+            }
+        };
+        let build_cost = self.backend.db_stats.snapshot() - before;
+        self.stats.aux_builds += 1;
+        self.stats.aux_build_cost = self.stats.aux_build_cost + build_cost;
+        self.aux.push(AuxHandle { members, kind });
+        Ok(self.aux.len() - 1)
+    }
+
+    fn scan_through_aux(
+        &mut self,
+        idx: usize,
+        residual: Pred,
+        mut sink: RowSink,
+    ) -> MwResult<RowSink> {
+        let arity = self.backend.arity;
+        let handle = self
+            .aux
+            .get(idx)
+            .ok_or_else(|| MwError::Internal(format!("aux structure {idx} missing")))?;
+        match &handle.kind {
+            AuxKind::Temp(name) => {
+                let db = self.backend.db_read();
+                let mut cursor =
+                    db.open_cursor(name, residual, self.backend.config.wire_batch_rows)?;
+                let mut flat: Vec<Code> = Vec::new();
+                loop {
+                    flat.clear();
+                    if cursor.fetch(&mut flat) == 0 {
+                        break;
+                    }
+                    for row in flat.chunks_exact(arity) {
+                        sink.process_row(row, &mut self.stats)?;
+                    }
+                }
+            }
+            AuxKind::TidSet(name) => {
+                let mut flat: Vec<Code> = Vec::new();
+                let db = self.backend.db_read();
+                let n = db.tid_scan(name, &residual, &mut flat)?;
+                // The fetched rows cross the wire.
+                let db_stats = db.stats();
+                db_stats.add_rows_shipped(n as u64);
+                db_stats.add_bytes_shipped((flat.len() * CODE_BYTES) as u64);
+                db_stats.add_wire_round_trip();
+                drop(db);
+                for row in flat.chunks_exact(arity) {
+                    sink.process_row(row, &mut self.stats)?;
+                }
+            }
+            AuxKind::Keyset(cursor) => {
+                let mut flat: Vec<Code> = Vec::new();
+                let db = self.backend.db_read();
+                cursor.scan_filtered(&db, &residual, &mut flat)?;
+                drop(db);
+                for row in flat.chunks_exact(arity) {
+                    sink.process_row(row, &mut self.stats)?;
+                }
+            }
+        }
+        Ok(sink)
+    }
+
+    fn evict_aux(&mut self) {
+        if self.aux.is_empty() {
+            return;
+        }
+        let pending = &self.pending;
+        let mut keep = Vec::with_capacity(self.aux.len());
+        let mut dead = Vec::new();
+        for handle in self.aux.drain(..) {
+            let reachable = handle
+                .members
+                .iter()
+                .any(|&m| pending.iter().any(|r| r.lineage.contains(m)));
+            if reachable {
+                keep.push(handle);
+            } else {
+                dead.push(handle);
+            }
+        }
+        if !dead.is_empty() {
+            let mut db = self.backend.db_write();
+            for handle in &dead {
+                drop_aux_structure(&mut db, &handle.kind);
+            }
+        }
+        self.aux = keep;
+    }
+
+    // ------------------------------------------------------------------
+    // Batch completion
+    // ------------------------------------------------------------------
+
+    fn finish_batch(
+        &mut self,
+        batch: BatchCounter,
+        source: DataLocation,
+    ) -> MwResult<Vec<FulfilledCc>> {
+        let BatchCounter {
+            nodes,
+            split_writer,
+            evicted,
+            ..
+        } = batch;
+        // Apply pressure evictions decided during the scan.
+        for id in evicted {
+            self.staging.evict_mem_set(id, &mut self.stats);
+        }
+        if let Some(w) = split_writer {
+            self.staging.commit_file(w, &mut self.stats)?;
+        }
+        let mut out = Vec::with_capacity(nodes.len());
+        for counter in nodes {
+            let NodeCounter {
+                req,
+                cc,
+                fallback,
+                file_writer,
+                mem_buffer,
+            } = counter;
+            if let Some(w) = file_writer {
+                self.staging.commit_file(w, &mut self.stats)?;
+            }
+            if let Some(buf) = mem_buffer {
+                self.staging.commit_mem(
+                    req.node(),
+                    req.pred().clone(),
+                    buf,
+                    self.backend.arity,
+                    &mut self.stats,
+                );
+            }
+            let cc = if fallback {
+                // §4.1.1 dynamic switch: fetch this node's counts through
+                // per-attribute GROUP BY queries.
+                let db = self.backend.db_read();
+                cc_via_sql(
+                    &db,
+                    &self.backend.table,
+                    req.pred(),
+                    &req.attrs,
+                    req.class_col,
+                )?
+            } else {
+                cc
+            };
+            self.stats.requests_served += 1;
+            out.push(FulfilledCc {
+                node: req.node(),
+                cc,
+                source,
+                via_sql_fallback: fallback,
+            });
+        }
+        self.stats.rounds += 1;
+        Ok(out)
+    }
+
+    // ------------------------------------------------------------------
+    // Baselines (§2.3) — exposed for the experiments
+    // ------------------------------------------------------------------
+
+    /// Straightforward-SQL baseline: compute a node's counts table with the
+    /// UNION-of-GROUP-BY query (one server scan per attribute).
+    pub fn cc_via_sql_baseline(&self, req: &CcRequest) -> MwResult<CountsTable> {
+        let db = self.backend.db_read();
+        cc_via_sql(
+            &db,
+            &self.backend.table,
+            req.pred(),
+            &req.attrs,
+            req.class_col,
+        )
+    }
+
+    /// Full-extraction baseline: ship the entire table (or the subset
+    /// matching `pred`) to the client through the wire, as a flat code
+    /// vector. This is §2.3's "extract the data set and load it into the
+    /// client" strategy.
+    pub fn extract_all(&self, pred: Pred) -> MwResult<Vec<Code>> {
+        let db = self.backend.db_read();
+        let mut cursor = db.open_cursor(
+            &self.backend.table,
+            pred,
+            self.backend.config.wire_batch_rows,
+        )?;
+        let mut out = Vec::new();
+        cursor.fetch_all(&mut out);
+        Ok(out)
+    }
+}
+
+impl Drop for Session {
+    fn drop(&mut self) {
+        // Auxiliary server structures the session built (§4.3.3 temp
+        // tables / TID sets) are dropped so no session state leaks into
+        // the shared catalog; the budget lease returns to the arbiter.
+        if !self.aux.is_empty() {
+            let mut db = self.backend.db_write();
+            for handle in self.aux.drain(..) {
+                drop_aux_structure(&mut db, &handle.kind);
+            }
+        }
+        self.backend.arbiter.release(self.lease_id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scaleclass_sqldb::Schema as SqlSchema;
+
+    fn backend(rows: u16, config: MiddlewareConfig) -> Arc<Backend> {
+        let mut db = Database::new();
+        db.create_table(
+            "d",
+            SqlSchema::from_pairs(&[("a", 4), ("b", 3), ("class", 2)]),
+        )
+        .unwrap();
+        for i in 0..rows {
+            let a = i % 4;
+            let b = (i / 4) % 3;
+            let c = u16::from(a >= 2);
+            db.insert("d", &[a, b, c]).unwrap();
+        }
+        Arc::new(Backend::new(db, "d", "class", config).unwrap())
+    }
+
+    #[test]
+    fn lone_session_leases_the_whole_budget() {
+        let be = backend(8, MiddlewareConfig::default());
+        let s = Session::open(Arc::clone(&be)).unwrap();
+        assert_eq!(s.lease_bytes(), be.config().memory_budget_bytes);
+        assert_eq!(be.arbiter().live_sessions(), 1);
+        let stats = be.arbiter().stats();
+        assert_eq!(stats.leases_granted, 1);
+        assert_eq!(stats.leases_reclaimed, 0);
+        assert_eq!(stats.rebalances, 1);
+    }
+
+    #[test]
+    fn leases_split_fairly_and_reclaim_on_close() {
+        let budget = 1 << 20;
+        let cfg = MiddlewareConfig::builder()
+            .memory_budget_bytes(budget)
+            .build();
+        let be = backend(8, cfg);
+        let s1 = Session::open(Arc::clone(&be)).unwrap();
+        let s2 = Session::open(Arc::clone(&be)).unwrap();
+        let s3 = Session::open(Arc::clone(&be)).unwrap();
+        assert_eq!(s1.lease_bytes(), budget / 3);
+        assert_eq!(s2.lease_bytes(), budget / 3);
+        assert_eq!(s3.lease_bytes(), budget / 3);
+        be.arbiter().assert_shadow_accounting();
+
+        drop(s2);
+        assert_eq!(be.arbiter().live_sessions(), 2);
+        assert_eq!(s1.lease_bytes(), budget / 2, "reclaimed share rebalanced");
+        be.arbiter().assert_shadow_accounting();
+
+        drop(s3);
+        assert_eq!(s1.lease_bytes(), budget, "lone survivor holds everything");
+        let stats = be.arbiter().stats();
+        assert_eq!(stats.leases_granted, 3);
+        assert_eq!(stats.leases_reclaimed, 2);
+        assert_eq!(stats.rebalances, 5, "3 opens + 2 closes with survivors");
+    }
+
+    #[test]
+    fn leases_never_sum_past_the_budget() {
+        // A budget that doesn't divide evenly: flooring keeps Σ ≤ budget.
+        let cfg = MiddlewareConfig::builder()
+            .memory_budget_bytes(1007)
+            .build();
+        let be = backend(8, cfg);
+        let sessions: Vec<Session> = (0..3)
+            .map(|_| Session::open(Arc::clone(&be)).unwrap())
+            .collect();
+        let total: u64 = sessions.iter().map(Session::lease_bytes).sum();
+        assert!(total <= 1007);
+        assert_eq!(sessions[0].lease_bytes(), 335);
+        be.arbiter().assert_shadow_accounting();
+    }
+
+    #[test]
+    fn session_close_returns_backend_and_lease() {
+        let be = backend(8, MiddlewareConfig::default());
+        let s = Session::open(Arc::clone(&be)).unwrap();
+        let returned = s.close();
+        assert!(Arc::ptr_eq(&be, &returned));
+        assert_eq!(be.arbiter().live_sessions(), 0);
+        assert_eq!(be.arbiter().stats().leases_reclaimed, 1);
+    }
+
+    #[test]
+    fn two_sessions_share_one_backend_catalog() {
+        let be = backend(40, MiddlewareConfig::default());
+        let mut s1 = Session::open(Arc::clone(&be)).unwrap();
+        let mut s2 = Session::open(Arc::clone(&be)).unwrap();
+        let r1 = s1.root_request(NodeId(0));
+        let r2 = s2.root_request(NodeId(0));
+        s1.enqueue(r1).unwrap();
+        s2.enqueue(r2).unwrap();
+        let out1 = s1.process_next_batch().unwrap();
+        let out2 = s2.process_next_batch().unwrap();
+        assert_eq!(out1[0].cc.total(), 40);
+        assert_eq!(out2[0].cc.total(), 40);
+        // Stats are per-session, not global.
+        assert_eq!(s1.stats().server_scans, 1);
+        assert_eq!(s2.stats().server_scans, 1);
+        s1.assert_shadow_accounting();
+        s2.assert_shadow_accounting();
+    }
+
+    #[test]
+    fn dropped_session_reclaims_aux_structures_from_shared_catalog() {
+        let cfg = MiddlewareConfig::builder()
+            .memory_caching(false)
+            .aux_mode(AuxMode::TempTable)
+            .aux_threshold(1.0)
+            .build();
+        let be = backend(40, cfg);
+        let mut s = Session::open(Arc::clone(&be)).unwrap();
+        let req = s.root_request(NodeId(0));
+        s.enqueue(req).unwrap();
+        s.process_next_batch().unwrap();
+        assert_eq!(s.stats().aux_builds, 1);
+        drop(s);
+        let db = be.db();
+        let temps: Vec<&str> = db.table_names().filter(|n| n.starts_with('#')).collect();
+        assert!(temps.is_empty(), "leaked temp tables: {temps:?}");
+    }
+}

@@ -24,6 +24,11 @@ use std::time::Instant;
 
 static STAGE_DIR_COUNTER: AtomicU64 = AtomicU64::new(0);
 
+/// Process-global staged-file name disambiguator. Per-manager ids both
+/// start at 1, so concurrent sessions pointed at the *same* explicit
+/// `staging_dir` would otherwise race to create the same `stage_1.rows`.
+static STAGE_FILE_COUNTER: AtomicU64 = AtomicU64::new(0);
+
 // ---------------------------------------------------------------------------
 // Extent file format (version 2)
 //
@@ -272,7 +277,8 @@ impl StagingManager {
         debug_assert!(!members.is_empty());
         debug_assert!(arity >= 1 && arity <= u32::MAX as usize);
         let id = self.next_id();
-        let path = self.dir.join(format!("stage_{id}.rows"));
+        let uniq = STAGE_FILE_COUNTER.fetch_add(1, Ordering::Relaxed);
+        let path = self.dir.join(format!("stage_{id}_{uniq}.rows"));
         let file = File::create(&path)?;
         let mut out = BufWriter::new(file);
         out.write_all(&EXTENT_MAGIC)?;
@@ -617,6 +623,12 @@ impl FileWriter {
         self.nrows
     }
 
+    /// Directory the staged file lives in — sharded-tee spools are created
+    /// alongside it so they share the same filesystem.
+    pub(crate) fn dir(&self) -> &Path {
+        self.path.parent().unwrap_or(Path::new("."))
+    }
+
     /// Nodes whose data this file will fully contain.
     pub fn members(&self) -> &[NodeId] {
         &self.members
@@ -625,6 +637,71 @@ impl FileWriter {
     /// Predicate selecting the rows this file should hold.
     pub fn pred(&self) -> &Pred {
         &self.pred
+    }
+}
+
+/// Per-reader spill for sharded *file* tees: each sharded extent reader
+/// streams the matching rows of its own range into a private spool file
+/// (raw row-major codes, nothing fancy), and the coordinator replays the
+/// spools **in range order** through the node's real [`FileWriter`]. The
+/// staged file is a pure function of the pushed row sequence, and range
+/// order is file order, so the result is byte-identical to the serial tee
+/// — without ever buffering staged rows in middleware memory (file tees
+/// exist precisely because the data is too big for that).
+#[derive(Debug)]
+pub struct TeeSpool {
+    path: PathBuf,
+    arity: usize,
+    nrows: u64,
+    out: BufWriter<File>,
+}
+
+impl TeeSpool {
+    /// Create a spool file in `dir` (process-unique name, so concurrent
+    /// sessions sharing a staging directory cannot collide).
+    pub fn create(dir: &Path, arity: usize) -> MwResult<Self> {
+        let uniq = STAGE_FILE_COUNTER.fetch_add(1, Ordering::Relaxed);
+        let path = dir.join(format!("spool_{uniq}.rows"));
+        let file = File::create(&path)?;
+        Ok(TeeSpool {
+            path,
+            arity,
+            nrows: 0,
+            out: BufWriter::new(file),
+        })
+    }
+
+    /// Append one matching row.
+    pub fn push(&mut self, row: &[Code]) -> MwResult<()> {
+        debug_assert_eq!(row.len(), self.arity);
+        for c in row {
+            self.out.write_all(&c.to_le_bytes())?;
+        }
+        self.nrows += 1;
+        Ok(())
+    }
+
+    /// Rows spooled so far.
+    pub fn nrows(&self) -> u64 {
+        self.nrows
+    }
+
+    /// Replay every spooled row, in spool order, through `writer`. The
+    /// spool file is removed when `self` drops.
+    pub fn drain_into(mut self, writer: &mut FileWriter) -> MwResult<()> {
+        self.out.flush()?;
+        let mut scan = FileScan::open(&self.path, self.arity)?;
+        let mut row = Vec::with_capacity(self.arity);
+        while scan.next_row(&mut row)? {
+            writer.push(&row)?;
+        }
+        Ok(())
+    }
+}
+
+impl Drop for TeeSpool {
+    fn drop(&mut self) {
+        let _ = fs::remove_file(&self.path);
     }
 }
 

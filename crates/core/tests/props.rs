@@ -6,10 +6,11 @@ use scaleclass::estimator::{est_cc_bytes_upper, est_cc_entries};
 use scaleclass::scheduler::schedule;
 use scaleclass::staging::StagingManager;
 use scaleclass::{
-    CcRequest, CountsTable, DataLocation, FileStagingPolicy, Lineage, Middleware, MiddlewareConfig,
-    MiddlewareStats, NodeId, CC_ENTRY_BYTES,
+    Backend, CcRequest, CountsTable, DataLocation, FileStagingPolicy, Lineage, Middleware,
+    MiddlewareConfig, MiddlewareStats, NodeId, Session, SessionPool, CC_ENTRY_BYTES,
 };
 use scaleclass_sqldb::{Code, Database, Pred, Schema, CODE_BYTES};
+use std::sync::Arc;
 
 /// Arbitrary flat data over a fixed 3-attr + class schema.
 fn rows_strategy() -> impl Strategy<Value = Vec<[Code; 4]>> {
@@ -35,58 +36,161 @@ fn request_for(rows: &[[Code; 4]], node: u64, pred: Pred) -> CcRequest {
     }
 }
 
-/// Drive a two-level tree through the middleware, returning every node's
-/// counts table (+ fallback flag) keyed by node id, and the final
-/// middleware stats. The grandchildren rounds exercise scans whose source
-/// is a staged data set (memory or file) rather than the server.
-fn drive(
-    rows: &[[Code; 4]],
-    cfg: MiddlewareConfig,
-) -> (
-    std::collections::BTreeMap<u64, (CountsTable, bool)>,
-    MiddlewareStats,
-) {
+/// The canonical two-level request stream every driver in this file
+/// issues: the root fans out to four children on `a`, child 1 fans out to
+/// three grandchildren on `b`. The grandchildren rounds exercise scans
+/// whose source is a staged data set (memory or file) rather than the
+/// server.
+fn follow_ups(data: &[[Code; 4]], node: NodeId) -> Vec<CcRequest> {
+    if node == NodeId(0) {
+        (0..4u16)
+            .map(|v| request_for(data, 1 + u64::from(v), Pred::Eq { col: 0, value: v }))
+            .collect()
+    } else if node == NodeId(1) {
+        let parent = Lineage::root(NodeId(0)).child(NodeId(1), Pred::Eq { col: 0, value: 0 });
+        (0..3u16)
+            .map(|w| {
+                let lineage =
+                    parent.child(NodeId(10 + u64::from(w)), Pred::Eq { col: 1, value: w });
+                let matching = data.iter().filter(|r| lineage.pred().eval(&r[..])).count() as u64;
+                CcRequest {
+                    lineage,
+                    attrs: vec![0, 1, 2],
+                    class_col: 3,
+                    rows: matching,
+                    parent_rows: data.len() as u64,
+                    parent_cards: vec![4, 3, 5],
+                }
+            })
+            .collect()
+    } else {
+        vec![]
+    }
+}
+
+fn load_db(rows: &[[Code; 4]]) -> Database {
     let mut db = Database::new();
     db.create_table("d", schema()).unwrap();
     for r in rows {
         db.insert("d", &r[..]).unwrap();
     }
-    let mut mw = Middleware::new(db, "d", "class", cfg).unwrap();
+    db
+}
+
+/// Counts tables (+ fallback flag) keyed by node id, as produced by one
+/// run of the canonical two-level request stream.
+type NodeCounts = std::collections::BTreeMap<u64, (CountsTable, bool)>;
+
+/// Drive the two-level tree through a single serial middleware, returning
+/// every node's counts table (+ fallback flag) keyed by node id, and the
+/// final middleware stats.
+fn drive(rows: &[[Code; 4]], cfg: MiddlewareConfig) -> (NodeCounts, MiddlewareStats) {
+    let mut mw = Middleware::new(load_db(rows), "d", "class", cfg).unwrap();
     mw.enqueue(mw.root_request(NodeId(0))).unwrap();
     let mut out = std::collections::BTreeMap::new();
     let data = rows.to_vec();
     mw.run_to_completion(|f| {
-        let follow = if f.node == NodeId(0) {
-            (0..4u16)
-                .map(|v| request_for(&data, 1 + u64::from(v), Pred::Eq { col: 0, value: v }))
-                .collect()
-        } else if f.node == NodeId(1) {
-            let parent = Lineage::root(NodeId(0)).child(NodeId(1), Pred::Eq { col: 0, value: 0 });
-            (0..3u16)
-                .map(|w| {
-                    let lineage =
-                        parent.child(NodeId(10 + u64::from(w)), Pred::Eq { col: 1, value: w });
-                    let matching =
-                        data.iter().filter(|r| lineage.pred().eval(&r[..])).count() as u64;
-                    CcRequest {
-                        lineage,
-                        attrs: vec![0, 1, 2],
-                        class_col: 3,
-                        rows: matching,
-                        parent_rows: data.len() as u64,
-                        parent_cards: vec![4, 3, 5],
-                    }
-                })
-                .collect()
-        } else {
-            vec![]
-        };
+        let follow = follow_ups(&data, f.node);
         out.insert(f.node.0, (f.cc, f.via_sql_fallback));
         follow
     })
     .unwrap();
     let stats = *mw.stats();
     (out, stats)
+}
+
+/// Drive the same two-level request stream through K concurrent
+/// [`Session`]s over **one** shared [`Backend`], one OS thread per
+/// session. Every lease is taken before any thread runs and none is
+/// released until every thread has finished, so each session schedules
+/// under the stable fair share `budget / K` for its whole life; each
+/// thread runs
+/// its session's batches synchronously, so batching is deterministic and
+/// the stats are comparable bit-for-bit with a serial run. Returns each
+/// session's counts and stats, session order.
+fn drive_sessions(rows: &[[Code; 4]], cfg: MiddlewareConfig) -> Vec<(NodeCounts, MiddlewareStats)> {
+    let k = cfg.sessions;
+    let backend = Arc::new(Backend::new(load_db(rows), "d", "class", cfg).unwrap());
+    let sessions: Vec<Session> = (0..k)
+        .map(|_| Session::open(Arc::clone(&backend)).unwrap())
+        .collect();
+    assert_eq!(backend.arbiter().live_sessions(), k);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = sessions
+            .into_iter()
+            .map(|mut sess| {
+                scope.spawn(move || {
+                    sess.enqueue(sess.root_request(NodeId(0))).unwrap();
+                    let mut out = std::collections::BTreeMap::new();
+                    let data = rows.to_vec();
+                    sess.run_to_completion(|f| {
+                        let follow = follow_ups(&data, f.node);
+                        out.insert(f.node.0, (f.cc, f.via_sql_fallback));
+                        follow
+                    })
+                    .unwrap();
+                    let stats = *sess.stats();
+                    // Hand the session back instead of dropping it here: a
+                    // drop would reclaim this thread's lease and *grow* the
+                    // survivors' fair shares mid-run, making their later
+                    // rounds batch under more than `budget / K`.
+                    (out, stats, sess)
+                })
+            })
+            .collect();
+        // Join *everything* before dropping any session: the iterator chain
+        // is lazy, so a fused `join` + `drop` would release thread 0's
+        // lease while threads 1..K are still running.
+        let done: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        done.into_iter()
+            .map(|(out, stats, sess)| {
+                drop(sess);
+                (out, stats)
+            })
+            .collect()
+    })
+}
+
+/// Drive the same two-level request stream through **every** session of a
+/// [`SessionPool`] concurrently (all `cfg.sessions` leases are live for
+/// the pool's whole life, so each session schedules under the fair share
+/// `budget / K`). Returns each session's counts and stats, session order.
+/// Unlike [`drive_sessions`], batching here depends on channel timing —
+/// results are exact, but round/scan counters are not deterministic.
+fn drive_pool(rows: &[[Code; 4]], cfg: MiddlewareConfig) -> Vec<(NodeCounts, MiddlewareStats)> {
+    let k = cfg.sessions;
+    let pool = SessionPool::new(load_db(rows), "d", "class", cfg).unwrap();
+    assert_eq!(pool.session_count(), k);
+    let root = pool.backend().root_request(NodeId(0));
+    let mut outs = vec![std::collections::BTreeMap::new(); k];
+    let mut outstanding = vec![0usize; k];
+    for (i, n) in outstanding.iter_mut().enumerate() {
+        pool.enqueue(i, root.clone()).unwrap();
+        *n = 1;
+    }
+    let data = rows.to_vec();
+    // Round-robin client: collect one fulfilled batch per session with
+    // work in flight, issuing the identical follow-up stream everywhere.
+    while outstanding.iter().any(|&n| n > 0) {
+        for i in 0..k {
+            if outstanding[i] == 0 {
+                continue;
+            }
+            let batch = pool.wait_results(i).unwrap().unwrap();
+            for f in batch {
+                outstanding[i] -= 1;
+                for req in follow_ups(&data, f.node) {
+                    pool.enqueue(i, req).unwrap();
+                    outstanding[i] += 1;
+                }
+                outs[i].insert(f.node.0, (f.cc, f.via_sql_fallback));
+            }
+        }
+    }
+    let (_db, stats) = pool.shutdown().unwrap();
+    outs.into_iter()
+        .zip(stats.into_iter().map(|(s, _scan)| s))
+        .collect()
 }
 
 proptest! {
@@ -149,7 +253,7 @@ proptest! {
             .map(|i| request_for(&rows, i as u64 + 1, Pred::Eq { col: 0, value: (i % 4) as u16 }))
             .collect();
         let original: Vec<NodeId> = pending.iter().map(|r| r.node()).collect();
-        let plan = schedule(&mut pending, &staging, &config, &[4, 3, 5, 2], 2, 4).unwrap();
+        let plan = schedule(&mut pending, &staging, &config, &[4, 3, 5, 2], 2, 4, budget).unwrap();
 
         let mut seen: Vec<NodeId> = plan.node_ids();
         seen.extend(pending.iter().map(|r| r.node()));
@@ -179,7 +283,7 @@ proptest! {
             .iter()
             .map(|r| (r.node(), est_cc_bytes_upper(r, 2)))
             .collect();
-        let plan = schedule(&mut pending, &staging, &config, &[4, 3, 5, 2], 2, 4).unwrap();
+        let plan = schedule(&mut pending, &staging, &config, &[4, 3, 5, 2], 2, 4, budget).unwrap();
         let reserved: u64 = plan.node_ids().iter().map(|id| bounds[id]).sum();
         let first = bounds[&plan.node_ids()[0]];
         prop_assert!(
@@ -598,5 +702,131 @@ proptest! {
         prop_assert!(left.is_dense());
         prop_assert_eq!(&left, &dense);
         prop_assert_eq!(left.entries(), dense.entries());
+    }
+}
+
+/// Run the sessions-vs-serial bit-identity check once: K concurrent
+/// sessions over one shared backend under global budget `B` must each
+/// behave exactly like an isolated serial middleware budgeted the
+/// arbiter's fair share `floor(B / K)` — same counts tables, same
+/// fallback flags, same logical stats — and the per-session stats
+/// therefore sum to K times the serial run's (the old single-session
+/// global counters decompose exactly into the per-session ones).
+fn assert_sessions_match_serial(
+    rows: &[[Code; 4]],
+    k: usize,
+    budget: u64,
+    dense_cap: u64,
+) -> Result<(), proptest::TestCaseError> {
+    for build in [MiddlewareConfig::builder, file_variant] {
+        let pool_cfg = build()
+            .memory_budget_bytes(budget)
+            .cc_dense_max_bytes(dense_cap)
+            .sessions(k)
+            .build();
+        let serial_cfg = build()
+            .memory_budget_bytes(budget / k as u64)
+            .cc_dense_max_bytes(dense_cap)
+            .build();
+        let (serial_cc, serial_stats) = drive(rows, serial_cfg);
+        let sessions = drive_sessions(rows, pool_cfg);
+        prop_assert_eq!(sessions.len(), k);
+        let mut sum_served = 0u64;
+        let mut sum_scan_rows = 0u64;
+        let mut sum_staged = 0u64;
+        let mut sum_file_rows = 0u64;
+        let mut sum_fallbacks = 0u64;
+        for (cc, stats) in &sessions {
+            prop_assert_eq!(
+                cc,
+                &serial_cc,
+                "counts diverged from the serial fair-share run (K={}, budget {})",
+                k,
+                budget
+            );
+            prop_assert_eq!(
+                logical(stats),
+                logical(&serial_stats),
+                "per-session stats diverged (K={}, budget {})",
+                k,
+                budget
+            );
+            sum_served += stats.requests_served;
+            sum_scan_rows += stats.scan_rows;
+            sum_staged += stats.memory_rows_staged;
+            sum_file_rows += stats.file_rows_written;
+            sum_fallbacks += stats.sql_fallbacks;
+        }
+        let k64 = k as u64;
+        prop_assert_eq!(sum_served, serial_stats.requests_served * k64);
+        prop_assert_eq!(sum_scan_rows, serial_stats.scan_rows * k64);
+        prop_assert_eq!(sum_staged, serial_stats.memory_rows_staged * k64);
+        prop_assert_eq!(sum_file_rows, serial_stats.file_rows_written * k64);
+        prop_assert_eq!(sum_fallbacks, serial_stats.sql_fallbacks * k64);
+    }
+    Ok(())
+}
+
+proptest! {
+    /// TENTPOLE PROPERTY: K concurrent sessions (K ∈ {2, 4}) sharing one
+    /// backend and one arbitrated budget are bit-identical to K isolated
+    /// serial runs at the fair-share budget — across sparse/dense counting
+    /// backends, memory- and file-staging, and budgets tight enough to
+    /// force evictions and §4.1.1 fallbacks. Debug shadow accounting
+    /// (staged bytes ≤ lease, Σ leases ≤ budget) runs at every batch
+    /// checkpoint inside these drives.
+    #[test]
+    fn concurrent_sessions_bit_identical_to_serial(
+        rows in rows_strategy(),
+        k in prop::sample::select(vec![2usize, 4]),
+        budget in 4_096u64..60_000,
+        dense_cap in prop::sample::select(vec![0u64, 1 << 20]),
+    ) {
+        assert_sessions_match_serial(&rows, k, budget, dense_cap)?;
+    }
+
+    /// The asynchronous [`SessionPool`] front-end serves every session the
+    /// exact counts of the deterministic drives. Channel timing makes its
+    /// *batching* nondeterministic (a session may wake before the whole
+    /// frontier is queued), so round/scan counters are not compared here —
+    /// only results and the batching-independent served count.
+    #[test]
+    fn session_pool_counts_are_exact(
+        rows in rows_strategy(),
+        k in prop::sample::select(vec![2usize, 4]),
+    ) {
+        let (serial_cc, serial_stats) = drive(
+            &rows,
+            MiddlewareConfig::builder()
+                .memory_budget_bytes((1 << 20) / k as u64)
+                .build(),
+        );
+        let sessions = drive_pool(
+            &rows,
+            MiddlewareConfig::builder()
+                .memory_budget_bytes(1 << 20)
+                .sessions(k)
+                .build(),
+        );
+        prop_assert_eq!(sessions.len(), k);
+        for (cc, stats) in &sessions {
+            prop_assert_eq!(cc, &serial_cc, "pool session counts diverged (K={})", k);
+            prop_assert_eq!(stats.requests_served, serial_stats.requests_served);
+        }
+    }
+}
+
+/// The `SCALECLASS_SESSIONS` knob feeds `MiddlewareConfig::sessions`
+/// straight into the session fan-out: under the CI matrix leg this same
+/// test runs at K = 4 instead of the floor of 2, so the env plumbing is
+/// covered end to end, not just the builder setter.
+#[test]
+fn env_selected_session_count_matches_serial() {
+    let k = MiddlewareConfig::default().sessions.max(2);
+    let rows: Vec<[Code; 4]> = (0..173u16)
+        .map(|i| [i % 4, (i / 4) % 3, (i / 12) % 5, u16::from(i % 7 < 3)])
+        .collect();
+    for dense_cap in [0u64, 1 << 20] {
+        assert_sessions_match_serial(&rows, k, 24_000, dense_cap).unwrap();
     }
 }

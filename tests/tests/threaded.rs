@@ -107,7 +107,7 @@ fn grow_threaded(mw: Middleware, config: &GrowConfig) -> DecisionTree {
             }
         }
     }
-    handle.shutdown();
+    handle.shutdown().expect("clean middleware shutdown");
     tree
 }
 
