@@ -7,8 +7,8 @@
 //!   the cost-accounted wire/staging layers.
 //! - **accounting-arith** — no bare `as` casts to integer types and no
 //!   unchecked `+`/`-`/`*` in the accounting modules (`scheduler.rs`,
-//!   `metrics.rs`, `estimator.rs`, `config.rs`): the seed shipped a staging-cap
-//!   overflow of exactly this class.
+//!   `metrics.rs`, `estimator.rs`, `config.rs`, `catalog.rs`): the seed
+//!   shipped a staging-cap overflow of exactly this class.
 //! - **hot-path-panic** — no `unwrap()`/`expect()`/`panic!`-family macros, and
 //!   no slice indexing inside loop bodies, in the scan-path modules
 //!   (`parallel.rs`, `cc.rs`, `executor.rs`, `session.rs`).
@@ -93,11 +93,12 @@ const INT_TYPES: [&str; 12] = [
 ];
 
 /// Files subject to the accounting-arith rule.
-const ARITH_FILES: [&str; 4] = [
+const ARITH_FILES: [&str; 5] = [
     "crates/core/src/scheduler.rs",
     "crates/core/src/metrics.rs",
     "crates/core/src/estimator.rs",
     "crates/core/src/config.rs",
+    "crates/core/src/catalog.rs",
 ];
 
 /// Files subject to the hot-path-panic rule.
@@ -109,11 +110,12 @@ const PANIC_FILES: [&str; 4] = [
 ];
 
 /// Stats structs whose fields the stats-coverage rule tracks.
-const STATS_STRUCTS: [&str; 4] = [
+const STATS_STRUCTS: [&str; 5] = [
     "MiddlewareStats",
     "WorkerScanStats",
     "ScanStats",
     "ArbiterStats",
+    "CatalogStats",
 ];
 
 /// Mutating methods that count as a "write" to a stats field.

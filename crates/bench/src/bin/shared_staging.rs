@@ -1,0 +1,286 @@
+//! Shared staging cache bench: K sessions building trees over the *same*
+//! table, with the cross-session staging catalog off vs on.
+//!
+//! Sessions arrive staggered, the realistic shape for a shared cache:
+//! session 0 opens alone (its lease is the whole budget), answers the
+//! root counting request once — staging the table and, with the catalog
+//! on, publishing the staged set — and only then do sessions 1..K open.
+//! Every later session's first read probes the catalog: a hit attaches
+//! it to the existing copy (a memory scan, charged `bytes / readers`
+//! against its lease); a miss leaves it rescanning the server, because
+//! the post-arrival fair share `budget / K` is deliberately too small to
+//! stage the table privately. Each session then re-answers the root
+//! request until it has served [`ROUNDS`] requests.
+//!
+//! With the catalog off, K = 4 squeezed sessions rescan the server every
+//! round; with it on, the table is staged **once** and every subsequent
+//! read is a memory scan — the `server_scan_multiplier` in the JSON is
+//! that ratio. Σ per-session charges ≤ budget is asserted directly from
+//! `Session::staged_mem_bytes` sums, and each drive ends with a shadow-
+//! accounting sweep.
+//!
+//! Written to `results/BENCH_shared_staging.json`. The drive is
+//! deterministic single-thread round-robin, so scan counters are exact;
+//! wall time only shows the scan work saved, not multi-core speedup.
+
+use scaleclass::{Backend, CatalogStats, MiddlewareConfig, MiddlewareStats, NodeId, Session};
+use scaleclass_bench::workloads::scan_bench_workload;
+use std::sync::Arc;
+use std::time::Instant;
+
+const TARGET_ROWS: usize = 200_000;
+const ITERATIONS: usize = 3;
+const ROUNDS: usize = 4;
+const K_SWEEP: [usize; 3] = [1, 2, 4];
+
+/// One session's final counters plus its live staging charge.
+struct SessionRun {
+    stats: MiddlewareStats,
+    lease_bytes: u64,
+    staged_mem_bytes: u64,
+}
+
+/// One (K, shared) leg, best-of-[`ITERATIONS`] on wall time.
+struct Leg {
+    sessions: usize,
+    shared: bool,
+    wall_secs: f64,
+    per_session: Vec<SessionRun>,
+    catalog: CatalogStats,
+    sum_charge_bytes: u64,
+}
+
+impl Leg {
+    fn total_server_scans(&self) -> u64 {
+        self.per_session.iter().map(|r| r.stats.server_scans).sum()
+    }
+
+    fn total_memory_scans(&self) -> u64 {
+        self.per_session.iter().map(|r| r.stats.memory_scans).sum()
+    }
+}
+
+/// Enqueue the root counting request and serve it to completion.
+fn serve_root(sess: &mut Session, nrows: u64) {
+    let root = sess.root_request(NodeId(0));
+    sess.enqueue(root).unwrap();
+    let out = sess.process_next_batch().unwrap();
+    assert_eq!(out.len(), 1);
+    assert_eq!(out[0].cc.total(), nrows);
+}
+
+fn run_leg(
+    workload: &scaleclass_bench::workloads::Workload,
+    k: usize,
+    budget: u64,
+    shared: bool,
+) -> Leg {
+    let mut best: Option<Leg> = None;
+    for _ in 0..ITERATIONS {
+        let db = workload.clone().into_db("t");
+        let cfg = MiddlewareConfig::builder()
+            .memory_budget_bytes(budget)
+            .sessions(k)
+            .shared_staging(shared)
+            .build();
+        let backend = Arc::new(Backend::new(db, "t", &workload.class_column, cfg).unwrap());
+        let nrows = backend.table_rows();
+
+        let start = Instant::now();
+        // Session 0 opens alone and pays for the staging build.
+        let mut sessions = vec![Session::open(Arc::clone(&backend)).unwrap()];
+        serve_root(&mut sessions[0], nrows);
+        // The rest arrive after the table is staged; their fair share
+        // can't stage it privately, but a catalog hit costs only
+        // `bytes / readers` of their lease.
+        for _ in 1..k {
+            let mut sess = Session::open(Arc::clone(&backend)).unwrap();
+            serve_root(&mut sess, nrows);
+            sessions.push(sess);
+        }
+        for _round in 1..ROUNDS {
+            for sess in sessions.iter_mut() {
+                serve_root(sess, nrows);
+            }
+        }
+        let wall_secs = start.elapsed().as_secs_f64();
+
+        let mut sum_charge_bytes = 0u64;
+        let runs: Vec<SessionRun> = sessions
+            .iter()
+            .map(|sess| {
+                sess.assert_shadow_accounting();
+                assert_eq!(sess.stats().requests_served, ROUNDS as u64);
+                sum_charge_bytes += sess.staged_mem_bytes();
+                SessionRun {
+                    stats: *sess.stats(),
+                    lease_bytes: sess.lease_bytes(),
+                    staged_mem_bytes: sess.staged_mem_bytes(),
+                }
+            })
+            .collect();
+        let catalog = backend.catalog().stats();
+
+        // The acceptance invariants, asserted on every iteration.
+        assert!(
+            sum_charge_bytes <= budget,
+            "session charges {sum_charge_bytes} oversubscribe budget {budget}"
+        );
+        if shared {
+            assert_eq!(
+                catalog.publishes, 1,
+                "the table must be staged exactly once"
+            );
+            assert_eq!(catalog.hits as usize, k - 1, "every later session must hit");
+            let server: u64 = runs.iter().map(|r| r.stats.server_scans).sum();
+            assert_eq!(server, 1, "only the publisher touches the server");
+        } else {
+            assert_eq!(backend.catalog().entry_count(), 0);
+        }
+
+        let leg = Leg {
+            sessions: k,
+            shared,
+            wall_secs,
+            per_session: runs,
+            catalog,
+            sum_charge_bytes,
+        };
+        if best
+            .as_ref()
+            .map(|b| leg.wall_secs < b.wall_secs)
+            .unwrap_or(true)
+        {
+            best = Some(leg);
+        }
+    }
+    best.unwrap()
+}
+
+fn main() {
+    let target_rows = std::env::var("SCALECLASS_BENCH_ROWS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(TARGET_ROWS);
+    let workload = scan_bench_workload(target_rows);
+    let nrows = workload.nrows();
+    let arity = workload.schema.arity();
+    let data_bytes = (nrows * arity * std::mem::size_of::<scaleclass_sqldb::Code>()) as u64;
+    // ~2.2x the table: a lone session stages it comfortably, but the
+    // post-arrival fair share budget/4 cannot — exactly the squeeze the
+    // shared catalog exists to relieve.
+    let budget = data_bytes * 11 / 5;
+    eprintln!(
+        "{} ({} rows, {:.1} MB), budget {:.1} MB",
+        workload.description,
+        nrows,
+        workload.data_mb(),
+        budget as f64 / 1e6
+    );
+
+    let legs: Vec<Leg> = K_SWEEP
+        .iter()
+        .flat_map(|&k| [false, true].map(|shared| run_leg(&workload, k, budget, shared)))
+        .collect();
+
+    for leg in &legs {
+        eprintln!(
+            "  sessions={} shared={}: {} server / {} memory scans, catalog {{publishes {}, hits {}, reclaims {}}}, charges {:.1} MB, wall {:.3}s",
+            leg.sessions,
+            leg.shared,
+            leg.total_server_scans(),
+            leg.total_memory_scans(),
+            leg.catalog.publishes,
+            leg.catalog.hits,
+            leg.catalog.reclaims,
+            leg.sum_charge_bytes as f64 / 1e6,
+            leg.wall_secs,
+        );
+    }
+
+    // The headline: how many server scans the catalog saved at each K.
+    let multiplier = |k: usize| -> f64 {
+        let off = legs
+            .iter()
+            .find(|l| l.sessions == k && !l.shared)
+            .map(Leg::total_server_scans)
+            .unwrap_or(0);
+        let on = legs
+            .iter()
+            .find(|l| l.sessions == k && l.shared)
+            .map(Leg::total_server_scans)
+            .unwrap_or(0);
+        if on == 0 {
+            0.0
+        } else {
+            off as f64 / on as f64
+        }
+    };
+    for &k in &K_SWEEP {
+        eprintln!("  K={k}: server-scan multiplier {:.1}x", multiplier(k));
+    }
+
+    let leg_json: Vec<String> = legs
+        .iter()
+        .map(|leg| {
+            let per_session: Vec<String> = leg
+                .per_session
+                .iter()
+                .map(|run| {
+                    format!(
+                        r#"{{ "requests_served": {req}, "server_scans": {srv}, "memory_scans": {mem}, "memory_rows_staged": {staged}, "lease_bytes": {lease}, "staged_mem_bytes": {charge} }}"#,
+                        req = run.stats.requests_served,
+                        srv = run.stats.server_scans,
+                        mem = run.stats.memory_scans,
+                        staged = run.stats.memory_rows_staged,
+                        lease = run.lease_bytes,
+                        charge = run.staged_mem_bytes,
+                    )
+                })
+                .collect();
+            format!(
+                r#"    {{ "sessions": {k}, "shared_staging": {shared}, "wall_secs": {wall:.4}, "server_scans": {srv}, "memory_scans": {mem}, "sum_charge_bytes": {charges}, "catalog": {{ "publishes": {pubs}, "hits": {hits}, "reclaims": {recs} }}, "per_session": [{per_session}] }}"#,
+                k = leg.sessions,
+                shared = leg.shared,
+                wall = leg.wall_secs,
+                srv = leg.total_server_scans(),
+                mem = leg.total_memory_scans(),
+                charges = leg.sum_charge_bytes,
+                pubs = leg.catalog.publishes,
+                hits = leg.catalog.hits,
+                recs = leg.catalog.reclaims,
+                per_session = per_session.join(", "),
+            )
+        })
+        .collect();
+
+    let json = format!(
+        r#"{{
+  "bench": "shared_staging",
+  "workload": "{desc}",
+  "rows": {nrows},
+  "arity": {arity},
+  "iterations_best_of": {iters},
+  "rounds_per_session": {rounds},
+  "budget_bytes": {budget},
+  "data_bytes": {data_bytes},
+  "server_scan_multiplier": {{ "k2": {m2:.1}, "k4": {m4:.1} }},
+  "note": "Session 0 stages the table under a full-budget lease, then K-1 sessions arrive whose fair share budget/K cannot stage it privately. Catalog off: every squeezed session rescans the server each of the {rounds} rounds. Catalog on: one publish, K-1 cache hits, every read a memory scan, each reader charged bytes/readers so the per-session charges sum under the budget.",
+  "legs": [
+{legs}
+  ]
+}}
+"#,
+        desc = workload.description,
+        iters = ITERATIONS,
+        rounds = ROUNDS,
+        m2 = multiplier(2),
+        m4 = multiplier(4),
+        legs = leg_json.join(",\n"),
+    );
+    let out = std::path::Path::new("results/BENCH_shared_staging.json");
+    // analyze:allow(io-bypass): bench artifact output, not table data;
+    // nothing here belongs in the cost-accounted staging path.
+    std::fs::write(out, &json).unwrap();
+    println!("wrote {}", out.display());
+}

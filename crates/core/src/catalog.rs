@@ -1,0 +1,671 @@
+//! Cross-session shared staging catalog.
+//!
+//! K sessions mining the same table stage K private copies of the same
+//! per-node data sets, multiplying both memory and staging I/O by K. The
+//! catalog removes that multiplier: the first session to stage a
+//! (path-predicate-signature, staging-mode) data set pays for the build
+//! and *publishes* it; later sessions *attach* copy-on-read instead of
+//! re-staging. Entries are refcounted by reader session — an entry is
+//! reclaimable only when its reader count drops to zero — and every live
+//! reader of a memory entry is charged an equal share of the entry's
+//! modelled bytes against its budget lease (`⌊bytes / readers⌋`, so
+//! `Σ shares ≤ bytes` by construction). File entries charge nothing, the
+//! same way private staged files never count against the memory budget.
+//!
+//! The catalog is owned by the [`crate::session::Backend`] and engaged per
+//! session when [`crate::config::MiddlewareConfig::shared_staging`] is on.
+//! It performs **no filesystem I/O** itself: shared staged files are
+//! renamed into the catalog's directory by [`crate::staging`] (the one
+//! module allowed raw file access), and reclaim/teardown return the paths
+//! for the caller to remove. Charges live in per-session `AtomicU64`
+//! cells recomputed under the catalog lock on every reader-set change, so
+//! sessions read their own charge lock-free on the scheduling hot path.
+//!
+//! Shadow accounting (DESIGN.md §9.3, §11): [`StagingCatalog::
+//! assert_shadow_accounting`] recounts every session's charge from the
+//! entry table and compares it with the incremental cells, and checks
+//! `Σ reader shares ≤ entry bytes` for every entry.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+use crate::metrics::CatalogStats;
+use scaleclass_sqldb::types::Code;
+use scaleclass_sqldb::Pred;
+
+/// Staging-mode half of a catalog key: a node's data set can be shared as
+/// a memory code vector and as a staged file independently.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SharedMode {
+    /// A memory-staged flat code vector, shared by `Arc`.
+    Mem,
+    /// A staged file in the catalog directory, shared by path.
+    File,
+}
+
+/// What a shared entry hands to an attaching reader.
+#[derive(Debug)]
+enum SharedPayload {
+    /// Memory entries share the row vector itself (copy-on-read: readers
+    /// only ever scan it).
+    Mem(Arc<Vec<Code>>),
+    /// File entries share an on-disk path inside the catalog directory.
+    File(PathBuf),
+}
+
+#[derive(Debug)]
+struct SharedEntry {
+    sig: String,
+    mode: SharedMode,
+    /// Modelled bytes (`rows × row width` for memory entries; payload
+    /// bytes for files, informational only — files charge nothing).
+    bytes: u64,
+    nrows: u64,
+    arity: usize,
+    /// Sessions currently attached, in attach order. Never empty for a
+    /// live entry — the last detach reclaims it.
+    readers: Vec<u64>,
+    payload: SharedPayload,
+}
+
+#[derive(Debug)]
+struct CatalogInner {
+    entries: HashMap<u64, SharedEntry>,
+    /// (signature, mode) → entry id.
+    index: HashMap<(String, SharedMode), u64>,
+    /// Registered session → its charge cell (Σ shares over the memory
+    /// entries it reads; recomputed under the lock, read lock-free).
+    sessions: HashMap<u64, Arc<AtomicU64>>,
+    next_entry: u64,
+    next_session: u64,
+    stats: CatalogStats,
+}
+
+/// A memory entry handed back by [`StagingCatalog::probe_mem`] /
+/// [`StagingCatalog::publish_mem`].
+#[derive(Debug)]
+pub struct SharedMemEntry {
+    /// Catalog entry id (detach with it when the local set is evicted).
+    pub entry: u64,
+    /// The shared row vector.
+    pub rows: Arc<Vec<Code>>,
+    /// Number of rows.
+    pub nrows: u64,
+    /// Codes per row.
+    pub arity: usize,
+}
+
+/// A file entry handed back by [`StagingCatalog::probe_file`].
+#[derive(Debug)]
+pub struct SharedFileEntry {
+    /// Catalog entry id.
+    pub entry: u64,
+    /// On-disk location inside the catalog directory.
+    pub path: PathBuf,
+    /// Number of rows.
+    pub nrows: u64,
+    /// Codes per row.
+    pub arity: usize,
+}
+
+/// Outcome of [`StagingCatalog::publish_file`].
+#[derive(Debug)]
+pub enum FilePublish {
+    /// The entry is new: the catalog adopted the proposed path.
+    Published(u64),
+    /// The signature was already published (publish race or re-stage):
+    /// the session was attached to the existing entry instead, and must
+    /// remove its duplicate file and read from the returned path.
+    Attached(u64, PathBuf),
+}
+
+/// Refcounted, arbiter-charged shared staging catalog (one per
+/// [`crate::session::Backend`]).
+#[derive(Debug)]
+pub struct StagingCatalog {
+    /// Where shared staged files live. Computed at construction, created
+    /// lazily by [`crate::staging`] on the first file publish, removed
+    /// (with any remaining contents) on drop.
+    dir: PathBuf,
+    inner: Mutex<CatalogInner>,
+}
+
+impl Default for StagingCatalog {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StagingCatalog {
+    /// An empty catalog with a fresh (not yet created) directory.
+    pub fn new() -> Self {
+        StagingCatalog {
+            dir: crate::staging::shared_catalog_dir(),
+            inner: Mutex::new(CatalogInner {
+                entries: HashMap::new(),
+                index: HashMap::new(),
+                sessions: HashMap::new(),
+                next_entry: 0,
+                next_session: 0,
+                stats: CatalogStats::default(),
+            }),
+        }
+    }
+
+    /// The canonical catalog signature of a path predicate. Lineage
+    /// entries carry the *full* conjunction from the root, so identical
+    /// tree shapes across sessions produce identical signatures.
+    pub fn signature(pred: &Pred) -> String {
+        format!("{pred:?}")
+    }
+
+    /// Directory shared staged files are published into.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn lock(&self) -> MutexGuard<'_, CatalogInner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Snapshot of the catalog's counters.
+    pub fn stats(&self) -> CatalogStats {
+        self.lock().stats
+    }
+
+    /// Live shared entries.
+    pub fn entry_count(&self) -> usize {
+        self.lock().entries.len()
+    }
+
+    /// Sessions currently attached to `entry` (0 for unknown entries).
+    pub fn reader_count(&self, entry: u64) -> usize {
+        self.lock()
+            .entries
+            .get(&entry)
+            .map_or(0, |e| e.readers.len())
+    }
+
+    /// Register a reader session. Returns the session id and its charge
+    /// cell (Σ shares of the memory entries it reads, maintained by the
+    /// catalog, read lock-free by the session's scheduling path).
+    pub fn register_session(&self) -> (u64, Arc<AtomicU64>) {
+        let mut inner = self.lock();
+        let id = inner.next_session;
+        inner.next_session = inner.next_session.wrapping_add(1);
+        let cell = Arc::new(AtomicU64::new(0));
+        inner.sessions.insert(id, Arc::clone(&cell));
+        (id, cell)
+    }
+
+    /// Detach `session` from every entry and forget it. Entries whose
+    /// reader count drops to zero are reclaimed; the paths of reclaimed
+    /// *file* entries are returned for the caller to remove (the catalog
+    /// does no I/O). Surviving readers' charges are re-split.
+    pub fn unregister_session(&self, session: u64) -> Vec<PathBuf> {
+        let mut inner = self.lock();
+        inner.sessions.remove(&session);
+        let dead: Vec<u64> = inner
+            .entries
+            .iter_mut()
+            .filter_map(|(&id, e)| {
+                e.readers.retain(|&s| s != session);
+                e.readers.is_empty().then_some(id)
+            })
+            .collect();
+        let mut reclaimed = Vec::new();
+        for id in dead {
+            if let Some(path) = Self::reclaim(&mut inner, id) {
+                reclaimed.push(path);
+            }
+        }
+        Self::recompute_charges(&mut inner);
+        reclaimed
+    }
+
+    /// Attach `session` to the memory entry published under `sig`, if one
+    /// exists. Charges are re-split over the grown reader set.
+    pub fn probe_mem(&self, sig: &str, session: u64) -> Option<SharedMemEntry> {
+        let mut inner = self.lock();
+        let id = inner
+            .index
+            .get(&(sig.to_owned(), SharedMode::Mem))
+            .copied()?;
+        let e = inner.entries.get_mut(&id)?;
+        if !e.readers.contains(&session) {
+            e.readers.push(session);
+        }
+        let SharedPayload::Mem(rows) = &e.payload else {
+            return None;
+        };
+        let out = SharedMemEntry {
+            entry: id,
+            rows: Arc::clone(rows),
+            nrows: e.nrows,
+            arity: e.arity,
+        };
+        inner.stats.hits = inner.stats.hits.saturating_add(1);
+        Self::recompute_charges(&mut inner);
+        Some(out)
+    }
+
+    /// Attach `session` to the file entry published under `sig`, if one
+    /// exists. File entries charge nothing, but the refcount still pins
+    /// the on-disk file until the last reader detaches.
+    pub fn probe_file(&self, sig: &str, session: u64) -> Option<SharedFileEntry> {
+        let mut inner = self.lock();
+        let id = inner
+            .index
+            .get(&(sig.to_owned(), SharedMode::File))
+            .copied()?;
+        let e = inner.entries.get_mut(&id)?;
+        if !e.readers.contains(&session) {
+            e.readers.push(session);
+        }
+        let SharedPayload::File(path) = &e.payload else {
+            return None;
+        };
+        let out = SharedFileEntry {
+            entry: id,
+            path: path.clone(),
+            nrows: e.nrows,
+            arity: e.arity,
+        };
+        inner.stats.hits = inner.stats.hits.saturating_add(1);
+        Self::recompute_charges(&mut inner);
+        Some(out)
+    }
+
+    /// Publish a memory-staged data set under `sig`, attaching `session`
+    /// as its first reader. If the signature is already published (a
+    /// publish race, or a re-stage while another session still reads the
+    /// old copy), the session attaches to the existing entry instead and
+    /// must adopt the returned rows — scans are deterministic over the
+    /// shared table, so both builds hold identical codes.
+    pub fn publish_mem(
+        &self,
+        sig: String,
+        rows: Arc<Vec<Code>>,
+        bytes: u64,
+        nrows: u64,
+        arity: usize,
+        session: u64,
+    ) -> SharedMemEntry {
+        let mut inner = self.lock();
+        if let Some(&id) = inner.index.get(&(sig.clone(), SharedMode::Mem)) {
+            if let Some(e) = inner.entries.get_mut(&id) {
+                if !e.readers.contains(&session) {
+                    e.readers.push(session);
+                }
+                if let SharedPayload::Mem(existing) = &e.payload {
+                    let out = SharedMemEntry {
+                        entry: id,
+                        rows: Arc::clone(existing),
+                        nrows: e.nrows,
+                        arity: e.arity,
+                    };
+                    inner.stats.hits = inner.stats.hits.saturating_add(1);
+                    Self::recompute_charges(&mut inner);
+                    return out;
+                }
+            }
+        }
+        let id = inner.next_entry;
+        inner.next_entry = inner.next_entry.wrapping_add(1);
+        inner.index.insert((sig.clone(), SharedMode::Mem), id);
+        inner.entries.insert(
+            id,
+            SharedEntry {
+                sig,
+                mode: SharedMode::Mem,
+                bytes,
+                nrows,
+                arity,
+                readers: vec![session],
+                payload: SharedPayload::Mem(Arc::clone(&rows)),
+            },
+        );
+        inner.stats.publishes = inner.stats.publishes.saturating_add(1);
+        Self::recompute_charges(&mut inner);
+        SharedMemEntry {
+            entry: id,
+            rows,
+            nrows,
+            arity,
+        }
+    }
+
+    /// Publish a staged file under `sig`. The caller has already renamed
+    /// the file to `path` inside [`StagingCatalog::dir`]; on a publish
+    /// race the session is attached to the existing entry and told to
+    /// remove its duplicate ([`FilePublish::Attached`]).
+    pub fn publish_file(
+        &self,
+        sig: String,
+        path: PathBuf,
+        bytes: u64,
+        nrows: u64,
+        arity: usize,
+        session: u64,
+    ) -> FilePublish {
+        let mut inner = self.lock();
+        if let Some(&id) = inner.index.get(&(sig.clone(), SharedMode::File)) {
+            if let Some(e) = inner.entries.get_mut(&id) {
+                if !e.readers.contains(&session) {
+                    e.readers.push(session);
+                }
+                if let SharedPayload::File(existing) = &e.payload {
+                    let existing = existing.clone();
+                    inner.stats.hits = inner.stats.hits.saturating_add(1);
+                    Self::recompute_charges(&mut inner);
+                    return FilePublish::Attached(id, existing);
+                }
+            }
+        }
+        let id = inner.next_entry;
+        inner.next_entry = inner.next_entry.wrapping_add(1);
+        inner.index.insert((sig.clone(), SharedMode::File), id);
+        inner.entries.insert(
+            id,
+            SharedEntry {
+                sig,
+                mode: SharedMode::File,
+                bytes,
+                nrows,
+                arity,
+                readers: vec![session],
+                payload: SharedPayload::File(path),
+            },
+        );
+        inner.stats.publishes = inner.stats.publishes.saturating_add(1);
+        Self::recompute_charges(&mut inner);
+        FilePublish::Published(id)
+    }
+
+    /// Detach `session` from `entry`. The last reader's detach reclaims
+    /// the entry; for file entries the on-disk path is returned for the
+    /// caller to remove. Survivors' shares grow (re-split under the lock).
+    pub fn detach(&self, entry: u64, session: u64) -> Option<PathBuf> {
+        let mut inner = self.lock();
+        let e = inner.entries.get_mut(&entry)?;
+        e.readers.retain(|&s| s != session);
+        let reclaimed = if e.readers.is_empty() {
+            Self::reclaim(&mut inner, entry)
+        } else {
+            None
+        };
+        Self::recompute_charges(&mut inner);
+        reclaimed
+    }
+
+    /// This session's charge share of `entry` (`⌊bytes / readers⌋` for
+    /// memory entries it reads; 0 for files, unknown entries, and
+    /// non-readers) — what detaching would free against its lease.
+    pub fn share_of(&self, entry: u64, session: u64) -> u64 {
+        let inner = self.lock();
+        let Some(e) = inner.entries.get(&entry) else {
+            return 0;
+        };
+        if !matches!(e.payload, SharedPayload::Mem(_)) || !e.readers.contains(&session) {
+            return 0;
+        }
+        let n = u64::try_from(e.readers.len()).unwrap_or(u64::MAX);
+        e.bytes.checked_div(n).unwrap_or(0)
+    }
+
+    /// Drop a reclaimed entry, returning its path if it owned a file.
+    fn reclaim(inner: &mut CatalogInner, entry: u64) -> Option<PathBuf> {
+        let e = inner.entries.remove(&entry)?;
+        debug_assert!(e.readers.is_empty(), "reclaimed a live entry");
+        inner.index.remove(&(e.sig, e.mode));
+        inner.stats.reclaims = inner.stats.reclaims.saturating_add(1);
+        match e.payload {
+            SharedPayload::File(path) => Some(path),
+            SharedPayload::Mem(_) => None,
+        }
+    }
+
+    /// Per-session charge totals recounted from the entry table.
+    fn recount(inner: &CatalogInner) -> HashMap<u64, u64> {
+        let mut totals: HashMap<u64, u64> = HashMap::with_capacity(inner.sessions.len());
+        for e in inner.entries.values() {
+            if !matches!(e.payload, SharedPayload::Mem(_)) {
+                continue;
+            }
+            let n = u64::try_from(e.readers.len()).unwrap_or(u64::MAX);
+            if n == 0 {
+                continue;
+            }
+            let share = e.bytes / n;
+            for &s in &e.readers {
+                let t = totals.entry(s).or_insert(0);
+                *t = t.saturating_add(share);
+            }
+        }
+        totals
+    }
+
+    /// Store freshly recounted charges into every session's cell. Runs
+    /// under the catalog lock after any reader-set change, so a session's
+    /// lock-free read always sees a total consistent with *some* recent
+    /// reader configuration.
+    fn recompute_charges(inner: &mut CatalogInner) {
+        let totals = Self::recount(inner);
+        for (s, cell) in &inner.sessions {
+            cell.store(totals.get(s).copied().unwrap_or(0), Ordering::Release);
+        }
+    }
+
+    /// Shadow accounting (DESIGN.md §9.3, §11): recount every session's
+    /// charge from the entry table and compare with its incremental cell,
+    /// and check `Σ reader shares ≤ entry bytes` per entry. Unconditional
+    /// assert; call sites gate on `cfg(debug_assertions)`.
+    pub fn assert_shadow_accounting(&self) {
+        let inner = self.lock();
+        for e in inner.entries.values() {
+            assert!(
+                !e.readers.is_empty(),
+                "catalog entry for {:?} survived with no readers",
+                e.sig
+            );
+            if matches!(e.payload, SharedPayload::Mem(_)) {
+                let n = u64::try_from(e.readers.len()).unwrap_or(u64::MAX);
+                let share = e.bytes / n;
+                assert!(
+                    share.saturating_mul(n) <= e.bytes,
+                    "entry shares over-charge: {n} readers × {share} B > {} B",
+                    e.bytes
+                );
+            }
+        }
+        let totals = Self::recount(&inner);
+        for (s, cell) in &inner.sessions {
+            let want = totals.get(s).copied().unwrap_or(0);
+            let got = cell.load(Ordering::Acquire);
+            assert_eq!(
+                got, want,
+                "session {s}'s incremental charge cell drifted from the recount"
+            );
+        }
+    }
+}
+
+impl Drop for StagingCatalog {
+    fn drop(&mut self) {
+        // Delegated to the staging module — the catalog itself does no
+        // filesystem I/O. Removes the directory and any files a crashed
+        // session failed to reclaim; a never-created directory is a no-op.
+        crate::staging::cleanup_shared_dir(&self.dir);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn publish_probe_detach_lifecycle_and_charges() {
+        let cat = StagingCatalog::new();
+        let (s1, c1) = cat.register_session();
+        let (s2, c2) = cat.register_session();
+
+        let rows = Arc::new(vec![1u16, 2, 3, 4]);
+        let pub1 = cat.publish_mem("sig-a".into(), Arc::clone(&rows), 1000, 2, 2, s1);
+        assert_eq!(c1.load(Ordering::Acquire), 1000, "sole reader pays all");
+        assert_eq!(cat.stats().publishes, 1);
+        assert_eq!(cat.reader_count(pub1.entry), 1);
+
+        let hit = cat.probe_mem("sig-a", s2).expect("published entry found");
+        assert_eq!(hit.entry, pub1.entry);
+        assert!(Arc::ptr_eq(&hit.rows, &rows), "copy-on-read, not a copy");
+        assert_eq!(cat.stats().hits, 1);
+        assert_eq!(c1.load(Ordering::Acquire), 500, "share re-split on attach");
+        assert_eq!(c2.load(Ordering::Acquire), 500);
+        cat.assert_shadow_accounting();
+
+        assert!(
+            cat.detach(pub1.entry, s1).is_none(),
+            "mem entries return no path"
+        );
+        assert_eq!(c1.load(Ordering::Acquire), 0);
+        assert_eq!(
+            c2.load(Ordering::Acquire),
+            1000,
+            "survivor absorbs the share"
+        );
+        assert_eq!(cat.stats().reclaims, 0, "a reader remains");
+
+        cat.detach(pub1.entry, s2);
+        assert_eq!(cat.stats().reclaims, 1, "last detach reclaims");
+        assert_eq!(cat.entry_count(), 0);
+        assert!(
+            cat.probe_mem("sig-a", s2).is_none(),
+            "reclaimed entries miss"
+        );
+        cat.assert_shadow_accounting();
+    }
+
+    #[test]
+    fn share_floors_never_oversubscribe() {
+        let cat = StagingCatalog::new();
+        let sessions: Vec<u64> = (0..3).map(|_| cat.register_session().0).collect();
+        let rows = Arc::new(vec![0u16; 50]);
+        // 1001 / 3 = 333 each: Σ = 999 ≤ 1001.
+        let e = cat.publish_mem("s".into(), rows, 1001, 25, 2, sessions[0]);
+        for &s in &sessions[1..] {
+            cat.probe_mem("s", s).unwrap();
+        }
+        let total: u64 = sessions.iter().map(|&s| cat.share_of(e.entry, s)).sum();
+        assert_eq!(total, 999);
+        assert!(total <= 1001);
+        cat.assert_shadow_accounting();
+    }
+
+    #[test]
+    fn publish_race_attaches_to_existing_entry() {
+        let cat = StagingCatalog::new();
+        let (s1, _) = cat.register_session();
+        let (s2, _) = cat.register_session();
+        let first = Arc::new(vec![7u16, 8]);
+        let second = Arc::new(vec![7u16, 8]);
+        let e1 = cat.publish_mem("race".into(), Arc::clone(&first), 4, 1, 2, s1);
+        let e2 = cat.publish_mem("race".into(), second, 4, 1, 2, s2);
+        assert_eq!(e1.entry, e2.entry);
+        assert!(
+            Arc::ptr_eq(&e2.rows, &first),
+            "loser adopts the winner's rows"
+        );
+        assert_eq!(cat.stats().publishes, 1);
+        assert_eq!(cat.stats().hits, 1);
+        assert_eq!(cat.reader_count(e1.entry), 2);
+    }
+
+    #[test]
+    fn file_entries_charge_nothing_and_return_path_on_reclaim() {
+        let cat = StagingCatalog::new();
+        let (s1, c1) = cat.register_session();
+        let (s2, _) = cat.register_session();
+        let path = cat.dir().join("scx0m0_stage_1_0.rows");
+        let FilePublish::Published(entry) =
+            cat.publish_file("f".into(), path.clone(), 600, 100, 3, s1)
+        else {
+            panic!("fresh signature must publish");
+        };
+        assert_eq!(c1.load(Ordering::Acquire), 0, "files charge nothing");
+        let hit = cat.probe_file("f", s2).unwrap();
+        assert_eq!(hit.path, path);
+        assert_eq!(hit.nrows, 100);
+        assert!(cat.detach(entry, s1).is_none(), "a reader remains");
+        assert_eq!(
+            cat.detach(entry, s2),
+            Some(path),
+            "last detach returns the path for removal"
+        );
+        assert_eq!(cat.stats().reclaims, 1);
+    }
+
+    #[test]
+    fn file_publish_race_reports_existing_path() {
+        let cat = StagingCatalog::new();
+        let (s1, _) = cat.register_session();
+        let (s2, _) = cat.register_session();
+        let p1 = cat.dir().join("a.rows");
+        let p2 = cat.dir().join("b.rows");
+        let FilePublish::Published(e1) = cat.publish_file("f".into(), p1.clone(), 6, 1, 3, s1)
+        else {
+            panic!("fresh signature must publish");
+        };
+        let FilePublish::Attached(e2, existing) = cat.publish_file("f".into(), p2, 6, 1, 3, s2)
+        else {
+            panic!("duplicate signature must attach");
+        };
+        assert_eq!(e1, e2);
+        assert_eq!(existing, p1, "loser reads the winner's file");
+    }
+
+    #[test]
+    fn unregister_detaches_everywhere_and_regrows_survivors() {
+        let cat = StagingCatalog::new();
+        let (s1, c1) = cat.register_session();
+        let (s2, c2) = cat.register_session();
+        cat.publish_mem("m".into(), Arc::new(vec![0u16; 4]), 800, 2, 2, s1);
+        cat.probe_mem("m", s2).unwrap();
+        let FilePublish::Published(_) =
+            cat.publish_file("f".into(), cat.dir().join("x.rows"), 10, 1, 5, s1)
+        else {
+            panic!("fresh signature must publish");
+        };
+        assert_eq!(c1.load(Ordering::Acquire), 400);
+
+        let reclaimed = cat.unregister_session(s1);
+        assert_eq!(reclaimed.len(), 1, "s1's sole file entry reclaimed");
+        assert_eq!(
+            c2.load(Ordering::Acquire),
+            800,
+            "survivor's share grows to the whole entry"
+        );
+        assert_eq!(cat.entry_count(), 1, "the shared mem entry survives");
+        cat.assert_shadow_accounting();
+
+        let reclaimed = cat.unregister_session(s2);
+        assert!(reclaimed.is_empty(), "mem entries reclaim without paths");
+        assert_eq!(cat.entry_count(), 0);
+        assert_eq!(cat.stats().reclaims, 2);
+    }
+
+    #[test]
+    fn signature_tracks_full_path_predicates() {
+        let a = Pred::Eq { col: 0, value: 1 };
+        let b = Pred::and(vec![
+            Pred::Eq { col: 0, value: 1 },
+            Pred::Eq { col: 1, value: 0 },
+        ]);
+        assert_ne!(StagingCatalog::signature(&a), StagingCatalog::signature(&b));
+        assert_eq!(
+            StagingCatalog::signature(&a),
+            StagingCatalog::signature(&a.clone())
+        );
+    }
+}

@@ -125,12 +125,22 @@ pub struct MiddlewareConfig {
     pub cc_dense_max_bytes: u64,
     /// Concurrent tree-build sessions the multi-client front-end
     /// ([`crate::concurrent::SessionPool`]) serves over one shared backend.
-    /// Each live session leases `memory_budget_bytes / sessions` from the
-    /// [`crate::session::BudgetArbiter`]. `1` (the default) is the classic
-    /// single-client middleware. Honours the `SCALECLASS_SESSIONS`
-    /// environment variable so whole test runs can exercise concurrency
-    /// without code changes.
+    /// Each live session leases a fair share (`memory_budget_bytes /
+    /// sessions`, remainder spread one byte each over the earliest grants)
+    /// from the [`crate::session::BudgetArbiter`]. `1` (the default) is
+    /// the classic single-client middleware. Honours the
+    /// `SCALECLASS_SESSIONS` environment variable so whole test runs can
+    /// exercise concurrency without code changes.
     pub sessions: usize,
+    /// Share staged data sets across sessions through the backend's
+    /// [`crate::catalog::StagingCatalog`]: the first session to stage a
+    /// (node-path-predicate, mode) data set publishes it, later sessions
+    /// attach copy-on-read instead of re-staging, and each live reader is
+    /// charged an equal share of the entry's modelled bytes against its
+    /// lease. Off by default — cross-session reuse makes per-session
+    /// stats depend on sibling timing, so the deterministic bit-identity
+    /// suites keep it off. Honours `SCALECLASS_SHARED_STAGING`.
+    pub shared_staging: bool,
 }
 
 /// Default rows per staged-file extent (≈ 400 KB of payload at the
@@ -160,6 +170,15 @@ fn env_sessions() -> usize {
         .and_then(|v| v.trim().parse::<usize>().ok())
         .filter(|&n| n >= 1)
         .unwrap_or(1)
+}
+
+/// Shared-staging switch from `SCALECLASS_SHARED_STAGING` (`1`, `true`,
+/// `on`, or `yes` enable it; anything else — including unset — keeps the
+/// private-staging default).
+fn env_shared_staging() -> bool {
+    std::env::var("SCALECLASS_SHARED_STAGING")
+        .map(|v| matches!(v.trim(), "1" | "true" | "on" | "yes"))
+        .unwrap_or(false)
 }
 
 /// Default dense counts-table cap: 4 MiB of slots per node. The
@@ -209,6 +228,7 @@ impl Default for MiddlewareConfig {
             stage_extent_rows: env_extent_rows(),
             cc_dense_max_bytes: env_cc_dense(),
             sessions: env_sessions(),
+            shared_staging: env_shared_staging(),
         }
     }
 }
@@ -345,6 +365,12 @@ impl MiddlewareConfigBuilder {
         self
     }
 
+    /// Share staged data sets across sessions via the backend catalog.
+    pub fn shared_staging(mut self, on: bool) -> Self {
+        self.config.shared_staging = on;
+        self
+    }
+
     /// Finish building.
     pub fn build(self) -> MiddlewareConfig {
         self.config
@@ -443,6 +469,14 @@ mod tests {
         assert_eq!(c.sessions, 4);
         // Unset/1 env default keeps the classic single-client middleware.
         assert!(MiddlewareConfig::default().sessions >= 1);
+    }
+
+    #[test]
+    fn shared_staging_knob() {
+        let c = MiddlewareConfig::builder().shared_staging(true).build();
+        assert!(c.shared_staging);
+        let c = MiddlewareConfig::builder().shared_staging(false).build();
+        assert!(!c.shared_staging, "builder can force it off");
     }
 
     #[test]

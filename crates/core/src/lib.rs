@@ -51,6 +51,12 @@
 
 #![warn(missing_docs)]
 
+#[deny(
+    clippy::cast_possible_truncation,
+    clippy::cast_sign_loss,
+    clippy::cast_possible_wrap
+)]
+pub mod catalog;
 pub mod cc;
 pub mod concurrent;
 // The accounting modules (the files `scaleclass-analyze`'s accounting-arith
@@ -91,11 +97,12 @@ pub mod session;
 pub mod sqlgen;
 pub mod staging;
 
+pub use catalog::StagingCatalog;
 pub use cc::{CountsTable, FulfilledCc, CC_ENTRY_BYTES};
 pub use concurrent::SessionPool;
 pub use config::{AuxMode, EstimatorKind, FileStagingPolicy, MiddlewareConfig};
 pub use error::{MwError, MwResult};
-pub use metrics::{ArbiterStats, MiddlewareStats, ScanStats, WorkerScanStats};
+pub use metrics::{ArbiterStats, CatalogStats, MiddlewareStats, ScanStats, WorkerScanStats};
 pub use middleware::Middleware;
 pub use request::{CcRequest, DataLocation, Lineage, NodeId};
 pub use session::{Backend, BudgetArbiter, Session};

@@ -44,6 +44,12 @@ pub struct MiddlewareStats {
     pub memory_sets_evicted: u64,
     /// Memory sets sacrificed mid-scan to make room for counts tables.
     pub pressure_evictions: u64,
+    /// Memory sets evicted at a batch boundary because a session-count
+    /// change (or a shared-staging attach) left more bytes staged than the
+    /// session's current lease.
+    pub lease_shrink_evictions: u64,
+    /// In-progress staged-file writers abandoned (partial file removed).
+    pub files_aborted: u64,
     /// Rows staged into middleware memory.
     pub memory_rows_staged: u64,
     /// Nodes that hit the §4.1.1 dynamic switch to SQL-based counting.
@@ -118,6 +124,22 @@ impl MiddlewareStats {
             .saturating_add(self.memory_rows_staged.saturating_mul(w.mem_row))
             .saturating_add(self.files_created.saturating_mul(w.file_created))
     }
+}
+
+/// Counters kept by the [`crate::catalog::StagingCatalog`] that shares
+/// staged data sets across sessions. Logical counters only — entry sizes,
+/// reader counts, and per-session charges are readable from the catalog
+/// itself and recounted by its shadow accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CatalogStats {
+    /// Data sets published into the catalog (first session to stage a
+    /// signature pays for the build and registers it here).
+    pub publishes: u64,
+    /// Cache hits: probes or publish races that attached to an entry some
+    /// other build already paid for.
+    pub hits: u64,
+    /// Entries reclaimed after their last reader detached.
+    pub reclaims: u64,
 }
 
 /// Counters kept by the [`crate::session::BudgetArbiter`] that leases

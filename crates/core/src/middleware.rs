@@ -533,6 +533,114 @@ mod tests {
     }
 
     #[test]
+    fn shared_staging_flag_is_invisible_to_a_lone_session() {
+        // The facade holds the only session on its backend, so with shared
+        // staging ON every published entry has exactly one reader and the
+        // equal share equals the full bytes: scheduling, staging, and
+        // eviction decisions — hence all logical counters — must be
+        // identical to the default path.
+        let run = |shared: bool| {
+            let cfg = MiddlewareConfig::builder().shared_staging(shared).build();
+            let mut mw = middleware(80, cfg);
+            let root = mw.root_request(NodeId(0));
+            let lineage = root.lineage.clone();
+            mw.enqueue(root).unwrap();
+            let mut totals = Vec::new();
+            mw.run_to_completion(|f| {
+                totals.push(f.cc.total());
+                if f.node == NodeId(0) {
+                    (0..4u16)
+                        .map(|v| CcRequest {
+                            lineage: lineage
+                                .child(NodeId(1 + u64::from(v)), Pred::Eq { col: 0, value: v }),
+                            attrs: vec![1],
+                            class_col: 2,
+                            rows: 20,
+                            parent_rows: 80,
+                            parent_cards: vec![3],
+                        })
+                        .collect()
+                } else {
+                    vec![]
+                }
+            })
+            .unwrap();
+            mw.assert_shadow_accounting();
+            let mut stats = *mw.stats();
+            // Wall-clock timing is the one legitimate difference.
+            stats.scan_nanos = 0;
+            stats.kernel_nanos = 0;
+            (totals, stats)
+        };
+        let (totals_off, stats_off) = run(false);
+        let (totals_on, stats_on) = run(true);
+        assert_eq!(totals_off, totals_on, "identical counts tables");
+        assert_eq!(stats_off, stats_on, "identical logical counters");
+    }
+
+    #[test]
+    fn corrupt_staged_file_fails_the_batch_without_stray_files() {
+        // Stage the root into a file in an explicit directory, corrupt it
+        // on disk, and drive a child batch through it: the scan must fail
+        // with Corrupt, the batch's in-progress writers must clean up
+        // after themselves (no partial files strand in the directory), and
+        // the staged-byte accounting must still reconcile.
+        let dir =
+            std::env::temp_dir().join(format!("scaleclass-corrupt-test-{}", std::process::id()));
+        let cfg = MiddlewareConfig::builder()
+            .memory_caching(false)
+            .file_policy(FileStagingPolicy::PerNode)
+            .staging_dir(&dir)
+            // Pinned off: this test inspects the *private* staged file in
+            // `dir`; with the catalog on (the SCALECLASS_SHARED_STAGING=1
+            // CI leg) committed files move to the shared catalog dir.
+            .shared_staging(false)
+            .build();
+        let mut mw = middleware(80, cfg);
+        let root = mw.root_request(NodeId(0));
+        let lineage = root.lineage.clone();
+        mw.enqueue(root).unwrap();
+        mw.process_next_batch().unwrap();
+        assert_eq!(mw.stats().files_created, 1);
+
+        // Flip a payload byte of the staged file (past the 16-byte file
+        // header and 8-byte extent header) so the CRC check trips.
+        let staged: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .collect();
+        assert_eq!(staged.len(), 1);
+        let mut bytes = std::fs::read(&staged[0]).unwrap();
+        bytes[16 + 8 + 3] ^= 0x40;
+        std::fs::write(&staged[0], &bytes).unwrap();
+
+        mw.enqueue(CcRequest {
+            lineage: lineage.child(NodeId(1), Pred::Eq { col: 0, value: 1 }),
+            attrs: vec![1],
+            class_col: 2,
+            rows: 20,
+            parent_rows: 80,
+            parent_cards: vec![3],
+        })
+        .unwrap();
+        let err = mw.process_next_batch();
+        assert!(
+            matches!(err, Err(crate::error::MwError::Corrupt(_))),
+            "expected Corrupt, got {err:?}"
+        );
+        mw.assert_shadow_accounting();
+        // The failed batch's per-node file writer rolled itself back: only
+        // the (corrupt) root file remains in the staging directory.
+        let leftover: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .collect();
+        assert_eq!(leftover, staged, "no partial writer output strands");
+        drop(mw);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
     fn extraction_baseline_ships_every_row() {
         let mw = middleware(80, MiddlewareConfig::default());
         let before = mw.db_stats();

@@ -500,8 +500,11 @@ impl ParallelScan {
         let base = extents / n as u64;
         let rem = (extents % n as u64) as usize;
         // Per tee node: memory-tee flag and (for file tees) the directory
-        // the staged file is being written in, where spools go too.
-        let tee_info: Vec<(usize, bool, Option<std::path::PathBuf>)> = self
+        // the staged file is being written in — where spools go too, named
+        // with the writer's manager prefix so a drop-time sweep of a
+        // shared staging dir reclaims any spool this scan leaks.
+        type TeeInfo = (usize, bool, Option<(std::path::PathBuf, String)>);
+        let tee_info: Vec<TeeInfo> = self
             .tee_nodes
             .iter()
             .map(|&i| {
@@ -511,7 +514,9 @@ impl ParallelScan {
                 (
                     i,
                     node.mem_buffer.is_some(),
-                    node.file_writer.as_ref().map(|w| w.dir().to_path_buf()),
+                    node.file_writer
+                        .as_ref()
+                        .map(|w| (w.dir().to_path_buf(), w.spool_prefix().to_string())),
                 )
             })
             .collect();
@@ -529,7 +534,7 @@ impl ParallelScan {
                         buf: Vec::new(),
                         spool: spool_dir
                             .as_ref()
-                            .map(|d| TeeSpool::create(d, arity))
+                            .map(|(d, p)| TeeSpool::create(d, p, arity))
                             .transpose()?,
                     })
                 })

@@ -140,10 +140,13 @@ pub fn schedule(
     }
 
     // Admit while the *hard* counts-table bounds fit the counting budget
-    // (total budget minus memory already pinned by staged data); the
-    // selectable Est_cc drives ordering, the guaranteed bound drives
-    // admission (see `est_cc_bytes_upper`). Always admit at least one —
-    // the §4.1.1 runtime fallback handles that degenerate case.
+    // (total budget minus memory already pinned by staged data —
+    // `staged_mem_bytes` folds in this session's per-reader share of any
+    // shared-catalog entries it reads, so cache hits shrink admission
+    // exactly like privately staged sets); the selectable Est_cc drives
+    // ordering, the guaranteed bound drives admission (see
+    // `est_cc_bytes_upper`). Always admit at least one — the §4.1.1
+    // runtime fallback handles that degenerate case.
     let cc_budget = lease_bytes.saturating_sub(staging.staged_mem_bytes());
     let cap = config.max_batch_nodes.unwrap_or(usize::MAX);
     let mut admitted: Vec<usize> = Vec::new();
@@ -839,6 +842,71 @@ mod tests {
         )
         .unwrap();
         assert!(!plan.nodes[0].dense);
+    }
+
+    #[test]
+    fn shared_catalog_charge_shrinks_cc_admission() {
+        // A session that merely *attached* a shared-catalog entry — it
+        // staged nothing privately — still pays its per-reader share
+        // against the counting budget: the charge flows through
+        // `staged_mem_bytes` into the admission arithmetic above.
+        let catalog = std::sync::Arc::new(crate::catalog::StagingCatalog::new());
+        let mut stats = MiddlewareStats::new();
+        let mut publisher = StagingManager::new(None).unwrap();
+        let mut reader = StagingManager::new(None).unwrap();
+        publisher.attach_catalog(std::sync::Arc::clone(&catalog));
+        reader.attach_catalog(std::sync::Arc::clone(&catalog));
+
+        // Publisher stages the root set: 100 rows × 4 cols × 2 bytes =
+        // 800 bytes. The reader attaches; each side is charged 400.
+        publisher.commit_mem(
+            NodeId(0),
+            Pred::True,
+            vec![0; ARITY * 100],
+            ARITY,
+            &mut stats,
+        );
+        reader.attach_from_catalog(&[root_req(100)], true, false);
+        assert_eq!(reader.shared_charge_bytes(), 400);
+
+        let a = req(1, 60, child_lineage(1, 0));
+        let b = req(2, 60, child_lineage(2, 1));
+        let upper = est_cc_bytes_upper(&a, NCLASSES);
+        // Room for both hard bounds on an uncharged manager, but not once
+        // the 400-byte shared share is pinned (200 of slack < 400).
+        let budget = 2 * upper + 200;
+
+        let uncharged = StagingManager::new(None).unwrap();
+        let mut q = vec![a.clone(), b.clone()];
+        let plan = schedule(
+            &mut q,
+            &uncharged,
+            &config(budget),
+            &CARDS,
+            NCLASSES,
+            ARITY,
+            budget,
+        )
+        .unwrap();
+        assert_eq!(plan.nodes.len(), 2, "both fit without the shared charge");
+
+        let mut q = vec![a, b];
+        let plan = schedule(
+            &mut q,
+            &reader,
+            &config(budget),
+            &CARDS,
+            NCLASSES,
+            ARITY,
+            budget,
+        )
+        .unwrap();
+        assert_eq!(
+            plan.nodes.len(),
+            1,
+            "the shared share pins 400 bytes of the lease"
+        );
+        assert_eq!(q.len(), 1, "the other child stays queued");
     }
 
     #[test]

@@ -23,6 +23,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
+use crate::catalog::StagingCatalog;
 use crate::cc::{CountsTable, FulfilledCc};
 use crate::config::{AuxMode, MiddlewareConfig};
 use crate::error::{MwError, MwResult};
@@ -43,10 +44,12 @@ use scaleclass_sqldb::{Code, Database, KeysetCursor, Pred, Schema, StatsSnapshot
 
 /// Leases fair-share slices of the global middleware memory budget to live
 /// sessions. Every open session holds a lease handle (an `Arc<AtomicU64>`)
-/// whose value is recomputed as `budget / live_sessions` on each open and
-/// close, so closing a session returns its slice to the survivors. The
-/// invariant `Σ leases ≤ budget` holds at all times (integer division
-/// floors) and is asserted by [`BudgetArbiter::assert_shadow_accounting`].
+/// whose value is recomputed on each open and close, so closing a session
+/// returns its slice to the survivors. Every byte is leased: the first
+/// `budget % live_sessions` leases (in grant order) carry one extra byte,
+/// so `Σ leases == budget` exactly whenever `live_sessions ≤ budget`. The
+/// invariant `Σ leases ≤ budget` holds at all times and is asserted by
+/// [`BudgetArbiter::assert_shadow_accounting`].
 pub struct BudgetArbiter {
     budget: u64,
     inner: Mutex<ArbiterInner>,
@@ -119,8 +122,17 @@ impl BudgetArbiter {
             return;
         }
         let share = budget / n;
+        // Deterministic remainder distribution: the first `budget % n`
+        // leases in grant order get one extra byte, so no bytes strand
+        // (`Σ leases == budget` whenever `n ≤ budget`). A lease shrinking
+        // below a session's already-staged bytes is reconciled by the
+        // session itself at its next batch boundary (it evicts until its
+        // staged bytes fit — see `Session::reconcile_lease`).
+        let mut extra = budget % n;
         for (_, granted) in &inner.leases {
-            granted.store(share, Ordering::Release);
+            let bonus = u64::from(extra > 0);
+            extra = extra.saturating_sub(1);
+            granted.store(share.saturating_add(bonus), Ordering::Release);
         }
         inner.stats.rebalances = inner.stats.rebalances.saturating_add(1);
     }
@@ -171,6 +183,11 @@ pub struct Backend {
     table_rows: u64,
     config: MiddlewareConfig,
     arbiter: BudgetArbiter,
+    /// Cross-session shared staging catalog: the first session to stage a
+    /// (path-predicate, mode) data set publishes it; later sessions attach
+    /// copy-on-read instead of re-staging. Sessions join it only when
+    /// `config.shared_staging` is on.
+    catalog: Arc<StagingCatalog>,
 }
 
 impl Backend {
@@ -198,6 +215,7 @@ impl Backend {
         let arity = schema.arity();
         let db_stats = Arc::clone(db.stats());
         let arbiter = BudgetArbiter::new(config.memory_budget_bytes);
+        let catalog = Arc::new(StagingCatalog::new());
         Ok(Backend {
             db: RwLock::new(db),
             db_stats,
@@ -211,6 +229,7 @@ impl Backend {
             table_rows,
             config,
             arbiter,
+            catalog,
         })
     }
 
@@ -247,6 +266,12 @@ impl Backend {
     /// The budget arbiter leasing slices of `memory_budget_bytes`.
     pub fn arbiter(&self) -> &BudgetArbiter {
         &self.arbiter
+    }
+
+    /// The cross-session shared staging catalog (empty and unused unless
+    /// `config.shared_staging` is on).
+    pub fn catalog(&self) -> &Arc<StagingCatalog> {
+        &self.catalog
     }
 
     /// Snapshot of the backend server's statistics.
@@ -351,6 +376,9 @@ impl Session {
             }
         };
         staging.set_extent_rows(backend.config.stage_extent_rows);
+        if backend.config.shared_staging {
+            staging.attach_catalog(Arc::clone(&backend.catalog));
+        }
         let attrs = backend.default_attrs.clone();
         Ok(Session {
             backend,
@@ -424,6 +452,13 @@ impl Session {
     /// Bytes of middleware memory currently leased to this session.
     pub fn lease_bytes(&self) -> u64 {
         self.lease.load(Ordering::Acquire)
+    }
+
+    /// Bytes of middleware memory this session currently has staged —
+    /// private memory sets plus its charged share of shared catalog
+    /// entries (always ≤ the lease at batch boundaries).
+    pub fn staged_mem_bytes(&self) -> u64 {
+        self.staging.staged_mem_bytes()
     }
 
     /// Shadow accounting (DESIGN.md §9): assert the staging manager's
@@ -537,9 +572,21 @@ impl Session {
             .evict_unreachable(&self.pending, &mut self.stats);
         self.evict_aux();
 
+        // Adopt shared catalog entries other sessions already staged for
+        // the nodes this batch will touch (no-op unless shared staging is
+        // on). Runs before the lease reconcile so an attach that charges
+        // more than the lease covers is immediately evicted back.
+        let want_mem = self.backend.config.memory_caching;
+        let want_files = self.backend.config.file_policy.enabled();
+        self.staging
+            .attach_from_catalog(&self.pending, want_mem, want_files);
+
         let lease_bytes = self.lease_bytes();
+        self.reconcile_lease(lease_bytes);
         #[cfg(debug_assertions)]
         let staged_before = self.staging.staged_mem_bytes();
+        #[cfg(debug_assertions)]
+        let charge_before = self.staging.shared_charge_bytes();
 
         let Some(plan) = schedule(
             &mut self.pending,
@@ -586,13 +633,42 @@ impl Session {
             self.staging.assert_shadow_accounting();
             self.backend.arbiter.assert_shadow_accounting();
             let staged_after = self.staging.staged_mem_bytes();
+            // Shared-catalog charges can grow mid-batch through no action
+            // of this session (another session detaching re-splits entry
+            // shares over the survivors); such growth is grandfathered
+            // like a lease shrink — the *next* reconcile evicts it.
+            let charge_growth = self
+                .staging
+                .shared_charge_bytes()
+                .saturating_sub(charge_before);
             assert!(
-                staged_after <= lease_bytes || staged_after <= staged_before,
+                staged_after.saturating_sub(charge_growth) <= lease_bytes
+                    || staged_after <= staged_before,
                 "session staged {staged_after} B of memory against a lease of \
                  {lease_bytes} B (was {staged_before} B before the batch)"
             );
         }
         Ok(out)
+    }
+
+    /// Close the gap the arbiter's rebalance leaves open: a session-count
+    /// change can shrink this session's lease below bytes it already has
+    /// staged in memory. Runs at every batch boundary, evicting staged
+    /// memory sets (largest first — most bytes freed per eviction) until
+    /// the staged total fits the current lease again.
+    fn reconcile_lease(&mut self, lease_bytes: u64) {
+        while self.staging.staged_mem_bytes() > lease_bytes {
+            let Some(&(id, _)) = self.staging.evictable_mem_sets(None).last() else {
+                break;
+            };
+            self.staging.evict_mem_set(id, &mut self.stats);
+            self.stats.lease_shrink_evictions += 1;
+        }
+        debug_assert!(
+            self.staging.staged_mem_bytes() <= lease_bytes
+                || self.staging.evictable_mem_sets(None).is_empty(),
+            "staged bytes exceed the lease with evictable sets remaining"
+        );
     }
 
     /// Drain the queue completely, invoking `consume` for every fulfilled
@@ -1073,7 +1149,8 @@ mod tests {
         let s1 = Session::open(Arc::clone(&be)).unwrap();
         let s2 = Session::open(Arc::clone(&be)).unwrap();
         let s3 = Session::open(Arc::clone(&be)).unwrap();
-        assert_eq!(s1.lease_bytes(), budget / 3);
+        // 2^20 % 3 == 1: the earliest-granted lease absorbs the remainder.
+        assert_eq!(s1.lease_bytes(), budget / 3 + 1);
         assert_eq!(s2.lease_bytes(), budget / 3);
         assert_eq!(s3.lease_bytes(), budget / 3);
         be.arbiter().assert_shadow_accounting();
@@ -1093,7 +1170,8 @@ mod tests {
 
     #[test]
     fn leases_never_sum_past_the_budget() {
-        // A budget that doesn't divide evenly: flooring keeps Σ ≤ budget.
+        // A budget that doesn't divide evenly: the remainder is spread one
+        // byte at a time over the earliest leases, so Σ == budget exactly.
         let cfg = MiddlewareConfig::builder()
             .memory_budget_bytes(1007)
             .build();
@@ -1102,9 +1180,86 @@ mod tests {
             .map(|_| Session::open(Arc::clone(&be)).unwrap())
             .collect();
         let total: u64 = sessions.iter().map(Session::lease_bytes).sum();
-        assert!(total <= 1007);
-        assert_eq!(sessions[0].lease_bytes(), 335);
+        assert_eq!(total, 1007, "no bytes strand");
+        assert_eq!(sessions[0].lease_bytes(), 336);
+        assert_eq!(sessions[1].lease_bytes(), 336);
+        assert_eq!(sessions[2].lease_bytes(), 335);
         be.arbiter().assert_shadow_accounting();
+    }
+
+    #[test]
+    fn lease_remainder_distribution_is_deterministic_and_fair() {
+        for (budget, k) in [(10u64, 3usize), (1007, 5), (4096, 4), (2, 4), (0, 3)] {
+            let cfg = MiddlewareConfig::builder()
+                .memory_budget_bytes(budget)
+                .build();
+            let be = backend(8, cfg);
+            let sessions: Vec<Session> = (0..k)
+                .map(|_| Session::open(Arc::clone(&be)).unwrap())
+                .collect();
+            let leases: Vec<u64> = sessions.iter().map(Session::lease_bytes).collect();
+            let total: u64 = leases.iter().sum();
+            let kk = k as u64;
+            assert_eq!(total, budget, "budget {budget} / {k}: every byte leased");
+            let max = leases.iter().max().copied().unwrap_or(0);
+            let min = leases.iter().min().copied().unwrap_or(0);
+            assert!(
+                max - min <= 1,
+                "budget {budget} / {k}: fair to within a byte"
+            );
+            let rem = (budget % kk) as usize;
+            for (i, &l) in leases.iter().enumerate() {
+                let expect = budget / kk + u64::from(i < rem);
+                assert_eq!(l, expect, "budget {budget} / {k}: lease {i}");
+            }
+            be.arbiter().assert_shadow_accounting();
+        }
+    }
+
+    #[test]
+    fn lease_shrink_triggers_eviction_at_the_next_batch() {
+        // One session stages the whole table in memory, then a second
+        // session opens and halves the lease below the staged bytes: the
+        // first session's next batch must reconcile by evicting rather
+        // than schedule over-lease. Geometry: staged M = 520 rows × 6 B =
+        // 3120 B sits between budget/2 = 3000 (so the halved lease no
+        // longer covers it) and 3/5 · budget = 3600 (so the lone session
+        // could stage it in the first place).
+        let rows = 520u16;
+        let staged = u64::from(rows) * (3 * CODE_BYTES) as u64;
+        let budget = 6000u64;
+        assert!(budget / 2 < staged && staged <= budget * 3 / 5);
+        let cfg = MiddlewareConfig::builder()
+            .memory_budget_bytes(budget)
+            .build();
+        let be = backend(rows, cfg);
+        let mut s1 = Session::open(Arc::clone(&be)).unwrap();
+        let req = s1.root_request(NodeId(0));
+        s1.enqueue(req).unwrap();
+        s1.process_next_batch().unwrap();
+        assert_eq!(s1.stats().memory_sets_created, 1);
+        assert_eq!(s1.staged_mem_bytes(), staged);
+
+        let _s2 = Session::open(Arc::clone(&be)).unwrap();
+        assert!(
+            s1.lease_bytes() < s1.staged_mem_bytes(),
+            "the halved lease no longer covers the staged set"
+        );
+
+        // A follow-up batch reconciles before scheduling.
+        let follow = CcRequest {
+            lineage: Lineage::root(NodeId(0)).child(NodeId(1), Pred::Eq { col: 0, value: 0 }),
+            attrs: vec![0, 1],
+            class_col: 2,
+            rows: u64::from(rows) / 4,
+            parent_rows: u64::from(rows),
+            parent_cards: vec![4, 3],
+        };
+        s1.enqueue(follow).unwrap();
+        s1.process_next_batch().unwrap();
+        assert!(s1.stats().lease_shrink_evictions >= 1);
+        assert!(s1.staged_mem_bytes() <= s1.lease_bytes());
+        s1.assert_shadow_accounting();
     }
 
     #[test]
@@ -1119,7 +1274,14 @@ mod tests {
 
     #[test]
     fn two_sessions_share_one_backend_catalog() {
-        let be = backend(40, MiddlewareConfig::default());
+        // Shared staging is pinned off: the point here is that *stats*
+        // are per-session (each session scans the server itself), which
+        // the `SCALECLASS_SHARED_STAGING=1` CI leg would otherwise turn
+        // into one scan plus a catalog hit.
+        let be = backend(
+            40,
+            MiddlewareConfig::builder().shared_staging(false).build(),
+        );
         let mut s1 = Session::open(Arc::clone(&be)).unwrap();
         let mut s2 = Session::open(Arc::clone(&be)).unwrap();
         let r1 = s1.root_request(NodeId(0));
@@ -1133,6 +1295,113 @@ mod tests {
         // Stats are per-session, not global.
         assert_eq!(s1.stats().server_scans, 1);
         assert_eq!(s2.stats().server_scans, 1);
+        s1.assert_shadow_accounting();
+        s2.assert_shadow_accounting();
+    }
+
+    #[test]
+    fn shared_staging_second_session_attaches_instead_of_rescanning() {
+        let cfg = MiddlewareConfig::builder().shared_staging(true).build();
+        let be = backend(40, cfg);
+        let mut s1 = Session::open(Arc::clone(&be)).unwrap();
+        let mut s2 = Session::open(Arc::clone(&be)).unwrap();
+
+        // Session 1 pays for the root scan and publishes the staged set.
+        let r1 = s1.root_request(NodeId(0));
+        s1.enqueue(r1).unwrap();
+        let out1 = s1.process_next_batch().unwrap();
+        assert_eq!(out1[0].cc.total(), 40);
+        assert_eq!(s1.stats().server_scans, 1);
+        assert_eq!(be.catalog().stats().publishes, 1);
+
+        // Session 2 attaches to the published set: a memory scan, no
+        // server scan, and the data set is staged once across the backend.
+        let r2 = s2.root_request(NodeId(0));
+        s2.enqueue(r2).unwrap();
+        let out2 = s2.process_next_batch().unwrap();
+        assert_eq!(out2[0].cc.total(), 40);
+        assert_eq!(s2.stats().server_scans, 0, "cache hit replaces the scan");
+        assert_eq!(s2.stats().memory_scans, 1);
+        assert_eq!(s2.stats().memory_sets_created, 0, "attached, not re-staged");
+        assert!(be.catalog().stats().hits >= 1);
+
+        // Each reader is charged an equal share and the charges sum within
+        // the leased budget.
+        let staged = 40 * (3 * CODE_BYTES) as u64;
+        assert_eq!(s1.staged_mem_bytes(), staged / 2);
+        assert_eq!(s2.staged_mem_bytes(), staged / 2);
+        assert!(
+            s1.staged_mem_bytes() <= s1.lease_bytes() && s2.staged_mem_bytes() <= s2.lease_bytes()
+        );
+        s1.assert_shadow_accounting();
+        s2.assert_shadow_accounting();
+
+        // The survivor absorbs the leaver's share; the last exit reclaims.
+        drop(s1);
+        assert_eq!(s2.staged_mem_bytes(), staged);
+        s2.assert_shadow_accounting();
+        drop(s2);
+        assert_eq!(be.catalog().stats().reclaims, 1);
+        assert_eq!(be.catalog().entry_count(), 0);
+    }
+
+    #[test]
+    fn shared_staging_off_keeps_catalog_empty() {
+        // The flag is pinned on the builder (not left to the env-derived
+        // default) so the test still means "off" under the
+        // `SCALECLASS_SHARED_STAGING=1` CI leg.
+        let be = backend(
+            40,
+            MiddlewareConfig::builder().shared_staging(false).build(),
+        );
+        let mut s = Session::open(Arc::clone(&be)).unwrap();
+        let req = s.root_request(NodeId(0));
+        s.enqueue(req).unwrap();
+        s.process_next_batch().unwrap();
+        assert!(s.stats().memory_sets_created >= 1, "set staged privately");
+        assert_eq!(be.catalog().stats().publishes, 0);
+        assert_eq!(be.catalog().entry_count(), 0);
+    }
+
+    #[test]
+    fn shared_charge_counts_against_the_lease_reconcile() {
+        // Same geometry as the lease-shrink test, but with shared staging:
+        // the staged root set (3120 B) exceeds the halved lease (3000 B),
+        // and with two readers each share is 1560 B — so after session 2
+        // attaches, *both* fit. The charge path must flow through
+        // staged_mem_bytes for that to be what reconcile sees.
+        let rows = 520u16;
+        let staged = u64::from(rows) * (3 * CODE_BYTES) as u64;
+        let budget = 6000u64;
+        assert!(budget / 2 < staged && staged <= budget * 3 / 5);
+        let cfg = MiddlewareConfig::builder()
+            .memory_budget_bytes(budget)
+            .shared_staging(true)
+            .build();
+        let be = backend(rows, cfg);
+        let mut s1 = Session::open(Arc::clone(&be)).unwrap();
+        let req = s1.root_request(NodeId(0));
+        s1.enqueue(req).unwrap();
+        s1.process_next_batch().unwrap();
+        assert_eq!(s1.staged_mem_bytes(), staged, "sole reader pays all");
+
+        let mut s2 = Session::open(Arc::clone(&be)).unwrap();
+        assert!(s1.lease_bytes() < s1.staged_mem_bytes());
+
+        // Session 2 attaches to the shared set: the charge splits, and
+        // both sessions now fit their halved leases without any eviction.
+        let r2 = s2.root_request(NodeId(0));
+        s2.enqueue(r2).unwrap();
+        s2.process_next_batch().unwrap();
+        assert_eq!(s2.stats().server_scans, 0, "attached to the shared set");
+        assert_eq!(s1.staged_mem_bytes(), staged / 2);
+        assert_eq!(s2.staged_mem_bytes(), staged / 2);
+        assert!(s1.staged_mem_bytes() <= s1.lease_bytes());
+        assert_eq!(
+            s2.stats().lease_shrink_evictions,
+            0,
+            "the split share fits — no eviction needed"
+        );
         s1.assert_shadow_accounting();
         s2.assert_shadow_accounting();
     }

@@ -9,6 +9,7 @@
 //! predicate selects the subset), and is reclaimed once no pending request
 //! descends from any member.
 
+use crate::catalog::{FilePublish, StagingCatalog};
 use crate::config::DEFAULT_EXTENT_ROWS;
 use crate::error::{MwError, MwResult};
 use crate::metrics::{MiddlewareStats, WorkerScanStats};
@@ -20,6 +21,7 @@ use std::fs::{self, File};
 use std::io::{BufReader, BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 static STAGE_DIR_COUNTER: AtomicU64 = AtomicU64::new(0);
@@ -28,6 +30,31 @@ static STAGE_DIR_COUNTER: AtomicU64 = AtomicU64::new(0);
 /// start at 1, so concurrent sessions pointed at the *same* explicit
 /// `staging_dir` would otherwise race to create the same `stage_1.rows`.
 static STAGE_FILE_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// Process-global manager disambiguator, embedded (with the pid) in every
+/// filename a manager creates. Dropping a manager that shares a
+/// user-supplied staging directory sweeps by this prefix, so aborted
+/// writers and leaked spools cannot orphan in the shared directory.
+static MANAGER_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// A process-unique directory path for a [`StagingCatalog`]'s shared
+/// staged files. Computed only — the directory is created lazily by the
+/// first file publish, so memory-only catalogs never touch the disk. Lives
+/// here because the catalog module itself performs no filesystem I/O.
+pub(crate) fn shared_catalog_dir() -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "scaleclass-shared-{}-{}",
+        std::process::id(),
+        STAGE_DIR_COUNTER.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// Remove a catalog's shared directory and anything still in it (files a
+/// crashed session failed to reclaim). A never-created directory is a
+/// no-op. I/O delegate for [`StagingCatalog`]'s `Drop`.
+pub(crate) fn cleanup_shared_dir(dir: &Path) {
+    let _ = fs::remove_dir_all(dir);
+}
 
 // ---------------------------------------------------------------------------
 // Extent file format (version 2)
@@ -113,6 +140,10 @@ pub struct StagedFile {
     pub nrows: u64,
     /// Codes per row.
     pub arity: usize,
+    /// Catalog entry id when the file is shared across sessions (it lives
+    /// in the catalog directory and is reclaimed by refcount, not by this
+    /// manager's delete).
+    pub shared: Option<u64>,
 }
 
 /// A memory-staged data set (flat codes, `nrows × arity`).
@@ -124,12 +155,18 @@ pub struct MemSet {
     pub owner: NodeId,
     /// The owner's path predicate (every row satisfies it).
     pub pred: Pred,
-    /// Flat row codes (`nrows × arity`).
-    pub rows: Vec<Code>,
+    /// Flat row codes (`nrows × arity`). Behind an `Arc` so a catalog-
+    /// shared set is scanned copy-on-read by every attached session
+    /// without duplicating the codes.
+    pub rows: Arc<Vec<Code>>,
     /// Number of rows.
     pub nrows: u64,
     /// Codes per row.
     pub arity: usize,
+    /// Catalog entry id when the set is shared across sessions (its bytes
+    /// are charged through the catalog's equal-share cells, not through
+    /// this manager's private `staged_bytes` counter).
+    pub shared: Option<u64>,
 }
 
 impl MemSet {
@@ -144,11 +181,27 @@ impl MemSet {
     }
 }
 
+/// A staging manager's link to its backend's shared [`StagingCatalog`]
+/// (present only when `config.shared_staging` is on).
+#[derive(Debug)]
+struct SharedHandle {
+    catalog: Arc<StagingCatalog>,
+    /// This manager's reader-session id in the catalog.
+    session: u64,
+    /// Σ of this session's equal shares over the shared memory entries it
+    /// reads — maintained by the catalog under its lock, read lock-free
+    /// here on every scheduling decision.
+    charge: Arc<AtomicU64>,
+}
+
 /// Owns every staged dataset and the node → dataset bookkeeping.
 #[derive(Debug)]
 pub struct StagingManager {
     dir: PathBuf,
     owns_dir: bool,
+    /// Unique `scx{pid}m{n}_` filename prefix for everything this manager
+    /// creates — the drop-time sweep key for shared directories.
+    prefix: String,
     next_id: u64,
     files: HashMap<u64, StagedFile>,
     mem: HashMap<u64, MemSet>,
@@ -162,8 +215,12 @@ pub struct StagingManager {
     /// Incrementally maintained total of [`MemSet::bytes`] over `mem` —
     /// read on every scheduling decision, so O(1) instead of a re-sum.
     /// Shadow-checked against the first-principles recount at batch
-    /// checkpoints (DESIGN.md §9).
+    /// checkpoints (DESIGN.md §9). Catalog-shared sets are *excluded* —
+    /// their bytes are charged through the catalog's equal-share cells.
     staged_bytes: u64,
+    /// Link to the backend's cross-session staging catalog, when shared
+    /// staging is enabled for this session.
+    shared: Option<SharedHandle>,
 }
 
 impl StagingManager {
@@ -185,9 +242,15 @@ impl StagingManager {
                 (d, true)
             }
         };
+        let prefix = format!(
+            "scx{}m{}_",
+            std::process::id(),
+            MANAGER_COUNTER.fetch_add(1, Ordering::Relaxed)
+        );
         Ok(StagingManager {
             dir,
             owns_dir,
+            prefix,
             next_id: 0,
             files: HashMap::new(),
             mem: HashMap::new(),
@@ -195,7 +258,30 @@ impl StagingManager {
             mem_of: HashMap::new(),
             extent_rows: DEFAULT_EXTENT_ROWS,
             staged_bytes: 0,
+            shared: None,
         })
+    }
+
+    /// Join the backend's shared staging catalog: staged data sets this
+    /// manager commits from now on are published for other sessions, and
+    /// [`StagingManager::attach_from_catalog`] can adopt entries other
+    /// sessions already paid to build. Registers this manager as a reader
+    /// session; idempotent.
+    pub fn attach_catalog(&mut self, catalog: Arc<StagingCatalog>) {
+        if self.shared.is_some() {
+            return;
+        }
+        let (session, charge) = catalog.register_session();
+        self.shared = Some(SharedHandle {
+            catalog,
+            session,
+            charge,
+        });
+    }
+
+    /// Is this manager attached to a shared staging catalog?
+    pub fn catalog_attached(&self) -> bool {
+        self.shared.is_some()
     }
 
     /// Where staged files live.
@@ -213,26 +299,47 @@ impl StagingManager {
         self.next_id
     }
 
-    /// Total bytes of memory-staged data (counts against the budget).
-    /// Maintained incrementally on stage/evict.
+    /// Total bytes of memory-staged data that count against this session's
+    /// lease: privately staged bytes (maintained incrementally on
+    /// stage/evict) plus this session's equal share of every catalog
+    /// entry it reads.
     pub fn staged_mem_bytes(&self) -> u64 {
-        self.staged_bytes
+        self.staged_bytes.saturating_add(self.shared_charge_bytes())
     }
 
-    /// Shadow accounting (DESIGN.md §9): recompute the staged-byte total
-    /// from first principles by walking every live memory set.
+    /// This session's Σ equal-share charge over the shared catalog entries
+    /// it reads (0 when shared staging is off). Lock-free read of the
+    /// catalog-maintained cell.
+    pub fn shared_charge_bytes(&self) -> u64 {
+        self.shared
+            .as_ref()
+            .map_or(0, |h| h.charge.load(Ordering::Acquire))
+    }
+
+    /// Shadow accounting (DESIGN.md §9): recompute the *private*
+    /// staged-byte total from first principles by walking every live
+    /// memory set not backed by the shared catalog.
     pub fn shadow_staged_mem_bytes(&self) -> u64 {
-        self.mem.values().map(MemSet::bytes).sum()
+        self.mem
+            .values()
+            .filter(|m| m.shared.is_none())
+            .map(MemSet::bytes)
+            .sum()
     }
 
-    /// Assert the incremental staged-byte counter matches the recount.
-    /// Unconditional assert; call sites gate on `cfg(debug_assertions)`.
+    /// Assert the incremental staged-byte counter matches the recount, and
+    /// (when attached) that the catalog's incremental charge cells match
+    /// its own entry-table recount. Unconditional assert; call sites gate
+    /// on `cfg(debug_assertions)`.
     pub fn assert_shadow_accounting(&self) {
         assert_eq!(
             self.shadow_staged_mem_bytes(),
             self.staged_bytes,
             "incremental staged_bytes drifted from the live memory sets"
         );
+        if let Some(h) = &self.shared {
+            h.catalog.assert_shadow_accounting();
+        }
     }
 
     /// Staged file by id.
@@ -278,7 +385,9 @@ impl StagingManager {
         debug_assert!(arity >= 1 && arity <= u32::MAX as usize);
         let id = self.next_id();
         let uniq = STAGE_FILE_COUNTER.fetch_add(1, Ordering::Relaxed);
-        let path = self.dir.join(format!("stage_{id}_{uniq}.rows"));
+        let path = self
+            .dir
+            .join(format!("{}stage_{id}_{uniq}.rows", self.prefix));
         let file = File::create(&path)?;
         let mut out = BufWriter::new(file);
         out.write_all(&EXTENT_MAGIC)?;
@@ -290,6 +399,7 @@ impl StagingManager {
             members,
             pred,
             path,
+            prefix: self.prefix.clone(),
             arity,
             extent_rows: self.extent_rows,
             nrows: 0,
@@ -299,6 +409,7 @@ impl StagingManager {
             buf: Vec::new(),
             col_buf: Vec::new(),
             out,
+            committed: false,
         })
     }
 
@@ -312,23 +423,38 @@ impl StagingManager {
         stats: &mut MiddlewareStats,
     ) -> MwResult<u64> {
         writer.finish()?;
-        let FileWriter {
-            id,
-            members,
-            pred,
-            path,
-            arity,
-            nrows,
-            bytes,
-            physical_bytes,
-            out,
-            ..
-        } = writer;
-        drop(out);
+        let (id, members, pred, path, arity, nrows, bytes, physical_bytes) =
+            writer.into_committed();
         stats.files_created += 1;
         stats.file_rows_written += nrows;
         stats.file_bytes_written += bytes;
         stats.file_bytes_physical_written += physical_bytes;
+        // When shared staging is on, move the finished file into the
+        // catalog directory and publish it; on a publish race the existing
+        // copy wins and the duplicate is removed.
+        let (path, shared) = match &self.shared {
+            Some(h) => {
+                let sig = StagingCatalog::signature(&pred);
+                let name = path
+                    .file_name()
+                    .map(std::ffi::OsStr::to_os_string)
+                    .unwrap_or_default();
+                let dest = h.catalog.dir().join(name);
+                fs::create_dir_all(h.catalog.dir())?;
+                fs::rename(&path, &dest)?;
+                match h
+                    .catalog
+                    .publish_file(sig, dest.clone(), bytes, nrows, arity, h.session)
+                {
+                    FilePublish::Published(entry) => (dest, Some(entry)),
+                    FilePublish::Attached(entry, existing) => {
+                        let _ = fs::remove_file(&dest);
+                        (existing, Some(entry))
+                    }
+                }
+            }
+            None => (path, None),
+        };
         for &m in &members {
             if let Some(old_id) = self.file_of.insert(m, id) {
                 let emptied = {
@@ -353,14 +479,21 @@ impl StagingManager {
                 path,
                 nrows,
                 arity,
+                shared,
             },
         );
         Ok(id)
     }
 
-    /// Abandon an in-progress staged file (e.g. the scan failed).
-    pub fn abort_file(&mut self, writer: FileWriter) {
-        let _ = fs::remove_file(&writer.path);
+    /// Abandon an in-progress staged file (e.g. the scan failed): the
+    /// partial on-disk output is removed by the writer's `Drop` (which
+    /// also covers writers abandoned on error-return paths), and the
+    /// abort is recorded in the stats. Nothing else needs rolling back —
+    /// an uncommitted writer was never registered, so `staged_mem_bytes`,
+    /// `file_count`, and the per-node maps never saw it.
+    pub fn abort_file(&mut self, writer: FileWriter, stats: &mut MiddlewareStats) {
+        stats.files_aborted += 1;
+        drop(writer);
     }
 
     /// Register a memory-staged data set for `owner`, replacing any
@@ -381,6 +514,21 @@ impl StagingManager {
             self.delete_mem(old, stats);
         }
         self.mem_of.insert(owner, id);
+        // When shared staging is on, publish the set (or adopt the copy
+        // that won a publish race — scans over the shared table are
+        // deterministic, so both builds hold identical codes) and charge
+        // the bytes through the catalog instead of the private counter.
+        let mut rows = Arc::new(rows);
+        let mut shared = None;
+        if let Some(h) = &self.shared {
+            let sig = StagingCatalog::signature(&pred);
+            let bytes = nrows * (arity * CODE_BYTES) as u64;
+            let e = h
+                .catalog
+                .publish_mem(sig, Arc::clone(&rows), bytes, nrows, arity, h.session);
+            rows = e.rows;
+            shared = Some(e.entry);
+        }
         let set = MemSet {
             id,
             owner,
@@ -388,15 +536,29 @@ impl StagingManager {
             rows,
             nrows,
             arity,
+            shared,
         };
-        self.staged_bytes += set.bytes();
+        if set.shared.is_none() {
+            self.staged_bytes += set.bytes();
+        }
         self.mem.insert(id, set);
         id
     }
 
     fn delete_file(&mut self, id: u64, stats: &mut MiddlewareStats) {
         if let Some(f) = self.files.remove(&id) {
-            let _ = fs::remove_file(&f.path);
+            match (f.shared, &self.shared) {
+                // A shared file belongs to the catalog: detach, and only
+                // the last reader's detach removes the bytes on disk.
+                (Some(entry), Some(h)) => {
+                    if let Some(path) = h.catalog.detach(entry, h.session) {
+                        let _ = fs::remove_file(path);
+                    }
+                }
+                _ => {
+                    let _ = fs::remove_file(&f.path);
+                }
+            }
             for m in &f.members {
                 if self.file_of.get(m) == Some(&id) {
                     self.file_of.remove(m);
@@ -411,7 +573,16 @@ impl StagingManager {
             if self.mem_of.get(&m.owner) == Some(&id) {
                 self.mem_of.remove(&m.owner);
             }
-            self.staged_bytes -= m.bytes();
+            match (m.shared, &self.shared) {
+                // Shared sets were never in the private counter; detaching
+                // drops this session's charge (and re-grows survivors').
+                (Some(entry), Some(h)) => {
+                    if let Some(path) = h.catalog.detach(entry, h.session) {
+                        let _ = fs::remove_file(path);
+                    }
+                }
+                _ => self.staged_bytes -= m.bytes(),
+            }
             stats.memory_sets_evicted += 1;
         }
     }
@@ -490,10 +661,21 @@ impl StagingManager {
             .mem
             .values()
             .filter(|m| Some(m.id) != exclude)
-            .map(|m| (m.id, m.bytes()))
+            .map(|m| (m.id, self.mem_set_charge(m)))
             .collect();
         sets.sort_by_key(|&(id, bytes)| (bytes, id));
         sets
+    }
+
+    /// What evicting this memory set frees against the lease: its full
+    /// bytes for a private set, this session's equal share for a
+    /// catalog-shared set (a sole reader's share is the full bytes, so
+    /// single-session behaviour is unchanged).
+    fn mem_set_charge(&self, m: &MemSet) -> u64 {
+        match (m.shared, &self.shared) {
+            (Some(entry), Some(h)) => h.catalog.share_of(entry, h.session),
+            _ => m.bytes(),
+        }
     }
 
     /// Drop one memory set by id (pressure eviction).
@@ -534,16 +716,118 @@ impl StagingManager {
             self.delete_mem(id, stats);
         }
     }
+
+    /// Adopt catalog entries other sessions already paid to build: for
+    /// every node on a pending request's lineage with no local data set,
+    /// probe the shared catalog by the node's full path predicate and
+    /// attach copy-on-read on a hit. Runs before scheduling, so the
+    /// scheduler sees the attached sets as ordinary staged data and routes
+    /// scans to them instead of re-staging from the server. Attaching a
+    /// memory entry immediately charges this session an equal share of its
+    /// bytes; the batch-boundary lease reconcile evicts if that overshoots.
+    pub fn attach_from_catalog(&mut self, pending: &[CcRequest], want_mem: bool, want_files: bool) {
+        if self.shared.is_none() || !(want_mem || want_files) {
+            return;
+        }
+        for req in pending {
+            for (node, pred) in req.lineage.entries() {
+                if want_mem && !self.owns_mem(*node) {
+                    self.attach_mem(*node, pred);
+                }
+                if want_files && !self.has_file_for(*node) {
+                    self.attach_file(*node, pred);
+                }
+            }
+        }
+    }
+
+    fn attach_mem(&mut self, node: NodeId, pred: &Pred) {
+        let Some((catalog, session)) = self
+            .shared
+            .as_ref()
+            .map(|h| (Arc::clone(&h.catalog), h.session))
+        else {
+            return;
+        };
+        let sig = StagingCatalog::signature(pred);
+        let Some(e) = catalog.probe_mem(&sig, session) else {
+            return;
+        };
+        let id = self.next_id();
+        self.mem_of.insert(node, id);
+        self.mem.insert(
+            id,
+            MemSet {
+                id,
+                owner: node,
+                pred: pred.clone(),
+                rows: e.rows,
+                nrows: e.nrows,
+                arity: e.arity,
+                shared: Some(e.entry),
+            },
+        );
+    }
+
+    fn attach_file(&mut self, node: NodeId, pred: &Pred) {
+        let Some((catalog, session)) = self
+            .shared
+            .as_ref()
+            .map(|h| (Arc::clone(&h.catalog), h.session))
+        else {
+            return;
+        };
+        let sig = StagingCatalog::signature(pred);
+        let Some(e) = catalog.probe_file(&sig, session) else {
+            return;
+        };
+        let id = self.next_id();
+        self.file_of.insert(node, id);
+        self.files.insert(
+            id,
+            StagedFile {
+                id,
+                members: vec![node],
+                pred: pred.clone(),
+                path: e.path,
+                nrows: e.nrows,
+                arity: e.arity,
+                shared: Some(e.entry),
+            },
+        );
+    }
 }
 
 impl Drop for StagingManager {
     fn drop(&mut self) {
+        // Leave the shared catalog first: survivors' charges re-split via
+        // the reader-set recompute, and any entry this session was the
+        // last reader of is reclaimed (file entries hand their paths back
+        // for removal here — the catalog does no I/O).
+        if let Some(h) = self.shared.take() {
+            for path in h.catalog.unregister_session(h.session) {
+                let _ = fs::remove_file(path);
+            }
+        }
         if self.owns_dir {
             let _ = fs::remove_dir_all(&self.dir);
         } else {
-            // Leave the user's directory, remove only our files.
-            for f in self.files.values() {
-                let _ = fs::remove_file(&f.path);
+            // Leave the user's directory, but sweep everything carrying
+            // this manager's unique prefix — tracked staged files, but
+            // also aborted-writer partials and leaked tee spools that the
+            // per-object drop guards could not reach (e.g. after a leak
+            // or a process-level panic unwind skipping them).
+            let Ok(entries) = fs::read_dir(&self.dir) else {
+                return;
+            };
+            for entry in entries.flatten() {
+                if entry
+                    .file_name()
+                    .to_string_lossy()
+                    .starts_with(&self.prefix)
+                {
+                    let _ = fs::remove_file(entry.path());
+                }
             }
         }
     }
@@ -571,6 +855,19 @@ pub struct FileWriter {
     /// Reusable columnar serialization buffer.
     col_buf: Vec<u8>,
     out: BufWriter<File>,
+    /// Owning manager's filename prefix, for sibling spool files.
+    prefix: String,
+    /// Set by [`StagingManager::commit_file`]; an uncommitted writer
+    /// removes its partial on-disk output when dropped.
+    committed: bool,
+}
+
+impl Drop for FileWriter {
+    fn drop(&mut self) {
+        if !self.committed {
+            let _ = fs::remove_file(&self.path);
+        }
+    }
 }
 
 impl FileWriter {
@@ -618,6 +915,23 @@ impl FileWriter {
         Ok(())
     }
 
+    /// Mark the writer committed and hand its registration fields to the
+    /// manager. (A by-value destructure would fight the `Drop` impl, so
+    /// the owned fields are taken out one by one.)
+    fn into_committed(mut self) -> (u64, Vec<NodeId>, Pred, PathBuf, usize, u64, u64, u64) {
+        self.committed = true;
+        (
+            self.id,
+            std::mem::take(&mut self.members),
+            std::mem::replace(&mut self.pred, Pred::True),
+            std::mem::take(&mut self.path),
+            self.arity,
+            self.nrows,
+            self.bytes,
+            self.physical_bytes,
+        )
+    }
+
     /// Rows written so far.
     pub fn nrows(&self) -> u64 {
         self.nrows
@@ -627,6 +941,12 @@ impl FileWriter {
     /// alongside it so they share the same filesystem.
     pub(crate) fn dir(&self) -> &Path {
         self.path.parent().unwrap_or(Path::new("."))
+    }
+
+    /// Manager filename prefix for spools created alongside this file, so
+    /// the drop-time sweep of a shared staging directory reclaims them.
+    pub(crate) fn spool_prefix(&self) -> &str {
+        &self.prefix
     }
 
     /// Nodes whose data this file will fully contain.
@@ -657,11 +977,12 @@ pub struct TeeSpool {
 }
 
 impl TeeSpool {
-    /// Create a spool file in `dir` (process-unique name, so concurrent
-    /// sessions sharing a staging directory cannot collide).
-    pub fn create(dir: &Path, arity: usize) -> MwResult<Self> {
+    /// Create a spool file in `dir` (manager-prefixed, process-unique
+    /// name, so concurrent sessions sharing a staging directory cannot
+    /// collide and the owning manager's drop sweep can find strays).
+    pub fn create(dir: &Path, prefix: &str, arity: usize) -> MwResult<Self> {
         let uniq = STAGE_FILE_COUNTER.fetch_add(1, Ordering::Relaxed);
-        let path = dir.join(format!("spool_{uniq}.rows"));
+        let path = dir.join(format!("{prefix}spool_{uniq}.rows"));
         let file = File::create(&path)?;
         Ok(TeeSpool {
             path,
@@ -1274,12 +1595,249 @@ mod tests {
     #[test]
     fn abort_file_removes_partial_output() {
         let mut m = mgr();
+        let mut stats = MiddlewareStats::new();
         let mut w = m.start_file(vec![NodeId(0)], Pred::True, 1).unwrap();
         w.push(&[7]).unwrap();
         let path = w.path.clone();
-        m.abort_file(w);
+        m.abort_file(w, &mut stats);
         assert!(!path.exists());
         assert_eq!(m.file_count(), 0);
+        assert_eq!(stats.files_aborted, 1);
+        assert_eq!(stats.files_created, 0, "aborted writers never register");
+    }
+
+    #[test]
+    fn aborted_writer_rolls_back_and_shadow_accounting_agrees() {
+        let mut m = mgr();
+        let mut stats = MiddlewareStats::new();
+        // Pre-existing staged state: one memory set, one committed file.
+        m.commit_mem(NodeId(1), Pred::True, vec![1, 2, 3, 4], 2, &mut stats);
+        let mut ok = m.start_file(vec![NodeId(2)], Pred::True, 2).unwrap();
+        ok.push(&[5, 6]).unwrap();
+        m.commit_file(ok, &mut stats).unwrap();
+
+        // A scan fails mid-stage and its writer is aborted.
+        let mut w = m.start_file(vec![NodeId(3)], Pred::True, 2).unwrap();
+        for i in 0..50u16 {
+            w.push(&[i, i]).unwrap();
+        }
+        let aborted_path = w.path.clone();
+        m.abort_file(w, &mut stats);
+
+        // Nothing about the surviving staged state moved, and the shadow
+        // recount agrees with the incremental byte counter.
+        assert!(!aborted_path.exists(), "partial output removed");
+        assert_eq!(m.file_count(), 1);
+        assert_eq!(m.mem_count(), 1);
+        assert_eq!(m.staged_mem_bytes(), 8);
+        assert_eq!(stats.files_created, 1);
+        assert_eq!(stats.files_aborted, 1);
+        m.assert_shadow_accounting();
+    }
+
+    #[test]
+    fn dropped_writer_removes_partial_output() {
+        let mut m = mgr();
+        let path;
+        {
+            let mut w = m.start_file(vec![NodeId(0)], Pred::True, 1).unwrap();
+            w.push(&[9]).unwrap();
+            path = w.path.clone();
+            assert!(path.exists());
+            // Dropped without commit_file/abort_file — e.g. an error
+            // return unwinding through the executor.
+        }
+        assert!(!path.exists(), "uncommitted writer cleans up on drop");
+    }
+
+    #[test]
+    fn shared_dir_drop_sweeps_only_this_managers_files() {
+        let dir = std::env::temp_dir().join(format!(
+            "scaleclass-shared-test-{}-{}",
+            std::process::id(),
+            STAGE_DIR_COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        let mut stats = MiddlewareStats::new();
+        let mut m1 = StagingManager::new(Some(dir.clone())).unwrap();
+        let mut m2 = StagingManager::new(Some(dir.clone())).unwrap();
+
+        // Manager 1: one committed file, plus a writer and a spool leaked
+        // past their drop guards (simulating a crashed scan).
+        let mut w = m1.start_file(vec![NodeId(0)], Pred::True, 1).unwrap();
+        w.push(&[1]).unwrap();
+        let committed1 = m1.commit_file(w, &mut stats).unwrap();
+        let committed1_path = m1.file(committed1).unwrap().path.clone();
+        let mut leaked = m1.start_file(vec![NodeId(1)], Pred::True, 1).unwrap();
+        leaked.push(&[2]).unwrap();
+        let leaked_path = leaked.path.clone();
+        let spool = TeeSpool::create(&dir, m1.prefix.as_str(), 1).unwrap();
+        let spool_path = spool.path.clone();
+        std::mem::forget(leaked);
+        std::mem::forget(spool);
+
+        // Manager 2: one committed file of its own.
+        let mut w2 = m2.start_file(vec![NodeId(0)], Pred::True, 1).unwrap();
+        w2.push(&[3]).unwrap();
+        let committed2 = m2.commit_file(w2, &mut stats).unwrap();
+        let committed2_path = m2.file(committed2).unwrap().path.clone();
+
+        assert!(leaked_path.exists() && spool_path.exists());
+        drop(m1);
+        assert!(!committed1_path.exists(), "m1's committed file swept");
+        assert!(!leaked_path.exists(), "m1's leaked writer partial swept");
+        assert!(!spool_path.exists(), "m1's leaked spool swept");
+        assert!(
+            committed2_path.exists(),
+            "m2's file untouched by m1's sweep"
+        );
+        assert!(dir.exists(), "shared dir itself survives");
+
+        drop(m2);
+        assert!(!committed2_path.exists());
+        assert_eq!(
+            fs::read_dir(&dir).unwrap().count(),
+            0,
+            "no orphans remain in the shared dir"
+        );
+        fs::remove_dir(&dir).unwrap();
+    }
+
+    #[test]
+    fn shared_mem_publish_attach_and_charge_split() {
+        let catalog = Arc::new(StagingCatalog::new());
+        let mut stats = MiddlewareStats::new();
+        let mut m1 = mgr();
+        let mut m2 = mgr();
+        m1.attach_catalog(Arc::clone(&catalog));
+        m2.attach_catalog(Arc::clone(&catalog));
+        assert!(m1.catalog_attached() && m2.catalog_attached());
+
+        // m1 stages the root set: published and charged fully to m1.
+        m1.commit_mem(NodeId(0), Pred::True, vec![1, 2, 3, 4], 2, &mut stats);
+        assert_eq!(catalog.stats().publishes, 1);
+        assert_eq!(m1.shared_charge_bytes(), 8, "sole reader pays everything");
+        assert_eq!(m1.staged_mem_bytes(), 8);
+        assert_eq!(
+            m1.shadow_staged_mem_bytes(),
+            0,
+            "shared sets are excluded from the private counter"
+        );
+
+        // m2's pending request walks the same lineage: attach, don't re-stage.
+        let pending = vec![dummy_request(Lineage::root(NodeId(0)))];
+        m2.attach_from_catalog(&pending, true, false);
+        assert!(m2.owns_mem(NodeId(0)));
+        assert_eq!(catalog.stats().hits, 1);
+        assert_eq!(m1.shared_charge_bytes(), 4, "charges re-split on attach");
+        assert_eq!(m2.shared_charge_bytes(), 4);
+        m1.assert_shadow_accounting();
+        m2.assert_shadow_accounting();
+
+        // Copy-on-read: both managers scan the same allocation.
+        let s1 = m1.mem_set(m1.mem_of[&NodeId(0)]).unwrap();
+        let s2 = m2.mem_set(m2.mem_of[&NodeId(0)]).unwrap();
+        assert!(Arc::ptr_eq(&s1.rows, &s2.rows));
+
+        // Evicting m1's handle re-grows m2's share to the whole entry.
+        let id1 = m1.mem_of[&NodeId(0)];
+        m1.evict_mem_set(id1, &mut stats);
+        assert_eq!(m1.shared_charge_bytes(), 0);
+        assert_eq!(m2.shared_charge_bytes(), 8, "survivor absorbs the share");
+        assert_eq!(catalog.stats().reclaims, 0, "m2 still reads the entry");
+        assert_eq!(stats.memory_sets_evicted, 1);
+
+        // The last reader leaving reclaims the entry.
+        drop(m2);
+        assert_eq!(catalog.stats().reclaims, 1);
+        assert_eq!(catalog.entry_count(), 0);
+    }
+
+    #[test]
+    fn shared_mem_publish_race_adopts_winner() {
+        let catalog = Arc::new(StagingCatalog::new());
+        let mut stats = MiddlewareStats::new();
+        let mut m1 = mgr();
+        let mut m2 = mgr();
+        m1.attach_catalog(Arc::clone(&catalog));
+        m2.attach_catalog(Arc::clone(&catalog));
+
+        // Both sessions stage the same signature (deterministic scans
+        // produce identical codes): one publish, one hit, shared charges.
+        m1.commit_mem(
+            NodeId(3),
+            Pred::Eq { col: 0, value: 1 },
+            vec![1, 0],
+            2,
+            &mut stats,
+        );
+        m2.commit_mem(
+            NodeId(3),
+            Pred::Eq { col: 0, value: 1 },
+            vec![1, 0],
+            2,
+            &mut stats,
+        );
+        assert_eq!(catalog.stats().publishes, 1);
+        assert_eq!(catalog.stats().hits, 1);
+        let s1 = m1.mem_set(m1.mem_of[&NodeId(3)]).unwrap();
+        let s2 = m2.mem_set(m2.mem_of[&NodeId(3)]).unwrap();
+        assert!(
+            Arc::ptr_eq(&s1.rows, &s2.rows),
+            "loser adopts winner's rows"
+        );
+        assert_eq!(m1.shared_charge_bytes(), 2);
+        assert_eq!(m2.shared_charge_bytes(), 2);
+        m1.assert_shadow_accounting();
+    }
+
+    #[test]
+    fn shared_file_survives_until_last_reader_detaches() {
+        let catalog = Arc::new(StagingCatalog::new());
+        let catalog_dir = catalog.dir().to_path_buf();
+        let mut stats = MiddlewareStats::new();
+        let mut m1 = mgr();
+        let mut m2 = mgr();
+        m1.attach_catalog(Arc::clone(&catalog));
+        m2.attach_catalog(Arc::clone(&catalog));
+
+        // m1 stages a file: it moves into the catalog directory.
+        let mut w = m1.start_file(vec![NodeId(0)], Pred::True, 2).unwrap();
+        w.push(&[1, 2]).unwrap();
+        w.push(&[3, 4]).unwrap();
+        let fid = m1.commit_file(w, &mut stats).unwrap();
+        let shared_path = m1.file(fid).unwrap().path.clone();
+        assert!(
+            shared_path.starts_with(&catalog_dir),
+            "published into the catalog dir"
+        );
+        assert_eq!(catalog.stats().publishes, 1);
+        assert_eq!(m1.shared_charge_bytes(), 0, "file entries charge nothing");
+
+        // m2 attaches and reads the very same file.
+        let pending = vec![dummy_request(Lineage::root(NodeId(0)))];
+        m2.attach_from_catalog(&pending, false, true);
+        assert!(m2.has_file_for(NodeId(0)));
+        let id2 = m2.file_of[&NodeId(0)];
+        assert_eq!(m2.file(id2).unwrap().path, shared_path);
+        let mut scan = m2.open_file(id2).unwrap();
+        let mut row = Vec::new();
+        assert!(scan.next_row(&mut row).unwrap());
+        assert_eq!(row, vec![1, 2]);
+
+        // m1 dropping its handle leaves the file for m2; m2 leaving last
+        // reclaims it, and the catalog directory disappears with the
+        // catalog itself.
+        let unrelated = vec![dummy_request(Lineage::root(NodeId(7)))];
+        m1.evict_unreachable(&unrelated, &mut stats);
+        assert!(!m1.has_file_for(NodeId(0)));
+        assert!(shared_path.exists(), "m2 still reads the shared file");
+        assert_eq!(stats.files_deleted, 1);
+        drop(m2);
+        assert!(!shared_path.exists(), "last reader's exit removes the file");
+        assert_eq!(catalog.stats().reclaims, 1);
+        drop(m1);
+        drop(catalog);
+        assert!(!catalog_dir.exists(), "catalog drop removes its directory");
     }
 
     #[test]
