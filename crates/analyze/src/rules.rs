@@ -8,7 +8,10 @@
 //! - **accounting-arith** — no bare `as` casts to integer types and no
 //!   unchecked `+`/`-`/`*` in the accounting modules (`scheduler.rs`,
 //!   `metrics.rs`, `estimator.rs`, `config.rs`, `catalog.rs`): the seed
-//!   shipped a staging-cap overflow of exactly this class.
+//!   shipped a staging-cap overflow of exactly this class. The rule also
+//!   runs *function-scoped* over the block-kernel offset arithmetic in
+//!   `cc.rs` (`add_block`, `block_growth_bound`) — hot-path files where
+//!   only a few kernels carry accounting-sensitive index math.
 //! - **hot-path-panic** — no `unwrap()`/`expect()`/`panic!`-family macros, and
 //!   no slice indexing inside loop bodies, in the scan-path modules
 //!   (`parallel.rs`, `cc.rs`, `executor.rs`, `session.rs`).
@@ -100,6 +103,24 @@ const ARITH_FILES: [&str; 5] = [
     "crates/core/src/config.rs",
     "crates/core/src/catalog.rs",
 ];
+
+/// Function-scoped accounting-arith extensions: `(file, fn names)`. For
+/// these files the rule runs only inside the bodies of the named
+/// functions — hot-path modules where the accounting-sensitive arithmetic
+/// (block slot indexing, growth bounds) is confined to a few kernels and
+/// whole-file coverage would drown the scan loops in directives.
+const ARITH_SCOPED: [(&str, &[&str]); 1] = [(
+    "crates/core/src/cc.rs",
+    &["add_block", "block_growth_bound"],
+)];
+
+/// The fn-name scope accounting-arith uses for `rel`, if any.
+fn arith_scope_for(rel: &str) -> Option<&'static [&'static str]> {
+    ARITH_SCOPED
+        .iter()
+        .find(|(f, _)| *f == rel)
+        .map(|(_, fns)| *fns)
+}
 
 /// Files subject to the hot-path-panic rule.
 const PANIC_FILES: [&str; 4] = [
@@ -332,6 +353,36 @@ fn loop_mask(lx: &Lexed, src: &str) -> Vec<bool> {
     mask
 }
 
+/// Mark tokens inside the braced bodies of the named functions (whatever
+/// impl block they live in); the signature tokens stay unmarked.
+fn fn_body_mask(ctx: &FileCtx, fns: &[&str]) -> Vec<bool> {
+    let n = ctx.lx.toks.len();
+    let mut mask = vec![false; n];
+    let mut i = 0usize;
+    while i < n {
+        if ctx.is_ident(i, "fn")
+            && i + 1 < n
+            && ctx.lx.toks[i + 1].kind == TokKind::Ident
+            && fns.contains(&ctx.text(i + 1))
+        {
+            let mut j = i + 2;
+            while j < n && !ctx.is_punct(j, '{') && !ctx.is_punct(j, ';') {
+                j += 1;
+            }
+            if j < n && ctx.is_punct(j, '{') {
+                let close = match_bracket(ctx, j, '{', '}');
+                for m in mask.iter_mut().take(close + 1).skip(j) {
+                    *m = true;
+                }
+                i = j + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    mask
+}
+
 // ---------------------------------------------------------------------------
 // Per-file rules
 // ---------------------------------------------------------------------------
@@ -385,10 +436,10 @@ fn io_bypass(ctx: &FileCtx, out: &mut Vec<Violation>) {
     }
 }
 
-fn accounting_arith(ctx: &FileCtx, out: &mut Vec<Violation>) {
+fn accounting_arith(ctx: &FileCtx, scope: Option<&[bool]>, out: &mut Vec<Violation>) {
     let n = ctx.lx.toks.len();
     for i in 0..n {
-        if ctx.test[i] {
+        if ctx.test[i] || scope.is_some_and(|m| !m[i]) {
             continue;
         }
         let tok = &ctx.lx.toks[i];
@@ -746,7 +797,10 @@ pub fn check_source(rel: &str, src: &str) -> Report {
         io_bypass(&ctx, &mut raw);
     }
     if ARITH_FILES.contains(&rel) {
-        accounting_arith(&ctx, &mut raw);
+        accounting_arith(&ctx, None, &mut raw);
+    } else if let Some(fns) = arith_scope_for(rel) {
+        let mask = fn_body_mask(&ctx, fns);
+        accounting_arith(&ctx, Some(&mask), &mut raw);
     }
     if PANIC_FILES.contains(&rel) {
         hot_path_panic(&ctx, &mut raw);
@@ -812,7 +866,10 @@ pub fn analyze_workspace(root: &Path) -> io::Result<Report> {
             io_bypass(&ctx, &mut raw);
         }
         if ARITH_FILES.contains(&rel.as_str()) {
-            accounting_arith(&ctx, &mut raw);
+            accounting_arith(&ctx, None, &mut raw);
+        } else if let Some(fns) = arith_scope_for(&rel) {
+            let mask = fn_body_mask(&ctx, fns);
+            accounting_arith(&ctx, Some(&mask), &mut raw);
         }
         if PANIC_FILES.contains(&rel.as_str()) {
             hot_path_panic(&ctx, &mut raw);

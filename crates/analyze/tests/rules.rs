@@ -43,6 +43,41 @@ fn accounting_arith_fires_on_each_pattern() {
 }
 
 #[test]
+fn accounting_arith_is_fn_scoped_in_cc() {
+    let rel = "crates/core/src/cc.rs";
+    // Only the named kernel fns are in scope: the same arithmetic in a
+    // neighbouring scan fn must not fire.
+    let src = "impl DenseCounts {\n\
+               fn add_block(&mut self, base: u32, v: u32, nc: u32) -> u32 {\n\
+               base + v * nc\n\
+               }\n\
+               fn add_row(&mut self, a: u64, b: u64) -> u64 {\n\
+               a + b\n\
+               }\n\
+               }\n\
+               pub fn block_growth_bound(rows: u64, attrs: u64) -> u64 {\n\
+               rows * attrs\n\
+               }\n";
+    let report = check_source(rel, src);
+    assert_eq!(
+        fired(&report),
+        vec![
+            (RULE_ACCOUNTING_ARITH, 3),  // base + ...
+            (RULE_ACCOUNTING_ARITH, 3),  // ... v * nc
+            (RULE_ACCOUNTING_ARITH, 10), // rows * attrs
+        ]
+    );
+
+    // Allow directives inside the scoped fns suppress as usual.
+    let src = "fn add_block(x: u32, y: u32) -> u32 {\n\
+               x + y // analyze:allow(accounting-arith): proven in-bounds by the max-scan\n\
+               }\n";
+    let report = check_source(rel, src);
+    assert!(report.violations.is_empty(), "{:?}", report.violations);
+    assert_eq!(report.suppressed.len(), 1);
+}
+
+#[test]
 fn hot_path_panic_fires_on_each_pattern() {
     let rel = "crates/core/src/parallel.rs";
     let report = check_source(rel, &fixture("bad", rel));

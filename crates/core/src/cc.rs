@@ -30,6 +30,7 @@ use crate::request::DataLocation;
 use scaleclass_sqldb::Code;
 use std::collections::BTreeMap;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Modelled in-memory footprint of one counts-table entry: a 6-byte key,
 /// an 8-byte count, and balanced-tree node overhead, rounded to the figure
@@ -45,6 +46,24 @@ const DENSE_SLOT_BYTES: u64 = 8;
 
 /// Key of one counts-table entry.
 pub type CcKey = (u16, Code, Code); // (attr column, value, class)
+
+/// Telemetry from one [`CountsTable::add_block`] call.
+///
+/// `fallback_rows` is all-or-nothing: either the whole block went through
+/// the vectorized path (`0`) or every row of the block was re-routed
+/// through the exact row-at-a-time path (`block rows`). The nano fields
+/// split the kernel time into the hoisted validation scan and the
+/// gather-increment accumulate loop; both are wall-clock timing and are
+/// excluded from determinism comparisons.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BlockOutcome {
+    /// Rows counted through the per-row fallback path (0 or the block's rows).
+    pub fallback_rows: u64,
+    /// Nanoseconds spent in the hoisted range-validation max-scan.
+    pub validate_nanos: u64,
+    /// Nanoseconds spent in the accumulate loop (or the sparse run loop).
+    pub accumulate_nanos: u64,
+}
 
 /// Physical footprint of a dense counts array over attributes with the
 /// given value cardinalities: `Σ card × n_classes` slots of 8 bytes. The
@@ -188,7 +207,14 @@ impl DenseCounts {
         true
     }
 
-    /// Add `n > 0` to one entry; `false` when the key is out of range.
+    /// Add `n` to one entry; `false` when the key is out of range.
+    ///
+    /// `occupied` counts *non-zero* slots, so a zero `n` landing on an
+    /// empty slot must not count it as newly occupied — the `n > 0` term
+    /// in the newly-counting mirrors `add_row`'s `0 → 1` transition
+    /// exactly even though `CountsTable::bump` already screens `n == 0`
+    /// (the screen is a caller convention, not a contract this method may
+    /// rely on).
     #[inline]
     fn bump(&mut self, attr: u16, value: Code, class: Code, n: u64) -> bool {
         let l = &*self.layout;
@@ -200,9 +226,113 @@ impl DenseCounts {
             return false;
         }
         let slot = (l.offsets[i] + value * l.n_classes + class) as usize;
-        self.occupied += (self.slots[slot] == 0) as usize;
+        self.occupied += usize::from(self.slots[slot] == 0 && n > 0);
         self.slots[slot] += n;
         true
+    }
+
+    /// Column-slice twin of [`DenseCounts::add_row`]: count row `r` of a
+    /// column block. Same all-or-nothing contract — `false` without any
+    /// slot touched when a code falls outside the layout.
+    #[inline]
+    fn add_row_cols(&mut self, cols: &[&[Code]], r: usize, attrs: &[u16], class: Code) -> bool {
+        let l = &*self.layout;
+        let class = class as u32;
+        if class >= l.n_classes {
+            return false;
+        }
+        for &attr in attrs {
+            match l.attr_index(attr) {
+                // analyze:allow(hot-path-panic): block columns are full
+                // extent columns (or gathered attr columns) indexed by the
+                // same attrs the caller validated against the arity, and
+                // `i` comes from `attr_index` over parallel layout vectors.
+                Some(i) if (cols[attr as usize][r] as u32) < l.cards[i] => {}
+                _ => return false,
+            }
+        }
+        let mut newly = 0usize;
+        for &attr in attrs {
+            // analyze:allow(hot-path-panic): the validation loop above
+            // proved every attr is tracked and every code is inside its
+            // card, so col_index/offsets/column lookups cannot miss.
+            let i = l.col_index[attr as usize] as usize;
+            // analyze:allow(hot-path-panic): the validation loop proved
+            // the column exists and holds at least `r + 1` codes.
+            let v = cols[attr as usize][r] as u32;
+            // analyze:allow(hot-path-panic): slot < layout.slots because
+            // offset + value·classes + class was bounds-checked above.
+            let slot = (l.offsets[i] + v * l.n_classes + class) as usize;
+            // analyze:allow(hot-path-panic): slots was allocated with
+            // exactly `layout.slots` elements.
+            let s = &mut self.slots[slot];
+            newly += (*s == 0) as usize;
+            *s += 1;
+        }
+        self.occupied += newly;
+        true
+    }
+
+    /// Count a whole column block in one vectorized pass per tracked
+    /// attribute. Validation is hoisted out of the inner loop: one
+    /// max-scan over the class column and one per attribute column prove
+    /// every code in range *before* any slot is touched, so the accumulate
+    /// loop is a branch-light gather-increment over a per-attribute base
+    /// offset that LLVM can unroll. Returns `None` — with no slot touched
+    /// — when any code falls outside the layout; the caller then replays
+    /// the block through the exact row path so the spill fires at the same
+    /// row it would have row-at-a-time.
+    fn add_block(&mut self, cols: &[&[Code]], class: &[Code], attrs: &[u16]) -> Option<(u64, u64)> {
+        let l = &*self.layout;
+        let t_validate = Instant::now();
+        let max_class = class.iter().copied().max().unwrap_or(0);
+        if u32::from(max_class) >= l.n_classes {
+            return None;
+        }
+        for &attr in attrs {
+            let i = l.attr_index(attr)?;
+            let col = cols.get(usize::from(attr))?;
+            debug_assert_eq!(col.len(), class.len(), "ragged block columns");
+            let max_v = col.iter().copied().max().unwrap_or(0);
+            // analyze:allow(hot-path-panic): cards is parallel to attrs and
+            // `i` comes from `attr_index` over the same layout.
+            if u32::from(max_v) >= l.cards[i] {
+                return None;
+            }
+        }
+        let validate_nanos = u64::try_from(t_validate.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let t_accumulate = Instant::now();
+        let nc = l.n_classes;
+        let mut newly = 0usize;
+        for &attr in attrs {
+            // analyze:allow(hot-path-panic): the validation pass above
+            // proved the attr tracked and every code in card range.
+            let i = usize::from(l.col_index[usize::from(attr)]);
+            // analyze:allow(hot-path-panic): base offsets are parallel to
+            // attrs; `i` came from col_index over the same layout.
+            let base = l.offsets[i];
+            // analyze:allow(hot-path-panic): attr < cols.len() was proved by
+            // `cols.get` during validation.
+            let col: &[Code] = cols[usize::from(attr)];
+            for (&v, &k) in col.iter().zip(class.iter()) {
+                // analyze:allow(accounting-arith): hot gather-increment —
+                // base + value·n_classes + class < slots was proved by the
+                // hoisted max-scan, so the u32 arithmetic cannot overflow.
+                let slot = (base + u32::from(v) * nc + u32::from(k)) as usize;
+                // analyze:allow(hot-path-panic): slot < layout.slots per the
+                // hoisted validation; slots holds exactly that many.
+                let s = &mut self.slots[slot];
+                // analyze:allow(accounting-arith): hot accumulate — newly is
+                // bounded by the block's rows × attrs and the count by total
+                // rows ever seen; neither can overflow its word.
+                newly += usize::from(*s == 0);
+                *s += 1; // analyze:allow(accounting-arith): hot accumulate increment, bounded by rows seen
+            }
+        }
+        // analyze:allow(accounting-arith): occupied ≤ slots ≤ u32::MAX.
+        self.occupied += newly;
+        let accumulate_nanos = u64::try_from(t_accumulate.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        Some((validate_nanos, accumulate_nanos))
     }
 
     #[inline]
@@ -331,6 +461,136 @@ impl CountsTable {
         }
         *self.class_totals.entry(class).or_insert(0) += 1;
         self.total += 1;
+    }
+
+    /// Column-slice twin of [`CountsTable::add_row`]: count row `r` of a
+    /// column block, reading only `attrs` and `class_col` (other entries
+    /// of `cols` may be empty). Bit-identical to `add_row` on the
+    /// materialized row, including the spill-to-sparse point.
+    #[inline]
+    fn add_row_cols(&mut self, cols: &[&[Code]], r: usize, attrs: &[u16], class_col: u16) {
+        let class = cols[class_col as usize][r];
+        if let CcRepr::Dense(d) = &mut self.repr {
+            if !d.add_row_cols(cols, r, attrs, class) {
+                self.spill_to_sparse();
+            }
+        }
+        if let CcRepr::Sparse(map) = &mut self.repr {
+            for &attr in attrs {
+                // analyze:allow(hot-path-panic): block columns cover every
+                // requested attr (validated against the arity upstream) and
+                // all share the block's row count.
+                *map.entry((attr, cols[attr as usize][r], class))
+                    .or_insert(0) += 1;
+            }
+        }
+        *self.class_totals.entry(class).or_insert(0) += 1;
+        self.total += 1;
+    }
+
+    /// Count a whole column block: `cols` holds one `&[Code]` slice per
+    /// table column (only the `attrs` entries and `cols[class_col]` are
+    /// read, so gathered blocks may leave other entries empty), all of the
+    /// block's row count. Equivalent to calling
+    /// [`add_row`](Self::add_row) once per block row, in row order — the
+    /// dense backend hoists range validation into one max-scan per column
+    /// and then accumulates with a tight per-attribute gather loop, the
+    /// sparse backend amortizes tree walks via run detection on
+    /// sorted-ish columns, and any out-of-range code makes the whole
+    /// block fall back to the exact row path so the spill-to-sparse point
+    /// is unchanged.
+    pub fn add_block(&mut self, cols: &[&[Code]], class_col: u16, attrs: &[u16]) -> BlockOutcome {
+        let class: &[Code] = cols[usize::from(class_col)];
+        let nrows = u64::try_from(class.len()).unwrap_or(u64::MAX);
+        if nrows == 0 {
+            return BlockOutcome::default();
+        }
+        let mut out = BlockOutcome::default();
+        let dense_result = match &mut self.repr {
+            CcRepr::Dense(d) => Some(d.add_block(cols, class, attrs)),
+            CcRepr::Sparse(_) => None,
+        };
+        match dense_result {
+            Some(Some((validate_nanos, accumulate_nanos))) => {
+                out.validate_nanos = validate_nanos;
+                out.accumulate_nanos = accumulate_nanos;
+            }
+            Some(None) => {
+                // All-or-nothing fallback: no slot was touched, so the row
+                // replay spills at exactly the row the row path would.
+                out.fallback_rows = nrows;
+                for r in 0..class.len() {
+                    self.add_row_cols(cols, r, attrs, class_col);
+                }
+                return out;
+            }
+            None => {
+                let t0 = Instant::now();
+                if let CcRepr::Sparse(map) = &mut self.repr {
+                    for &attr in attrs {
+                        // analyze:allow(hot-path-panic): every requested
+                        // attr column exists in a decoded block.
+                        let col: &[Code] = cols[usize::from(attr)];
+                        let mut run_key: Option<(Code, Code)> = None;
+                        let mut run = 0u64;
+                        for (&v, &k) in col.iter().zip(class.iter()) {
+                            if run_key == Some((v, k)) {
+                                run = run.saturating_add(1);
+                            } else {
+                                if let Some((pv, pk)) = run_key {
+                                    let e = map.entry((attr, pv, pk)).or_insert(0);
+                                    *e = e.saturating_add(run);
+                                }
+                                run_key = Some((v, k));
+                                run = 1;
+                            }
+                        }
+                        if let Some((pv, pk)) = run_key {
+                            let e = map.entry((attr, pv, pk)).or_insert(0);
+                            *e = e.saturating_add(run);
+                        }
+                    }
+                }
+                out.accumulate_nanos = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            }
+        }
+        // Per-class row totals, run-detected on the class column.
+        let mut run_class: Option<Code> = None;
+        let mut run = 0u64;
+        for &k in class {
+            if run_class == Some(k) {
+                run = run.saturating_add(1);
+            } else {
+                if let Some(pk) = run_class {
+                    let e = self.class_totals.entry(pk).or_insert(0);
+                    *e = e.saturating_add(run);
+                }
+                run_class = Some(k);
+                run = 1;
+            }
+        }
+        if let Some(pk) = run_class {
+            let e = self.class_totals.entry(pk).or_insert(0);
+            *e = e.saturating_add(run);
+        }
+        self.total = self.total.saturating_add(nrows);
+        out
+    }
+
+    /// Upper bound, in modelled bytes, on how much this table can grow by
+    /// counting a block of `rows` rows over `n_attrs` attributes: each
+    /// counted row creates at most one entry per attribute. Budget
+    /// checkpoints use this to decide whether a whole block can be
+    /// counted without any chance of crossing the memory budget
+    /// mid-block — when it can't, the caller falls back to the exact
+    /// per-row checkpoint path. Deliberately backend-uniform: a dense
+    /// table's growth is usually capped by its remaining empty slots, but
+    /// an out-of-range code mid-block spills to sparse and can then mint
+    /// entries *outside* the dense domain, so the tighter cap would be
+    /// unsound exactly when the fallback fires.
+    pub fn block_growth_bound(&self, rows: u64, n_attrs: usize) -> u64 {
+        rows.saturating_mul(u64::try_from(n_attrs).unwrap_or(u64::MAX))
+            .saturating_mul(CC_ENTRY_BYTES)
     }
 
     /// Add `n` to one entry through whichever representation is active,
@@ -935,5 +1195,153 @@ mod tests {
         dense.add_aggregate(0, 0, 0, 0);
         assert_eq!(dense.entries(), 0);
         assert!(dense.is_dense());
+    }
+
+    /// Transpose row tuples into the three column vectors add_block wants.
+    fn cols_of(rows: &[[Code; 3]]) -> [Vec<Code>; 3] {
+        let mut cols: [Vec<Code>; 3] = Default::default();
+        for row in rows {
+            for (c, &v) in row.iter().enumerate() {
+                cols[c].push(v);
+            }
+        }
+        cols
+    }
+
+    fn block_into(cc: &mut CountsTable, rows: &[[Code; 3]]) -> BlockOutcome {
+        let cols = cols_of(rows);
+        let refs: Vec<&[Code]> = cols.iter().map(Vec::as_slice).collect();
+        cc.add_block(&refs, 2, &[0, 1])
+    }
+
+    #[test]
+    fn add_block_matches_add_row_on_both_backends() {
+        let rows: Vec<[Code; 3]> = vec![
+            [0, 0, 0],
+            [0, 1, 0],
+            [1, 1, 1],
+            [0, 0, 1],
+            [2, 3, 1],
+            [3, 2, 0],
+            [2, 3, 1],
+        ];
+        let mut sparse = CountsTable::new();
+        let out = block_into(&mut sparse, &rows);
+        assert_eq!(out.fallback_rows, 0);
+        assert_eq!(sparse, table_from(&rows));
+        assert_eq!(
+            sparse.class_distribution().collect::<Vec<_>>(),
+            table_from(&rows).class_distribution().collect::<Vec<_>>()
+        );
+
+        let mut dense = CountsTable::new_dense(&[(0, 4), (1, 4)], 2);
+        let out = block_into(&mut dense, &rows);
+        assert_eq!(out.fallback_rows, 0);
+        assert!(dense.is_dense(), "in-range block keeps the dense form");
+        assert_eq!(dense, dense_from(&rows));
+        assert_eq!(dense.entries(), dense_from(&rows).entries());
+        assert_eq!(dense.total(), rows.len() as u64);
+
+        // Splitting the same rows across several blocks changes nothing.
+        let mut chunked = CountsTable::new_dense(&[(0, 4), (1, 4)], 2);
+        for chunk in rows.chunks(3) {
+            block_into(&mut chunked, chunk);
+        }
+        assert_eq!(chunked, dense);
+        // An empty block is a no-op.
+        let before = dense.clone();
+        block_into(&mut dense, &[]);
+        assert_eq!(dense, before);
+    }
+
+    #[test]
+    fn add_block_fallback_spills_exactly_like_the_row_path() {
+        // Value 7 in the middle of the block exceeds cardinality 4: the
+        // dense block pass must touch no slot and replay rows, spilling
+        // at the same row the per-row path would.
+        let rows: Vec<[Code; 3]> = vec![[0, 0, 0], [1, 1, 1], [7, 0, 0], [2, 3, 1]];
+        let mut dense = CountsTable::new_dense(&[(0, 4), (1, 4)], 2);
+        let out = block_into(&mut dense, &rows);
+        assert_eq!(out.fallback_rows, rows.len() as u64, "all-or-nothing");
+        assert!(!dense.is_dense(), "out-of-range code forces the spill");
+        let mut rowwise = CountsTable::new_dense(&[(0, 4), (1, 4)], 2);
+        for row in &rows {
+            rowwise.add_row(row, &[0, 1], 2);
+        }
+        assert_eq!(dense, rowwise);
+        assert_eq!(dense.total(), rowwise.total());
+        assert_eq!(
+            dense.class_distribution().collect::<Vec<_>>(),
+            rowwise.class_distribution().collect::<Vec<_>>()
+        );
+        // Out-of-range class code trips the same contract.
+        let mut d2 = CountsTable::new_dense(&[(0, 4), (1, 4)], 2);
+        let out = block_into(&mut d2, &[[0, 0, 0], [1, 1, 5]]);
+        assert_eq!(out.fallback_rows, 2);
+        assert!(!d2.is_dense());
+        assert_eq!(d2.total(), 2);
+    }
+
+    /// Recount the non-zero dense slots directly, bypassing `occupied`.
+    fn recounted_occupied(cc: &CountsTable) -> usize {
+        match &cc.repr {
+            CcRepr::Dense(d) => d.slots.iter().filter(|&&n| n != 0).count(),
+            CcRepr::Sparse(_) => panic!("expected dense"),
+        }
+    }
+
+    #[test]
+    fn occupied_stays_exact_under_interleaved_bump_row_and_block() {
+        let mut cc = CountsTable::new_dense(&[(0, 4), (1, 4)], 2);
+        cc.add_row(&[0, 0, 0], &[0, 1], 2);
+        cc.add_aggregate(0, 2, 1, 5); // dense bump path
+        block_into(&mut cc, &[[1, 1, 1], [0, 0, 0], [3, 2, 0]]);
+        cc.add_aggregate(0, 2, 1, 3); // bump an already-counting slot
+        cc.add_row(&[2, 3, 1], &[0, 1], 2);
+        block_into(&mut cc, &[[2, 3, 1], [1, 1, 1]]);
+        assert!(cc.is_dense());
+        assert_eq!(cc.entries(), recounted_occupied(&cc));
+        assert_eq!(cc.memory_bytes(), cc.shadow_memory_bytes());
+        // A zero-count bump on an empty slot must not claim occupancy,
+        // even when DenseCounts::bump is reached directly.
+        if let CcRepr::Dense(d) = &mut cc.repr {
+            let before = d.occupied;
+            assert!(d.bump(1, 3, 0, 0));
+            assert_eq!(d.occupied, before, "n == 0 never counts as newly occupied");
+        }
+        assert_eq!(cc.entries(), recounted_occupied(&cc));
+    }
+
+    #[test]
+    fn block_growth_bound_dominates_actual_growth() {
+        let rows: Vec<[Code; 3]> = vec![[0, 0, 0], [1, 1, 1], [2, 3, 1], [3, 2, 0], [0, 0, 1]];
+        for mut cc in [
+            CountsTable::new(),
+            CountsTable::new_dense(&[(0, 4), (1, 4)], 2),
+        ] {
+            for chunk in rows.chunks(2) {
+                let bound = cc.block_growth_bound(chunk.len() as u64, 2);
+                let before = cc.memory_bytes();
+                block_into(&mut cc, chunk);
+                assert!(
+                    cc.memory_bytes() <= before + bound,
+                    "block grew past its declared bound"
+                );
+            }
+        }
+        // The bound stays rows × attrs even for a saturated dense table:
+        // a mid-block spill can mint entries outside the dense domain.
+        let mut full = CountsTable::new_dense(&[(0, 1), (1, 1)], 1);
+        full.add_row(&[0, 0, 0], &[0, 1], 2);
+        assert_eq!(full.block_growth_bound(1000, 2), 2000 * CC_ENTRY_BYTES);
+        let before = full.memory_bytes();
+        let bound = full.block_growth_bound(2, 2);
+        // Out-of-range block: spill growth still fits under the bound.
+        let mut cols = cols_of(&[[1, 1, 0], [2, 2, 0]]);
+        cols[2] = vec![0, 0];
+        let refs: Vec<&[Code]> = cols.iter().map(Vec::as_slice).collect();
+        full.add_block(&refs, 2, &[0, 1]);
+        assert!(!full.is_dense());
+        assert!(full.memory_bytes() <= before + bound);
     }
 }

@@ -141,6 +141,13 @@ pub struct MiddlewareConfig {
     /// stats depend on sibling timing, so the deterministic bit-identity
     /// suites keep it off. Honours `SCALECLASS_SHARED_STAGING`.
     pub shared_staging: bool,
+    /// Count extent column blocks through the batched kernel
+    /// (`CountsTable::add_block`) instead of one row at a time. On by
+    /// default; turning it off pins the bit-identical row-at-a-time path
+    /// everywhere (counts, spills, budget checkpoints, and stats other
+    /// than the block counters are unchanged either way — see DESIGN.md
+    /// §12). Honours the `SCALECLASS_BATCH_KERNEL` environment variable.
+    pub batch_kernel: bool,
 }
 
 /// Default rows per staged-file extent (≈ 400 KB of payload at the
@@ -179,6 +186,15 @@ fn env_shared_staging() -> bool {
     std::env::var("SCALECLASS_SHARED_STAGING")
         .map(|v| matches!(v.trim(), "1" | "true" | "on" | "yes"))
         .unwrap_or(false)
+}
+
+/// Batched-kernel switch from `SCALECLASS_BATCH_KERNEL` (`0`, `false`,
+/// `off`, or `no` pin the row-at-a-time path; anything else — including
+/// unset — keeps the batched default).
+fn env_batch_kernel() -> bool {
+    std::env::var("SCALECLASS_BATCH_KERNEL")
+        .map(|v| !matches!(v.trim(), "0" | "false" | "off" | "no"))
+        .unwrap_or(true)
 }
 
 /// Default dense counts-table cap: 4 MiB of slots per node. The
@@ -229,6 +245,7 @@ impl Default for MiddlewareConfig {
             cc_dense_max_bytes: env_cc_dense(),
             sessions: env_sessions(),
             shared_staging: env_shared_staging(),
+            batch_kernel: env_batch_kernel(),
         }
     }
 }
@@ -371,6 +388,12 @@ impl MiddlewareConfigBuilder {
         self
     }
 
+    /// Batched block-counting kernel vs the row-at-a-time path.
+    pub fn batch_kernel(mut self, on: bool) -> Self {
+        self.config.batch_kernel = on;
+        self
+    }
+
     /// Finish building.
     pub fn build(self) -> MiddlewareConfig {
         self.config
@@ -477,6 +500,14 @@ mod tests {
         assert!(c.shared_staging);
         let c = MiddlewareConfig::builder().shared_staging(false).build();
         assert!(!c.shared_staging, "builder can force it off");
+    }
+
+    #[test]
+    fn batch_kernel_knob() {
+        let c = MiddlewareConfig::builder().batch_kernel(false).build();
+        assert!(!c.batch_kernel, "builder can pin the row path");
+        let c = MiddlewareConfig::builder().batch_kernel(true).build();
+        assert!(c.batch_kernel);
     }
 
     #[test]

@@ -77,6 +77,16 @@ pub struct BatchCounter {
     /// Reusable per-row scratch for dispatch candidates — hoisted out of
     /// `process_row` so the hot loop never allocates.
     scratch: Vec<usize>,
+    /// Count whole blocks through `CountsTable::add_block` when possible
+    /// (`MiddlewareConfig::batch_kernel`); off pins the row path.
+    pub(crate) batch_kernel: bool,
+    /// Reusable column scratch: one `Vec` per source column, refilled by
+    /// the block transpose and reused across blocks.
+    col_scratch: Vec<Vec<Code>>,
+    /// Reusable gathered-column scratch for selective predicates.
+    gather_scratch: Vec<Vec<Code>>,
+    /// Reusable selection-vector scratch (row indices matching a pred).
+    sel_scratch: Vec<u32>,
 }
 
 /// Candidate prefilter over a batch's predicates: nodes whose path
@@ -140,6 +150,21 @@ fn deepest_eq_atom(pred: &Pred) -> Option<(usize, Code)> {
     }
 }
 
+/// Columnar twin of [`Pred::eval`]: evaluate a predicate against row `r`
+/// of a column-major block. Mirrors `eval` exactly, including the panic
+/// on a column index past the block's arity (predicates are built against
+/// the scanned schema, so the columns are structurally present).
+pub(crate) fn pred_eval_cols(pred: &Pred, cols: &[Vec<Code>], r: usize) -> bool {
+    match pred {
+        Pred::True => true,
+        Pred::False => false,
+        Pred::Eq { col, value } => cols[*col][r] == *value,
+        Pred::NotEq { col, value } => cols[*col][r] != *value,
+        Pred::And(children) => children.iter().all(|p| pred_eval_cols(p, cols, r)),
+        Pred::Or(children) => children.iter().any(|p| pred_eval_cols(p, cols, r)),
+    }
+}
+
 impl BatchCounter {
     /// A counting pass over `nodes` against the given budget; `base_mem_bytes`
     /// is memory already pinned by staged data.
@@ -157,6 +182,10 @@ impl BatchCounter {
             arity,
             dispatch,
             scratch: Vec::with_capacity(8),
+            batch_kernel: true,
+            col_scratch: Vec::new(),
+            gather_scratch: Vec::new(),
+            sel_scratch: Vec::new(),
         }
     }
 
@@ -273,6 +302,131 @@ impl BatchCounter {
         }
         stats.observe_memory(self.memory_in_use());
         Ok(())
+    }
+
+    /// Any staging tee active? Tees are row-ordered side effects, so a
+    /// batch with tees keeps the exact per-row path.
+    fn has_tees(&self) -> bool {
+        self.split_writer.is_some()
+            || self
+                .nodes
+                .iter()
+                .any(|n| n.file_writer.is_some() || n.mem_buffer.is_some())
+    }
+
+    /// Sum over live nodes of the worst-case modelled growth from counting
+    /// a `rows`-row block. When current use plus this bound clears the
+    /// budget, no eviction or §4.1.1 fallback can fire anywhere inside the
+    /// block — in either the block or the row path — so block counting is
+    /// bit-identical by construction.
+    fn block_growth_bound(&self, rows: u64) -> u64 {
+        self.nodes
+            .iter()
+            .filter(|n| !n.fallback)
+            .map(|n| n.cc.block_growth_bound(rows, n.req.attrs.len()))
+            .fold(0u64, u64::saturating_add)
+    }
+
+    /// Feed a row-major block of rows through every scheduled node,
+    /// counting whole column blocks when the batched kernel can engage.
+    /// Falls back to [`BatchCounter::process_row`] per row — with
+    /// identical results — when the kernel is disabled, a staging tee is
+    /// active, or the block's growth bound cannot clear the budget.
+    pub fn process_block(&mut self, flat: &[Code], stats: &mut MiddlewareStats) -> MwResult<()> {
+        let arity = self.arity;
+        debug_assert_eq!(flat.len() % arity, 0);
+        let nrows = flat.len() / arity;
+        if nrows == 0 {
+            return Ok(());
+        }
+        if !self.batch_kernel {
+            for row in flat.chunks_exact(arity) {
+                self.process_row(row, stats)?;
+            }
+            return Ok(());
+        }
+        let bound = self.block_growth_bound(nrows as u64);
+        if self.has_tees() || self.memory_in_use().saturating_add(bound) > self.budget {
+            stats.block_fallback_rows += nrows as u64;
+            for row in flat.chunks_exact(arity) {
+                self.process_row(row, stats)?;
+            }
+            return Ok(());
+        }
+        // Transpose once into the reusable column scratch; every node's
+        // kernel call reads these same columns.
+        self.col_scratch.resize_with(arity, Vec::new);
+        for (c, col) in self.col_scratch.iter_mut().enumerate() {
+            col.clear();
+            col.extend(flat.iter().skip(c).step_by(arity).copied());
+        }
+        self.count_block(nrows, stats);
+        stats.observe_memory(self.memory_in_use());
+        Ok(())
+    }
+
+    /// Count the transposed block in `col_scratch` into every live node.
+    /// Caller has already cleared the budget gate for `nrows` rows.
+    fn count_block(&mut self, nrows: usize, stats: &mut MiddlewareStats) {
+        for idx in 0..self.nodes.len() {
+            // analyze:allow(hot-path-panic): idx enumerates self.nodes
+            if self.nodes[idx].fallback {
+                continue;
+            }
+            // analyze:allow(hot-path-panic): idx enumerates self.nodes
+            let outcome = if matches!(self.nodes[idx].req.pred(), Pred::True) {
+                // Unselective node (the root): count the columns directly.
+                let refs: Vec<&[Code]> = self.col_scratch.iter().map(Vec::as_slice).collect();
+                let node = &mut self.nodes[idx]; // analyze:allow(hot-path-panic): idx enumerates self.nodes
+                let before = node.cc.entries();
+                let out = node
+                    .cc
+                    .add_block(&refs, node.req.class_col, &node.req.attrs);
+                self.cc_bytes += (node.cc.entries() - before) as u64 * CC_ENTRY_BYTES;
+                out
+            } else {
+                // Selective node: build the selection vector, then gather
+                // only the columns the kernel reads (attrs + class).
+                self.sel_scratch.clear();
+                let pred = self.nodes[idx].req.pred(); // analyze:allow(hot-path-panic): idx enumerates self.nodes
+                for r in 0..nrows {
+                    if pred_eval_cols(pred, &self.col_scratch, r) {
+                        self.sel_scratch.push(r as u32);
+                    }
+                }
+                if self.sel_scratch.is_empty() {
+                    continue;
+                }
+                self.gather_scratch.resize_with(self.arity, Vec::new);
+                let class_col = self.nodes[idx].req.class_col; // analyze:allow(hot-path-panic): idx enumerates self.nodes
+                let attrs = &self.nodes[idx].req.attrs; // analyze:allow(hot-path-panic): idx enumerates self.nodes
+                for &c in attrs.iter().chain(std::iter::once(&class_col)) {
+                    let src = &self.col_scratch[usize::from(c)]; // analyze:allow(hot-path-panic): attrs/class index the scanned schema's columns
+                    let dst = &mut self.gather_scratch[usize::from(c)]; // analyze:allow(hot-path-panic): gather_scratch was resized to the arity above
+                    dst.clear();
+                    // analyze:allow(hot-path-panic): sel rows were minted
+                    // over this block, so every index is < nrows.
+                    dst.extend(self.sel_scratch.iter().map(|&r| src[r as usize]));
+                }
+                let refs: Vec<&[Code]> = self.gather_scratch.iter().map(Vec::as_slice).collect();
+                let node = &mut self.nodes[idx]; // analyze:allow(hot-path-panic): idx enumerates self.nodes
+                let before = node.cc.entries();
+                let out = node.cc.add_block(&refs, class_col, &node.req.attrs);
+                self.cc_bytes += (node.cc.entries() - before) as u64 * CC_ENTRY_BYTES;
+                out
+            };
+            if outcome.fallback_rows == 0 {
+                stats.blocks_counted += 1;
+            } else {
+                stats.block_fallback_rows += outcome.fallback_rows;
+            }
+            stats.kernel_validate_nanos += outcome.validate_nanos;
+            stats.kernel_accumulate_nanos += outcome.accumulate_nanos;
+        }
+        debug_assert!(
+            self.memory_in_use() <= self.budget,
+            "block kernel engaged without clearing its growth bound"
+        );
     }
 }
 
@@ -447,5 +601,94 @@ mod tests {
         let mut stats = MiddlewareStats::new();
         batch.process_row(&[0, 0, 0], &mut stats).unwrap();
         assert_eq!(stats.peak_memory_bytes, 2 * CC_ENTRY_BYTES);
+    }
+
+    const BLOCK_ROWS: &[[Code; 3]] = &[
+        [0, 0, 0],
+        [1, 0, 1],
+        [1, 1, 0],
+        [2, 1, 1],
+        [0, 2, 0],
+        [1, 0, 0],
+    ];
+
+    fn block_nodes() -> Vec<NodeCounter> {
+        vec![
+            NodeCounter::new(root_request()),
+            NodeCounter::new(request(1, Pred::Eq { col: 0, value: 1 })),
+            NodeCounter::new(request(2, Pred::NotEq { col: 1, value: 0 })),
+        ]
+    }
+
+    #[test]
+    fn process_block_matches_process_row() {
+        let flat: Vec<Code> = BLOCK_ROWS.iter().flatten().copied().collect();
+        let mut rowwise = BatchCounter::new(block_nodes(), u64::MAX, 0, ARITY);
+        let mut s1 = MiddlewareStats::new();
+        for r in BLOCK_ROWS {
+            rowwise.process_row(r, &mut s1).unwrap();
+        }
+        let mut blocked = BatchCounter::new(block_nodes(), u64::MAX, 0, ARITY);
+        let mut s2 = MiddlewareStats::new();
+        blocked.process_block(&flat, &mut s2).unwrap();
+        assert!(s2.blocks_counted > 0, "kernel engaged");
+        assert_eq!(s2.block_fallback_rows, 0);
+        for (a, b) in rowwise.nodes.iter().zip(&blocked.nodes) {
+            assert_eq!(a.cc, b.cc);
+            assert_eq!(a.cc.total(), b.cc.total());
+        }
+        assert_eq!(rowwise.memory_in_use(), blocked.memory_in_use());
+        blocked.assert_shadow_accounting();
+        // Kernel off: same counts, no block counters touched.
+        let mut off = BatchCounter::new(block_nodes(), u64::MAX, 0, ARITY);
+        off.batch_kernel = false;
+        let mut s3 = MiddlewareStats::new();
+        off.process_block(&flat, &mut s3).unwrap();
+        assert_eq!(s3.blocks_counted, 0);
+        for (a, b) in rowwise.nodes.iter().zip(&off.nodes) {
+            assert_eq!(a.cc, b.cc);
+        }
+    }
+
+    #[test]
+    fn process_block_with_tees_keeps_the_row_path() {
+        let flat: Vec<Code> = BLOCK_ROWS.iter().flatten().copied().collect();
+        let mut nodes = block_nodes();
+        nodes[1].mem_buffer = Some(Vec::new());
+        let mut batch = BatchCounter::new(nodes, u64::MAX, 0, ARITY);
+        let mut stats = MiddlewareStats::new();
+        batch.process_block(&flat, &mut stats).unwrap();
+        assert_eq!(stats.blocks_counted, 0, "tee forces the row path");
+        assert_eq!(stats.block_fallback_rows, BLOCK_ROWS.len() as u64);
+        // Tee contents match a pure row-path run.
+        let buf = batch.nodes[1].mem_buffer.as_ref().unwrap();
+        assert_eq!(buf.len(), 3 * ARITY, "three a=1 rows teed in order");
+        assert_eq!(&buf[0..3], &[1, 0, 1]);
+        batch.assert_shadow_accounting();
+    }
+
+    #[test]
+    fn process_block_tight_budget_falls_back_and_matches() {
+        // Budget small enough that the growth bound cannot clear it, so
+        // the whole block must reroute through the exact per-row path —
+        // including its §4.1.1 fallback decisions.
+        let flat: Vec<Code> = BLOCK_ROWS.iter().flatten().copied().collect();
+        let budget = 5 * CC_ENTRY_BYTES;
+        let mut rowwise = BatchCounter::new(block_nodes(), budget, 0, ARITY);
+        let mut s1 = MiddlewareStats::new();
+        for r in BLOCK_ROWS {
+            rowwise.process_row(r, &mut s1).unwrap();
+        }
+        let mut blocked = BatchCounter::new(block_nodes(), budget, 0, ARITY);
+        let mut s2 = MiddlewareStats::new();
+        blocked.process_block(&flat, &mut s2).unwrap();
+        assert_eq!(s2.blocks_counted, 0);
+        assert_eq!(s2.block_fallback_rows, BLOCK_ROWS.len() as u64);
+        assert_eq!(s1.sql_fallbacks, s2.sql_fallbacks);
+        for (a, b) in rowwise.nodes.iter().zip(&blocked.nodes) {
+            assert_eq!(a.cc, b.cc);
+            assert_eq!(a.fallback, b.fallback);
+        }
+        assert_eq!(rowwise.memory_in_use(), blocked.memory_in_use());
     }
 }

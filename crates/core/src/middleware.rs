@@ -570,6 +570,8 @@ mod tests {
             // Wall-clock timing is the one legitimate difference.
             stats.scan_nanos = 0;
             stats.kernel_nanos = 0;
+            stats.kernel_validate_nanos = 0;
+            stats.kernel_accumulate_nanos = 0;
             (totals, stats)
         };
         let (totals_off, stats_off) = run(false);

@@ -110,6 +110,10 @@ struct NodeSpec {
 struct Shared {
     specs: Vec<NodeSpec>,
     arity: usize,
+    /// Count whole blocks through `CountsTable::add_block` when the
+    /// shard-level growth bound clears the budget (see
+    /// `ShardState::count_block_cols`); off pins the row path.
+    batch_kernel: bool,
     /// Total middleware memory budget in bytes.
     budget: u64,
     /// Bytes pinned by previously staged data (shrinks under eviction).
@@ -175,6 +179,14 @@ struct WorkerResult {
     rows: u64,
     /// Wall-clock ns this worker spent inside its row-counting loops.
     kernel_ns: u64,
+    /// Blocks this worker counted through the batched kernel.
+    blocks_counted: u64,
+    /// Rows this worker re-routed through the exact per-row path.
+    block_fallback_rows: u64,
+    /// Batched-kernel hoisted-validation nanoseconds.
+    validate_ns: u64,
+    /// Batched-kernel accumulate-loop nanoseconds.
+    accumulate_ns: u64,
 }
 
 /// One worker's private counting state — shared by the channel workers and
@@ -187,6 +199,16 @@ struct ShardState {
     rows: u64,
     kernel_ns: u64,
     candidates: Vec<usize>,
+    /// Reusable column scratch for the channel workers' block transpose.
+    col_scratch: Vec<Vec<Code>>,
+    /// Reusable gathered-column scratch for selective predicates.
+    gather_scratch: Vec<Vec<Code>>,
+    /// Reusable selection-vector scratch.
+    sel_scratch: Vec<u32>,
+    blocks_counted: u64,
+    block_fallback_rows: u64,
+    validate_ns: u64,
+    accumulate_ns: u64,
 }
 
 impl ShardState {
@@ -197,6 +219,13 @@ impl ShardState {
             rows: 0,
             kernel_ns: 0,
             candidates: Vec::with_capacity(8),
+            col_scratch: Vec::new(),
+            gather_scratch: Vec::new(),
+            sel_scratch: Vec::new(),
+            blocks_counted: 0,
+            block_fallback_rows: 0,
+            validate_ns: 0,
+            accumulate_ns: 0,
         }
     }
 
@@ -250,11 +279,137 @@ impl ShardState {
         }
     }
 
+    /// Honour another worker's §4.1.1 fallback flag for node `idx`:
+    /// release and drop this worker's shard once. Returns true when the
+    /// node is out of play for this worker.
+    fn honour_fallback(&mut self, idx: usize, shared: &Shared) -> bool {
+        // analyze:allow(hot-path-panic): fallback/shards/dropped are
+        // parallel vectors over the batch's nodes by construction.
+        if !shared.fallback[idx].load(Ordering::Relaxed) {
+            return false;
+        }
+        // analyze:allow(hot-path-panic): same parallel-vector bound.
+        if !self.dropped[idx] {
+            // analyze:allow(hot-path-panic): same parallel-vector bound.
+            let shard = &mut self.shards[idx];
+            shared
+                .cc_reserved
+                .fetch_sub(shard.memory_bytes(), Ordering::Relaxed);
+            *shard = CountsTable::new();
+            self.dropped[idx] = true;
+        }
+        true
+    }
+
+    /// Count one column-major block through the batched kernel, if its
+    /// growth bound clears the budget. The bound is *reserved* before
+    /// counting (so concurrent workers' gates serialize through
+    /// `cc_reserved`) and the surplus released after; a block counted here
+    /// can therefore never cross the budget, which is what makes it
+    /// bit-identical to the per-row checkpoint path. Returns false — with
+    /// nothing counted and nothing reserved — when the gate fails; the
+    /// caller must then feed the block through [`ShardState::count_row`].
+    fn count_block_cols(&mut self, cols: &[Vec<Code>], nrows: usize, shared: &Shared) -> bool {
+        if nrows == 0 {
+            return true;
+        }
+        let mut bound = 0u64;
+        for (idx, spec) in shared.specs.iter().enumerate() {
+            // analyze:allow(hot-path-panic): dropped/fallback parallel
+            // the spec vector.
+            if self.dropped[idx] || shared.fallback[idx].load(Ordering::Relaxed) {
+                continue;
+            }
+            // analyze:allow(hot-path-panic): shards parallels specs.
+            let b = self.shards[idx].block_growth_bound(nrows as u64, spec.attrs.len());
+            bound = bound.saturating_add(b);
+        }
+        shared.cc_reserved.fetch_add(bound, Ordering::Relaxed);
+        if shared.memory_in_use() > shared.budget {
+            shared.cc_reserved.fetch_sub(bound, Ordering::Relaxed);
+            return false;
+        }
+        self.rows += nrows as u64;
+        let mut grew_total = 0u64;
+        for idx in 0..shared.specs.len() {
+            if self.honour_fallback(idx, shared) {
+                continue;
+            }
+            // analyze:allow(hot-path-panic): specs/shards parallel vectors.
+            let spec = &shared.specs[idx];
+            let outcome = if matches!(spec.pred, Pred::True) {
+                let refs: Vec<&[Code]> = cols.iter().map(Vec::as_slice).collect();
+                // analyze:allow(hot-path-panic): same parallel-vector bound.
+                let shard = &mut self.shards[idx];
+                let before = shard.entries();
+                let out = shard.add_block(&refs, spec.class_col, &spec.attrs);
+                grew_total += (shard.entries() - before) as u64 * CC_ENTRY_BYTES;
+                out
+            } else {
+                self.sel_scratch.clear();
+                for r in 0..nrows {
+                    if crate::executor::pred_eval_cols(&spec.pred, cols, r) {
+                        self.sel_scratch.push(r as u32);
+                    }
+                }
+                if self.sel_scratch.is_empty() {
+                    continue;
+                }
+                self.gather_scratch.resize_with(shared.arity, Vec::new);
+                for &c in spec.attrs.iter().chain(std::iter::once(&spec.class_col)) {
+                    // analyze:allow(hot-path-panic): attrs and class_col
+                    // index the scanned schema's columns by construction.
+                    let src = &cols[usize::from(c)];
+                    let dst = &mut self.gather_scratch[usize::from(c)]; // analyze:allow(hot-path-panic): gather_scratch was resized to the arity above
+                    dst.clear();
+                    // analyze:allow(hot-path-panic): sel rows were minted
+                    // over this same block.
+                    dst.extend(self.sel_scratch.iter().map(|&r| src[r as usize]));
+                }
+                let refs: Vec<&[Code]> = self.gather_scratch.iter().map(Vec::as_slice).collect();
+                // analyze:allow(hot-path-panic): same parallel-vector bound.
+                let shard = &mut self.shards[idx];
+                let before = shard.entries();
+                let out = shard.add_block(&refs, spec.class_col, &spec.attrs);
+                grew_total += (shard.entries() - before) as u64 * CC_ENTRY_BYTES;
+                out
+            };
+            if outcome.fallback_rows == 0 {
+                self.blocks_counted += 1;
+            } else {
+                self.block_fallback_rows += outcome.fallback_rows;
+            }
+            self.validate_ns += outcome.validate_nanos;
+            self.accumulate_ns += outcome.accumulate_nanos;
+        }
+        // Keep only what actually grew; the gate reservation guaranteed
+        // `grew_total <= bound`, so this cannot underflow the global.
+        shared
+            .cc_reserved
+            .fetch_sub(bound - grew_total, Ordering::Relaxed);
+        true
+    }
+
+    /// Transpose a flat row-major block into the reusable column scratch.
+    fn transpose(&mut self, flat: &[Code], arity: usize) -> usize {
+        let nrows = flat.len() / arity;
+        self.col_scratch.resize_with(arity, Vec::new);
+        for (c, col) in self.col_scratch.iter_mut().enumerate() {
+            col.clear();
+            col.extend(flat.iter().skip(c).step_by(arity).copied());
+        }
+        nrows
+    }
+
     fn into_result(self) -> WorkerResult {
         WorkerResult {
             shards: self.shards,
             rows: self.rows,
             kernel_ns: self.kernel_ns,
+            blocks_counted: self.blocks_counted,
+            block_fallback_rows: self.block_fallback_rows,
+            validate_ns: self.validate_ns,
+            accumulate_ns: self.accumulate_ns,
         }
     }
 }
@@ -264,8 +419,22 @@ fn worker_loop(rx: Receiver<Vec<Code>>, shared: Arc<Shared>) -> WorkerResult {
     let mut state = ShardState::new(&shared.specs);
     for block in rx.iter() {
         let t0 = Instant::now();
-        for row in block.chunks_exact(shared.arity) {
-            state.count_row(row, &dispatch, &shared);
+        let counted = if shared.batch_kernel {
+            let nrows = state.transpose(&block, shared.arity);
+            let cols = std::mem::take(&mut state.col_scratch);
+            let ok = state.count_block_cols(&cols, nrows, &shared);
+            state.col_scratch = cols;
+            if !ok {
+                state.block_fallback_rows += (block.len() / shared.arity) as u64;
+            }
+            ok
+        } else {
+            false
+        };
+        if !counted {
+            for row in block.chunks_exact(shared.arity) {
+                state.count_row(row, &dispatch, &shared);
+            }
         }
         state.kernel_ns += t0.elapsed().as_nanos() as u64;
     }
@@ -310,6 +479,34 @@ fn shard_reader_loop(
     let dispatch = Dispatch::new(shared.specs.iter().map(|s| &s.pred));
     let mut state = ShardState::new(&shared.specs);
     let mut io = WorkerScanStats::default();
+    // Tee-free readers skip the row-major transpose entirely: extents
+    // decode straight into per-reader column buffers (reused across
+    // extents) and whole blocks go through the batched kernel. Tees need
+    // source row order, so teeing readers keep the row loop.
+    if shared.batch_kernel && tees.is_empty() {
+        let mut cols: Vec<Vec<Code>> = Vec::new();
+        let mut row_buf: Vec<Code> = Vec::with_capacity(shared.arity);
+        for k in range {
+            let nrows = reader.decode_extent_columns(k, &mut cols, &mut io)?;
+            let t0 = Instant::now();
+            if !state.count_block_cols(&cols, nrows, &shared) {
+                state.block_fallback_rows += nrows as u64;
+                for r in 0..nrows {
+                    row_buf.clear();
+                    // analyze:allow(hot-path-panic): every decoded column
+                    // holds exactly `nrows` codes.
+                    row_buf.extend(cols.iter().map(|c| c[r]));
+                    state.count_row(&row_buf, &dispatch, &shared);
+                }
+            }
+            state.kernel_ns += t0.elapsed().as_nanos() as u64;
+        }
+        return Ok(ShardReaderResult {
+            result: state.into_result(),
+            io,
+            tees,
+        });
+    }
     let mut block: Vec<Code> = Vec::new();
     let row_bytes = (shared.arity * CODE_BYTES) as u64;
     for k in range {
@@ -425,6 +622,7 @@ impl ParallelScan {
         let shared = Arc::new(Shared {
             specs,
             arity: batch.arity,
+            batch_kernel: batch.batch_kernel,
             budget: batch.budget,
             base_mem_bytes: AtomicU64::new(batch.base_mem_bytes),
             cc_reserved: AtomicU64::new(0),
@@ -748,6 +946,10 @@ impl ParallelScan {
         for r in &results {
             worker_rows_max = worker_rows_max.max(r.rows);
             kernel_ns += r.kernel_ns;
+            stats.blocks_counted += r.blocks_counted;
+            stats.block_fallback_rows += r.block_fallback_rows;
+            stats.kernel_validate_nanos += r.validate_ns;
+            stats.kernel_accumulate_nanos += r.accumulate_ns;
         }
         // Deterministic merge, worker-index order. Counting is additive,
         // so the result is independent of how blocks were interleaved.
@@ -860,6 +1062,26 @@ impl RowSink {
                 batch.process_row(row, stats)
             }
             RowSink::Parallel(scan) => scan.process_row(row),
+        }
+    }
+
+    /// Feed a flat row-major block through the counting pass. Serial mode
+    /// hands the whole block to the batched kernel; parallel mode keeps
+    /// per-row feeding here because its packing/tee split lives in
+    /// [`ParallelScan::process_row`] and workers re-block anyway.
+    pub fn process_block(&mut self, flat: &[Code], stats: &mut MiddlewareStats) -> MwResult<()> {
+        match self {
+            RowSink::Serial { batch, rows, .. } => {
+                *rows += (flat.len() / batch.arity) as u64;
+                batch.process_block(flat, stats)
+            }
+            RowSink::Parallel(scan) => {
+                let arity = scan.batch.arity;
+                for row in flat.chunks_exact(arity) {
+                    scan.process_row(row)?;
+                }
+                Ok(())
+            }
         }
     }
 
@@ -1261,6 +1483,82 @@ mod tests {
             );
             assert_eq!(serial_cc, sharded_cc, "{workers} readers: counts agree");
         }
+    }
+
+    /// The batched kernel and the row path must merge to identical tables
+    /// on both parallel feeds (channel workers and sharded extent
+    /// readers), and the block counters must reflect which kernel ran.
+    #[test]
+    fn batched_kernel_matches_row_kernel_on_both_parallel_paths() {
+        let data = rows(1200, 53);
+        let serial = run(1, 0, &data);
+        let (_staging, layout) = staged_layout(&data, 37);
+        for kernel_on in [true, false] {
+            // Channel pipeline.
+            let mut batch = BatchCounter::new(nodes(), u64::MAX, 0, ARITY);
+            batch.batch_kernel = kernel_on;
+            let mut scan = ParallelScan::new(batch, 3, 64);
+            for r in &data {
+                scan.process_row(r).unwrap();
+            }
+            let mut st = MiddlewareStats::new();
+            let par = scan.finish(&mut st).unwrap();
+            for (s, p) in serial.nodes.iter().zip(&par.nodes) {
+                assert_eq!(s.cc, p.cc, "channel, kernel_on={kernel_on}");
+            }
+            if kernel_on {
+                assert!(st.blocks_counted > 0, "channel blocks used the kernel");
+            } else {
+                assert_eq!(st.blocks_counted, 0, "kernel off: no block counting");
+                assert_eq!(st.block_fallback_rows, 0, "kernel off: no fallback");
+            }
+
+            // Sharded extent readers.
+            let mut batch = BatchCounter::new(nodes(), u64::MAX, 0, ARITY);
+            batch.batch_kernel = kernel_on;
+            let mut scan = ParallelScan::new(batch, 4, 64);
+            assert!(scan.can_shard());
+            scan.scan_extent_file(&layout).unwrap();
+            let mut st = MiddlewareStats::new();
+            let par = scan.finish(&mut st).unwrap();
+            for (s, p) in serial.nodes.iter().zip(&par.nodes) {
+                assert_eq!(s.cc, p.cc, "sharded, kernel_on={kernel_on}");
+            }
+            if kernel_on {
+                assert!(st.blocks_counted > 0, "sharded readers used the kernel");
+            } else {
+                assert_eq!(st.blocks_counted, 0);
+            }
+        }
+    }
+
+    /// A budget that fits the real table but never the per-block growth
+    /// bound makes every reservation gate fail: blocks take the exact row
+    /// path (recorded in `block_fallback_rows`) and counts are untouched.
+    #[test]
+    fn reservation_gate_falls_back_to_rows_without_changing_counts() {
+        let data = rows(400, 59);
+        let mut serial =
+            BatchCounter::new(vec![NodeCounter::new(root_request())], u64::MAX, 0, ARITY);
+        let mut stats = MiddlewareStats::new();
+        for r in &data {
+            serial.process_row(r, &mut stats).unwrap();
+        }
+        // Root table tops out at 16 entries (768 B) but a 64-row block
+        // reserves 64 * 2 * CC_ENTRY_BYTES = 6144 B — the gate always
+        // loses, the row path never does.
+        let budget = 2048;
+        let batch = BatchCounter::new(vec![NodeCounter::new(root_request())], budget, 0, ARITY);
+        let mut scan = ParallelScan::new(batch, 2, 64);
+        for r in &data {
+            scan.process_row(r).unwrap();
+        }
+        let mut st = MiddlewareStats::new();
+        let par = scan.finish(&mut st).unwrap();
+        assert!(!par.nodes[0].fallback, "row path fits the budget fine");
+        assert_eq!(serial.nodes[0].cc, par.nodes[0].cc);
+        assert_eq!(st.blocks_counted, 0, "no block cleared the gate");
+        assert_eq!(st.block_fallback_rows, 400, "every row was gated back");
     }
 
     #[test]

@@ -147,6 +147,12 @@ pub fn schedule(
     // ordering, the guaranteed bound drives admission (see
     // `est_cc_bytes_upper`). Always admit at least one — the §4.1.1
     // runtime fallback handles that degenerate case.
+    //
+    // Admission reasons about whole-table bounds only. The batched kernel
+    // (DESIGN.md §12) moves the *runtime* budget checkpoint from row to
+    // block granularity, but its per-block growth bound is reserved before
+    // any block is counted, so nothing scheduled here can overshoot the
+    // lease mid-block; dense eligibility below is likewise untouched.
     let cc_budget = lease_bytes.saturating_sub(staging.staged_mem_bytes());
     let cap = config.max_batch_nodes.unwrap_or(usize::MAX);
     let mut admitted: Vec<usize> = Vec::new();

@@ -754,6 +754,7 @@ impl Session {
             self.backend.arity,
         );
         batch.split_writer = split;
+        batch.batch_kernel = self.backend.config.batch_kernel;
         let source_set = match source {
             DataLocation::Memory(id) => Some(id),
             _ => None,
@@ -772,10 +773,15 @@ impl Session {
         // the sink and the stats.
         let rows = &set.rows;
         let arity = self.backend.arity;
+        // Feed row-major blocks of `scan_block_rows` so the serial batched
+        // kernel sees the same block granularity as a file scan's extents.
+        // `block_codes` is a row multiple and so is `rows.len()`, so every
+        // chunk lands on a row boundary.
+        let block_codes = self.backend.config.scan_block_rows.max(1) * arity;
         let mut read = 0u64;
-        for row in rows.chunks_exact(arity) {
-            sink.process_row(row, &mut self.stats)?;
-            read += 1;
+        for block in rows.chunks(block_codes) {
+            sink.process_block(block, &mut self.stats)?;
+            read += (block.len() / arity) as u64;
         }
         self.stats.memory_rows_read += read;
         Ok(sink)
@@ -861,6 +867,7 @@ impl Session {
             pushed,
             self.backend.config.wire_batch_rows,
         )?;
+        let block_codes = self.backend.config.scan_block_rows.max(1) * arity;
         let mut flat: Vec<Code> =
             Vec::with_capacity(self.backend.config.wire_batch_rows.saturating_mul(arity));
         loop {
@@ -868,8 +875,8 @@ impl Session {
             if cursor.fetch(&mut flat) == 0 {
                 break;
             }
-            for row in flat.chunks_exact(arity) {
-                sink.process_row(row, &mut self.stats)?;
+            for block in flat.chunks(block_codes) {
+                sink.process_block(block, &mut self.stats)?;
             }
         }
         Ok(sink)
@@ -914,6 +921,7 @@ impl Session {
         mut sink: RowSink,
     ) -> MwResult<RowSink> {
         let arity = self.backend.arity;
+        let block_codes = self.backend.config.scan_block_rows.max(1) * arity;
         let handle = self
             .aux
             .get(idx)
@@ -929,8 +937,8 @@ impl Session {
                     if cursor.fetch(&mut flat) == 0 {
                         break;
                     }
-                    for row in flat.chunks_exact(arity) {
-                        sink.process_row(row, &mut self.stats)?;
+                    for block in flat.chunks(block_codes) {
+                        sink.process_block(block, &mut self.stats)?;
                     }
                 }
             }
@@ -944,8 +952,8 @@ impl Session {
                 db_stats.add_bytes_shipped((flat.len() * CODE_BYTES) as u64);
                 db_stats.add_wire_round_trip();
                 drop(db);
-                for row in flat.chunks_exact(arity) {
-                    sink.process_row(row, &mut self.stats)?;
+                for block in flat.chunks(block_codes) {
+                    sink.process_block(block, &mut self.stats)?;
                 }
             }
             AuxKind::Keyset(cursor) => {
@@ -953,8 +961,8 @@ impl Session {
                 let db = self.backend.db_read();
                 cursor.scan_filtered(&db, &residual, &mut flat)?;
                 drop(db);
-                for row in flat.chunks_exact(arity) {
-                    sink.process_row(row, &mut self.stats)?;
+                for block in flat.chunks(block_codes) {
+                    sink.process_block(block, &mut self.stats)?;
                 }
             }
         }

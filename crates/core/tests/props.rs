@@ -382,9 +382,11 @@ proptest! {
 
 /// Project the logical (deterministic) counters out of a stats record:
 /// everything except pipeline-shape counters (`parallel_scans`,
-/// `sharded_file_scans`, `scan_blocks`, `scan_worker_rows_max`
-/// legitimately differ between worker counts) and wall-clock timing
-/// (`scan_nanos`, `kernel_nanos`).
+/// `sharded_file_scans`, `scan_blocks`, `scan_worker_rows_max`,
+/// `blocks_counted`, and `block_fallback_rows` legitimately differ
+/// between worker counts and between the batched kernel and the row
+/// path) and wall-clock timing (`scan_nanos`, `kernel_nanos`,
+/// `kernel_validate_nanos`, `kernel_accumulate_nanos`).
 fn logical(s: &MiddlewareStats) -> MiddlewareStats {
     MiddlewareStats {
         parallel_scans: 0,
@@ -393,6 +395,10 @@ fn logical(s: &MiddlewareStats) -> MiddlewareStats {
         scan_nanos: 0,
         scan_worker_rows_max: 0,
         kernel_nanos: 0,
+        blocks_counted: 0,
+        block_fallback_rows: 0,
+        kernel_validate_nanos: 0,
+        kernel_accumulate_nanos: 0,
         ..*s
     }
 }
@@ -652,6 +658,115 @@ proptest! {
                 mw.assert_shadow_accounting();
                 prop_assert_eq!(served, 5, "root + four children served");
             }
+        }
+    }
+
+    /// TENTPOLE PROPERTY: the batched block-counting kernel is
+    /// bit-identical to the row-at-a-time path — every node's counts
+    /// table, fallback flag, and all logical stats — across sparse and
+    /// dense backends, memory- and file-staged scans, worker counts
+    /// {1, 2, 4, 8}, and extent sizes {1, 7, default}. Block counters are
+    /// pipeline-shape (the kernel-off run never counts blocks), so only
+    /// `logical` projections are compared; a kernel-off run must leave all
+    /// four block counters untouched. Legacy row-major files have no
+    /// extent layout and always take the row loop, so the knob is a no-op
+    /// there by construction (covered by the staging legacy-file test);
+    /// mid-block out-of-range fallback can't arise through a validated
+    /// schema and is pinned down by the cc/executor unit tests instead.
+    #[test]
+    fn batched_kernel_bit_identical_to_row_path(
+        rows in rows_strategy(),
+        workers in prop::sample::select(vec![1usize, 2, 4, 8]),
+        extent_rows in prop::sample::select(vec![1usize, 7, 8192]),
+        dense_cap in prop::sample::select(vec![0u64, 1 << 20]),
+    ) {
+        for (mem_path, build) in [
+            (true, MiddlewareConfig::builder as fn() -> scaleclass::config::MiddlewareConfigBuilder),
+            (false, file_variant),
+        ] {
+            let cfg = |kernel: bool| {
+                build()
+                    .scan_workers(workers)
+                    .scan_block_rows(7)
+                    .stage_extent_rows(extent_rows)
+                    .cc_dense_max_bytes(dense_cap)
+                    .batch_kernel(kernel)
+                    .build()
+            };
+            let (on_cc, on_stats) = drive(&rows, cfg(true));
+            let (off_cc, off_stats) = drive(&rows, cfg(false));
+            prop_assert_eq!(
+                &on_cc,
+                &off_cc,
+                "counts diverged: {} workers, extent_rows {}, dense_cap {}, mem {}",
+                workers,
+                extent_rows,
+                dense_cap,
+                mem_path
+            );
+            prop_assert_eq!(
+                logical(&on_stats),
+                logical(&off_stats),
+                "logical stats diverged: {} workers, extent_rows {}, dense_cap {}, mem {}",
+                workers,
+                extent_rows,
+                dense_cap,
+                mem_path
+            );
+            prop_assert_eq!(off_stats.blocks_counted, 0, "kernel off never counts blocks");
+            prop_assert_eq!(off_stats.block_fallback_rows, 0);
+            prop_assert_eq!(off_stats.kernel_validate_nanos, 0);
+            prop_assert_eq!(off_stats.kernel_accumulate_nanos, 0);
+            if mem_path {
+                // The default path scans staged memory: blocks must have
+                // actually gone through the kernel in the `on` run.
+                prop_assert!(
+                    on_stats.blocks_counted > 0,
+                    "kernel on but no block was batch-counted ({} workers)",
+                    workers
+                );
+            }
+        }
+    }
+
+    /// TENTPOLE PROPERTY: under arbitrarily tight budgets — where the
+    /// per-block growth-bound gate loses and the §4.1.1 machinery
+    /// (pressure evictions, spill-to-sparse, SQL fallback) fires — the
+    /// batched kernel still reports the exact counts, fallback flags,
+    /// `sql_fallbacks`, and `pressure_evictions` of the row path, on both
+    /// counting backends and staging paths.
+    #[test]
+    fn batched_kernel_identical_under_tight_budgets(
+        rows in rows_strategy(),
+        budget in 64u64..5_000,
+        dense_cap in prop::sample::select(vec![0u64, 1 << 20]),
+    ) {
+        for build in [MiddlewareConfig::builder, file_variant] {
+            let cfg = |kernel: bool| {
+                build()
+                    .memory_budget_bytes(budget)
+                    .cc_dense_max_bytes(dense_cap)
+                    .batch_kernel(kernel)
+                    .build()
+            };
+            let (on_cc, on_stats) = drive(&rows, cfg(true));
+            let (off_cc, off_stats) = drive(&rows, cfg(false));
+            prop_assert_eq!(
+                &on_cc,
+                &off_cc,
+                "counts diverged at budget {} (dense_cap {})",
+                budget,
+                dense_cap
+            );
+            prop_assert_eq!(on_stats.sql_fallbacks, off_stats.sql_fallbacks);
+            prop_assert_eq!(on_stats.pressure_evictions, off_stats.pressure_evictions);
+            prop_assert_eq!(
+                logical(&on_stats),
+                logical(&off_stats),
+                "logical stats diverged at budget {} (dense_cap {})",
+                budget,
+                dense_cap
+            );
         }
     }
 
