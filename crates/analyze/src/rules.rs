@@ -7,7 +7,8 @@
 //!   the cost-accounted wire/staging layers.
 //! - **accounting-arith** — no bare `as` casts to integer types and no
 //!   unchecked `+`/`-`/`*` in the accounting modules (`scheduler.rs`,
-//!   `metrics.rs`, `estimator.rs`, `config.rs`, `catalog.rs`): the seed
+//!   `metrics.rs`, `estimator.rs`, `config.rs`, `catalog.rs`,
+//!   `sample.rs`): the seed
 //!   shipped a staging-cap overflow of exactly this class. The rule also
 //!   runs *function-scoped* over the block-kernel offset arithmetic in
 //!   `cc.rs` (`add_block`, `block_growth_bound`) — hot-path files where
@@ -96,12 +97,13 @@ const INT_TYPES: [&str; 12] = [
 ];
 
 /// Files subject to the accounting-arith rule.
-const ARITH_FILES: [&str; 5] = [
+const ARITH_FILES: [&str; 6] = [
     "crates/core/src/scheduler.rs",
     "crates/core/src/metrics.rs",
     "crates/core/src/estimator.rs",
     "crates/core/src/config.rs",
     "crates/core/src/catalog.rs",
+    "crates/core/src/sample.rs",
 ];
 
 /// Function-scoped accounting-arith extensions: `(file, fn names)`. For

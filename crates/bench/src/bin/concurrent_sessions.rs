@@ -221,6 +221,7 @@ fn main() {
   "workload": "{desc}",
   "rows": {nrows},
   "arity": {arity},
+  "host": {host},
   "host_cores": {host_cores},
   "iterations_best_of": {iters},
   "rounds_per_session": {rounds},
@@ -233,6 +234,7 @@ fn main() {
 }}
 "#,
         desc = workload.description,
+        host = scaleclass_bench::report::host_json(),
         iters = ITERATIONS,
         rounds = ROUNDS,
         legs = leg_json.join(",\n"),

@@ -395,6 +395,7 @@ fn main() {
   "workload": "{desc}",
   "rows": {nrows},
   "arity": {arity},
+  "host": {host},
   "host_cores": {host_cores},
   "iterations_best_of": {iters},
   "note": "kernel legs time add_row alone and are host-independent; middleware legs use scan_rows / scan_nanos from middleware counters — parallel-worker speedups on a {host_cores}-core host need a multi-core re-run",
@@ -414,6 +415,7 @@ fn main() {
 }}
 "#,
         desc = workload.description,
+        host = scaleclass_bench::report::host_json(),
         iters = ITERATIONS,
         s_rps = sparse.rows_per_sec(),
         s_wall = sparse.wall_secs,

@@ -1,0 +1,255 @@
+//! Sampled counting bench: server rows scanned, exact vs sampled, at
+//! equal tree accuracy (DESIGN.md §13).
+//!
+//! The scenario is the §2.3 no-staging regime: with memory caching and
+//! file staging both off, exact growth rescans the server once per batch
+//! (the memory budget only bounds the batch's CC tables). Sampled
+//! counting reads ~10% of the blocks for the row-heavy upper levels and
+//! drops to the exact path (via `sampled_min_rows`, or by escalating a
+//! split whose confidence interval overlaps the runner-up's) where
+//! samples stop being cheap or trustworthy. Two workloads:
+//!
+//! - **random-tree** (binary attributes, complete splits, noise-free
+//!   labels): fat margins, so every sampled split is accepted and the
+//!   final tree must be *structurally identical* to the exact tree while
+//!   scanning at least 3x fewer server rows — both asserted.
+//! - **census-like**: margins between the best split and the runner-up
+//!   are thin at every level, so this leg exercises the *safety* side:
+//!   the confidence check refuses the sample, escalates to exact, and
+//!   the only cost is the wasted sampled pass — the bench asserts the
+//!   overhead stays under 2% of the exact leg's server rows while the
+//!   tree and training accuracy are bit-for-bit unchanged.
+//!
+//! Written to `results/BENCH_sampled_counting.json`. Block admission is
+//! seeded and the drive single-threaded, so every counter is exact and
+//! the JSON is reproducible bit-for-bit on any host.
+
+use scaleclass::{FileStagingPolicy, Middleware, MiddlewareConfig, MiddlewareStats};
+use scaleclass_bench::workloads::{census_workload, sampled_bench_workload, Workload};
+use scaleclass_dtree::{grow_with_middleware, trees_same_splits, DecisionTree, GrowConfig};
+use scaleclass_sqldb::StatsSnapshot;
+use std::time::Instant;
+
+/// Memory budget (bytes) for every leg: staging is disabled outright, so
+/// this only bounds the batch's CC tables — sized so a whole tree level
+/// fits in one batch (one server scan per level, the fair baseline).
+const BUDGET: u64 = 2 * 1024 * 1024;
+/// Block size for sampled admission: small enough that a 10% draw over a
+/// ~64k-row table admits a smooth double-digit block count.
+const BLOCK_ROWS: usize = 512;
+/// The sampled fraction under test (the CI leg uses the same value).
+const FRACTION: f64 = 0.1;
+
+struct Run {
+    tree: DecisionTree,
+    server: StatsSnapshot,
+    middleware: MiddlewareStats,
+    accepts: u64,
+    escalations: u64,
+    wall_secs: f64,
+}
+
+fn run(workload: &Workload, cfg: MiddlewareConfig, gc: &GrowConfig) -> Run {
+    let nrows = workload.nrows();
+    let db = workload.clone().into_db("t");
+    let mut mw = Middleware::new(db, "t", &workload.class_column, cfg).expect("session");
+    let before = mw.db_stats();
+    let start = Instant::now();
+    let out = grow_with_middleware(&mut mw, gc).expect("grow");
+    let wall_secs = start.elapsed().as_secs_f64();
+    assert!(nrows > 0);
+    Run {
+        tree: out.tree,
+        server: mw.db_stats() - before,
+        middleware: *mw.stats(),
+        accepts: out.sampled_accepts,
+        escalations: out.escalations,
+        wall_secs,
+    }
+}
+
+/// Training accuracy: fraction of the workload's own rows the tree
+/// labels correctly.
+fn accuracy(tree: &DecisionTree, workload: &Workload) -> f64 {
+    let arity = workload.schema.arity();
+    let class = workload
+        .schema
+        .column_index(&workload.class_column)
+        .expect("class column");
+    let mut hits = 0usize;
+    let mut total = 0usize;
+    for row in workload.rows.chunks(arity) {
+        total += 1;
+        if tree.classify(row) == row[class] {
+            hits += 1;
+        }
+    }
+    hits as f64 / total.max(1) as f64
+}
+
+struct Leg {
+    name: &'static str,
+    workload: Workload,
+    sampled_min_rows: u64,
+    grow: GrowConfig,
+}
+
+fn main() {
+    let legs = [
+        Leg {
+            name: "random_tree",
+            // Complete depth-5 binary generating tree, one class per
+            // leaf, 4000 cases per leaf: 128k rows, fat margins at every
+            // internal level (exact growth = 5 full server scans).
+            workload: sampled_bench_workload(4000.0),
+            // Depth-4 nodes hold 8000 rows (sampled); their depth-5
+            // children hold 4000 (< floor), so the whole leaf level is
+            // answered by one exact scan.
+            sampled_min_rows: 6_000,
+            grow: GrowConfig::default(),
+        },
+        Leg {
+            name: "census",
+            workload: census_workload(40_000),
+            sampled_min_rows: 4_000,
+            grow: GrowConfig {
+                min_rows: 200,
+                ..GrowConfig::default()
+            },
+        },
+    ];
+
+    let mut leg_json = Vec::new();
+    for leg in &legs {
+        let base = || {
+            MiddlewareConfig::builder()
+                .memory_budget_bytes(BUDGET)
+                .memory_caching(false)
+                .file_policy(FileStagingPolicy::Disabled)
+                .scan_block_rows(BLOCK_ROWS)
+        };
+        let exact = run(
+            &leg.workload,
+            base().sampled_counting(0.0).build(),
+            &leg.grow,
+        );
+        let sampled = run(
+            &leg.workload,
+            base()
+                .sampled_counting(FRACTION)
+                .sampled_min_rows(leg.sampled_min_rows)
+                .build(),
+            &leg.grow,
+        );
+        let identical = trees_same_splits(&sampled.tree, &exact.tree);
+        let acc_exact = accuracy(&exact.tree, &leg.workload);
+        let acc_sampled = accuracy(&sampled.tree, &leg.workload);
+        let reduction =
+            exact.server.rows_scanned as f64 / sampled.server.rows_scanned.max(1) as f64;
+
+        println!(
+            "{}: {} rows | server rows exact {} -> sampled {} ({reduction:.2}x) | \
+             accepts {} escalations {} | identical tree: {identical} | \
+             accuracy {acc_exact:.4} -> {acc_sampled:.4}",
+            leg.name,
+            leg.workload.nrows(),
+            exact.server.rows_scanned,
+            sampled.server.rows_scanned,
+            sampled.accepts,
+            sampled.escalations,
+        );
+
+        assert_eq!(exact.middleware.sampled_nodes, 0, "exact leg stayed exact");
+        assert_eq!(
+            sampled.middleware.sampled_nodes,
+            sampled.accepts + sampled.escalations,
+            "every sampled fulfilment was accepted or escalated"
+        );
+        assert!(
+            sampled.middleware.exact_rows_saved > 0,
+            "sampling must skip blocks"
+        );
+        match leg.name {
+            "random_tree" => {
+                assert!(
+                    identical,
+                    "random-tree sampled tree must match the exact tree"
+                );
+                assert!(
+                    reduction >= 3.0,
+                    "random-tree server-row reduction {reduction:.2}x < 3x \
+                     (exact {}, sampled {})",
+                    exact.server.rows_scanned,
+                    sampled.server.rows_scanned
+                );
+            }
+            _ => {
+                // Thin margins everywhere: the value of this leg is that
+                // escalation fires and costs almost nothing.
+                assert!(
+                    sampled.escalations >= 1,
+                    "census must exercise the escalation path"
+                );
+                assert!(identical, "escalation must reproduce the exact tree");
+                assert!(
+                    sampled.server.rows_scanned as f64 <= 1.02 * exact.server.rows_scanned as f64,
+                    "escalation overhead exceeded 2%: exact {}, sampled {}",
+                    exact.server.rows_scanned,
+                    sampled.server.rows_scanned
+                );
+                assert!(
+                    (acc_exact - acc_sampled).abs() <= 0.01,
+                    "census accuracy moved: {acc_exact:.4} vs {acc_sampled:.4}"
+                );
+            }
+        }
+
+        leg_json.push(format!(
+            r#"    {{ "workload": "{name}", "rows": {rows}, "fraction": {FRACTION}, "sampled_min_rows": {minr},
+      "exact":   {{ "server_rows_scanned": {er}, "tree_nodes": {en}, "accuracy": {ea:.4}, "wall_secs": {ew:.4} }},
+      "sampled": {{ "server_rows_scanned": {sr}, "tree_nodes": {sn}, "accuracy": {sa:.4}, "wall_secs": {sw:.4},
+                   "sampled_nodes": {snodes}, "accepts": {acc}, "escalations": {esc},
+                   "sampled_rows_scanned": {srs}, "exact_rows_saved": {saved} }},
+      "server_rows_reduction": {red:.3}, "identical_tree": {identical} }}"#,
+            name = leg.name,
+            rows = leg.workload.nrows(),
+            minr = leg.sampled_min_rows,
+            er = exact.server.rows_scanned,
+            en = exact.tree.len(),
+            ea = acc_exact,
+            ew = exact.wall_secs,
+            sr = sampled.server.rows_scanned,
+            sn = sampled.tree.len(),
+            sa = acc_sampled,
+            sw = sampled.wall_secs,
+            snodes = sampled.middleware.sampled_nodes,
+            acc = sampled.accepts,
+            esc = sampled.escalations,
+            srs = sampled.middleware.sampled_rows_scanned,
+            saved = sampled.middleware.exact_rows_saved,
+            red = reduction,
+        ));
+    }
+
+    let json = format!(
+        r#"{{
+  "bench": "sampled_counting",
+  "host": {host},
+  "budget_bytes": {BUDGET},
+  "scan_block_rows": {BLOCK_ROWS},
+  "note": "staging disabled (the 2.3 no-middleware regime), so exact growth rescans the server each level; sampled counting admits ~{pct:.0}% of blocks for the upper levels and goes exact below sampled_min_rows or on a confidence-overlapped split. Counters are deterministic; asserts: random-tree >= 3x server-row reduction with identical splits and leaves; census (thin margins) escalates, reproduces the exact tree, and its overhead stays under 2% of the exact leg.",
+  "legs": [
+{legs}
+  ]
+}}
+"#,
+        host = scaleclass_bench::report::host_json(),
+        pct = FRACTION * 100.0,
+        legs = leg_json.join(",\n"),
+    );
+    let out = std::path::Path::new("results/BENCH_sampled_counting.json");
+    // analyze:allow(io-bypass): bench artifact output, not table data;
+    // nothing here belongs in the cost-accounted staging path.
+    std::fs::write(out, &json).unwrap();
+    println!("wrote {}", out.display());
+}

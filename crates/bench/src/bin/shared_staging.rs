@@ -260,6 +260,7 @@ fn main() {
   "workload": "{desc}",
   "rows": {nrows},
   "arity": {arity},
+  "host": {host},
   "iterations_best_of": {iters},
   "rounds_per_session": {rounds},
   "budget_bytes": {budget},
@@ -272,6 +273,7 @@ fn main() {
 }}
 "#,
         desc = workload.description,
+        host = scaleclass_bench::report::host_json(),
         iters = ITERATIONS,
         rounds = ROUNDS,
         m2 = multiplier(2),

@@ -83,6 +83,43 @@ pub fn banner(title: &str, detail: &str) {
     }
 }
 
+/// Logical CPU count of the host (1 when undeterminable).
+pub fn host_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// CPU model string from `/proc/cpuinfo` (`model name` line), or
+/// `"unknown"` when unavailable (non-Linux hosts). Deliberately
+/// hostname-free: checked-in results describe the hardware class, never
+/// the machine's identity.
+pub fn host_cpu_model() -> String {
+    // analyze:allow(io-bypass): host introspection for bench metadata,
+    // not table data; /proc is not reachable through the staging layer.
+    std::fs::read_to_string("/proc/cpuinfo")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("model name"))
+                .and_then(|l| l.split(':').nth(1))
+                .map(|m| m.trim().to_string())
+        })
+        .filter(|m| !m.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// The `"host"` JSON object recorded by every bench writer: logical CPU
+/// count plus CPU model. Quotes in the model string are rewritten so the
+/// fragment is always valid JSON.
+pub fn host_json() -> String {
+    format!(
+        r#"{{ "num_cpus": {}, "cpu_model": "{}" }}"#,
+        host_cores(),
+        host_cpu_model().replace('"', "'").replace('\\', "/")
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -108,7 +145,18 @@ mod tests {
             tree_depth: 2,
             tree_leaves: 4,
             requests: 3,
+            sampled_accepts: 0,
+            escalations: 0,
         };
         assert_eq!(metric_cells(&m).len(), METRIC_HEADER.len());
+    }
+
+    #[test]
+    fn host_json_is_wellformed_and_anonymous() {
+        let h = host_json();
+        assert!(h.contains("\"num_cpus\":"));
+        assert!(h.contains("\"cpu_model\":"));
+        assert!(host_cores() >= 1);
+        assert!(!host_cpu_model().is_empty());
     }
 }

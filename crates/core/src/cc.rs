@@ -951,6 +951,15 @@ pub struct FulfilledCc {
     /// True when memory pressure forced the §4.1.1 dynamic switch to
     /// SQL-based (lazy, per-attribute) counting for this node.
     pub via_sql_fallback: bool,
+    /// `Some` when the counts were built from a block-level sample
+    /// (DESIGN.md §13): the tag carries the sampling fraction the client
+    /// needs to scale counts and size confidence intervals. The client
+    /// must answer with [`crate::session::Session::accept_sampled`] or
+    /// [`crate::session::Session::escalate`] — until then the table's
+    /// bytes stay charged against the session's lease. `None` means the
+    /// counts are exact (a full scan, or the §4.1.1 SQL fallback, which
+    /// always counts exactly).
+    pub sample: Option<crate::sample::SampledScan>,
 }
 
 #[cfg(test)]

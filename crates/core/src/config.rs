@@ -148,6 +148,26 @@ pub struct MiddlewareConfig {
     /// than the block counters are unchanged either way — see DESIGN.md
     /// §12). Honours the `SCALECLASS_BATCH_KERNEL` environment variable.
     pub batch_kernel: bool,
+    /// Sampled counting fraction (DESIGN.md §13). `0.0` (the default)
+    /// disables the mode entirely — off is bit-identical to a build
+    /// without the feature. A fraction in `(0, 1)` makes the scheduler
+    /// consider a *sampled* scan per batch: whole blocks/extents are
+    /// drawn by a seeded hash of their global index, the resulting CC
+    /// tables are tagged with the sampling fraction, and the client
+    /// either accepts a confidence-separated split or escalates the node
+    /// back to an exact scan. `1.0` asks for a complete "sample", which
+    /// the cost model prices above the exact scan it is — the scheduler
+    /// plans it exact, so `1.0` is bit-identical to exact mode by
+    /// construction. Honours the `SCALECLASS_SAMPLED` environment
+    /// variable.
+    pub sampled_fraction: f64,
+    /// Minimum *estimated relevant rows* a node needs before the
+    /// scheduler will serve it from a sample (DESIGN.md §13). Small nodes
+    /// sit near the leaves where confidence intervals are wide and
+    /// escalation is likely, so sampling them costs more than it saves;
+    /// the default keeps the sampled path on the row-heavy upper tree
+    /// where the ISSUE's server-I/O argument actually holds.
+    pub sampled_min_rows: u64,
 }
 
 /// Default rows per staged-file extent (≈ 400 KB of payload at the
@@ -213,6 +233,24 @@ fn env_cc_dense() -> u64 {
         .unwrap_or(DEFAULT_CC_DENSE_MAX_BYTES)
 }
 
+/// Sampling fraction from `SCALECLASS_SAMPLED` (unset, empty, zero,
+/// negative, NaN, or unparsable all mean the exact-counting default of
+/// 0.0); values above 1 clamp to the complete sample.
+fn env_sampled() -> f64 {
+    std::env::var("SCALECLASS_SAMPLED")
+        .ok()
+        .and_then(|v| v.trim().parse::<f64>().ok())
+        .filter(|f| f.is_finite() && *f > 0.0)
+        .map(|f| f.min(1.0))
+        .unwrap_or(0.0)
+}
+
+/// Default sampled-path row floor: one default extent of rows. Nodes
+/// smaller than a single staged extent cannot even draw a multi-block
+/// sample, and their interval half-widths (∝ 1/√n) make escalation the
+/// likely outcome.
+pub const DEFAULT_SAMPLED_MIN_ROWS: u64 = 8192;
+
 /// Extent size from `SCALECLASS_EXTENT_ROWS` (unset, empty, zero, or
 /// unparsable all mean [`DEFAULT_EXTENT_ROWS`]); clamped to the format cap.
 fn env_extent_rows() -> usize {
@@ -246,6 +284,8 @@ impl Default for MiddlewareConfig {
             sessions: env_sessions(),
             shared_staging: env_shared_staging(),
             batch_kernel: env_batch_kernel(),
+            sampled_fraction: env_sampled(),
+            sampled_min_rows: DEFAULT_SAMPLED_MIN_ROWS,
         }
     }
 }
@@ -394,6 +434,25 @@ impl MiddlewareConfigBuilder {
         self
     }
 
+    /// Sampled counting fraction (clamped to `[0, 1]`; `0` disables the
+    /// mode, NaN degrades to off).
+    pub fn sampled_counting(mut self, fraction: f64) -> Self {
+        self.config.sampled_fraction = if fraction.is_finite() {
+            fraction.clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+        self
+    }
+
+    /// Smallest node (estimated relevant rows) the scheduler may serve
+    /// from a sample. `0` makes every node eligible — tiny-table tests
+    /// use that to exercise the sampled path.
+    pub fn sampled_min_rows(mut self, rows: u64) -> Self {
+        self.config.sampled_min_rows = rows;
+        self
+    }
+
     /// Finish building.
     pub fn build(self) -> MiddlewareConfig {
         self.config
@@ -508,6 +567,30 @@ mod tests {
         assert!(!c.batch_kernel, "builder can pin the row path");
         let c = MiddlewareConfig::builder().batch_kernel(true).build();
         assert!(c.batch_kernel);
+    }
+
+    #[test]
+    fn sampled_counting_knob_is_clamped() {
+        let c = MiddlewareConfig::builder().sampled_counting(0.1).build();
+        assert_eq!(c.sampled_fraction, 0.1);
+        let c = MiddlewareConfig::builder().sampled_counting(-3.0).build();
+        assert_eq!(c.sampled_fraction, 0.0, "negative means off");
+        let c = MiddlewareConfig::builder().sampled_counting(7.5).build();
+        assert_eq!(c.sampled_fraction, 1.0, "clamped to the complete sample");
+        let c = MiddlewareConfig::builder()
+            .sampled_counting(f64::NAN)
+            .build();
+        assert_eq!(c.sampled_fraction, 0.0, "NaN degrades to off");
+        // Builder zero forces exact mode whatever the env default was.
+        let c = MiddlewareConfig::builder().sampled_counting(0.0).build();
+        assert_eq!(c.sampled_fraction, 0.0);
+
+        let c = MiddlewareConfig::builder().sampled_min_rows(0).build();
+        assert_eq!(c.sampled_min_rows, 0, "tiny tables can opt in");
+        assert_eq!(
+            MiddlewareConfig::builder().build().sampled_min_rows,
+            DEFAULT_SAMPLED_MIN_ROWS
+        );
     }
 
     #[test]

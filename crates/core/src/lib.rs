@@ -92,6 +92,12 @@ pub mod request;
     clippy::cast_sign_loss,
     clippy::cast_possible_wrap
 )]
+pub mod sample;
+#[deny(
+    clippy::cast_possible_truncation,
+    clippy::cast_sign_loss,
+    clippy::cast_possible_wrap
+)]
 pub mod scheduler;
 pub mod session;
 pub mod sqlgen;
@@ -105,5 +111,6 @@ pub use error::{MwError, MwResult};
 pub use metrics::{ArbiterStats, CatalogStats, MiddlewareStats, ScanStats, WorkerScanStats};
 pub use middleware::Middleware;
 pub use request::{CcRequest, DataLocation, Lineage, NodeId};
+pub use sample::{BlockSampler, SampledLedger, SampledScan};
 pub use session::{Backend, BudgetArbiter, Session};
 pub use staging::ExtentLayout;

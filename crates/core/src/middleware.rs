@@ -165,6 +165,26 @@ impl Middleware {
         self.session.run_to_completion(consume)
     }
 
+    /// Bytes of sampled CC tables still awaiting an accept-or-escalate
+    /// verdict (DESIGN.md §13).
+    pub fn sampled_held_bytes(&self) -> u64 {
+        self.session.sampled_held_bytes()
+    }
+
+    /// Accept a sampled fulfilment: the confidence interval separated the
+    /// winning split, so the sampled counts stand (DESIGN.md §13).
+    pub fn accept_sampled(&mut self, node: NodeId) {
+        self.session.accept_sampled(node);
+    }
+
+    /// Escalate a sampled fulfilment to an exact rescan (the §13 escape
+    /// hatch): releases the sampled table, pins the node to the exact
+    /// path, and requeues the original request. Returns `false` if the
+    /// node has no outstanding sampled fulfilment.
+    pub fn escalate(&mut self, node: NodeId) -> bool {
+        self.session.escalate(node)
+    }
+
     // ------------------------------------------------------------------
     // Baselines (§2.3) — exposed for the experiments
     // ------------------------------------------------------------------

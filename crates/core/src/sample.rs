@@ -1,0 +1,209 @@
+//! Block-level sampling for the sampled counting mode (DESIGN.md §13).
+//!
+//! The sampled access path draws *whole blocks* — memory/server scan
+//! blocks of `scan_block_rows` rows, or staged-file extents — by hashing
+//! each block's global index against a threshold derived from the
+//! configured fraction. Hashing (rather than a stateful RNG) keeps the
+//! sample a pure function of `(seed, block index)`: the same blocks are
+//! admitted no matter how many scan workers run, how fetches are batched,
+//! or how often the scan is repeated, which is what the determinism
+//! property tests pin.
+//!
+//! [`SampledLedger`] is the scheduler-facing bookkeeping for the
+//! accept-or-escalate protocol: a fulfilled sampled CC table stays
+//! charged against the session's lease (`held`) until the client either
+//! accepts the split or escalates the node, and an escalated node is
+//! pinned to the exact path (`force_exact`) so the rescan can never be
+//! sampled again. The scheduler asserts a node is never planned while it
+//! still holds sampled bytes — the escalation double-count guard.
+
+use crate::request::NodeId;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Fixed hash seed for block admission. A constant (rather than a
+/// per-run value) makes sampled runs reproducible end to end; tests that
+/// want a *different* sample vary the fraction instead.
+pub const SAMPLE_SEED: u64 = 0x5ca1_ec1a_0055_aa33;
+
+/// Plan-level tag for a batch served from a block sample: the scheduler
+/// attaches it to the chosen [`BatchPlan`](crate::scheduler::BatchPlan)
+/// and the session threads it through the scan and into each fulfilled
+/// CC table, where the client reads the fraction back to scale counts
+/// and size confidence intervals.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SampledScan {
+    /// Sampling fraction in `(0, 1)`; the expected share of blocks (and
+    /// therefore rows) the scan admits.
+    pub fraction: f64,
+}
+
+/// Deterministic block-admission filter: block `i` is in the sample iff
+/// `splitmix64(seed ^ i) < fraction · 2^64`.
+#[derive(Debug, Clone, Copy)]
+pub struct BlockSampler {
+    threshold: u64,
+    complete: bool,
+    fraction: f64,
+}
+
+/// SplitMix64 finalizer — a full-avalanche 64-bit mix, so consecutive
+/// block indices land uniformly across `[0, 2^64)` and the admitted set
+/// hits the target fraction without clustering.
+fn splitmix64(index: u64) -> u64 {
+    let mut z = index.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl BlockSampler {
+    /// Sampler admitting an expected `fraction` of blocks. Fractions at
+    /// or above 1 admit every block (a complete "sample"); NaN and
+    /// non-positive fractions admit none.
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    pub fn new(fraction: f64) -> Self {
+        let f = if fraction.is_finite() {
+            fraction.clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+        // analyze:allow(accounting-arith): scaling a clamped fraction to a
+        // 2^64 admission threshold needs a float product and a saturating
+        // `as` cast; there is no checked_* for f64.
+        let threshold = (f * 18_446_744_073_709_551_616.0) as u64;
+        BlockSampler {
+            threshold,
+            complete: f >= 1.0,
+            fraction: f,
+        }
+    }
+
+    /// The (clamped) fraction this sampler was built with.
+    pub fn fraction(&self) -> f64 {
+        self.fraction
+    }
+
+    /// Does this sampler admit every block?
+    pub fn is_complete(&self) -> bool {
+        self.complete
+    }
+
+    /// Is block `index` (a global block/extent number) in the sample?
+    pub fn admits(&self, index: u64) -> bool {
+        self.complete || splitmix64(SAMPLE_SEED ^ index) < self.threshold
+    }
+}
+
+/// Per-session bookkeeping for sampled fulfilments awaiting the client's
+/// accept-or-escalate verdict, plus the set of nodes pinned to the exact
+/// path after escalating.
+#[derive(Debug, Default)]
+pub struct SampledLedger {
+    /// Sampled CC bytes still charged against the lease, per node.
+    held: BTreeMap<NodeId, u64>,
+    /// Nodes whose rescan must run exact (escalated, §13 escape hatch).
+    force_exact: BTreeSet<NodeId>,
+}
+
+impl SampledLedger {
+    /// Charge `bytes` of sampled CC memory to `node` until the client's
+    /// verdict arrives.
+    pub fn hold(&mut self, node: NodeId, bytes: u64) {
+        self.held.insert(node, bytes);
+    }
+
+    /// Release `node`'s sampled CC charge (accept or escalate both end
+    /// the hold). Returns the released bytes, or `None` if nothing was
+    /// held — callers treat a double release as a no-op.
+    pub fn release(&mut self, node: NodeId) -> Option<u64> {
+        self.held.remove(&node)
+    }
+
+    /// Is `node` still holding sampled CC bytes?
+    pub fn is_held(&self, node: NodeId) -> bool {
+        self.held.contains_key(&node)
+    }
+
+    /// Total sampled CC bytes currently charged against the lease.
+    pub fn held_bytes(&self) -> u64 {
+        self.held.values().fold(0u64, |a, b| a.saturating_add(*b))
+    }
+
+    /// Pin `node` to the exact access path (called on escalation).
+    pub fn mark_exact(&mut self, node: NodeId) {
+        self.force_exact.insert(node);
+    }
+
+    /// Unpin `node` once its exact rescan has been served.
+    pub fn clear_exact(&mut self, node: NodeId) {
+        self.force_exact.remove(&node);
+    }
+
+    /// Must `node` be scanned exactly (it escalated earlier)?
+    pub fn must_run_exact(&self, node: NodeId) -> bool {
+        self.force_exact.contains(&node)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admission_is_deterministic() {
+        let a = BlockSampler::new(0.3);
+        let b = BlockSampler::new(0.3);
+        for i in 0..10_000u64 {
+            assert_eq!(a.admits(i), b.admits(i));
+        }
+    }
+
+    #[test]
+    fn empirical_fraction_tracks_target() {
+        for &f in &[0.05, 0.1, 0.25, 0.5, 0.9] {
+            let s = BlockSampler::new(f);
+            let hits = (0..100_000u64).filter(|&i| s.admits(i)).count();
+            let got = hits as f64 / 100_000.0;
+            assert!(
+                (got - f).abs() < 0.01,
+                "fraction {f}: admitted {got} of blocks"
+            );
+        }
+    }
+
+    #[test]
+    fn boundary_fractions() {
+        let none = BlockSampler::new(0.0);
+        let all = BlockSampler::new(1.0);
+        let nan = BlockSampler::new(f64::NAN);
+        let over = BlockSampler::new(7.5);
+        for i in 0..1000u64 {
+            assert!(!none.admits(i), "fraction 0 admits nothing");
+            assert!(all.admits(i), "fraction 1 admits everything");
+            assert!(!nan.admits(i), "NaN degrades to off");
+            assert!(over.admits(i), "clamped to complete");
+        }
+        assert!(all.is_complete());
+        assert!(over.is_complete());
+        assert!(!BlockSampler::new(0.999).is_complete());
+    }
+
+    #[test]
+    fn ledger_hold_release_cycle() {
+        let mut ledger = SampledLedger::default();
+        let (a, b) = (NodeId(1), NodeId(2));
+        ledger.hold(a, 100);
+        ledger.hold(b, 50);
+        assert_eq!(ledger.held_bytes(), 150);
+        assert!(ledger.is_held(a));
+        assert_eq!(ledger.release(a), Some(100));
+        assert_eq!(ledger.release(a), None, "double release is a no-op");
+        assert_eq!(ledger.held_bytes(), 50);
+
+        assert!(!ledger.must_run_exact(b));
+        ledger.mark_exact(b);
+        assert!(ledger.must_run_exact(b));
+        ledger.clear_exact(b);
+        assert!(!ledger.must_run_exact(b));
+    }
+}

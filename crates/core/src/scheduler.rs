@@ -19,8 +19,9 @@
 //!   staging disabled, server → memory staging is direct.
 
 use crate::config::{FileStagingPolicy, MiddlewareConfig};
-use crate::estimator::{data_bytes, est_cc_bytes_kind, est_cc_bytes_upper};
+use crate::estimator::{data_bytes, est_cc_bytes_kind, est_cc_bytes_upper, sampled_scan_cost_rows};
 use crate::request::{CcRequest, DataLocation, Lineage, NodeId};
+use crate::sample::{SampledLedger, SampledScan};
 use crate::staging::StagingManager;
 
 /// One scheduled node within a batch.
@@ -56,6 +57,10 @@ pub struct BatchPlan {
     /// write one new smaller file holding the union of the scheduled
     /// nodes' rows, replacing their claim on the big file.
     pub split_file: bool,
+    /// Serve this batch from a block-level sample instead of a full scan
+    /// (DESIGN.md §13). Sampled batches never stage or split files — a
+    /// partial scan would silently truncate the staged set.
+    pub sampled: Option<SampledScan>,
 }
 
 impl BatchPlan {
@@ -90,6 +95,14 @@ impl BatchPlan {
 /// [`crate::session::BudgetArbiter`], not the global
 /// `config.memory_budget_bytes` (a lone session's lease *is* the whole
 /// budget, so single-session behaviour is unchanged).
+///
+/// `sampled` is the session's accept-or-escalate ledger (DESIGN.md §13):
+/// its held bytes shrink the counting budget (fulfilled sampled CC tables
+/// stay charged until the client's verdict), its force-exact set pins
+/// escalated nodes to the exact path, and scheduling a node that still
+/// holds sampled bytes is a double-count bug this function asserts
+/// against.
+#[allow(clippy::too_many_arguments)]
 pub fn schedule(
     pending: &mut Vec<CcRequest>,
     staging: &StagingManager,
@@ -98,6 +111,7 @@ pub fn schedule(
     nclasses: u64,
     arity: usize,
     lease_bytes: u64,
+    sampled: &SampledLedger,
 ) -> Option<BatchPlan> {
     if pending.is_empty() {
         return None;
@@ -153,7 +167,12 @@ pub fn schedule(
     // block granularity, but its per-block growth bound is reserved before
     // any block is counted, so nothing scheduled here can overshoot the
     // lease mid-block; dense eligibility below is likewise untouched.
-    let cc_budget = lease_bytes.saturating_sub(staging.staged_mem_bytes());
+    // Sampled CC tables awaiting the client's accept-or-escalate verdict
+    // are still middleware memory; their held bytes shrink admission
+    // exactly like staged data.
+    let cc_budget = lease_bytes
+        .saturating_sub(staging.staged_mem_bytes())
+        .saturating_sub(sampled.held_bytes());
     let cap = config.max_batch_nodes.unwrap_or(usize::MAX);
     let mut admitted: Vec<usize> = Vec::new();
     let mut cc_reserved = 0u64;
@@ -205,7 +224,25 @@ pub fn schedule(
         source,
         nodes: scheduled,
         split_file: false,
+        sampled: None,
     };
+    // Escalation double-count guard: a node's sampled CC bytes must be
+    // released before its exact rescan reserves counting memory — a node
+    // scheduled while still holding a sampled table would charge the
+    // lease twice for one set of counts.
+    debug_assert!(
+        plan.nodes.iter().all(|n| !sampled.is_held(n.req.node())),
+        "scheduled a node that still holds a sampled CC table"
+    );
+    plan.sampled = plan_sample(&plan, config, sampled);
+    if plan.sampled.is_some() {
+        // A partial scan can neither stage nor split files — the staged
+        // set would silently miss every skipped block. Staging waits for
+        // an exact round (the sampling analogue of Rule 6's "stage on a
+        // later round"), which also keeps the stage-vs-rescan arithmetic
+        // below reasoning about full scans only.
+        return Some(plan);
+    }
     // Bytes of data the whole frontier (this batch + still-queued
     // requests) will touch — staging may use the budget aggressively only
     // when everything left fits.
@@ -240,6 +277,37 @@ fn dense_eligible(req: &CcRequest, col_cards: &[u64], cap: u64, nclasses: u64) -
         .map(|&a| col_cards.get(usize::from(a)).copied().unwrap_or(u64::MAX));
     let bytes = crate::cc::dense_physical_bytes(cards, nclasses);
     bytes > 0 && bytes <= cap
+}
+
+/// Should this batch be served from a block sample? Eligibility plus the
+/// §13 cost model: the mode is on with a genuinely partial fraction,
+/// every node is big enough for a multi-block sample and not pinned to
+/// the exact path by an earlier escalation, and the priced sampled scan
+/// (`fraction × rows + escalation prior × rows`) beats the exact scan it
+/// replaces. One ineligible node makes the whole batch exact — a batch
+/// shares one physical scan, and a half-sampled scan serves nobody
+/// correctly.
+fn plan_sample(
+    plan: &BatchPlan,
+    config: &MiddlewareConfig,
+    sampled: &SampledLedger,
+) -> Option<SampledScan> {
+    let fraction = config.sampled_fraction;
+    if fraction <= 0.0 || fraction >= 1.0 {
+        return None;
+    }
+    let eligible = plan
+        .nodes
+        .iter()
+        .all(|n| n.req.rows >= config.sampled_min_rows && !sampled.must_run_exact(n.req.node()));
+    if !eligible {
+        return None;
+    }
+    let relevant = plan.relevant_rows();
+    if sampled_scan_cost_rows(relevant, fraction) >= relevant {
+        return None;
+    }
+    Some(SampledScan { fraction })
 }
 
 /// Apply Rules 4–6 plus the file-policy specifics to the plan.
@@ -400,7 +468,8 @@ mod tests {
             &CARDS,
             NCLASSES,
             ARITY,
-            1 << 20
+            1 << 20,
+            &SampledLedger::default()
         )
         .is_none());
     }
@@ -421,6 +490,7 @@ mod tests {
             NCLASSES,
             ARITY,
             1 << 20,
+            &SampledLedger::default(),
         )
         .unwrap();
         assert_eq!(plan.source, DataLocation::Server);
@@ -449,6 +519,7 @@ mod tests {
             NCLASSES,
             ARITY,
             small_budget,
+            &SampledLedger::default(),
         )
         .unwrap();
         assert_eq!(plan.nodes.len(), 1);
@@ -460,7 +531,17 @@ mod tests {
     fn always_admits_at_least_one() {
         let staging = StagingManager::new(None).unwrap();
         let mut q = vec![req(1, 1_000_000, child_lineage(1, 0))];
-        let plan = schedule(&mut q, &staging, &config(1), &CARDS, NCLASSES, ARITY, 1).unwrap();
+        let plan = schedule(
+            &mut q,
+            &staging,
+            &config(1),
+            &CARDS,
+            NCLASSES,
+            ARITY,
+            1,
+            &SampledLedger::default(),
+        )
+        .unwrap();
         assert_eq!(plan.nodes.len(), 1);
     }
 
@@ -495,6 +576,7 @@ mod tests {
             NCLASSES,
             ARITY,
             1 << 20,
+            &SampledLedger::default(),
         )
         .unwrap();
         assert!(matches!(plan.source, DataLocation::Memory(_)));
@@ -510,6 +592,7 @@ mod tests {
             NCLASSES,
             ARITY,
             1 << 20,
+            &SampledLedger::default(),
         )
         .unwrap();
         assert!(matches!(plan2.source, DataLocation::File(_)));
@@ -524,6 +607,7 @@ mod tests {
             NCLASSES,
             ARITY,
             1 << 20,
+            &SampledLedger::default(),
         )
         .unwrap();
         assert_eq!(plan3.source, DataLocation::Server);
@@ -565,6 +649,7 @@ mod tests {
             NCLASSES,
             ARITY,
             1 << 20,
+            &SampledLedger::default(),
         )
         .unwrap();
         let ids = plan.node_ids();
@@ -593,6 +678,7 @@ mod tests {
             NCLASSES,
             ARITY,
             cfg.memory_budget_bytes,
+            &SampledLedger::default(),
         )
         .unwrap();
         assert!(plan.nodes.iter().all(|n| n.stage_file));
@@ -618,6 +704,7 @@ mod tests {
             NCLASSES,
             ARITY,
             cfg.memory_budget_bytes,
+            &SampledLedger::default(),
         )
         .unwrap();
         let staged: Vec<_> = plan.nodes.iter().filter(|n| n.stage_file).collect();
@@ -640,6 +727,7 @@ mod tests {
             NCLASSES,
             ARITY,
             cfg.memory_budget_bytes,
+            &SampledLedger::default(),
         )
         .unwrap();
         assert!(plan2.nodes.iter().all(|n| !n.stage_file));
@@ -673,6 +761,7 @@ mod tests {
             NCLASSES,
             ARITY,
             cfg.memory_budget_bytes,
+            &SampledLedger::default(),
         )
         .unwrap();
         assert!(matches!(plan.source, DataLocation::File(_)));
@@ -688,6 +777,7 @@ mod tests {
             NCLASSES,
             ARITY,
             cfg.memory_budget_bytes,
+            &SampledLedger::default(),
         )
         .unwrap();
         assert!(!plan2.split_file);
@@ -716,6 +806,7 @@ mod tests {
             NCLASSES,
             ARITY,
             cfg.memory_budget_bytes,
+            &SampledLedger::default(),
         )
         .unwrap();
         let staged: Vec<u64> = plan
@@ -744,6 +835,7 @@ mod tests {
             NCLASSES,
             ARITY,
             cfg.memory_budget_bytes,
+            &SampledLedger::default(),
         )
         .unwrap();
         assert!(plan.nodes.iter().all(|n| !n.stage_mem));
@@ -766,6 +858,7 @@ mod tests {
             NCLASSES,
             ARITY,
             cfg.memory_budget_bytes,
+            &SampledLedger::default(),
         )
         .unwrap();
         assert!(plan.nodes[0].stage_mem);
@@ -792,6 +885,7 @@ mod tests {
             NCLASSES,
             ARITY,
             ample.memory_budget_bytes,
+            &SampledLedger::default(),
         )
         .unwrap();
         assert!(plan.nodes[0].dense);
@@ -811,6 +905,7 @@ mod tests {
             NCLASSES,
             ARITY,
             cfg.memory_budget_bytes,
+            &SampledLedger::default(),
         )
         .unwrap();
         assert!(!plan.nodes[0].dense);
@@ -830,6 +925,7 @@ mod tests {
             NCLASSES,
             ARITY,
             cfg.memory_budget_bytes,
+            &SampledLedger::default(),
         )
         .unwrap();
         assert!(!plan.nodes[0].dense, "3×4×2×8 = 192 bytes > 100-byte cap");
@@ -845,6 +941,7 @@ mod tests {
             NCLASSES,
             ARITY,
             ample.memory_budget_bytes,
+            &SampledLedger::default(),
         )
         .unwrap();
         assert!(!plan.nodes[0].dense);
@@ -892,6 +989,7 @@ mod tests {
             NCLASSES,
             ARITY,
             budget,
+            &SampledLedger::default(),
         )
         .unwrap();
         assert_eq!(plan.nodes.len(), 2, "both fit without the shared charge");
@@ -905,6 +1003,7 @@ mod tests {
             NCLASSES,
             ARITY,
             budget,
+            &SampledLedger::default(),
         )
         .unwrap();
         assert_eq!(
@@ -940,6 +1039,7 @@ mod tests {
                 NCLASSES,
                 ARITY,
                 cfg.memory_budget_bytes,
+                &SampledLedger::default(),
             )
             .unwrap();
             assert_eq!(plan.nodes.len(), 3);

@@ -20,6 +20,7 @@
 //! each session asserts its staged memory bytes against the lease it
 //! scheduled under.
 
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
@@ -29,12 +30,13 @@ use crate::config::{AuxMode, MiddlewareConfig};
 use crate::error::{MwError, MwResult};
 use crate::executor::{BatchCounter, NodeCounter};
 use crate::filter::union_filter;
-use crate::metrics::{ArbiterStats, MiddlewareStats, ScanStats};
+use crate::metrics::{ArbiterStats, MiddlewareStats, ScanStats, WorkerScanStats};
 use crate::parallel::RowSink;
 use crate::request::{CcRequest, DataLocation, Lineage, NodeId};
+use crate::sample::{BlockSampler, SampledLedger, SampledScan};
 use crate::scheduler::{schedule, BatchPlan};
 use crate::sqlgen::cc_via_sql;
-use crate::staging::StagingManager;
+use crate::staging::{ExtentReader, StagingManager};
 use scaleclass_sqldb::stats::DbStats;
 use scaleclass_sqldb::{Code, Database, KeysetCursor, Pred, Schema, StatsSnapshot, CODE_BYTES};
 
@@ -362,6 +364,13 @@ pub struct Session {
     stats: MiddlewareStats,
     scan_stats: ScanStats,
     aux: Vec<AuxHandle>,
+    /// Accept-or-escalate bookkeeping for the sampled counting mode
+    /// (DESIGN.md §13): bytes of sampled CC tables still awaiting the
+    /// client's verdict, plus nodes pinned to the exact path.
+    sampled: SampledLedger,
+    /// The original request behind each outstanding sampled fulfilment, so
+    /// [`Session::escalate`] can requeue it verbatim for the exact rescan.
+    sampled_reqs: BTreeMap<NodeId, CcRequest>,
 }
 
 impl Session {
@@ -390,6 +399,8 @@ impl Session {
             stats: MiddlewareStats::new(),
             scan_stats: ScanStats::default(),
             aux: Vec::new(),
+            sampled: SampledLedger::default(),
+            sampled_reqs: BTreeMap::new(),
         })
     }
 
@@ -561,6 +572,39 @@ impl Session {
         !self.pending.is_empty()
     }
 
+    /// Bytes of sampled CC tables still awaiting an accept-or-escalate
+    /// verdict. They shrink the counting budget of every batch scheduled
+    /// in between (DESIGN.md §13).
+    pub fn sampled_held_bytes(&self) -> u64 {
+        self.sampled.held_bytes()
+    }
+
+    /// Client verdict on a sampled fulfilment: the confidence interval
+    /// separated the winning split, so the sampled counts stand. Releases
+    /// the table's lease charge. Idempotent; a no-op for nodes that never
+    /// had an outstanding sampled fulfilment.
+    pub fn accept_sampled(&mut self, node: NodeId) {
+        self.sampled.release(node);
+        self.sampled_reqs.remove(&node);
+    }
+
+    /// Client verdict on a sampled fulfilment: the sample could not
+    /// separate the best split, so the node escalates to an exact scan
+    /// (the §13 escape hatch). Releases the sampled table's lease charge
+    /// *first* (double-count guard), pins the node to the exact path, and
+    /// requeues the original request verbatim. Returns `false` (and does
+    /// nothing) if the node has no outstanding sampled fulfilment.
+    pub fn escalate(&mut self, node: NodeId) -> bool {
+        let Some(req) = self.sampled_reqs.remove(&node) else {
+            return false;
+        };
+        self.sampled.release(node);
+        self.sampled.mark_exact(node);
+        self.stats.escalated_nodes += 1;
+        self.pending.push(req);
+        true
+    }
+
     /// Service one scheduled batch: pick requests (Rules 1–3), scan once,
     /// stage data (Rules 4–6), and return the fulfilled counts tables.
     /// Returns an empty vector when no requests are pending. All budget
@@ -596,11 +640,23 @@ impl Session {
             self.backend.nclasses,
             self.backend.arity,
             lease_bytes,
+            &self.sampled,
         ) else {
             return Ok(Vec::new());
         };
 
         let source = plan.source;
+        let mut sampled_tag = plan.sampled;
+        // Legacy row-stream staged files carry no extent directory, so
+        // there is no block structure to sample — degrade to exact rather
+        // than mis-tag a complete scan as a sample.
+        if sampled_tag.is_some() {
+            if let DataLocation::File(id) = source {
+                if self.staging.extent_layout(id)?.is_none() {
+                    sampled_tag = None;
+                }
+            }
+        }
         // The §4.3.3 threshold is judged on the *whole frontier's* relevant
         // data (batch + still-queued requests), not this batch alone — the
         // paper observes the techniques only apply once the active data set
@@ -610,10 +666,13 @@ impl Session {
         // Serial or parallel counting behind one row interface — the scan
         // drivers below never know which one runs.
         let sink = RowSink::new(batch, &self.backend.config);
-        let sink = match source {
-            DataLocation::Memory(id) => self.scan_memory(id, sink)?,
-            DataLocation::File(id) => self.scan_file(id, sink)?,
-            DataLocation::Server => self.scan_server(sink, frontier_rows)?,
+        let sink = match (source, sampled_tag) {
+            (DataLocation::Memory(id), Some(tag)) => self.scan_memory_sampled(id, sink, tag)?,
+            (DataLocation::File(id), Some(tag)) => self.scan_file_sampled(id, sink, tag)?,
+            (DataLocation::Server, Some(tag)) => self.scan_server_sampled(sink, tag)?,
+            (DataLocation::Memory(id), None) => self.scan_memory(id, sink)?,
+            (DataLocation::File(id), None) => self.scan_file(id, sink)?,
+            (DataLocation::Server, None) => self.scan_server(sink, frontier_rows)?,
         };
         let batch = sink.finish(&mut self.stats)?;
         // Shadow checkpoint (DESIGN.md §9): the batch's incremental CC and
@@ -621,7 +680,7 @@ impl Session {
         // before eviction/commit decisions are applied from it.
         #[cfg(debug_assertions)]
         batch.assert_shadow_accounting();
-        let out = self.finish_batch(batch, source)?;
+        let out = self.finish_batch(batch, source, sampled_tag)?;
         // And after commits/evictions: the staging manager's incremental
         // staged-byte counter must match its live memory sets, the leases
         // must sum within the global budget, and this session's staged
@@ -882,6 +941,145 @@ impl Session {
         Ok(sink)
     }
 
+    // ------------------------------------------------------------------
+    // Sampled scan drivers (DESIGN.md §13)
+    // ------------------------------------------------------------------
+    //
+    // Each mirrors its exact counterpart but admits whole blocks — memory
+    // scan blocks, staged-file extents, or server row ranges — through the
+    // deterministic `BlockSampler`, charging `sampled_rows_scanned` for
+    // what it read and `exact_rows_saved` for what it skipped.
+
+    fn scan_memory_sampled(
+        &mut self,
+        id: u64,
+        mut sink: RowSink,
+        tag: SampledScan,
+    ) -> MwResult<RowSink> {
+        self.stats.memory_scans += 1;
+        let set = self
+            .staging
+            .mem_set(id)
+            .ok_or_else(|| MwError::Internal(format!("scheduled memory set {id} missing")))?;
+        let rows = &set.rows;
+        let arity = self.backend.arity;
+        let block_codes = self.backend.config.scan_block_rows.max(1) * arity;
+        let sampler = BlockSampler::new(tag.fraction);
+        let mut read = 0u64;
+        let mut skipped = 0u64;
+        for (k, block) in rows.chunks(block_codes).enumerate() {
+            let block_rows = (block.len() / arity) as u64;
+            if sampler.admits(k as u64) {
+                sink.process_block(block, &mut self.stats)?;
+                read += block_rows;
+            } else {
+                skipped += block_rows;
+            }
+        }
+        self.stats.memory_rows_read += read;
+        self.stats.sampled_rows_scanned += read;
+        self.stats.exact_rows_saved += skipped;
+        Ok(sink)
+    }
+
+    fn scan_file_sampled(
+        &mut self,
+        id: u64,
+        mut sink: RowSink,
+        tag: SampledScan,
+    ) -> MwResult<RowSink> {
+        self.stats.file_scans += 1;
+        let layout = self.staging.extent_layout(id)?.ok_or_else(|| {
+            MwError::Internal(format!("sampled scan of file {id} without extent layout"))
+        })?;
+        let arity = self.backend.arity;
+        let row_bytes = (arity * CODE_BYTES) as u64;
+        let block_codes = self.backend.config.scan_block_rows.max(1) * arity;
+        let sampler = BlockSampler::new(tag.fraction);
+        let mut reader = ExtentReader::open(&layout)?;
+        let mut ws = WorkerScanStats::default();
+        let mut flat: Vec<Code> = Vec::new();
+        let mut read = 0u64;
+        let mut skipped = 0u64;
+        // Serial extent loop even under `scan_workers > 1`: a sampled scan
+        // reads a fraction of the file, so the sharded-reader setup cost
+        // is rarely worth it and the serial path keeps admission identical
+        // across worker counts by construction.
+        for k in 0..layout.extents {
+            if !sampler.admits(k) {
+                skipped += layout.rows_in_extent(k) as u64;
+                continue;
+            }
+            let nrows = reader.read_extent(k, &mut flat, &mut ws)?;
+            for block in flat.chunks(block_codes) {
+                sink.process_block(block, &mut self.stats)?;
+            }
+            read += nrows as u64;
+        }
+        self.stats.file_rows_read += read;
+        self.stats.file_bytes_read += read * row_bytes;
+        self.stats.sampled_rows_scanned += read;
+        self.stats.exact_rows_saved += skipped;
+        self.scan_stats.absorb(&[ws]);
+        Ok(sink)
+    }
+
+    fn scan_server_sampled(&mut self, mut sink: RowSink, tag: SampledScan) -> MwResult<RowSink> {
+        self.stats.server_scans += 1;
+        let filter = union_filter(&sink.nodes().iter().map(|n| &n.req).collect::<Vec<_>>());
+        let arity = self.backend.arity;
+        let pushed = if self.backend.config.push_filters {
+            filter
+        } else {
+            Pred::True
+        };
+        // Admit whole physical blocks of `scan_block_rows` rows and merge
+        // adjacent admitted blocks into ranges — the server's block cursor
+        // (the TABLESAMPLE SYSTEM analogue) then never touches, and never
+        // charges, the rows in between. Aux structures (§4.3.3) are not
+        // consulted: a sample exists to make the *plain* scan cheap.
+        let block_rows = self.backend.config.scan_block_rows.max(1) as u64;
+        let table_rows = self.backend.table_rows;
+        let sampler = BlockSampler::new(tag.fraction);
+        let nblocks = table_rows.div_ceil(block_rows.max(1));
+        let mut ranges: Vec<(u64, u64)> = Vec::new();
+        let mut covered = 0u64;
+        for b in 0..nblocks {
+            if !sampler.admits(b) {
+                continue;
+            }
+            let start = b * block_rows;
+            let end = (start + block_rows).min(table_rows);
+            covered += end - start;
+            match ranges.last_mut() {
+                Some(last) if last.1 == start => last.1 = end,
+                _ => ranges.push((start, end)),
+            }
+        }
+        let db = self.backend.db_read();
+        let mut cursor = db.open_block_cursor(
+            &self.backend.table,
+            pushed,
+            self.backend.config.wire_batch_rows,
+            ranges,
+        )?;
+        let block_codes = self.backend.config.scan_block_rows.max(1) * arity;
+        let mut flat: Vec<Code> =
+            Vec::with_capacity(self.backend.config.wire_batch_rows.saturating_mul(arity));
+        loop {
+            flat.clear();
+            if cursor.fetch(&mut flat)? == 0 {
+                break;
+            }
+            for block in flat.chunks(block_codes) {
+                sink.process_block(block, &mut self.stats)?;
+            }
+        }
+        self.stats.sampled_rows_scanned += covered;
+        self.stats.exact_rows_saved += table_rows.saturating_sub(covered);
+        Ok(sink)
+    }
+
     /// Build the configured §4.3.3 structure for the scheduled nodes,
     /// recording the server cost of the build separately so experiments can
     /// report the "idealized" number that neglects it.
@@ -1004,6 +1202,7 @@ impl Session {
         &mut self,
         batch: BatchCounter,
         source: DataLocation,
+        sampled_tag: Option<SampledScan>,
     ) -> MwResult<Vec<FulfilledCc>> {
         let BatchCounter {
             nodes,
@@ -1053,12 +1252,27 @@ impl Session {
             } else {
                 cc
             };
+            // The SQL fallback counts exactly even inside a sampled batch,
+            // so only non-fallback nodes carry the sample tag.
+            let sample = if fallback { None } else { sampled_tag };
+            if sample.is_some() {
+                // The sampled table stays charged against the lease until
+                // the client accepts or escalates; keep the request so an
+                // escalation can requeue it verbatim.
+                self.sampled.hold(req.node(), cc.memory_bytes());
+                self.sampled_reqs.insert(req.node(), req.clone());
+                self.stats.sampled_nodes += 1;
+            } else {
+                // An exact fulfilment settles any earlier escalation.
+                self.sampled.clear_exact(req.node());
+            }
             self.stats.requests_served += 1;
             out.push(FulfilledCc {
                 node: req.node(),
                 cc,
                 source,
                 via_sql_fallback: fallback,
+                sample,
             });
         }
         self.stats.rounds += 1;

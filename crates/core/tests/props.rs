@@ -3,6 +3,7 @@
 
 use proptest::prelude::*;
 use scaleclass::estimator::{est_cc_bytes_upper, est_cc_entries};
+use scaleclass::sample::SampledLedger;
 use scaleclass::scheduler::schedule;
 use scaleclass::staging::StagingManager;
 use scaleclass::{
@@ -253,7 +254,7 @@ proptest! {
             .map(|i| request_for(&rows, i as u64 + 1, Pred::Eq { col: 0, value: (i % 4) as u16 }))
             .collect();
         let original: Vec<NodeId> = pending.iter().map(|r| r.node()).collect();
-        let plan = schedule(&mut pending, &staging, &config, &[4, 3, 5, 2], 2, 4, budget).unwrap();
+        let plan = schedule(&mut pending, &staging, &config, &[4, 3, 5, 2], 2, 4, budget, &SampledLedger::default()).unwrap();
 
         let mut seen: Vec<NodeId> = plan.node_ids();
         seen.extend(pending.iter().map(|r| r.node()));
@@ -283,7 +284,7 @@ proptest! {
             .iter()
             .map(|r| (r.node(), est_cc_bytes_upper(r, 2)))
             .collect();
-        let plan = schedule(&mut pending, &staging, &config, &[4, 3, 5, 2], 2, 4, budget).unwrap();
+        let plan = schedule(&mut pending, &staging, &config, &[4, 3, 5, 2], 2, 4, budget, &SampledLedger::default()).unwrap();
         let reserved: u64 = plan.node_ids().iter().map(|id| bounds[id]).sum();
         let first = bounds[&plan.node_ids()[0]];
         prop_assert!(

@@ -216,6 +216,44 @@ pub fn trees_structurally_equal(a: &DecisionTree, b: &DecisionTree) -> bool {
     }
 }
 
+/// Split-level structural equality: same shape, same edge predicates,
+/// same splits at internal nodes, and fully identical leaves (class,
+/// rows, class counts) — but blind to the `rows`/`class_counts`
+/// metadata of *internal* nodes. This is the right notion of "identical
+/// tree" for sampled counting (DESIGN.md §13): internal nodes reached
+/// through an accepted sampled split carry scaled row estimates, while
+/// every decision the tree encodes — splits, shape, leaf distributions —
+/// is still produced from exact counts.
+pub fn trees_same_splits(a: &DecisionTree, b: &DecisionTree) -> bool {
+    fn eq(a: &DecisionTree, ai: usize, b: &DecisionTree, bi: usize) -> bool {
+        let (na, nb) = (a.node(ai), b.node(bi));
+        if na.edge != nb.edge || na.children.len() != nb.children.len() {
+            return false;
+        }
+        let states_match = match (&na.state, &nb.state) {
+            (NodeState::Leaf { class: ca }, NodeState::Leaf { class: cb }) => {
+                ca == cb && na.rows == nb.rows && na.class_counts == nb.class_counts
+            }
+            (NodeState::Partitioned { split: sa }, NodeState::Partitioned { split: sb }) => {
+                sa == sb
+            }
+            (NodeState::Active, NodeState::Active) => true,
+            _ => false,
+        };
+        states_match
+            && na
+                .children
+                .iter()
+                .zip(&nb.children)
+                .all(|(&ca, &cb)| eq(a, ca, b, cb))
+    }
+    match (a.is_empty(), b.is_empty()) {
+        (true, true) => true,
+        (false, false) => eq(a, 0, b, 0),
+        _ => false,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -10,7 +10,7 @@
 //! shared with the in-memory baseline client so both provably grow the
 //! *same* tree from the same data.
 
-use crate::split::{best_split, Scorer, Split, SplitKind};
+use crate::split::{best_split, best_two_splits, score_half_width, Scorer, Split, SplitKind};
 use crate::tree::{DecisionTree, Edge, NodeState, TreeNode};
 use scaleclass::{CcRequest, CountsTable, Middleware, MwResult, NodeId};
 use scaleclass_sqldb::{Code, Pred};
@@ -189,6 +189,65 @@ pub fn derive_children(cc: &CountsTable, split: &Split, attrs: &[u16]) -> Vec<Ch
     }
 }
 
+/// Outcome of judging a *sampled* CC table (DESIGN.md §13).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SampledDecision {
+    /// The winning split's confidence interval cleared zero and separated
+    /// from the runner-up: partition on it without an exact scan.
+    Split(Split),
+    /// The sample could not settle the node — would-be leaf, unbounded
+    /// measure, or overlapping intervals. Rescan exactly.
+    Escalate,
+}
+
+/// Scale a block-sampled count up by the sampling fraction (rounded) —
+/// the approximate sizes fed back to the scheduler's cost model through
+/// child requests. Degenerate fractions return the count unchanged.
+pub fn scale_sampled(count: u64, fraction: f64) -> u64 {
+    if !(fraction > 0.0 && fraction < 1.0) {
+        return count;
+    }
+    (count as f64 / fraction).round() as u64
+}
+
+/// Judge a node from block-sampled counts: accept the best split only when
+/// its normal-approximation confidence interval (±[`score_half_width`])
+/// both clears zero and separates from the runner-up's by the full two
+/// half-widths. Everything else — including every would-be *leaf*
+/// decision, whose class distribution becomes output and so must come from
+/// exact counts — escalates to an exact rescan.
+pub fn decide_sampled(
+    cc: &CountsTable,
+    attrs: &[u16],
+    depth: usize,
+    config: &GrowConfig,
+    fraction: f64,
+) -> SampledDecision {
+    let scaled_rows = scale_sampled(cc.total(), fraction);
+    let depth_capped = config.max_depth.is_some_and(|d| depth >= d);
+    if cc.distinct_classes() <= 1
+        || scaled_rows < config.min_rows
+        || depth_capped
+        || attrs.is_empty()
+    {
+        return SampledDecision::Escalate;
+    }
+    let nclasses = cc.distinct_classes() as u64;
+    let Some(hw) = score_half_width(config.scorer, nclasses, cc.total()) else {
+        return SampledDecision::Escalate;
+    };
+    let Some((best, runner)) = best_two_splits(cc, attrs, config.split_kind, config.scorer) else {
+        return SampledDecision::Escalate;
+    };
+    let clears_zero = best.score - hw > 1e-12;
+    let separated = runner.map_or(true, |r| best.score - r >= 2.0 * hw);
+    if clears_zero && separated {
+        SampledDecision::Split(best.split)
+    } else {
+        SampledDecision::Escalate
+    }
+}
+
 /// Would a child with this spec terminate immediately? If so, its class
 /// distribution is already known from the parent's CC table and no counts
 /// request is needed.
@@ -205,8 +264,13 @@ pub fn immediate_leaf(spec: &ChildSpec, depth: usize, config: &GrowConfig) -> bo
 pub struct GrowOutcome {
     /// The grown tree.
     pub tree: DecisionTree,
-    /// Counts requests issued to the middleware.
+    /// Counts requests issued to the middleware (escalation rescans
+    /// included).
     pub requests_issued: u64,
+    /// Sampled fulfilments whose split the confidence interval accepted.
+    pub sampled_accepts: u64,
+    /// Sampled fulfilments escalated to an exact rescan (§13).
+    pub escalations: u64,
 }
 
 /// Grow a full decision tree through the middleware (the synchronous
@@ -231,6 +295,8 @@ pub fn grow_with_middleware(mw: &mut Middleware, config: &GrowConfig) -> MwResul
     attrs_of.insert(root, root_req.attrs.clone());
     mw.enqueue(root_req)?;
     let mut requests_issued = 1u64;
+    let mut sampled_accepts = 0u64;
+    let mut escalations = 0u64;
 
     while mw.has_pending() {
         let fulfilled = mw.process_next_batch()?;
@@ -239,6 +305,85 @@ pub fn grow_with_middleware(mw: &mut Middleware, config: &GrowConfig) -> MwResul
             let lineage = lineages.remove(&idx).expect("fulfilled node was requested");
             let attrs = attrs_of.remove(&idx).expect("attrs recorded");
             let depth = tree.node(idx).depth;
+
+            // Sampled fulfilment (DESIGN.md §13): accept the split only if
+            // the confidence intervals settle it; otherwise escalate to an
+            // exact rescan and revisit the node when those counts arrive.
+            if let Some(tag) = f.sample {
+                match decide_sampled(&f.cc, &attrs, depth, config, tag.fraction) {
+                    SampledDecision::Escalate => {
+                        // Restore the bookkeeping the exact refulfilment
+                        // will need, then requeue through the session so
+                        // the sampled CC bytes release *before* the exact
+                        // scan is scheduled (double-count guard).
+                        lineages.insert(idx, lineage);
+                        attrs_of.insert(idx, attrs);
+                        let escalated = mw.escalate(f.node);
+                        debug_assert!(escalated, "sampled fulfilment must be outstanding");
+                        escalations += 1;
+                        requests_issued += 1;
+                        continue;
+                    }
+                    SampledDecision::Split(split) => {
+                        mw.accept_sampled(f.node);
+                        sampled_accepts += 1;
+                        let scale = |n: u64| scale_sampled(n, tag.fraction);
+                        let parent_rows = scale(f.cc.total());
+                        {
+                            let node = tree.node_mut(idx);
+                            node.class_counts =
+                                f.cc.class_distribution()
+                                    .map(|(c, n)| (c, scale(n)))
+                                    .collect();
+                            node.rows = parent_rows;
+                            node.source = Some(f.source);
+                        }
+                        let specs = derive_children(&f.cc, &split, &attrs);
+                        tree.node_mut(idx).state = NodeState::Partitioned {
+                            split: split.clone(),
+                        };
+                        for spec in specs {
+                            // No immediate-leaf shortcut from sampled
+                            // counts: a leaf's class distribution is tree
+                            // output and sampled purity proves nothing
+                            // about the blocks the scan skipped. Every
+                            // child gets its own counts request.
+                            let child_rows = scale(spec.rows);
+                            let child_counts: Vec<(Code, u64)> = spec
+                                .class_counts
+                                .iter()
+                                .map(|&(c, n)| (c, scale(n)))
+                                .collect();
+                            let child_idx = tree.push(TreeNode {
+                                id: 0,
+                                parent: Some(idx),
+                                edge: Some(spec.edge),
+                                depth: depth + 1,
+                                state: NodeState::Active,
+                                class_counts: child_counts,
+                                rows: child_rows,
+                                children: Vec::new(),
+                                source: None,
+                            });
+                            let child_lineage =
+                                lineage.child(NodeId(child_idx as u64), spec.edge_pred.clone());
+                            let req = CcRequest {
+                                lineage: child_lineage.clone(),
+                                attrs: spec.attrs.clone(),
+                                class_col: mw.class_col(),
+                                rows: child_rows,
+                                parent_rows,
+                                parent_cards: spec.parent_cards.clone(),
+                            };
+                            lineages.insert(child_idx, child_lineage);
+                            attrs_of.insert(child_idx, spec.attrs);
+                            mw.enqueue(req)?;
+                            requests_issued += 1;
+                        }
+                        continue;
+                    }
+                }
+            }
 
             {
                 let node = tree.node_mut(idx);
@@ -304,6 +449,8 @@ pub fn grow_with_middleware(mw: &mut Middleware, config: &GrowConfig) -> MwResul
     Ok(GrowOutcome {
         tree,
         requests_issued,
+        sampled_accepts,
+        escalations,
     })
 }
 

@@ -44,8 +44,8 @@ pub mod tree;
 
 pub use discretize::{mdl_cut_points, Discretizer};
 pub use eval::{
-    cross_validate, evaluate, feature_importance, tree_accuracy, trees_structurally_equal,
-    ConfusionMatrix,
+    cross_validate, evaluate, feature_importance, tree_accuracy, trees_same_splits,
+    trees_structurally_equal, ConfusionMatrix,
 };
 pub use forest::{grow_forest_with_middleware, Forest, ForestConfig};
 pub use grow::{decide, derive_children, grow_with_middleware, Decision, GrowConfig, GrowOutcome};

@@ -267,6 +267,104 @@ pub fn best_split(
     best
 }
 
+/// Z-value for the sampled-split confidence intervals (DESIGN.md §13):
+/// ±3σ ≈ 99.7% two-sided coverage, deliberately conservative so accepted
+/// sampled splits virtually always match the exact-scan choice — the
+/// escape hatch (escalation) absorbs the ambiguous cases instead.
+pub const SAMPLE_Z: f64 = 3.0;
+
+/// Normal-approximation half-width of a split score's confidence interval
+/// when the score was computed from `sampled_rows` block-sampled rows:
+/// `Z · R / (2√n)`, with `R` the score's range — 1 for Gini, `log2(k)`
+/// for entropy gain over `k` classes. Returns `None` for measures with no
+/// usable bound (gain ratio's normalisation and chi-square's unbounded
+/// statistic), which callers must treat as "cannot accept — escalate".
+pub fn score_half_width(scorer: Scorer, nclasses: u64, sampled_rows: u64) -> Option<f64> {
+    if sampled_rows == 0 {
+        return None;
+    }
+    let range = match scorer {
+        Scorer::Gini => 1.0,
+        Scorer::Entropy => (nclasses.max(2) as f64).log2(),
+        Scorer::GainRatio | Scorer::ChiSquare => return None,
+    };
+    Some(SAMPLE_Z * range / (2.0 * (sampled_rows as f64).sqrt()))
+}
+
+/// Like [`best_split`], but also report the runner-up's score — the best
+/// score among candidates that induce a *different partition* than the
+/// winner. `None` as the second element means the winner was the only
+/// non-degenerate candidate. The winner is selected with exactly
+/// [`best_split`]'s tie-break, so the two functions always agree on it.
+///
+/// Mirror dedup: a binary split on a two-valued attribute produces the
+/// same partition from either value (`A = v` vs `A = w` swaps children),
+/// so only the lower value is enumerated — otherwise every two-valued
+/// winner would "tie" its own mirror and the confidence separation of
+/// [`score_half_width`] could never succeed. [`best_split`]'s tie-break
+/// already prefers the lower value, so the winner is unaffected.
+pub fn best_two_splits(
+    cc: &CountsTable,
+    attrs: &[u16],
+    kind: SplitKind,
+    scorer: Scorer,
+) -> Option<(ScoredSplit, Option<f64>)> {
+    let mut best: Option<ScoredSplit> = None;
+    let mut runner: Option<f64> = None;
+    let mut consider = |cand: ScoredSplit| {
+        let better = match &best {
+            None => true,
+            Some(b) => cand.score > b.score + 1e-12,
+        };
+        if better {
+            if let Some(b) = best.take() {
+                runner = Some(runner.map_or(b.score, |r: f64| r.max(b.score)));
+            }
+            best = Some(cand);
+        } else {
+            runner = Some(runner.map_or(cand.score, |r: f64| r.max(cand.score)));
+        }
+    };
+    for &attr in attrs {
+        let values: Vec<Code> = {
+            let mut vs: Vec<Code> = cc.attr_vector(attr).map(|(v, _, _)| v).collect();
+            vs.dedup();
+            vs
+        };
+        if values.len() < 2 {
+            continue;
+        }
+        match kind {
+            SplitKind::Binary => {
+                // Two values → mirror partitions; enumerate one (see above).
+                let distinct = if values.len() == 2 {
+                    &values[..1]
+                } else {
+                    &values[..]
+                };
+                for &v in distinct {
+                    if let Some(s) = score_split(cc, &Split::Binary { attr, value: v }, scorer) {
+                        consider(s);
+                    }
+                }
+            }
+            SplitKind::Multiway => {
+                if let Some(s) = score_split(
+                    cc,
+                    &Split::Multiway {
+                        attr,
+                        values: values.clone(),
+                    },
+                    scorer,
+                ) {
+                    consider(s);
+                }
+            }
+        }
+    }
+    best.map(|b| (b, runner))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -406,5 +504,65 @@ mod tests {
     fn empty_cc_yields_no_split() {
         let cc = CountsTable::new();
         assert!(best_split(&cc, &[0, 1], SplitKind::Binary, Scorer::Entropy).is_none());
+    }
+
+    #[test]
+    fn half_width_shrinks_with_sample_size() {
+        let hw_small = score_half_width(Scorer::Gini, 2, 100).unwrap();
+        let hw_large = score_half_width(Scorer::Gini, 2, 10_000).unwrap();
+        assert!(hw_large < hw_small);
+        assert!((hw_small / hw_large - 10.0).abs() < 1e-9, "1/√n scaling");
+        // Gini range is 1: hw = 3 / (2·√100) = 0.15.
+        assert!((hw_small - 0.15).abs() < 1e-12);
+        // Entropy range grows with the class count.
+        let e2 = score_half_width(Scorer::Entropy, 2, 100).unwrap();
+        let e8 = score_half_width(Scorer::Entropy, 8, 100).unwrap();
+        assert!((e8 / e2 - 3.0).abs() < 1e-9, "log2(8)/log2(2)");
+    }
+
+    #[test]
+    fn half_width_unavailable_for_unbounded_measures() {
+        assert!(score_half_width(Scorer::GainRatio, 2, 100).is_none());
+        assert!(score_half_width(Scorer::ChiSquare, 2, 100).is_none());
+        assert!(score_half_width(Scorer::Gini, 2, 0).is_none());
+    }
+
+    #[test]
+    fn best_two_agrees_with_best_split_and_reports_runner() {
+        let cc = cc_from(&[[0, 0, 0], [0, 1, 0], [1, 0, 1], [1, 1, 1]]);
+        let solo = best_split(&cc, &[0, 1], SplitKind::Binary, Scorer::Entropy).unwrap();
+        let (best, runner) = best_two_splits(&cc, &[0, 1], SplitKind::Binary, Scorer::Entropy)
+            .expect("non-degenerate candidates exist");
+        assert_eq!(best, solo, "winner identical to best_split");
+        let runner = runner.expect("attr 1 also admits splits");
+        assert!(runner <= best.score);
+        // attr 0 is perfect (gain 1), attr 1 is noise (gain 0): separated.
+        assert!(best.score - runner > 0.9);
+    }
+
+    #[test]
+    fn best_two_runner_none_with_single_candidate() {
+        // One binary attribute, two values → candidates v=0 and v=1 both
+        // exist (same partition, same score) so the runner ties the best;
+        // restrict to a genuinely single-candidate table instead.
+        let mut cc = CountsTable::new();
+        for r in [[0u16, 0, 0], [1, 0, 1]] {
+            cc.add_row(&r, &[0], 2);
+        }
+        let (best, runner) =
+            best_two_splits(&cc, &[0], SplitKind::Multiway, Scorer::Entropy).unwrap();
+        assert!(best.score > 0.0);
+        assert!(runner.is_none(), "multiway on one attr = one candidate");
+    }
+
+    #[test]
+    fn best_two_twin_attributes_tie() {
+        // attrs 0 and 1 are identical copies: the runner-up must tie the
+        // winner, so no confidence interval can separate them.
+        let cc = cc_from(&[[0, 0, 0], [1, 1, 1], [0, 0, 0], [1, 1, 1]]);
+        let (best, runner) =
+            best_two_splits(&cc, &[0, 1], SplitKind::Binary, Scorer::Entropy).unwrap();
+        let runner = runner.unwrap();
+        assert!((best.score - runner).abs() < 1e-9);
     }
 }

@@ -1,0 +1,195 @@
+//! Sampled counting (DESIGN.md §13) integration properties.
+//!
+//! Three guarantees, enforced end to end through the real middleware:
+//!
+//! 1. **Degenerate fractions are exact.** `sampled_counting(1.0)` (and
+//!    `0.0` = off) is bit-identical to the exact path — same tree, same
+//!    logical counters — across worker counts, counting backends, and
+//!    staging modes, because the scheduler only plans a sample for
+//!    `0 < fraction < 1`.
+//! 2. **Seeded determinism.** Block admission hashes a fixed seed with
+//!    the block index, so rerunning the same configuration — at any
+//!    worker count — reproduces the tree and every logical counter.
+//! 3. **Escalation restores exactness.** On margin-thin data (twin
+//!    attributes whose splits tie) every sampled split fails the
+//!    confidence separation, escalates to an exact scan, and the final
+//!    tree is identical to the exact-mode tree.
+
+use scaleclass::{FileStagingPolicy, Middleware, MiddlewareConfig, MiddlewareStats};
+use scaleclass_dtree::{grow_with_middleware, trees_structurally_equal, DecisionTree, GrowConfig};
+use scaleclass_sqldb::{Code, Schema};
+use scaleclass_tests::{load, small_tree_workload};
+
+/// One full middleware-driven grow; returns the tree, the middleware
+/// counters, and the grow loop's (sampled_accepts, escalations).
+fn grow(
+    schema: &Schema,
+    rows: &[Code],
+    class: &str,
+    cfg: MiddlewareConfig,
+    gc: &GrowConfig,
+) -> (DecisionTree, MiddlewareStats, u64, u64) {
+    let db = load(schema, rows);
+    let mut mw = Middleware::new(db, "d", class, cfg).expect("session");
+    let out = grow_with_middleware(&mut mw, gc).expect("grow");
+    (out.tree, *mw.stats(), out.sampled_accepts, out.escalations)
+}
+
+/// Project the deterministic counters out of a stats record: drop
+/// wall-clock timing and pipeline-shape counters that legitimately vary
+/// with worker count (same projection as `crates/core/tests/props.rs`).
+fn logical(s: &MiddlewareStats) -> MiddlewareStats {
+    MiddlewareStats {
+        parallel_scans: 0,
+        sharded_file_scans: 0,
+        scan_blocks: 0,
+        scan_nanos: 0,
+        scan_worker_rows_max: 0,
+        kernel_nanos: 0,
+        blocks_counted: 0,
+        block_fallback_rows: 0,
+        kernel_validate_nanos: 0,
+        kernel_accumulate_nanos: 0,
+        ..*s
+    }
+}
+
+#[test]
+fn full_sample_is_bit_identical_to_exact() {
+    let (schema, rows, _) = small_tree_workload();
+    let gc = GrowConfig::default();
+    for workers in [1usize, 2, 4, 8] {
+        for dense_cap in [0u64, u64::MAX] {
+            for file_staging in [false, true] {
+                let base = || {
+                    let mut b = MiddlewareConfig::builder()
+                        .scan_workers(workers)
+                        .cc_dense_max_bytes(dense_cap)
+                        .sampled_min_rows(0);
+                    if file_staging {
+                        b = b
+                            .memory_caching(false)
+                            .file_policy(FileStagingPolicy::Singleton);
+                    }
+                    b
+                };
+                let (t_exact, s_exact, _, _) = grow(
+                    &schema,
+                    &rows,
+                    "class",
+                    base().sampled_counting(0.0).build(),
+                    &gc,
+                );
+                let (t_full, s_full, accepts, escalations) = grow(
+                    &schema,
+                    &rows,
+                    "class",
+                    base().sampled_counting(1.0).build(),
+                    &gc,
+                );
+                assert!(
+                    trees_structurally_equal(&t_full, &t_exact),
+                    "fraction 1.0 diverged (workers {workers}, dense cap \
+                     {dense_cap}, file {file_staging})"
+                );
+                assert_eq!(
+                    logical(&s_full),
+                    logical(&s_exact),
+                    "fraction 1.0 changed counters (workers {workers}, \
+                     dense cap {dense_cap}, file {file_staging})"
+                );
+                assert_eq!(s_full.sampled_nodes, 0, "no sampled plans at 1.0");
+                assert_eq!(s_full.escalated_nodes, 0);
+                assert_eq!((accepts, escalations), (0, 0));
+            }
+        }
+    }
+}
+
+#[test]
+fn seeded_sampled_runs_are_deterministic() {
+    let (schema, rows, _) = small_tree_workload();
+    let gc = GrowConfig::default();
+    let cfg = |workers: usize| {
+        MiddlewareConfig::builder()
+            .sampled_counting(0.5)
+            .sampled_min_rows(0)
+            .scan_block_rows(64)
+            .stage_extent_rows(64)
+            .scan_workers(workers)
+            .build()
+    };
+    let (t1, s1, a1, e1) = grow(&schema, &rows, "class", cfg(1), &gc);
+    let (t2, s2, a2, e2) = grow(&schema, &rows, "class", cfg(1), &gc);
+    assert!(trees_structurally_equal(&t1, &t2), "same seed, same tree");
+    assert_eq!(logical(&s1), logical(&s2), "same seed, same counters");
+    assert_eq!((a1, e1), (a2, e2));
+
+    // The sampled path actually ran, and its counters reconcile: the
+    // client saw every sampled fulfilment (accept or escalate), and rows
+    // skipped were really saved relative to an exact scan.
+    assert!(s1.sampled_nodes >= 1, "sampling engaged");
+    assert_eq!(s1.sampled_nodes, a1 + e1, "every sampled node answered");
+    assert_eq!(s1.escalated_nodes, e1);
+    assert!(s1.sampled_rows_scanned > 0);
+    assert!(s1.exact_rows_saved > 0, "some blocks were skipped");
+
+    // Block admission is worker-count independent: more workers change
+    // pipeline shape, never the tree.
+    let (t4, s4, _, _) = grow(&schema, &rows, "class", cfg(4), &gc);
+    assert!(trees_structurally_equal(&t1, &t4));
+    assert_eq!(s1.sampled_rows_scanned, s4.sampled_rows_scanned);
+    assert_eq!(s1.exact_rows_saved, s4.exact_rows_saved);
+}
+
+/// Twin attributes (`a1` an exact copy of `a0`) force every competing
+/// split into a runner-up tie, so no confidence interval can separate
+/// them: margin-thin by construction.
+fn twin_workload() -> (Schema, Vec<Code>) {
+    let schema = Schema::from_pairs(&[("a0", 2), ("a1", 2), ("noise", 4), ("class", 2)]);
+    let mut rows = Vec::with_capacity(2_000 * 4);
+    let mut state: u64 = 0x9e37_79b9_7f4a_7c15;
+    for i in 0..2_000u64 {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let a = (i % 2) as Code;
+        let noise = ((state >> 33) % 4) as Code;
+        // class follows a0 with ~10% label noise.
+        let flip = (state >> 7) % 10 == 0;
+        let class = if flip { 1 - a } else { a };
+        rows.extend_from_slice(&[a, a, noise, class]);
+    }
+    (schema, rows)
+}
+
+#[test]
+fn margin_thin_data_escalates_and_matches_exact_tree() {
+    let (schema, rows) = twin_workload();
+    let gc = GrowConfig {
+        min_rows: 50,
+        ..GrowConfig::default()
+    };
+    let exact_cfg = MiddlewareConfig::builder().sampled_counting(0.0).build();
+    let sampled_cfg = MiddlewareConfig::builder()
+        .sampled_counting(0.25)
+        .sampled_min_rows(0)
+        .scan_block_rows(64)
+        .stage_extent_rows(64)
+        .build();
+    let (t_exact, _, _, _) = grow(&schema, &rows, "class", exact_cfg, &gc);
+    let (t_sampled, stats, _, escalations) = grow(&schema, &rows, "class", sampled_cfg, &gc);
+    assert!(
+        escalations >= 1,
+        "twin attributes must defeat the confidence separation"
+    );
+    assert_eq!(stats.escalated_nodes, escalations);
+    assert!(
+        trees_structurally_equal(&t_sampled, &t_exact),
+        "escalated growth diverged from the exact tree \
+         ({} vs {} nodes)",
+        t_sampled.len(),
+        t_exact.len()
+    );
+    assert!(t_exact.len() >= 3, "workload must actually split");
+}
