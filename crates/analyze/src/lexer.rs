@@ -463,6 +463,64 @@ mod tests {
     }
 
     #[test]
+    fn raw_string_lock_shapes_do_not_tokenize() {
+        // Guard tracking keys off `.lock()` / `let g =` token shapes; lock
+        // code quoted inside a raw string must produce no such tokens.
+        let src = "let msg = r#\"let g = self.inner.lock(); drop(g)\"#;\nlet next = 2;";
+        let l = lex(src);
+        let idents: Vec<&str> = l
+            .toks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.kind == TokKind::Ident)
+            .map(|(i, _)| l.text(src, i))
+            .collect();
+        assert_eq!(idents, ["let", "msg", "let", "next"]);
+    }
+
+    #[test]
+    fn raw_string_with_double_hash_delimiter() {
+        let src = "let s = r##\"ends with \"# not here\"##; let after = 1;";
+        let l = lex(src);
+        assert!((0..l.toks.len()).any(|i| l.text(src, i) == "after"));
+        assert!(!(0..l.toks.len()).any(|i| l.text(src, i) == "here"));
+    }
+
+    #[test]
+    fn nested_block_comment_hides_guard_shapes() {
+        let src = "/* outer /* let g = x.lock(); */ still comment */ let real = 1;";
+        let l = lex(src);
+        let idents: Vec<&str> = l
+            .toks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.kind == TokKind::Ident)
+            .map(|(i, _)| l.text(src, i))
+            .collect();
+        assert_eq!(idents, ["let", "real"]);
+    }
+
+    #[test]
+    fn lifetime_ticks_are_not_char_literals() {
+        // `'a` must lex as a Lifetime token, not open a char literal that
+        // would swallow the following `.lock()` call.
+        let src = "fn f<'a>(g: &'a Guard) { g.inner.lock(); }";
+        let l = lex(src);
+        let kinds: Vec<TokKind> = l.toks.iter().map(|t| t.kind).collect();
+        assert!(kinds.contains(&TokKind::Lifetime));
+        assert!((0..l.toks.len()).any(|i| l.text(src, i) == "lock"));
+        // And a real char literal still lexes as one token.
+        let src2 = "let c = 'x'; let d = '\\'';";
+        let l2 = lex(src2);
+        let lits = l2
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Literal)
+            .count();
+        assert_eq!(lits, 2);
+    }
+
+    #[test]
     fn allow_directive_parsing() {
         let src = "// analyze:allow(io-bypass): bench artifact\nfoo();\nbar(); // analyze:allow(hot-path-panic): checked above\n";
         let l = lex(src);

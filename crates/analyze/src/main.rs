@@ -1,20 +1,25 @@
 //! CLI for the in-repo invariant analyzer.
 //!
 //! ```text
-//! scaleclass-analyze [--deny] [--allows] [ROOT]
+//! scaleclass-analyze [--deny] [--allows] [--json] [ROOT]
 //! ```
 //!
 //! Walks the workspace at `ROOT` (default: the enclosing workspace of the
 //! current directory) and reports rule violations as `file:line: [rule] msg`.
-//! `--deny` exits with status 2 when any violation remains unsuppressed;
+//! `--deny` exits with status 2 when any violation remains unsuppressed, and
+//! with status 3 when the only findings are *stale* `analyze:allow`
+//! directives (well-formed allows that no longer suppress anything);
 //! `--allows` additionally prints the inventory of every `analyze:allow`
-//! directive in the tree.
+//! directive in the tree. `--json` replaces the human-readable report with a
+//! single JSON array of `{file, line, rule, message}` records (stale
+//! directives appear under the pseudo-rule `stale-allow`) — CI turns these
+//! into GitHub annotations.
 #![warn(missing_docs)]
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use scaleclass_analyze::analyze_workspace;
+use scaleclass_analyze::{analyze_workspace, Report, RULE_STALE_ALLOW};
 
 fn find_workspace_root(start: PathBuf) -> PathBuf {
     let mut dir = start.clone();
@@ -31,16 +36,67 @@ fn find_workspace_root(start: PathBuf) -> PathBuf {
     }
 }
 
+/// Escape `s` for inclusion in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The whole report as one JSON array: violations first, then stale
+/// directives as `stale-allow` records, both already sorted.
+fn print_json(report: &Report) {
+    let mut records: Vec<String> = Vec::new();
+    for v in &report.violations {
+        records.push(format!(
+            r#"{{"file":"{}","line":{},"rule":"{}","message":"{}"}}"#,
+            json_escape(&v.file),
+            v.line,
+            json_escape(v.rule),
+            json_escape(&v.msg)
+        ));
+    }
+    for (file, a) in &report.stale {
+        records.push(format!(
+            r#"{{"file":"{}","line":{},"rule":"{}","message":"{}"}}"#,
+            json_escape(file),
+            a.line,
+            RULE_STALE_ALLOW,
+            json_escape(&format!(
+                "stale analyze:allow({}) suppresses no violation; remove it (reason was: {})",
+                a.rule, a.reason
+            ))
+        ));
+    }
+    if records.is_empty() {
+        println!("[]");
+    } else {
+        println!("[\n  {}\n]", records.join(",\n  "));
+    }
+}
+
 fn main() -> ExitCode {
     let mut deny = false;
     let mut show_allows = false;
+    let mut json = false;
     let mut root: Option<PathBuf> = None;
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
             "--deny" => deny = true,
             "--allows" | "--list-allows" => show_allows = true,
+            "--json" => json = true,
             "--help" | "-h" => {
-                println!("usage: scaleclass-analyze [--deny] [--allows] [ROOT]");
+                println!("usage: scaleclass-analyze [--deny] [--allows] [--json] [ROOT]");
                 return ExitCode::SUCCESS;
             }
             other => root = Some(PathBuf::from(other)),
@@ -58,26 +114,49 @@ fn main() -> ExitCode {
         }
     };
 
-    for v in &report.violations {
-        println!("{}:{}: [{}] {}", v.file, v.line, v.rule, v.msg);
-    }
-    if show_allows {
-        println!(
-            "-- analyze:allow inventory ({} directives) --",
-            report.allows.len()
-        );
-        for (file, a) in &report.allows {
-            println!("{}:{}: allow({}) — {}", file, a.line, a.rule, a.reason);
+    if json {
+        print_json(&report);
+    } else {
+        for v in &report.violations {
+            println!("{}:{}: [{}] {}", v.file, v.line, v.rule, v.msg);
         }
+        for (file, a) in &report.stale {
+            println!(
+                "{}:{}: [{}] analyze:allow({}) suppresses no violation; remove it",
+                file, a.line, RULE_STALE_ALLOW, a.rule
+            );
+        }
+        if show_allows {
+            println!(
+                "-- analyze:allow inventory ({} directives) --",
+                report.allows.len()
+            );
+            for (file, a) in &report.allows {
+                let stale = report
+                    .stale
+                    .iter()
+                    .any(|(f, s)| f == file && s.line == a.line);
+                let mark = if stale { " [stale]" } else { "" };
+                println!(
+                    "{}:{}: allow({}) — {}{}",
+                    file, a.line, a.rule, a.reason, mark
+                );
+            }
+        }
+        println!(
+            "scaleclass-analyze: {} violation(s), {} suppressed by analyze:allow, \
+             {} allow directive(s), {} stale",
+            report.violations.len(),
+            report.suppressed.len(),
+            report.allows.len(),
+            report.stale.len()
+        );
     }
-    println!(
-        "scaleclass-analyze: {} violation(s), {} suppressed by analyze:allow, {} allow directive(s)",
-        report.violations.len(),
-        report.suppressed.len(),
-        report.allows.len()
-    );
     if deny && !report.violations.is_empty() {
         return ExitCode::from(2);
+    }
+    if deny && !report.stale.is_empty() {
+        return ExitCode::from(3);
     }
     ExitCode::SUCCESS
 }

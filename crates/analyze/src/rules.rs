@@ -1,6 +1,6 @@
 //! The invariant rules enforced over the workspace.
 //!
-//! Four named rules, each reported as `file:line: [rule] message`:
+//! Eight named rules, each reported as `file:line: [rule] message`:
 //!
 //! - **io-bypass** — no direct `std::fs` / `std::net` / `File::open` outside
 //!   `crates/sqldb` and `crates/core/src/staging.rs`: all I/O must go through
@@ -19,17 +19,37 @@
 //! - **stats-coverage** — every field declared on the stats structs in
 //!   `metrics.rs` must be written somewhere in `crates/core` non-test code and
 //!   mentioned in at least one test.
+//! - **lock-order** — guard-aware (see [`crate::guards`]): every lock
+//!   acquisition made while another guard is live adds an edge to the
+//!   cross-file lock graph over the concurrency modules (`session.rs`,
+//!   `catalog.rs`, `parallel.rs`, `staging.rs`, `middleware.rs`); any edge
+//!   contradicting the canonical [`LOCK_ORDER`] manifest, any re-entrant
+//!   acquisition, any cycle, and any `.lock()` the [`LOCK_SITES`] manifest
+//!   cannot name is a violation.
+//! - **guard-across-blocking** — no guard may be live across `send(` /
+//!   `recv(` / `join()` / `wait*(` / `File::` / `read_to_end(` in the
+//!   concurrency modules: a slow reader must never become a stalled
+//!   arbiter.
+//! - **atomic-ordering** — `Ordering::Relaxed` on the Σ-invariant cells
+//!   (arbiter lease cells in `session.rs`/`catalog.rs`, catalog `charge`
+//!   cells in `staging.rs`) is a violation unless an inventoried
+//!   `analyze:allow` says why relaxed is sound.
+//! - **env-knob** — every `SCALECLASS_*` string in workspace non-test code
+//!   must be wired through a `crates/core/src/config.rs` knob and
+//!   mentioned in the top-level README.md, so no knob ships undocumented.
 //!
 //! A violation is suppressed only by `// analyze:allow(<rule>): <reason>` on
 //! the same line, or standing alone on the line(s) directly above. Directives
 //! must name a real rule and carry a non-empty reason; the tool inventories
-//! every directive it honours.
+//! every directive it honours, and flags *stale* directives — well-formed
+//! allows that no longer suppress anything — so the inventory cannot rot.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
+use crate::guards::{scan_guards, GuardScan, LockEdge, LockSite};
 use crate::lexer::{lex, AllowDirective, Lexed, TokKind};
 
 /// Rule name: I/O outside the staging/wire layers.
@@ -40,15 +60,29 @@ pub const RULE_ACCOUNTING_ARITH: &str = "accounting-arith";
 pub const RULE_HOT_PATH_PANIC: &str = "hot-path-panic";
 /// Rule name: stats fields must be written and asserted.
 pub const RULE_STATS_COVERAGE: &str = "stats-coverage";
+/// Rule name: lock acquisitions must respect the `LOCK_ORDER` manifest.
+pub const RULE_LOCK_ORDER: &str = "lock-order";
+/// Rule name: no guard live across a blocking call shape.
+pub const RULE_GUARD_BLOCKING: &str = "guard-across-blocking";
+/// Rule name: no `Ordering::Relaxed` on Σ-invariant atomic cells.
+pub const RULE_ATOMIC_ORDERING: &str = "atomic-ordering";
+/// Rule name: every `SCALECLASS_*` env knob is wired and documented.
+pub const RULE_ENV_KNOB: &str = "env-knob";
 /// Pseudo-rule for malformed `analyze:allow` directives (not suppressible).
 pub const RULE_ALLOW_SYNTAX: &str = "allow-syntax";
+/// Pseudo-rule for stale `analyze:allow` directives (not suppressible).
+pub const RULE_STALE_ALLOW: &str = "stale-allow";
 
 /// All suppressible rule names.
-pub const RULES: [&str; 4] = [
+pub const RULES: [&str; 8] = [
     RULE_IO_BYPASS,
     RULE_ACCOUNTING_ARITH,
     RULE_HOT_PATH_PANIC,
     RULE_STATS_COVERAGE,
+    RULE_LOCK_ORDER,
+    RULE_GUARD_BLOCKING,
+    RULE_ATOMIC_ORDERING,
+    RULE_ENV_KNOB,
 ];
 
 /// One reported finding.
@@ -73,6 +107,9 @@ pub struct Report {
     pub suppressed: Vec<(Violation, String)>,
     /// Every allow directive encountered, with its file.
     pub allows: Vec<(String, AllowDirective)>,
+    /// Well-formed allow directives that suppressed nothing: the escape
+    /// hatch outlived the violation it vetted and must be removed.
+    pub stale: Vec<(String, AllowDirective)>,
 }
 
 impl Report {
@@ -80,6 +117,7 @@ impl Report {
         self.violations.extend(other.violations);
         self.suppressed.extend(other.suppressed);
         self.allows.extend(other.allows);
+        self.stale.extend(other.stale);
     }
 
     fn sort(&mut self) {
@@ -88,6 +126,8 @@ impl Report {
         self.suppressed
             .sort_by(|a, b| (&a.0.file, a.0.line).cmp(&(&b.0.file, b.0.line)));
         self.allows
+            .sort_by(|a, b| (&a.0, a.1.line).cmp(&(&b.0, b.1.line)));
+        self.stale
             .sort_by(|a, b| (&a.0, a.1.line).cmp(&(&b.0, b.1.line)));
     }
 }
@@ -132,6 +172,253 @@ const PANIC_FILES: [&str; 4] = [
     "crates/core/src/session.rs",
 ];
 
+/// Files the guard-aware concurrency rules (lock-order,
+/// guard-across-blocking) run over: every module that holds or acquires a
+/// shared-state lock.
+const CONCURRENCY_FILES: [&str; 5] = [
+    "crates/core/src/session.rs",
+    "crates/core/src/catalog.rs",
+    "crates/core/src/parallel.rs",
+    "crates/core/src/staging.rs",
+    "crates/core/src/middleware.rs",
+];
+
+/// Canonical lock acquisition order, outermost first. An acquisition edge
+/// `held → acquired` is legal only when `held` appears strictly before
+/// `acquired` here.
+///
+/// Amendment process (DESIGN.md §14): adding a lock means (1) naming it
+/// here at the position every existing nesting permits, (2) adding its
+/// call shapes to [`LOCK_SITES`], and (3) citing in the PR the code paths
+/// that pin its position. Reordering existing entries requires auditing
+/// every edge the analyzer reports with `--json` plus a TSan run.
+pub const LOCK_ORDER: [&str; 5] = [
+    // BudgetArbiter.inner (session.rs): leases are (re)balanced before any
+    // session touches the database or its staged artifacts.
+    "arbiter.inner",
+    // StagingCatalog.inner (catalog.rs): probe/publish/detach decisions
+    // precede database reads; never called with scan-pool locks held.
+    "catalog.inner",
+    // Backend.db RwLock (session.rs): held for the duration of server
+    // scans, innermost of the coordinator-side locks.
+    "backend.db",
+    // Shared.evictable then Shared.evicted (parallel.rs): the worker
+    // eviction pool; `relieve_pressure` nests them in this order.
+    "scan.evictable",
+    "scan.evicted",
+];
+
+/// Lexical call shapes that acquire the locks in [`LOCK_ORDER`].
+///
+/// `binds: true` rows return the guard (a `let` keeps it live); `binds:
+/// false` rows are helpers that lock and unlock internally — they
+/// contribute graph edges when called under a live guard but never extend
+/// liveness. Receiver tails disambiguate without type information; two
+/// types in one file must not share an unqualified helper name.
+pub(crate) const LOCK_SITES: [LockSite; 26] = [
+    // -- guard-returning acquisitions -----------------------------------
+    LockSite {
+        method: "lock",
+        recv: Some("inner"),
+        file: Some("crates/core/src/session.rs"),
+        lock: "arbiter.inner",
+        binds: true,
+    },
+    // BudgetArbiter::lock(&self) helper, internal callers.
+    LockSite {
+        method: "lock",
+        recv: Some("self"),
+        file: Some("crates/core/src/session.rs"),
+        lock: "arbiter.inner",
+        binds: true,
+    },
+    LockSite {
+        method: "lock",
+        recv: Some("inner"),
+        file: Some("crates/core/src/catalog.rs"),
+        lock: "catalog.inner",
+        binds: true,
+    },
+    // StagingCatalog::lock(&self) helper, internal callers.
+    LockSite {
+        method: "lock",
+        recv: Some("self"),
+        file: Some("crates/core/src/catalog.rs"),
+        lock: "catalog.inner",
+        binds: true,
+    },
+    LockSite {
+        method: "read",
+        recv: Some("db"),
+        file: None,
+        lock: "backend.db",
+        binds: true,
+    },
+    LockSite {
+        method: "write",
+        recv: Some("db"),
+        file: None,
+        lock: "backend.db",
+        binds: true,
+    },
+    LockSite {
+        method: "db_read",
+        recv: None,
+        file: None,
+        lock: "backend.db",
+        binds: true,
+    },
+    LockSite {
+        method: "db_write",
+        recv: None,
+        file: None,
+        lock: "backend.db",
+        binds: true,
+    },
+    // Session::db / Backend::db / Middleware::db guard passthroughs.
+    LockSite {
+        method: "db",
+        recv: None,
+        file: None,
+        lock: "backend.db",
+        binds: true,
+    },
+    LockSite {
+        method: "lock",
+        recv: Some("evictable"),
+        file: None,
+        lock: "scan.evictable",
+        binds: true,
+    },
+    LockSite {
+        method: "lock",
+        recv: Some("evicted"),
+        file: None,
+        lock: "scan.evicted",
+        binds: true,
+    },
+    // -- transient helpers (lock + unlock inside the call) --------------
+    LockSite {
+        method: "open",
+        recv: Some("arbiter"),
+        file: None,
+        lock: "arbiter.inner",
+        binds: false,
+    },
+    LockSite {
+        method: "release",
+        recv: Some("arbiter"),
+        file: None,
+        lock: "arbiter.inner",
+        binds: false,
+    },
+    LockSite {
+        method: "stats",
+        recv: Some("arbiter"),
+        file: None,
+        lock: "arbiter.inner",
+        binds: false,
+    },
+    LockSite {
+        method: "live_sessions",
+        recv: Some("arbiter"),
+        file: None,
+        lock: "arbiter.inner",
+        binds: false,
+    },
+    LockSite {
+        method: "assert_shadow_accounting",
+        recv: Some("arbiter"),
+        file: None,
+        lock: "arbiter.inner",
+        binds: false,
+    },
+    LockSite {
+        method: "register_session",
+        recv: Some("catalog"),
+        file: None,
+        lock: "catalog.inner",
+        binds: false,
+    },
+    LockSite {
+        method: "unregister_session",
+        recv: Some("catalog"),
+        file: None,
+        lock: "catalog.inner",
+        binds: false,
+    },
+    LockSite {
+        method: "probe_mem",
+        recv: Some("catalog"),
+        file: None,
+        lock: "catalog.inner",
+        binds: false,
+    },
+    LockSite {
+        method: "probe_file",
+        recv: Some("catalog"),
+        file: None,
+        lock: "catalog.inner",
+        binds: false,
+    },
+    LockSite {
+        method: "publish_mem",
+        recv: Some("catalog"),
+        file: None,
+        lock: "catalog.inner",
+        binds: false,
+    },
+    LockSite {
+        method: "publish_file",
+        recv: Some("catalog"),
+        file: None,
+        lock: "catalog.inner",
+        binds: false,
+    },
+    LockSite {
+        method: "detach",
+        recv: Some("catalog"),
+        file: None,
+        lock: "catalog.inner",
+        binds: false,
+    },
+    LockSite {
+        method: "share_of",
+        recv: Some("catalog"),
+        file: None,
+        lock: "catalog.inner",
+        binds: false,
+    },
+    LockSite {
+        method: "stats",
+        recv: Some("catalog"),
+        file: None,
+        lock: "catalog.inner",
+        binds: false,
+    },
+    LockSite {
+        method: "assert_shadow_accounting",
+        recv: Some("catalog"),
+        file: None,
+        lock: "catalog.inner",
+        binds: false,
+    },
+];
+
+/// Files where *every* `Ordering::Relaxed` is a violation: their atomics
+/// are the arbiter lease cells and catalog share cells backing the
+/// Σ leases/charges ≤ budget invariants (Acquire/Release by design).
+const ATOMIC_STRICT_FILES: [&str; 2] = ["crates/core/src/session.rs", "crates/core/src/catalog.rs"];
+
+/// Field-scoped atomic-ordering extensions: `(file, receiver tails)`. In
+/// these files only atomics on the named receivers are Σ-invariant cells
+/// (staging's `charge` mirrors a catalog share cell); the uniquifier
+/// counters and the join-synchronized scan accounting cells stay exempt.
+const ATOMIC_CELL_FIELDS: [(&str, &[&str]); 1] = [("crates/core/src/staging.rs", &["charge"])];
+
+/// The file whose string literals define the env-knob surface.
+const ENV_CONFIG_FILE: &str = "crates/core/src/config.rs";
+
 /// Stats structs whose fields the stats-coverage rule tracks.
 const STATS_STRUCTS: [&str; 5] = [
     "MiddlewareStats",
@@ -166,12 +453,12 @@ fn io_rule_applies(rel: &str) -> bool {
 // Token-stream helpers
 // ---------------------------------------------------------------------------
 
-struct FileCtx<'a> {
-    rel: &'a str,
+pub(crate) struct FileCtx<'a> {
+    pub(crate) rel: &'a str,
     src: &'a str,
-    lx: &'a Lexed,
+    pub(crate) lx: &'a Lexed,
     /// Per-token: true when the token is test-only code.
-    test: Vec<bool>,
+    pub(crate) test: Vec<bool>,
     /// Per-token: true when the token sits inside a loop body.
     in_loop: Vec<bool>,
 }
@@ -193,27 +480,27 @@ impl<'a> FileCtx<'a> {
         }
     }
 
-    fn text(&self, i: usize) -> &'a str {
+    pub(crate) fn text(&self, i: usize) -> &'a str {
         let t = &self.lx.toks[i];
         &self.src[t.start..t.end]
     }
 
-    fn is_punct(&self, i: usize, c: char) -> bool {
+    pub(crate) fn is_punct(&self, i: usize, c: char) -> bool {
         i < self.lx.toks.len()
             && self.lx.toks[i].kind == TokKind::Punct
             && self.text(i).starts_with(c)
     }
 
-    fn is_ident(&self, i: usize, s: &str) -> bool {
+    pub(crate) fn is_ident(&self, i: usize, s: &str) -> bool {
         i < self.lx.toks.len() && self.lx.toks[i].kind == TokKind::Ident && self.text(i) == s
     }
 
     /// `toks[i], toks[i+1]` form a `::` path separator.
-    fn path_sep(&self, i: usize) -> bool {
+    pub(crate) fn path_sep(&self, i: usize) -> bool {
         self.is_punct(i, ':') && self.is_punct(i + 1, ':')
     }
 
-    fn line(&self, i: usize) -> u32 {
+    pub(crate) fn line(&self, i: usize) -> u32 {
         self.lx.toks[i].line
     }
 }
@@ -566,6 +853,267 @@ fn hot_path_panic(ctx: &FileCtx, out: &mut Vec<Violation>) {
 }
 
 // ---------------------------------------------------------------------------
+// Concurrency rules: lock-order, guard-across-blocking, atomic-ordering
+// ---------------------------------------------------------------------------
+
+/// Run the guard pass over one concurrency file: blocking-shape and
+/// unknown-lock findings go straight to `out`; acquisition edges are
+/// returned for the (cross-file) lock-graph check.
+fn guard_rules(ctx: &FileCtx, out: &mut Vec<Violation>) -> Vec<LockEdge> {
+    let GuardScan {
+        edges,
+        blocking,
+        unknown,
+    } = scan_guards(ctx, &LOCK_SITES);
+    for (line, recv) in unknown {
+        out.push(Violation {
+            file: ctx.rel.to_string(),
+            line,
+            rule: RULE_LOCK_ORDER,
+            msg: format!(
+                "`.lock()` on `{recv}` matches no LOCK_SITES row; name the \
+                 lock in LOCK_SITES and LOCK_ORDER (crates/analyze/src/rules.rs, \
+                 DESIGN.md §14) so it joins the acquisition order"
+            ),
+        });
+    }
+    for b in blocking {
+        out.push(Violation {
+            file: ctx.rel.to_string(),
+            line: b.line,
+            rule: RULE_GUARD_BLOCKING,
+            msg: format!(
+                "guard on `{}` (held since line {}) is live across blocking \
+                 `{}`; drop the guard before blocking",
+                b.guard_lock, b.guard_line, b.shape
+            ),
+        });
+    }
+    edges
+}
+
+/// Check the accumulated acquisition edges against [`LOCK_ORDER`]:
+/// contradictions, re-entrant acquisitions, undeclared locks, and (should
+/// the manifest ever stop being a total order) residual cycles.
+fn check_lock_graph(edges: &[LockEdge], out: &mut Vec<Violation>) {
+    let pos = |l: &str| LOCK_ORDER.iter().position(|&x| x == l);
+    let mut flagged: BTreeSet<(&str, &str)> = BTreeSet::new();
+    for e in edges {
+        let msg = match (pos(e.held), pos(e.acquired)) {
+            (Some(h), Some(a)) if h == a => Some(format!(
+                "re-entrant acquisition of `{}` (guard held since line {}): \
+                 self-deadlock on a non-reentrant lock",
+                e.acquired, e.held_line
+            )),
+            (Some(h), Some(a)) if h > a => Some(format!(
+                "acquiring `{}` while holding `{}` (guard bound line {}) \
+                 contradicts LOCK_ORDER, which puts `{}` before `{}`",
+                e.acquired, e.held, e.held_line, e.acquired, e.held
+            )),
+            (None, _) => Some(format!(
+                "lock `{}` is acquired but missing from the LOCK_ORDER manifest",
+                e.held
+            )),
+            (_, None) => Some(format!(
+                "lock `{}` is acquired but missing from the LOCK_ORDER manifest",
+                e.acquired
+            )),
+            _ => None,
+        };
+        if let Some(msg) = msg {
+            flagged.insert((e.held, e.acquired));
+            out.push(Violation {
+                file: e.file.clone(),
+                line: e.line,
+                rule: RULE_LOCK_ORDER,
+                msg,
+            });
+        }
+    }
+    // Cycle sweep over the remaining (order-respecting) edges. With
+    // LOCK_ORDER a total order this finds nothing new — every cycle
+    // contains a contradicting or re-entrant edge already flagged above —
+    // but it keeps "fail on any cycle" true by construction rather than
+    // by argument.
+    let mut adj: BTreeMap<&str, Vec<&LockEdge>> = BTreeMap::new();
+    for e in edges {
+        if !flagged.contains(&(e.held, e.acquired)) {
+            adj.entry(e.held).or_default().push(e);
+        }
+    }
+    // 0 = unvisited, 1 = on the current path, 2 = done.
+    let mut state: BTreeMap<&str, u8> = BTreeMap::new();
+    fn dfs<'e>(
+        node: &'e str,
+        adj: &BTreeMap<&'e str, Vec<&'e LockEdge>>,
+        state: &mut BTreeMap<&'e str, u8>,
+        out: &mut Vec<Violation>,
+    ) {
+        state.insert(node, 1);
+        for e in adj.get(node).map_or(&[][..], |v| &v[..]) {
+            match state.get(e.acquired).copied().unwrap_or(0) {
+                1 => out.push(Violation {
+                    file: e.file.clone(),
+                    line: e.line,
+                    rule: RULE_LOCK_ORDER,
+                    msg: format!(
+                        "acquiring `{}` while holding `{}` closes a cycle in \
+                         the lock-acquisition graph",
+                        e.acquired, e.held
+                    ),
+                }),
+                0 => dfs(e.acquired, adj, state, out),
+                _ => {}
+            }
+        }
+        state.insert(node, 2);
+    }
+    let nodes: Vec<&str> = adj.keys().copied().collect();
+    for node in nodes {
+        if state.get(node).copied().unwrap_or(0) == 0 {
+            dfs(node, &adj, &mut state, out);
+        }
+    }
+}
+
+/// Flag `Ordering::Relaxed` on Σ-invariant atomic cells: everywhere in
+/// the strict files, and on the named receiver fields elsewhere.
+fn atomic_ordering(ctx: &FileCtx, out: &mut Vec<Violation>) {
+    let strict = ATOMIC_STRICT_FILES.contains(&ctx.rel);
+    let cells = ATOMIC_CELL_FIELDS
+        .iter()
+        .find(|(f, _)| *f == ctx.rel)
+        .map(|(_, c)| *c);
+    if !strict && cells.is_none() {
+        return;
+    }
+    let n = ctx.lx.toks.len();
+    for i in 0..n {
+        if ctx.test[i]
+            || !ctx.is_ident(i, "Ordering")
+            || !ctx.path_sep(i + 1)
+            || !ctx.is_ident(i + 3, "Relaxed")
+        {
+            continue;
+        }
+        let hit = if strict {
+            true
+        } else if let Some(cells) = cells {
+            // Walk back to the enclosing call's `(`, balancing any nested
+            // parens, then read `recv . method (`.
+            let mut j = i as i64 - 1;
+            let mut bal = 0i64;
+            while j >= 0 {
+                if ctx.is_punct(j as usize, ')') {
+                    bal += 1;
+                } else if ctx.is_punct(j as usize, '(') {
+                    if bal == 0 {
+                        break;
+                    }
+                    bal -= 1;
+                }
+                j -= 1;
+            }
+            let m = j - 1; // method ident before the call-open paren
+            m >= 1
+                && ctx.is_punct(m as usize - 1, '.')
+                && m >= 2
+                && ctx.lx.toks[m as usize - 2].kind == TokKind::Ident
+                && cells.contains(&ctx.text(m as usize - 2))
+        } else {
+            false
+        };
+        if hit {
+            out.push(Violation {
+                file: ctx.rel.to_string(),
+                line: ctx.line(i),
+                rule: RULE_ATOMIC_ORDERING,
+                msg: "`Ordering::Relaxed` on a Σ-invariant cell (lease/share \
+                      accounting); use `Acquire`/`Release`, or annotate why \
+                      relaxed cannot tear the invariant"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// env-knob (workspace-wide)
+// ---------------------------------------------------------------------------
+
+/// Accumulated evidence for the env-knob rule.
+#[derive(Debug, Default)]
+struct EnvScan {
+    /// Knob name → first non-test usage site `(file, line)`.
+    uses: BTreeMap<String, (String, u32)>,
+    /// Knob names appearing in a `config.rs` string literal.
+    defined: BTreeSet<String>,
+}
+
+/// Collect `SCALECLASS_*` names from a literal token's text.
+fn knob_names(text: &str, out: &mut Vec<String>) {
+    const NEEDLE: &str = "SCALECLASS_";
+    let mut rest = text;
+    while let Some(pos) = rest.find(NEEDLE) {
+        let tail = &rest[pos..];
+        let end = tail
+            .char_indices()
+            .find(|(_, c)| !(c.is_ascii_uppercase() || c.is_ascii_digit() || *c == '_'))
+            .map_or(tail.len(), |(i, _)| i);
+        if end > NEEDLE.len() {
+            out.push(tail[..end].to_string());
+        }
+        rest = &tail[end..];
+    }
+}
+
+fn collect_env(ctx: &FileCtx, s: &mut EnvScan) {
+    let mut names = Vec::new();
+    for i in 0..ctx.lx.toks.len() {
+        if ctx.test[i] || ctx.lx.toks[i].kind != TokKind::Literal {
+            continue;
+        }
+        names.clear();
+        knob_names(ctx.text(i), &mut names);
+        for name in names.drain(..) {
+            if ctx.rel == ENV_CONFIG_FILE {
+                s.defined.insert(name.clone());
+            }
+            s.uses
+                .entry(name)
+                .or_insert_with(|| (ctx.rel.to_string(), ctx.line(i)));
+        }
+    }
+}
+
+/// Every knob used anywhere must be parsed in `config.rs` and mentioned in
+/// the top-level README. Violations anchor at the knob's first usage site.
+fn env_knob(s: &EnvScan, readme: &str, out: &mut Vec<Violation>) {
+    for (knob, (file, line)) in &s.uses {
+        if !s.defined.contains(knob) {
+            out.push(Violation {
+                file: file.clone(),
+                line: *line,
+                rule: RULE_ENV_KNOB,
+                msg: format!(
+                    "env knob `{knob}` is read without a crates/core/src/config.rs \
+                     knob backing it; wire it through MiddlewareConfig (or annotate \
+                     why it lives outside the config surface)"
+                ),
+            });
+        }
+        if !readme.contains(knob.as_str()) {
+            out.push(Violation {
+                file: file.clone(),
+                line: *line,
+                rule: RULE_ENV_KNOB,
+                msg: format!("env knob `{knob}` is not documented in README.md"),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // stats-coverage (workspace-wide)
 // ---------------------------------------------------------------------------
 
@@ -575,10 +1123,8 @@ pub struct StatsScan {
     decls: Vec<(String, String, u32)>,
     writes: BTreeSet<String>,
     test_reads: BTreeSet<String>,
-    /// Allow directives + comment-only lines of metrics.rs, for suppression.
+    /// Workspace-relative path of metrics.rs, once seen.
     metrics_rel: Option<String>,
-    metrics_allows: Vec<AllowDirective>,
-    metrics_comment_lines: Vec<u32>,
 }
 
 fn collect_stats(ctx: &FileCtx, s: &mut StatsScan) {
@@ -586,8 +1132,6 @@ fn collect_stats(ctx: &FileCtx, s: &mut StatsScan) {
     let in_core_src = ctx.rel.starts_with("crates/core/src/");
     if ctx.rel == "crates/core/src/metrics.rs" {
         s.metrics_rel = Some(ctx.rel.to_string());
-        s.metrics_allows = ctx.lx.allows.clone();
-        s.metrics_comment_lines = ctx.lx.comment_only_lines.clone();
         // Field declarations: `pub struct <S> { pub <f>: ... }`.
         let mut i = 0usize;
         while i < n {
@@ -683,9 +1227,13 @@ fn collect_stats(ctx: &FileCtx, s: &mut StatsScan) {
     }
 }
 
-fn stats_coverage(s: &StatsScan, report: &mut Report) {
-    let Some(rel) = &s.metrics_rel else { return };
+/// Raw stats-coverage violations, anchored at the field declarations in
+/// metrics.rs; suppression happens through that file's normal allow pass.
+fn stats_coverage(s: &StatsScan) -> Vec<Violation> {
     let mut raw = Vec::new();
+    let Some(rel) = &s.metrics_rel else {
+        return raw;
+    };
     for (sname, field, line) in &s.decls {
         if !s.writes.contains(field) {
             raw.push(Violation {
@@ -710,9 +1258,7 @@ fn stats_coverage(s: &StatsScan, report: &mut Report) {
             });
         }
     }
-    let (kept, suppressed) = apply_allows(raw, &s.metrics_allows, &s.metrics_comment_lines);
-    report.violations.extend(kept);
-    report.suppressed.extend(suppressed);
+    raw
 }
 
 // ---------------------------------------------------------------------------
@@ -720,23 +1266,26 @@ fn stats_coverage(s: &StatsScan, report: &mut Report) {
 // ---------------------------------------------------------------------------
 
 /// Split raw violations into (kept, suppressed-with-reason) using the file's
-/// allow directives. A directive suppresses a violation of its rule on its
-/// own line, or — when it stands alone — on the next code line below any run
-/// of comment-only lines.
+/// allow directives, and record which directives (by index into `allows`)
+/// actually suppressed something. A directive suppresses a violation of its
+/// rule on its own line, or — when it stands alone — on the next code line
+/// below any run of comment-only lines.
 fn apply_allows(
     raw: Vec<Violation>,
     allows: &[AllowDirective],
     comment_lines: &[u32],
-) -> (Vec<Violation>, Vec<(Violation, String)>) {
+) -> (Vec<Violation>, Vec<(Violation, String)>, BTreeSet<usize>) {
     let comment_set: BTreeSet<u32> = comment_lines.iter().copied().collect();
     let mut kept = Vec::new();
     let mut suppressed = Vec::new();
+    let mut used: BTreeSet<usize> = BTreeSet::new();
     'next: for v in raw {
-        for a in allows {
+        for (ai, a) in allows.iter().enumerate() {
             if a.rule != v.rule || a.reason.is_empty() {
                 continue;
             }
             if a.line == v.line {
+                used.insert(ai);
                 suppressed.push((v, a.reason.clone()));
                 continue 'next;
             }
@@ -746,6 +1295,7 @@ fn apply_allows(
                 let covers = ((a.line + 1)..v.line).all(|l| comment_set.contains(&l))
                     && comment_set.contains(&a.line);
                 if covers {
+                    used.insert(ai);
                     suppressed.push((v, a.reason.clone()));
                     continue 'next;
                 }
@@ -753,12 +1303,30 @@ fn apply_allows(
         }
         kept.push(v);
     }
-    (kept, suppressed)
+    (kept, suppressed, used)
+}
+
+/// Well-formed directives that suppressed nothing. Malformed ones are
+/// excluded — they already fire `allow-syntax` and fixing the syntax may
+/// make them suppress again.
+fn stale_allows(
+    rel: &str,
+    allows: &[AllowDirective],
+    used: &BTreeSet<usize>,
+) -> Vec<(String, AllowDirective)> {
+    allows
+        .iter()
+        .enumerate()
+        .filter(|(i, a)| {
+            !used.contains(i) && RULES.contains(&a.rule.as_str()) && !a.reason.is_empty()
+        })
+        .map(|(_, a)| (rel.to_string(), a.clone()))
+        .collect()
 }
 
 /// Complain about malformed directives (unknown rule / missing reason).
-fn check_allow_syntax(rel: &str, lx: &Lexed, out: &mut Vec<Violation>) {
-    for a in &lx.allows {
+fn check_allow_syntax(rel: &str, allows: &[AllowDirective], out: &mut Vec<Violation>) {
+    for a in allows {
         if !RULES.contains(&a.rule.as_str()) {
             out.push(Violation {
                 file: rel.to_string(),
@@ -789,26 +1357,43 @@ fn check_allow_syntax(rel: &str, lx: &Lexed, out: &mut Vec<Violation>) {
 // Entry points
 // ---------------------------------------------------------------------------
 
+/// Run every per-file rule on `ctx`, pushing findings into `raw` and
+/// returning the file's lock-acquisition edges for the workspace graph.
+fn file_rules(ctx: &FileCtx, raw: &mut Vec<Violation>) -> Vec<LockEdge> {
+    let rel = ctx.rel;
+    if io_rule_applies(rel) {
+        io_bypass(ctx, raw);
+    }
+    if ARITH_FILES.contains(&rel) {
+        accounting_arith(ctx, None, raw);
+    } else if let Some(fns) = arith_scope_for(rel) {
+        let mask = fn_body_mask(ctx, fns);
+        accounting_arith(ctx, Some(&mask), raw);
+    }
+    if PANIC_FILES.contains(&rel) {
+        hot_path_panic(ctx, raw);
+    }
+    atomic_ordering(ctx, raw);
+    if CONCURRENCY_FILES.contains(&rel) {
+        guard_rules(ctx, raw)
+    } else {
+        Vec::new()
+    }
+}
+
 /// Run the per-file rules on a single source text addressed as `rel`
-/// (workspace-relative, `/`-separated). Used directly by fixture tests.
+/// (workspace-relative, `/`-separated), plus the lock-graph check over the
+/// file's own acquisition edges. Used directly by fixture tests; the
+/// workspace-wide rules (stats-coverage, env-knob) need `analyze_workspace`.
 pub fn check_source(rel: &str, src: &str) -> Report {
     let lx = lex(src);
     let ctx = FileCtx::new(rel, src, &lx);
     let mut raw = Vec::new();
-    if io_rule_applies(rel) {
-        io_bypass(&ctx, &mut raw);
-    }
-    if ARITH_FILES.contains(&rel) {
-        accounting_arith(&ctx, None, &mut raw);
-    } else if let Some(fns) = arith_scope_for(rel) {
-        let mask = fn_body_mask(&ctx, fns);
-        accounting_arith(&ctx, Some(&mask), &mut raw);
-    }
-    if PANIC_FILES.contains(&rel) {
-        hot_path_panic(&ctx, &mut raw);
-    }
-    let (mut kept, suppressed) = apply_allows(raw, &lx.allows, &lx.comment_only_lines);
-    check_allow_syntax(rel, &lx, &mut kept);
+    let edges = file_rules(&ctx, &mut raw);
+    check_lock_graph(&edges, &mut raw);
+    let (mut kept, suppressed, used) = apply_allows(raw, &lx.allows, &lx.comment_only_lines);
+    check_allow_syntax(rel, &lx.allows, &mut kept);
+    let stale = stale_allows(rel, &lx.allows, &used);
     let mut report = Report {
         violations: kept,
         suppressed,
@@ -817,6 +1402,7 @@ pub fn check_source(rel: &str, src: &str) -> Report {
             .iter()
             .map(|a| (rel.to_string(), a.clone()))
             .collect(),
+        stale,
     };
     report.sort();
     report
@@ -847,11 +1433,21 @@ fn walk(root: &Path) -> io::Result<Vec<PathBuf>> {
     Ok(out)
 }
 
-/// Analyze every Rust source under `root` (a workspace checkout) with all
-/// four rules, including the workspace-wide stats-coverage pass.
+/// Analyze every Rust source under `root` (a workspace checkout) with every
+/// rule, including the workspace-wide passes (lock graph, stats-coverage,
+/// env-knob). Workspace-wide findings are routed back to their anchor file
+/// so that file's own `analyze:allow` directives can suppress them.
 pub fn analyze_workspace(root: &Path) -> io::Result<Report> {
-    let mut report = Report::default();
+    struct FileRecord {
+        rel: String,
+        allows: Vec<AllowDirective>,
+        comment_lines: Vec<u32>,
+        raw: Vec<Violation>,
+    }
+    let mut records: Vec<FileRecord> = Vec::new();
     let mut stats = StatsScan::default();
+    let mut env = EnvScan::default();
+    let mut edges: Vec<LockEdge> = Vec::new();
     for path in walk(root)? {
         let rel: String = path
             .strip_prefix(root)
@@ -864,28 +1460,49 @@ pub fn analyze_workspace(root: &Path) -> io::Result<Report> {
         let lx = lex(&src);
         let ctx = FileCtx::new(&rel, &src, &lx);
         let mut raw = Vec::new();
-        if io_rule_applies(&rel) {
-            io_bypass(&ctx, &mut raw);
-        }
-        if ARITH_FILES.contains(&rel.as_str()) {
-            accounting_arith(&ctx, None, &mut raw);
-        } else if let Some(fns) = arith_scope_for(&rel) {
-            let mask = fn_body_mask(&ctx, fns);
-            accounting_arith(&ctx, Some(&mask), &mut raw);
-        }
-        if PANIC_FILES.contains(&rel.as_str()) {
-            hot_path_panic(&ctx, &mut raw);
-        }
+        edges.extend(file_rules(&ctx, &mut raw));
         collect_stats(&ctx, &mut stats);
-        let (mut kept, suppressed) = apply_allows(raw, &lx.allows, &lx.comment_only_lines);
-        check_allow_syntax(&rel, &lx, &mut kept);
+        collect_env(&ctx, &mut env);
+        records.push(FileRecord {
+            rel,
+            allows: lx.allows,
+            comment_lines: lx.comment_only_lines,
+            raw,
+        });
+    }
+    // Workspace-wide rules, then route each finding to its anchor file.
+    let mut global = Vec::new();
+    check_lock_graph(&edges, &mut global);
+    global.extend(stats_coverage(&stats));
+    let readme = fs::read_to_string(root.join("README.md")).unwrap_or_default();
+    env_knob(&env, &readme, &mut global);
+    let index: BTreeMap<String, usize> = records
+        .iter()
+        .enumerate()
+        .map(|(i, r)| (r.rel.clone(), i))
+        .collect();
+    let mut report = Report::default();
+    for v in global {
+        match index.get(v.file.as_str()).copied() {
+            Some(i) => records[i].raw.push(v),
+            None => report.violations.push(v),
+        }
+    }
+    for rec in records {
+        let (mut kept, suppressed, used) = apply_allows(rec.raw, &rec.allows, &rec.comment_lines);
+        check_allow_syntax(&rec.rel, &rec.allows, &mut kept);
+        let stale = stale_allows(&rec.rel, &rec.allows, &used);
         report.merge(Report {
             violations: kept,
             suppressed,
-            allows: lx.allows.iter().map(|a| (rel.clone(), a.clone())).collect(),
+            allows: rec
+                .allows
+                .iter()
+                .map(|a| (rec.rel.clone(), a.clone()))
+                .collect(),
+            stale,
         });
     }
-    stats_coverage(&stats, &mut report);
     report.sort();
     Ok(report)
 }

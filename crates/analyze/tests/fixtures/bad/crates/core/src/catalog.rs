@@ -1,0 +1,19 @@
+//! Fixture: re-entrant catalog lock, an unmanifested lock, and a stale
+//! allow directive.
+
+impl StagingCatalog {
+    /// Publish the nested-lock way.
+    pub fn publish(&self) {
+        let inner = self.inner.lock();
+        let again = self.inner.lock();
+        drop(again);
+        drop(inner);
+        let shadow = self.shadow.lock();
+        drop(shadow);
+    }
+}
+
+// analyze:allow(accounting-arith): fixture — stale on purpose: it
+// suppresses nothing and must be reported.
+/// Count nothing.
+pub fn noop() {}

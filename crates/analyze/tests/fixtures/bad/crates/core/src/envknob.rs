@@ -1,0 +1,6 @@
+//! Fixture: an env knob no config knob or README mention backs.
+
+/// Read the phantom knob.
+pub fn phantom() -> Option<String> {
+    std::env::var("SCALECLASS_PHANTOM").ok()
+}

@@ -1,0 +1,16 @@
+//! Fixture: lock-order inversion, a guard live across `send`, and a
+//! relaxed load on a lease cell.
+
+use std::sync::atomic::Ordering;
+
+impl BudgetArbiter {
+    /// Rebalance leases the deadlock-prone way.
+    pub fn rebalance(&self, tx: &Sender<usize>) {
+        let db = self.db.read();
+        let inner = self.inner.lock();
+        tx.send(db.len());
+        drop(inner);
+        let seen = self.lease.load(Ordering::Relaxed);
+        let _ = seen;
+    }
+}

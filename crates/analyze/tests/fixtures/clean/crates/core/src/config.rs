@@ -1,0 +1,7 @@
+//! Fixture: the env-knob surface — the knob is parsed here and named
+//! in the fixture README.
+
+/// Parse the demo knob.
+pub fn env_demo() -> Option<usize> {
+    std::env::var("SCALECLASS_DEMO").ok().and_then(|v| v.parse().ok())
+}

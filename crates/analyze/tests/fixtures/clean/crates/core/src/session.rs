@@ -1,0 +1,20 @@
+//! Fixture: lock discipline done right — canonical order, guards
+//! dropped before blocking, one vetted relaxed load.
+
+use std::sync::atomic::Ordering;
+
+impl BudgetArbiter {
+    /// Rebalance under the canonical order.
+    pub fn rebalance(&self, tx: &Sender<usize>) {
+        let inner = self.inner.lock();
+        let db = self.db.read();
+        let rows = db.len();
+        drop(db);
+        drop(inner);
+        tx.send(rows);
+        // analyze:allow(atomic-ordering): fixture — monotone counter read;
+        // tearing cannot violate the lease invariant.
+        let seen = self.lease.load(Ordering::Relaxed);
+        let _ = seen;
+    }
+}

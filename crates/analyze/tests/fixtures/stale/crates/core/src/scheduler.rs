@@ -1,0 +1,8 @@
+//! Fixture: a vetted cast whose violation has since been fixed — the
+//! directive is stale and must be the tree's only finding.
+
+/// Admit with fully checked arithmetic.
+pub fn admit(reserved: u64, bound: u64) -> u64 {
+    // analyze:allow(accounting-arith): the cast this vetted is long gone.
+    reserved.saturating_add(bound)
+}

@@ -6,8 +6,8 @@ use std::path::{Path, PathBuf};
 use std::process::Command;
 
 use scaleclass_analyze::{
-    analyze_workspace, check_source, RULE_ACCOUNTING_ARITH, RULE_HOT_PATH_PANIC, RULE_IO_BYPASS,
-    RULE_STATS_COVERAGE,
+    analyze_workspace, check_source, RULE_ACCOUNTING_ARITH, RULE_ATOMIC_ORDERING, RULE_ENV_KNOB,
+    RULE_GUARD_BLOCKING, RULE_HOT_PATH_PANIC, RULE_IO_BYPASS, RULE_LOCK_ORDER, RULE_STATS_COVERAGE,
 };
 
 fn fixture_root(which: &str) -> PathBuf {
@@ -141,6 +141,161 @@ fn stats_coverage_requires_write_and_test_assert() {
 }
 
 #[test]
+fn lock_order_guard_blocking_and_atomic_fire_at_pinned_lines() {
+    let rel = "crates/core/src/session.rs";
+    let report = check_source(rel, &fixture("bad", rel));
+    assert_eq!(
+        fired(&report),
+        vec![
+            (RULE_LOCK_ORDER, 10),      // inner.lock() while db guard live
+            (RULE_GUARD_BLOCKING, 11),  // tx.send under the inner guard
+            (RULE_ATOMIC_ORDERING, 13), // lease.load(Ordering::Relaxed)
+        ]
+    );
+    assert!(report.violations[0].msg.contains("contradicts LOCK_ORDER"));
+    assert!(report.violations[0].msg.contains("`arbiter.inner`"));
+    assert!(report.violations[1].msg.contains("`.send(`"));
+    assert!(report.violations[1].msg.contains("held since line 10"));
+    assert!(report.violations[2].msg.contains("Relaxed"));
+}
+
+#[test]
+fn lock_order_reentrant_and_unknown_lock() {
+    let rel = "crates/core/src/catalog.rs";
+    let report = check_source(rel, &fixture("bad", rel));
+    assert_eq!(
+        fired(&report),
+        vec![
+            (RULE_LOCK_ORDER, 8),  // second inner.lock() under the first
+            (RULE_LOCK_ORDER, 11), // shadow.lock() matches no manifest row
+        ]
+    );
+    assert!(report.violations[0].msg.contains("re-entrant"));
+    assert!(report.violations[1].msg.contains("LOCK_SITES"));
+    // The fixture's deliberately stale directive is reported as such.
+    assert_eq!(report.stale.len(), 1);
+    assert_eq!(report.stale[0].1.line, 16);
+    assert_eq!(report.stale[0].1.rule, "accounting-arith");
+}
+
+#[test]
+fn ordered_acquisition_and_dropped_guards_are_clean() {
+    let rel = "crates/core/src/session.rs";
+    let report = check_source(rel, &fixture("clean", rel));
+    assert!(report.violations.is_empty(), "{:?}", report.violations);
+    // The vetted Relaxed load is suppressed, not dropped.
+    assert_eq!(report.suppressed.len(), 1);
+    assert_eq!(report.suppressed[0].0.rule, RULE_ATOMIC_ORDERING);
+    assert!(report.stale.is_empty());
+}
+
+#[test]
+fn guard_liveness_ends_at_scope_statement_and_drop() {
+    let rel = "crates/core/src/parallel.rs";
+    // A guard bound inside a block dies at the block's close brace.
+    let src = "pub fn f(&self, tx: &Sender<u64>) {\n\
+               {\n\
+               let g = self.evictable.lock();\n\
+               g.push(1);\n\
+               }\n\
+               tx.send(0);\n\
+               }\n";
+    let report = check_source(rel, src);
+    assert!(report.violations.is_empty(), "{:?}", report.violations);
+
+    // An unbound acquisition is a statement-scoped temporary.
+    let src = "pub fn f(&self, tx: &Sender<u64>) {\n\
+               self.evictable.lock().clear();\n\
+               tx.send(0);\n\
+               }\n";
+    let report = check_source(rel, src);
+    assert!(report.violations.is_empty(), "{:?}", report.violations);
+
+    // ...but later in the same statement the temporary is still live.
+    let src = "pub fn f(&self, rx: &Receiver<u64>) {\n\
+               merge(self.evictable.lock(), rx.recv());\n\
+               }\n";
+    let report = check_source(rel, src);
+    assert_eq!(fired(&report), vec![(RULE_GUARD_BLOCKING, 2)]);
+
+    // `path.join(x)` is not a thread join; zero-arg `.join()` is.
+    let src = "pub fn f(&self, h: Handle, p: &Path) {\n\
+               let g = self.evictable.lock();\n\
+               let q = p.join(g.name());\n\
+               drop(g);\n\
+               h.join();\n\
+               }\n";
+    let report = check_source(rel, src);
+    assert!(report.violations.is_empty(), "{:?}", report.violations);
+    let src = "pub fn f(&self, h: Handle) {\n\
+               let g = self.evictable.lock();\n\
+               h.join();\n\
+               }\n";
+    let report = check_source(rel, src);
+    assert_eq!(fired(&report), vec![(RULE_GUARD_BLOCKING, 3)]);
+}
+
+#[test]
+fn nested_pool_locks_follow_the_manifest_order() {
+    let rel = "crates/core/src/parallel.rs";
+    // evictable → evicted matches LOCK_ORDER (the relieve_pressure shape).
+    let src = "pub fn relieve(&self) {\n\
+               let ev = self.evictable.lock();\n\
+               let done = self.evicted.lock();\n\
+               drop(done);\n\
+               drop(ev);\n\
+               }\n";
+    let report = check_source(rel, src);
+    assert!(report.violations.is_empty(), "{:?}", report.violations);
+
+    // The inverse nesting contradicts it.
+    let src = "pub fn relieve(&self) {\n\
+               let done = self.evicted.lock();\n\
+               let ev = self.evictable.lock();\n\
+               drop(ev);\n\
+               drop(done);\n\
+               }\n";
+    let report = check_source(rel, src);
+    assert_eq!(fired(&report), vec![(RULE_LOCK_ORDER, 3)]);
+}
+
+#[test]
+fn env_knob_requires_config_and_readme() {
+    let bad = analyze_workspace(&fixture_root("bad")).unwrap();
+    let env: Vec<(&str, u32, &str)> = bad
+        .violations
+        .iter()
+        .filter(|v| v.rule == RULE_ENV_KNOB)
+        .map(|v| (v.file.as_str(), v.line, v.msg.as_str()))
+        .collect();
+    assert_eq!(env.len(), 2, "env findings: {env:?}");
+    assert!(env
+        .iter()
+        .all(|(f, l, _)| *f == "crates/core/src/envknob.rs" && *l == 5));
+    assert!(env[0].2.contains("SCALECLASS_PHANTOM"));
+    assert!(env[0].2.contains("config.rs"));
+    assert!(env[1].2.contains("not documented in README.md"));
+
+    // The clean tree's knob is wired and documented: no findings.
+    let clean = analyze_workspace(&fixture_root("clean")).unwrap();
+    assert!(!clean.violations.iter().any(|v| v.rule == RULE_ENV_KNOB));
+}
+
+#[test]
+fn stale_allow_detection_across_trees() {
+    // The stale tree has zero violations and exactly one stale directive.
+    let stale = analyze_workspace(&fixture_root("stale")).unwrap();
+    assert!(stale.violations.is_empty(), "{:?}", stale.violations);
+    assert_eq!(stale.stale.len(), 1);
+    assert_eq!(stale.stale[0].0, "crates/core/src/scheduler.rs");
+    assert_eq!(stale.stale[0].1.line, 6);
+
+    // Every clean-tree directive still earns its keep.
+    let clean = analyze_workspace(&fixture_root("clean")).unwrap();
+    assert!(clean.stale.is_empty(), "{:?}", clean.stale);
+}
+
+#[test]
 fn bad_tree_fires_every_rule_and_clean_tree_is_clean() {
     let bad = analyze_workspace(&fixture_root("bad")).unwrap();
     for rule in [
@@ -148,6 +303,10 @@ fn bad_tree_fires_every_rule_and_clean_tree_is_clean() {
         RULE_ACCOUNTING_ARITH,
         RULE_HOT_PATH_PANIC,
         RULE_STATS_COVERAGE,
+        RULE_LOCK_ORDER,
+        RULE_GUARD_BLOCKING,
+        RULE_ATOMIC_ORDERING,
+        RULE_ENV_KNOB,
     ] {
         assert!(
             bad.violations.iter().any(|v| v.rule == rule),
@@ -161,14 +320,16 @@ fn bad_tree_fires_every_rule_and_clean_tree_is_clean() {
         "clean tree should pass: {:?}",
         clean.violations
     );
-    // The clean tree exercises the suppression path: one vetted cast and
-    // one vetted index, both with reasons the inventory preserves.
-    assert_eq!(clean.suppressed.len(), 2);
+    // The clean tree exercises the suppression path: one vetted cast, one
+    // vetted index, and one vetted relaxed load, each with a reason the
+    // inventory preserves.
+    assert_eq!(clean.suppressed.len(), 3);
     assert!(clean
         .suppressed
         .iter()
         .all(|(_, reason)| !reason.is_empty()));
-    assert_eq!(clean.allows.len(), 2);
+    assert_eq!(clean.allows.len(), 3);
+    assert!(clean.stale.is_empty());
 }
 
 #[test]
@@ -252,6 +413,56 @@ fn cli_deny_exit_codes() {
     assert!(stdout.contains("analyze:allow inventory"));
     assert!(stdout.contains("fixture"), "inventory shows the reasons");
 
+    // A tree whose only finding is a stale directive exits 3 under --deny
+    // (violations would take precedence with exit 2).
+    let stale_root = fixture_root("stale");
+    let stale = stale_root.to_str().unwrap();
+    let out = run(&["--deny", stale]);
+    assert_eq!(out.status.code(), Some(3), "stale-only tree exits 3");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("[stale-allow]"));
+    assert!(stdout.contains("suppresses no violation"));
+    let out = run(&[stale]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stale without --deny reports only"
+    );
+
     let out = run(&["--deny", "/nonexistent/path/for/sure"]);
     assert_eq!(out.status.code(), Some(3), "unreadable root exits 3");
+}
+
+#[test]
+fn cli_json_output() {
+    let bin = env!("CARGO_BIN_EXE_scaleclass-analyze");
+    let run = |args: &[&str]| Command::new(bin).args(args).output().unwrap();
+
+    let bad_root = fixture_root("bad");
+    let out = run(&["--json", bad_root.to_str().unwrap()]);
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    // A flat JSON array of {file, line, rule, message} records and nothing
+    // else on stdout (CI pipes this straight into jq).
+    assert!(stdout.trim_start().starts_with('['));
+    assert!(stdout.trim_end().ends_with(']'));
+    assert!(
+        !stdout.contains("scaleclass-analyze:"),
+        "no summary in json mode"
+    );
+    assert!(stdout.contains(r#""file":"crates/core/src/session.rs","line":10,"rule":"lock-order""#));
+    assert!(stdout.contains(r#""rule":"guard-across-blocking""#));
+    assert!(stdout.contains(r#""rule":"atomic-ordering""#));
+    assert!(stdout.contains(r#""rule":"env-knob""#));
+    // The bad tree's stale directive rides along as a stale-allow record.
+    assert!(
+        stdout.contains(r#""file":"crates/core/src/catalog.rs","line":16,"rule":"stale-allow""#)
+    );
+    // Messages with quotes/backticks survive escaping: every quote in the
+    // payload is either a structural quote or escaped.
+    assert!(!stdout.contains("\n\""), "records are comma-joined");
+
+    let clean_root = fixture_root("clean");
+    let out = run(&["--json", clean_root.to_str().unwrap()]);
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert_eq!(stdout.trim(), "[]", "clean tree emits an empty array");
 }

@@ -158,6 +158,9 @@ fn run_leg(
 }
 
 fn main() {
+    // analyze:allow(env-knob): bench-harness table sizing for CI, not a
+    // middleware config knob — documented in README.md, deliberately
+    // outside MiddlewareConfig so it cannot leak into library defaults.
     let target_rows = std::env::var("SCALECLASS_BENCH_ROWS")
         .ok()
         .and_then(|v| v.parse::<usize>().ok())

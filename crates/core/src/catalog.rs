@@ -25,6 +25,12 @@
 //! assert_shadow_accounting`] recounts every session's charge from the
 //! entry table and compares it with the incremental cells, and checks
 //! `Σ reader shares ≤ entry bytes` for every entry.
+//!
+//! Lock discipline: `catalog.inner` is ranked by the `LOCK_ORDER`
+//! manifest in `crates/analyze/src/rules.rs` (after `arbiter.inner`,
+//! before `backend.db`); the analyzer's concurrency rules (DESIGN.md
+//! §14) check every acquisition and every share-cell memory ordering in
+//! this file.
 
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};

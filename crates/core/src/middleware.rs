@@ -15,6 +15,12 @@
 //! scheduler of §4.2); the client is free to consume the returned tables in
 //! any order. Multi-client service over one shared backend lives in
 //! [`crate::concurrent::SessionPool`].
+//!
+//! Lock discipline: the facade only reaches locks through `Backend` and
+//! `Session` helpers, but it is in the analyzer's concurrency scope
+//! (DESIGN.md §14): guard bindings here are checked against the
+//! `LOCK_ORDER` manifest in `crates/analyze/src/rules.rs` like any core
+//! module's.
 
 use std::sync::{Arc, RwLockReadGuard};
 

@@ -79,6 +79,14 @@
 //! Results stay exact either way — fallback counts come from the server —
 //! and with any slack in the budget the two paths are bit-identical, which
 //! is what the property suite pins down.
+//!
+//! Lock discipline: the eviction-pool locks (`scan.evictable`,
+//! `scan.evicted`) are the innermost ranks of the `LOCK_ORDER` manifest
+//! in `crates/analyze/src/rules.rs`; `relieve_pressure` nests them in
+//! exactly that order and the analyzer (DESIGN.md §14) holds it there.
+//! The `Relaxed` scan counters in this file are deliberately exempt from
+//! the `atomic-ordering` rule: workers are join-synchronized before any
+//! cell is read for a decision.
 
 use crate::cc::{CountsTable, CC_ENTRY_BYTES};
 use crate::config::MiddlewareConfig;
@@ -283,14 +291,10 @@ impl ShardState {
     /// release and drop this worker's shard once. Returns true when the
     /// node is out of play for this worker.
     fn honour_fallback(&mut self, idx: usize, shared: &Shared) -> bool {
-        // analyze:allow(hot-path-panic): fallback/shards/dropped are
-        // parallel vectors over the batch's nodes by construction.
         if !shared.fallback[idx].load(Ordering::Relaxed) {
             return false;
         }
-        // analyze:allow(hot-path-panic): same parallel-vector bound.
         if !self.dropped[idx] {
-            // analyze:allow(hot-path-panic): same parallel-vector bound.
             let shard = &mut self.shards[idx];
             shared
                 .cc_reserved
@@ -706,8 +710,6 @@ impl ParallelScan {
             .tee_nodes
             .iter()
             .map(|&i| {
-                // analyze:allow(hot-path-panic): tee_nodes holds indices
-                // into this batch's node list, collected at construction.
                 let node = &self.batch.nodes[i];
                 (
                     i,

@@ -19,6 +19,13 @@
 //! checkpoint the arbiter asserts `Σ session leases ≤ global budget`, and
 //! each session asserts its staged memory bytes against the lease it
 //! scheduled under.
+//!
+//! Lock discipline: this module's locks (`arbiter.inner`, `backend.db`)
+//! are ranked by the `LOCK_ORDER` manifest in
+//! `crates/analyze/src/rules.rs` — the analyzer's `lock-order`,
+//! `guard-across-blocking`, and `atomic-ordering` rules (DESIGN.md §14)
+//! check every acquisition here, so keep new nestings consistent with
+//! that order and keep lease-cell atomics at `Acquire`/`Release`.
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};

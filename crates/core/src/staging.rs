@@ -8,6 +8,11 @@
 //! is usable by any *descendant* of a member node (the descendant's
 //! predicate selects the subset), and is reclaimed once no pending request
 //! descends from any member.
+//!
+//! Lock discipline: this module acquires no locks of its own rank, but
+//! its catalog `charge` cells are Σ-invariant — the analyzer's
+//! `atomic-ordering` rule (DESIGN.md §14) rejects `Relaxed` on them, and
+//! the guard rules check any lock guard passing through these paths.
 
 use crate::catalog::{FilePublish, StagingCatalog};
 use crate::config::DEFAULT_EXTENT_ROWS;
