@@ -137,13 +137,14 @@ const INT_TYPES: [&str; 12] = [
 ];
 
 /// Files subject to the accounting-arith rule.
-const ARITH_FILES: [&str; 6] = [
+const ARITH_FILES: [&str; 7] = [
     "crates/core/src/scheduler.rs",
     "crates/core/src/metrics.rs",
     "crates/core/src/estimator.rs",
     "crates/core/src/config.rs",
     "crates/core/src/catalog.rs",
     "crates/core/src/sample.rs",
+    "crates/core/src/delta.rs",
 ];
 
 /// Function-scoped accounting-arith extensions: `(file, fn names)`. For
@@ -215,7 +216,7 @@ pub const LOCK_ORDER: [&str; 5] = [
 /// contribute graph edges when called under a live guard but never extend
 /// liveness. Receiver tails disambiguate without type information; two
 /// types in one file must not share an unqualified helper name.
-pub(crate) const LOCK_SITES: [LockSite; 26] = [
+pub(crate) const LOCK_SITES: [LockSite; 27] = [
     // -- guard-returning acquisitions -----------------------------------
     LockSite {
         method: "lock",
@@ -370,6 +371,13 @@ pub(crate) const LOCK_SITES: [LockSite; 26] = [
     },
     LockSite {
         method: "publish_file",
+        recv: Some("catalog"),
+        file: None,
+        lock: "catalog.inner",
+        binds: false,
+    },
+    LockSite {
+        method: "purge_stale",
         recv: Some("catalog"),
         file: None,
         lock: "catalog.inner",

@@ -222,6 +222,7 @@ fn main() {
   "rows": {nrows},
   "arity": {arity},
   "host": {host},
+  "git": {git},
   "host_cores": {host_cores},
   "iterations_best_of": {iters},
   "rounds_per_session": {rounds},
@@ -235,6 +236,7 @@ fn main() {
 "#,
         desc = workload.description,
         host = scaleclass_bench::report::host_json(),
+        git = scaleclass_bench::report::git_json(),
         iters = ITERATIONS,
         rounds = ROUNDS,
         legs = leg_json.join(",\n"),

@@ -396,6 +396,7 @@ fn main() {
   "rows": {nrows},
   "arity": {arity},
   "host": {host},
+  "git": {git},
   "host_cores": {host_cores},
   "iterations_best_of": {iters},
   "note": "kernel legs time add_row alone and are host-independent; middleware legs use scan_rows / scan_nanos from middleware counters — parallel-worker speedups on a {host_cores}-core host need a multi-core re-run",
@@ -416,6 +417,7 @@ fn main() {
 "#,
         desc = workload.description,
         host = scaleclass_bench::report::host_json(),
+        git = scaleclass_bench::report::git_json(),
         iters = ITERATIONS,
         s_rps = sparse.rows_per_sec(),
         s_wall = sparse.wall_secs,

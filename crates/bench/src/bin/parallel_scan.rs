@@ -257,6 +257,7 @@ fn main() {
   "rows": {nrows},
   "arity": {arity},
   "host": {host},
+  "git": {git},
   "host_cores": {host_cores},
   "iterations_best_of": {iters},
   "note": "throughput = scan_rows / scan_nanos from middleware counters; speedups on a {host_cores}-core host — the >=2x target requires a multi-core box",
@@ -274,6 +275,7 @@ fn main() {
         desc = workload.description,
         arity = workload.schema.arity(),
         host = scaleclass_bench::report::host_json(),
+        git = scaleclass_bench::report::git_json(),
         iters = ITERATIONS,
         s_rps = serial.rows_per_sec(),
         s_wall = serial.wall_secs,

@@ -235,6 +235,7 @@ fn main() {
         r#"{{
   "bench": "sampled_counting",
   "host": {host},
+  "git": {git},
   "budget_bytes": {BUDGET},
   "scan_block_rows": {BLOCK_ROWS},
   "note": "staging disabled (the 2.3 no-middleware regime), so exact growth rescans the server each level; sampled counting admits ~{pct:.0}% of blocks for the upper levels and goes exact below sampled_min_rows or on a confidence-overlapped split. Counters are deterministic; asserts: random-tree >= 3x server-row reduction with identical splits and leaves; census (thin margins) escalates, reproduces the exact tree, and its overhead stays under 2% of the exact leg.",
@@ -244,6 +245,7 @@ fn main() {
 }}
 "#,
         host = scaleclass_bench::report::host_json(),
+        git = scaleclass_bench::report::git_json(),
         pct = FRACTION * 100.0,
         legs = leg_json.join(",\n"),
     );

@@ -264,6 +264,7 @@ fn main() {
   "rows": {nrows},
   "arity": {arity},
   "host": {host},
+  "git": {git},
   "iterations_best_of": {iters},
   "rounds_per_session": {rounds},
   "budget_bytes": {budget},
@@ -277,6 +278,7 @@ fn main() {
 "#,
         desc = workload.description,
         host = scaleclass_bench::report::host_json(),
+        git = scaleclass_bench::report::git_json(),
         iters = ITERATIONS,
         rounds = ROUNDS,
         m2 = multiplier(2),

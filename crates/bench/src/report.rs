@@ -120,6 +120,45 @@ pub fn host_json() -> String {
     )
 }
 
+/// Output of one `git` invocation, trimmed, or `None` when git is missing
+/// or the working directory is not a repository.
+fn git_output(args: &[&str]) -> Option<String> {
+    let out = std::process::Command::new("git").args(args).output().ok()?;
+    if !out.status.success() {
+        return None;
+    }
+    let s = String::from_utf8_lossy(&out.stdout).trim().to_string();
+    if s.is_empty() {
+        None
+    } else {
+        Some(s)
+    }
+}
+
+/// The commit hash of `HEAD`, or `"unknown"` outside a git checkout:
+/// checked-in bench JSON must say which code produced it.
+pub fn git_commit() -> String {
+    git_output(&["rev-parse", "HEAD"]).unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Whether the worktree had uncommitted changes when the bench ran. A
+/// dirty flag marks numbers that no commit can exactly reproduce.
+/// `false` when git is unavailable (then the commit is already
+/// `"unknown"`).
+pub fn git_dirty() -> bool {
+    git_output(&["status", "--porcelain"]).is_some()
+}
+
+/// The `"git"` JSON object recorded by every bench writer: commit hash
+/// plus dirty-worktree flag.
+pub fn git_json() -> String {
+    format!(
+        r#"{{ "commit": "{}", "dirty": {} }}"#,
+        git_commit().replace('"', "'").replace('\\', "/"),
+        git_dirty()
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

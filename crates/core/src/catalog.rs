@@ -12,6 +12,14 @@
 //! `Σ shares ≤ bytes` by construction). File entries charge nothing, the
 //! same way private staged files never count against the memory budget.
 //!
+//! Every entry is stamped with the base-table **epoch** (mutation
+//! counter, DESIGN.md §15) it was scanned at. Probes and publishes carry
+//! the caller's current epoch: a stale entry is refused (and demoted from
+//! the index so it can never be attached again) rather than served —
+//! incremental maintenance must never count mutated rows out of a
+//! pre-mutation snapshot. While `SCALECLASS_DELTAS` is off the epoch is
+//! always 0 and this machinery is inert.
+//!
 //! The catalog is owned by the [`crate::session::Backend`] and engaged per
 //! session when [`crate::config::MiddlewareConfig::shared_staging`] is on.
 //! It performs **no filesystem I/O** itself: shared staged files are
@@ -70,6 +78,11 @@ struct SharedEntry {
     bytes: u64,
     nrows: u64,
     arity: usize,
+    /// Base-table epoch the entry's rows were scanned at (DESIGN.md §15).
+    /// Probes at a different epoch refuse the entry; a publish at a newer
+    /// epoch demotes it from the index. Always 0 while incremental
+    /// maintenance (`SCALECLASS_DELTAS`) is off, so every probe matches.
+    epoch: u64,
     /// Sessions currently attached, in attach order. Never empty for a
     /// live entry — the last detach reclaims it.
     readers: Vec<u64>,
@@ -232,14 +245,22 @@ impl StagingCatalog {
     }
 
     /// Attach `session` to the memory entry published under `sig`, if one
-    /// exists. Charges are re-split over the grown reader set.
-    pub fn probe_mem(&self, sig: &str, session: u64) -> Option<SharedMemEntry> {
+    /// exists **at `epoch`**. A stale entry (published at a different
+    /// epoch) is refused *and demoted from the index* — it stays alive for
+    /// its current readers but can never be attached again — so a stale
+    /// probe is a miss, not a wrong answer. Charges are re-split over the
+    /// grown reader set.
+    pub fn probe_mem(&self, sig: &str, epoch: u64, session: u64) -> Option<SharedMemEntry> {
         let mut inner = self.lock();
         let id = inner
             .index
             .get(&(sig.to_owned(), SharedMode::Mem))
             .copied()?;
         let e = inner.entries.get_mut(&id)?;
+        if e.epoch != epoch {
+            inner.index.remove(&(sig.to_owned(), SharedMode::Mem));
+            return None;
+        }
         if !e.readers.contains(&session) {
             e.readers.push(session);
         }
@@ -258,15 +279,21 @@ impl StagingCatalog {
     }
 
     /// Attach `session` to the file entry published under `sig`, if one
-    /// exists. File entries charge nothing, but the refcount still pins
-    /// the on-disk file until the last reader detaches.
-    pub fn probe_file(&self, sig: &str, session: u64) -> Option<SharedFileEntry> {
+    /// exists **at `epoch`** (a stale entry is refused and demoted from
+    /// the index, exactly as in [`StagingCatalog::probe_mem`]). File
+    /// entries charge nothing, but the refcount still pins the on-disk
+    /// file until the last reader detaches.
+    pub fn probe_file(&self, sig: &str, epoch: u64, session: u64) -> Option<SharedFileEntry> {
         let mut inner = self.lock();
         let id = inner
             .index
             .get(&(sig.to_owned(), SharedMode::File))
             .copied()?;
         let e = inner.entries.get_mut(&id)?;
+        if e.epoch != epoch {
+            inner.index.remove(&(sig.to_owned(), SharedMode::File));
+            return None;
+        }
         if !e.readers.contains(&session) {
             e.readers.push(session);
         }
@@ -284,12 +311,16 @@ impl StagingCatalog {
         Some(out)
     }
 
-    /// Publish a memory-staged data set under `sig`, attaching `session`
-    /// as its first reader. If the signature is already published (a
-    /// publish race, or a re-stage while another session still reads the
-    /// old copy), the session attaches to the existing entry instead and
-    /// must adopt the returned rows — scans are deterministic over the
-    /// shared table, so both builds hold identical codes.
+    /// Publish a memory-staged data set under `sig` at `epoch`, attaching
+    /// `session` as its first reader. If the signature is already
+    /// published **at the same epoch** (a publish race, or a re-stage
+    /// while another session still reads the old copy), the session
+    /// attaches to the existing entry instead and must adopt the returned
+    /// rows — scans are deterministic over the shared table, so both
+    /// builds hold identical codes. An existing entry at a *different*
+    /// epoch is demoted from the index (it stays alive for its readers
+    /// until they detach) and the fresh rows are published over it.
+    #[allow(clippy::too_many_arguments)] // mirrors the staged artifact fields one-for-one
     pub fn publish_mem(
         &self,
         sig: String,
@@ -297,11 +328,15 @@ impl StagingCatalog {
         bytes: u64,
         nrows: u64,
         arity: usize,
+        epoch: u64,
         session: u64,
     ) -> SharedMemEntry {
         let mut inner = self.lock();
         if let Some(&id) = inner.index.get(&(sig.clone(), SharedMode::Mem)) {
-            if let Some(e) = inner.entries.get_mut(&id) {
+            let stale = inner.entries.get(&id).is_some_and(|e| e.epoch != epoch);
+            if stale {
+                inner.index.remove(&(sig.clone(), SharedMode::Mem));
+            } else if let Some(e) = inner.entries.get_mut(&id) {
                 if !e.readers.contains(&session) {
                     e.readers.push(session);
                 }
@@ -329,6 +364,7 @@ impl StagingCatalog {
                 bytes,
                 nrows,
                 arity,
+                epoch,
                 readers: vec![session],
                 payload: SharedPayload::Mem(Arc::clone(&rows)),
             },
@@ -343,10 +379,13 @@ impl StagingCatalog {
         }
     }
 
-    /// Publish a staged file under `sig`. The caller has already renamed
-    /// the file to `path` inside [`StagingCatalog::dir`]; on a publish
-    /// race the session is attached to the existing entry and told to
-    /// remove its duplicate ([`FilePublish::Attached`]).
+    /// Publish a staged file under `sig` at `epoch`. The caller has
+    /// already renamed the file to `path` inside [`StagingCatalog::dir`];
+    /// on a same-epoch publish race the session is attached to the
+    /// existing entry and told to remove its duplicate
+    /// ([`FilePublish::Attached`]). An existing entry at a different epoch
+    /// is demoted from the index and the fresh file published over it.
+    #[allow(clippy::too_many_arguments)] // mirrors the staged artifact fields one-for-one
     pub fn publish_file(
         &self,
         sig: String,
@@ -354,11 +393,15 @@ impl StagingCatalog {
         bytes: u64,
         nrows: u64,
         arity: usize,
+        epoch: u64,
         session: u64,
     ) -> FilePublish {
         let mut inner = self.lock();
         if let Some(&id) = inner.index.get(&(sig.clone(), SharedMode::File)) {
-            if let Some(e) = inner.entries.get_mut(&id) {
+            let stale = inner.entries.get(&id).is_some_and(|e| e.epoch != epoch);
+            if stale {
+                inner.index.remove(&(sig.clone(), SharedMode::File));
+            } else if let Some(e) = inner.entries.get_mut(&id) {
                 if !e.readers.contains(&session) {
                     e.readers.push(session);
                 }
@@ -381,6 +424,7 @@ impl StagingCatalog {
                 bytes,
                 nrows,
                 arity,
+                epoch,
                 readers: vec![session],
                 payload: SharedPayload::File(path),
             },
@@ -421,11 +465,38 @@ impl StagingCatalog {
         e.bytes.checked_div(n).unwrap_or(0)
     }
 
-    /// Drop a reclaimed entry, returning its path if it owned a file.
+    /// Demote every entry published at an epoch other than `epoch` from
+    /// the index, so no further probe or publish can reach it. Demoted
+    /// entries stay alive for their current readers (copy-on-read scans
+    /// in flight keep a consistent snapshot) and are reclaimed by their
+    /// last detach as usual. Returns how many entries were demoted —
+    /// callers count them into `MiddlewareStats::epochs_invalidated`.
+    pub fn purge_stale(&self, epoch: u64) -> u64 {
+        let mut inner = self.lock();
+        let stale: Vec<(String, SharedMode)> = inner
+            .index
+            .iter()
+            .filter(|(_, id)| inner.entries.get(id).is_some_and(|e| e.epoch != epoch))
+            .map(|(k, _)| k.clone())
+            .collect();
+        let n = u64::try_from(stale.len()).unwrap_or(u64::MAX);
+        for key in stale {
+            inner.index.remove(&key);
+        }
+        n
+    }
+
+    /// Drop a reclaimed entry, returning its path if it owned a file. The
+    /// index key is removed only if it still points at this entry — a
+    /// stale entry demoted from the index may have been replaced there by
+    /// a fresh publish under the same signature, which must survive.
     fn reclaim(inner: &mut CatalogInner, entry: u64) -> Option<PathBuf> {
         let e = inner.entries.remove(&entry)?;
         debug_assert!(e.readers.is_empty(), "reclaimed a live entry");
-        inner.index.remove(&(e.sig, e.mode));
+        let key = (e.sig, e.mode);
+        if inner.index.get(&key) == Some(&entry) {
+            inner.index.remove(&key);
+        }
         inner.stats.reclaims = inner.stats.reclaims.saturating_add(1);
         match e.payload {
             SharedPayload::File(path) => Some(path),
@@ -518,12 +589,14 @@ mod tests {
         let (s2, c2) = cat.register_session();
 
         let rows = Arc::new(vec![1u16, 2, 3, 4]);
-        let pub1 = cat.publish_mem("sig-a".into(), Arc::clone(&rows), 1000, 2, 2, s1);
+        let pub1 = cat.publish_mem("sig-a".into(), Arc::clone(&rows), 1000, 2, 2, 0, s1);
         assert_eq!(c1.load(Ordering::Acquire), 1000, "sole reader pays all");
         assert_eq!(cat.stats().publishes, 1);
         assert_eq!(cat.reader_count(pub1.entry), 1);
 
-        let hit = cat.probe_mem("sig-a", s2).expect("published entry found");
+        let hit = cat
+            .probe_mem("sig-a", 0, s2)
+            .expect("published entry found");
         assert_eq!(hit.entry, pub1.entry);
         assert!(Arc::ptr_eq(&hit.rows, &rows), "copy-on-read, not a copy");
         assert_eq!(cat.stats().hits, 1);
@@ -547,7 +620,7 @@ mod tests {
         assert_eq!(cat.stats().reclaims, 1, "last detach reclaims");
         assert_eq!(cat.entry_count(), 0);
         assert!(
-            cat.probe_mem("sig-a", s2).is_none(),
+            cat.probe_mem("sig-a", 0, s2).is_none(),
             "reclaimed entries miss"
         );
         cat.assert_shadow_accounting();
@@ -559,9 +632,9 @@ mod tests {
         let sessions: Vec<u64> = (0..3).map(|_| cat.register_session().0).collect();
         let rows = Arc::new(vec![0u16; 50]);
         // 1001 / 3 = 333 each: Σ = 999 ≤ 1001.
-        let e = cat.publish_mem("s".into(), rows, 1001, 25, 2, sessions[0]);
+        let e = cat.publish_mem("s".into(), rows, 1001, 25, 2, 0, sessions[0]);
         for &s in &sessions[1..] {
-            cat.probe_mem("s", s).unwrap();
+            cat.probe_mem("s", 0, s).unwrap();
         }
         let total: u64 = sessions.iter().map(|&s| cat.share_of(e.entry, s)).sum();
         assert_eq!(total, 999);
@@ -576,8 +649,8 @@ mod tests {
         let (s2, _) = cat.register_session();
         let first = Arc::new(vec![7u16, 8]);
         let second = Arc::new(vec![7u16, 8]);
-        let e1 = cat.publish_mem("race".into(), Arc::clone(&first), 4, 1, 2, s1);
-        let e2 = cat.publish_mem("race".into(), second, 4, 1, 2, s2);
+        let e1 = cat.publish_mem("race".into(), Arc::clone(&first), 4, 1, 2, 0, s1);
+        let e2 = cat.publish_mem("race".into(), second, 4, 1, 2, 0, s2);
         assert_eq!(e1.entry, e2.entry);
         assert!(
             Arc::ptr_eq(&e2.rows, &first),
@@ -595,12 +668,12 @@ mod tests {
         let (s2, _) = cat.register_session();
         let path = cat.dir().join("scx0m0_stage_1_0.rows");
         let FilePublish::Published(entry) =
-            cat.publish_file("f".into(), path.clone(), 600, 100, 3, s1)
+            cat.publish_file("f".into(), path.clone(), 600, 100, 3, 0, s1)
         else {
             panic!("fresh signature must publish");
         };
         assert_eq!(c1.load(Ordering::Acquire), 0, "files charge nothing");
-        let hit = cat.probe_file("f", s2).unwrap();
+        let hit = cat.probe_file("f", 0, s2).unwrap();
         assert_eq!(hit.path, path);
         assert_eq!(hit.nrows, 100);
         assert!(cat.detach(entry, s1).is_none(), "a reader remains");
@@ -619,11 +692,11 @@ mod tests {
         let (s2, _) = cat.register_session();
         let p1 = cat.dir().join("a.rows");
         let p2 = cat.dir().join("b.rows");
-        let FilePublish::Published(e1) = cat.publish_file("f".into(), p1.clone(), 6, 1, 3, s1)
+        let FilePublish::Published(e1) = cat.publish_file("f".into(), p1.clone(), 6, 1, 3, 0, s1)
         else {
             panic!("fresh signature must publish");
         };
-        let FilePublish::Attached(e2, existing) = cat.publish_file("f".into(), p2, 6, 1, 3, s2)
+        let FilePublish::Attached(e2, existing) = cat.publish_file("f".into(), p2, 6, 1, 3, 0, s2)
         else {
             panic!("duplicate signature must attach");
         };
@@ -636,10 +709,10 @@ mod tests {
         let cat = StagingCatalog::new();
         let (s1, c1) = cat.register_session();
         let (s2, c2) = cat.register_session();
-        cat.publish_mem("m".into(), Arc::new(vec![0u16; 4]), 800, 2, 2, s1);
-        cat.probe_mem("m", s2).unwrap();
+        cat.publish_mem("m".into(), Arc::new(vec![0u16; 4]), 800, 2, 2, 0, s1);
+        cat.probe_mem("m", 0, s2).unwrap();
         let FilePublish::Published(_) =
-            cat.publish_file("f".into(), cat.dir().join("x.rows"), 10, 1, 5, s1)
+            cat.publish_file("f".into(), cat.dir().join("x.rows"), 10, 1, 5, 0, s1)
         else {
             panic!("fresh signature must publish");
         };
@@ -659,6 +732,71 @@ mod tests {
         assert!(reclaimed.is_empty(), "mem entries reclaim without paths");
         assert_eq!(cat.entry_count(), 0);
         assert_eq!(cat.stats().reclaims, 2);
+    }
+
+    #[test]
+    fn stale_epoch_probe_refuses_and_demotes() {
+        let cat = StagingCatalog::new();
+        let (s1, _) = cat.register_session();
+        let (s2, c2) = cat.register_session();
+        cat.publish_mem("e".into(), Arc::new(vec![1u16, 2]), 100, 1, 2, 3, s1);
+        // A probe at a newer epoch must miss — the pre-mutation snapshot
+        // would yield wrong counts — and must not attach the prober.
+        assert!(cat.probe_mem("e", 4, s2).is_none());
+        assert_eq!(
+            c2.load(Ordering::Acquire),
+            0,
+            "refused probe charges nothing"
+        );
+        // The stale entry was demoted: even a probe at the *original*
+        // epoch now misses.
+        assert!(cat.probe_mem("e", 3, s2).is_none());
+        // ... but the publisher still reads it (entry alive until detach).
+        assert_eq!(cat.entry_count(), 1);
+        cat.assert_shadow_accounting();
+    }
+
+    #[test]
+    fn republish_at_new_epoch_supersedes_stale_entry() {
+        let cat = StagingCatalog::new();
+        let (s1, _) = cat.register_session();
+        let (s2, _) = cat.register_session();
+        let old = cat.publish_mem("e".into(), Arc::new(vec![1u16]), 10, 1, 1, 0, s1);
+        let fresh_rows = Arc::new(vec![9u16]);
+        let fresh = cat.publish_mem("e".into(), Arc::clone(&fresh_rows), 10, 1, 1, 1, s2);
+        assert_ne!(old.entry, fresh.entry, "new epoch publishes a new entry");
+        assert!(Arc::ptr_eq(&fresh.rows, &fresh_rows));
+        assert_eq!(cat.entry_count(), 2, "old entry lives for its reader");
+        // Probes at epoch 1 find the fresh entry.
+        let hit = cat.probe_mem("e", 1, s1).unwrap();
+        assert_eq!(hit.entry, fresh.entry);
+        // The stale entry's last detach must NOT clobber the fresh index
+        // slot (the reclaim-only-own-key fix).
+        cat.detach(old.entry, s1);
+        assert!(cat.probe_mem("e", 1, s2).is_some(), "fresh entry survives");
+        cat.assert_shadow_accounting();
+    }
+
+    #[test]
+    fn purge_stale_demotes_old_epochs_only() {
+        let cat = StagingCatalog::new();
+        let (s1, _) = cat.register_session();
+        cat.publish_mem("a".into(), Arc::new(vec![0u16]), 2, 1, 1, 0, s1);
+        cat.publish_mem("b".into(), Arc::new(vec![0u16]), 2, 1, 1, 2, s1);
+        let FilePublish::Published(_) =
+            cat.publish_file("c".into(), cat.dir().join("c.rows"), 2, 1, 1, 0, s1)
+        else {
+            panic!("fresh signature must publish");
+        };
+        assert_eq!(cat.purge_stale(2), 2, "the two epoch-0 entries demote");
+        assert!(cat.probe_mem("a", 0, s1).is_none());
+        assert!(cat.probe_file("c", 0, s1).is_none());
+        assert!(
+            cat.probe_mem("b", 2, s1).is_some(),
+            "current epoch survives"
+        );
+        assert_eq!(cat.purge_stale(2), 0, "purge is idempotent");
+        assert_eq!(cat.entry_count(), 3, "readers keep demoted entries alive");
     }
 
     #[test]

@@ -207,6 +207,62 @@ impl DenseCounts {
         true
     }
 
+    /// Un-count one row: the signed inverse of [`DenseCounts::add_row`].
+    /// Returns `false` — without touching any slot — when a code falls
+    /// outside the layout **or** any targeted slot is already zero (the
+    /// row was never counted here); the validate-then-decrement split
+    /// keeps the operation all-or-nothing, so a rejected removal leaves
+    /// the table exactly as it was. `occupied` shrinks on every `1 → 0`
+    /// transition, mirroring `add_row`'s `0 → 1` growth, so the modelled
+    /// memory can shrink under deletes.
+    #[inline]
+    fn remove_row(&mut self, row: &[Code], attrs: &[u16], class: Code) -> bool {
+        let l = &*self.layout;
+        let class = class as u32;
+        if class >= l.n_classes {
+            return false;
+        }
+        for &attr in attrs {
+            match l.attr_index(attr) {
+                // analyze:allow(hot-path-panic): delta rows are full-arity
+                // by construction (the delta log stores complete row
+                // images) and `i` comes from `attr_index` over the same
+                // layout vectors.
+                Some(i) if (row[attr as usize] as u32) < l.cards[i] => {
+                    let slot =
+                        // analyze:allow(hot-path-panic): `i` comes from
+                        // `attr_index` over the layout vectors and the
+                        // guard above bounds-checked the value code.
+                        (l.offsets[i] + row[attr as usize] as u32 * l.n_classes + class) as usize;
+                    // analyze:allow(hot-path-panic): slot < layout.slots
+                    // because offset + value·classes + class was
+                    // bounds-checked above.
+                    if self.slots[slot] == 0 {
+                        return false;
+                    }
+                }
+                _ => return false,
+            }
+        }
+        let mut freed = 0usize;
+        for &attr in attrs {
+            // analyze:allow(hot-path-panic): the validation loop above
+            // proved every attr is tracked and every code is inside its
+            // card, so col_index/offsets/row lookups cannot miss.
+            let i = l.col_index[attr as usize] as usize;
+            // analyze:allow(hot-path-panic): slot < layout.slots because
+            // offset + value·classes + class was bounds-checked above.
+            let slot = (l.offsets[i] + row[attr as usize] as u32 * l.n_classes + class) as usize;
+            // analyze:allow(hot-path-panic): slots was allocated with
+            // exactly `layout.slots` elements.
+            let s = &mut self.slots[slot];
+            *s -= 1;
+            freed += (*s == 0) as usize;
+        }
+        self.occupied -= freed;
+        true
+    }
+
     /// Add `n` to one entry; `false` when the key is out of range.
     ///
     /// `occupied` counts *non-zero* slots, so a zero `n` landing on an
@@ -461,6 +517,63 @@ impl CountsTable {
         }
         *self.class_totals.entry(class).or_insert(0) += 1;
         self.total += 1;
+    }
+
+    /// Un-count one data row: the signed inverse of
+    /// [`CountsTable::add_row`], used by the incremental-maintenance path
+    /// to apply DELETE events (DESIGN.md §15). Returns `false` — with the
+    /// table untouched — when the row was never counted here (some entry,
+    /// class total, or the row total would underflow); that signals a
+    /// corrupt delta stream and callers must escalate rather than continue.
+    /// Entries, occupancy, and therefore [`CountsTable::memory_bytes`] may
+    /// shrink; budget *admission* is unaffected (released bytes simply
+    /// return to the lease at the next reconcile).
+    pub fn remove_row(&mut self, row: &[Code], attrs: &[u16], class_col: u16) -> bool {
+        let class = row[class_col as usize];
+        if self.total == 0 || !self.class_totals.get(&class).is_some_and(|&n| n > 0) {
+            return false;
+        }
+        match &mut self.repr {
+            CcRepr::Dense(d) => {
+                if !d.remove_row(row, attrs, class) {
+                    return false;
+                }
+            }
+            CcRepr::Sparse(map) => {
+                // Validate-then-decrement so a rejected removal leaves no
+                // partial mutation behind.
+                for &attr in attrs {
+                    // analyze:allow(hot-path-panic): delta rows are full
+                    // arity by construction (the delta log stores complete
+                    // row images), so attr < row.len().
+                    let key = (attr, row[attr as usize], class);
+                    if !map.get(&key).is_some_and(|&n| n > 0) {
+                        return false;
+                    }
+                }
+                for &attr in attrs {
+                    // analyze:allow(hot-path-panic): same full-arity
+                    // argument as the validation loop above.
+                    let key = (attr, row[attr as usize], class);
+                    // analyze:allow(hot-path-panic): the validation loop
+                    // above proved the entry exists with a non-zero count.
+                    let n = map.get_mut(&key).expect("validated entry");
+                    *n -= 1;
+                    if *n == 0 {
+                        map.remove(&key);
+                    }
+                }
+            }
+        }
+        // analyze:allow(hot-path-panic): presence with a non-zero count was
+        // checked before any representation was touched.
+        let t = self.class_totals.get_mut(&class).expect("validated class");
+        *t -= 1;
+        if *t == 0 {
+            self.class_totals.remove(&class);
+        }
+        self.total -= 1;
+        true
     }
 
     /// Column-slice twin of [`CountsTable::add_row`]: count row `r` of a
@@ -1352,5 +1465,101 @@ mod tests {
         full.add_block(&refs, 2, &[0, 1]);
         assert!(!full.is_dense());
         assert!(full.memory_bytes() <= before + bound);
+    }
+
+    #[test]
+    fn add_then_remove_round_trips_on_both_backends() {
+        let rows: Vec<[Code; 3]> = vec![[0, 0, 0], [0, 1, 0], [1, 1, 1], [0, 0, 1], [3, 2, 1]];
+        for dense in [false, true] {
+            let mut cc = if dense {
+                dense_from(&rows)
+            } else {
+                table_from(&rows)
+            };
+            // Remove a middle subset; the survivors must equal a fresh
+            // count of the surviving rows.
+            for row in [[0, 1, 0], [3, 2, 1]] {
+                assert!(cc.remove_row(&row, &[0, 1], 2), "counted row removes");
+            }
+            let survivors = table_from(&[[0, 0, 0], [1, 1, 1], [0, 0, 1]]);
+            assert_eq!(cc, survivors, "dense={dense}");
+            assert_eq!(cc.shadow_memory_bytes(), cc.memory_bytes());
+            // Remove the rest: the table drains to empty and the modelled
+            // memory shrinks all the way to zero.
+            for row in [[0, 0, 0], [1, 1, 1], [0, 0, 1]] {
+                assert!(cc.remove_row(&row, &[0, 1], 2));
+            }
+            assert!(cc.is_empty(), "dense={dense}");
+            assert_eq!(cc.memory_bytes(), 0);
+            assert_eq!(cc.total(), 0);
+            assert_eq!(cc.distinct_classes(), 0);
+            assert_eq!(cc.shadow_memory_bytes(), 0);
+        }
+    }
+
+    #[test]
+    fn remove_rejects_uncounted_rows_without_partial_mutation() {
+        let rows: Vec<[Code; 3]> = vec![[0, 0, 0], [1, 1, 1]];
+        for dense in [false, true] {
+            let mut cc = if dense {
+                dense_from(&rows)
+            } else {
+                table_from(&rows)
+            };
+            let before = cc.clone();
+            // Never-counted row whose *first* attr entry exists but whose
+            // second does not: (0,0,0) is present, (1,1,0) is not — a
+            // non-atomic implementation would decrement the first before
+            // noticing.
+            assert!(!cc.remove_row(&[0, 1, 0], &[0, 1], 2));
+            // Absent class value.
+            assert!(!cc.remove_row(&[0, 0, 3], &[0, 1], 2));
+            assert_eq!(cc, before, "rejected removals leave no trace");
+            assert_eq!(cc.shadow_memory_bytes(), before.shadow_memory_bytes());
+            // Drained table rejects everything.
+            assert!(cc.remove_row(&[0, 0, 0], &[0, 1], 2));
+            assert!(cc.remove_row(&[1, 1, 1], &[0, 1], 2));
+            assert!(!cc.remove_row(&[0, 0, 0], &[0, 1], 2), "dense={dense}");
+        }
+    }
+
+    #[test]
+    fn signed_streams_match_reference_model_across_backends() {
+        // Deterministic LCG so the property replays bit-identically.
+        let mut state = 0x2545F4914F6CDD1Du64;
+        let mut rng = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as u32
+        };
+        let mut sparse = CountsTable::new();
+        let mut dense = CountsTable::new_dense(&[(0, 4), (1, 4)], 2);
+        assert!(dense.is_dense());
+        let mut live: Vec<[Code; 3]> = Vec::new();
+        for _ in 0..400 {
+            let removing = !live.is_empty() && rng() % 3 == 0;
+            if removing {
+                let row = live.swap_remove(rng() as usize % live.len());
+                assert!(sparse.remove_row(&row, &[0, 1], 2));
+                assert!(dense.remove_row(&row, &[0, 1], 2));
+            } else {
+                let row = [
+                    (rng() % 4) as Code,
+                    (rng() % 4) as Code,
+                    (rng() % 2) as Code,
+                ];
+                live.push(row);
+                sparse.add_row(&row, &[0, 1], 2);
+                dense.add_row(&row, &[0, 1], 2);
+            }
+            assert_eq!(sparse.shadow_memory_bytes(), sparse.memory_bytes());
+            assert_eq!(dense.shadow_memory_bytes(), dense.memory_bytes());
+        }
+        // Both backends agree with each other and with a fresh count of
+        // exactly the surviving rows.
+        assert_eq!(sparse, dense);
+        assert_eq!(sparse, table_from(&live));
+        assert_eq!(sparse.total(), live.len() as u64);
     }
 }

@@ -168,6 +168,16 @@ pub struct MiddlewareConfig {
     /// the default keeps the sampled path on the row-heavy upper tree
     /// where the ISSUE's server-I/O argument actually holds.
     pub sampled_min_rows: u64,
+    /// Incremental model maintenance over mutation deltas (DESIGN.md §15).
+    /// When on, the session enables the server-side delta log for its
+    /// table at open, staged artifacts and shared-catalog entries are
+    /// stamped with the table epoch they were computed at (stale ones are
+    /// invalidated rather than trusted), and `drain_deltas` becomes the
+    /// hook the maintenance pass uses to pull signed row events. Off by
+    /// default — and bit-identical to a build without the feature: no log
+    /// is enabled, every epoch stays 0, and no maintenance path runs.
+    /// Honours the `SCALECLASS_DELTAS` environment variable.
+    pub deltas: bool,
 }
 
 /// Default rows per staged-file extent (≈ 400 KB of payload at the
@@ -233,6 +243,15 @@ fn env_cc_dense() -> u64 {
         .unwrap_or(DEFAULT_CC_DENSE_MAX_BYTES)
 }
 
+/// Incremental-maintenance switch from `SCALECLASS_DELTAS` (`1`, `true`,
+/// `on`, or `yes` enable it; anything else — including unset — keeps the
+/// from-scratch-only default).
+fn env_deltas() -> bool {
+    std::env::var("SCALECLASS_DELTAS")
+        .map(|v| matches!(v.trim(), "1" | "true" | "on" | "yes"))
+        .unwrap_or(false)
+}
+
 /// Sampling fraction from `SCALECLASS_SAMPLED` (unset, empty, zero,
 /// negative, NaN, or unparsable all mean the exact-counting default of
 /// 0.0); values above 1 clamp to the complete sample.
@@ -286,6 +305,7 @@ impl Default for MiddlewareConfig {
             batch_kernel: env_batch_kernel(),
             sampled_fraction: env_sampled(),
             sampled_min_rows: DEFAULT_SAMPLED_MIN_ROWS,
+            deltas: env_deltas(),
         }
     }
 }
@@ -453,6 +473,13 @@ impl MiddlewareConfigBuilder {
         self
     }
 
+    /// Incremental maintenance over mutation deltas (epoch stamping +
+    /// delta log + `drain_deltas` hook).
+    pub fn deltas(mut self, on: bool) -> Self {
+        self.config.deltas = on;
+        self
+    }
+
     /// Finish building.
     pub fn build(self) -> MiddlewareConfig {
         self.config
@@ -591,6 +618,14 @@ mod tests {
             MiddlewareConfig::builder().build().sampled_min_rows,
             DEFAULT_SAMPLED_MIN_ROWS
         );
+    }
+
+    #[test]
+    fn deltas_knob() {
+        let c = MiddlewareConfig::builder().deltas(true).build();
+        assert!(c.deltas);
+        let c = MiddlewareConfig::builder().deltas(false).build();
+        assert!(!c.deltas, "builder can force the from-scratch-only path");
     }
 
     #[test]

@@ -69,6 +69,12 @@ pub mod concurrent;
     clippy::cast_possible_wrap
 )]
 pub mod config;
+#[deny(
+    clippy::cast_possible_truncation,
+    clippy::cast_sign_loss,
+    clippy::cast_possible_wrap
+)]
+pub mod delta;
 pub mod error;
 #[deny(
     clippy::cast_possible_truncation,
@@ -107,6 +113,7 @@ pub use catalog::StagingCatalog;
 pub use cc::{CountsTable, FulfilledCc, CC_ENTRY_BYTES};
 pub use concurrent::SessionPool;
 pub use config::{AuxMode, EstimatorKind, FileStagingPolicy, MiddlewareConfig};
+pub use delta::{DeltaMap, LeafDelta};
 pub use error::{MwError, MwResult};
 pub use metrics::{ArbiterStats, CatalogStats, MiddlewareStats, ScanStats, WorkerScanStats};
 pub use middleware::Middleware;

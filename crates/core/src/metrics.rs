@@ -120,6 +120,20 @@ pub struct MiddlewareStats {
     /// Rows sampled batches *skipped* relative to an exact scan of the
     /// same source — the headline saving the mode exists for.
     pub exact_rows_saved: u64,
+    /// Signed row events drained from the server delta log and applied by
+    /// the incremental-maintenance path (DESIGN.md §15). From-scratch
+    /// builds leave this 0.
+    pub deltas_applied: u64,
+    /// Tree nodes whose subtree was re-split during maintenance because
+    /// the accumulated delta magnitude could have flipped the node's
+    /// winner-vs-runner-up margin (or the delta stream demanded it: an
+    /// unroutable value, an emptied child, a purity/row-floor change).
+    pub nodes_resplit: u64,
+    /// Staged artifacts and shared-catalog entries invalidated because
+    /// their stamped epoch no longer matched the table's (DESIGN.md §15's
+    /// epoch rule: staged row sets are snapshots; any mutation stales
+    /// them).
+    pub epochs_invalidated: u64,
 }
 
 impl MiddlewareStats {

@@ -30,7 +30,7 @@ use crate::error::MwResult;
 use crate::metrics::{MiddlewareStats, ScanStats};
 use crate::request::{CcRequest, NodeId};
 use crate::session::{Backend, Session};
-use scaleclass_sqldb::{Code, Database, Pred, Schema, StatsSnapshot};
+use scaleclass_sqldb::{Code, Database, Pred, RowDelta, Schema, StatsSnapshot};
 
 /// The middleware execution + scheduling engine for one mining session
 /// (one data table, one class column). A facade over
@@ -88,6 +88,54 @@ impl Middleware {
     /// Rows in the session table.
     pub fn table_rows(&self) -> u64 {
         self.session.table_rows()
+    }
+
+    /// The mined table's current mutation epoch (0 until a mutation lands).
+    pub fn table_epoch(&self) -> u64 {
+        self.session.backend().table_epoch()
+    }
+
+    /// Insert one row into the mined table ([`Backend::insert_row`]).
+    pub fn insert_row(&self, row: &[Code]) -> MwResult<()> {
+        self.session.backend().insert_row(row)
+    }
+
+    /// Delete every mined-table row matching `pred`; returns rows removed
+    /// ([`Backend::delete_where`]).
+    pub fn delete_where(&self, pred: &Pred) -> MwResult<u64> {
+        self.session.backend().delete_where(pred)
+    }
+
+    /// Apply `(column, value)` assignments to every mined-table row
+    /// matching `pred`; returns rows changed ([`Backend::update_where`]).
+    pub fn update_where(&self, pred: &Pred, assignments: &[(usize, Code)]) -> MwResult<u64> {
+        self.session.backend().update_where(pred, assignments)
+    }
+
+    /// Drain the mined table's signed row events for incremental model
+    /// maintenance, invalidating stale staged artifacts
+    /// ([`Session::drain_deltas`], DESIGN.md §15).
+    pub fn drain_deltas(&mut self) -> (Vec<RowDelta>, u64) {
+        self.session.drain_deltas()
+    }
+
+    /// Record `n` margin-triggered node re-splits
+    /// ([`Session::note_resplits`]).
+    pub fn note_resplits(&mut self, n: u64) {
+        self.session.note_resplits(n)
+    }
+
+    /// The session's leased slice of the memory budget (the whole budget
+    /// for this single-session facade) — what client-side delta buffers
+    /// are admitted against ([`Session::lease_bytes`]).
+    pub fn lease_bytes(&self) -> u64 {
+        self.session.lease_bytes()
+    }
+
+    /// Bytes currently staged in middleware memory
+    /// ([`Session::staged_mem_bytes`]).
+    pub fn staged_mem_bytes(&self) -> u64 {
+        self.session.staged_mem_bytes()
     }
 
     /// Middleware-side statistics.

@@ -45,7 +45,9 @@ use crate::scheduler::{schedule, BatchPlan};
 use crate::sqlgen::cc_via_sql;
 use crate::staging::{ExtentReader, StagingManager};
 use scaleclass_sqldb::stats::DbStats;
-use scaleclass_sqldb::{Code, Database, KeysetCursor, Pred, Schema, StatsSnapshot, CODE_BYTES};
+use scaleclass_sqldb::{
+    Code, Database, KeysetCursor, Pred, RowDelta, Schema, StatsSnapshot, CODE_BYTES,
+};
 
 // ---------------------------------------------------------------------------
 // Budget arbitration
@@ -189,7 +191,10 @@ pub struct Backend {
     /// dense counting backend sizes its slot arrays by.
     col_cards: Vec<u64>,
     arity: usize,
-    table_rows: u64,
+    /// Rows in the mined table, refreshed under the db write lock after
+    /// every mutation and read lock-free (Acquire pairs with the Release
+    /// in [`Backend::refresh_table_rows`]).
+    table_rows: AtomicU64,
     config: MiddlewareConfig,
     arbiter: BudgetArbiter,
     /// Cross-session shared staging catalog: the first session to stage a
@@ -208,11 +213,15 @@ impl Backend {
         class_column: &str,
         config: MiddlewareConfig,
     ) -> MwResult<Self> {
+        let mut db = db;
         let table = table.into();
         let (schema, table_rows) = {
             let t = db.table(&table)?;
             (t.schema().clone(), t.nrows())
         };
+        if config.deltas {
+            db.enable_delta_log(&table)?;
+        }
         let class_col = schema.column_index(class_column)? as u16;
         let default_attrs: Vec<u16> = (0..schema.arity() as u16)
             .filter(|&c| c != class_col)
@@ -235,7 +244,7 @@ impl Backend {
             nclasses,
             col_cards,
             arity,
-            table_rows,
+            table_rows: AtomicU64::new(table_rows),
             config,
             arbiter,
             catalog,
@@ -264,7 +273,49 @@ impl Backend {
 
     /// Rows in the mined table.
     pub fn table_rows(&self) -> u64 {
-        self.table_rows
+        self.table_rows.load(Ordering::Acquire)
+    }
+
+    /// The mined table's current mutation epoch (0 until a mutation lands).
+    pub fn table_epoch(&self) -> u64 {
+        self.db_read().table_epoch(&self.table)
+    }
+
+    /// Insert one row into the mined table. The table's epoch advances and,
+    /// with `config.deltas` on, a `+row` event joins the delta log.
+    pub fn insert_row(&self, row: &[Code]) -> MwResult<()> {
+        let mut db = self.db_write();
+        db.insert(&self.table, row)?;
+        self.refresh_table_rows(&db);
+        Ok(())
+    }
+
+    /// Delete every mined-table row matching `pred`; returns rows removed.
+    /// Removals advance the epoch and log `-row` events under
+    /// `config.deltas`.
+    pub fn delete_where(&self, pred: &Pred) -> MwResult<u64> {
+        let mut db = self.db_write();
+        let removed = db.delete_where(&self.table, pred)?;
+        self.refresh_table_rows(&db);
+        Ok(removed)
+    }
+
+    /// Apply `(column, value)` assignments to every mined-table row matching
+    /// `pred`; returns rows changed. Changes advance the epoch and log
+    /// `-old`/`+new` event pairs under `config.deltas`.
+    pub fn update_where(&self, pred: &Pred, assignments: &[(usize, Code)]) -> MwResult<u64> {
+        let mut db = self.db_write();
+        let changed = db.update_where(&self.table, pred, assignments)?;
+        self.refresh_table_rows(&db);
+        Ok(changed)
+    }
+
+    /// Re-read the mined table's row count while a mutation's write guard
+    /// is still held, publishing it for the lock-free readers.
+    fn refresh_table_rows(&self, db: &Database) {
+        if let Ok(t) = db.table(&self.table) {
+            self.table_rows.store(t.nrows(), Ordering::Release);
+        }
     }
 
     /// Schema value cardinality per column.
@@ -300,8 +351,8 @@ impl Backend {
             lineage: Lineage::root(root),
             attrs: self.default_attrs.clone(),
             class_col: self.class_col,
-            rows: self.table_rows,
-            parent_rows: self.table_rows,
+            rows: self.table_rows(),
+            parent_rows: self.table_rows(),
             parent_cards: self
                 .default_attrs
                 .iter()
@@ -395,6 +446,12 @@ impl Session {
         if backend.config.shared_staging {
             staging.attach_catalog(Arc::clone(&backend.catalog));
         }
+        if backend.config.deltas {
+            // Loaded tables open past epoch 0 (each load-time insert is a
+            // mutation); start stamping at the current epoch so artifacts
+            // staged before any *new* mutation survive the first drain.
+            staging.seed_epoch(backend.table_epoch());
+        }
         let attrs = backend.default_attrs.clone();
         Ok(Session {
             backend,
@@ -443,7 +500,7 @@ impl Session {
 
     /// Rows in the session table.
     pub fn table_rows(&self) -> u64 {
-        self.backend.table_rows
+        self.backend.table_rows()
     }
 
     /// Middleware-side statistics for this session.
@@ -455,6 +512,35 @@ impl Session {
     /// decode time by scan-worker index, summed over the session).
     pub fn scan_stats(&self) -> &ScanStats {
         &self.scan_stats
+    }
+
+    /// Drain the mined table's signed row events for incremental model
+    /// maintenance (DESIGN.md §15). Returns the events in sequence order
+    /// together with the epoch of the drained state; every staged artifact
+    /// and shared-catalog entry computed at an earlier epoch is invalidated
+    /// before this returns, so no pre-mutation snapshot can serve a
+    /// post-drain scan. Counts the events into `stats.deltas_applied`.
+    pub fn drain_deltas(&mut self) -> (Vec<RowDelta>, u64) {
+        let (events, epoch) = {
+            // Scoped: `catalog.inner` ranks before `backend.db` in the lock
+            // order (staging.rs module doc), so the write guard must drop
+            // before `advance_epoch` reaches the shared catalog.
+            let mut db = self.backend.db_write();
+            let events = db.take_deltas(&self.backend.table);
+            let epoch = db.table_epoch(&self.backend.table);
+            (events, epoch)
+        };
+        self.staging.advance_epoch(epoch, &mut self.stats);
+        let n = u64::try_from(events.len()).unwrap_or(u64::MAX);
+        self.stats.deltas_applied = self.stats.deltas_applied.saturating_add(n);
+        (events, epoch)
+    }
+
+    /// Record that the maintenance client re-split `n` tree nodes whose
+    /// winner-vs-runner-up margin the accumulated deltas could have flipped
+    /// (DESIGN.md §15).
+    pub fn note_resplits(&mut self, n: u64) {
+        self.stats.nodes_resplit = self.stats.nodes_resplit.saturating_add(n);
     }
 
     /// Snapshot of the backend server's statistics.
@@ -533,8 +619,8 @@ impl Session {
             lineage: Lineage::root(root),
             attrs: self.attrs.clone(),
             class_col: self.backend.class_col,
-            rows: self.backend.table_rows,
-            parent_rows: self.backend.table_rows,
+            rows: self.backend.table_rows(),
+            parent_rows: self.backend.table_rows(),
             parent_cards: self
                 .attrs
                 .iter()
@@ -901,10 +987,11 @@ impl Session {
             let idx = match usable {
                 Some(i) => Some(i),
                 None => {
-                    let fraction = if self.backend.table_rows == 0 {
+                    let table_rows = self.backend.table_rows();
+                    let fraction = if table_rows == 0 {
                         1.0
                     } else {
-                        frontier_rows as f64 / self.backend.table_rows as f64
+                        frontier_rows as f64 / table_rows as f64
                     };
                     if fraction <= self.backend.config.aux_threshold {
                         Some(self.build_aux(sink.nodes(), &filter)?)
@@ -1046,7 +1133,7 @@ impl Session {
         // charges, the rows in between. Aux structures (§4.3.3) are not
         // consulted: a sample exists to make the *plain* scan cheap.
         let block_rows = self.backend.config.scan_block_rows.max(1) as u64;
-        let table_rows = self.backend.table_rows;
+        let table_rows = self.backend.table_rows();
         let sampler = BlockSampler::new(tag.fraction);
         let nblocks = table_rows.div_ceil(block_rows.max(1));
         let mut ranges: Vec<(u64, u64)> = Vec::new();
@@ -1652,5 +1739,113 @@ mod tests {
         let db = be.db();
         let temps: Vec<&str> = db.table_names().filter(|n| n.starts_with('#')).collect();
         assert!(temps.is_empty(), "leaked temp tables: {temps:?}");
+    }
+
+    #[test]
+    fn dml_passthroughs_advance_epoch_and_row_count() {
+        let cfg = MiddlewareConfig::builder().deltas(true).build();
+        let be = backend(12, cfg);
+        // Load-time inserts are mutations too: the table opens past 0.
+        let e0 = be.table_epoch();
+        assert_eq!(e0, 12);
+        assert_eq!(be.table_rows(), 12);
+
+        be.insert_row(&[3, 1, 1]).unwrap();
+        assert_eq!(be.table_epoch(), e0 + 1);
+        assert_eq!(be.table_rows(), 13);
+
+        let removed = be.delete_where(&Pred::Eq { col: 0, value: 0 }).unwrap();
+        assert_eq!(removed, 3, "a=0 rows among the first 12");
+        assert_eq!(be.table_epoch(), e0 + 2);
+        assert_eq!(be.table_rows(), 10);
+
+        let changed = be
+            .update_where(&Pred::Eq { col: 0, value: 1 }, &[(1, 2)])
+            .unwrap();
+        assert!(changed > 0);
+        assert_eq!(be.table_epoch(), e0 + 3);
+        assert_eq!(be.table_rows(), 10, "updates keep the row count");
+
+        // A no-op mutation leaves the epoch alone.
+        let removed = be.delete_where(&Pred::Eq { col: 0, value: 0 }).unwrap();
+        assert_eq!(removed, 0);
+        assert_eq!(be.table_epoch(), e0 + 3);
+    }
+
+    #[test]
+    fn drain_deltas_returns_events_and_invalidates_stale_staging() {
+        let cfg = MiddlewareConfig::builder().deltas(true).build();
+        let be = backend(24, cfg);
+        let mut s = Session::open(Arc::clone(&be)).unwrap();
+        let e0 = be.table_epoch();
+
+        // Stage the whole table in memory at the open epoch.
+        let req = s.root_request(NodeId(0));
+        s.enqueue(req).unwrap();
+        s.process_next_batch().unwrap();
+        assert!(s.staged_mem_bytes() > 0, "root set cached at open epoch");
+
+        // Draining before any new mutation is a no-op: the open epoch was
+        // seeded, so nothing staged since open is spuriously invalidated.
+        let (events, epoch) = s.drain_deltas();
+        assert!(events.is_empty());
+        assert_eq!(epoch, e0);
+        assert!(s.staged_mem_bytes() > 0, "artifacts survive a no-op drain");
+        assert_eq!(s.stats().epochs_invalidated, 0);
+
+        be.insert_row(&[0, 0, 1]).unwrap();
+        be.delete_where(&Pred::Eq { col: 0, value: 3 }).unwrap();
+        let (events, epoch) = s.drain_deltas();
+        assert_eq!(epoch, e0 + 2, "one insert + one delete batch");
+        // +1 insert, −6 deletes (a=3 rows), in sequence order.
+        assert_eq!(events.len(), 7);
+        assert!(events.windows(2).all(|w| w[0].seq < w[1].seq));
+        assert_eq!(events[0].sign, scaleclass_sqldb::DeltaSign::Insert);
+        assert!(events[1..]
+            .iter()
+            .all(|e| e.sign == scaleclass_sqldb::DeltaSign::Delete));
+
+        // Epoch-0 staged artifacts are gone; the stats counted everything.
+        assert_eq!(s.staged_mem_bytes(), 0, "stale mem set invalidated");
+        assert_eq!(s.stats().epochs_invalidated, 1);
+        assert_eq!(s.stats().deltas_applied, 7);
+        s.assert_shadow_accounting();
+
+        // Draining again with no new mutations is a no-op.
+        let (events, epoch) = s.drain_deltas();
+        assert!(events.is_empty());
+        assert_eq!(epoch, e0 + 2);
+        assert_eq!(s.stats().epochs_invalidated, 1);
+
+        // The next batch rescans the server and restages at the new epoch.
+        let req = s.root_request(NodeId(1));
+        s.enqueue(req).unwrap();
+        let out = s.process_next_batch().unwrap();
+        assert_eq!(out[0].cc.total(), 19, "24 + 1 − 6 rows");
+        s.note_resplits(2);
+        assert_eq!(s.stats().nodes_resplit, 2);
+    }
+
+    #[test]
+    fn deltas_off_drains_nothing_and_keeps_staging() {
+        // Deltas pinned off (not default) so the CI leg that forces
+        // SCALECLASS_DELTAS=1 keeps this coverage.
+        let be = backend(24, MiddlewareConfig::builder().deltas(false).build());
+        let mut s = Session::open(Arc::clone(&be)).unwrap();
+        let req = s.root_request(NodeId(0));
+        s.enqueue(req).unwrap();
+        s.process_next_batch().unwrap();
+        let staged = s.staged_mem_bytes();
+        assert!(staged > 0);
+
+        // With no delta log, mutations still bump the epoch, so a drain
+        // must invalidate staged snapshots — it just has no events to hand
+        // back (the from-scratch path).
+        be.insert_row(&[0, 0, 1]).unwrap();
+        let (events, epoch) = s.drain_deltas();
+        assert!(events.is_empty(), "no log enabled → no events");
+        assert_eq!(epoch, be.table_epoch());
+        assert_eq!(s.staged_mem_bytes(), 0);
+        assert_eq!(s.stats().deltas_applied, 0);
     }
 }

@@ -145,6 +145,9 @@ pub struct StagedFile {
     pub nrows: u64,
     /// Codes per row.
     pub arity: usize,
+    /// Base-table epoch the file's rows were scanned at (DESIGN.md §15);
+    /// 0 forever while incremental maintenance is off.
+    pub epoch: u64,
     /// Catalog entry id when the file is shared across sessions (it lives
     /// in the catalog directory and is reclaimed by refcount, not by this
     /// manager's delete).
@@ -168,6 +171,9 @@ pub struct MemSet {
     pub nrows: u64,
     /// Codes per row.
     pub arity: usize,
+    /// Base-table epoch the set's rows were scanned at (DESIGN.md §15);
+    /// 0 forever while incremental maintenance is off.
+    pub epoch: u64,
     /// Catalog entry id when the set is shared across sessions (its bytes
     /// are charged through the catalog's equal-share cells, not through
     /// this manager's private `staged_bytes` counter).
@@ -223,6 +229,11 @@ pub struct StagingManager {
     /// checkpoints (DESIGN.md §9). Catalog-shared sets are *excluded* —
     /// their bytes are charged through the catalog's equal-share cells.
     staged_bytes: u64,
+    /// Current base-table epoch (DESIGN.md §15). Stamped onto every data
+    /// set committed or attached from now on; advanced by
+    /// [`StagingManager::advance_epoch`] when the session drains mutation
+    /// deltas. Stays 0 while incremental maintenance is off.
+    epoch: u64,
     /// Link to the backend's cross-session staging catalog, when shared
     /// staging is enabled for this session.
     shared: Option<SharedHandle>,
@@ -263,8 +274,66 @@ impl StagingManager {
             mem_of: HashMap::new(),
             extent_rows: DEFAULT_EXTENT_ROWS,
             staged_bytes: 0,
+            epoch: 0,
             shared: None,
         })
+    }
+
+    /// The epoch stamped onto newly staged data sets.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Seed the epoch at session open, before anything is staged, so a
+    /// first drain over an unmutated table is a no-op. Load-time inserts
+    /// advance the table epoch like any mutation, so a fresh session over
+    /// a loaded table starts well past 0; without seeding, its first drain
+    /// would spuriously invalidate every artifact staged since open.
+    pub fn seed_epoch(&mut self, epoch: u64) {
+        debug_assert!(
+            self.files.is_empty() && self.mem.is_empty(),
+            "seed_epoch must run before anything is staged"
+        );
+        self.epoch = epoch;
+    }
+
+    /// Move to `epoch` after the session drained a batch of mutation
+    /// deltas: every locally staged data set built at an older epoch is
+    /// invalidated (its rows no longer reflect the base table), and stale
+    /// shared-catalog entries are demoted from the index so no session
+    /// can attach them again. Returns how many artifacts were invalidated
+    /// and counts them into `stats.epochs_invalidated`. A no-op when the
+    /// epoch is unchanged — in particular, forever while incremental
+    /// maintenance is off and both sides stay at 0.
+    pub fn advance_epoch(&mut self, epoch: u64, stats: &mut MiddlewareStats) -> u64 {
+        if epoch == self.epoch {
+            return 0;
+        }
+        self.epoch = epoch;
+        let stale_files: Vec<u64> = self
+            .files
+            .values()
+            .filter(|f| f.epoch != epoch)
+            .map(|f| f.id)
+            .collect();
+        let stale_mem: Vec<u64> = self
+            .mem
+            .values()
+            .filter(|m| m.epoch != epoch)
+            .map(|m| m.id)
+            .collect();
+        let mut invalidated = (stale_files.len() + stale_mem.len()) as u64;
+        for id in stale_files {
+            self.delete_file(id, stats);
+        }
+        for id in stale_mem {
+            self.delete_mem(id, stats);
+        }
+        if let Some(h) = &self.shared {
+            invalidated += h.catalog.purge_stale(epoch);
+        }
+        stats.epochs_invalidated += invalidated;
+        invalidated
     }
 
     /// Join the backend's shared staging catalog: staged data sets this
@@ -447,10 +516,15 @@ impl StagingManager {
                 let dest = h.catalog.dir().join(name);
                 fs::create_dir_all(h.catalog.dir())?;
                 fs::rename(&path, &dest)?;
-                match h
-                    .catalog
-                    .publish_file(sig, dest.clone(), bytes, nrows, arity, h.session)
-                {
+                match h.catalog.publish_file(
+                    sig,
+                    dest.clone(),
+                    bytes,
+                    nrows,
+                    arity,
+                    self.epoch,
+                    h.session,
+                ) {
                     FilePublish::Published(entry) => (dest, Some(entry)),
                     FilePublish::Attached(entry, existing) => {
                         let _ = fs::remove_file(&dest);
@@ -484,6 +558,7 @@ impl StagingManager {
                 path,
                 nrows,
                 arity,
+                epoch: self.epoch,
                 shared,
             },
         );
@@ -528,9 +603,15 @@ impl StagingManager {
         if let Some(h) = &self.shared {
             let sig = StagingCatalog::signature(&pred);
             let bytes = nrows * (arity * CODE_BYTES) as u64;
-            let e = h
-                .catalog
-                .publish_mem(sig, Arc::clone(&rows), bytes, nrows, arity, h.session);
+            let e = h.catalog.publish_mem(
+                sig,
+                Arc::clone(&rows),
+                bytes,
+                nrows,
+                arity,
+                self.epoch,
+                h.session,
+            );
             rows = e.rows;
             shared = Some(e.entry);
         }
@@ -541,6 +622,7 @@ impl StagingManager {
             rows,
             nrows,
             arity,
+            epoch: self.epoch,
             shared,
         };
         if set.shared.is_none() {
@@ -755,7 +837,7 @@ impl StagingManager {
             return;
         };
         let sig = StagingCatalog::signature(pred);
-        let Some(e) = catalog.probe_mem(&sig, session) else {
+        let Some(e) = catalog.probe_mem(&sig, self.epoch, session) else {
             return;
         };
         let id = self.next_id();
@@ -769,6 +851,7 @@ impl StagingManager {
                 rows: e.rows,
                 nrows: e.nrows,
                 arity: e.arity,
+                epoch: self.epoch,
                 shared: Some(e.entry),
             },
         );
@@ -783,7 +866,7 @@ impl StagingManager {
             return;
         };
         let sig = StagingCatalog::signature(pred);
-        let Some(e) = catalog.probe_file(&sig, session) else {
+        let Some(e) = catalog.probe_file(&sig, self.epoch, session) else {
             return;
         };
         let id = self.next_id();
@@ -797,6 +880,7 @@ impl StagingManager {
                 path: e.path,
                 nrows: e.nrows,
                 arity: e.arity,
+                epoch: self.epoch,
                 shared: Some(e.entry),
             },
         );
@@ -1511,6 +1595,73 @@ mod tests {
         assert_eq!(set.iter().count(), 2);
         assert_eq!(m.staged_mem_bytes(), 8);
         assert_eq!(stats.memory_rows_staged, 2);
+    }
+
+    #[test]
+    fn advance_epoch_invalidates_stale_local_artifacts() {
+        let mut m = mgr();
+        let mut stats = MiddlewareStats::new();
+        let mut w = m.start_file(vec![NodeId(0)], Pred::True, 2).unwrap();
+        w.push(&[1, 2]).unwrap();
+        let fid = m.commit_file(w, &mut stats).unwrap();
+        let mid = m.commit_mem(NodeId(1), Pred::True, vec![1, 2], 2, &mut stats);
+        assert_eq!(m.file(fid).unwrap().epoch, 0);
+        assert_eq!(m.mem_set(mid).unwrap().epoch, 0);
+
+        // Same epoch: nothing happens (the deltas-off fast path).
+        assert_eq!(m.advance_epoch(0, &mut stats), 0);
+        assert_eq!(stats.epochs_invalidated, 0);
+        assert_eq!(m.file_count(), 1);
+
+        // New epoch: every pre-mutation artifact is invalidated.
+        assert_eq!(m.advance_epoch(3, &mut stats), 2);
+        assert_eq!(stats.epochs_invalidated, 2);
+        assert_eq!(m.file_count(), 0);
+        assert_eq!(m.mem_count(), 0);
+        assert_eq!(m.staged_mem_bytes(), 0);
+        m.assert_shadow_accounting();
+
+        // Data sets staged after the advance carry the new epoch and
+        // survive a same-epoch re-advance.
+        let mid = m.commit_mem(NodeId(1), Pred::True, vec![1, 2], 2, &mut stats);
+        assert_eq!(m.mem_set(mid).unwrap().epoch, 3);
+        assert_eq!(m.advance_epoch(3, &mut stats), 0);
+        assert_eq!(m.mem_count(), 1);
+    }
+
+    #[test]
+    fn advance_epoch_demotes_stale_catalog_entries() {
+        let catalog = Arc::new(StagingCatalog::new());
+        let mut stats = MiddlewareStats::new();
+        let mut m1 = mgr();
+        let mut m2 = mgr();
+        m1.attach_catalog(Arc::clone(&catalog));
+        m2.attach_catalog(Arc::clone(&catalog));
+
+        // m1 publishes the root set at epoch 0.
+        m1.commit_mem(NodeId(0), Pred::True, vec![1, 2, 3, 4], 2, &mut stats);
+        assert_eq!(catalog.stats().publishes, 1);
+
+        // m2 observes the mutation first: its advance invalidates the
+        // shared entry for every session (demoted from the index), plus
+        // nothing locally — it had staged nothing.
+        let mut stats2 = MiddlewareStats::new();
+        assert_eq!(m2.advance_epoch(1, &mut stats2), 1);
+        assert_eq!(stats2.epochs_invalidated, 1);
+
+        // Neither session can attach the stale entry now; m2's probe at
+        // epoch 1 misses instead of adopting pre-mutation rows.
+        let pending = vec![dummy_request(Lineage::root(NodeId(0)))];
+        m2.attach_from_catalog(&pending, true, true);
+        assert!(!m2.owns_mem(NodeId(0)));
+
+        // m1 still reads its own (stale) copy until it drains too; its
+        // advance then drops the local set and its catalog reader pin.
+        let mut stats1 = MiddlewareStats::new();
+        assert_eq!(m1.advance_epoch(1, &mut stats1), 1);
+        assert_eq!(m1.mem_count(), 0);
+        assert_eq!(catalog.entry_count(), 0, "last detach reclaimed it");
+        catalog.assert_shadow_accounting();
     }
 
     #[test]

@@ -10,9 +10,10 @@
 //! shared with the in-memory baseline client so both provably grow the
 //! *same* tree from the same data.
 
+use crate::maintain::RetainedNode;
 use crate::split::{best_split, best_two_splits, score_half_width, Scorer, Split, SplitKind};
 use crate::tree::{DecisionTree, Edge, NodeState, TreeNode};
-use scaleclass::{CcRequest, CountsTable, Middleware, MwResult, NodeId};
+use scaleclass::{CcRequest, CountsTable, DataLocation, Lineage, Middleware, MwResult, NodeId};
 use scaleclass_sqldb::{Code, Pred};
 use std::collections::HashMap;
 
@@ -273,9 +274,124 @@ pub struct GrowOutcome {
     pub escalations: u64,
 }
 
+/// Per-node client bookkeeping for outstanding counts requests: the
+/// lineage and attribute set each fulfilment will be decided with. Shared
+/// between the grow loop and the maintenance pump (`maintain.rs`), which
+/// replays the same per-node logic on re-grown subtrees.
+#[derive(Default)]
+pub(crate) struct GrowState {
+    pub(crate) lineages: HashMap<usize, Lineage>,
+    pub(crate) attrs_of: HashMap<usize, Vec<u16>>,
+}
+
+/// Apply one node's *exact* counts table: record its distribution, decide
+/// leaf-vs-split, create children (immediate leaves settled from the
+/// parent's CC, the rest enqueued), and — when `retain` is given — store
+/// the CC plus winner/runner-up margins for incremental maintenance
+/// (DESIGN.md §15). Returns the number of child requests issued.
+#[allow(clippy::too_many_arguments)] // the grow loop and the maintenance pump share one call shape
+pub(crate) fn apply_exact_counts(
+    mw: &mut Middleware,
+    tree: &mut DecisionTree,
+    idx: usize,
+    cc: &CountsTable,
+    source: Option<DataLocation>,
+    lineage: &Lineage,
+    attrs: &[u16],
+    config: &GrowConfig,
+    state: &mut GrowState,
+    retain: Option<&mut HashMap<usize, RetainedNode>>,
+) -> MwResult<u64> {
+    let depth = tree.node(idx).depth;
+    {
+        let node = tree.node_mut(idx);
+        node.class_counts = cc.class_distribution().collect();
+        node.rows = cc.total();
+        node.source = source;
+    }
+    let mut issued = 0u64;
+    match decide(cc, attrs, depth, config) {
+        Decision::Leaf { class } => {
+            tree.node_mut(idx).state = NodeState::Leaf { class };
+        }
+        Decision::Split(split) => {
+            let specs = derive_children(cc, &split, attrs);
+            tree.node_mut(idx).state = NodeState::Partitioned { split };
+            for spec in specs {
+                let leaf_now = immediate_leaf(&spec, depth + 1, config);
+                let child_state = if leaf_now {
+                    let class = spec
+                        .class_counts
+                        .iter()
+                        .max_by_key(|&&(_, n)| n)
+                        .map(|&(c, _)| c)
+                        .unwrap_or(0);
+                    NodeState::Leaf { class }
+                } else {
+                    NodeState::Active
+                };
+                let child_idx = tree.push(TreeNode {
+                    id: 0,
+                    parent: Some(idx),
+                    edge: Some(spec.edge),
+                    depth: depth + 1,
+                    state: child_state,
+                    class_counts: spec.class_counts.clone(),
+                    rows: spec.rows,
+                    children: Vec::new(),
+                    source: None,
+                });
+                if !leaf_now {
+                    let child_lineage =
+                        lineage.child(NodeId(child_idx as u64), spec.edge_pred.clone());
+                    let req = CcRequest {
+                        lineage: child_lineage.clone(),
+                        attrs: spec.attrs.clone(),
+                        class_col: mw.class_col(),
+                        rows: spec.rows,
+                        parent_rows: cc.total(),
+                        parent_cards: spec.parent_cards.clone(),
+                    };
+                    state.lineages.insert(child_idx, child_lineage);
+                    state.attrs_of.insert(child_idx, spec.attrs);
+                    mw.enqueue(req)?;
+                    issued += 1;
+                }
+            }
+        }
+    }
+    if let Some(retained) = retain {
+        let (best_score, runner_score) =
+            match best_two_splits(cc, attrs, config.split_kind, config.scorer) {
+                Some((best, runner)) => (Some(best.score), runner),
+                None => (None, None),
+            };
+        retained.insert(
+            idx,
+            RetainedNode {
+                cc: cc.clone(),
+                attrs: attrs.to_vec(),
+                best_score,
+                runner_score,
+            },
+        );
+    }
+    Ok(issued)
+}
+
 /// Grow a full decision tree through the middleware (the synchronous
 /// client loop of Figure 3).
 pub fn grow_with_middleware(mw: &mut Middleware, config: &GrowConfig) -> MwResult<GrowOutcome> {
+    grow_inner(mw, config, None)
+}
+
+/// The grow loop, optionally retaining per-node CC tables and margins for
+/// incremental maintenance.
+pub(crate) fn grow_inner(
+    mw: &mut Middleware,
+    config: &GrowConfig,
+    mut retain: Option<&mut HashMap<usize, RetainedNode>>,
+) -> MwResult<GrowOutcome> {
     let mut tree = DecisionTree::new();
     let root = tree.push(TreeNode {
         id: 0,
@@ -289,10 +405,9 @@ pub fn grow_with_middleware(mw: &mut Middleware, config: &GrowConfig) -> MwResul
         source: None,
     });
     let root_req = mw.root_request(NodeId(root as u64));
-    let mut lineages: HashMap<usize, scaleclass::Lineage> = HashMap::new();
-    let mut attrs_of: HashMap<usize, Vec<u16>> = HashMap::new();
-    lineages.insert(root, root_req.lineage.clone());
-    attrs_of.insert(root, root_req.attrs.clone());
+    let mut state = GrowState::default();
+    state.lineages.insert(root, root_req.lineage.clone());
+    state.attrs_of.insert(root, root_req.attrs.clone());
     mw.enqueue(root_req)?;
     let mut requests_issued = 1u64;
     let mut sampled_accepts = 0u64;
@@ -302,8 +417,11 @@ pub fn grow_with_middleware(mw: &mut Middleware, config: &GrowConfig) -> MwResul
         let fulfilled = mw.process_next_batch()?;
         for f in fulfilled {
             let idx = f.node.0 as usize;
-            let lineage = lineages.remove(&idx).expect("fulfilled node was requested");
-            let attrs = attrs_of.remove(&idx).expect("attrs recorded");
+            let lineage = state
+                .lineages
+                .remove(&idx)
+                .expect("fulfilled node was requested");
+            let attrs = state.attrs_of.remove(&idx).expect("attrs recorded");
             let depth = tree.node(idx).depth;
 
             // Sampled fulfilment (DESIGN.md §13): accept the split only if
@@ -316,8 +434,8 @@ pub fn grow_with_middleware(mw: &mut Middleware, config: &GrowConfig) -> MwResul
                         // will need, then requeue through the session so
                         // the sampled CC bytes release *before* the exact
                         // scan is scheduled (double-count guard).
-                        lineages.insert(idx, lineage);
-                        attrs_of.insert(idx, attrs);
+                        state.lineages.insert(idx, lineage);
+                        state.attrs_of.insert(idx, attrs);
                         let escalated = mw.escalate(f.node);
                         debug_assert!(escalated, "sampled fulfilment must be outstanding");
                         escalations += 1;
@@ -375,8 +493,8 @@ pub fn grow_with_middleware(mw: &mut Middleware, config: &GrowConfig) -> MwResul
                                 parent_rows,
                                 parent_cards: spec.parent_cards.clone(),
                             };
-                            lineages.insert(child_idx, child_lineage);
-                            attrs_of.insert(child_idx, spec.attrs);
+                            state.lineages.insert(child_idx, child_lineage);
+                            state.attrs_of.insert(child_idx, spec.attrs);
                             mw.enqueue(req)?;
                             requests_issued += 1;
                         }
@@ -385,65 +503,18 @@ pub fn grow_with_middleware(mw: &mut Middleware, config: &GrowConfig) -> MwResul
                 }
             }
 
-            {
-                let node = tree.node_mut(idx);
-                node.class_counts = f.cc.class_distribution().collect();
-                node.rows = f.cc.total();
-                node.source = Some(f.source);
-            }
-
-            match decide(&f.cc, &attrs, depth, config) {
-                Decision::Leaf { class } => {
-                    tree.node_mut(idx).state = NodeState::Leaf { class };
-                }
-                Decision::Split(split) => {
-                    let specs = derive_children(&f.cc, &split, &attrs);
-                    tree.node_mut(idx).state = NodeState::Partitioned {
-                        split: split.clone(),
-                    };
-                    for spec in specs {
-                        let leaf_now = immediate_leaf(&spec, depth + 1, config);
-                        let state = if leaf_now {
-                            let class = spec
-                                .class_counts
-                                .iter()
-                                .max_by_key(|&&(_, n)| n)
-                                .map(|&(c, _)| c)
-                                .unwrap_or(0);
-                            NodeState::Leaf { class }
-                        } else {
-                            NodeState::Active
-                        };
-                        let child_idx = tree.push(TreeNode {
-                            id: 0,
-                            parent: Some(idx),
-                            edge: Some(spec.edge),
-                            depth: depth + 1,
-                            state,
-                            class_counts: spec.class_counts.clone(),
-                            rows: spec.rows,
-                            children: Vec::new(),
-                            source: None,
-                        });
-                        if !leaf_now {
-                            let child_lineage =
-                                lineage.child(NodeId(child_idx as u64), spec.edge_pred.clone());
-                            let req = CcRequest {
-                                lineage: child_lineage.clone(),
-                                attrs: spec.attrs.clone(),
-                                class_col: mw.class_col(),
-                                rows: spec.rows,
-                                parent_rows: f.cc.total(),
-                                parent_cards: spec.parent_cards.clone(),
-                            };
-                            lineages.insert(child_idx, child_lineage);
-                            attrs_of.insert(child_idx, spec.attrs);
-                            mw.enqueue(req)?;
-                            requests_issued += 1;
-                        }
-                    }
-                }
-            }
+            requests_issued += apply_exact_counts(
+                mw,
+                &mut tree,
+                idx,
+                &f.cc,
+                Some(f.source),
+                &lineage,
+                &attrs,
+                config,
+                &mut state,
+                retain.as_deref_mut(),
+            )?;
         }
     }
     Ok(GrowOutcome {

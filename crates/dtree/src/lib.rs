@@ -35,6 +35,7 @@ pub mod eval;
 pub mod forest;
 pub mod grow;
 pub mod inmemory;
+pub mod maintain;
 pub mod model_io;
 pub mod naive_bayes;
 pub mod prune;
@@ -50,6 +51,7 @@ pub use eval::{
 pub use forest::{grow_forest_with_middleware, Forest, ForestConfig};
 pub use grow::{decide, derive_children, grow_with_middleware, Decision, GrowConfig, GrowOutcome};
 pub use inmemory::grow_in_memory;
+pub use maintain::{grow_maintainable, maintain, MaintainOutcome, MaintainableTree, RetainedNode};
 pub use model_io::{load_tree, save_tree, ModelFormatError};
 pub use naive_bayes::NaiveBayes;
 pub use prune::prune_pessimistic;

@@ -291,6 +291,38 @@ pub fn score_half_width(scorer: Scorer, nclasses: u64, sampled_rows: u64) -> Opt
     Some(SAMPLE_Z * range / (2.0 * (sampled_rows as f64).sqrt()))
 }
 
+/// Conservative bound on how far any candidate split's score over a node
+/// holding `rows` rows (post-delta) can have moved after `magnitude`
+/// signed row events were applied to it (DESIGN.md §15).
+///
+/// For the impurity-gain measures, swapping one row moves any class
+/// frequency by at most `1/n`, and both the parent impurity and every
+/// child's weighted impurity are `(R + log₂ n)/n`-Lipschitz in the counts
+/// (`R` the impurity range: 1 for Gini, `log₂ k` for entropy), so `m`
+/// events move a gain by at most `2·m/n·(R + log₂ n)`. The same bound
+/// covers splits that only became candidates through the deltas (a value
+/// with `≤ m` rows separates at most that much gain). Returns `None` —
+/// callers must re-decide exactly — for gain ratio (normalisation
+/// unbounded as split-info → 0), for chi-square (the statistic scales
+/// with `n`, not a frequency), and whenever the churn reaches half the
+/// node (`2m ≥ n`), where the frequency-perturbation argument collapses.
+pub fn delta_score_bound(scorer: Scorer, nclasses: u64, rows: u64, magnitude: u64) -> Option<f64> {
+    if magnitude == 0 {
+        return Some(0.0);
+    }
+    if rows == 0 || magnitude.saturating_mul(2) >= rows {
+        return None;
+    }
+    let range = match scorer {
+        Scorer::Gini => 1.0,
+        Scorer::Entropy => (nclasses.max(2) as f64).log2(),
+        Scorer::GainRatio | Scorer::ChiSquare => return None,
+    };
+    let n = rows as f64;
+    let m = magnitude as f64;
+    Some(2.0 * m / n * (range + n.max(2.0).log2()))
+}
+
 /// Like [`best_split`], but also report the runner-up's score — the best
 /// score among candidates that induce a *different partition* than the
 /// winner. `None` as the second element means the winner was the only

@@ -10,6 +10,7 @@
 //! * (c) **keyset cursor + stored-procedure filter** (see
 //!   [`crate::cursor::KeysetCursor`]).
 
+use crate::delta::{DeltaLog, DeltaSign, RowDelta};
 use crate::error::{DbError, DbResult};
 use crate::expr::Pred;
 use crate::stats::DbStats;
@@ -19,11 +20,23 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 /// A named collection of tables with shared server statistics.
+///
+/// Every DML entry point ([`Database::insert`], [`Database::delete_where`],
+/// [`Database::update_where`]) advances the mutated table's **epoch** and
+/// invalidates TID sets materialized from it (their TIDs dangle after a
+/// compacting delete and silently miss rows after an insert). Tables with an
+/// enabled [`DeltaLog`] additionally capture each mutation as signed row
+/// events for the middleware's incremental-maintenance path (DESIGN.md §15).
 #[derive(Debug)]
 pub struct Database {
     tables: HashMap<String, Table>,
     /// Server-side TID sets ("indexes built on the fly", §4.3.3b).
     tid_sets: HashMap<String, TidSet>,
+    /// Per-table mutation counters; bumped by every DML call that changed
+    /// at least one row. Absent means epoch 0.
+    epochs: HashMap<String, u64>,
+    /// Opt-in per-table delta logs (see [`crate::delta`]).
+    delta_logs: HashMap<String, DeltaLog>,
     stats: Arc<DbStats>,
     temp_counter: u64,
 }
@@ -49,6 +62,8 @@ impl Database {
         Database {
             tables: HashMap::new(),
             tid_sets: HashMap::new(),
+            epochs: HashMap::new(),
+            delta_logs: HashMap::new(),
             stats: Arc::new(DbStats::new()),
             temp_counter: 0,
         }
@@ -106,12 +121,115 @@ impl Database {
         self.tables.keys().map(String::as_str)
     }
 
-    /// Insert one validated row into a table.
+    /// Insert one validated row into a table. Advances the table's epoch
+    /// and invalidates TID sets materialized from it (a cursor over a stale
+    /// TID set would silently miss the new row).
     pub fn insert(&mut self, name: &str, row: &[Code]) -> DbResult<()> {
         self.tables
             .get_mut(name)
             .ok_or_else(|| DbError::UnknownTable(name.to_string()))?
-            .insert(row)
+            .insert(row)?;
+        if let Some(log) = self.delta_logs.get_mut(name) {
+            log.record(DeltaSign::Insert, row);
+        }
+        self.note_mutation(name);
+        Ok(())
+    }
+
+    /// Delete every row of `name` matching `pred` (compacting the heap; see
+    /// [`Table::delete_where`] for the I/O charged). Returns rows removed.
+    /// If anything was removed the table's epoch advances and its TID sets
+    /// are invalidated — surviving TIDs renumber under compaction.
+    pub fn delete_where(&mut self, name: &str, pred: &Pred) -> DbResult<u64> {
+        let stats = Arc::clone(&self.stats);
+        let table = self
+            .tables
+            .get_mut(name)
+            .ok_or_else(|| DbError::UnknownTable(name.to_string()))?;
+        let removed = match self.delta_logs.get_mut(name) {
+            Some(log) => {
+                table.delete_where_with(pred, &stats, |row| log.record(DeltaSign::Delete, row))
+            }
+            None => table.delete_where(pred, &stats),
+        };
+        if removed > 0 {
+            self.note_mutation(name);
+        }
+        Ok(removed)
+    }
+
+    /// Apply `(column, value)` assignments to every row of `name` matching
+    /// `pred` (see [`Table::update_where`] for validation and I/O). Returns
+    /// rows actually changed. A change advances the epoch, invalidates the
+    /// table's TID sets, and — with a delta log enabled — records each
+    /// changed row as a delete of the old image plus an insert of the new.
+    pub fn update_where(
+        &mut self,
+        name: &str,
+        pred: &Pred,
+        assignments: &[(usize, Code)],
+    ) -> DbResult<u64> {
+        let stats = Arc::clone(&self.stats);
+        let table = self
+            .tables
+            .get_mut(name)
+            .ok_or_else(|| DbError::UnknownTable(name.to_string()))?;
+        let changed = match self.delta_logs.get_mut(name) {
+            Some(log) => table.update_where_with(pred, assignments, &stats, |old, new| {
+                log.record(DeltaSign::Delete, old);
+                log.record(DeltaSign::Insert, new);
+            })?,
+            None => table.update_where(pred, assignments, &stats)?,
+        };
+        if changed > 0 {
+            self.note_mutation(name);
+        }
+        Ok(changed)
+    }
+
+    /// The table's current mutation epoch (0 for never-mutated tables, and
+    /// for unknown names — callers that care resolve the table first).
+    pub fn table_epoch(&self, name: &str) -> u64 {
+        self.epochs.get(name).copied().unwrap_or(0)
+    }
+
+    /// Start capturing signed row events for `name` (idempotent). Events
+    /// accumulate until [`Database::take_deltas`] drains them.
+    pub fn enable_delta_log(&mut self, name: &str) -> DbResult<()> {
+        if !self.tables.contains_key(name) {
+            return Err(DbError::UnknownTable(name.to_string()));
+        }
+        self.delta_logs.entry(name.to_string()).or_default();
+        Ok(())
+    }
+
+    /// Stop capturing events for `name`, discarding any undrained ones.
+    pub fn disable_delta_log(&mut self, name: &str) {
+        self.delta_logs.remove(name);
+    }
+
+    /// Number of undrained events in `name`'s delta log (0 if no log).
+    pub fn delta_log_len(&self, name: &str) -> usize {
+        self.delta_logs.get(name).map_or(0, DeltaLog::len)
+    }
+
+    /// Drain the accumulated signed row events for `name`, in sequence
+    /// order. Empty if logging was never enabled.
+    pub fn take_deltas(&mut self, name: &str) -> Vec<RowDelta> {
+        self.delta_logs
+            .get_mut(name)
+            .map(DeltaLog::take)
+            .unwrap_or_default()
+    }
+
+    /// Record that `name`'s contents changed: advance its epoch and drop
+    /// TID sets materialized from it. TIDs are heap positions, so they
+    /// dangle after a compacting delete and under-cover after an insert;
+    /// invalidation makes the staleness loud (lookup errors) instead of
+    /// silent (wrong rows).
+    fn note_mutation(&mut self, name: &str) {
+        *self.epochs.entry(name.to_string()).or_insert(0) += 1;
+        self.tid_sets.retain(|_, set| set.base_table != name);
     }
 
     /// Open a forward-only filtered cursor on a table (the middleware's
@@ -319,5 +437,128 @@ mod tests {
         let a = db.copy_to_temp("t", &Pred::True).unwrap();
         let b = db.copy_to_temp("t", &Pred::True).unwrap();
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn insert_invalidates_materialized_tid_sets() {
+        // Regression: insert used to leave TID sets in place, so a cursor
+        // over one silently missed the new rows.
+        let mut db = db_with_data();
+        let tids = db
+            .create_tid_set("t", &Pred::Eq { col: 0, value: 2 })
+            .unwrap();
+        assert!(db.tid_set(&tids).is_ok());
+        db.insert("t", &[2, 0]).unwrap();
+        assert!(
+            db.tid_set(&tids).is_err(),
+            "mutation must invalidate TID sets over the base table"
+        );
+    }
+
+    #[test]
+    fn delete_and_update_invalidate_tid_sets_only_on_change() {
+        let mut db = db_with_data();
+        let tids = db.create_tid_set("t", &Pred::True).unwrap();
+        db.create_table("u", Schema::from_pairs(&[("x", 2)]))
+            .unwrap();
+        db.insert("u", &[1]).unwrap();
+        assert!(
+            db.tid_set(&tids).is_ok(),
+            "mutating another table keeps t's TID sets"
+        );
+        assert_eq!(db.update_where("t", &Pred::False, &[(1, 0)]).unwrap(), 0);
+        assert_eq!(db.delete_where("t", &Pred::False).unwrap(), 0);
+        assert!(db.tid_set(&tids).is_ok(), "no-op DML keeps TID sets");
+        assert!(
+            db.delete_where("t", &Pred::Eq { col: 0, value: 1 })
+                .unwrap()
+                > 0
+        );
+        assert!(db.tid_set(&tids).is_err(), "real delete invalidates");
+    }
+
+    #[test]
+    fn epochs_advance_per_mutation_and_per_table() {
+        let mut db = db_with_data();
+        let e0 = db.table_epoch("t");
+        db.insert("t", &[0, 0]).unwrap();
+        assert_eq!(db.table_epoch("t"), e0 + 1);
+        db.delete_where("t", &Pred::Eq { col: 0, value: 0 })
+            .unwrap();
+        assert_eq!(db.table_epoch("t"), e0 + 2);
+        assert_eq!(
+            db.update_where("t", &Pred::False, &[(1, 0)]).unwrap(),
+            0,
+            "predicate matches nothing"
+        );
+        assert_eq!(db.table_epoch("t"), e0 + 2, "no-op DML keeps the epoch");
+        assert_eq!(db.table_epoch("untouched"), 0);
+    }
+
+    #[test]
+    fn delta_log_captures_signed_events_in_sequence() {
+        use crate::delta::DeltaSign;
+        let mut db = db_with_data();
+        assert!(db.enable_delta_log("missing").is_err());
+        db.enable_delta_log("t").unwrap();
+        db.insert("t", &[3, 1]).unwrap();
+        let changed = db
+            .update_where("t", &Pred::Eq { col: 0, value: 3 }, &[(1, 0)])
+            .unwrap();
+        let removed = db
+            .delete_where("t", &Pred::Eq { col: 0, value: 3 })
+            .unwrap();
+        let events = db.take_deltas("t");
+        assert_eq!(events[0].sign, DeltaSign::Insert);
+        assert_eq!(events[0].row, vec![3, 1]);
+        let deletes = events
+            .iter()
+            .filter(|e| e.sign == DeltaSign::Delete)
+            .count() as u64;
+        let inserts = events
+            .iter()
+            .filter(|e| e.sign == DeltaSign::Insert)
+            .count() as u64;
+        // 1 raw insert + one delete/insert pair per changed row + one
+        // delete per removed row.
+        assert_eq!(inserts, 1 + changed);
+        assert_eq!(deletes, changed + removed);
+        assert!(events.windows(2).all(|w| w[0].seq < w[1].seq));
+        assert_eq!(db.delta_log_len("t"), 0, "take drains");
+        // Events without logging enabled: none.
+        db.disable_delta_log("t");
+        db.insert("t", &[0, 0]).unwrap();
+        assert!(db.take_deltas("t").is_empty());
+    }
+
+    #[test]
+    fn delta_replay_reconstructs_final_table_counts() {
+        use crate::delta::DeltaSign;
+        use std::collections::HashMap as Map;
+        let mut db = db_with_data();
+        db.enable_delta_log("t").unwrap();
+        // Multiset of rows before mutations.
+        let mut counts: Map<Vec<Code>, i64> = Map::new();
+        for row in db.table("t").unwrap().rows_unaccounted() {
+            *counts.entry(row.to_vec()).or_insert(0) += 1;
+        }
+        db.insert("t", &[1, 1]).unwrap();
+        db.update_where("t", &Pred::Eq { col: 0, value: 2 }, &[(1, 1)])
+            .unwrap();
+        db.delete_where("t", &Pred::Eq { col: 0, value: 0 })
+            .unwrap();
+        for ev in db.take_deltas("t") {
+            let slot = counts.entry(ev.row.clone()).or_insert(0);
+            match ev.sign {
+                DeltaSign::Insert => *slot += 1,
+                DeltaSign::Delete => *slot -= 1,
+            }
+        }
+        let mut actual: Map<Vec<Code>, i64> = Map::new();
+        for row in db.table("t").unwrap().rows_unaccounted() {
+            *actual.entry(row.to_vec()).or_insert(0) += 1;
+        }
+        counts.retain(|_, n| *n != 0);
+        assert_eq!(counts, actual, "replayed deltas must equal a fresh scan");
     }
 }

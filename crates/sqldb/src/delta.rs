@@ -1,0 +1,115 @@
+//! Sequenced signed row events: the per-table mutation delta log.
+//!
+//! The middleware's incremental-maintenance path (DESIGN.md §15) consumes
+//! table mutations as a stream of *signed row events*: an INSERT is a `+row`,
+//! a DELETE is a `-row`, and an UPDATE is a `-old` followed by a `+new`.
+//! Because CC tables are pure sums, replaying the stream against the counts
+//! a tree was built from reproduces the counts a from-scratch scan of the
+//! mutated table would produce — that identity is what the delta subsystem
+//! is built on (cf. Koc & Ré, "Incrementally Maintaining Classification
+//! using an RDBMS", PAPERS.md).
+//!
+//! Logging is **opt-in per table** ([`crate::Database::enable_delta_log`]);
+//! with no log enabled the DML paths skip event capture entirely, so the
+//! default configuration pays nothing.
+
+use crate::types::Code;
+
+/// Sign of a logged row event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeltaSign {
+    /// The row arrived (INSERT, or the new image of an UPDATE).
+    Insert,
+    /// The row left (DELETE, or the old image of an UPDATE).
+    Delete,
+}
+
+/// One signed row event, with its position in the table's mutation order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RowDelta {
+    /// Monotone per-table sequence number; consumers must apply events in
+    /// ascending `seq` order (a delete may refer to a row inserted by an
+    /// earlier event in the same drain).
+    pub seq: u64,
+    /// Whether the row arrived or left.
+    pub sign: DeltaSign,
+    /// The full coded row image.
+    pub row: Vec<Code>,
+}
+
+/// A sequenced log of signed row events for one table.
+///
+/// Draining the log ([`DeltaLog::take`]) hands the accumulated events to the
+/// consumer without resetting the sequence counter, so event order remains
+/// globally comparable across drains.
+#[derive(Debug, Default, Clone)]
+pub struct DeltaLog {
+    next_seq: u64,
+    events: Vec<RowDelta>,
+}
+
+impl DeltaLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        DeltaLog::default()
+    }
+
+    /// Append one signed event, stamping it with the next sequence number.
+    pub fn record(&mut self, sign: DeltaSign, row: &[Code]) {
+        self.events.push(RowDelta {
+            seq: self.next_seq,
+            sign,
+            row: row.to_vec(),
+        });
+        self.next_seq += 1;
+    }
+
+    /// Number of undrained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Is the log drained?
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The undrained events, in sequence order.
+    pub fn events(&self) -> &[RowDelta] {
+        &self.events
+    }
+
+    /// Drain the accumulated events. The sequence counter keeps advancing,
+    /// so events from successive drains never reuse numbers.
+    pub fn take(&mut self) -> Vec<RowDelta> {
+        std::mem::take(&mut self.events)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_are_sequenced_in_order() {
+        let mut log = DeltaLog::new();
+        log.record(DeltaSign::Insert, &[1, 0]);
+        log.record(DeltaSign::Delete, &[1, 0]);
+        log.record(DeltaSign::Insert, &[2, 1]);
+        let seqs: Vec<u64> = log.events().iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2]);
+        assert_eq!(log.events()[1].sign, DeltaSign::Delete);
+        assert_eq!(log.events()[2].row, vec![2, 1]);
+    }
+
+    #[test]
+    fn take_drains_but_keeps_sequencing() {
+        let mut log = DeltaLog::new();
+        log.record(DeltaSign::Insert, &[0]);
+        let first = log.take();
+        assert_eq!(first.len(), 1);
+        assert!(log.is_empty());
+        log.record(DeltaSign::Delete, &[0]);
+        assert_eq!(log.events()[0].seq, 1, "counter survives the drain");
+    }
+}

@@ -47,6 +47,7 @@
 pub mod csv;
 pub mod cursor;
 pub mod database;
+pub mod delta;
 pub mod error;
 pub mod expr;
 pub mod page;
@@ -60,6 +61,7 @@ pub mod wire;
 pub use csv::{export_csv, import_csv};
 pub use cursor::{BlockCursor, KeysetCursor, ServerCursor};
 pub use database::{Database, TidSet};
+pub use delta::{DeltaLog, DeltaSign, RowDelta};
 pub use error::{DbError, DbResult};
 pub use expr::Pred;
 pub use persist::{open_database, save_database};

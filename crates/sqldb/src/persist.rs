@@ -252,6 +252,74 @@ mod tests {
     }
 
     #[test]
+    fn round_trip_after_delete_pins_compaction() {
+        // Deletes compact the heap (no tombstones); a snapshot written
+        // afterwards must contain exactly the surviving rows, and loading
+        // it must reproduce the same compact heap shape.
+        let path = temp_path("post-delete");
+        let mut db = sample_db();
+        let removed = db
+            .delete_where("t", &crate::expr::Pred::Eq { col: 0, value: 2 })
+            .unwrap();
+        assert_eq!(removed, 25);
+        save_database(&db, &path).unwrap();
+        let loaded = open_database(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+
+        let before = db.table("t").unwrap();
+        let after = loaded.table("t").unwrap();
+        assert_eq!(after.nrows(), 75);
+        assert_eq!(after.nrows(), before.nrows());
+        assert_eq!(after.npages(), before.npages(), "compact heap round-trips");
+        let rows_a: Vec<Vec<Code>> = before.rows_unaccounted().map(|r| r.to_vec()).collect();
+        let rows_b: Vec<Vec<Code>> = after.rows_unaccounted().map(|r| r.to_vec()).collect();
+        assert_eq!(rows_a, rows_b, "row order survives the trip");
+        assert!(rows_b.iter().all(|r| r[0] != 2), "deleted rows stay gone");
+    }
+
+    #[test]
+    fn round_trip_after_update_preserves_rows_and_order() {
+        let path = temp_path("post-update");
+        let mut db = sample_db();
+        let changed = db
+            .update_where("t", &crate::expr::Pred::Eq { col: 0, value: 1 }, &[(1, 0)])
+            .unwrap();
+        assert!(changed > 0);
+        save_database(&db, &path).unwrap();
+        let mut loaded = open_database(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+
+        let rows_a: Vec<Vec<Code>> = db
+            .table("t")
+            .unwrap()
+            .rows_unaccounted()
+            .map(|r| r.to_vec())
+            .collect();
+        let rows_b: Vec<Vec<Code>> = loaded
+            .table("t")
+            .unwrap()
+            .rows_unaccounted()
+            .map(|r| r.to_vec())
+            .collect();
+        assert_eq!(rows_a, rows_b);
+        assert_eq!(loaded.table("t").unwrap().nrows(), 100);
+        // Statistics shapes on the loaded copy stay self-consistent: a
+        // fresh scan sees every row once.
+        let rs = execute(&mut loaded, "SELECT COUNT(*) FROM t WHERE class = 0")
+            .unwrap()
+            .into_rows()
+            .unwrap();
+        // a=1 rows (25 of them) were forced to class 0; of the rest, the
+        // even i → class 0 rows remain (a=0: i%4==0 → even → 25, a=2: 25
+        // even, a=3: i odd → 0). Total 75.
+        assert_eq!(rs.rows[0][0].as_int(), Some(75));
+        // Epochs and delta logs are session state by design: they do not
+        // survive persistence.
+        assert_eq!(loaded.table_epoch("t"), 0);
+        assert_eq!(loaded.delta_log_len("t"), 0);
+    }
+
+    #[test]
     fn empty_database_round_trips() {
         let path = temp_path("empty");
         save_database(&Database::new(), &path).unwrap();

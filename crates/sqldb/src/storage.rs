@@ -77,11 +77,25 @@ impl Table {
     /// stability across DML, and neither may callers). Charges a full
     /// scan plus page writes for the rewritten heap. Returns rows removed.
     pub fn delete_where(&mut self, pred: &crate::expr::Pred, stats: &DbStats) -> u64 {
+        self.delete_where_with(pred, stats, |_| {})
+    }
+
+    /// [`Table::delete_where`] with an observer: `on_delete` sees each
+    /// removed row (in scan order) before the heap is rewritten. The hook is
+    /// how [`crate::Database`] captures delete events for an enabled
+    /// [`crate::delta::DeltaLog`] without a second scan.
+    pub fn delete_where_with(
+        &mut self,
+        pred: &crate::expr::Pred,
+        stats: &DbStats,
+        mut on_delete: impl FnMut(&[Code]),
+    ) -> u64 {
         let mut kept = Table::new(self.schema.clone());
         let mut removed = 0;
         for (_, row) in self.scan(stats) {
             if pred.eval(row) {
                 removed += 1;
+                on_delete(row);
             } else {
                 kept.insert_unchecked(row);
             }
@@ -90,6 +104,72 @@ impl Table {
         self.pages = kept.pages;
         self.nrows = kept.nrows;
         removed
+    }
+
+    /// Update all rows matching `pred`: each `(column, value)` assignment is
+    /// applied to every match. Assignments are validated against the schema
+    /// up front; on error the table is untouched. Like [`Table::delete_where`]
+    /// this rewrites the heap (row count and row order are preserved, so TIDs
+    /// happen to survive, but callers must not rely on that). Charges a full
+    /// scan plus page writes for the rewritten heap. Returns rows changed —
+    /// matches whose assignments were all already in place do not count.
+    pub fn update_where(
+        &mut self,
+        pred: &crate::expr::Pred,
+        assignments: &[(usize, Code)],
+        stats: &DbStats,
+    ) -> DbResult<u64> {
+        self.update_where_with(pred, assignments, stats, |_, _| {})
+    }
+
+    /// [`Table::update_where`] with an observer: `on_change` sees each
+    /// `(old, new)` image pair (in scan order) for rows the update actually
+    /// changed. The hook is how [`crate::Database`] logs an UPDATE as a
+    /// delete of the old image plus an insert of the new one.
+    pub fn update_where_with(
+        &mut self,
+        pred: &crate::expr::Pred,
+        assignments: &[(usize, Code)],
+        stats: &DbStats,
+        mut on_change: impl FnMut(&[Code], &[Code]),
+    ) -> DbResult<u64> {
+        for &(col, value) in assignments {
+            let meta = self
+                .schema
+                .columns()
+                .get(col)
+                .ok_or_else(|| DbError::UnknownColumn(format!("#{col}")))?;
+            if value >= meta.cardinality() {
+                return Err(DbError::ValueOutOfRange {
+                    column: meta.name().to_string(),
+                    value,
+                    cardinality: meta.cardinality(),
+                });
+            }
+        }
+        let mut rewritten = Table::new(self.schema.clone());
+        let mut changed = 0;
+        let mut new_row: Vec<Code> = Vec::with_capacity(self.schema.arity());
+        for (_, row) in self.scan(stats) {
+            if pred.eval(row) {
+                new_row.clear();
+                new_row.extend_from_slice(row);
+                for &(col, value) in assignments {
+                    new_row[col] = value;
+                }
+                if new_row[..] != *row {
+                    changed += 1;
+                    on_change(row, &new_row);
+                }
+                rewritten.insert_unchecked(&new_row);
+            } else {
+                rewritten.insert_unchecked(row);
+            }
+        }
+        stats.add_pages_written(rewritten.npages());
+        self.pages = rewritten.pages;
+        self.nrows = rewritten.nrows;
+        Ok(changed)
     }
 
     /// Fetch a single row by TID. Charges one page read (random access).
@@ -273,5 +353,76 @@ mod tests {
     fn size_bytes_is_page_multiple() {
         let t = small_table();
         assert_eq!(t.size_bytes(), 8192);
+    }
+
+    #[test]
+    fn delete_where_with_observes_removed_rows() {
+        let mut t = small_table();
+        let stats = DbStats::new();
+        let mut seen = Vec::new();
+        let removed =
+            t.delete_where_with(&crate::expr::Pred::Eq { col: 1, value: 0 }, &stats, |row| {
+                seen.push(row.to_vec())
+            });
+        assert_eq!(removed as usize, seen.len());
+        assert!(seen.iter().all(|r| r[1] == 0));
+        assert_eq!(t.nrows() + removed, 10);
+    }
+
+    #[test]
+    fn update_where_rewrites_matches_and_charges() {
+        let mut t = small_table();
+        let stats = DbStats::new();
+        let mut pairs = Vec::new();
+        let changed = t
+            .update_where_with(
+                &crate::expr::Pred::Eq { col: 0, value: 3 },
+                &[(1, 2)],
+                &stats,
+                |old, new| pairs.push((old.to_vec(), new.to_vec())),
+            )
+            .unwrap();
+        // small_table: row i = [i%10, i%3]; only row 3 = [3, 0] matches a=3.
+        assert_eq!(changed, 1);
+        assert_eq!(pairs, vec![(vec![3, 0], vec![3, 2])]);
+        assert_eq!(t.nrows(), 10, "updates never change the row count");
+        let snap = stats.snapshot();
+        assert_eq!(snap.rows_scanned, 10, "update pays a full scan");
+        assert!(snap.pages_written >= 1, "rewritten heap pays page writes");
+        let rows: Vec<Vec<Code>> = t.rows_unaccounted().map(|r| r.to_vec()).collect();
+        assert_eq!(rows[3], vec![3, 2]);
+        assert_eq!(rows[4], vec![4, 1], "non-matches untouched");
+    }
+
+    #[test]
+    fn update_where_counts_only_real_changes() {
+        let mut t = small_table();
+        let stats = DbStats::new();
+        // Row 0 = [0, 0]: assigning class=0 changes nothing.
+        let changed = t
+            .update_where(
+                &crate::expr::Pred::Eq { col: 0, value: 0 },
+                &[(1, 0)],
+                &stats,
+            )
+            .unwrap();
+        assert_eq!(changed, 0);
+    }
+
+    #[test]
+    fn update_where_validates_assignments_without_mutating() {
+        let mut t = small_table();
+        let stats = DbStats::new();
+        let before: Vec<Vec<Code>> = t.rows_unaccounted().map(|r| r.to_vec()).collect();
+        assert!(matches!(
+            t.update_where(&crate::expr::Pred::True, &[(1, 99)], &stats),
+            Err(DbError::ValueOutOfRange { .. })
+        ));
+        assert!(matches!(
+            t.update_where(&crate::expr::Pred::True, &[(7, 0)], &stats),
+            Err(DbError::UnknownColumn(_))
+        ));
+        let after: Vec<Vec<Code>> = t.rows_unaccounted().map(|r| r.to_vec()).collect();
+        assert_eq!(before, after, "failed validation leaves the heap alone");
     }
 }
